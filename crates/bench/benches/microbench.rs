@@ -1,0 +1,160 @@
+//! Criterion microbenchmarks for the hot code paths.
+//!
+//! These measure *host* wall time (how fast the reproduction itself
+//! runs), complementing the virtual-clock experiment binaries that
+//! regenerate the paper's tables and figures.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pm_blade::{Db, Options};
+use pmtable::{
+    ArrayTable, ArrayTableBuilder, DramBuf, L0Table, MetaExtractor,
+    OwnedEntry, PmTable, PmTableBuilder, PmTableOptions, Storage,
+};
+use sim::{CostModel, Pcg64, Timeline};
+
+fn entries(n: usize) -> Vec<OwnedEntry> {
+    let mut rng = Pcg64::seeded(1);
+    let mut out: Vec<OwnedEntry> = (0..n)
+        .map(|i| {
+            let mut value = vec![0u8; 100];
+            rng.fill_bytes(&mut value);
+            OwnedEntry::value(
+                format!("t{:03}:{:012}", i % 8, i * 17).into_bytes(),
+                i as u64 + 1,
+                value,
+            )
+        })
+        .collect();
+    out.sort_by(|a, b| a.internal_cmp(b));
+    out
+}
+
+fn build_pm_table(data: &[OwnedEntry]) -> PmTable<DramBuf> {
+    let cost = CostModel::default();
+    let mut b = PmTableBuilder::new(PmTableOptions {
+        group_size: 16,
+        extractor: MetaExtractor::Delimiter(b':'),
+    });
+    for e in data {
+        b.add(e.clone());
+    }
+    let (bytes, _) = b.finish(&cost, &mut Timeline::new());
+    PmTable::open(DramBuf::new(bytes, cost)).unwrap()
+}
+
+fn bench_pm_table(c: &mut Criterion) {
+    let data = entries(10_000);
+    c.bench_function("pm_table/build_10k", |b| {
+        b.iter_batched(
+            || data.clone(),
+            |data| build_pm_table(&data),
+            BatchSize::SmallInput,
+        )
+    });
+    let table = build_pm_table(&data);
+    let mut rng = Pcg64::seeded(2);
+    c.bench_function("pm_table/get", |b| {
+        b.iter(|| {
+            let probe = &data[rng.next_below(data.len() as u64) as usize];
+            table
+                .get(&probe.user_key, u64::MAX, &mut Timeline::new())
+                .expect("hit")
+        })
+    });
+}
+
+fn bench_array_table(c: &mut Criterion) {
+    let data = entries(10_000);
+    let cost = CostModel::default();
+    let mut b = ArrayTableBuilder::new();
+    for e in &data {
+        b.add(e.clone());
+    }
+    let (bytes, _) = b.finish(&cost, &mut Timeline::new());
+    let table = ArrayTable::open(DramBuf::new(bytes, cost)).unwrap();
+    let mut rng = Pcg64::seeded(3);
+    c.bench_function("array_table/get", |b| {
+        b.iter(|| {
+            let probe = &data[rng.next_below(data.len() as u64) as usize];
+            table
+                .get(&probe.user_key, u64::MAX, &mut Timeline::new())
+                .expect("hit")
+        })
+    });
+}
+
+fn bench_szip(c: &mut Criterion) {
+    let data = entries(64);
+    let raw: Vec<u8> = data
+        .iter()
+        .flat_map(|e| e.user_key.iter().chain(e.value.iter()).copied())
+        .collect();
+    c.bench_function("szip/compress_8k", |b| {
+        b.iter(|| encoding::szip::compress(&raw))
+    });
+    let compressed = encoding::szip::compress(&raw);
+    c.bench_function("szip/decompress_8k", |b| {
+        b.iter(|| encoding::szip::decompress(&compressed).unwrap())
+    });
+}
+
+fn bench_engine(c: &mut Criterion) {
+    c.bench_function("engine/put_get_cycle", |b| {
+        let mut db = Db::open(Options {
+            pm_capacity: 32 << 20,
+            memtable_bytes: 256 << 10,
+            ..Options::default()
+        })
+        .unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            let key = format!("key{:010}", i % 10_000);
+            db.put(key.as_bytes(), b"benchmark-value-payload").unwrap();
+            let out = db.get(key.as_bytes()).unwrap();
+            i += 1;
+            out.latency
+        })
+    });
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let a = entries(5_000);
+    let b2 = entries(5_000);
+    let cost = CostModel::default();
+    c.bench_function("compaction/merge_dedup_10k", |b| {
+        b.iter_batched(
+            || vec![a.clone(), b2.clone()],
+            |sources| {
+                pm_blade::handle::merge_dedup(
+                    sources,
+                    false,
+                    &cost,
+                    &mut Timeline::new(),
+                )
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_storage_metering_overhead(c: &mut Criterion) {
+    // The metering layer must stay cheap relative to the data work.
+    let buf = DramBuf::with_default_cost(vec![0u8; 4096]);
+    c.bench_function("sim/meter_random_read", |b| {
+        let mut tl = Timeline::new();
+        b.iter(|| buf.meter_random(64, &mut tl))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets =
+        bench_pm_table,
+        bench_array_table,
+        bench_szip,
+        bench_engine,
+        bench_merge,
+        bench_storage_metering_overhead
+);
+criterion_main!(benches);

@@ -1,0 +1,305 @@
+//! `benchmark_kv` — the paper's db_bench-style micro-benchmark CLI.
+//!
+//! The paper extended RocksDB's db_bench with record/index-table
+//! support; this binary exposes the same surface over the PM-Blade
+//! engine:
+//!
+//! ```text
+//! benchmark_kv [--mode pmblade|pmblade-pm|rocksdb|matrixkv]
+//!              [--benchmark fillseq|fillrandom|readrandom|updaterandom|
+//!                           readwhilewriting|seekrandom|indextable]
+//!              [--num N] [--value-size B] [--skew Z] [--reads N]
+//!              [--partitions P] [--pm-mib M]
+//! ```
+//!
+//! Example: `cargo run --release -p bench --bin benchmark_kv -- \
+//!           --benchmark readrandom --num 50000 --skew 0.9`
+
+use pm_blade::{Db, Mode, Options, Partitioner, Relational, TableDef};
+use sim::{Histogram, KeyDistribution, Pcg64, SimDuration};
+use workloads::{run_kv, KvWorkload, KvWorkloadSpec};
+
+#[derive(Debug)]
+struct Args {
+    mode: Mode,
+    benchmark: String,
+    num: u64,
+    value_size: usize,
+    skew: f64,
+    reads: u64,
+    partitions: usize,
+    pm_mib: usize,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            mode: Mode::PmBlade,
+            benchmark: "fillrandom".into(),
+            num: 20_000,
+            value_size: 100,
+            skew: 0.0,
+            reads: 20_000,
+            partitions: 8,
+            pm_mib: 8,
+        }
+    }
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {flag}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--mode" => {
+                args.mode = match value().as_str() {
+                    "pmblade" => Mode::PmBlade,
+                    "pmblade-pm" => Mode::PmBladePm,
+                    "rocksdb" => Mode::SsdLevel0,
+                    "matrixkv" => Mode::MatrixKv,
+                    other => {
+                        eprintln!("unknown mode {other}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--benchmark" => args.benchmark = value(),
+            "--num" => args.num = value().parse().expect("--num"),
+            "--value-size" => {
+                args.value_size = value().parse().expect("--value-size")
+            }
+            "--skew" => args.skew = value().parse().expect("--skew"),
+            "--reads" => args.reads = value().parse().expect("--reads"),
+            "--partitions" => {
+                args.partitions = value().parse().expect("--partitions")
+            }
+            "--pm-mib" => args.pm_mib = value().parse().expect("--pm-mib"),
+            "--help" | "-h" => {
+                println!(
+                    "benchmark_kv: db_bench-style micro-benchmark for \
+                     PM-Blade\n(see the module docs for flags)"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn open_db(args: &Args) -> Db {
+    let mut opts: Options = match args.mode {
+        Mode::PmBlade => Options::pm_blade(args.pm_mib << 20),
+        Mode::PmBladePm => Options::pm_blade_pm(args.pm_mib << 20),
+        Mode::SsdLevel0 => Options::rocksdb_like(),
+        Mode::MatrixKv => Options::matrixkv(args.pm_mib << 20),
+    };
+    opts.memtable_bytes = 32 << 10;
+    opts.partitioner =
+        Partitioner::numeric("user", args.num.max(1), args.partitions.max(1));
+    Db::open(opts).expect("engine opens")
+}
+
+fn report(name: &str, hist: &Histogram, total: SimDuration, ops: u64) {
+    let tput = ops as f64 / total.as_secs_f64().max(1e-12);
+    println!(
+        "{name:<18} {ops:>9} ops  {tput:>12.0} ops/s  \
+         mean {:>9}  p50 {:>9}  p99 {:>9}  p99.9 {:>9}",
+        hist.mean_duration(),
+        hist.quantile_duration(0.5),
+        hist.quantile_duration(0.99),
+        hist.quantile_duration(0.999),
+    );
+}
+
+fn fill(db: &mut Db, args: &Args, sequential: bool) -> SimDuration {
+    let mut w = KvWorkload::new(KvWorkloadSpec {
+        keys: args.num,
+        value_size: args.value_size,
+        ..KvWorkloadSpec::default()
+    });
+    let ops =
+        if sequential { w.fill_sequential() } else { w.fill_random() };
+    let m = run_kv(db, &ops).expect("fill");
+    report(
+        if sequential { "fillseq" } else { "fillrandom" },
+        &m.writes,
+        m.elapsed,
+        m.operations,
+    );
+    m.elapsed
+}
+
+fn read_random(db: &mut Db, args: &Args) {
+    let dist = KeyDistribution::zipfian(args.num, args.skew);
+    let mut rng = Pcg64::seeded(0xbe9c);
+    let mut hist = Histogram::new();
+    let mut total = SimDuration::ZERO;
+    let mut hits = 0u64;
+    for _ in 0..args.reads {
+        let k = format!("user{:010}", dist.sample(&mut rng, args.num));
+        let out = db.get(k.as_bytes()).expect("get");
+        if out.value.is_some() {
+            hits += 1;
+        }
+        hist.record_duration(out.latency);
+        total += out.latency;
+    }
+    report("readrandom", &hist, total, args.reads);
+    println!(
+        "{:<18} hit ratio {:.1}%  served from pm {:.1}%",
+        "",
+        100.0 * hits as f64 / args.reads as f64,
+        100.0 * db.stats().pm_hit_ratio()
+    );
+}
+
+fn update_random(db: &mut Db, args: &Args) {
+    let dist = KeyDistribution::zipfian(args.num, args.skew);
+    let mut rng = Pcg64::seeded(0x0bad);
+    let mut hist = Histogram::new();
+    let mut total = SimDuration::ZERO;
+    let value = vec![b'u'; args.value_size];
+    for _ in 0..args.reads {
+        let k = format!("user{:010}", dist.sample(&mut rng, args.num));
+        let d = db.put(k.as_bytes(), &value).expect("put");
+        hist.record_duration(d);
+        total += d;
+    }
+    report("updaterandom", &hist, total, args.reads);
+}
+
+fn read_while_writing(db: &mut Db, args: &Args) {
+    let dist = KeyDistribution::zipfian(args.num, args.skew);
+    let mut rng = Pcg64::seeded(0x1eaf);
+    let mut reads = Histogram::new();
+    let mut writes = Histogram::new();
+    let mut total = SimDuration::ZERO;
+    let value = vec![b'w'; args.value_size];
+    for i in 0..args.reads {
+        let k = format!("user{:010}", dist.sample(&mut rng, args.num));
+        if i % 2 == 0 {
+            let out = db.get(k.as_bytes()).expect("get");
+            reads.record_duration(out.latency);
+            total += out.latency;
+        } else {
+            let d = db.put(k.as_bytes(), &value).expect("put");
+            writes.record_duration(d);
+            total += d;
+        }
+    }
+    report("rww/reads", &reads, total, args.reads / 2);
+    report("rww/writes", &writes, total, args.reads / 2);
+}
+
+fn seek_random(db: &mut Db, args: &Args) {
+    let dist = KeyDistribution::zipfian(args.num, args.skew);
+    let mut rng = Pcg64::seeded(0x5eeb);
+    let mut hist = Histogram::new();
+    let mut total = SimDuration::ZERO;
+    for _ in 0..args.reads.min(5_000) {
+        let k = format!("user{:010}", dist.sample(&mut rng, args.num));
+        let (_, d) = db.scan(k.as_bytes(), None, 50).expect("scan");
+        hist.record_duration(d);
+        total += d;
+    }
+    report("seekrandom(50)", &hist, total, args.reads.min(5_000));
+}
+
+/// The paper's record/index-table extension: insert rows with secondary
+/// indexes, then run index queries.
+fn index_table(args: &Args) {
+    let db = open_db(args);
+    let mut rel = Relational::new(db, vec![TableDef::new(1, 4, vec![1, 2])]);
+    let mut rng = Pcg64::seeded(0x1dbb);
+    let n = args.num.min(50_000);
+    let mut write_total = SimDuration::ZERO;
+    for i in 0..n {
+        let d = rel
+            .insert_row(
+                1,
+                &vec![
+                    format!("pk{:010}", i).into_bytes(),
+                    format!("s{:02}", rng.next_below(20)).into_bytes(),
+                    format!("u{:05}", rng.next_below(2_000)).into_bytes(),
+                    vec![b'p'; args.value_size],
+                ],
+            )
+            .expect("insert");
+        write_total += d;
+    }
+    println!(
+        "indextable/load   {n:>9} rows  {:>12.0} rows/s",
+        n as f64 / write_total.as_secs_f64().max(1e-12)
+    );
+    let mut hist = Histogram::new();
+    let mut total = SimDuration::ZERO;
+    for _ in 0..args.reads.min(5_000) {
+        let status = format!("s{:02}", rng.next_below(20));
+        let (_, d) = rel
+            .index_query(1, 1, status.as_bytes(), 20)
+            .expect("index query");
+        hist.record_duration(d);
+        total += d;
+    }
+    report("indextable/query", &hist, total, args.reads.min(5_000));
+}
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "benchmark_kv: mode={:?} benchmark={} num={} value={}B skew={} \
+         partitions={} pm={}MiB",
+        args.mode,
+        args.benchmark,
+        args.num,
+        args.value_size,
+        args.skew,
+        args.partitions,
+        args.pm_mib
+    );
+    match args.benchmark.as_str() {
+        "fillseq" => {
+            let mut db = open_db(&args);
+            fill(&mut db, &args, true);
+        }
+        "fillrandom" => {
+            let mut db = open_db(&args);
+            fill(&mut db, &args, false);
+        }
+        "readrandom" => {
+            let mut db = open_db(&args);
+            fill(&mut db, &args, false);
+            read_random(&mut db, &args);
+        }
+        "updaterandom" => {
+            let mut db = open_db(&args);
+            fill(&mut db, &args, false);
+            update_random(&mut db, &args);
+        }
+        "readwhilewriting" => {
+            let mut db = open_db(&args);
+            fill(&mut db, &args, false);
+            read_while_writing(&mut db, &args);
+        }
+        "seekrandom" => {
+            let mut db = open_db(&args);
+            fill(&mut db, &args, false);
+            seek_random(&mut db, &args);
+        }
+        "indextable" => index_table(&args),
+        other => {
+            eprintln!("unknown benchmark {other} (try --help)");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Fig 2(a): time breakdown of flushing an array-based table to level-0
+//! (minor compaction) as the entry size grows — the paper observes that
+//! past ~40-byte entries, more than half the flush time is PM device
+//! writes, which motivates compressing PM tables.
+
+use bench::{pct, Table};
+use pm_device::PmPool;
+use pmtable::{ArrayTableBuilder, OwnedEntry};
+use sim::{CostModel, Pcg64, Timeline};
+
+fn main() {
+    let cost = CostModel::default();
+    let mut table = Table::new(
+        "Fig 2(a) — minor-compaction time breakdown (array-based table)",
+        &["entry size", "encode (CPU)", "PM write", "PM write share"],
+    );
+    for &value_len in &[8usize, 16, 40, 64, 128, 256] {
+        let mut rng = Pcg64::seeded(7);
+        let n = 200_000 / (value_len + 24);
+        let mut builder = ArrayTableBuilder::new();
+        let mut entries: Vec<OwnedEntry> = (0..n)
+            .map(|i| {
+                let mut v = vec![0u8; value_len];
+                rng.fill_bytes(&mut v);
+                OwnedEntry::value(
+                    format!("key{:012}", i).into_bytes(),
+                    i as u64 + 1,
+                    v,
+                )
+            })
+            .collect();
+        entries.sort_by(|a, b| a.internal_cmp(b));
+        for e in &entries {
+            builder.add(e.clone());
+        }
+        let mut encode_tl = Timeline::new();
+        let (bytes, _) = builder.finish(&cost, &mut encode_tl);
+        let pool = PmPool::new(1 << 24, cost);
+        let mut write_tl = Timeline::new();
+        pool.publish(bytes, &mut write_tl).unwrap();
+        let encode = encode_tl.elapsed();
+        let write = write_tl.elapsed();
+        let share =
+            write.as_nanos() as f64 / (encode + write).as_nanos() as f64;
+        table.row(&[
+            format!("{}B", value_len + 24),
+            bench::us(encode),
+            bench::us(write),
+            pct(share),
+        ]);
+    }
+    table.print();
+    println!(
+        "\npaper: PM write exceeds half the flush time once entries \
+         pass ~40B"
+    );
+}

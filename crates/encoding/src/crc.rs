@@ -1,0 +1,128 @@
+//! CRC32C (Castagnoli polynomial), table-driven.
+//!
+//! Used as the block checksum for SSTables and the WAL, and as a sanity
+//! check on PM table frames during recovery. The masked form follows the
+//! LevelDB convention so a checksum stored alongside the data it covers
+//! does not collide with the data's own CRC.
+
+const POLY: u32 = 0x82F63B78; // reflected CRC32C polynomial
+
+/// 8-way slicing tables computed at first use.
+fn tables() -> &'static [[u32; 256]; 8] {
+    use std::sync::OnceLock;
+    static TABLES: OnceLock<Box<[[u32; 256]; 8]>> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut t = Box::new([[0u32; 256]; 8]);
+        for i in 0..256u32 {
+            let mut crc = i;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            }
+            t[0][i as usize] = crc;
+        }
+        for i in 0..256usize {
+            let mut crc = t[0][i];
+            for slice in 1..8 {
+                crc = t[0][(crc & 0xff) as usize] ^ (crc >> 8);
+                t[slice][i] = crc;
+            }
+        }
+        t
+    })
+}
+
+/// Compute the CRC32C of `data`.
+pub fn crc32c(data: &[u8]) -> u32 {
+    extend(0, data)
+}
+
+/// Extend a running CRC with more data.
+pub fn extend(crc: u32, data: &[u8]) -> u32 {
+    let t = tables();
+    let mut crc = !crc;
+    let mut chunks = data.chunks_exact(8);
+    for chunk in &mut chunks {
+        let lo = u32::from_le_bytes(chunk[0..4].try_into().unwrap()) ^ crc;
+        let hi = u32::from_le_bytes(chunk[4..8].try_into().unwrap());
+        crc = t[7][(lo & 0xff) as usize]
+            ^ t[6][((lo >> 8) & 0xff) as usize]
+            ^ t[5][((lo >> 16) & 0xff) as usize]
+            ^ t[4][(lo >> 24) as usize]
+            ^ t[3][(hi & 0xff) as usize]
+            ^ t[2][((hi >> 8) & 0xff) as usize]
+            ^ t[1][((hi >> 16) & 0xff) as usize]
+            ^ t[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = t[0][((crc ^ b as u32) & 0xff) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+const MASK_DELTA: u32 = 0xa282ead8;
+
+/// Mask a CRC so it is safe to store alongside the covered bytes.
+#[inline]
+pub fn mask(crc: u32) -> u32 {
+    crc.rotate_right(15).wrapping_add(MASK_DELTA)
+}
+
+/// Invert [`mask`].
+#[inline]
+pub fn unmask(masked: u32) -> u32 {
+    masked.wrapping_sub(MASK_DELTA).rotate_left(15)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // RFC 3720 CRC32C test vectors.
+        assert_eq!(crc32c(&[0u8; 32]), 0x8A9136AA);
+        assert_eq!(crc32c(&[0xffu8; 32]), 0x62A8AB43);
+        let ascending: Vec<u8> = (0..32).collect();
+        assert_eq!(crc32c(&ascending), 0x46DD794E);
+        assert_eq!(crc32c(b"123456789"), 0xE3069283);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(crc32c(&[]), 0);
+    }
+
+    #[test]
+    fn extend_equals_whole() {
+        let data = b"hello world, this is a crc test spanning chunks";
+        let whole = crc32c(data);
+        let split = extend(crc32c(&data[..13]), &data[13..]);
+        assert_eq!(whole, split);
+    }
+
+    #[test]
+    fn mask_roundtrip_and_differs() {
+        for crc in [0u32, 1, 0xdeadbeef, u32::MAX] {
+            assert_eq!(unmask(mask(crc)), crc);
+            assert_ne!(mask(crc), crc, "mask must change the value");
+        }
+    }
+
+    #[test]
+    fn detects_single_bit_flip() {
+        let mut data = b"some block payload".to_vec();
+        let before = crc32c(&data);
+        data[5] ^= 0x40;
+        assert_ne!(crc32c(&data), before);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_extend_associative(data: Vec<u8>, split in 0usize..64) {
+            let split = split.min(data.len());
+            let whole = crc32c(&data);
+            let parts = extend(crc32c(&data[..split]), &data[split..]);
+            proptest::prop_assert_eq!(whole, parts);
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Byte-level formats shared by every storage layer in PM-Blade.
+//!
+//! - [`key`]: internal key layout (`user_key ∥ sequence ∥ kind`) with the
+//!   LSM ordering (user keys ascending, sequence numbers descending so the
+//!   newest version of a key sorts first).
+//! - [`varint`]: LEB128-style unsigned varints used by every table format.
+//! - [`crc`]: CRC32C (Castagnoli) block checksums.
+//! - [`prefix`]: the shared-prefix group codec backing the PM table's
+//!   prefix layer (§IV-A of the paper).
+//! - [`szip`]: a small LZ77-class byte compressor standing in for snappy in
+//!   the Array-snappy baselines (Fig 6) — same architecture (literal /
+//!   copy tags, greedy hash-chain matcher), no external dependency.
+
+pub mod crc;
+pub mod key;
+pub mod prefix;
+pub mod szip;
+pub mod varint;
+
+pub use key::{InternalKey, KeyKind, SequenceNumber, MAX_SEQUENCE};

@@ -1,0 +1,183 @@
+//! Shared-prefix utilities for the PM table's prefix layer (§IV-A).
+//!
+//! The PM table groups consecutive sorted keys (8 or 16 per group), extracts
+//! a fixed-length prefix from each group's first key into a dense prefix
+//! array that supports fast binary search, and stores the per-entry key
+//! remainders (prefix stripped) in the entry layer.
+
+/// Length of the longest common prefix of `a` and `b`.
+#[inline]
+pub fn common_prefix_len(a: &[u8], b: &[u8]) -> usize {
+    let n = a.len().min(b.len());
+    let mut i = 0;
+    // Compare 8 bytes at a time.
+    while i + 8 <= n {
+        let wa = u64::from_le_bytes(a[i..i + 8].try_into().unwrap());
+        let wb = u64::from_le_bytes(b[i..i + 8].try_into().unwrap());
+        if wa != wb {
+            return i + ((wa ^ wb).trailing_zeros() / 8) as usize;
+        }
+        i += 8;
+    }
+    while i < n && a[i] == b[i] {
+        i += 1;
+    }
+    i
+}
+
+/// Longest common prefix across a whole group of keys.
+pub fn group_common_prefix_len(keys: &[&[u8]]) -> usize {
+    match keys {
+        [] => 0,
+        // Keys are sorted, so the LCP of the group is the LCP of the
+        // first and last key.
+        [first, .., last] => common_prefix_len(first, last),
+        [only] => only.len(),
+    }
+}
+
+/// A fixed-width prefix extracted from a key, zero-padded on the right.
+///
+/// Fixed width is what makes the prefix layer binary-searchable without
+/// indirection: the paper stresses that "as the prefixes are fixed-sized, a
+/// binary search on them will be efficient."
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct FixedPrefix<const W: usize>([u8; W]);
+
+impl<const W: usize> FixedPrefix<W> {
+    pub fn of(key: &[u8]) -> Self {
+        let mut p = [0u8; W];
+        let n = key.len().min(W);
+        p[..n].copy_from_slice(&key[..n]);
+        FixedPrefix(p)
+    }
+
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Compare a full key against this prefix: `Less`/`Greater` when the
+    /// key's first `W` bytes differ, `Equal` when the key starts with (or
+    /// equals a prefix of) this prefix slot.
+    pub fn compare_key(&self, key: &[u8]) -> std::cmp::Ordering {
+        let probe = FixedPrefix::<W>::of(key);
+        probe.0.cmp(&self.0)
+    }
+}
+
+/// Standard prefix width used by PM tables (covers `{tableID}{indexID}` plus
+/// the leading bytes of the row key in the paper's encoding).
+pub const PM_PREFIX_WIDTH: usize = 16;
+
+/// Given sorted keys and a group size, locate the group that may contain
+/// `key` by binary search over the fixed prefixes of group leaders.
+///
+/// Returns the group index whose leader prefix is the greatest one
+/// `<= prefix(key)` (0 when key sorts before everything).
+pub fn locate_group<const W: usize>(
+    leaders: &[FixedPrefix<W>],
+    key: &[u8],
+) -> usize {
+    if leaders.is_empty() {
+        return 0;
+    }
+    let probe = FixedPrefix::<W>::of(key);
+    // partition_point: first leader > probe.
+    let idx = leaders.partition_point(|l| *l <= probe);
+    idx.saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn lcp_basics() {
+        assert_eq!(common_prefix_len(b"", b""), 0);
+        assert_eq!(common_prefix_len(b"abc", b"abd"), 2);
+        assert_eq!(common_prefix_len(b"abc", b"abc"), 3);
+        assert_eq!(common_prefix_len(b"abc", b"abcdef"), 3);
+        assert_eq!(common_prefix_len(b"xyz", b"abc"), 0);
+    }
+
+    #[test]
+    fn lcp_wide_inputs_use_word_path() {
+        let a = b"0123456789abcdefXtail";
+        let b = b"0123456789abcdefYtail";
+        assert_eq!(common_prefix_len(a, b), 16);
+        let c = b"0123456789abcdef";
+        assert_eq!(common_prefix_len(a, c), 16);
+    }
+
+    #[test]
+    fn group_lcp_uses_first_and_last() {
+        let keys: Vec<&[u8]> =
+            vec![b"tbl1:a", b"tbl1:b", b"tbl1:c", b"tbl1:z"];
+        assert_eq!(group_common_prefix_len(&keys), 5);
+        assert_eq!(group_common_prefix_len(&[]), 0);
+        let one: Vec<&[u8]> = vec![b"solo"];
+        assert_eq!(group_common_prefix_len(&one), 4);
+    }
+
+    #[test]
+    fn fixed_prefix_pads_and_orders() {
+        let a = FixedPrefix::<8>::of(b"ab");
+        let b = FixedPrefix::<8>::of(b"abc");
+        assert!(a < b, "padding keeps shorter keys first");
+        assert_eq!(a.as_bytes(), b"ab\0\0\0\0\0\0");
+    }
+
+    #[test]
+    fn compare_key_matches_prefix_semantics() {
+        let p = FixedPrefix::<4>::of(b"tbl1-row9");
+        assert_eq!(p.compare_key(b"tbl1-row0"), Ordering::Equal);
+        assert_eq!(p.compare_key(b"tbl0"), Ordering::Less);
+        assert_eq!(p.compare_key(b"tbl2"), Ordering::Greater);
+    }
+
+    #[test]
+    fn locate_group_finds_containing_group() {
+        let leaders: Vec<FixedPrefix<4>> =
+            [b"aaaa", b"bbbb", b"cccc"].iter().map(|k| FixedPrefix::of(&k[..])).collect();
+        assert_eq!(locate_group(&leaders, b"aaaa0"), 0);
+        assert_eq!(locate_group(&leaders, b"bbbz"), 1);
+        assert_eq!(locate_group(&leaders, b"bbbb"), 1);
+        assert_eq!(locate_group(&leaders, b"zzzz"), 2);
+        // Before everything clamps to group 0 (caller then finds no match).
+        assert_eq!(locate_group(&leaders, b"AAAA"), 0);
+        let empty: Vec<FixedPrefix<4>> = vec![];
+        assert_eq!(locate_group(&empty, b"x"), 0);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_lcp_is_symmetric_and_bounded(a: Vec<u8>, b: Vec<u8>) {
+            let l = common_prefix_len(&a, &b);
+            proptest::prop_assert_eq!(l, common_prefix_len(&b, &a));
+            proptest::prop_assert!(l <= a.len().min(b.len()));
+            proptest::prop_assert_eq!(&a[..l], &b[..l]);
+            if l < a.len() && l < b.len() {
+                proptest::prop_assert_ne!(a[l], b[l]);
+            }
+        }
+
+        #[test]
+        fn prop_locate_group_is_lower_bound(
+            mut keys in proptest::collection::vec(
+                proptest::collection::vec(0u8..=255, 1..12), 1..40),
+            probe in proptest::collection::vec(0u8..=255, 1..12),
+        ) {
+            keys.sort();
+            keys.dedup();
+            let leaders: Vec<FixedPrefix<8>> =
+                keys.iter().map(|k| FixedPrefix::of(k)).collect();
+            let g = locate_group(&leaders, &probe);
+            let p = FixedPrefix::<8>::of(&probe);
+            // Everything after g has a strictly greater leader prefix.
+            for l in &leaders[g + 1..] {
+                proptest::prop_assert!(*l > p);
+            }
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! The DRAM tier: a skiplist memtable and its write-ahead log.
+//!
+//! Writes land in the [`MemTable`] (and, for durability, the [`wal`]);
+//! when the memtable reaches its budget the engine freezes it and performs
+//! a *minor compaction*: encoding it as a PM table and publishing it to the
+//! level-0 pool. Reads charge DRAM costs per probed node, so memtable
+//! lookups are fast but not free on the virtual clock.
+
+pub mod skiplist;
+pub mod wal;
+
+pub use skiplist::MemTable;
+pub use wal::{Wal, WalError, WalRecord};

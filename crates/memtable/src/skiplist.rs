@@ -1,0 +1,404 @@
+//! Skiplist memtable.
+//!
+//! A classic tower skiplist keyed by internal keys (user key ascending,
+//! sequence descending), so multiple versions of one user key coexist and
+//! a forward scan sees the newest first. Height is drawn from a
+//! deterministic per-table PRNG (p = 1/4, max 12 levels), keeping tests
+//! reproducible. The structure is single-writer/multi-reader; the engine
+//! serializes writers externally.
+
+use encoding::key::{self, KeyKind, SequenceNumber};
+use pmtable::{Lookup, OwnedEntry};
+use sim::{CostModel, Pcg64, Timeline};
+
+const MAX_HEIGHT: usize = 12;
+const BRANCHING: u64 = 4;
+
+struct Node {
+    /// Encoded internal key (user key ∥ trailer).
+    ikey: Vec<u8>,
+    value: Vec<u8>,
+    next: Vec<Option<usize>>, // per-level successor node index
+}
+
+/// An in-DRAM sorted write buffer.
+pub struct MemTable {
+    /// Arena of nodes; index 0 is the head sentinel.
+    nodes: Vec<Node>,
+    height: usize,
+    rng: Pcg64,
+    approximate_bytes: usize,
+    entries: usize,
+    cost: CostModel,
+}
+
+impl MemTable {
+    pub fn new(cost: CostModel) -> Self {
+        let head = Node {
+            ikey: Vec::new(),
+            value: Vec::new(),
+            next: vec![None; MAX_HEIGHT],
+        };
+        MemTable {
+            nodes: vec![head],
+            height: 1,
+            rng: Pcg64::seeded(0x6d656d74),
+            approximate_bytes: 0,
+            entries: 0,
+            cost,
+        }
+    }
+
+    fn random_height(&mut self) -> usize {
+        let mut h = 1;
+        while h < MAX_HEIGHT && self.rng.next_below(BRANCHING) == 0 {
+            h += 1;
+        }
+        h
+    }
+
+    /// Number of entries (including superseded versions and tombstones).
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Approximate DRAM footprint in bytes.
+    pub fn approximate_size(&self) -> usize {
+        self.approximate_bytes
+    }
+
+    /// Insert an entry. Sequences must be unique per user key; the engine
+    /// guarantees this by allocating them monotonically.
+    pub fn insert(
+        &mut self,
+        user_key: &[u8],
+        seq: SequenceNumber,
+        kind: KeyKind,
+        value: &[u8],
+        tl: &mut Timeline,
+    ) {
+        let ikey = key::InternalKey::new(user_key, seq, kind).into_encoded();
+        let height = self.random_height();
+        if height > self.height {
+            self.height = height;
+        }
+        // Find predecessors at every level.
+        let mut prev = [0usize; MAX_HEIGHT];
+        let mut cur = 0usize;
+        for level in (0..self.height).rev() {
+            loop {
+                // Each link traversal is a DRAM pointer chase.
+                tl.charge(self.cost.dram.random_read(32));
+                match self.nodes[cur].next[level] {
+                    Some(nxt)
+                        if key::compare(&self.nodes[nxt].ikey, &ikey)
+                            == std::cmp::Ordering::Less =>
+                    {
+                        cur = nxt
+                    }
+                    _ => break,
+                }
+            }
+            prev[level] = cur;
+        }
+        let idx = self.nodes.len();
+        let mut next = vec![None; height];
+        #[allow(clippy::needless_range_loop)]
+        for level in 0..height {
+            next[level] = self.nodes[prev[level]].next[level];
+            self.nodes[prev[level]].next[level] = Some(idx);
+        }
+        self.approximate_bytes += ikey.len() + value.len() + 64;
+        self.entries += 1;
+        tl.charge(self.cost.dram.write(ikey.len() + value.len()));
+        self.nodes.push(Node { ikey, value: value.to_vec(), next });
+    }
+
+    /// Newest entry for `user_key` visible at `snapshot`.
+    pub fn get(
+        &self,
+        user_key: &[u8],
+        snapshot: SequenceNumber,
+        tl: &mut Timeline,
+    ) -> Option<Lookup> {
+        let target =
+            key::InternalKey::seek_to(user_key, snapshot).into_encoded();
+        let mut cur = 0usize;
+        for level in (0..self.height).rev() {
+            loop {
+                tl.charge(self.cost.dram.random_read(32));
+                match self.nodes[cur].next[level] {
+                    Some(nxt)
+                        if key::compare(&self.nodes[nxt].ikey, &target)
+                            == std::cmp::Ordering::Less =>
+                    {
+                        cur = nxt
+                    }
+                    _ => break,
+                }
+            }
+        }
+        let candidate = self.nodes[cur].next[0]?;
+        let node = &self.nodes[candidate];
+        if key::user_key(&node.ikey) != user_key {
+            return None;
+        }
+        let seq = key::sequence(&node.ikey);
+        debug_assert!(seq <= snapshot, "seek placed us at a visible version");
+        let kind = key::kind(&node.ikey)?;
+        tl.charge(self.cost.dram.sequential_read(node.value.len()));
+        Some(Lookup { seq, kind, value: node.value.clone() })
+    }
+
+    /// All entries in internal-key order.
+    pub fn entries_in_order(&self) -> Vec<OwnedEntry> {
+        let mut out = Vec::with_capacity(self.entries);
+        let mut cur = self.nodes[0].next[0];
+        while let Some(idx) = cur {
+            let node = &self.nodes[idx];
+            out.push(OwnedEntry {
+                user_key: key::user_key(&node.ikey).to_vec(),
+                seq: key::sequence(&node.ikey),
+                kind: key::kind(&node.ikey).expect("valid kind"),
+                value: node.value.clone(),
+            });
+            cur = node.next[0];
+        }
+        out
+    }
+
+    /// Entries with user keys in `[start, end)` in internal-key order,
+    /// yielding at most `limit` entries.
+    pub fn scan_range(
+        &self,
+        start: &[u8],
+        end: Option<&[u8]>,
+        limit: usize,
+        tl: &mut Timeline,
+    ) -> Vec<OwnedEntry> {
+        let target =
+            key::InternalKey::seek_to(start, key::MAX_SEQUENCE).into_encoded();
+        let mut cur = 0usize;
+        for level in (0..self.height).rev() {
+            loop {
+                tl.charge(self.cost.dram.random_read(32));
+                match self.nodes[cur].next[level] {
+                    Some(nxt)
+                        if key::compare(&self.nodes[nxt].ikey, &target)
+                            == std::cmp::Ordering::Less =>
+                    {
+                        cur = nxt
+                    }
+                    _ => break,
+                }
+            }
+        }
+        let mut out = Vec::new();
+        let mut link = self.nodes[cur].next[0];
+        while let Some(idx) = link {
+            if out.len() >= limit {
+                break;
+            }
+            let node = &self.nodes[idx];
+            let uk = key::user_key(&node.ikey);
+            if let Some(end) = end {
+                if uk >= end {
+                    break;
+                }
+            }
+            tl.charge(
+                self.cost
+                    .dram
+                    .sequential_read(node.ikey.len() + node.value.len()),
+            );
+            out.push(OwnedEntry {
+                user_key: uk.to_vec(),
+                seq: key::sequence(&node.ikey),
+                kind: key::kind(&node.ikey).expect("valid kind"),
+                value: node.value.clone(),
+            });
+            link = node.next[0];
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for MemTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemTable")
+            .field("entries", &self.entries)
+            .field("bytes", &self.approximate_bytes)
+            .field("height", &self.height)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> MemTable {
+        MemTable::new(CostModel::default())
+    }
+
+    #[test]
+    fn empty_table_misses() {
+        let t = table();
+        let mut tl = Timeline::new();
+        assert!(t.get(b"k", u64::MAX, &mut tl).is_none());
+        assert!(t.is_empty());
+        assert!(t.entries_in_order().is_empty());
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut t = table();
+        let mut tl = Timeline::new();
+        for i in 0..500u64 {
+            let k = format!("key{:05}", i * 3);
+            t.insert(k.as_bytes(), i + 1, KeyKind::Value, b"v", &mut tl);
+        }
+        assert_eq!(t.len(), 500);
+        for i in (0..500u64).step_by(11) {
+            let k = format!("key{:05}", i * 3);
+            let hit = t.get(k.as_bytes(), u64::MAX, &mut tl).unwrap();
+            assert_eq!(hit.seq, i + 1);
+        }
+        assert!(t.get(b"key00001", u64::MAX, &mut tl).is_none());
+    }
+
+    #[test]
+    fn newest_version_wins_and_snapshots_work() {
+        let mut t = table();
+        let mut tl = Timeline::new();
+        t.insert(b"k", 5, KeyKind::Value, b"v5", &mut tl);
+        t.insert(b"k", 9, KeyKind::Value, b"v9", &mut tl);
+        t.insert(b"k", 7, KeyKind::Delete, b"", &mut tl);
+        assert_eq!(t.get(b"k", u64::MAX, &mut tl).unwrap().value, b"v9");
+        let at8 = t.get(b"k", 8, &mut tl).unwrap();
+        assert_eq!(at8.kind, KeyKind::Delete);
+        assert_eq!(t.get(b"k", 6, &mut tl).unwrap().value, b"v5");
+        assert!(t.get(b"k", 4, &mut tl).is_none());
+    }
+
+    #[test]
+    fn entries_in_order_is_internal_sorted() {
+        let mut t = table();
+        let mut tl = Timeline::new();
+        // Insert out of order.
+        for (k, s) in [("b", 1u64), ("a", 3), ("c", 2), ("a", 9), ("b", 4)] {
+            t.insert(k.as_bytes(), s, KeyKind::Value, b"", &mut tl);
+        }
+        let entries = t.entries_in_order();
+        let keys: Vec<(String, u64)> = entries
+            .iter()
+            .map(|e| {
+                (String::from_utf8(e.user_key.clone()).unwrap(), e.seq)
+            })
+            .collect();
+        assert_eq!(
+            keys,
+            vec![
+                ("a".into(), 9),
+                ("a".into(), 3),
+                ("b".into(), 4),
+                ("b".into(), 1),
+                ("c".into(), 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn scan_range_half_open() {
+        let mut t = table();
+        let mut tl = Timeline::new();
+        for i in 0..50u64 {
+            t.insert(
+                format!("k{:03}", i).as_bytes(),
+                i + 1,
+                KeyKind::Value,
+                b"v",
+                &mut tl,
+            );
+        }
+        let got = t.scan_range(b"k010", Some(b"k020"), usize::MAX, &mut tl);
+        assert_eq!(got.len(), 10);
+        assert_eq!(got[0].user_key, b"k010");
+        assert_eq!(got[9].user_key, b"k019");
+        let tail = t.scan_range(b"k045", None, usize::MAX, &mut tl);
+        assert_eq!(tail.len(), 5);
+    }
+
+    #[test]
+    fn size_grows_with_inserts() {
+        let mut t = table();
+        let mut tl = Timeline::new();
+        let before = t.approximate_size();
+        t.insert(b"key", 1, KeyKind::Value, &vec![0u8; 1000], &mut tl);
+        assert!(t.approximate_size() >= before + 1000);
+    }
+
+    #[test]
+    fn reads_charge_time() {
+        let mut t = table();
+        let mut tl = Timeline::new();
+        for i in 0..100u64 {
+            t.insert(
+                format!("k{i:04}").as_bytes(),
+                i + 1,
+                KeyKind::Value,
+                b"v",
+                &mut tl,
+            );
+        }
+        let mut read_tl = Timeline::new();
+        t.get(b"k0050", u64::MAX, &mut read_tl);
+        assert!(read_tl.elapsed() > sim::SimDuration::ZERO);
+        // Memtable reads must be far cheaper than one SSD access.
+        assert!(
+            read_tl.elapsed() < CostModel::default().ssd.random_read(4096)
+        );
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(48))]
+        #[test]
+        fn prop_matches_btreemap_reference(
+            ops in proptest::collection::vec(
+                (proptest::collection::vec(b'a'..=b'd', 1..6),
+                 proptest::bool::ANY),
+                1..200),
+        ) {
+            use std::collections::BTreeMap;
+            let mut t = table();
+            let mut reference: BTreeMap<Vec<u8>, (u64, bool)> = BTreeMap::new();
+            let mut tl = Timeline::new();
+            for (seq, (k, is_delete)) in ops.iter().enumerate() {
+                let seq = seq as u64 + 1;
+                if *is_delete {
+                    t.insert(k, seq, KeyKind::Delete, b"", &mut tl);
+                } else {
+                    t.insert(k, seq, KeyKind::Value, k, &mut tl);
+                }
+                reference.insert(k.clone(), (seq, *is_delete));
+            }
+            for (k, (seq, is_delete)) in &reference {
+                let hit = t.get(k, u64::MAX, &mut tl).unwrap();
+                proptest::prop_assert_eq!(hit.seq, *seq);
+                proptest::prop_assert_eq!(
+                    hit.kind == KeyKind::Delete, *is_delete);
+            }
+            // Order check: entries_in_order is sorted by internal key.
+            let entries = t.entries_in_order();
+            for pair in entries.windows(2) {
+                proptest::prop_assert!(
+                    pair[0].internal_cmp(&pair[1])
+                        != std::cmp::Ordering::Greater);
+            }
+        }
+    }
+}

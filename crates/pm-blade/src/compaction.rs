@@ -1,0 +1,138 @@
+//! Bridging real compaction work to the coroutine scheduler.
+//!
+//! The engine executes compaction data movement synchronously on the
+//! virtual clock (every device byte is metered). To reproduce the §V
+//! experiments — where the *parallel wall-clock* duration and resource
+//! utilization of a major compaction depend on the scheduling policy —
+//! this module converts a compaction's measured work into
+//! [`coroutine::CompactionTask`] traces and runs them under the
+//! configured policy.
+
+use coroutine::{CompactionTask, Policy, RunReport, Scheduler, SchedulerConfig, TraceParams};
+use sim::{Pcg64, SimDuration};
+
+/// Measured inputs of one major compaction.
+#[derive(Clone, Copy, Debug)]
+pub struct CompactionWork {
+    /// Bytes read from the inputs (PM level-0 + overlapping level-1).
+    pub input_bytes: u64,
+    /// Surviving output bytes written to the SSD.
+    pub output_bytes: u64,
+    /// Records merged.
+    pub records: u64,
+    /// Mean value size of the workload (sets the CPU/I-O balance).
+    pub value_size: u32,
+}
+
+impl CompactionWork {
+    /// Fraction of input discarded as duplicates.
+    pub fn dup_ratio(&self) -> f64 {
+        if self.input_bytes == 0 {
+            return 0.0;
+        }
+        (1.0 - self.output_bytes as f64 / self.input_bytes as f64)
+            .clamp(0.0, 0.95)
+    }
+}
+
+/// Report of a scheduled major compaction.
+#[derive(Clone, Debug)]
+pub struct MajorReport {
+    /// Parallel (scheduled) wall-clock duration.
+    pub scheduled: RunReport,
+    /// Synchronous device time the data movement itself charged.
+    pub device_time: SimDuration,
+}
+
+/// Derive per-task traces for this compaction and run them under `cfg`.
+///
+/// The compaction splitter assigns `c` worker threads and
+/// `k = max(⌊q/c⌋, 1)` coroutines each (§V-C), so the subtask count is
+/// `c·k` for the coroutine policies and `c` (one thread per core's task)
+/// under plain threads — mirroring how the paper parallelizes.
+pub fn schedule_major(
+    work: &CompactionWork,
+    cfg: SchedulerConfig,
+    seed: u64,
+) -> RunReport {
+    let k = ((cfg.max_io as usize) / cfg.cores.max(1)).max(1);
+    let subtasks = match cfg.policy {
+        Policy::OsThreads => cfg.cores.max(1) * k, // same total parallelism
+        _ => cfg.cores.max(1) * k,
+    };
+    let params = TraceParams {
+        input_bytes: work.input_bytes.max(1),
+        value_size: work.value_size,
+        dup_ratio: work.dup_ratio(),
+        ..TraceParams::default()
+    };
+    let tasks = split_tasks(&params, subtasks, seed);
+    Scheduler::new(cfg).run(&tasks)
+}
+
+fn split_tasks(
+    params: &TraceParams,
+    n: usize,
+    seed: u64,
+) -> Vec<CompactionTask> {
+    let mut rng = Pcg64::seeded(seed);
+    let share = TraceParams {
+        input_bytes: (params.input_bytes / n as u64).max(1),
+        ..*params
+    };
+    (0..n).map(|_| coroutine::trace::synthesize(&share, &mut rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn work() -> CompactionWork {
+        CompactionWork {
+            input_bytes: 4 << 20,
+            output_bytes: 3 << 20,
+            records: 4096,
+            value_size: 1024,
+        }
+    }
+
+    #[test]
+    fn dup_ratio_reflects_shrinkage() {
+        let w = work();
+        assert!((w.dup_ratio() - 0.25).abs() < 1e-9);
+        let none = CompactionWork { output_bytes: 4 << 20, ..w };
+        assert_eq!(none.dup_ratio(), 0.0);
+        let empty = CompactionWork { input_bytes: 0, ..w };
+        assert_eq!(empty.dup_ratio(), 0.0);
+        let expand = CompactionWork { output_bytes: 8 << 20, ..w };
+        assert_eq!(expand.dup_ratio(), 0.0, "growth clamps at zero");
+    }
+
+    #[test]
+    fn schedule_runs_under_all_policies() {
+        let w = work();
+        for policy in
+            [Policy::OsThreads, Policy::NaiveCoroutine, Policy::PmBlade]
+        {
+            let cfg = SchedulerConfig { policy, ..SchedulerConfig::default() };
+            let report = schedule_major(&w, cfg, 11);
+            assert!(report.duration > SimDuration::ZERO, "{policy:?}");
+            assert!(report.io_requests > 0);
+        }
+    }
+
+    #[test]
+    fn pmblade_policy_fastest_on_real_shape() {
+        let w = work();
+        let run = |policy| {
+            schedule_major(
+                &w,
+                SchedulerConfig { policy, ..SchedulerConfig::default() },
+                13,
+            )
+        };
+        let thread = run(Policy::OsThreads);
+        let pmblade = run(Policy::PmBlade);
+        assert!(pmblade.duration <= thread.duration);
+    }
+}

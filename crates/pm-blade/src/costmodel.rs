@@ -1,0 +1,316 @@
+//! The three compaction cost models (§IV-C, Table II, Algorithm 1).
+//!
+//! 1. **Read-amplification relief (Eq 1)** — trigger internal compaction
+//!    for partition `p_i` when the read time it would save per second
+//!    exceeds the compaction's own work rate:
+//!    `n̂ʳᵢ · (nᵢ/2) · I_b  >  I_p / t̂_p`.
+//! 2. **SSD write-amplification relief (Eq 2)** — trigger internal
+//!    compaction when the duplicate records it would remove save more
+//!    major-compaction cost than the internal pass costs:
+//!    `(n_bef − n_aft) · I_s  >  n_bef · I_p`, estimating
+//!    `n_bef ≈ nʷᵢ` and the removable duplicates by the observed update
+//!    count `nᵘᵢ` (so `n_aft ≈ nʷᵢ − nᵘᵢ`).
+//! 3. **Warm-data retention (Eq 3)** — at major compaction, keep the
+//!    hottest partitions in PM: maximize `Σ nʳᵢ` subject to
+//!    `Σ sᵢ ≤ τ_t`, solved greedily by read density `nʳᵢ / sᵢ`.
+
+use sim::{SimDuration, SimInstant};
+
+use crate::options::CostScalars;
+
+/// Per-partition access counters from Table II. The engine resets them
+/// when a compaction touches the partition ("re-zeroed when a major
+/// compaction or internal compaction occurs").
+#[derive(Clone, Debug)]
+pub struct PartitionCounters {
+    /// `n_i^r`: reads since the window started.
+    pub reads: u64,
+    /// `n_i^w`: writes since the window started.
+    pub writes: u64,
+    /// `n_i^u`: writes that overwrote an existing key (updates).
+    pub updates: u64,
+    /// Start of the observation window on the engine's virtual clock.
+    pub window_start: SimInstant,
+}
+
+impl PartitionCounters {
+    pub fn new(now: SimInstant) -> Self {
+        PartitionCounters { reads: 0, writes: 0, updates: 0, window_start: now }
+    }
+
+    /// `n̂_i^r`: reads per virtual second over the window.
+    pub fn read_rate(&self, now: SimInstant) -> f64 {
+        let secs = now.duration_since(self.window_start).as_secs_f64();
+        if secs <= 0.0 {
+            // A zero-length window with reads counts as very hot.
+            return if self.reads > 0 { f64::INFINITY } else { 0.0 };
+        }
+        self.reads as f64 / secs
+    }
+
+    /// Reset at compaction time.
+    pub fn reset(&mut self, now: SimInstant) {
+        *self = PartitionCounters::new(now);
+    }
+}
+
+/// Eq 1: should partition `p_i` run an internal compaction to relieve
+/// read amplification? `unsorted` is `n_i`.
+pub fn read_benefit_positive(
+    counters: &PartitionCounters,
+    unsorted: usize,
+    now: SimInstant,
+    scalars: &CostScalars,
+) -> bool {
+    if unsorted < 2 {
+        return false; // nothing to merge
+    }
+    let rate = counters.read_rate(now);
+    if rate == 0.0 {
+        return false;
+    }
+    let benefit_per_sec =
+        rate * (unsorted as f64 / 2.0) * scalars.binary_search.as_secs_f64();
+    let work_rate = scalars.internal_per_record.as_secs_f64()
+        / scalars.internal_time_per_record.as_secs_f64().max(1e-12);
+    benefit_per_sec > work_rate
+}
+
+/// Eq 2: does removing duplicates now save more major-compaction work
+/// than the internal pass costs?
+///
+/// The benefit side estimates removable duplicates from the window's
+/// update count (`n_aft ≈ n_w − n_u`, following the paper's use of the
+/// update counter); the cost side charges `I_p` for every record the
+/// internal pass must rewrite — the whole level-0 (`l0_records`), not
+/// just the window's writes, since compaction rewrites everything.
+pub fn write_benefit_positive(
+    counters: &PartitionCounters,
+    l0_records: usize,
+    scalars: &CostScalars,
+) -> bool {
+    if counters.writes == 0 || l0_records == 0 {
+        return false;
+    }
+    let removable = counters.updates.min(counters.writes) as f64;
+    let saved = removable * scalars.major_per_record.as_secs_f64();
+    let spent =
+        l0_records as f64 * scalars.internal_per_record.as_secs_f64();
+    saved > spent
+}
+
+/// One candidate for the Eq 3 knapsack.
+#[derive(Clone, Copy, Debug)]
+pub struct RetentionCandidate {
+    pub partition: usize,
+    /// `n_i^r` over the current window.
+    pub reads: u64,
+    /// `s_i`: PM bytes held.
+    pub bytes: usize,
+}
+
+/// Eq 3 (greedy): pick the partition set Φ to *retain* in PM, maximizing
+/// total reads subject to `Σ s_i ≤ budget`. Returns the partition ids to
+/// retain; everything else is the major-compaction victim set `P − Φ`.
+pub fn select_retained(
+    candidates: &[RetentionCandidate],
+    budget: usize,
+) -> Vec<usize> {
+    let mut sorted: Vec<&RetentionCandidate> = candidates.iter().collect();
+    // Greedy by read density n_i^r / s_i, ties broken toward smaller
+    // partitions (cheaper to keep).
+    sorted.sort_by(|a, b| {
+        let da = a.reads as f64 / a.bytes.max(1) as f64;
+        let db = b.reads as f64 / b.bytes.max(1) as f64;
+        db.partial_cmp(&da)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.bytes.cmp(&b.bytes))
+    });
+    let mut total = 0usize;
+    let mut retained = Vec::new();
+    for c in sorted {
+        if c.bytes == 0 {
+            continue; // nothing to retain
+        }
+        if total + c.bytes <= budget {
+            total += c.bytes;
+            retained.push(c.partition);
+        }
+    }
+    retained.sort_unstable();
+    retained
+}
+
+/// Convenience: expected read-cost saving per second for diagnostics.
+pub fn read_benefit_rate(
+    counters: &PartitionCounters,
+    unsorted: usize,
+    now: SimInstant,
+    scalars: &CostScalars,
+) -> SimDuration {
+    let rate = counters.read_rate(now);
+    if !rate.is_finite() {
+        return SimDuration::from_secs(1);
+    }
+    SimDuration::from_nanos(
+        (rate
+            * (unsorted as f64 / 2.0)
+            * scalars.binary_search.as_nanos() as f64) as u64,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim::SimDuration;
+
+    fn scalars() -> CostScalars {
+        CostScalars::default()
+    }
+
+    fn at(secs: u64) -> SimInstant {
+        SimInstant::ORIGIN + SimDuration::from_secs(secs)
+    }
+
+    #[test]
+    fn read_rate_is_reads_per_second() {
+        let mut c = PartitionCounters::new(SimInstant::ORIGIN);
+        c.reads = 500;
+        assert!((c.read_rate(at(10)) - 50.0).abs() < 1e-9);
+        // Zero-length window with reads → hot.
+        assert!(c.read_rate(SimInstant::ORIGIN).is_infinite());
+        c.reads = 0;
+        assert_eq!(c.read_rate(SimInstant::ORIGIN), 0.0);
+    }
+
+    #[test]
+    fn eq1_needs_reads_and_unsorted_tables() {
+        let s = scalars();
+        let mut c = PartitionCounters::new(SimInstant::ORIGIN);
+        // No reads: never trigger.
+        assert!(!read_benefit_positive(&c, 10, at(1), &s));
+        // Reads but only one unsorted table: nothing to merge.
+        c.reads = 1_000_000;
+        assert!(!read_benefit_positive(&c, 1, at(1), &s));
+        // Hot partition with many unsorted tables: trigger.
+        assert!(read_benefit_positive(&c, 8, at(1), &s));
+    }
+
+    #[test]
+    fn eq1_threshold_scales_with_read_rate() {
+        let s = scalars();
+        // Work rate = I_p/t_p = 0.05. Benefit = rate * n/2 * I_b.
+        // With n=4 and I_b=2us: rate must exceed 0.05/(2*2e-6) = 12.5k/s.
+        let mut cold = PartitionCounters::new(SimInstant::ORIGIN);
+        cold.reads = 5_000; // 5k/s over 1s
+        assert!(!read_benefit_positive(&cold, 4, at(1), &s));
+        let mut hot = PartitionCounters::new(SimInstant::ORIGIN);
+        hot.reads = 50_000; // 50k/s
+        assert!(read_benefit_positive(&hot, 4, at(1), &s));
+    }
+
+    #[test]
+    fn eq2_triggers_on_update_heavy_windows() {
+        let s = scalars();
+        let mut c = PartitionCounters::new(SimInstant::ORIGIN);
+        // I_s = 5us, I_p = 2us: need removable > l0_records * 2/5.
+        c.writes = 1000;
+        c.updates = 100; // 100 removable vs 1000 L0 records: not worth it
+        assert!(!write_benefit_positive(&c, 1000, &s));
+        c.updates = 500; // 500 removable: worth it
+        assert!(write_benefit_positive(&c, 1000, &s));
+        // A big L0 makes the same update count uneconomical.
+        assert!(!write_benefit_positive(&c, 10_000, &s));
+        // Empty window or empty L0 never triggers.
+        let empty = PartitionCounters::new(SimInstant::ORIGIN);
+        assert!(!write_benefit_positive(&empty, 1000, &s));
+        assert!(!write_benefit_positive(&c, 0, &s));
+    }
+
+    #[test]
+    fn knapsack_prefers_dense_partitions() {
+        let candidates = vec![
+            RetentionCandidate { partition: 0, reads: 100, bytes: 100 },
+            RetentionCandidate { partition: 1, reads: 1000, bytes: 100 },
+            RetentionCandidate { partition: 2, reads: 10, bytes: 100 },
+        ];
+        // Budget fits two.
+        let kept = select_retained(&candidates, 200);
+        assert_eq!(kept, vec![0, 1]);
+    }
+
+    #[test]
+    fn knapsack_respects_budget_exactly() {
+        let candidates = vec![
+            RetentionCandidate { partition: 0, reads: 50, bytes: 60 },
+            RetentionCandidate { partition: 1, reads: 49, bytes: 60 },
+        ];
+        // Only one fits.
+        assert_eq!(select_retained(&candidates, 100), vec![0]);
+        // Zero budget retains nothing.
+        assert!(select_retained(&candidates, 0).is_empty());
+        // Large budget retains all.
+        assert_eq!(select_retained(&candidates, 1000), vec![0, 1]);
+    }
+
+    #[test]
+    fn knapsack_skips_empty_partitions_and_greedy_fills_gaps() {
+        let candidates = vec![
+            RetentionCandidate { partition: 0, reads: 0, bytes: 0 },
+            RetentionCandidate { partition: 1, reads: 500, bytes: 90 },
+            RetentionCandidate { partition: 2, reads: 100, bytes: 10 },
+        ];
+        // Density: p2 (10/byte) > p1 (5.5/byte). Both fit in 100.
+        assert_eq!(select_retained(&candidates, 100), vec![1, 2]);
+        // Budget 50: p2 first (dense), p1 no longer fits.
+        assert_eq!(select_retained(&candidates, 50), vec![2]);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_knapsack_respects_budget_and_is_nonempty_when_possible(
+            sizes in proptest::collection::vec(1usize..10_000, 1..20),
+            reads in proptest::collection::vec(0u64..100_000, 1..20),
+            budget in 0usize..50_000,
+        ) {
+            let n = sizes.len().min(reads.len());
+            let candidates: Vec<RetentionCandidate> = (0..n)
+                .map(|i| RetentionCandidate {
+                    partition: i,
+                    reads: reads[i],
+                    bytes: sizes[i],
+                })
+                .collect();
+            let kept = select_retained(&candidates, budget);
+            // Budget respected.
+            let total: usize = kept
+                .iter()
+                .map(|&p| candidates[p].bytes)
+                .sum();
+            proptest::prop_assert!(total <= budget);
+            // Ids valid and unique.
+            let mut ids = kept.clone();
+            ids.dedup();
+            proptest::prop_assert_eq!(ids.len(), kept.len());
+            proptest::prop_assert!(kept.iter().all(|&p| p < n));
+            // If anything fits, the greedy picks something.
+            if candidates.iter().any(|c| c.bytes > 0 && c.bytes <= budget) {
+                proptest::prop_assert!(!kept.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn counters_reset_clears_window() {
+        let mut c = PartitionCounters::new(SimInstant::ORIGIN);
+        c.reads = 10;
+        c.writes = 20;
+        c.updates = 5;
+        c.reset(at(3));
+        assert_eq!(c.reads, 0);
+        assert_eq!(c.writes, 0);
+        assert_eq!(c.updates, 0);
+        assert_eq!(c.window_start, at(3));
+    }
+}

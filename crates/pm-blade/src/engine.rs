@@ -1,0 +1,938 @@
+//! The engine facade.
+//!
+//! [`Db`] is a single-writer engine over virtual time: every public
+//! operation returns the virtual latency it cost, and a logical clock
+//! advances by each operation's duration so the cost models can compute
+//! access *rates*. Background work (flushes, compactions) is executed
+//! inline at the trigger points of Algorithm 1, with its time recorded
+//! in a compaction log rather than the foreground latency.
+
+use std::sync::Arc;
+
+use encoding::key::{KeyKind, SequenceNumber};
+use memtable::{Wal, WalRecord};
+use pm_device::{PmError, PmPool};
+use sim::{SimDuration, SimInstant, Timeline};
+use sstable::BlockCache;
+use ssd_device::{SsdDevice, SsdError};
+
+use crate::compaction::CompactionWork;
+use crate::costmodel::{
+    read_benefit_positive, select_retained, write_benefit_positive,
+    RetentionCandidate,
+};
+use crate::options::{Mode, Options};
+use crate::partition::{Level0, Partition};
+use crate::stats::{EngineStats, ReadSource};
+
+/// Engine errors.
+#[derive(Debug)]
+pub enum DbError {
+    Pm(PmError),
+    Ssd(SsdError),
+    Table(sstable::table::TableError),
+    Wal(memtable::WalError),
+    Corrupt(String),
+}
+
+impl std::fmt::Display for DbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DbError::Pm(e) => write!(f, "pm: {e}"),
+            DbError::Ssd(e) => write!(f, "ssd: {e}"),
+            DbError::Table(e) => write!(f, "table: {e}"),
+            DbError::Wal(e) => write!(f, "wal: {e}"),
+            DbError::Corrupt(msg) => write!(f, "corrupt: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<PmError> for DbError {
+    fn from(e: PmError) -> Self {
+        DbError::Pm(e)
+    }
+}
+
+impl From<SsdError> for DbError {
+    fn from(e: SsdError) -> Self {
+        DbError::Ssd(e)
+    }
+}
+
+impl From<sstable::table::TableError> for DbError {
+    fn from(e: sstable::table::TableError) -> Self {
+        DbError::Table(e)
+    }
+}
+
+impl From<memtable::WalError> for DbError {
+    fn from(e: memtable::WalError) -> Self {
+        DbError::Wal(e)
+    }
+}
+
+/// Rows plus virtual latency from a range scan.
+pub type ScanResult = (Vec<(Vec<u8>, Vec<u8>)>, SimDuration);
+
+/// Result of a point read.
+#[derive(Clone, Debug)]
+pub struct ReadOutcome {
+    /// The value, if the key is live.
+    pub value: Option<Vec<u8>>,
+    /// Which tier answered.
+    pub source: ReadSource,
+    /// Virtual latency of the read.
+    pub latency: SimDuration,
+}
+
+/// One background-compaction record.
+#[derive(Clone, Debug)]
+pub struct CompactionEvent {
+    pub kind: CompactionKind,
+    pub partition: usize,
+    pub duration: SimDuration,
+    /// For major compactions: the measured work (drives §V scheduling).
+    pub work: Option<CompactionWork>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CompactionKind {
+    Minor,
+    Internal,
+    Major,
+}
+
+/// The PM-Blade storage engine.
+pub struct Db {
+    opts: Options,
+    pub(crate) partitions: Vec<Partition>,
+    pool: Arc<PmPool>,
+    device: Arc<SsdDevice>,
+    cache: Arc<BlockCache>,
+    seq: SequenceNumber,
+    clock: SimInstant,
+    table_counter: u64,
+    stats: EngineStats,
+    compaction_log: Vec<CompactionEvent>,
+    wal: Option<Wal>,
+    /// Mean value size observed (drives compaction trace balance).
+    value_bytes_sum: u64,
+    value_count: u64,
+}
+
+impl Db {
+    /// Open an engine with the given options.
+    pub fn open(opts: Options) -> Result<Db, DbError> {
+        let pool = PmPool::new(opts.pm_capacity, opts.cost);
+        let device = SsdDevice::new(opts.cost);
+        let cache = Arc::new(BlockCache::new(opts.block_cache_bytes));
+        let now = SimInstant::ORIGIN;
+        let partitions = (0..opts.partitioner.count())
+            .map(|id| Partition::new(id, &opts, now))
+            .collect();
+        let mut db = Db {
+            partitions,
+            pool,
+            device,
+            cache,
+            seq: 0,
+            clock: now,
+            table_counter: 0,
+            stats: EngineStats::default(),
+            compaction_log: Vec::new(),
+            wal: None,
+            value_bytes_sum: 0,
+            value_count: 0,
+            opts,
+        };
+        db.init_wal()?;
+        Ok(db)
+    }
+
+    fn init_wal(&mut self) -> Result<(), DbError> {
+        let Some(dir) = self.opts.wal_dir.clone() else {
+            return Ok(());
+        };
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| DbError::Corrupt(format!("wal dir: {e}")))?;
+        let path = dir.join("engine.wal");
+        // Replay whatever survived the last run.
+        if path.exists() {
+            let mut tl = Timeline::new();
+            for rec in Wal::replay(&path)? {
+                self.seq = self.seq.max(rec.seq);
+                let pid = self.opts.partitioner.locate(&rec.user_key);
+                self.partitions[pid].mem.insert(
+                    &rec.user_key,
+                    rec.seq,
+                    rec.kind,
+                    &rec.value,
+                    &mut tl,
+                );
+            }
+        }
+        // Keep appending to the surviving log: truncating here would
+        // lose the replayed records if the process crashed again before
+        // the next flush. Real deployments rotate at checkpoints.
+        self.wal = Some(Wal::open_append(path, self.opts.cost)?);
+        Ok(())
+    }
+
+    // ---------------------------------------------------------------
+    // Accessors
+    // ---------------------------------------------------------------
+
+    pub fn options(&self) -> &Options {
+        &self.opts
+    }
+
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    pub fn pm_pool(&self) -> &PmPool {
+        &self.pool
+    }
+
+    pub fn ssd(&self) -> &Arc<SsdDevice> {
+        &self.device
+    }
+
+    pub fn block_cache(&self) -> &Arc<BlockCache> {
+        &self.cache
+    }
+
+    pub fn compaction_log(&self) -> &[CompactionEvent] {
+        &self.compaction_log
+    }
+
+    /// Current logical clock.
+    pub fn now(&self) -> SimInstant {
+        self.clock
+    }
+
+    /// Latest sequence number (usable as a snapshot).
+    pub fn snapshot(&self) -> SequenceNumber {
+        self.seq
+    }
+
+    /// Total PM bytes in use.
+    pub fn pm_used(&self) -> usize {
+        self.pool.used()
+    }
+
+    /// Write amplification to date: `(pm_bytes, ssd_bytes, user_bytes)`.
+    pub fn write_amplification(&self) -> (u64, u64, u64) {
+        (
+            self.pool.stats().bytes_written.get(),
+            self.device.stats().bytes_written.get(),
+            self.stats.user_bytes_written.get(),
+        )
+    }
+
+    /// Mean observed value size (fallback 1 KiB).
+    pub fn mean_value_size(&self) -> u32 {
+        self.value_bytes_sum
+            .checked_div(self.value_count)
+            .map(|v| v as u32)
+            .unwrap_or(1024)
+    }
+
+    fn advance(&mut self, d: SimDuration) {
+        self.clock += d;
+    }
+
+    // ---------------------------------------------------------------
+    // Foreground operations
+    // ---------------------------------------------------------------
+
+    /// Insert or update a key.
+    pub fn put(
+        &mut self,
+        user_key: &[u8],
+        value: &[u8],
+    ) -> Result<SimDuration, DbError> {
+        self.write(user_key, value, KeyKind::Value)
+    }
+
+    /// Delete a key (writes a tombstone).
+    pub fn delete(&mut self, user_key: &[u8]) -> Result<SimDuration, DbError> {
+        self.stats.deletes.incr();
+        self.write(user_key, b"", KeyKind::Delete)
+    }
+
+    fn write(
+        &mut self,
+        user_key: &[u8],
+        value: &[u8],
+        kind: KeyKind,
+    ) -> Result<SimDuration, DbError> {
+        let mut tl = Timeline::new();
+        self.seq += 1;
+        let seq = self.seq;
+        if let Some(wal) = &mut self.wal {
+            wal.append(
+                &WalRecord {
+                    seq,
+                    kind,
+                    user_key: user_key.to_vec(),
+                    value: value.to_vec(),
+                },
+                &mut tl,
+            )?;
+        }
+        let pid = self.opts.partitioner.locate(user_key);
+        let partition = &mut self.partitions[pid];
+        partition.note_write(user_key);
+        partition.mem.insert(user_key, seq, kind, value, &mut tl);
+        self.stats.puts.incr();
+        self.stats
+            .user_bytes_written
+            .add((user_key.len() + value.len()) as u64);
+        if kind == KeyKind::Value {
+            self.value_bytes_sum += value.len() as u64;
+            self.value_count += 1;
+        }
+        let fg = tl.elapsed();
+        self.advance(fg);
+        if self.partitions[pid].mem.approximate_size()
+            >= self.opts.memtable_bytes
+        {
+            self.flush_partition(pid)?;
+        }
+        Ok(fg)
+    }
+
+    /// Point read at the latest snapshot.
+    pub fn get(&mut self, user_key: &[u8]) -> Result<ReadOutcome, DbError> {
+        self.get_at(user_key, SequenceNumber::MAX)
+    }
+
+    /// Point read at a snapshot.
+    pub fn get_at(
+        &mut self,
+        user_key: &[u8],
+        snapshot: SequenceNumber,
+    ) -> Result<ReadOutcome, DbError> {
+        let mut tl = Timeline::new();
+        let pid = self.opts.partitioner.locate(user_key);
+        let partition = &mut self.partitions[pid];
+        partition.counters.reads += 1;
+        let (hit, source) = partition.get(user_key, snapshot, &mut tl);
+        self.stats.note_read(source);
+        let latency = tl.elapsed();
+        self.advance(latency);
+        Ok(ReadOutcome {
+            value: hit.and_then(|l| l.into_value()),
+            source,
+            latency,
+        })
+    }
+
+    /// Range scan over `[start, end)`, at most `limit` live entries.
+    /// Returns the live `(key, value)` rows plus the scan's virtual
+    /// latency.
+    pub fn scan(
+        &mut self,
+        start: &[u8],
+        end: Option<&[u8]>,
+        limit: usize,
+    ) -> Result<ScanResult, DbError> {
+        let mut tl = Timeline::new();
+        self.stats.scans.incr();
+        let first_pid = self.opts.partitioner.locate(start);
+        let last_pid = end
+            .map(|e| self.opts.partitioner.locate(e))
+            .unwrap_or(self.partitions.len() - 1);
+        let mut out = Vec::new();
+        for pid in first_pid..=last_pid {
+            let partition = &mut self.partitions[pid];
+            partition.counters.reads += 1;
+            let remaining = limit - out.len();
+            // Per-source limits count raw entries, but shadowed versions
+            // and tombstones are dropped by the merge — so a truncated
+            // source can starve the result. Over-fetch adaptively until
+            // either enough live rows surface or every source is
+            // exhausted; only the successful pass is charged (an
+            // iterator-based scan would make exactly one).
+            let mut per_source = remaining.max(1);
+            let merged = loop {
+                let mut attempt = Timeline::new();
+                let sources =
+                    partition.scan_sources(start, end, per_source, &mut attempt);
+                // Merged results are only complete up to the smallest
+                // last key among truncated sources (beyond it, a
+                // truncated source may be hiding smaller keys than what
+                // other sources contributed).
+                let mut bound: Option<Vec<u8>> = None;
+                for s in &sources {
+                    if s.len() >= per_source {
+                        if let Some(last) = s.last() {
+                            let k = last.user_key.clone();
+                            bound = Some(match bound.take() {
+                                Some(b) if b <= k => b,
+                                _ => k,
+                            });
+                        }
+                    }
+                }
+                let mut merged = crate::handle::merge_dedup(
+                    sources,
+                    false,
+                    &self.opts.cost,
+                    &mut attempt,
+                );
+                if let Some(b) = &bound {
+                    merged.retain(|e| e.user_key.as_slice() <= b.as_slice());
+                }
+                let live = merged
+                    .iter()
+                    .filter(|e| e.kind == KeyKind::Value)
+                    .count();
+                if live >= remaining
+                    || bound.is_none()
+                    || per_source >= usize::MAX / 8
+                {
+                    tl.charge(attempt.elapsed());
+                    break merged;
+                }
+                per_source *= 4;
+            };
+            for entry in merged {
+                if out.len() >= limit {
+                    break;
+                }
+                if entry.kind == KeyKind::Value {
+                    out.push((entry.user_key, entry.value));
+                }
+            }
+            if out.len() >= limit {
+                break;
+            }
+        }
+        let latency = tl.elapsed();
+        self.advance(latency);
+        Ok((out, latency))
+    }
+
+    // ---------------------------------------------------------------
+    // Compaction driving (Algorithm 1)
+    // ---------------------------------------------------------------
+
+    /// Freeze + flush one partition's memtable, then apply the
+    /// compaction strategy.
+    pub fn flush_partition(&mut self, pid: usize) -> Result<(), DbError> {
+        let mut tl = Timeline::new();
+        if let Some(wal) = &mut self.wal {
+            wal.sync(&mut tl)?;
+        }
+        let report = self.partitions[pid].minor_compaction(
+            &self.opts,
+            &self.pool,
+            &self.device,
+            &self.cache,
+            &mut self.table_counter,
+            &mut tl,
+        )?;
+        if report.is_some() {
+            self.stats.minor_compactions.incr();
+            let d = tl.elapsed();
+            self.advance(d);
+            self.compaction_log.push(CompactionEvent {
+                kind: CompactionKind::Minor,
+                partition: pid,
+                duration: d,
+                work: None,
+            });
+            self.apply_strategy(pid)?;
+        }
+        Ok(())
+    }
+
+    /// Flush every partition (shutdown / bench boundary).
+    pub fn flush_all(&mut self) -> Result<(), DbError> {
+        for pid in 0..self.partitions.len() {
+            self.flush_partition(pid)?;
+        }
+        Ok(())
+    }
+
+    /// Algorithm 1: run after a PM table lands in partition `pid`.
+    fn apply_strategy(&mut self, pid: usize) -> Result<(), DbError> {
+        match self.opts.mode {
+            Mode::PmBlade => {
+                let now = self.clock;
+                let partition = &self.partitions[pid];
+                let unsorted = partition.unsorted_count();
+                let hard = unsorted >= self.opts.l0_unsorted_hard_cap;
+                // Line 1-3: Eq 1 — read-amplification relief.
+                let eq1 = read_benefit_positive(
+                    &partition.counters,
+                    unsorted,
+                    now,
+                    &self.opts.scalars,
+                );
+                // Line 4-6: Eq 2 — write-amplification relief, gated on
+                // the partition exceeding τ_w.
+                let l0_records = match &partition.level0 {
+                    crate::partition::Level0::Pm(l0) => l0.entries(),
+                    _ => 0,
+                };
+                let eq2 = partition.pm_bytes() >= self.opts.tau_w
+                    && write_benefit_positive(
+                        &partition.counters,
+                        l0_records,
+                        &self.opts.scalars,
+                    );
+                if (eq1 || eq2 || hard) && unsorted >= 2 {
+                    self.run_internal_compaction(pid)?;
+                }
+                // Line 7-9: Eq 3 — major compaction with retention.
+                if self.pool.used() >= self.opts.tau_m {
+                    self.run_major_with_retention()?;
+                }
+            }
+            Mode::PmBladePm => {
+                // Conventional strategy (the paper's PMBlade-PM): no
+                // internal compaction; when the number of PM tables hits
+                // the RocksDB-style count threshold, the whole level-0
+                // is compacted to level-1 — leaving the PM capacity
+                // underutilized, exactly the behaviour the paper
+                // criticises.
+                if self.partitions[pid].unsorted_count()
+                    >= self.opts.l0_table_trigger
+                    || self.pool.used() >= self.opts.tau_m
+                {
+                    self.run_major_compaction(pid)?;
+                }
+            }
+            Mode::MatrixKv => {
+                // Column compaction drains the container when PM fills;
+                // no retention.
+                if self.pool.used() >= self.opts.tau_m {
+                    for pid in 0..self.partitions.len() {
+                        self.run_major_compaction(pid)?;
+                    }
+                }
+            }
+            Mode::SsdLevel0 => {
+                if self.partitions[pid].ssd_l0_full(self.opts.l0_table_trigger)
+                {
+                    self.run_major_compaction(pid)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Run an internal compaction on one partition now.
+    ///
+    /// Internal compaction publishes the new sorted run before releasing
+    /// the old tables, so it needs PM headroom; when the pool cannot fit
+    /// the new run the engine falls back to a major compaction, which
+    /// frees the partition's PM space instead.
+    pub fn run_internal_compaction(&mut self, pid: usize) -> Result<(), DbError> {
+        let mut tl = Timeline::new();
+        let result = match self.partitions[pid].internal_compaction(
+            &self.opts,
+            &self.pool,
+            &mut tl,
+        ) {
+            Ok(r) => r,
+            Err(DbError::Pm(PmError::OutOfSpace { .. })) => {
+                return self.run_major_compaction(pid);
+            }
+            Err(e) => return Err(e),
+        };
+        if let Some((before, after, released)) = result {
+            self.stats.internal_compactions.incr();
+            self.stats.internal_space_released.add(released as u64);
+            self.stats
+                .internal_dropped_records
+                .add((before - after) as u64);
+            let now = self.clock;
+            self.partitions[pid].counters.reset(now);
+            let d = tl.elapsed();
+            self.advance(d);
+            self.compaction_log.push(CompactionEvent {
+                kind: CompactionKind::Internal,
+                partition: pid,
+                duration: d,
+                work: None,
+            });
+        }
+        Ok(())
+    }
+
+    /// Major-compact one partition (its whole level-0 into level-1).
+    pub fn run_major_compaction(&mut self, pid: usize) -> Result<(), DbError> {
+        let mut tl = Timeline::new();
+        let pm_read_before = self.pool.stats().bytes_read.get();
+        let ssd_written_before = self.device.stats().bytes_written.get();
+        let records = match &self.partitions[pid].level0 {
+            Level0::Pm(l0) => l0.entries(),
+            Level0::Matrix(m) => m.entries(),
+            Level0::Ssd(tables) => tables.len() * 1000,
+        } as u64;
+        let deleted = self.partitions[pid].major_compaction(
+            &self.opts,
+            &self.pool,
+            &self.device,
+            &self.cache,
+            &mut self.table_counter,
+            &mut tl,
+        )?;
+        for name in deleted {
+            let _ = self.device.delete(&name);
+            self.cache.purge_table(sstable::cache::table_id(&name));
+        }
+        self.stats.major_compactions.incr();
+        let now = self.clock;
+        self.partitions[pid].counters.reset(now);
+        let d = tl.elapsed();
+        self.advance(d);
+        let work = CompactionWork {
+            input_bytes: self.pool.stats().bytes_read.get() - pm_read_before,
+            output_bytes: self.device.stats().bytes_written.get()
+                - ssd_written_before,
+            records,
+            value_size: self.mean_value_size(),
+        };
+        self.compaction_log.push(CompactionEvent {
+            kind: CompactionKind::Major,
+            partition: pid,
+            duration: d,
+            work: Some(work),
+        });
+        Ok(())
+    }
+
+    /// Eq 3: keep the hottest partitions in PM, compact the rest, and
+    /// keep evicting colder retained partitions until PM is below τ_m.
+    pub fn run_major_with_retention(&mut self) -> Result<(), DbError> {
+        let candidates: Vec<RetentionCandidate> = self
+            .partitions
+            .iter()
+            .map(|p| RetentionCandidate {
+                partition: p.id,
+                reads: p.counters.reads,
+                bytes: p.pm_bytes(),
+            })
+            .collect();
+        let retained = select_retained(&candidates, self.opts.tau_t);
+        let victims: Vec<usize> = self
+            .partitions
+            .iter()
+            .map(|p| p.id)
+            .filter(|id| !retained.contains(id))
+            .collect();
+        for pid in victims {
+            if self.partitions[pid].pm_bytes() > 0 {
+                self.run_major_compaction(pid)?;
+            }
+        }
+        // Safety: if the retained set alone still exceeds τ_m (e.g. a
+        // single enormous partition), evict coldest-first until it fits.
+        if self.pool.used() >= self.opts.tau_m {
+            let mut by_density: Vec<usize> = retained;
+            by_density.sort_by(|&a, &b| {
+                let da = self.partitions[a].counters.reads as f64
+                    / self.partitions[a].pm_bytes().max(1) as f64;
+                let db = self.partitions[b].counters.reads as f64
+                    / self.partitions[b].pm_bytes().max(1) as f64;
+                da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            for pid in by_density {
+                if self.pool.used() < self.opts.tau_m {
+                    break;
+                }
+                self.run_major_compaction(pid)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for Db {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Db")
+            .field("mode", &self.opts.mode)
+            .field("partitions", &self.partitions.len())
+            .field("seq", &self.seq)
+            .field("pm_used", &self.pool.used())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::Partitioner;
+
+    fn small_opts(mode: Mode) -> Options {
+        Options {
+            mode,
+            pm_capacity: 1 << 20,
+            memtable_bytes: 8 << 10,
+            tau_w: 16 << 10,
+            tau_m: 768 << 10,
+            tau_t: 384 << 10,
+            l1_target: 256 << 10,
+            max_table_bytes: 64 << 10,
+            ..Options::default()
+        }
+    }
+
+    fn fill(db: &mut Db, n: usize, vlen: usize, tag: &str) {
+        for i in 0..n {
+            let k = format!("key{:08}", i);
+            let v = format!("{tag}-{}", "x".repeat(vlen));
+            db.put(k.as_bytes(), v.as_bytes()).unwrap();
+        }
+    }
+
+    #[test]
+    fn put_get_roundtrip_through_memtable() {
+        let mut db = Db::open(small_opts(Mode::PmBlade)).unwrap();
+        db.put(b"hello", b"world").unwrap();
+        let out = db.get(b"hello").unwrap();
+        assert_eq!(out.value.as_deref(), Some(&b"world"[..]));
+        assert_eq!(out.source, ReadSource::MemTable);
+        assert!(out.latency > SimDuration::ZERO);
+        assert_eq!(db.get(b"missing").unwrap().value, None);
+    }
+
+    #[test]
+    fn flush_moves_data_to_pm() {
+        let mut db = Db::open(small_opts(Mode::PmBlade)).unwrap();
+        fill(&mut db, 100, 100, "a");
+        db.flush_all().unwrap();
+        assert!(db.pm_used() > 0);
+        let out = db.get(b"key00000050").unwrap();
+        assert_eq!(out.source, ReadSource::Pm);
+        assert!(out.value.is_some());
+        assert!(db.stats().minor_compactions.get() >= 1);
+    }
+
+    #[test]
+    fn updates_supersede_and_deletes_hide() {
+        let mut db = Db::open(small_opts(Mode::PmBlade)).unwrap();
+        db.put(b"k", b"v1").unwrap();
+        db.put(b"k", b"v2").unwrap();
+        assert_eq!(db.get(b"k").unwrap().value.as_deref(), Some(&b"v2"[..]));
+        db.delete(b"k").unwrap();
+        assert_eq!(db.get(b"k").unwrap().value, None);
+        // Across a flush too.
+        db.put(b"p", b"q").unwrap();
+        db.flush_all().unwrap();
+        db.delete(b"p").unwrap();
+        db.flush_all().unwrap();
+        assert_eq!(db.get(b"p").unwrap().value, None);
+    }
+
+    #[test]
+    fn snapshot_reads_see_past_versions() {
+        let mut db = Db::open(small_opts(Mode::PmBlade)).unwrap();
+        db.put(b"k", b"old").unwrap();
+        let snap = db.snapshot();
+        db.put(b"k", b"new").unwrap();
+        assert_eq!(
+            db.get_at(b"k", snap).unwrap().value.as_deref(),
+            Some(&b"old"[..])
+        );
+        assert_eq!(db.get(b"k").unwrap().value.as_deref(), Some(&b"new"[..]));
+    }
+
+    #[test]
+    fn writes_trigger_automatic_flush_and_internal_compaction() {
+        let mut opts = small_opts(Mode::PmBlade);
+        opts.l0_unsorted_hard_cap = 3;
+        let mut db = Db::open(opts).unwrap();
+        // Enough data for multiple memtable freezes.
+        fill(&mut db, 1500, 64, "x");
+        assert!(db.stats().minor_compactions.get() >= 3);
+        assert!(
+            db.stats().internal_compactions.get() >= 1,
+            "hard cap must force internal compaction"
+        );
+        // Everything still readable.
+        for i in (0..1500).step_by(173) {
+            let k = format!("key{:08}", i);
+            assert!(
+                db.get(k.as_bytes()).unwrap().value.is_some(),
+                "missing {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn pm_pressure_triggers_major_compaction() {
+        let mut opts = small_opts(Mode::PmBlade);
+        opts.tau_m = 128 << 10;
+        opts.tau_t = 64 << 10;
+        let mut db = Db::open(opts).unwrap();
+        fill(&mut db, 3000, 64, "y");
+        assert!(
+            db.stats().major_compactions.get() >= 1,
+            "PM pressure must force major compaction"
+        );
+        assert!(db.ssd().stats().bytes_written.get() > 0);
+        for i in (0..3000).step_by(311) {
+            let k = format!("key{:08}", i);
+            assert!(db.get(k.as_bytes()).unwrap().value.is_some());
+        }
+    }
+
+    #[test]
+    fn rocksdb_mode_uses_ssd_level0() {
+        let mut db = Db::open(small_opts(Mode::SsdLevel0)).unwrap();
+        fill(&mut db, 600, 64, "r");
+        db.flush_all().unwrap();
+        assert_eq!(db.pm_used(), 0, "no PM in SSD-L0 mode");
+        assert!(db.ssd().stats().bytes_written.get() > 0);
+        let out = db.get(b"key00000100").unwrap();
+        assert!(out.value.is_some());
+        assert_eq!(out.source, ReadSource::Ssd);
+    }
+
+    #[test]
+    fn matrixkv_mode_round_trips() {
+        let mut db = Db::open(small_opts(Mode::MatrixKv)).unwrap();
+        fill(&mut db, 800, 64, "m");
+        db.flush_all().unwrap();
+        assert!(db.pm_used() > 0);
+        for i in (0..800).step_by(97) {
+            let k = format!("key{:08}", i);
+            assert!(db.get(k.as_bytes()).unwrap().value.is_some());
+        }
+    }
+
+    #[test]
+    fn scan_merges_tiers_in_order() {
+        let mut db = Db::open(small_opts(Mode::PmBlade)).unwrap();
+        for i in 0..50 {
+            db.put(format!("a{:04}", i).as_bytes(), b"old").unwrap();
+        }
+        db.flush_all().unwrap();
+        // Overwrite a few in the memtable.
+        db.put(b"a0010", b"new").unwrap();
+        db.delete(b"a0011").unwrap();
+        let (items, latency) =
+            db.scan(b"a0005", Some(b"a0015"), 100).unwrap();
+        let keys: Vec<String> = items
+            .iter()
+            .map(|(k, _)| String::from_utf8(k.clone()).unwrap())
+            .collect();
+        assert_eq!(keys.len(), 9, "10 keys minus 1 tombstone: {keys:?}");
+        assert!(!keys.contains(&"a0011".to_string()));
+        let val = &items[5]; // a0010
+        assert_eq!(val.0, b"a0010");
+        assert_eq!(val.1, b"new");
+        assert!(latency > SimDuration::ZERO);
+        // Sorted output.
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn scan_respects_limit() {
+        let mut db = Db::open(small_opts(Mode::PmBlade)).unwrap();
+        for i in 0..100 {
+            db.put(format!("s{:04}", i).as_bytes(), b"v").unwrap();
+        }
+        let (items, _) = db.scan(b"s", None, 7).unwrap();
+        assert_eq!(items.len(), 7);
+    }
+
+    #[test]
+    fn partitioned_engine_routes_and_scans_across_partitions() {
+        let mut opts = small_opts(Mode::PmBlade);
+        opts.partitioner =
+            Partitioner::Ranges(vec![b"key00000500".to_vec()]);
+        let mut db = Db::open(opts).unwrap();
+        fill(&mut db, 1000, 32, "p");
+        db.flush_all().unwrap();
+        assert!(db.get(b"key00000100").unwrap().value.is_some());
+        assert!(db.get(b"key00000900").unwrap().value.is_some());
+        // Scan spanning the boundary.
+        let (items, _) =
+            db.scan(b"key00000490", Some(b"key00000510"), 100).unwrap();
+        assert_eq!(items.len(), 20);
+    }
+
+    #[test]
+    fn write_amplification_accounting_sane() {
+        let mut opts = small_opts(Mode::PmBlade);
+        opts.tau_m = 128 << 10;
+        let mut db = Db::open(opts).unwrap();
+        fill(&mut db, 2000, 64, "w");
+        db.flush_all().unwrap();
+        let (pm, ssd, user) = db.write_amplification();
+        assert!(user > 0);
+        assert!(pm > 0, "flushes write PM");
+        // Amplification factor must exceed 1 once compactions happened.
+        assert!(pm + ssd >= user, "pm {pm} ssd {ssd} user {user}");
+    }
+
+    #[test]
+    fn wal_recovery_restores_unflushed_writes() {
+        let dir = std::env::temp_dir()
+            .join(format!("pmblade-engine-wal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut opts = small_opts(Mode::PmBlade);
+        opts.wal_dir = Some(dir.clone());
+        {
+            let mut db = Db::open(opts.clone()).unwrap();
+            db.put(b"durable", b"yes").unwrap();
+            db.delete(b"gone").unwrap();
+            if let Some(wal) = &mut db.wal {
+                let mut tl = Timeline::new();
+                wal.sync(&mut tl).unwrap();
+            }
+            // Drop without flushing: memtable contents only in the WAL.
+        }
+        let mut db2 = Db::open(opts).unwrap();
+        assert_eq!(
+            db2.get(b"durable").unwrap().value.as_deref(),
+            Some(&b"yes"[..])
+        );
+        assert_eq!(db2.get(b"gone").unwrap().value, None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_log_records_events() {
+        let mut opts = small_opts(Mode::PmBlade);
+        opts.tau_m = 128 << 10;
+        opts.l0_unsorted_hard_cap = 2;
+        let mut db = Db::open(opts).unwrap();
+        fill(&mut db, 2000, 64, "c");
+        let kinds: std::collections::HashSet<_> =
+            db.compaction_log().iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&CompactionKind::Minor));
+        assert!(kinds.contains(&CompactionKind::Internal));
+        assert!(kinds.contains(&CompactionKind::Major));
+        // Major events carry work descriptions.
+        assert!(db
+            .compaction_log()
+            .iter()
+            .filter(|e| e.kind == CompactionKind::Major)
+            .all(|e| e.work.is_some()));
+    }
+
+    #[test]
+    fn pm_hit_ratio_reflects_tiering() {
+        let mut db = Db::open(small_opts(Mode::PmBlade)).unwrap();
+        fill(&mut db, 200, 64, "h");
+        db.flush_all().unwrap();
+        for i in 0..200 {
+            let k = format!("key{:08}", i);
+            db.get(k.as_bytes()).unwrap();
+        }
+        // Nothing was major-compacted: everything served from PM.
+        assert!(db.stats().pm_hit_ratio() > 0.99);
+    }
+}

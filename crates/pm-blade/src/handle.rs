@@ -1,0 +1,323 @@
+//! Table handles and merge utilities shared by the compaction paths.
+
+use std::sync::Arc;
+
+use encoding::key::SequenceNumber;
+use pm_device::{PmPool, PmRegion, RegionId};
+use pmtable::{L0Table, OwnedEntry, PmTable, PmTableBuilder, PmTableOptions};
+use sim::Timeline;
+use sstable::SsTable;
+
+/// A PM table resident in level-0.
+#[derive(Clone)]
+pub struct PmTableHandle {
+    pub table: Arc<PmTable<PmRegion>>,
+    pub region: RegionId,
+    pub first: Vec<u8>,
+    pub last: Vec<u8>,
+    pub entries: usize,
+    pub bytes: usize,
+    /// Largest sequence stored; newer tables shadow older ones.
+    pub max_seq: SequenceNumber,
+}
+
+impl PmTableHandle {
+    /// Could this table contain `key`?
+    pub fn overlaps_key(&self, key: &[u8]) -> bool {
+        self.first.as_slice() <= key && key <= self.last.as_slice()
+    }
+
+    /// Does this table's range intersect `[start, end)`?
+    pub fn overlaps_range(&self, start: &[u8], end: Option<&[u8]>) -> bool {
+        let after_start = self.last.as_slice() >= start;
+        let before_end =
+            end.is_none_or(|e| self.first.as_slice() < e);
+        after_start && before_end
+    }
+}
+
+impl std::fmt::Debug for PmTableHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PmTableHandle")
+            .field("region", &self.region)
+            .field("entries", &self.entries)
+            .field("bytes", &self.bytes)
+            .finish()
+    }
+}
+
+/// An SSTable resident in an SSD level.
+#[derive(Clone)]
+pub struct SsTableHandle {
+    pub table: Arc<SsTable>,
+    pub name: String,
+    pub first: Vec<u8>,
+    pub last: Vec<u8>,
+    pub bytes: u64,
+    pub max_seq: SequenceNumber,
+}
+
+impl SsTableHandle {
+    pub fn overlaps_key(&self, key: &[u8]) -> bool {
+        self.first.as_slice() <= key && key <= self.last.as_slice()
+    }
+
+    pub fn overlaps_range(&self, start: &[u8], end: Option<&[u8]>) -> bool {
+        let after_start = self.last.as_slice() >= start;
+        let before_end =
+            end.is_none_or(|e| self.first.as_slice() < e);
+        after_start && before_end
+    }
+
+    pub fn overlaps_handle_range(&self, first: &[u8], last: &[u8]) -> bool {
+        self.first.as_slice() <= last && first <= self.last.as_slice()
+    }
+}
+
+impl std::fmt::Debug for SsTableHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SsTableHandle")
+            .field("name", &self.name)
+            .field("bytes", &self.bytes)
+            .finish()
+    }
+}
+
+/// Merge N entry streams (each internally sorted by internal key) into
+/// one deduplicated stream: newest version per user key survives;
+/// tombstones survive unless `drop_tombstones`.
+///
+/// `sources` must be ordered so that ties cannot occur (sequences are
+/// globally unique). Charges merge CPU per input record to `tl`.
+pub fn merge_dedup(
+    mut sources: Vec<Vec<OwnedEntry>>,
+    drop_tombstones: bool,
+    cost: &sim::CostModel,
+    tl: &mut Timeline,
+) -> Vec<OwnedEntry> {
+    let total: usize = sources.iter().map(|s| s.len()).sum();
+    tl.charge(sim::SimDuration::from_nanos(
+        cost.cpu.merge_per_entry.as_nanos() * total as u64,
+    ));
+    let mut merged: Vec<OwnedEntry> = Vec::with_capacity(total);
+    for source in &mut sources {
+        merged.append(source);
+    }
+    merged.sort_by(|a, b| a.internal_cmp(b));
+    let mut out: Vec<OwnedEntry> = Vec::with_capacity(merged.len());
+    // Track the last user key *seen* (not pushed): a dropped tombstone
+    // must still shadow the older versions behind it.
+    let mut last_seen: Option<Vec<u8>> = None;
+    for entry in merged {
+        if last_seen.as_deref() == Some(entry.user_key.as_slice()) {
+            continue; // older version of the same key
+        }
+        last_seen = Some(entry.user_key.clone());
+        if drop_tombstones && entry.kind == encoding::key::KeyKind::Delete {
+            continue;
+        }
+        out.push(entry);
+    }
+    out
+}
+
+/// Build PM tables (splitting at `max_bytes`) from sorted entries and
+/// publish them to the pool. Returns the new handles.
+pub fn build_pm_tables(
+    entries: &[OwnedEntry],
+    opts: PmTableOptions,
+    max_bytes: usize,
+    pool: &PmPool,
+    cost: &sim::CostModel,
+    tl: &mut Timeline,
+) -> Result<Vec<PmTableHandle>, pm_device::PmError> {
+    let mut out = Vec::new();
+    let mut builder = PmTableBuilder::new(opts);
+    let mut first: Option<Vec<u8>> = None;
+    let flush =
+        |builder: &mut PmTableBuilder,
+         first: &mut Option<Vec<u8>>,
+         last: &[u8],
+         tl: &mut Timeline|
+         -> Result<Option<PmTableHandle>, pm_device::PmError> {
+            if builder.entry_count() == 0 {
+                return Ok(None);
+            }
+            let done = std::mem::replace(builder, PmTableBuilder::new(opts));
+            let entries = done.entry_count();
+            let (bytes, _stats) = done.finish(cost, tl);
+            let len = bytes.len();
+            let region = pool.publish(bytes, tl)?;
+            let region_id = region.id();
+            let table =
+                PmTable::open(region).expect("just-built table parses");
+            let max_seq = table
+                .scan_all(&mut Timeline::new())
+                .iter()
+                .map(|e| e.seq)
+                .max()
+                .unwrap_or(0);
+            Ok(Some(PmTableHandle {
+                first: first.take().expect("non-empty builder has first"),
+                last: last.to_vec(),
+                table: Arc::new(table),
+                region: region_id,
+                entries,
+                bytes: len,
+                max_seq,
+            }))
+        };
+    let mut last_key: Vec<u8> = Vec::new();
+    let mut pending_bytes = 0usize;
+    for entry in entries {
+        if first.is_none() {
+            first = Some(entry.user_key.clone());
+        }
+        pending_bytes += entry.raw_len();
+        last_key = entry.user_key.clone();
+        builder.add(entry.clone());
+        if pending_bytes >= max_bytes {
+            if let Some(h) = flush(&mut builder, &mut first, &last_key, tl)? {
+                out.push(h);
+            }
+            pending_bytes = 0;
+        }
+    }
+    if let Some(h) = flush(&mut builder, &mut first, &last_key, tl)? {
+        out.push(h);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use encoding::key::KeyKind;
+    use sim::CostModel;
+
+    fn e(k: &str, seq: u64, v: &str) -> OwnedEntry {
+        OwnedEntry::value(k.as_bytes().to_vec(), seq, v.as_bytes().to_vec())
+    }
+
+    fn tomb(k: &str, seq: u64) -> OwnedEntry {
+        OwnedEntry::tombstone(k.as_bytes().to_vec(), seq)
+    }
+
+    #[test]
+    fn merge_keeps_newest_version() {
+        let cost = CostModel::default();
+        let mut tl = Timeline::new();
+        let a = vec![e("a", 5, "old"), e("b", 2, "bee")];
+        let b = vec![e("a", 9, "new")];
+        let merged = merge_dedup(vec![a, b], false, &cost, &mut tl);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].value, b"new");
+        assert_eq!(merged[0].seq, 9);
+        assert_eq!(merged[1].user_key, b"b");
+        assert!(tl.elapsed() > sim::SimDuration::ZERO);
+    }
+
+    #[test]
+    fn merge_tombstone_shadows_then_optionally_drops() {
+        let cost = CostModel::default();
+        let mut tl = Timeline::new();
+        let src = vec![vec![e("k", 3, "v")], vec![tomb("k", 8)]];
+        let kept = merge_dedup(src.clone(), false, &cost, &mut tl);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].kind, KeyKind::Delete);
+        let dropped = merge_dedup(src, true, &cost, &mut tl);
+        assert!(dropped.is_empty(), "bottom-level merge erases the key");
+    }
+
+    #[test]
+    fn merge_result_is_sorted_unique() {
+        let cost = CostModel::default();
+        let mut tl = Timeline::new();
+        let a: Vec<OwnedEntry> =
+            (0..50).map(|i| e(&format!("k{:03}", i * 2), i + 1, "a")).collect();
+        let b: Vec<OwnedEntry> = (0..50)
+            .map(|i| e(&format!("k{:03}", i * 2 + 1), 100 + i, "b"))
+            .collect();
+        let merged = merge_dedup(vec![a, b], false, &cost, &mut tl);
+        assert_eq!(merged.len(), 100);
+        for w in merged.windows(2) {
+            assert!(w[0].user_key < w[1].user_key);
+        }
+    }
+
+    #[test]
+    fn build_pm_tables_splits_at_max_bytes() {
+        let cost = CostModel::default();
+        let pool = PmPool::new(16 << 20, cost);
+        let mut tl = Timeline::new();
+        let entries: Vec<OwnedEntry> = (0..400)
+            .map(|i| e(&format!("key{:05}", i), i + 1, &"v".repeat(100)))
+            .collect();
+        let handles = build_pm_tables(
+            &entries,
+            PmTableOptions::default(),
+            8 << 10,
+            &pool,
+            &cost,
+            &mut tl,
+        )
+        .unwrap();
+        assert!(handles.len() > 1, "400x~110B must split at 8KiB");
+        // Ranges are contiguous and ordered.
+        for pair in handles.windows(2) {
+            assert!(pair[0].last < pair[1].first);
+        }
+        let total: usize = handles.iter().map(|h| h.entries).sum();
+        assert_eq!(total, 400);
+        // Every handle's range brackets its content.
+        for h in &handles {
+            assert!(h.overlaps_key(&h.first));
+            assert!(h.overlaps_key(&h.last));
+            assert!(h.bytes > 0);
+        }
+    }
+
+    #[test]
+    fn empty_input_builds_nothing() {
+        let cost = CostModel::default();
+        let pool = PmPool::new(1 << 20, cost);
+        let mut tl = Timeline::new();
+        let handles = build_pm_tables(
+            &[],
+            PmTableOptions::default(),
+            1 << 10,
+            &pool,
+            &cost,
+            &mut tl,
+        )
+        .unwrap();
+        assert!(handles.is_empty());
+        assert_eq!(pool.used(), 0);
+    }
+
+    #[test]
+    fn overlap_predicates() {
+        let cost = CostModel::default();
+        let pool = PmPool::new(1 << 20, cost);
+        let mut tl = Timeline::new();
+        let entries = vec![e("m", 1, "x"), e("p", 2, "y")];
+        let handles = build_pm_tables(
+            &entries,
+            PmTableOptions::default(),
+            1 << 20,
+            &pool,
+            &cost,
+            &mut tl,
+        )
+        .unwrap();
+        let h = &handles[0];
+        assert!(h.overlaps_key(b"m"));
+        assert!(h.overlaps_key(b"n"));
+        assert!(!h.overlaps_key(b"a"));
+        assert!(!h.overlaps_key(b"q"));
+        assert!(h.overlaps_range(b"a", Some(b"n")));
+        assert!(h.overlaps_range(b"p", None));
+        assert!(!h.overlaps_range(b"q", None));
+        assert!(!h.overlaps_range(b"a", Some(b"m")));
+    }
+}

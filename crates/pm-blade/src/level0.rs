@@ -1,0 +1,304 @@
+//! The PM-resident level-0 of one partition.
+//!
+//! Level-0 holds two sets of PM tables (§IV-B, Fig 3):
+//!
+//! - **unsorted tables** — raw minor-compaction output, mutually
+//!   overlapping; a read must consult every one (newest first), which is
+//!   the *read amplification* internal compaction exists to fix;
+//! - the **sorted run** — the output of the last internal compaction:
+//!   tables ordered and non-overlapping, so a read touches at most one.
+
+use encoding::key::SequenceNumber;
+use pm_device::PmPool;
+use pmtable::{L0Table, Lookup, OwnedEntry};
+use sim::Timeline;
+
+use crate::handle::PmTableHandle;
+
+/// Level-0 state for one partition.
+#[derive(Default)]
+pub struct PmLevel0 {
+    /// Oldest → newest; reads walk newest → oldest.
+    pub unsorted: Vec<PmTableHandle>,
+    /// Non-overlapping ascending run.
+    pub sorted: Vec<PmTableHandle>,
+}
+
+impl PmLevel0 {
+    pub fn new() -> Self {
+        PmLevel0::default()
+    }
+
+    /// Total bytes held on PM by this partition (`s_i` in Table II).
+    pub fn bytes(&self) -> usize {
+        self.unsorted.iter().map(|h| h.bytes).sum::<usize>()
+            + self.sorted.iter().map(|h| h.bytes).sum::<usize>()
+    }
+
+    /// Number of unsorted tables (`n_i`).
+    pub fn unsorted_count(&self) -> usize {
+        self.unsorted.len()
+    }
+
+    /// Number of sorted-run tables (`m_i`).
+    pub fn sorted_count(&self) -> usize {
+        self.sorted.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.unsorted.is_empty() && self.sorted.is_empty()
+    }
+
+    /// Total entries across level-0.
+    pub fn entries(&self) -> usize {
+        self.unsorted.iter().map(|h| h.entries).sum::<usize>()
+            + self.sorted.iter().map(|h| h.entries).sum::<usize>()
+    }
+
+    /// Register a fresh minor-compaction output.
+    pub fn push_unsorted(&mut self, handle: PmTableHandle) {
+        self.unsorted.push(handle);
+    }
+
+    /// Point lookup across level-0: newest unsorted table wins, then the
+    /// sorted run.
+    pub fn get(
+        &self,
+        user_key: &[u8],
+        snapshot: SequenceNumber,
+        tl: &mut Timeline,
+    ) -> Option<Lookup> {
+        // Unsorted tables are mutually overlapping: scan newest→oldest and
+        // take the newest visible version seen (a newer table always holds
+        // newer sequences for the keys it contains).
+        let mut best: Option<Lookup> = None;
+        for handle in self.unsorted.iter().rev() {
+            if !handle.overlaps_key(user_key) {
+                continue;
+            }
+            if let Some(hit) = handle.table.get(user_key, snapshot, tl) {
+                match &best {
+                    Some(b) if b.seq >= hit.seq => {}
+                    _ => best = Some(hit),
+                }
+                // Tables are flushed in sequence order; the first hit
+                // from the newest table is final.
+                break;
+            }
+        }
+        if best.is_some() {
+            return best;
+        }
+        // Sorted run: at most one table can contain the key.
+        let idx = self
+            .sorted
+            .partition_point(|h| h.last.as_slice() < user_key);
+        if let Some(handle) = self.sorted.get(idx) {
+            if handle.overlaps_key(user_key) {
+                return handle.table.get(user_key, snapshot, tl);
+            }
+        }
+        None
+    }
+
+    /// Entries overlapping `[start, end)` from every table, newest first
+    /// per key after merging by the caller.
+    pub fn scan_sources(
+        &self,
+        start: &[u8],
+        end: Option<&[u8]>,
+        limit: usize,
+        tl: &mut Timeline,
+    ) -> Vec<Vec<OwnedEntry>> {
+        let mut sources = Vec::new();
+        for handle in &self.unsorted {
+            if handle.overlaps_range(start, end) {
+                sources.push(handle.table.scan_range(start, end, limit, tl));
+            }
+        }
+        let mut run = Vec::new();
+        for handle in &self.sorted {
+            if run.len() >= limit {
+                break;
+            }
+            if handle.overlaps_range(start, end) {
+                run.extend(handle.table.scan_range(start, end, limit - run.len(), tl));
+            }
+        }
+        if !run.is_empty() {
+            sources.push(run);
+        }
+        sources
+    }
+
+    /// Read every entry of every table (internal-compaction input).
+    pub fn scan_all_sources(&self, tl: &mut Timeline) -> Vec<Vec<OwnedEntry>> {
+        let mut sources: Vec<Vec<OwnedEntry>> = self
+            .unsorted
+            .iter()
+            .map(|h| h.table.scan_all(tl))
+            .collect();
+        let mut run = Vec::new();
+        for handle in &self.sorted {
+            run.extend(handle.table.scan_all(tl));
+        }
+        if !run.is_empty() {
+            sources.push(run);
+        }
+        sources
+    }
+
+    /// Drop every table, freeing PM space. Returns bytes released.
+    pub fn clear(&mut self, pool: &PmPool) -> usize {
+        let released = self.bytes();
+        for handle in self.unsorted.drain(..).chain(self.sorted.drain(..)) {
+            pool.free(handle.region);
+        }
+        released
+    }
+
+    /// Replace the whole level-0 with a new sorted run (after internal
+    /// compaction). Returns bytes released by the old tables.
+    pub fn replace_with_sorted(
+        &mut self,
+        run: Vec<PmTableHandle>,
+        pool: &PmPool,
+    ) -> usize {
+        debug_assert!(run.windows(2).all(|w| w[0].last < w[1].first));
+        let released = self.clear(pool);
+        self.sorted = run;
+        released
+    }
+}
+
+impl std::fmt::Debug for PmLevel0 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PmLevel0")
+            .field("unsorted", &self.unsorted.len())
+            .field("sorted", &self.sorted.len())
+            .field("bytes", &self.bytes())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handle::build_pm_tables;
+    use pmtable::PmTableOptions;
+    use sim::CostModel;
+
+    fn entry(k: &str, seq: u64, v: &str) -> OwnedEntry {
+        OwnedEntry::value(k.as_bytes().to_vec(), seq, v.as_bytes().to_vec())
+    }
+
+    fn table(
+        pool: &PmPool,
+        entries: Vec<OwnedEntry>,
+    ) -> PmTableHandle {
+        let cost = CostModel::default();
+        let mut sorted = entries;
+        sorted.sort_by(|a, b| a.internal_cmp(b));
+        let mut tl = Timeline::new();
+        build_pm_tables(
+            &sorted,
+            PmTableOptions::default(),
+            usize::MAX,
+            pool,
+            &cost,
+            &mut tl,
+        )
+        .unwrap()
+        .pop()
+        .unwrap()
+    }
+
+    fn pool() -> std::sync::Arc<PmPool> {
+        PmPool::new(8 << 20, CostModel::default())
+    }
+
+    #[test]
+    fn empty_level0() {
+        let l0 = PmLevel0::new();
+        let mut tl = Timeline::new();
+        assert!(l0.is_empty());
+        assert_eq!(l0.bytes(), 0);
+        assert!(l0.get(b"k", u64::MAX, &mut tl).is_none());
+    }
+
+    #[test]
+    fn newest_unsorted_table_shadows_older() {
+        let pool = pool();
+        let mut l0 = PmLevel0::new();
+        l0.push_unsorted(table(&pool, vec![entry("k", 1, "old")]));
+        l0.push_unsorted(table(&pool, vec![entry("k", 9, "new")]));
+        let mut tl = Timeline::new();
+        assert_eq!(l0.get(b"k", u64::MAX, &mut tl).unwrap().value, b"new");
+        // Snapshot below the newer version falls through to the older
+        // table.
+        assert_eq!(l0.get(b"k", 5, &mut tl).unwrap().value, b"old");
+    }
+
+    #[test]
+    fn sorted_run_serves_after_unsorted_miss() {
+        let pool = pool();
+        let mut l0 = PmLevel0::new();
+        l0.sorted = vec![
+            table(&pool, vec![entry("a", 1, "1"), entry("c", 2, "2")]),
+            table(&pool, vec![entry("m", 3, "3"), entry("z", 4, "4")]),
+        ];
+        l0.push_unsorted(table(&pool, vec![entry("b", 9, "fresh")]));
+        let mut tl = Timeline::new();
+        assert_eq!(l0.get(b"m", u64::MAX, &mut tl).unwrap().value, b"3");
+        assert_eq!(l0.get(b"b", u64::MAX, &mut tl).unwrap().value, b"fresh");
+        assert!(l0.get(b"q", u64::MAX, &mut tl).is_none());
+        assert_eq!(l0.sorted_count(), 2);
+        assert_eq!(l0.unsorted_count(), 1);
+    }
+
+    #[test]
+    fn replace_with_sorted_frees_old_space() {
+        let pool = pool();
+        let mut l0 = PmLevel0::new();
+        l0.push_unsorted(table(&pool, vec![entry("a", 1, "x")]));
+        l0.push_unsorted(table(&pool, vec![entry("a", 2, "y")]));
+        let before = pool.used();
+        assert!(before > 0);
+        let run = vec![table(&pool, vec![entry("a", 2, "y")])];
+        let released = l0.replace_with_sorted(run, &pool);
+        assert!(released > 0);
+        assert_eq!(l0.unsorted_count(), 0);
+        assert_eq!(l0.sorted_count(), 1);
+        assert!(pool.used() < before);
+        let mut tl = Timeline::new();
+        assert_eq!(l0.get(b"a", u64::MAX, &mut tl).unwrap().value, b"y");
+    }
+
+    #[test]
+    fn clear_releases_everything() {
+        let pool = pool();
+        let mut l0 = PmLevel0::new();
+        l0.push_unsorted(table(&pool, vec![entry("a", 1, "x")]));
+        l0.sorted = vec![table(&pool, vec![entry("b", 2, "y")])];
+        let released = l0.clear(&pool);
+        assert!(released > 0);
+        assert!(l0.is_empty());
+        assert_eq!(pool.used(), 0);
+    }
+
+    #[test]
+    fn scan_sources_respects_range() {
+        let pool = pool();
+        let mut l0 = PmLevel0::new();
+        l0.push_unsorted(table(
+            &pool,
+            vec![entry("a", 1, "1"), entry("d", 2, "2")],
+        ));
+        l0.sorted = vec![table(&pool, vec![entry("b", 3, "3")])];
+        let mut tl = Timeline::new();
+        let sources = l0.scan_sources(b"b", Some(b"d"), usize::MAX, &mut tl);
+        let all: Vec<_> = sources.into_iter().flatten().collect();
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].user_key, b"b");
+    }
+}

@@ -1,0 +1,342 @@
+//! The SSD levels (level-1 and below) of one partition.
+//!
+//! Each level is a sorted run of non-overlapping SSTables. Level `n` has
+//! a target size of `l1_target * multiplier^(n-1)`; when it overflows,
+//! the whole level is merged into level `n+1` (a whole-level leveled
+//! policy — adequate at the reproduction's scale and identical in
+//! write-amplification shape to per-table picking).
+
+use std::sync::Arc;
+
+use encoding::key::{self, SequenceNumber};
+use pmtable::{Lookup, OwnedEntry};
+use sim::Timeline;
+use sstable::{BlockCache, SsTable, SsTableBuilder, SsTableOptions};
+use ssd_device::SsdDevice;
+
+use crate::handle::SsTableHandle;
+
+/// SSD level stack for one partition.
+#[derive(Default)]
+pub struct SsdLevels {
+    /// `levels[0]` is level-1. Each inner vec is sorted by key range.
+    pub levels: Vec<Vec<SsTableHandle>>,
+}
+
+impl SsdLevels {
+    pub fn new() -> Self {
+        SsdLevels::default()
+    }
+
+    /// Bytes held at level `n` (1-based).
+    pub fn level_bytes(&self, level: usize) -> u64 {
+        self.levels
+            .get(level - 1)
+            .map(|tables| tables.iter().map(|t| t.bytes).sum())
+            .unwrap_or(0)
+    }
+
+    /// Total SSD bytes of this partition.
+    pub fn total_bytes(&self) -> u64 {
+        self.levels
+            .iter()
+            .flat_map(|l| l.iter())
+            .map(|t| t.bytes)
+            .sum()
+    }
+
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.levels.iter().all(|l| l.is_empty())
+    }
+
+    /// Point lookup: walk levels top-down; within a level at most one
+    /// table overlaps.
+    pub fn get(
+        &self,
+        user_key: &[u8],
+        snapshot: SequenceNumber,
+        tl: &mut Timeline,
+    ) -> Option<Lookup> {
+        for level in &self.levels {
+            let idx = level.partition_point(|h| h.last.as_slice() < user_key);
+            let Some(handle) = level.get(idx) else { continue };
+            if !handle.overlaps_key(user_key) {
+                continue;
+            }
+            match handle.table.get(user_key, snapshot, tl) {
+                Ok(Some((seq, kind, value))) => {
+                    return Some(Lookup { seq, kind, value })
+                }
+                Ok(None) => continue,
+                Err(_) => continue,
+            }
+        }
+        None
+    }
+
+    /// Range scan sources, one per level (each level is itself sorted).
+    pub fn scan_sources(
+        &self,
+        start: &[u8],
+        end: Option<&[u8]>,
+        limit: usize,
+        tl: &mut Timeline,
+    ) -> Vec<Vec<OwnedEntry>> {
+        let mut sources = Vec::new();
+        for level in &self.levels {
+            let mut run = Vec::new();
+            for handle in level {
+                if !handle.overlaps_range(start, end) {
+                    continue;
+                }
+                if run.len() >= limit {
+                    break;
+                }
+                // Bounded scan: touches only the intersecting blocks.
+                let hits = handle
+                    .table
+                    .scan_range(start, end, limit - run.len(), tl)
+                    .unwrap_or_default();
+                for (ikey, value) in hits {
+                    run.push(OwnedEntry {
+                        user_key: key::user_key(&ikey).to_vec(),
+                        seq: key::sequence(&ikey),
+                        kind: key::kind(&ikey).expect("valid kind"),
+                        value,
+                    });
+                }
+            }
+            if !run.is_empty() {
+                sources.push(run);
+            }
+        }
+        sources
+    }
+
+    /// Install `tables` as the new level `n`, returning the old tables
+    /// for deletion by the caller.
+    pub fn replace_level(
+        &mut self,
+        level: usize,
+        tables: Vec<SsTableHandle>,
+    ) -> Vec<SsTableHandle> {
+        while self.levels.len() < level {
+            self.levels.push(Vec::new());
+        }
+        debug_assert!(tables.windows(2).all(|w| w[0].last < w[1].first));
+        std::mem::replace(&mut self.levels[level - 1], tables)
+    }
+
+    /// All tables of level `n` overlapping `[first, last]`.
+    pub fn overlapping(
+        &self,
+        level: usize,
+        first: &[u8],
+        last: &[u8],
+    ) -> Vec<SsTableHandle> {
+        self.levels
+            .get(level - 1)
+            .map(|tables| {
+                tables
+                    .iter()
+                    .filter(|t| t.overlaps_handle_range(first, last))
+                    .cloned()
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+}
+
+impl std::fmt::Debug for SsdLevels {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let sizes: Vec<u64> =
+            (1..=self.levels.len()).map(|l| self.level_bytes(l)).collect();
+        f.debug_struct("SsdLevels").field("level_bytes", &sizes).finish()
+    }
+}
+
+/// Build SSTables (split at `max_bytes`) from sorted entries. Returns the
+/// new handles; files are named `{prefix}-{counter}.sst`.
+#[allow(clippy::too_many_arguments)]
+pub fn build_ss_tables(
+    entries: &[OwnedEntry],
+    device: &Arc<SsdDevice>,
+    cache: &Arc<BlockCache>,
+    prefix: &str,
+    counter: &mut u64,
+    max_bytes: usize,
+    opts: SsTableOptions,
+    tl: &mut Timeline,
+) -> Result<Vec<SsTableHandle>, sstable::table::TableError> {
+    let mut out = Vec::new();
+    let mut iter = entries.iter().peekable();
+    while iter.peek().is_some() {
+        *counter += 1;
+        let name = format!("{prefix}-{counter:08}.sst");
+        let mut builder = SsTableBuilder::new(device, &name, opts)?;
+        let mut first: Option<Vec<u8>> = None;
+        let mut last: Vec<u8> = Vec::new();
+        let mut max_seq = 0u64;
+        for entry in iter.by_ref() {
+            if first.is_none() {
+                first = Some(entry.user_key.clone());
+            }
+            last = entry.user_key.clone();
+            max_seq = max_seq.max(entry.seq);
+            builder.add(&entry.user_key, entry.seq, entry.kind, &entry.value, tl);
+            if builder.estimated_size() >= max_bytes as u64 {
+                break;
+            }
+        }
+        let (bytes, _, _) = builder.finish(tl)?;
+        let table =
+            SsTable::open(device, &name, Arc::clone(cache), tl)?;
+        out.push(SsTableHandle {
+            table: Arc::new(table),
+            name,
+            first: first.expect("loop adds at least one entry"),
+            last,
+            bytes,
+            max_seq,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use encoding::key::KeyKind;
+    use sim::CostModel;
+
+    fn e(k: &str, seq: u64, v: &str) -> OwnedEntry {
+        OwnedEntry::value(k.as_bytes().to_vec(), seq, v.as_bytes().to_vec())
+    }
+
+    fn setup() -> (Arc<SsdDevice>, Arc<BlockCache>) {
+        (
+            SsdDevice::new(CostModel::default()),
+            Arc::new(BlockCache::new(1 << 20)),
+        )
+    }
+
+    #[test]
+    fn build_and_lookup_across_levels() {
+        let (device, cache) = setup();
+        let mut tl = Timeline::new();
+        let mut counter = 0;
+        let l1: Vec<OwnedEntry> =
+            (0..100).map(|i| e(&format!("k{:04}", i), 200 + i, "l1")).collect();
+        let l2: Vec<OwnedEntry> =
+            (0..200).map(|i| e(&format!("k{:04}", i), 1 + i, "l2")).collect();
+        let t1 = build_ss_tables(
+            &l1, &device, &cache, "p0-L1", &mut counter, usize::MAX,
+            SsTableOptions::default(), &mut tl,
+        )
+        .unwrap();
+        let t2 = build_ss_tables(
+            &l2, &device, &cache, "p0-L2", &mut counter, usize::MAX,
+            SsTableOptions::default(), &mut tl,
+        )
+        .unwrap();
+        let mut levels = SsdLevels::new();
+        levels.replace_level(1, t1);
+        levels.replace_level(2, t2);
+        // Key in both levels: L1 wins.
+        let hit = levels.get(b"k0050", u64::MAX, &mut tl).unwrap();
+        assert_eq!(hit.value, b"l1");
+        // Key only in L2.
+        let hit = levels.get(b"k0150", u64::MAX, &mut tl).unwrap();
+        assert_eq!(hit.value, b"l2");
+        assert!(levels.get(b"k9999", u64::MAX, &mut tl).is_none());
+        assert_eq!(levels.depth(), 2);
+        assert!(levels.total_bytes() > 0);
+    }
+
+    #[test]
+    fn split_produces_ordered_tables() {
+        let (device, cache) = setup();
+        let mut tl = Timeline::new();
+        let mut counter = 0;
+        let entries: Vec<OwnedEntry> = (0..2000)
+            .map(|i| e(&format!("k{:06}", i), i + 1, &"v".repeat(64)))
+            .collect();
+        let tables = build_ss_tables(
+            &entries, &device, &cache, "p0-L1", &mut counter, 32 << 10,
+            SsTableOptions::default(), &mut tl,
+        )
+        .unwrap();
+        assert!(tables.len() > 1);
+        for pair in tables.windows(2) {
+            assert!(pair[0].last < pair[1].first);
+        }
+    }
+
+    #[test]
+    fn overlapping_filters_by_range() {
+        let (device, cache) = setup();
+        let mut tl = Timeline::new();
+        let mut counter = 0;
+        let a = build_ss_tables(
+            &[e("a", 1, "1"), e("c", 2, "2")],
+            &device, &cache, "x", &mut counter, usize::MAX,
+            SsTableOptions::default(), &mut tl,
+        )
+        .unwrap();
+        let b = build_ss_tables(
+            &[e("m", 3, "3"), e("o", 4, "4")],
+            &device, &cache, "x", &mut counter, usize::MAX,
+            SsTableOptions::default(), &mut tl,
+        )
+        .unwrap();
+        let mut levels = SsdLevels::new();
+        let mut l1 = a;
+        l1.extend(b);
+        levels.replace_level(1, l1);
+        assert_eq!(levels.overlapping(1, b"b", b"d").len(), 1);
+        assert_eq!(levels.overlapping(1, b"a", b"z").len(), 2);
+        assert_eq!(levels.overlapping(1, b"e", b"f").len(), 0);
+        assert_eq!(levels.overlapping(2, b"a", b"z").len(), 0);
+    }
+
+    #[test]
+    fn scan_sources_orders_within_levels() {
+        let (device, cache) = setup();
+        let mut tl = Timeline::new();
+        let mut counter = 0;
+        let entries: Vec<OwnedEntry> =
+            (0..50).map(|i| e(&format!("k{:03}", i), i + 1, "v")).collect();
+        let tables = build_ss_tables(
+            &entries, &device, &cache, "s", &mut counter, usize::MAX,
+            SsTableOptions::default(), &mut tl,
+        )
+        .unwrap();
+        let mut levels = SsdLevels::new();
+        levels.replace_level(1, tables);
+        let sources = levels.scan_sources(b"k010", Some(b"k020"), usize::MAX, &mut tl);
+        assert_eq!(sources.len(), 1);
+        assert_eq!(sources[0].len(), 10);
+        assert_eq!(sources[0][0].user_key, b"k010");
+    }
+
+    #[test]
+    fn tombstones_flow_through_get() {
+        let (device, cache) = setup();
+        let mut tl = Timeline::new();
+        let mut counter = 0;
+        let entries = vec![OwnedEntry::tombstone(b"gone".to_vec(), 9)];
+        let tables = build_ss_tables(
+            &entries, &device, &cache, "t", &mut counter, usize::MAX,
+            SsTableOptions::default(), &mut tl,
+        )
+        .unwrap();
+        let mut levels = SsdLevels::new();
+        levels.replace_level(1, tables);
+        let hit = levels.get(b"gone", u64::MAX, &mut tl).unwrap();
+        assert_eq!(hit.kind, KeyKind::Delete);
+    }
+}

@@ -1,0 +1,44 @@
+//! PM-Blade: an LSM-tree storage engine with a high-capacity persistent
+//! memory level-0 — a reproduction of the ICDE 2023 paper.
+//!
+//! The engine is organised around three tiers:
+//!
+//! - a DRAM **memtable** (skiplist) per range partition;
+//! - a PM **level-0** holding *unsorted* PM tables (fresh minor-compaction
+//!   output) plus one *sorted run* produced by **internal compaction**
+//!   (§IV-B);
+//! - SSD **levels 1+** of block-based SSTables.
+//!
+//! Three cost models (§IV-C) decide when internal compaction pays off for
+//! reads (Eq 1), when it pays off for SSD write amplification (Eq 2), and
+//! which partitions stay resident in PM during major compaction (the
+//! greedy knapsack of Eq 3). Major compaction durations and resource
+//! profiles are computed by the [`coroutine`] scheduler.
+//!
+//! Alternative engine modes reproduce the paper's baselines:
+//! [`options::Mode::PmBladePm`] (PM level-0 without internal compaction),
+//! [`options::Mode::SsdLevel0`] (the RocksDB-like configuration), and
+//! [`options::Mode::MatrixKv`] (a matrix-container level-0 with column
+//! compaction).
+
+pub mod compaction;
+pub mod costmodel;
+pub mod engine;
+pub mod handle;
+pub mod level0;
+pub mod levels;
+pub mod matrix;
+pub mod options;
+pub mod partition;
+pub mod relational;
+pub mod stats;
+
+pub use engine::{Db, DbError, ReadOutcome};
+pub use options::{Mode, Options, Partitioner};
+pub use relational::{Relational, TableDef};
+pub use stats::EngineStats;
+
+/// Convenience re-exports for downstream users.
+pub use encoding::key::{KeyKind, SequenceNumber};
+pub use pmtable::{Lookup, OwnedEntry};
+pub use sim::{SimDuration, Timeline};

@@ -1,0 +1,243 @@
+//! Engine configuration.
+
+use pmtable::{MetaExtractor, PmTableOptions};
+use sim::{CostModel, SimDuration};
+
+/// Which system the engine behaves as — the paper's comparison matrix.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Mode {
+    /// Full PM-Blade: PM level-0, internal compaction, cost-based
+    /// compaction strategy, hot-partition retention.
+    PmBlade,
+    /// "PMBlade-PM": PM level-0 but the conventional strategy — no
+    /// internal compaction; when the unsorted-table count trips the
+    /// threshold, the whole level-0 is compacted to level-1.
+    PmBladePm,
+    /// "PMBlade-SSD"/RocksDB-like: level-0 lives on the SSD as SSTables
+    /// and major compaction triggers at `l0_table_trigger` tables.
+    SsdLevel0,
+    /// MatrixKV-like: PM level-0 organised as a matrix container with
+    /// column compaction and cross-hint search, no hot retention.
+    MatrixKv,
+}
+
+/// How the key space is split into independently-managed partitions.
+#[derive(Clone, Debug)]
+pub enum Partitioner {
+    /// One partition for everything.
+    Single,
+    /// Range partitions: `boundaries` are the sorted upper-exclusive
+    /// split keys; `boundaries.len() + 1` partitions result.
+    Ranges(Vec<Vec<u8>>),
+}
+
+impl Partitioner {
+    /// Number of partitions.
+    pub fn count(&self) -> usize {
+        match self {
+            Partitioner::Single => 1,
+            Partitioner::Ranges(b) => b.len() + 1,
+        }
+    }
+
+    /// Partition index owning `key`.
+    pub fn locate(&self, key: &[u8]) -> usize {
+        match self {
+            Partitioner::Single => 0,
+            Partitioner::Ranges(b) => {
+                b.partition_point(|split| split.as_slice() <= key)
+            }
+        }
+    }
+
+    /// Evenly spaced split points over formatted numeric keys
+    /// `prefix{00000000}`, handy for benchmark workloads.
+    pub fn numeric(prefix: &str, domain: u64, partitions: usize) -> Self {
+        assert!(partitions >= 1);
+        if partitions == 1 {
+            return Partitioner::Single;
+        }
+        let step = domain / partitions as u64;
+        let boundaries = (1..partitions as u64)
+            .map(|i| format!("{prefix}{:010}", i * step).into_bytes())
+            .collect();
+        Partitioner::Ranges(boundaries)
+    }
+}
+
+/// Tunable cost scalars from Table II of the paper.
+#[derive(Clone, Copy, Debug)]
+pub struct CostScalars {
+    /// `I_b`: cost of binary-searching one PM table (seconds).
+    pub binary_search: SimDuration,
+    /// `I_p`: internal-compaction cost per record.
+    pub internal_per_record: SimDuration,
+    /// `I_s`: major-compaction cost per record.
+    pub major_per_record: SimDuration,
+    /// `t̂_p`: wall time internal compaction spends per record.
+    pub internal_time_per_record: SimDuration,
+}
+
+impl Default for CostScalars {
+    fn default() -> Self {
+        CostScalars {
+            binary_search: SimDuration::from_micros(2),
+            internal_per_record: SimDuration::from_micros(2),
+            major_per_record: SimDuration::from_micros(5),
+            // t̂_p is a tunable scalar (Table II); calibrated so Eq 1
+            // fires around n_i ≈ 10 unsorted tables at the virtual-time
+            // read rates the engine actually observes (~5k reads/s).
+            internal_time_per_record: SimDuration::from_micros(40),
+        }
+    }
+}
+
+/// Full engine options.
+#[derive(Clone, Debug)]
+pub struct Options {
+    pub mode: Mode,
+    pub partitioner: Partitioner,
+    /// Machine cost model shared by all devices.
+    pub cost: CostModel,
+    /// PM pool capacity in bytes (the paper uses 80 GB; scale down).
+    pub pm_capacity: usize,
+    /// Memtable freeze threshold in bytes (64 MB in the paper; scale).
+    pub memtable_bytes: usize,
+    /// Unsorted L0 tables per partition that force internal compaction
+    /// regardless of the cost model (safety valve).
+    pub l0_unsorted_hard_cap: usize,
+    /// SSD-level-0 table count triggering major compaction in
+    /// [`Mode::SsdLevel0`] (RocksDB default 4).
+    pub l0_table_trigger: usize,
+    /// `τ_w`: partition size that lets Eq 2 trigger internal compaction.
+    pub tau_w: usize,
+    /// `τ_m`: total PM usage that triggers major compaction.
+    pub tau_m: usize,
+    /// `τ_t`: PM budget for partitions retained by the knapsack.
+    pub tau_t: usize,
+    /// Cost scalars for Eqs 1–3.
+    pub scalars: CostScalars,
+    /// PM table encoding options.
+    pub pm_table: PmTableOptions,
+    /// Level-1 target size per partition; level n target is
+    /// `l1_target * level_multiplier^(n-1)`.
+    pub l1_target: usize,
+    pub level_multiplier: usize,
+    /// Max bytes per output table (PM table or SSTable) in compactions.
+    pub max_table_bytes: usize,
+    /// DRAM block-cache capacity for SSD reads.
+    pub block_cache_bytes: usize,
+    /// Compaction scheduler profile for major compaction timing.
+    pub scheduler: coroutine::SchedulerConfig,
+    /// MatrixKV: extra flush construction overhead (fraction of the
+    /// flush cost spent building the matrix cross-hint structure).
+    pub matrix_flush_overhead: f64,
+    /// MatrixKV: number of column slices per container compaction.
+    pub matrix_columns: usize,
+    /// Directory for the write-ahead log; `None` disables the WAL.
+    pub wal_dir: Option<std::path::PathBuf>,
+}
+
+impl Default for Options {
+    /// Laptop-scale defaults preserving the paper's ratios
+    /// (80 GB PM : 64 MB memtable ≈ 80 MB : 64 KB).
+    fn default() -> Self {
+        Options {
+            mode: Mode::PmBlade,
+            partitioner: Partitioner::Single,
+            cost: CostModel::default(),
+            pm_capacity: 80 << 20,
+            memtable_bytes: 64 << 10,
+            l0_unsorted_hard_cap: 64,
+            l0_table_trigger: 4,
+            tau_w: 1 << 20,
+            tau_m: 72 << 20,
+            tau_t: 48 << 20,
+            scalars: CostScalars::default(),
+            pm_table: PmTableOptions {
+                group_size: 16,
+                extractor: MetaExtractor::None,
+            },
+            l1_target: 8 << 20,
+            level_multiplier: 10,
+            max_table_bytes: 2 << 20,
+            block_cache_bytes: 8 << 20,
+            scheduler: coroutine::SchedulerConfig::default(),
+            matrix_flush_overhead: 0.6,
+            matrix_columns: 8,
+            wal_dir: None,
+        }
+    }
+}
+
+impl Options {
+    /// The paper's "PMBlade" configuration at a given PM scale.
+    pub fn pm_blade(pm_capacity: usize) -> Self {
+        Options {
+            pm_capacity,
+            tau_m: pm_capacity - pm_capacity / 10,
+            tau_t: pm_capacity * 6 / 10,
+            ..Options::default()
+        }
+    }
+
+    /// "PMBlade-PM": PM level-0, conventional strategy.
+    pub fn pm_blade_pm(pm_capacity: usize) -> Self {
+        Options { mode: Mode::PmBladePm, ..Options::pm_blade(pm_capacity) }
+    }
+
+    /// "PMBlade-SSD" / RocksDB-like.
+    pub fn rocksdb_like() -> Self {
+        Options { mode: Mode::SsdLevel0, ..Options::default() }
+    }
+
+    /// MatrixKV-like with the given PM capacity (8 GB default in the
+    /// paper, also run at 80 GB).
+    pub fn matrixkv(pm_capacity: usize) -> Self {
+        Options { mode: Mode::MatrixKv, ..Options::pm_blade(pm_capacity) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitioner_single_maps_everything_to_zero() {
+        let p = Partitioner::Single;
+        assert_eq!(p.count(), 1);
+        assert_eq!(p.locate(b""), 0);
+        assert_eq!(p.locate(b"zzz"), 0);
+    }
+
+    #[test]
+    fn partitioner_ranges_locates_by_boundary() {
+        let p = Partitioner::Ranges(vec![b"h".to_vec(), b"p".to_vec()]);
+        assert_eq!(p.count(), 3);
+        assert_eq!(p.locate(b"apple"), 0);
+        assert_eq!(p.locate(b"h"), 1, "boundaries are upper-exclusive");
+        assert_eq!(p.locate(b"mango"), 1);
+        assert_eq!(p.locate(b"zebra"), 2);
+    }
+
+    #[test]
+    fn numeric_partitioner_is_balanced() {
+        let p = Partitioner::numeric("user", 1_000_000, 4);
+        assert_eq!(p.count(), 4);
+        assert_eq!(p.locate(b"user0000000001"), 0);
+        assert_eq!(p.locate(b"user0000250000"), 1);
+        assert_eq!(p.locate(b"user0000500000"), 2);
+        assert_eq!(p.locate(b"user0000999999"), 3);
+    }
+
+    #[test]
+    fn mode_presets_are_consistent() {
+        assert_eq!(Options::pm_blade(1 << 20).mode, Mode::PmBlade);
+        assert_eq!(Options::pm_blade_pm(1 << 20).mode, Mode::PmBladePm);
+        assert_eq!(Options::rocksdb_like().mode, Mode::SsdLevel0);
+        assert_eq!(Options::matrixkv(1 << 20).mode, Mode::MatrixKv);
+        let o = Options::pm_blade(100);
+        assert!(o.tau_m < o.pm_capacity);
+        assert!(o.tau_t < o.tau_m);
+    }
+}

@@ -1,0 +1,514 @@
+//! One range partition of the LSM tree.
+//!
+//! Each partition is an independent LSM tree (§III): its own memtable,
+//! level-0 (PM or SSD depending on the engine mode) and SSD level stack,
+//! with its own access counters feeding the cost models.
+
+use std::sync::Arc;
+
+use encoding::key::{KeyKind, SequenceNumber};
+use memtable::MemTable;
+use pm_device::PmPool;
+use pmtable::{Lookup, OwnedEntry};
+use sim::{CostModel, SimInstant, Timeline};
+use sstable::{BlockCache, SsTableOptions};
+use ssd_device::SsdDevice;
+
+use crate::costmodel::PartitionCounters;
+use crate::handle::{build_pm_tables, merge_dedup, SsTableHandle};
+use crate::level0::PmLevel0;
+use crate::levels::{build_ss_tables, SsdLevels};
+use crate::matrix::MatrixL0;
+use crate::options::{Mode, Options};
+use crate::stats::ReadSource;
+
+/// Level-0 representation, by engine mode.
+pub enum Level0 {
+    Pm(PmLevel0),
+    Ssd(Vec<SsTableHandle>),
+    Matrix(MatrixL0),
+}
+
+/// What a minor compaction produced (for write-amplification accounting).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FlushReport {
+    pub entries: usize,
+    pub bytes: usize,
+}
+
+/// One partition's state.
+pub struct Partition {
+    pub id: usize,
+    pub mem: MemTable,
+    pub level0: Level0,
+    pub levels: SsdLevels,
+    pub counters: PartitionCounters,
+    /// Approximate set of user keys present (hashes), used to classify
+    /// writes as inserts vs updates for Eq 2.
+    seen_keys: std::collections::HashSet<u64>,
+    cost: CostModel,
+}
+
+fn hash_key(key: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+impl Partition {
+    pub fn new(id: usize, opts: &Options, now: SimInstant) -> Self {
+        let level0 = match opts.mode {
+            Mode::PmBlade | Mode::PmBladePm => Level0::Pm(PmLevel0::new()),
+            Mode::SsdLevel0 => Level0::Ssd(Vec::new()),
+            Mode::MatrixKv => {
+                Level0::Matrix(MatrixL0::new(opts.matrix_columns))
+            }
+        };
+        Partition {
+            id,
+            mem: MemTable::new(opts.cost),
+            level0,
+            levels: SsdLevels::new(),
+            counters: PartitionCounters::new(now),
+            seen_keys: std::collections::HashSet::new(),
+            cost: opts.cost,
+        }
+    }
+
+    /// Record a write for the cost-model counters.
+    pub fn note_write(&mut self, user_key: &[u8]) {
+        self.counters.writes += 1;
+        if !self.seen_keys.insert(hash_key(user_key)) {
+            self.counters.updates += 1;
+        }
+    }
+
+    /// PM bytes held by this partition (`s_i`).
+    pub fn pm_bytes(&self) -> usize {
+        match &self.level0 {
+            Level0::Pm(l0) => l0.bytes(),
+            Level0::Matrix(m) => m.bytes(),
+            Level0::Ssd(_) => 0,
+        }
+    }
+
+    /// Unsorted-table count (`n_i`), zero for non-PM level-0s.
+    pub fn unsorted_count(&self) -> usize {
+        match &self.level0 {
+            Level0::Pm(l0) => l0.unsorted_count(),
+            Level0::Matrix(m) => m.rows(),
+            Level0::Ssd(tables) => tables.len(),
+        }
+    }
+
+    /// Point lookup through every tier of this partition.
+    pub fn get(
+        &self,
+        user_key: &[u8],
+        snapshot: SequenceNumber,
+        tl: &mut Timeline,
+    ) -> (Option<Lookup>, ReadSource) {
+        if let Some(hit) = self.mem.get(user_key, snapshot, tl) {
+            return (Some(hit), ReadSource::MemTable);
+        }
+        match &self.level0 {
+            Level0::Pm(l0) => {
+                if let Some(hit) = l0.get(user_key, snapshot, tl) {
+                    return (Some(hit), ReadSource::Pm);
+                }
+            }
+            Level0::Matrix(m) => {
+                if let Some(hit) = m.get(user_key, snapshot, tl) {
+                    return (Some(hit), ReadSource::Pm);
+                }
+            }
+            Level0::Ssd(tables) => {
+                // SSD level-0 tables overlap: newest first.
+                for handle in tables.iter().rev() {
+                    if !handle.overlaps_key(user_key) {
+                        continue;
+                    }
+                    if let Ok(Some((seq, kind, value))) =
+                        handle.table.get(user_key, snapshot, tl)
+                    {
+                        return (
+                            Some(Lookup { seq, kind, value }),
+                            ReadSource::Ssd,
+                        );
+                    }
+                }
+            }
+        }
+        if let Some(hit) = self.levels.get(user_key, snapshot, tl) {
+            return (Some(hit), ReadSource::Ssd);
+        }
+        (None, ReadSource::Miss)
+    }
+
+    /// Range-scan sources across all tiers, newest tier first.
+    pub fn scan_sources(
+        &self,
+        start: &[u8],
+        end: Option<&[u8]>,
+        limit: usize,
+        tl: &mut Timeline,
+    ) -> Vec<Vec<OwnedEntry>> {
+        let mut sources = vec![self.mem.scan_range(start, end, limit, tl)];
+        match &self.level0 {
+            Level0::Pm(l0) => {
+                sources.extend(l0.scan_sources(start, end, limit, tl))
+            }
+            Level0::Matrix(m) => {
+                sources.extend(m.scan_sources(start, end, limit, tl))
+            }
+            Level0::Ssd(tables) => {
+                for handle in tables.iter().rev() {
+                    if !handle.overlaps_range(start, end) {
+                        continue;
+                    }
+                    let mut run = Vec::new();
+                    if let Ok(hits) = handle
+                        .table
+                        .scan_range(start, end, limit, tl)
+                    {
+                        for (ikey, value) in hits {
+                            run.push(OwnedEntry {
+                                user_key: encoding::key::user_key(&ikey)
+                                    .to_vec(),
+                                seq: encoding::key::sequence(&ikey),
+                                kind: encoding::key::kind(&ikey)
+                                    .expect("valid kind"),
+                                value,
+                            });
+                        }
+                    }
+                    sources.push(run);
+                }
+            }
+        }
+        sources.extend(self.levels.scan_sources(start, end, limit, tl));
+        sources
+    }
+
+    /// Minor compaction: freeze the memtable and flush it to level-0.
+    /// Returns the flush report, or `None` when the memtable was empty.
+    #[allow(clippy::too_many_arguments)]
+    pub fn minor_compaction(
+        &mut self,
+        opts: &Options,
+        pool: &PmPool,
+        device: &Arc<SsdDevice>,
+        cache: &Arc<BlockCache>,
+        table_counter: &mut u64,
+        tl: &mut Timeline,
+    ) -> Result<Option<FlushReport>, crate::engine::DbError> {
+        if self.mem.is_empty() {
+            return Ok(None);
+        }
+        let frozen = std::mem::replace(&mut self.mem, MemTable::new(self.cost));
+        let entries = frozen.entries_in_order();
+        let report = FlushReport {
+            entries: entries.len(),
+            bytes: entries.iter().map(|e| e.raw_len()).sum(),
+        };
+        match &mut self.level0 {
+            Level0::Pm(l0) => {
+                let handles = build_pm_tables(
+                    &entries,
+                    opts.pm_table,
+                    usize::MAX, // one flush = one unsorted table
+                    pool,
+                    &opts.cost,
+                    tl,
+                )?;
+                for h in handles {
+                    l0.push_unsorted(h);
+                }
+            }
+            Level0::Matrix(m) => {
+                m.flush_row(&entries, opts, pool, tl)?;
+            }
+            Level0::Ssd(tables) => {
+                *table_counter += 1;
+                let new = build_ss_tables(
+                    &entries,
+                    device,
+                    cache,
+                    &format!("p{:03}-L0", self.id),
+                    table_counter,
+                    usize::MAX,
+                    SsTableOptions::default(),
+                    tl,
+                )?;
+                tables.extend(new);
+            }
+        }
+        Ok(Some(report))
+    }
+
+    /// Internal compaction (§IV-B): merge all PM tables into a fresh
+    /// sorted run. Returns `(records_before, records_after, bytes_released)`.
+    pub fn internal_compaction(
+        &mut self,
+        opts: &Options,
+        pool: &PmPool,
+        tl: &mut Timeline,
+    ) -> Result<Option<(usize, usize, usize)>, crate::engine::DbError> {
+        let Level0::Pm(l0) = &mut self.level0 else {
+            return Ok(None);
+        };
+        if l0.unsorted.is_empty() {
+            return Ok(None);
+        }
+        let sources = l0.scan_all_sources(tl);
+        let before: usize = sources.iter().map(|s| s.len()).sum();
+        // Keep tombstones: deeper levels may still hold older versions.
+        let merged = merge_dedup(sources, false, &opts.cost, tl);
+        let after = merged.len();
+        let run = build_pm_tables(
+            &merged,
+            opts.pm_table,
+            opts.max_table_bytes,
+            pool,
+            &opts.cost,
+            tl,
+        )?;
+        let new_bytes: usize = run.iter().map(|h| h.bytes).sum();
+        let old_bytes = l0.bytes();
+        l0.replace_with_sorted(run, pool);
+        let released = old_bytes.saturating_sub(new_bytes);
+        Ok(Some((before, after, released)))
+    }
+
+    /// Major compaction: move this partition's entire level-0 into
+    /// level-1, merging with the overlapping level-1 tables. Returns the
+    /// names of replaced SSTables for deletion.
+    #[allow(clippy::too_many_arguments)]
+    pub fn major_compaction(
+        &mut self,
+        opts: &Options,
+        pool: &PmPool,
+        device: &Arc<SsdDevice>,
+        cache: &Arc<BlockCache>,
+        table_counter: &mut u64,
+        tl: &mut Timeline,
+    ) -> Result<Vec<String>, crate::engine::DbError> {
+        // Collect level-0 input.
+        let mut sources: Vec<Vec<OwnedEntry>> = Vec::new();
+        let mut released_regions: Vec<pm_device::RegionId> = Vec::new();
+        match &mut self.level0 {
+            Level0::Pm(l0) => {
+                sources.extend(l0.scan_all_sources(tl));
+                released_regions.extend(
+                    l0.unsorted
+                        .iter()
+                        .chain(l0.sorted.iter())
+                        .map(|h| h.region),
+                );
+                l0.unsorted.clear();
+                l0.sorted.clear();
+            }
+            Level0::Matrix(m) => {
+                sources.extend(m.drain_sources(tl));
+                released_regions.extend(m.take_regions());
+            }
+            Level0::Ssd(tables) => {
+                for handle in tables.iter().rev() {
+                    let mut run = Vec::new();
+                    if let Ok(all) = handle.table.scan_all(tl) {
+                        for (ikey, value) in all {
+                            run.push(OwnedEntry {
+                                user_key: encoding::key::user_key(&ikey)
+                                    .to_vec(),
+                                seq: encoding::key::sequence(&ikey),
+                                kind: encoding::key::kind(&ikey)
+                                    .expect("valid kind"),
+                                value,
+                            });
+                        }
+                    }
+                    sources.push(run);
+                }
+            }
+        }
+        if sources.iter().all(|s| s.is_empty()) {
+            // Nothing to move; restore nothing and report no deletions.
+            for region in released_regions {
+                pool.free(region);
+            }
+            if let Level0::Ssd(tables) = &mut self.level0 {
+                tables.clear();
+            }
+            return Ok(Vec::new());
+        }
+        // Merge with overlapping level-1 tables.
+        let first = sources
+            .iter()
+            .flat_map(|s| s.first())
+            .map(|e| e.user_key.clone())
+            .min()
+            .expect("nonempty");
+        let last = sources
+            .iter()
+            .flat_map(|s| s.last())
+            .map(|e| e.user_key.clone())
+            .max()
+            .expect("nonempty");
+        let l1_overlap = self.levels.overlapping(1, &first, &last);
+        let mut deleted: Vec<String> = Vec::new();
+        let mut l1_run = Vec::new();
+        for handle in &l1_overlap {
+            if let Ok(all) = handle.table.scan_all(tl) {
+                for (ikey, value) in all {
+                    l1_run.push(OwnedEntry {
+                        user_key: encoding::key::user_key(&ikey).to_vec(),
+                        seq: encoding::key::sequence(&ikey),
+                        kind: encoding::key::kind(&ikey).expect("valid kind"),
+                        value,
+                    });
+                }
+            }
+        }
+        if !l1_run.is_empty() {
+            sources.push(l1_run);
+        }
+        // Tombstones can drop only when no deeper level holds the key
+        // range; be conservative: drop only when levels below 1 are empty.
+        let drop_tombstones = self.levels.depth() <= 1;
+        let merged = merge_dedup(sources, drop_tombstones, &opts.cost, tl);
+        let new_tables = build_ss_tables(
+            &merged,
+            device,
+            cache,
+            &format!("p{:03}-L1", self.id),
+            table_counter,
+            opts.max_table_bytes,
+            SsTableOptions::default(),
+            tl,
+        )?;
+        // Install: keep non-overlapping old L1 tables, insert the new run.
+        let old_l1 = self.levels.replace_level(1, Vec::new());
+        let mut next_l1: Vec<SsTableHandle> = Vec::new();
+        for handle in old_l1 {
+            if l1_overlap.iter().any(|o| o.name == handle.name) {
+                deleted.push(handle.name.clone());
+            } else {
+                next_l1.push(handle);
+            }
+        }
+        next_l1.extend(new_tables);
+        next_l1.sort_by(|a, b| a.first.cmp(&b.first));
+        self.levels.replace_level(1, next_l1);
+        // Free PM space and drop SSD L0 tables.
+        for region in released_regions {
+            pool.free(region);
+        }
+        if let Level0::Ssd(tables) = &mut self.level0 {
+            for handle in tables.drain(..) {
+                deleted.push(handle.name.clone());
+            }
+        }
+        // Cascade oversized deeper levels.
+        deleted.extend(self.cascade_levels(
+            opts,
+            device,
+            cache,
+            table_counter,
+            tl,
+        )?);
+        Ok(deleted)
+    }
+
+    /// Push oversized levels downward until every level fits its target.
+    fn cascade_levels(
+        &mut self,
+        opts: &Options,
+        device: &Arc<SsdDevice>,
+        cache: &Arc<BlockCache>,
+        table_counter: &mut u64,
+        tl: &mut Timeline,
+    ) -> Result<Vec<String>, crate::engine::DbError> {
+        let mut deleted = Vec::new();
+        let mut level = 1usize;
+        while level <= self.levels.depth() {
+            let target = opts.l1_target as u64
+                * (opts.level_multiplier as u64).pow(level as u32 - 1);
+            if self.levels.level_bytes(level) <= target {
+                level += 1;
+                continue;
+            }
+            // Merge the whole level into the next one.
+            let this_level = self.levels.replace_level(level, Vec::new());
+            let next_level = self.levels.replace_level(level + 1, Vec::new());
+            let mut sources = Vec::new();
+            let mut run = Vec::new();
+            for handle in this_level.iter().chain(next_level.iter()) {
+                deleted.push(handle.name.clone());
+            }
+            for group in [&this_level, &next_level] {
+                run.clear();
+                for handle in group.iter() {
+                    if let Ok(all) = handle.table.scan_all(tl) {
+                        for (ikey, value) in all {
+                            run.push(OwnedEntry {
+                                user_key: encoding::key::user_key(&ikey)
+                                    .to_vec(),
+                                seq: encoding::key::sequence(&ikey),
+                                kind: encoding::key::kind(&ikey)
+                                    .expect("valid kind"),
+                                value,
+                            });
+                        }
+                    }
+                }
+                if !run.is_empty() {
+                    sources.push(std::mem::take(&mut run));
+                }
+            }
+            let is_bottom = level + 1 >= self.levels.depth();
+            let merged =
+                merge_dedup(sources, is_bottom, &opts.cost, tl);
+            let new_tables = build_ss_tables(
+                &merged,
+                device,
+                cache,
+                &format!("p{:03}-L{}", self.id, level + 1),
+                table_counter,
+                opts.max_table_bytes,
+                SsTableOptions::default(),
+                tl,
+            )?;
+            self.levels.replace_level(level + 1, new_tables);
+            level += 1;
+        }
+        Ok(deleted)
+    }
+
+    /// Should the RocksDB-style level-0 trigger fire?
+    pub fn ssd_l0_full(&self, trigger: usize) -> bool {
+        matches!(&self.level0, Level0::Ssd(tables) if tables.len() >= trigger)
+    }
+
+    /// Entry kind helper for writes.
+    pub fn write_kind(delete: bool) -> KeyKind {
+        if delete {
+            KeyKind::Delete
+        } else {
+            KeyKind::Value
+        }
+    }
+}
+
+impl std::fmt::Debug for Partition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Partition")
+            .field("id", &self.id)
+            .field("mem_bytes", &self.mem.approximate_size())
+            .field("pm_bytes", &self.pm_bytes())
+            .field("ssd_bytes", &self.levels.total_bytes())
+            .finish()
+    }
+}

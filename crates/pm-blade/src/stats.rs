@@ -1,0 +1,107 @@
+//! Engine-wide statistics.
+//!
+//! Byte counters are exact (they drive the write-amplification
+//! experiments); latency distributions are virtual-clock durations.
+
+use sim::{Counter, Histogram};
+
+/// Where a read was ultimately served from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReadSource {
+    /// The DRAM memtable (active or immutable).
+    MemTable,
+    /// The PM level-0.
+    Pm,
+    /// An SSD level.
+    Ssd,
+    /// Key not found anywhere.
+    Miss,
+}
+
+/// Aggregate engine statistics.
+#[derive(Default, Debug)]
+pub struct EngineStats {
+    /// User payload bytes accepted by `put`/`delete` (the denominator of
+    /// write amplification).
+    pub user_bytes_written: Counter,
+    /// Foreground operations.
+    pub puts: Counter,
+    pub gets: Counter,
+    pub deletes: Counter,
+    pub scans: Counter,
+    /// Reads by serving tier.
+    pub reads_from_memtable: Counter,
+    pub reads_from_pm: Counter,
+    pub reads_from_ssd: Counter,
+    pub read_misses: Counter,
+    /// Compaction activity.
+    pub minor_compactions: Counter,
+    pub internal_compactions: Counter,
+    pub major_compactions: Counter,
+    /// Bytes reclaimed on PM by internal compaction (Table IV).
+    pub internal_space_released: Counter,
+    /// Records dropped as duplicates by internal compaction.
+    pub internal_dropped_records: Counter,
+}
+
+impl EngineStats {
+    /// Record a read outcome.
+    pub fn note_read(&self, source: ReadSource) {
+        self.gets.incr();
+        match source {
+            ReadSource::MemTable => self.reads_from_memtable.incr(),
+            ReadSource::Pm => self.reads_from_pm.incr(),
+            ReadSource::Ssd => self.reads_from_ssd.incr(),
+            ReadSource::Miss => self.read_misses.incr(),
+        }
+    }
+
+    /// Fraction of successful reads served without touching the SSD
+    /// (memtable + PM) — the paper's "proportion of reads hitting PM".
+    pub fn pm_hit_ratio(&self) -> f64 {
+        let fast = self.reads_from_memtable.get() + self.reads_from_pm.get();
+        let total = fast + self.reads_from_ssd.get();
+        if total == 0 {
+            0.0
+        } else {
+            fast as f64 / total as f64
+        }
+    }
+}
+
+/// Mutable per-run latency recorders, kept separate from the atomic
+/// counters so benches can own them without locks.
+#[derive(Default, Debug)]
+pub struct LatencyStats {
+    pub reads: Histogram,
+    pub writes: Histogram,
+    pub scans: Histogram,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_accounting_routes_by_source() {
+        let s = EngineStats::default();
+        s.note_read(ReadSource::MemTable);
+        s.note_read(ReadSource::Pm);
+        s.note_read(ReadSource::Pm);
+        s.note_read(ReadSource::Ssd);
+        s.note_read(ReadSource::Miss);
+        assert_eq!(s.gets.get(), 5);
+        assert_eq!(s.reads_from_memtable.get(), 1);
+        assert_eq!(s.reads_from_pm.get(), 2);
+        assert_eq!(s.reads_from_ssd.get(), 1);
+        assert_eq!(s.read_misses.get(), 1);
+        // 3 of 4 located reads avoided the SSD.
+        assert!((s.pm_hit_ratio() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_ratio_is_zero() {
+        let s = EngineStats::default();
+        assert_eq!(s.pm_hit_ratio(), 0.0);
+    }
+}

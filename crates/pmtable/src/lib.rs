@@ -1,0 +1,161 @@
+//! Level-0 table formats for PM-Blade.
+//!
+//! This crate implements the paper's compressed **PM table** (§IV-A) and
+//! the three baselines it is evaluated against in Fig 6:
+//!
+//! - [`pm_table::PmTable`] — three-layer meta / prefix / entry structure
+//!   with group prefix compression;
+//! - [`array_table::ArrayTable`] — plain sorted data array + metadata
+//!   offsets, no compression (MatrixKV-style);
+//! - [`compressed_array::SnappyTable`] — array table with each key-value
+//!   pair LZ-compressed individually ("Array-snappy");
+//! - [`compressed_array::SnappyGroupTable`] — array table compressing
+//!   groups of eight pairs together ("Array-snappy-group").
+//!
+//! All formats store *internal* entries (user key, sequence, kind, value)
+//! in internal-key order, read from any [`Storage`] (simulated PM or a
+//! DRAM buffer), and meter every access to a [`sim::Timeline`].
+
+pub mod array_table;
+pub mod compressed_array;
+pub mod pm_table;
+pub mod storage;
+
+pub use array_table::{ArrayTable, ArrayTableBuilder};
+pub use compressed_array::{
+    SnappyGroupTable, SnappyGroupTableBuilder, SnappyTable, SnappyTableBuilder,
+};
+pub use pm_table::{MetaExtractor, PmTable, PmTableBuilder, PmTableOptions};
+pub use storage::{DramBuf, Storage};
+
+use encoding::key::{KeyKind, SequenceNumber};
+
+/// A fully materialized table entry.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct OwnedEntry {
+    pub user_key: Vec<u8>,
+    pub seq: SequenceNumber,
+    pub kind: KeyKind,
+    pub value: Vec<u8>,
+}
+
+impl OwnedEntry {
+    pub fn value(user_key: impl Into<Vec<u8>>, seq: SequenceNumber, value: impl Into<Vec<u8>>) -> Self {
+        OwnedEntry {
+            user_key: user_key.into(),
+            seq,
+            kind: KeyKind::Value,
+            value: value.into(),
+        }
+    }
+
+    pub fn tombstone(user_key: impl Into<Vec<u8>>, seq: SequenceNumber) -> Self {
+        OwnedEntry {
+            user_key: user_key.into(),
+            seq,
+            kind: KeyKind::Delete,
+            value: Vec::new(),
+        }
+    }
+
+    /// Internal-key ordering: user key ascending, sequence descending.
+    pub fn internal_cmp(&self, other: &OwnedEntry) -> std::cmp::Ordering {
+        self.user_key
+            .cmp(&other.user_key)
+            .then(other.seq.cmp(&self.seq))
+    }
+
+    /// Approximate in-memory footprint of this entry.
+    pub fn raw_len(&self) -> usize {
+        self.user_key.len() + 8 + self.value.len()
+    }
+}
+
+/// Result of a point lookup in any table format.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Lookup {
+    pub seq: SequenceNumber,
+    pub kind: KeyKind,
+    pub value: Vec<u8>,
+}
+
+impl Lookup {
+    /// The value if this is a live entry, `None` for a tombstone.
+    pub fn into_value(self) -> Option<Vec<u8>> {
+        match self.kind {
+            KeyKind::Value => Some(self.value),
+            KeyKind::Delete => None,
+        }
+    }
+}
+
+/// Statistics from building one table.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct BuildStats {
+    /// Bytes of raw input (keys + trailers + values).
+    pub raw_bytes: usize,
+    /// Bytes of the encoded table.
+    pub encoded_bytes: usize,
+    /// Number of entries.
+    pub entries: usize,
+}
+
+impl BuildStats {
+    /// Encoded / raw size; below 1.0 means the format compressed.
+    pub fn ratio(&self) -> f64 {
+        if self.raw_bytes == 0 {
+            1.0
+        } else {
+            self.encoded_bytes as f64 / self.raw_bytes as f64
+        }
+    }
+}
+
+/// Common read interface over every level-0 table format.
+pub trait L0Table {
+    /// Newest entry for `user_key` visible at `snapshot`, if present.
+    fn get(
+        &self,
+        user_key: &[u8],
+        snapshot: SequenceNumber,
+        tl: &mut sim::Timeline,
+    ) -> Option<Lookup>;
+
+    /// Number of entries stored.
+    fn entry_count(&self) -> usize;
+
+    /// Encoded size in bytes.
+    fn encoded_len(&self) -> usize;
+
+    /// Iterate every entry in internal-key order, metering reads.
+    fn scan_all(&self, tl: &mut sim::Timeline) -> Vec<OwnedEntry>;
+
+    /// Smallest user key, if non-empty.
+    fn first_user_key(&self) -> Option<&[u8]>;
+
+    /// Largest user key, if non-empty.
+    fn last_user_key(&self) -> Option<&[u8]>;
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use sim::Pcg64;
+
+    /// Generate `n` sorted unique entries shaped like the paper's index
+    /// tables: `t{table:04}:{key:010}` with shared prefixes.
+    pub fn index_entries(n: usize, value_len: usize, seed: u64) -> Vec<OwnedEntry> {
+        let mut rng = Pcg64::seeded(seed);
+        let mut entries: Vec<OwnedEntry> = (0..n)
+            .map(|i| {
+                let table = i % 4;
+                let key = format!("t{:04}:{:010}", table, i * 7 + 13);
+                let mut value = vec![0u8; value_len];
+                rng.fill_bytes(&mut value);
+                OwnedEntry::value(key.into_bytes(), (i as u64 % 100) + 1, value)
+            })
+            .collect();
+        entries.sort_by(|a, b| a.internal_cmp(b));
+        entries
+    }
+}

@@ -1,0 +1,964 @@
+//! The compressed PM table (§IV-A of the paper).
+//!
+//! A PM table stores sorted internal entries in a three-layer structure:
+//!
+//! 1. **meta layer** — distinct key *meta prefixes* (e.g. `{tableID}`s)
+//!    deduplicated table-wide, each mapped to the contiguous range of
+//!    groups it covers;
+//! 2. **prefix layer** — a dense array of fixed-width (16-byte) prefixes,
+//!    one per entry group, supporting an indirection-free binary search;
+//! 3. **entry layer** — per-group blocks holding the group's common prefix
+//!    once, then entries with both the meta and group prefix stripped.
+//!
+//! A point lookup binary-searches the meta layer (DRAM-cached — it is tiny
+//! by design), binary-searches the prefix layer inside the meta's group
+//! range (one fixed-size PM read per probe), then sequentially scans one
+//! group block (one PM read + cheap in-cache comparisons). This is the
+//! access-pattern advantage the paper claims over the array-based layout,
+//! which pays **two** dependent PM reads (offset, then key) per probe.
+//!
+//! On-PM layout (all integers little-endian):
+//!
+//! ```text
+//! header:   magic u32 | entry_count u32 | group_count u32 |
+//!           extractor tag u8 + arg u8 | group_size u8 | reserved u8 |
+//!           meta_off u32 | prefix_off u32 | gindex_off u32 | entry_off u32
+//! meta:     count u32, then per meta: varint len | bytes |
+//!           first_group u32 | group_count u32
+//! prefix:   group_count × 16 bytes
+//! gindex:   group_count × (block_off u32 | block_len u32 | count u16 |
+//!           meta_id u16)
+//! entries:  per group: varint lcp_len | lcp bytes | per entry:
+//!           varint krem_len | varint vlen | trailer u64 | krem | value
+//! ```
+
+use encoding::key::{self, SequenceNumber};
+use encoding::prefix::FixedPrefix;
+use encoding::varint;
+use sim::Timeline;
+
+use crate::storage::Storage;
+use crate::{BuildStats, L0Table, Lookup, OwnedEntry};
+
+const MAGIC: u32 = 0x504D_5442; // "PMTB"
+const HEADER_LEN: usize = 4 + 4 + 4 + 4 + 16;
+const PREFIX_WIDTH: usize = 16;
+const GINDEX_ENTRY_LEN: usize = 12;
+
+/// How the meta prefix (e.g. `{tableID}`) is carved off a user key.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MetaExtractor {
+    /// Keys carry no shared coding information.
+    None,
+    /// The first `n` bytes are the meta prefix.
+    FixedLen(u8),
+    /// Everything up to and including the first occurrence of the byte is
+    /// the meta prefix (e.g. `b':'` for `t0001:...` keys).
+    Delimiter(u8),
+}
+
+impl MetaExtractor {
+    /// Split `key` into (meta, rest).
+    #[inline]
+    pub fn split<'a>(&self, key: &'a [u8]) -> (&'a [u8], &'a [u8]) {
+        match *self {
+            MetaExtractor::None => (&key[..0], key),
+            MetaExtractor::FixedLen(n) => {
+                let n = (n as usize).min(key.len());
+                key.split_at(n)
+            }
+            MetaExtractor::Delimiter(d) => {
+                match key.iter().position(|&b| b == d) {
+                    Some(i) => key.split_at(i + 1),
+                    None => (&key[..0], key),
+                }
+            }
+        }
+    }
+
+    fn encode(&self) -> [u8; 2] {
+        match *self {
+            MetaExtractor::None => [0, 0],
+            MetaExtractor::FixedLen(n) => [1, n],
+            MetaExtractor::Delimiter(d) => [2, d],
+        }
+    }
+
+    fn decode(tag: u8, arg: u8) -> Option<Self> {
+        match tag {
+            0 => Some(MetaExtractor::None),
+            1 => Some(MetaExtractor::FixedLen(arg)),
+            2 => Some(MetaExtractor::Delimiter(arg)),
+            _ => None,
+        }
+    }
+}
+
+/// Build-time options.
+#[derive(Clone, Copy, Debug)]
+pub struct PmTableOptions {
+    /// Entries per group: the paper uses eight or sixteen.
+    pub group_size: usize,
+    /// Meta-prefix extraction rule.
+    pub extractor: MetaExtractor,
+}
+
+impl Default for PmTableOptions {
+    fn default() -> Self {
+        PmTableOptions { group_size: 16, extractor: MetaExtractor::None }
+    }
+}
+
+/// Streaming builder; feed entries in internal-key order, then `finish`.
+pub struct PmTableBuilder {
+    opts: PmTableOptions,
+    entries: Vec<OwnedEntry>,
+    raw_bytes: usize,
+}
+
+impl PmTableBuilder {
+    pub fn new(opts: PmTableOptions) -> Self {
+        assert!(opts.group_size >= 2, "group size must be at least 2");
+        PmTableBuilder { opts, entries: Vec::new(), raw_bytes: 0 }
+    }
+
+    /// Append the next entry; must not sort before the previous one.
+    pub fn add(&mut self, entry: OwnedEntry) {
+        if let Some(prev) = self.entries.last() {
+            debug_assert!(
+                prev.internal_cmp(&entry) != std::cmp::Ordering::Greater,
+                "entries must arrive in internal-key order"
+            );
+        }
+        self.raw_bytes += entry.raw_len();
+        self.entries.push(entry);
+    }
+
+    pub fn entry_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn raw_bytes(&self) -> usize {
+        self.raw_bytes
+    }
+
+    /// Encode the table, charging CPU encode cost to `tl`.
+    /// Returns the payload (to be published to PM) and build stats.
+    pub fn finish(
+        self,
+        cost: &sim::CostModel,
+        tl: &mut Timeline,
+    ) -> (Vec<u8>, BuildStats) {
+        let opts = self.opts;
+        let entries = self.entries;
+        // Group assignment: split on group_size or meta change.
+        struct Group {
+            start: usize,
+            len: usize,
+            meta_id: u16,
+        }
+        let mut metas: Vec<Vec<u8>> = Vec::new();
+        let mut groups: Vec<Group> = Vec::new();
+        {
+            let mut i = 0usize;
+            while i < entries.len() {
+                let (meta, _) = opts.extractor.split(&entries[i].user_key);
+                let meta_id = match metas.last() {
+                    Some(last) if last.as_slice() == meta => {
+                        (metas.len() - 1) as u16
+                    }
+                    _ => {
+                        metas.push(meta.to_vec());
+                        (metas.len() - 1) as u16
+                    }
+                };
+                let mut len = 1usize;
+                while len < opts.group_size && i + len < entries.len() {
+                    let (m, _) =
+                        opts.extractor.split(&entries[i + len].user_key);
+                    if m != metas[meta_id as usize].as_slice() {
+                        break;
+                    }
+                    len += 1;
+                }
+                groups.push(Group { start: i, len, meta_id });
+                i += len;
+            }
+        }
+
+        // Entry layer.
+        let mut entry_layer = Vec::with_capacity(self.raw_bytes);
+        let mut gindex = Vec::with_capacity(groups.len() * GINDEX_ENTRY_LEN);
+        let mut prefixes = Vec::with_capacity(groups.len() * PREFIX_WIDTH);
+        for g in &groups {
+            let slice = &entries[g.start..g.start + g.len];
+            let meta = &metas[g.meta_id as usize];
+            let rests: Vec<&[u8]> = slice
+                .iter()
+                .map(|e| opts.extractor.split(&e.user_key).1)
+                .collect();
+            // The group's shared prefix (after meta strip) is the LCP of
+            // its first and last key, since the group is sorted.
+            let lcp = encoding::prefix::common_prefix_len(
+                rests[0],
+                rests[rests.len() - 1],
+            );
+            debug_assert!(meta.is_empty() || slice.iter().all(|e| {
+                opts.extractor.split(&e.user_key).0 == meta.as_slice()
+            }));
+            let block_off = entry_layer.len() as u32;
+            varint::put_u32(&mut entry_layer, lcp as u32);
+            entry_layer.extend_from_slice(&rests[0][..lcp]);
+            for (e, rest) in slice.iter().zip(&rests) {
+                let krem = &rest[lcp..];
+                varint::put_u32(&mut entry_layer, krem.len() as u32);
+                varint::put_u32(&mut entry_layer, e.value.len() as u32);
+                entry_layer.extend_from_slice(
+                    &key::pack_trailer(e.seq, e.kind).to_le_bytes(),
+                );
+                entry_layer.extend_from_slice(krem);
+                entry_layer.extend_from_slice(&e.value);
+            }
+            let block_len = entry_layer.len() as u32 - block_off;
+            gindex.extend_from_slice(&block_off.to_le_bytes());
+            gindex.extend_from_slice(&block_len.to_le_bytes());
+            gindex.extend_from_slice(&(g.len as u16).to_le_bytes());
+            gindex.extend_from_slice(&g.meta_id.to_le_bytes());
+            prefixes.extend_from_slice(
+                FixedPrefix::<PREFIX_WIDTH>::of(rests[0]).as_bytes(),
+            );
+        }
+
+        // Meta layer with group ranges.
+        let mut meta_layer = Vec::new();
+        varint::put_u32(&mut meta_layer, metas.len() as u32);
+        {
+            // first_group/group_count per meta: groups are contiguous per
+            // meta because entries are sorted and metas are key prefixes.
+            let mut cursor = 0usize;
+            for (mid, meta) in metas.iter().enumerate() {
+                let first = cursor;
+                while cursor < groups.len()
+                    && groups[cursor].meta_id as usize == mid
+                {
+                    cursor += 1;
+                }
+                varint::put_slice(&mut meta_layer, meta);
+                meta_layer.extend_from_slice(&(first as u32).to_le_bytes());
+                meta_layer
+                    .extend_from_slice(&((cursor - first) as u32).to_le_bytes());
+            }
+        }
+
+        // Assemble: header | meta | prefix | gindex | entries.
+        let ext = opts.extractor.encode();
+        let meta_off = HEADER_LEN as u32;
+        let prefix_off = meta_off + meta_layer.len() as u32;
+        let gindex_off = prefix_off + prefixes.len() as u32;
+        let entry_off = gindex_off + gindex.len() as u32;
+        let mut out = Vec::with_capacity(entry_off as usize + entry_layer.len());
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(groups.len() as u32).to_le_bytes());
+        out.push(ext[0]);
+        out.push(ext[1]);
+        out.push(opts.group_size as u8);
+        out.push(0);
+        out.extend_from_slice(&meta_off.to_le_bytes());
+        out.extend_from_slice(&prefix_off.to_le_bytes());
+        out.extend_from_slice(&gindex_off.to_le_bytes());
+        out.extend_from_slice(&entry_off.to_le_bytes());
+        debug_assert_eq!(out.len(), HEADER_LEN);
+        out.extend_from_slice(&meta_layer);
+        out.extend_from_slice(&prefixes);
+        out.extend_from_slice(&gindex);
+        out.extend_from_slice(&entry_layer);
+
+        // Prefix stripping is plain encoding work — no LZ pass.
+        tl.charge(cost.cpu.encode(self.raw_bytes));
+        tl.charge(cost.cpu.merge_per_entry * entries.len() as u64);
+        let stats = BuildStats {
+            raw_bytes: self.raw_bytes,
+            encoded_bytes: out.len(),
+            entries: entries.len(),
+        };
+        (out, stats)
+    }
+}
+
+/// One decoded meta-layer row, cached in DRAM by the reader.
+#[derive(Clone, Debug)]
+struct MetaRow {
+    prefix: Vec<u8>,
+    first_group: u32,
+    group_count: u32,
+}
+
+/// Read handle over an encoded PM table.
+#[derive(Clone)]
+pub struct PmTable<S: Storage> {
+    storage: S,
+    extractor: MetaExtractor,
+    entry_count: u32,
+    group_count: u32,
+    prefix_off: u32,
+    gindex_off: u32,
+    entry_off: u32,
+    /// Meta layer rows, decoded once at open. The meta layer is deduped and
+    /// tiny by construction — the paper stores it separately precisely so
+    /// it stays resident.
+    metas: Vec<MetaRow>,
+    first_key: Option<Vec<u8>>,
+    last_key: Option<Vec<u8>>,
+}
+
+/// Errors opening a PM table.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PmTableError {
+    BadMagic,
+    Truncated,
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for PmTableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PmTableError::BadMagic => write!(f, "pm table: bad magic"),
+            PmTableError::Truncated => write!(f, "pm table: truncated"),
+            PmTableError::Corrupt(what) => write!(f, "pm table: corrupt {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PmTableError {}
+
+impl<S: Storage> PmTable<S> {
+    /// Parse the header and meta layer.
+    pub fn open(storage: S) -> Result<Self, PmTableError> {
+        let data = storage.bytes();
+        if data.len() < HEADER_LEN {
+            return Err(PmTableError::Truncated);
+        }
+        let u32_at = |off: usize| -> u32 {
+            u32::from_le_bytes(data[off..off + 4].try_into().unwrap())
+        };
+        if u32_at(0) != MAGIC {
+            return Err(PmTableError::BadMagic);
+        }
+        let entry_count = u32_at(4);
+        let group_count = u32_at(8);
+        let extractor = MetaExtractor::decode(data[12], data[13])
+            .ok_or(PmTableError::Corrupt("extractor tag"))?;
+        let meta_off = u32_at(16);
+        let prefix_off = u32_at(20);
+        let gindex_off = u32_at(24);
+        let entry_off = u32_at(28);
+        if (entry_off as usize) > data.len()
+            || meta_off > prefix_off
+            || prefix_off > gindex_off
+            || gindex_off > entry_off
+        {
+            return Err(PmTableError::Corrupt("section offsets"));
+        }
+        // Decode meta layer.
+        let mut metas = Vec::new();
+        {
+            let mut r = varint::Reader::new(
+                &data[meta_off as usize..prefix_off as usize],
+            );
+            let count = r.read_u32().ok_or(PmTableError::Truncated)?;
+            for _ in 0..count {
+                let prefix = r
+                    .read_slice()
+                    .ok_or(PmTableError::Truncated)?
+                    .to_vec();
+                let first_group = u32::from_le_bytes(
+                    r.read_bytes(4)
+                        .ok_or(PmTableError::Truncated)?
+                        .try_into()
+                        .unwrap(),
+                );
+                let gcount = u32::from_le_bytes(
+                    r.read_bytes(4)
+                        .ok_or(PmTableError::Truncated)?
+                        .try_into()
+                        .unwrap(),
+                );
+                metas.push(MetaRow { prefix, first_group, group_count: gcount });
+            }
+        }
+        let mut table = PmTable {
+            storage,
+            extractor,
+            entry_count,
+            group_count,
+            prefix_off,
+            gindex_off,
+            entry_off,
+            metas,
+            first_key: None,
+            last_key: None,
+        };
+        if group_count > 0 {
+            let mut scratch = Timeline::new();
+            let first = table
+                .decode_group(0, &mut scratch)
+                .ok_or(PmTableError::Corrupt("first group"))?;
+            let last = table
+                .decode_group(group_count - 1, &mut scratch)
+                .ok_or(PmTableError::Corrupt("last group"))?;
+            table.first_key =
+                first.first().map(|e| e.user_key.clone());
+            table.last_key = last.last().map(|e| e.user_key.clone());
+        }
+        Ok(table)
+    }
+
+    pub fn group_count(&self) -> u32 {
+        self.group_count
+    }
+
+    fn gindex(&self, group: u32) -> (u32, u32, u16, u16) {
+        let off = self.gindex_off as usize + group as usize * GINDEX_ENTRY_LEN;
+        let data = self.storage.bytes();
+        let block_off =
+            u32::from_le_bytes(data[off..off + 4].try_into().unwrap());
+        let block_len =
+            u32::from_le_bytes(data[off + 4..off + 8].try_into().unwrap());
+        let count =
+            u16::from_le_bytes(data[off + 8..off + 10].try_into().unwrap());
+        let meta_id =
+            u16::from_le_bytes(data[off + 10..off + 12].try_into().unwrap());
+        (block_off, block_len, count, meta_id)
+    }
+
+    fn prefix_at(&self, group: u32) -> &[u8] {
+        let off = self.prefix_off as usize + group as usize * PREFIX_WIDTH;
+        &self.storage.bytes()[off..off + PREFIX_WIDTH]
+    }
+
+    /// Decode every entry of one group, metering one block read.
+    fn decode_group(
+        &self,
+        group: u32,
+        tl: &mut Timeline,
+    ) -> Option<Vec<OwnedEntry>> {
+        let (block_off, block_len, count, meta_id) = self.gindex(group);
+        self.storage.meter_random(block_len as usize, tl);
+        let meta = &self.metas.get(meta_id as usize)?.prefix;
+        let start = self.entry_off as usize + block_off as usize;
+        let block =
+            self.storage.bytes().get(start..start + block_len as usize)?;
+        let mut r = varint::Reader::new(block);
+        let lcp_len = r.read_u32()? as usize;
+        let lcp = r.read_bytes(lcp_len)?.to_vec();
+        let mut out = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let krem_len = r.read_u32()? as usize;
+            let vlen = r.read_u32()? as usize;
+            let trailer = u64::from_le_bytes(r.read_bytes(8)?.try_into().unwrap());
+            let krem = r.read_bytes(krem_len)?;
+            let value = r.read_bytes(vlen)?.to_vec();
+            let (seq, kind) = key::unpack_trailer(trailer);
+            let mut user_key =
+                Vec::with_capacity(meta.len() + lcp.len() + krem.len());
+            user_key.extend_from_slice(meta);
+            user_key.extend_from_slice(&lcp);
+            user_key.extend_from_slice(krem);
+            out.push(OwnedEntry { user_key, seq, kind: kind?, value });
+        }
+        Some(out)
+    }
+
+    /// Reconstruct the (meta-stripped) first key of a group: its stored
+    /// LCP bytes plus the first entry's remainder.
+    fn group_first_rest(&self, group: u32) -> Option<Vec<u8>> {
+        let (block_off, block_len, count, _) = self.gindex(group);
+        if count == 0 {
+            return None;
+        }
+        let start = self.entry_off as usize + block_off as usize;
+        let block =
+            self.storage.bytes().get(start..start + block_len as usize)?;
+        let mut r = varint::Reader::new(block);
+        let lcp_len = r.read_u32()? as usize;
+        let lcp = r.read_bytes(lcp_len)?;
+        let krem_len = r.read_u32()? as usize;
+        let _vlen = r.read_u32()?;
+        let _trailer = r.read_bytes(8)?;
+        let krem = r.read_bytes(krem_len)?;
+        let mut key = Vec::with_capacity(lcp.len() + krem.len());
+        key.extend_from_slice(lcp);
+        key.extend_from_slice(krem);
+        Some(key)
+    }
+
+    /// Binary search the prefix layer within `[lo, hi)` for the last group
+    /// whose leader prefix <= probe. Charges one fixed-size PM read per
+    /// probe.
+    fn locate_group(
+        &self,
+        rest: &[u8],
+        lo: u32,
+        hi: u32,
+        tl: &mut Timeline,
+    ) -> u32 {
+        let probe = FixedPrefix::<PREFIX_WIDTH>::of(rest);
+        let cpu = self.storage.cost_model().cpu;
+        let (mut lo, mut hi) = (lo as i64, hi as i64);
+        let base = lo;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            self.storage.meter_random(PREFIX_WIDTH, tl);
+            tl.charge(cpu.key_compare);
+            let leader =
+                FixedPrefix::<PREFIX_WIDTH>::of(self.prefix_at(mid as u32));
+            if leader <= probe {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        (lo - 1).max(base) as u32
+    }
+}
+
+impl<S: Storage> L0Table for PmTable<S> {
+    fn get(
+        &self,
+        user_key: &[u8],
+        snapshot: SequenceNumber,
+        tl: &mut Timeline,
+    ) -> Option<Lookup> {
+        if self.group_count == 0 {
+            return None;
+        }
+        let (meta, rest) = self.extractor.split(user_key);
+        // Meta layer is DRAM-resident; binary search it at DRAM cost.
+        let cpu = self.storage.cost_model().cpu;
+        tl.charge(
+            cpu.key_compare
+                * (self.metas.len().max(2) as u64).ilog2() as u64,
+        );
+        let mid = self
+            .metas
+            .binary_search_by(|row| row.prefix.as_slice().cmp(meta))
+            .ok()?;
+        let row = &self.metas[mid];
+        let mut group = self.locate_group(
+            rest,
+            row.first_group,
+            row.first_group + row.group_count,
+            tl,
+        );
+        // Fixed-width leaders can tie across groups; if the probe sorts
+        // before this group's *full* first key, the match (if any) lives
+        // in an earlier group with the same leader. Step back until the
+        // group's first key is <= the probe.
+        while group > row.first_group {
+            self.storage.meter_random(32, tl);
+            match self.group_first_rest(group) {
+                Some(first) if first.as_slice() > rest => group -= 1,
+                _ => break,
+            }
+        }
+        // One sequential block scan; decode_group meters the block read.
+        let entries = self.decode_group(group, tl)?;
+        tl.charge(cpu.key_compare * entries.len() as u64);
+        entries
+            .into_iter()
+            .filter(|e| e.user_key == user_key && e.seq <= snapshot)
+            .max_by_key(|e| e.seq)
+            .map(|e| Lookup { seq: e.seq, kind: e.kind, value: e.value })
+    }
+
+    fn entry_count(&self) -> usize {
+        self.entry_count as usize
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.storage.bytes().len()
+    }
+
+    fn scan_all(&self, tl: &mut Timeline) -> Vec<OwnedEntry> {
+        let mut out = Vec::with_capacity(self.entry_count as usize);
+        for g in 0..self.group_count {
+            // Sequential pass: group blocks are adjacent.
+            let (_, block_len, _, _) = self.gindex(g);
+            if g == 0 {
+                self.storage.meter_random(block_len as usize, tl);
+            } else {
+                self.storage.meter_sequential(block_len as usize, tl);
+            }
+            let mut noop = Timeline::new();
+            if let Some(entries) = self.decode_group(g, &mut noop) {
+                out.extend(entries);
+            }
+        }
+        out
+    }
+
+    fn first_user_key(&self) -> Option<&[u8]> {
+        self.first_key.as_deref()
+    }
+
+    fn last_user_key(&self) -> Option<&[u8]> {
+        self.last_key.as_deref()
+    }
+}
+
+/// Range scan support: iterate entries with user keys in
+/// `[start, end)` (end `None` = unbounded).
+impl<S: Storage> PmTable<S> {
+    pub fn scan_range(
+        &self,
+        start: &[u8],
+        end: Option<&[u8]>,
+        limit: usize,
+        tl: &mut Timeline,
+    ) -> Vec<OwnedEntry> {
+        if self.group_count == 0 || limit == 0 {
+            return Vec::new();
+        }
+        let (meta, rest) = self.extractor.split(start);
+        // Locate the starting meta row (first row >= meta).
+        let start_meta = self
+            .metas
+            .partition_point(|row| row.prefix.as_slice() < meta);
+        let mut out = Vec::new();
+        let mut group = match self.metas.get(start_meta) {
+            Some(row) if row.prefix.as_slice() == meta => {
+                let mut g = self.locate_group(
+                    rest,
+                    row.first_group,
+                    row.first_group + row.group_count,
+                    tl,
+                );
+                // Same fixed-width-prefix tie handling as `get`: step
+                // back while the located group's full first key sorts
+                // after the scan start, or entries in earlier tied
+                // groups would be skipped.
+                while g > row.first_group {
+                    self.storage.meter_random(32, tl);
+                    match self.group_first_rest(g) {
+                        Some(first) if first.as_slice() > rest => g -= 1,
+                        _ => break,
+                    }
+                }
+                g
+            }
+            Some(row) => row.first_group,
+            None => return Vec::new(),
+        };
+        'outer: while group < self.group_count {
+            let (_, block_len, _, _) = self.gindex(group);
+            self.storage.meter_random(block_len as usize, tl);
+            let mut noop = Timeline::new();
+            let Some(entries) = self.decode_group(group, &mut noop) else {
+                break;
+            };
+            for e in entries {
+                if e.user_key.as_slice() < start {
+                    continue;
+                }
+                if let Some(end) = end {
+                    if e.user_key.as_slice() >= end {
+                        break 'outer;
+                    }
+                }
+                out.push(e);
+                if out.len() >= limit {
+                    break 'outer;
+                }
+            }
+            group += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::DramBuf;
+    use encoding::key::KeyKind;
+    use crate::testutil::index_entries;
+    use sim::CostModel;
+
+    fn build(
+        entries: &[OwnedEntry],
+        opts: PmTableOptions,
+    ) -> PmTable<DramBuf> {
+        let cost = CostModel::default();
+        let mut b = PmTableBuilder::new(opts);
+        for e in entries {
+            b.add(e.clone());
+        }
+        let mut tl = Timeline::new();
+        let (bytes, stats) = b.finish(&cost, &mut tl);
+        assert_eq!(stats.entries, entries.len());
+        PmTable::open(DramBuf::new(bytes, cost)).unwrap()
+    }
+
+    fn delim_opts() -> PmTableOptions {
+        PmTableOptions {
+            group_size: 8,
+            extractor: MetaExtractor::Delimiter(b':'),
+        }
+    }
+
+    #[test]
+    fn empty_table_roundtrips() {
+        let t = build(&[], delim_opts());
+        let mut tl = Timeline::new();
+        assert_eq!(t.entry_count(), 0);
+        assert!(t.get(b"t0001:x", 100, &mut tl).is_none());
+        assert!(t.scan_all(&mut tl).is_empty());
+        assert!(t.first_user_key().is_none());
+    }
+
+    #[test]
+    fn get_finds_every_entry() {
+        let entries = index_entries(500, 40, 1);
+        let t = build(&entries, delim_opts());
+        let mut tl = Timeline::new();
+        for e in &entries {
+            let hit = t
+                .get(&e.user_key, u64::MAX, &mut tl)
+                .unwrap_or_else(|| panic!("missing {:?}", e.user_key));
+            assert_eq!(hit.value, e.value);
+            assert_eq!(hit.seq, e.seq);
+        }
+        assert!(tl.elapsed() > sim::SimDuration::ZERO);
+    }
+
+    #[test]
+    fn get_misses_cleanly() {
+        let entries = index_entries(100, 20, 2);
+        let t = build(&entries, delim_opts());
+        let mut tl = Timeline::new();
+        assert!(t.get(b"t0000:0000000000", u64::MAX, &mut tl).is_none());
+        assert!(t.get(b"t9999:0000000001", u64::MAX, &mut tl).is_none());
+        assert!(t.get(b"zzz", u64::MAX, &mut tl).is_none());
+        assert!(t.get(b"", u64::MAX, &mut tl).is_none());
+    }
+
+    #[test]
+    fn snapshot_filters_newer_versions() {
+        let entries = vec![
+            OwnedEntry::value(b"t0:k".to_vec(), 30, b"v30".to_vec()),
+            OwnedEntry::value(b"t0:k".to_vec(), 20, b"v20".to_vec()),
+            OwnedEntry::value(b"t0:k".to_vec(), 10, b"v10".to_vec()),
+        ];
+        let mut sorted = entries.clone();
+        sorted.sort_by(|a, b| a.internal_cmp(b));
+        let t = build(&sorted, delim_opts());
+        let mut tl = Timeline::new();
+        assert_eq!(t.get(b"t0:k", 25, &mut tl).unwrap().value, b"v20");
+        assert_eq!(t.get(b"t0:k", 10, &mut tl).unwrap().value, b"v10");
+        assert!(t.get(b"t0:k", 5, &mut tl).is_none());
+        assert_eq!(t.get(b"t0:k", u64::MAX, &mut tl).unwrap().value, b"v30");
+    }
+
+    #[test]
+    fn tombstones_surface_as_delete() {
+        let entries = vec![
+            OwnedEntry::tombstone(b"t0:k".to_vec(), 9),
+            OwnedEntry::value(b"t0:k".to_vec(), 4, b"old".to_vec()),
+        ];
+        let t = build(&entries, delim_opts());
+        let mut tl = Timeline::new();
+        let hit = t.get(b"t0:k", u64::MAX, &mut tl).unwrap();
+        assert_eq!(hit.kind, KeyKind::Delete);
+        assert!(hit.clone().into_value().is_none());
+        assert_eq!(t.get(b"t0:k", 4, &mut tl).unwrap().kind, KeyKind::Value);
+    }
+
+    #[test]
+    fn scan_all_preserves_order_and_content() {
+        let entries = index_entries(300, 16, 3);
+        let t = build(&entries, delim_opts());
+        let mut tl = Timeline::new();
+        let got = t.scan_all(&mut tl);
+        assert_eq!(got, entries);
+    }
+
+    #[test]
+    fn scan_range_bounds_are_half_open() {
+        let entries = index_entries(200, 8, 4);
+        let t = build(&entries, delim_opts());
+        let mut tl = Timeline::new();
+        let lo = entries[20].user_key.clone();
+        let hi = entries[50].user_key.clone();
+        let got = t.scan_range(&lo, Some(&hi), usize::MAX, &mut tl);
+        assert_eq!(got, entries[20..50].to_vec());
+        // Unbounded scan reaches the end.
+        let tail = t.scan_range(&lo, None, usize::MAX, &mut tl);
+        assert_eq!(tail, entries[20..].to_vec());
+    }
+
+    #[test]
+    fn scan_range_spanning_metas() {
+        // Keys cross table IDs (different metas).
+        let entries = index_entries(200, 8, 5);
+        let t = build(&entries, delim_opts());
+        let mut tl = Timeline::new();
+        let all = t.scan_range(b"", None, usize::MAX, &mut tl);
+        assert_eq!(all.len(), 200);
+    }
+
+    #[test]
+    fn compression_shrinks_prefixed_keys() {
+        let entries = index_entries(1000, 24, 6);
+        let cost = CostModel::default();
+        let mut b = PmTableBuilder::new(delim_opts());
+        let mut raw = 0usize;
+        for e in &entries {
+            raw += e.raw_len();
+            b.add(e.clone());
+        }
+        let mut tl = Timeline::new();
+        let (_, stats) = b.finish(&cost, &mut tl);
+        assert_eq!(stats.raw_bytes, raw);
+        assert!(
+            stats.ratio() < 0.95,
+            "prefixed index keys must compress: ratio {}",
+            stats.ratio()
+        );
+    }
+
+    #[test]
+    fn group_size_8_and_16_agree() {
+        let entries = index_entries(333, 12, 7);
+        let t8 = build(
+            &entries,
+            PmTableOptions { group_size: 8, ..delim_opts() },
+        );
+        let t16 = build(
+            &entries,
+            PmTableOptions { group_size: 16, ..delim_opts() },
+        );
+        let mut tl = Timeline::new();
+        for e in entries.iter().step_by(17) {
+            assert_eq!(
+                t8.get(&e.user_key, u64::MAX, &mut tl).unwrap().value,
+                t16.get(&e.user_key, u64::MAX, &mut tl).unwrap().value,
+            );
+        }
+    }
+
+    #[test]
+    fn no_extractor_still_works() {
+        let mut entries: Vec<OwnedEntry> = (0..100)
+            .map(|i| {
+                OwnedEntry::value(
+                    format!("key{:05}", i).into_bytes(),
+                    i + 1,
+                    format!("val{i}").into_bytes(),
+                )
+            })
+            .collect();
+        entries.sort_by(|a, b| a.internal_cmp(b));
+        let t = build(
+            &entries,
+            PmTableOptions { group_size: 16, extractor: MetaExtractor::None },
+        );
+        let mut tl = Timeline::new();
+        for e in &entries {
+            assert_eq!(
+                t.get(&e.user_key, u64::MAX, &mut tl).unwrap().value,
+                e.value
+            );
+        }
+    }
+
+    #[test]
+    fn first_last_keys_exposed() {
+        let entries = index_entries(64, 8, 8);
+        let t = build(&entries, delim_opts());
+        assert_eq!(t.first_user_key().unwrap(), entries[0].user_key);
+        assert_eq!(
+            t.last_user_key().unwrap(),
+            entries.last().unwrap().user_key
+        );
+    }
+
+    #[test]
+    fn open_rejects_garbage() {
+        let cost = CostModel::default();
+        match PmTable::open(DramBuf::new(vec![0; 3], cost)) {
+            Err(e) => assert_eq!(e, PmTableError::Truncated),
+            Ok(_) => panic!("short buffer must not open"),
+        }
+        let mut junk = vec![0u8; 64];
+        junk[0] = 0xff;
+        match PmTable::open(DramBuf::new(junk, cost)) {
+            Err(e) => assert_eq!(e, PmTableError::BadMagic),
+            Ok(_) => panic!("bad magic must not open"),
+        }
+    }
+
+    #[test]
+    fn lookup_meters_fewer_pm_bytes_than_full_scan() {
+        let entries = index_entries(2000, 64, 9);
+        let cost = CostModel::default();
+        let mut b = PmTableBuilder::new(delim_opts());
+        for e in &entries {
+            b.add(e.clone());
+        }
+        let mut build_tl = Timeline::new();
+        let (bytes, _) = b.finish(&cost, &mut build_tl);
+        let pool = pm_device::PmPool::new(1 << 24, cost);
+        let region = pool.publish(bytes, &mut build_tl).unwrap();
+        let t = PmTable::open(region).unwrap();
+        let mut t_get = Timeline::new();
+        t.get(&entries[777].user_key, u64::MAX, &mut t_get);
+        let mut t_scan = Timeline::new();
+        t.scan_all(&mut t_scan);
+        assert!(
+            t_get.elapsed().as_nanos() * 10 < t_scan.elapsed().as_nanos(),
+            "get {} scan {}",
+            t_get.elapsed(),
+            t_scan.elapsed()
+        );
+    }
+
+    #[test]
+    fn delimiter_missing_falls_back_to_whole_key() {
+        let ext = MetaExtractor::Delimiter(b':');
+        let (m, r) = ext.split(b"nodelimiter");
+        assert!(m.is_empty());
+        assert_eq!(r, b"nodelimiter");
+        let (m, r) = ext.split(b"a:b");
+        assert_eq!(m, b"a:");
+        assert_eq!(r, b"b");
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_roundtrip_random_entries(
+            keys in proptest::collection::btree_set(
+                proptest::collection::vec(b'a'..=b'f', 1..20), 1..120),
+            vlen in 0usize..40,
+        ) {
+            let entries: Vec<OwnedEntry> = keys
+                .iter()
+                .enumerate()
+                .map(|(i, k)| OwnedEntry::value(
+                    k.clone(), i as u64 + 1, vec![b'v'; vlen]))
+                .collect();
+            let t = build(&entries, PmTableOptions {
+                group_size: 8,
+                extractor: MetaExtractor::FixedLen(2),
+            });
+            let mut tl = Timeline::new();
+            let got = t.scan_all(&mut tl);
+            proptest::prop_assert_eq!(&got, &entries);
+            for e in &entries {
+                let hit = t.get(&e.user_key, u64::MAX, &mut tl).unwrap();
+                proptest::prop_assert_eq!(&hit.value, &e.value);
+            }
+        }
+    }
+}

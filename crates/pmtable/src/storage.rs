@@ -1,0 +1,100 @@
+//! The [`Storage`] abstraction: where a table's encoded bytes live.
+//!
+//! Tables read identically from simulated PM ([`pm_device::PmRegion`]) and
+//! from DRAM buffers ([`DramBuf`], used for immutable-memtable snapshots
+//! and tests); only the metered cost differs.
+
+use std::sync::Arc;
+
+use pm_device::PmRegion;
+use sim::{CostModel, Timeline};
+
+/// A byte medium with access metering.
+pub trait Storage: Clone {
+    /// The full encoded payload.
+    fn bytes(&self) -> &[u8];
+
+    /// Charge one random (new-location) read of `len` bytes.
+    fn meter_random(&self, len: usize, tl: &mut Timeline);
+
+    /// Charge a sequential read of `len` bytes adjacent to the previous.
+    fn meter_sequential(&self, len: usize, tl: &mut Timeline);
+
+    /// The machine cost model (for CPU charges during decode).
+    fn cost_model(&self) -> &CostModel;
+}
+
+impl Storage for PmRegion {
+    fn bytes(&self) -> &[u8] {
+        PmRegion::bytes(self)
+    }
+
+    fn meter_random(&self, len: usize, tl: &mut Timeline) {
+        self.meter_random_read(len, tl);
+    }
+
+    fn meter_sequential(&self, len: usize, tl: &mut Timeline) {
+        self.meter_sequential_read(len, tl);
+    }
+
+    fn cost_model(&self) -> &CostModel {
+        PmRegion::cost_model(self)
+    }
+}
+
+/// A DRAM-resident byte buffer with DRAM-speed metering.
+#[derive(Clone)]
+pub struct DramBuf {
+    data: Arc<Vec<u8>>,
+    cost: CostModel,
+}
+
+impl DramBuf {
+    pub fn new(data: Vec<u8>, cost: CostModel) -> Self {
+        DramBuf { data: Arc::new(data), cost }
+    }
+
+    pub fn with_default_cost(data: Vec<u8>) -> Self {
+        DramBuf { data: Arc::new(data), cost: CostModel::default() }
+    }
+}
+
+impl Storage for DramBuf {
+    fn bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    fn meter_random(&self, len: usize, tl: &mut Timeline) {
+        tl.charge(self.cost.dram.random_read(len));
+    }
+
+    fn meter_sequential(&self, len: usize, tl: &mut Timeline) {
+        tl.charge(self.cost.dram.sequential_read(len));
+    }
+
+    fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dram_buf_meters_cheaper_than_pm_region() {
+        let cost = CostModel::default();
+        let dram = DramBuf::new(vec![0u8; 128], cost);
+        let pool = pm_device::PmPool::new(1024, cost);
+        let mut tl = Timeline::new();
+        let region = pool.publish(vec![0u8; 128], &mut tl).unwrap();
+
+        let mut t_dram = Timeline::new();
+        let mut t_pm = Timeline::new();
+        dram.meter_random(64, &mut t_dram);
+        Storage::meter_random(&region, 64, &mut t_pm);
+        assert!(t_dram.elapsed() < t_pm.elapsed());
+        assert_eq!(dram.bytes().len(), 128);
+        assert_eq!(Storage::bytes(&region).len(), 128);
+    }
+}

@@ -1,0 +1,371 @@
+//! Deterministic random number generation and key distributions.
+//!
+//! Workload reproducibility matters more than cryptographic quality here, so
+//! we use a PCG-XSH-RR 64/32 generator (O'Neill 2014) seeded explicitly by
+//! every bench, plus the classic Gray et al. incremental Zipfian sampler
+//! used by YCSB. Re-implementing these (rather than pulling `rand`) pins the
+//! exact sequences across toolchain upgrades.
+
+/// PCG-XSH-RR 64/32: 64-bit state, 32-bit output, extended here to produce
+/// 64-bit values from two draws.
+#[derive(Clone, Debug)]
+pub struct Pcg64 {
+    state: u64,
+    inc: u64,
+}
+
+const PCG_MULT: u64 = 6364136223846793005;
+
+impl Pcg64 {
+    /// Create a generator from a seed and stream id.
+    pub fn new(seed: u64, stream: u64) -> Self {
+        let mut rng = Pcg64 { state: 0, inc: (stream << 1) | 1 };
+        rng.next_u32();
+        rng.state = rng.state.wrapping_add(seed);
+        rng.next_u32();
+        rng
+    }
+
+    /// Convenience constructor with a fixed stream.
+    pub fn seeded(seed: u64) -> Self {
+        Self::new(seed, 0xda3e39cb94b95bdb)
+    }
+
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        ((self.next_u32() as u64) << 32) | self.next_u32() as u64
+    }
+
+    /// Uniform in `[0, bound)`. Uses Lemire's multiply-shift rejection.
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // 128-bit multiply keeps the distribution unbiased enough for
+        // workload generation (rejection on the low word).
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(bound as u128);
+            let lo = m as u64;
+            if lo >= bound || lo >= (u64::MAX - bound + 1) % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform float in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    #[inline]
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(hi > lo);
+        lo + self.next_below(hi - lo)
+    }
+
+    /// Fill a byte slice with random data.
+    pub fn fill_bytes(&mut self, buf: &mut [u8]) {
+        let mut chunks = buf.chunks_exact_mut(4);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u32().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let val = self.next_u32().to_le_bytes();
+            rem.copy_from_slice(&val[..rem.len()]);
+        }
+    }
+
+    /// Fisher-Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.next_below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+/// Zipfian sampler over `[0, n)` using the YCSB/Gray incremental method.
+///
+/// `theta = 0` degenerates to uniform; the paper's "data skew" axis in
+/// Tables IV and Fig 8 maps directly onto `theta` in `[0, 1]` (their 1.0
+/// being the classic 0.99-ish heavy skew; we accept theta up to 0.999).
+#[derive(Clone, Debug)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+impl Zipfian {
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "domain must be non-empty");
+        assert!((0.0..1.0).contains(&theta.min(0.9999)), "theta in [0,1)");
+        let theta = theta.min(0.9999);
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta))
+            / (1.0 - zeta2 / zetan);
+        Zipfian { n, theta, alpha, zetan, eta, zeta2 }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Exact sum for small n; Euler-Maclaurin style approximation for
+        // large n keeps construction O(1)-ish for big domains.
+        if n <= 10_000 {
+            (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+        } else {
+            let head: f64 =
+                (1..=10_000u64).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+            // integral of x^-theta from 10000 to n
+            let a = 1.0 - theta;
+            head + ((n as f64).powf(a) - 10_000f64.powf(a)) / a
+        }
+    }
+
+    /// Sample a rank in `[0, n)`; rank 0 is the most popular item.
+    pub fn sample(&self, rng: &mut Pcg64) -> u64 {
+        if self.theta < 1e-9 {
+            return rng.next_below(self.n);
+        }
+        let u = rng.next_f64();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let spread = (self.eta * u - self.eta + 1.0).powf(self.alpha);
+        ((self.n as f64) * spread) as u64 % self.n
+    }
+
+    pub fn domain(&self) -> u64 {
+        self.n
+    }
+
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// zeta(2, theta), exposed for tests.
+    #[doc(hidden)]
+    pub fn zeta2(&self) -> f64 {
+        self.zeta2
+    }
+}
+
+/// A key distribution used by the workload generators.
+#[derive(Clone, Debug)]
+pub enum KeyDistribution {
+    /// Uniform over the key domain.
+    Uniform { n: u64 },
+    /// Zipfian with the given skew; rank 0 hottest.
+    Zipfian(Zipfian),
+    /// "Latest": zipfian over recency — rank 0 is the most recently
+    /// inserted key (YCSB workload D semantics).
+    Latest(Zipfian),
+}
+
+impl KeyDistribution {
+    pub fn uniform(n: u64) -> Self {
+        KeyDistribution::Uniform { n }
+    }
+
+    pub fn zipfian(n: u64, theta: f64) -> Self {
+        if theta < 1e-9 {
+            KeyDistribution::Uniform { n }
+        } else {
+            KeyDistribution::Zipfian(Zipfian::new(n, theta))
+        }
+    }
+
+    pub fn latest(n: u64, theta: f64) -> Self {
+        KeyDistribution::Latest(Zipfian::new(n, theta))
+    }
+
+    /// Sample a key index given the current insert horizon `max_key`
+    /// (exclusive). For `Latest`, samples are taken near `max_key`.
+    pub fn sample(&self, rng: &mut Pcg64, max_key: u64) -> u64 {
+        match self {
+            KeyDistribution::Uniform { n } => {
+                rng.next_below((*n).min(max_key.max(1)))
+            }
+            KeyDistribution::Zipfian(z) => {
+                let rank = z.sample(rng);
+                // Scatter ranks over the key space deterministically so
+                // hot keys are not all adjacent (FNV-style mix).
+                scatter(rank, z.domain()).min(max_key.saturating_sub(1))
+            }
+            KeyDistribution::Latest(z) => {
+                let horizon = max_key.max(1);
+                let back = z.sample(rng) % horizon;
+                horizon - 1 - back
+            }
+        }
+    }
+}
+
+/// Deterministically permute `rank` within `[0, n)` so popular ranks land on
+/// scattered keys. Uses a multiplicative hash then reduces modulo n; not a
+/// true permutation for non-power-of-two n, but collision rates are
+/// negligible for workload purposes.
+#[inline]
+pub fn scatter(rank: u64, n: u64) -> u64 {
+    rank.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(31) % n.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pcg_is_deterministic() {
+        let mut a = Pcg64::seeded(42);
+        let mut b = Pcg64::seeded(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Pcg64::seeded(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn next_below_stays_in_bounds() {
+        let mut rng = Pcg64::seeded(7);
+        for bound in [1u64, 2, 3, 10, 1000, u64::MAX / 2] {
+            for _ in 0..200 {
+                assert!(rng.next_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut rng = Pcg64::seeded(9);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((0.45..0.55).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn fill_bytes_covers_all_lengths() {
+        let mut rng = Pcg64::seeded(1);
+        for len in 0..20 {
+            let mut buf = vec![0u8; len];
+            rng.fill_bytes(&mut buf);
+            if len >= 8 {
+                assert!(buf.iter().any(|&b| b != 0), "len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Pcg64::seeded(5);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle changed order");
+    }
+
+    #[test]
+    fn zipfian_zero_theta_is_uniform() {
+        let z = KeyDistribution::zipfian(1000, 0.0);
+        assert!(matches!(z, KeyDistribution::Uniform { .. }));
+    }
+
+    #[test]
+    fn zipfian_skew_concentrates_mass() {
+        let mut rng = Pcg64::seeded(11);
+        let z = Zipfian::new(10_000, 0.99);
+        let mut top10 = 0u32;
+        let samples = 20_000;
+        for _ in 0..samples {
+            if z.sample(&mut rng) < 10 {
+                top10 += 1;
+            }
+        }
+        let frac = top10 as f64 / samples as f64;
+        assert!(frac > 0.3, "top-10 mass {frac} should dominate at 0.99");
+    }
+
+    #[test]
+    fn zipfian_mild_skew_less_concentrated() {
+        let mut rng = Pcg64::seeded(11);
+        let hot = Zipfian::new(10_000, 0.99);
+        let mild = Zipfian::new(10_000, 0.4);
+        let count = |z: &Zipfian, rng: &mut Pcg64| {
+            (0..10_000).filter(|_| z.sample(rng) < 10).count()
+        };
+        let h = count(&hot, &mut rng);
+        let m = count(&mild, &mut rng);
+        assert!(h > 2 * m, "hot {h} vs mild {m}");
+    }
+
+    #[test]
+    fn zipfian_samples_within_domain() {
+        let mut rng = Pcg64::seeded(3);
+        for theta in [0.0, 0.2, 0.6, 0.9, 0.99, 1.0] {
+            let z = Zipfian::new(257, theta);
+            for _ in 0..1000 {
+                assert!(z.sample(&mut rng) < 257);
+            }
+        }
+    }
+
+    #[test]
+    fn zipfian_large_domain_constructs() {
+        // Exercises the approximated zeta path.
+        let z = Zipfian::new(200_000_000, 0.8);
+        let mut rng = Pcg64::seeded(17);
+        for _ in 0..100 {
+            assert!(z.sample(&mut rng) < 200_000_000);
+        }
+    }
+
+    #[test]
+    fn latest_prefers_recent_keys() {
+        let mut rng = Pcg64::seeded(23);
+        let d = KeyDistribution::latest(1_000_000, 0.99);
+        let horizon = 500_000u64;
+        let recent = (0..5_000)
+            .filter(|_| {
+                let k = d.sample(&mut rng, horizon);
+                assert!(k < horizon);
+                k > horizon - horizon / 10
+            })
+            .count();
+        assert!(recent > 2_500, "recent fraction {recent}/5000");
+    }
+
+    #[test]
+    fn scatter_spreads_adjacent_ranks() {
+        let a = scatter(0, 1_000_000);
+        let b = scatter(1, 1_000_000);
+        assert!(a != b);
+        assert!((a as i64 - b as i64).unsigned_abs() > 1000);
+    }
+}

@@ -1,0 +1,298 @@
+//! Streaming statistics: counters and latency histograms.
+//!
+//! The histogram uses log-linear bucketing (HdrHistogram-style: 64
+//! sub-buckets per power-of-two decade) so percentile queries stay within a
+//! few percent relative error across nanoseconds-to-seconds ranges without
+//! storing raw samples.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::time::SimDuration;
+
+/// A relaxed atomic counter for byte/op accounting.
+#[derive(Default, Debug)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub const fn new() -> Self {
+        Counter { value: AtomicU64::new(0) }
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    pub fn reset(&self) -> u64 {
+        self.value.swap(0, Ordering::Relaxed)
+    }
+}
+
+impl Clone for Counter {
+    fn clone(&self) -> Self {
+        Counter { value: AtomicU64::new(self.get()) }
+    }
+}
+
+const SUB_BUCKET_BITS: u32 = 6; // 64 sub-buckets per decade
+const SUB_BUCKETS: usize = 1 << SUB_BUCKET_BITS;
+const DECADES: usize = 40; // covers up to ~2^45 ns ≈ 9.7 hours
+const BUCKETS: usize = DECADES * SUB_BUCKETS;
+
+/// Log-linear latency histogram over nanosecond values.
+#[derive(Clone)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    #[inline]
+    fn bucket_index(value: u64) -> usize {
+        if value < SUB_BUCKETS as u64 {
+            return value as usize;
+        }
+        // value in [2^decade, 2^(decade+1)), decade >= SUB_BUCKET_BITS.
+        let decade = 63 - value.leading_zeros();
+        let shift = decade - SUB_BUCKET_BITS;
+        // (value >> shift) is in [SUB_BUCKETS, 2*SUB_BUCKETS).
+        let sub = (value >> shift) as usize - SUB_BUCKETS;
+        let block = (decade - SUB_BUCKET_BITS) as usize;
+        let idx = SUB_BUCKETS + block * SUB_BUCKETS + sub;
+        idx.min(BUCKETS - 1)
+    }
+
+    /// Representative (lower-edge) value for a bucket.
+    fn bucket_value(index: usize) -> u64 {
+        if index < SUB_BUCKETS {
+            return index as u64;
+        }
+        let block = (index - SUB_BUCKETS) / SUB_BUCKETS;
+        let sub = (index - SUB_BUCKETS) % SUB_BUCKETS;
+        ((SUB_BUCKETS + sub) as u64) << block
+    }
+
+    pub fn record(&mut self, value: u64) {
+        let idx = Self::bucket_index(value);
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    #[inline]
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_nanos());
+    }
+
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += *b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Value at quantile `q` in `[0, 1]`, e.g. `0.999` for p99.9.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0)) * self.total as f64).ceil() as u64;
+        let target = target.max(1);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_value(idx).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    pub fn mean_duration(&self) -> SimDuration {
+        SimDuration::from_nanos(self.mean() as u64)
+    }
+
+    pub fn quantile_duration(&self, q: f64) -> SimDuration {
+        SimDuration::from_nanos(self.quantile(q))
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.total)
+            .field("mean_ns", &(self.mean() as u64))
+            .field("p50_ns", &self.quantile(0.5))
+            .field("p99_ns", &self.quantile(0.99))
+            .field("max_ns", &self.max)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let c = Counter::new();
+        c.add(5);
+        c.incr();
+        assert_eq!(c.get(), 6);
+        assert_eq!(c.reset(), 6);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn empty_histogram_is_sane() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..SUB_BUCKETS as u64 {
+            h.record(v);
+        }
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), SUB_BUCKETS as u64 - 1);
+        assert_eq!(h.quantile(0.0), 0);
+    }
+
+    #[test]
+    fn quantiles_monotonic_and_bounded() {
+        let mut h = Histogram::new();
+        let mut rng = crate::rng::Pcg64::seeded(99);
+        for _ in 0..50_000 {
+            h.record(rng.next_below(10_000_000));
+        }
+        let mut last = 0;
+        for q in [0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let v = h.quantile(q);
+            assert!(v >= last, "quantiles must not decrease");
+            assert!(v <= h.max());
+            last = v;
+        }
+    }
+
+    #[test]
+    fn quantile_relative_error_within_bucket_width() {
+        let mut h = Histogram::new();
+        for _ in 0..1000 {
+            h.record(123_456);
+        }
+        let p50 = h.quantile(0.5) as f64;
+        let err = (p50 - 123_456.0).abs() / 123_456.0;
+        assert!(err < 0.05, "relative error {err}");
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = Histogram::new();
+        h.record(10);
+        h.record(20);
+        h.record(60);
+        assert_eq!(h.mean(), 30.0);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(100);
+        b.record(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 100);
+        assert_eq!(a.max(), 1_000_000);
+    }
+
+    #[test]
+    fn bucket_roundtrip_error_bounded() {
+        for v in [1u64, 63, 64, 100, 1_000, 65_535, 1 << 20, (1 << 40) + 7] {
+            let idx = Histogram::bucket_index(v);
+            let rep = Histogram::bucket_value(idx);
+            let err = (rep as f64 - v as f64).abs() / v as f64;
+            assert!(err <= 0.04, "v {v} rep {rep} err {err}");
+        }
+    }
+
+    #[test]
+    fn huge_values_clamp_to_last_bucket() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), u64::MAX);
+    }
+}

@@ -1,0 +1,308 @@
+//! Virtual time primitives.
+//!
+//! Correctness state in this workspace is real (actual keys, tables, files);
+//! *time* is simulated. Each logical operation (a `get`, a compaction task,
+//! a coroutine) owns a [`Timeline`] to which device accesses charge
+//! [`SimDuration`]s. Benches report these virtual durations, which makes
+//! every experiment deterministic and host-independent.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A span of virtual time, in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration {
+    nanos: u64,
+}
+
+impl SimDuration {
+    pub const ZERO: SimDuration = SimDuration { nanos: 0 };
+
+    #[inline]
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimDuration { nanos }
+    }
+
+    #[inline]
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration { nanos: micros * 1_000 }
+    }
+
+    #[inline]
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration { nanos: millis * 1_000_000 }
+    }
+
+    #[inline]
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration { nanos: secs * 1_000_000_000 }
+    }
+
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.nanos
+    }
+
+    #[inline]
+    pub fn as_micros_f64(self) -> f64 {
+        self.nanos as f64 / 1_000.0
+    }
+
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.nanos as f64 / 1_000_000.0
+    }
+
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.nanos as f64 / 1_000_000_000.0
+    }
+
+    #[inline]
+    pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration { nanos: self.nanos.saturating_sub(rhs.nanos) }
+    }
+
+    /// Scale by a float factor, used by cost models for per-byte terms.
+    #[inline]
+    pub fn mul_f64(self, factor: f64) -> SimDuration {
+        debug_assert!(factor >= 0.0);
+        SimDuration { nanos: (self.nanos as f64 * factor).round() as u64 }
+    }
+
+    #[inline]
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        if self.nanos >= other.nanos {
+            self
+        } else {
+            other
+        }
+    }
+
+    #[inline]
+    pub fn min(self, other: SimDuration) -> SimDuration {
+        if self.nanos <= other.nanos {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration { nanos: self.nanos + rhs.nanos }
+    }
+}
+
+impl AddAssign for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.nanos += rhs.nanos;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration { nanos: self.nanos - rhs.nanos }
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration { nanos: self.nanos * rhs }
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration { nanos: self.nanos / rhs }
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let n = self.nanos;
+        if n >= 10_000_000_000 {
+            write!(f, "{:.2}s", self.as_secs_f64())
+        } else if n >= 10_000_000 {
+            write!(f, "{:.2}ms", self.as_millis_f64())
+        } else if n >= 10_000 {
+            write!(f, "{:.2}us", self.as_micros_f64())
+        } else {
+            write!(f, "{}ns", n)
+        }
+    }
+}
+
+/// A point on a virtual timeline, in nanoseconds from the simulation origin.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Debug)]
+pub struct SimInstant {
+    nanos: u64,
+}
+
+impl SimInstant {
+    pub const ORIGIN: SimInstant = SimInstant { nanos: 0 };
+
+    #[inline]
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimInstant { nanos }
+    }
+
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.nanos
+    }
+
+    #[inline]
+    pub fn duration_since(self, earlier: SimInstant) -> SimDuration {
+        SimDuration::from_nanos(self.nanos.saturating_sub(earlier.nanos))
+    }
+
+    #[inline]
+    pub fn max(self, other: SimInstant) -> SimInstant {
+        if self.nanos >= other.nanos {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add<SimDuration> for SimInstant {
+    type Output = SimInstant;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimInstant {
+        SimInstant { nanos: self.nanos + rhs.as_nanos() }
+    }
+}
+
+impl AddAssign<SimDuration> for SimInstant {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.nanos += rhs.as_nanos();
+    }
+}
+
+/// Accumulates the virtual cost of one logical operation.
+///
+/// A `Timeline` is handed down the read/write path; each device access adds
+/// its modeled duration. Cloning is cheap, but timelines are usually used
+/// by `&mut` threading through a single operation.
+#[derive(Clone, Default, Debug)]
+pub struct Timeline {
+    elapsed: SimDuration,
+}
+
+impl Timeline {
+    #[inline]
+    pub fn new() -> Self {
+        Timeline { elapsed: SimDuration::ZERO }
+    }
+
+    /// Charge `d` virtual time to this operation.
+    #[inline]
+    pub fn charge(&mut self, d: SimDuration) {
+        self.elapsed += d;
+    }
+
+    /// Total virtual time consumed so far.
+    #[inline]
+    pub fn elapsed(&self) -> SimDuration {
+        self.elapsed
+    }
+
+    /// Reset to zero, returning the accumulated duration.
+    #[inline]
+    pub fn take(&mut self) -> SimDuration {
+        std::mem::take(&mut self.elapsed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_arithmetic() {
+        let a = SimDuration::from_micros(3);
+        let b = SimDuration::from_nanos(500);
+        assert_eq!((a + b).as_nanos(), 3_500);
+        assert_eq!((a - b).as_nanos(), 2_500);
+        assert_eq!((a * 2).as_nanos(), 6_000);
+        assert_eq!((a / 3).as_nanos(), 1_000);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    fn duration_saturating_sub_does_not_underflow() {
+        let a = SimDuration::from_nanos(5);
+        let b = SimDuration::from_nanos(9);
+        assert_eq!(a.saturating_sub(b), SimDuration::ZERO);
+        assert_eq!(b.saturating_sub(a).as_nanos(), 4);
+    }
+
+    #[test]
+    fn duration_mul_f64_rounds() {
+        let a = SimDuration::from_nanos(10);
+        assert_eq!(a.mul_f64(1.25).as_nanos(), 13); // 12.5 rounds to 13
+        assert_eq!(a.mul_f64(0.0).as_nanos(), 0);
+    }
+
+    #[test]
+    fn duration_display_units() {
+        assert_eq!(SimDuration::from_nanos(42).to_string(), "42ns");
+        assert_eq!(SimDuration::from_micros(33).to_string(), "33.00us");
+        assert_eq!(SimDuration::from_millis(12).to_string(), "12.00ms");
+        assert_eq!(SimDuration::from_secs(11).to_string(), "11.00s");
+    }
+
+    #[test]
+    fn duration_sum() {
+        let total: SimDuration =
+            (1..=4).map(SimDuration::from_nanos).sum();
+        assert_eq!(total.as_nanos(), 10);
+    }
+
+    #[test]
+    fn instant_ordering_and_since() {
+        let t0 = SimInstant::ORIGIN;
+        let t1 = t0 + SimDuration::from_micros(5);
+        assert!(t1 > t0);
+        assert_eq!(t1.duration_since(t0), SimDuration::from_micros(5));
+        // duration_since saturates rather than panicking.
+        assert_eq!(t0.duration_since(t1), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn timeline_accumulates_and_takes() {
+        let mut tl = Timeline::new();
+        tl.charge(SimDuration::from_nanos(100));
+        tl.charge(SimDuration::from_nanos(50));
+        assert_eq!(tl.elapsed().as_nanos(), 150);
+        assert_eq!(tl.take().as_nanos(), 150);
+        assert_eq!(tl.elapsed(), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,490 @@
+//! Simulated SSD device.
+//!
+//! Stands in for the 1 TB NVMe SSD in the paper's testbed. The device
+//! stores named immutable objects (SSTables, manifests). All accesses are
+//! metered against a [`sim::CostModel`]:
+//!
+//! - writes pay `write_base + per_byte` per buffered flush plus an fsync
+//!   (`persist`) on `finish()`;
+//! - random block reads pay `read_base + per_byte`;
+//! - byte counters feed the write-amplification experiments (Figs 8/11).
+//!
+//! [`IoPressure`] tracks the number of in-flight client reads (`q_cli`) and
+//! compaction I/Os (`q_comp`) — the quantities the paper's coroutine
+//! scheduling policy gates on (`q_flush = max(q - q_comp - q_cli, 0)`).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sim::{Counter, CostModel, SimDuration, Timeline};
+
+/// Shared SSD statistics.
+#[derive(Default, Debug)]
+pub struct SsdStats {
+    /// Bytes written (the SSD side of write amplification).
+    pub bytes_written: Counter,
+    /// Bytes read.
+    pub bytes_read: Counter,
+    /// Random read operations.
+    pub reads: Counter,
+    /// Write (flush) operations.
+    pub writes: Counter,
+    /// fsync barriers.
+    pub syncs: Counter,
+}
+
+/// Errors from device operations.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SsdError {
+    /// No object with that name.
+    NotFound(String),
+    /// Read past the end of an object.
+    OutOfBounds { name: String, offset: u64, len: usize, size: u64 },
+    /// An object with that name already exists.
+    AlreadyExists(String),
+}
+
+impl std::fmt::Display for SsdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SsdError::NotFound(n) => write!(f, "ssd object not found: {n}"),
+            SsdError::OutOfBounds { name, offset, len, size } => write!(
+                f,
+                "ssd read out of bounds: {name} offset {offset} len {len} size {size}"
+            ),
+            SsdError::AlreadyExists(n) => {
+                write!(f, "ssd object already exists: {n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SsdError {}
+
+/// In-flight I/O accounting used by the coroutine scheduler's pressure
+/// gate (§V-C of the paper).
+#[derive(Default, Debug)]
+pub struct IoPressure {
+    client_reads: AtomicU64,
+    compaction_ios: AtomicU64,
+}
+
+impl IoPressure {
+    /// `q_cli`: concurrent foreground reads hitting the SSD.
+    pub fn client_reads(&self) -> u64 {
+        self.client_reads.load(Ordering::Relaxed)
+    }
+
+    /// `q_comp`: concurrent compaction I/Os.
+    pub fn compaction_ios(&self) -> u64 {
+        self.compaction_ios.load(Ordering::Relaxed)
+    }
+
+    /// RAII guard marking one client read in flight.
+    pub fn begin_client_read(self: &Arc<Self>) -> IoGuard {
+        self.client_reads.fetch_add(1, Ordering::Relaxed);
+        IoGuard { pressure: Arc::clone(self), kind: IoKind::Client }
+    }
+
+    /// RAII guard marking one compaction I/O in flight.
+    pub fn begin_compaction_io(self: &Arc<Self>) -> IoGuard {
+        self.compaction_ios.fetch_add(1, Ordering::Relaxed);
+        IoGuard { pressure: Arc::clone(self), kind: IoKind::Compaction }
+    }
+
+    /// The paper's flush-coroutine admission count:
+    /// `q_flush = max(q - q_comp - q_cli, 0)`.
+    pub fn flush_budget(&self, q: u64) -> u64 {
+        q.saturating_sub(self.compaction_ios() + self.client_reads())
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum IoKind {
+    Client,
+    Compaction,
+}
+
+/// Guard decrementing the pressure counter on drop.
+#[derive(Debug)]
+pub struct IoGuard {
+    pressure: Arc<IoPressure>,
+    kind: IoKind,
+}
+
+impl Drop for IoGuard {
+    fn drop(&mut self) {
+        let counter = match self.kind {
+            IoKind::Client => &self.pressure.client_reads,
+            IoKind::Compaction => &self.pressure.compaction_ios,
+        };
+        counter.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// The simulated SSD: a namespace of immutable objects.
+pub struct SsdDevice {
+    cost: CostModel,
+    stats: Arc<SsdStats>,
+    pressure: Arc<IoPressure>,
+    objects: Mutex<BTreeMap<String, Arc<Vec<u8>>>>,
+}
+
+impl SsdDevice {
+    pub fn new(cost: CostModel) -> Arc<Self> {
+        Arc::new(SsdDevice {
+            cost,
+            stats: Arc::new(SsdStats::default()),
+            pressure: Arc::new(IoPressure::default()),
+            objects: Mutex::new(BTreeMap::new()),
+        })
+    }
+
+    pub fn stats(&self) -> &SsdStats {
+        &self.stats
+    }
+
+    pub fn pressure(&self) -> &Arc<IoPressure> {
+        &self.pressure
+    }
+
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Begin writing a new object. The writer buffers in DRAM and meters
+    /// device costs per [`SsdWriter::flush`].
+    pub fn create(
+        self: &Arc<Self>,
+        name: impl Into<String>,
+    ) -> Result<SsdWriter, SsdError> {
+        let name = name.into();
+        let objects = self.objects.lock();
+        if objects.contains_key(&name) {
+            return Err(SsdError::AlreadyExists(name));
+        }
+        drop(objects);
+        Ok(SsdWriter {
+            device: Arc::clone(self),
+            name,
+            buffer: Vec::new(),
+            data: Vec::new(),
+            write_time: SimDuration::ZERO,
+        })
+    }
+
+    /// Open an object for reads.
+    pub fn open(self: &Arc<Self>, name: &str) -> Result<SsdFile, SsdError> {
+        let objects = self.objects.lock();
+        let data = objects
+            .get(name)
+            .cloned()
+            .ok_or_else(|| SsdError::NotFound(name.to_string()))?;
+        Ok(SsdFile {
+            device: Arc::clone(self),
+            name: name.to_string(),
+            data,
+        })
+    }
+
+    /// Delete an object (obsolete SSTable after compaction).
+    pub fn delete(&self, name: &str) -> Result<(), SsdError> {
+        self.objects
+            .lock()
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| SsdError::NotFound(name.to_string()))
+    }
+
+    /// List object names, ascending.
+    pub fn list(&self) -> Vec<String> {
+        self.objects.lock().keys().cloned().collect()
+    }
+
+    /// Total bytes currently stored.
+    pub fn used(&self) -> u64 {
+        self.objects.lock().values().map(|v| v.len() as u64).sum()
+    }
+
+    pub fn exists(&self, name: &str) -> bool {
+        self.objects.lock().contains_key(name)
+    }
+}
+
+impl std::fmt::Debug for SsdDevice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SsdDevice")
+            .field("objects", &self.objects.lock().len())
+            .field("used", &self.used())
+            .finish()
+    }
+}
+
+/// Buffered writer for one object.
+pub struct SsdWriter {
+    device: Arc<SsdDevice>,
+    name: String,
+    buffer: Vec<u8>,
+    data: Vec<u8>,
+    write_time: SimDuration,
+}
+
+impl SsdWriter {
+    /// Append bytes to the write buffer (DRAM; free until flushed).
+    pub fn append(&mut self, bytes: &[u8]) {
+        self.buffer.extend_from_slice(bytes);
+    }
+
+    /// Bytes staged but not yet flushed.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Current object offset (flushed + buffered).
+    pub fn offset(&self) -> u64 {
+        (self.data.len() + self.buffer.len()) as u64
+    }
+
+    /// Flush the buffer to the device, charging one write op.
+    pub fn flush(&mut self, tl: &mut Timeline) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        let len = self.buffer.len();
+        self.device.stats.bytes_written.add(len as u64);
+        self.device.stats.writes.incr();
+        let cost = self.device.cost.ssd.write(len);
+        self.write_time += cost;
+        tl.charge(cost);
+        self.data.append(&mut self.buffer);
+    }
+
+    /// Flush, fsync, and publish the object. Returns its final size.
+    pub fn finish(mut self, tl: &mut Timeline) -> Result<u64, SsdError> {
+        self.flush(tl);
+        self.device.stats.syncs.incr();
+        tl.charge(self.device.cost.ssd.persist);
+        let size = self.data.len() as u64;
+        let mut objects = self.device.objects.lock();
+        if objects.contains_key(&self.name) {
+            return Err(SsdError::AlreadyExists(self.name));
+        }
+        objects.insert(self.name, Arc::new(std::mem::take(&mut self.data)));
+        Ok(size)
+    }
+
+    /// Device time charged by this writer's flushes so far.
+    pub fn write_time(&self) -> SimDuration {
+        self.write_time
+    }
+}
+
+/// Read handle over one object.
+#[derive(Clone)]
+pub struct SsdFile {
+    device: Arc<SsdDevice>,
+    name: String,
+    data: Arc<Vec<u8>>,
+}
+
+impl SsdFile {
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn size(&self) -> u64 {
+        self.data.len() as u64
+    }
+
+    /// Random block read: charges a full device access.
+    pub fn read(
+        &self,
+        offset: u64,
+        len: usize,
+        tl: &mut Timeline,
+    ) -> Result<&[u8], SsdError> {
+        let end = offset + len as u64;
+        if end > self.size() {
+            return Err(SsdError::OutOfBounds {
+                name: self.name.clone(),
+                offset,
+                len,
+                size: self.size(),
+            });
+        }
+        self.device.stats.bytes_read.add(len as u64);
+        self.device.stats.reads.incr();
+        tl.charge(self.device.cost.ssd.random_read(len));
+        Ok(&self.data[offset as usize..end as usize])
+    }
+
+    /// Sequential read adjacent to a previous one: skips the seek base.
+    pub fn read_sequential(
+        &self,
+        offset: u64,
+        len: usize,
+        tl: &mut Timeline,
+    ) -> Result<&[u8], SsdError> {
+        let end = offset + len as u64;
+        if end > self.size() {
+            return Err(SsdError::OutOfBounds {
+                name: self.name.clone(),
+                offset,
+                len,
+                size: self.size(),
+            });
+        }
+        self.device.stats.bytes_read.add(len as u64);
+        tl.charge(self.device.cost.ssd.sequential_read(len));
+        Ok(&self.data[offset as usize..end as usize])
+    }
+}
+
+impl std::fmt::Debug for SsdFile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SsdFile")
+            .field("name", &self.name)
+            .field("size", &self.size())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device() -> Arc<SsdDevice> {
+        SsdDevice::new(CostModel::default())
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let d = device();
+        let mut tl = Timeline::new();
+        let mut w = d.create("t1.sst").unwrap();
+        w.append(b"hello ");
+        w.append(b"ssd");
+        let size = w.finish(&mut tl).unwrap();
+        assert_eq!(size, 9);
+        let f = d.open("t1.sst").unwrap();
+        assert_eq!(f.read(0, 9, &mut tl).unwrap(), b"hello ssd");
+        assert_eq!(f.read(6, 3, &mut tl).unwrap(), b"ssd");
+    }
+
+    #[test]
+    fn buffered_writes_meter_once_per_flush() {
+        let d = device();
+        let mut tl = Timeline::new();
+        let mut w = d.create("x").unwrap();
+        w.append(&[0; 100]);
+        w.append(&[0; 100]);
+        assert_eq!(w.buffered(), 200);
+        assert_eq!(d.stats().writes.get(), 0, "nothing flushed yet");
+        w.flush(&mut tl);
+        assert_eq!(d.stats().writes.get(), 1);
+        assert_eq!(d.stats().bytes_written.get(), 200);
+        w.flush(&mut tl); // empty flush is a no-op
+        assert_eq!(d.stats().writes.get(), 1);
+        w.finish(&mut tl).unwrap();
+        assert_eq!(d.stats().syncs.get(), 1);
+    }
+
+    #[test]
+    fn duplicate_create_rejected() {
+        let d = device();
+        let mut tl = Timeline::new();
+        d.create("dup").unwrap().finish(&mut tl).unwrap();
+        match d.create("dup") {
+            Err(e) => assert_eq!(e, SsdError::AlreadyExists("dup".into())),
+            Ok(_) => panic!("duplicate create must fail"),
+        }
+    }
+
+    #[test]
+    fn read_out_of_bounds_rejected() {
+        let d = device();
+        let mut tl = Timeline::new();
+        let mut w = d.create("small").unwrap();
+        w.append(&[1, 2, 3]);
+        w.finish(&mut tl).unwrap();
+        let f = d.open("small").unwrap();
+        assert!(matches!(
+            f.read(2, 5, &mut tl),
+            Err(SsdError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn delete_and_open_semantics() {
+        let d = device();
+        let mut tl = Timeline::new();
+        let mut w = d.create("gone").unwrap();
+        w.append(b"x");
+        w.finish(&mut tl).unwrap();
+        let held = d.open("gone").unwrap();
+        d.delete("gone").unwrap();
+        assert_eq!(d.delete("gone"), Err(SsdError::NotFound("gone".into())));
+        assert!(d.open("gone").is_err());
+        // Held handles keep reading (like an open fd after unlink).
+        assert_eq!(held.read(0, 1, &mut tl).unwrap(), b"x");
+        assert_eq!(d.used(), 0);
+    }
+
+    #[test]
+    fn sequential_cheaper_than_random() {
+        let d = device();
+        let mut tl = Timeline::new();
+        let mut w = d.create("f").unwrap();
+        w.append(&vec![0u8; 8192]);
+        w.finish(&mut tl).unwrap();
+        let f = d.open("f").unwrap();
+        let mut t_rand = Timeline::new();
+        let mut t_seq = Timeline::new();
+        f.read(0, 4096, &mut t_rand).unwrap();
+        f.read_sequential(4096, 4096, &mut t_seq).unwrap();
+        assert!(t_seq.elapsed() < t_rand.elapsed());
+    }
+
+    #[test]
+    fn list_orders_names() {
+        let d = device();
+        let mut tl = Timeline::new();
+        for name in ["b", "a", "c"] {
+            d.create(name).unwrap().finish(&mut tl).unwrap();
+        }
+        assert_eq!(d.list(), vec!["a", "b", "c"]);
+        assert!(d.exists("b"));
+    }
+
+    #[test]
+    fn pressure_guards_track_inflight() {
+        let d = device();
+        let p = Arc::clone(d.pressure());
+        assert_eq!(p.flush_budget(8), 8);
+        {
+            let _r1 = p.begin_client_read();
+            let _r2 = p.begin_client_read();
+            let _c = p.begin_compaction_io();
+            assert_eq!(p.client_reads(), 2);
+            assert_eq!(p.compaction_ios(), 1);
+            assert_eq!(p.flush_budget(8), 5);
+            assert_eq!(p.flush_budget(2), 0, "budget saturates at zero");
+        }
+        assert_eq!(p.client_reads(), 0);
+        assert_eq!(p.compaction_ios(), 0);
+        assert_eq!(p.flush_budget(8), 8);
+    }
+
+    #[test]
+    fn ssd_read_slower_than_pm_would_be() {
+        // Anchor: one 4K SSD block read must dwarf a PM random read,
+        // the central premise of the paper.
+        let cost = CostModel::default();
+        assert!(
+            cost.ssd.random_read(4096).as_nanos()
+                > 10 * cost.pm.random_read(256).as_nanos()
+        );
+    }
+}

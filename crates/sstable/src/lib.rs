@@ -1,0 +1,24 @@
+//! Block-based SSTable format for the SSD levels of PM-Blade.
+//!
+//! This is the on-SSD table format used by level-1 and below (and by the
+//! RocksDB-like baseline's level-0). The layout follows the classic
+//! LevelDB/RocksDB design:
+//!
+//! ```text
+//! [data block]*  [bloom filter block]  [index block]  [footer]
+//! ```
+//!
+//! - [`block`]: restart-point prefix-compressed key-value blocks;
+//! - [`bloom`]: per-table bloom filter over user keys;
+//! - [`cache`]: a shared LRU block cache (DRAM) — a cached block read
+//!   costs DRAM latency, an uncached one costs an SSD random read;
+//! - [`table`]: the table builder and reader.
+
+pub mod block;
+pub mod bloom;
+pub mod cache;
+pub mod table;
+
+pub use bloom::BloomFilter;
+pub use cache::BlockCache;
+pub use table::{SsTable, SsTableBuilder, SsTableOptions, TableIterator};

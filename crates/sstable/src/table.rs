@@ -1,0 +1,713 @@
+//! SSTable builder and reader.
+//!
+//! File layout:
+//!
+//! ```text
+//! [data block]* [bloom block] [index block] [footer (28 bytes)]
+//! footer: bloom_off u64 | bloom_len u32 | index_off u64 | index_len u32 |
+//!         magic u32
+//! ```
+//!
+//! The index block maps each data block's last internal key to
+//! `(offset u64, len u32)`. Reads go: bloom check (DRAM once loaded) →
+//! index binary search (DRAM) → data block fetch (block cache or SSD) →
+//! in-block restart search (DRAM).
+
+use std::sync::Arc;
+
+use encoding::key::{self, InternalKey, KeyKind, SequenceNumber};
+use encoding::varint;
+use sim::Timeline;
+use ssd_device::{SsdDevice, SsdError, SsdFile};
+
+use crate::block::{Block, BlockBuilder};
+use crate::bloom::BloomFilter;
+use crate::cache::{table_id, BlockCache, BlockKey};
+
+const FOOTER_LEN: usize = 8 + 4 + 8 + 4 + 4;
+const MAGIC: u32 = 0x5353_5442; // "SSTB"
+
+/// A raw `(encoded internal key, value)` pair.
+pub type RawEntry = (Vec<u8>, Vec<u8>);
+/// `(file size, smallest user key, largest user key)` from a builder.
+pub type TableSummary = (u64, Option<Vec<u8>>, Option<Vec<u8>>);
+/// `(sequence, kind, value)` from a point lookup.
+pub type VersionedValue = (SequenceNumber, KeyKind, Vec<u8>);
+
+/// Build-time knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct SsTableOptions {
+    /// Data block target size in bytes (RocksDB default 4 KiB).
+    pub block_size: usize,
+    /// Bloom bits per key; 0 disables the filter.
+    pub bloom_bits_per_key: usize,
+}
+
+impl Default for SsTableOptions {
+    fn default() -> Self {
+        SsTableOptions { block_size: 4096, bloom_bits_per_key: 10 }
+    }
+}
+
+/// Streaming SSTable builder writing through an [`ssd_device::SsdWriter`].
+pub struct SsTableBuilder {
+    opts: SsTableOptions,
+    writer: ssd_device::SsdWriter,
+    current: BlockBuilder,
+    index: Vec<(Vec<u8>, u64, u32)>,
+    user_keys: Vec<Vec<u8>>,
+    entries: usize,
+    first_key: Option<Vec<u8>>,
+    last_key: Option<Vec<u8>>,
+    raw_bytes: usize,
+    cost: sim::CostModel,
+}
+
+impl SsTableBuilder {
+    pub fn new(
+        device: &Arc<SsdDevice>,
+        name: impl Into<String>,
+        opts: SsTableOptions,
+    ) -> Result<Self, SsdError> {
+        Ok(SsTableBuilder {
+            opts,
+            writer: device.create(name)?,
+            current: BlockBuilder::new(),
+            index: Vec::new(),
+            user_keys: Vec::new(),
+            entries: 0,
+            first_key: None,
+            last_key: None,
+            raw_bytes: 0,
+            cost: *device.cost_model(),
+        })
+    }
+
+    /// Append an entry; must arrive in internal-key order.
+    pub fn add(
+        &mut self,
+        user_key: &[u8],
+        seq: SequenceNumber,
+        kind: KeyKind,
+        value: &[u8],
+        tl: &mut Timeline,
+    ) {
+        let ikey = InternalKey::new(user_key, seq, kind).into_encoded();
+        if self.first_key.is_none() {
+            self.first_key = Some(user_key.to_vec());
+        }
+        self.last_key = Some(user_key.to_vec());
+        self.raw_bytes += ikey.len() + value.len();
+        self.current.add(&ikey, value);
+        self.entries += 1;
+        if self.opts.bloom_bits_per_key > 0 {
+            // Dedup adjacent versions of the same user key.
+            if self.user_keys.last().map(|k| k.as_slice()) != Some(user_key) {
+                self.user_keys.push(user_key.to_vec());
+            }
+        }
+        if self.current.size() >= self.opts.block_size {
+            self.finish_block(tl);
+        }
+    }
+
+    fn finish_block(&mut self, tl: &mut Timeline) {
+        if self.current.is_empty() {
+            return;
+        }
+        let block = std::mem::take(&mut self.current);
+        let last_key = block.last_key().to_vec();
+        let raw = block.finish();
+        let off = self.writer.offset();
+        tl.charge(self.cost.cpu.encode(raw.len()));
+        self.writer.append(&raw);
+        self.index.push((last_key, off, raw.len() as u32));
+        // One device write per block flush: this is the paper's S3 stage.
+        self.writer.flush(tl);
+    }
+
+    pub fn entries(&self) -> usize {
+        self.entries
+    }
+
+    pub fn estimated_size(&self) -> u64 {
+        self.writer.offset() + self.current.size() as u64
+    }
+
+    /// Seal the table: bloom block, index block, footer, fsync.
+    /// Returns `(file size, smallest key, largest key)`.
+    pub fn finish(
+        mut self,
+        tl: &mut Timeline,
+    ) -> Result<TableSummary, SsdError> {
+        self.finish_block(tl);
+        let bloom_off = self.writer.offset();
+        let bloom = BloomFilter::build(
+            self.user_keys.iter().map(|k| k.as_slice()),
+            self.user_keys.len(),
+            self.opts.bloom_bits_per_key.max(1),
+        );
+        let bloom_raw = bloom.encode();
+        self.writer.append(&bloom_raw);
+        let index_off = bloom_off + bloom_raw.len() as u64;
+        let mut index_raw = Vec::new();
+        varint::put_u32(&mut index_raw, self.index.len() as u32);
+        for (last_key, off, len) in &self.index {
+            varint::put_slice(&mut index_raw, last_key);
+            index_raw.extend_from_slice(&off.to_le_bytes());
+            index_raw.extend_from_slice(&len.to_le_bytes());
+        }
+        self.writer.append(&index_raw);
+        let mut footer = Vec::with_capacity(FOOTER_LEN);
+        footer.extend_from_slice(&bloom_off.to_le_bytes());
+        footer.extend_from_slice(&(bloom_raw.len() as u32).to_le_bytes());
+        footer.extend_from_slice(&index_off.to_le_bytes());
+        footer.extend_from_slice(&(index_raw.len() as u32).to_le_bytes());
+        footer.extend_from_slice(&MAGIC.to_le_bytes());
+        self.writer.append(&footer);
+        let size = self.writer.finish(tl)?;
+        Ok((size, self.first_key, self.last_key))
+    }
+}
+
+/// Errors opening or reading an SSTable.
+#[derive(Debug)]
+pub enum TableError {
+    Ssd(SsdError),
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for TableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TableError::Ssd(e) => write!(f, "sstable io: {e}"),
+            TableError::Corrupt(what) => write!(f, "sstable corrupt: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+impl From<SsdError> for TableError {
+    fn from(e: SsdError) -> Self {
+        TableError::Ssd(e)
+    }
+}
+
+/// Read handle over one SSTable.
+pub struct SsTable {
+    file: SsdFile,
+    id: u64,
+    cache: Arc<BlockCache>,
+    bloom: BloomFilter,
+    /// (last internal key, offset, len) per data block, DRAM-resident.
+    index: Vec<(Vec<u8>, u64, u32)>,
+    cost: sim::CostModel,
+    entries_hint: usize,
+}
+
+impl SsTable {
+    /// Open a table: reads footer, bloom and index blocks (three metered
+    /// SSD reads), keeping bloom + index resident in DRAM thereafter.
+    pub fn open(
+        device: &Arc<SsdDevice>,
+        name: &str,
+        cache: Arc<BlockCache>,
+        tl: &mut Timeline,
+    ) -> Result<Self, TableError> {
+        let file = device.open(name)?;
+        let size = file.size();
+        if size < FOOTER_LEN as u64 {
+            return Err(TableError::Corrupt("too small"));
+        }
+        let footer = file
+            .read(size - FOOTER_LEN as u64, FOOTER_LEN, tl)?
+            .to_vec();
+        let magic =
+            u32::from_le_bytes(footer[FOOTER_LEN - 4..].try_into().unwrap());
+        if magic != MAGIC {
+            return Err(TableError::Corrupt("bad magic"));
+        }
+        let bloom_off = u64::from_le_bytes(footer[0..8].try_into().unwrap());
+        let bloom_len =
+            u32::from_le_bytes(footer[8..12].try_into().unwrap()) as usize;
+        let index_off = u64::from_le_bytes(footer[12..20].try_into().unwrap());
+        let index_len =
+            u32::from_le_bytes(footer[20..24].try_into().unwrap()) as usize;
+        let bloom_raw = file.read(bloom_off, bloom_len, tl)?.to_vec();
+        let bloom = BloomFilter::decode(&bloom_raw)
+            .ok_or(TableError::Corrupt("bloom"))?;
+        let index_raw = file.read(index_off, index_len, tl)?.to_vec();
+        let mut r = varint::Reader::new(&index_raw);
+        let n = r.read_u32().ok_or(TableError::Corrupt("index count"))? as usize;
+        let mut index = Vec::with_capacity(n);
+        for _ in 0..n {
+            let last = r
+                .read_slice()
+                .ok_or(TableError::Corrupt("index key"))?
+                .to_vec();
+            let off = u64::from_le_bytes(
+                r.read_bytes(8)
+                    .ok_or(TableError::Corrupt("index off"))?
+                    .try_into()
+                    .unwrap(),
+            );
+            let len = u32::from_le_bytes(
+                r.read_bytes(4)
+                    .ok_or(TableError::Corrupt("index len"))?
+                    .try_into()
+                    .unwrap(),
+            );
+            index.push((last, off, len));
+        }
+        let cost = *device.cost_model();
+        Ok(SsTable {
+            file,
+            id: table_id(name),
+            cache,
+            bloom,
+            index,
+            cost,
+            entries_hint: 0,
+        })
+    }
+
+    pub fn name(&self) -> &str {
+        self.file.name()
+    }
+
+    pub fn size(&self) -> u64 {
+        self.file.size()
+    }
+
+    pub fn block_count(&self) -> usize {
+        self.index.len()
+    }
+
+    pub fn entries_hint(&self) -> usize {
+        self.entries_hint
+    }
+
+    /// Fetch block `i`, via the cache when possible.
+    fn load_block(&self, i: usize, tl: &mut Timeline) -> Result<Block, TableError> {
+        let (_, off, len) = self.index[i];
+        let key = BlockKey { table: self.id, offset: off };
+        if let Some(block) = self.cache.get(key) {
+            // Served from DRAM.
+            tl.charge(self.cost.dram.random_read(len as usize));
+            return Ok(block);
+        }
+        let raw = self.file.read(off, len as usize, tl)?.to_vec();
+        let block = Block::decode(raw)
+            .map_err(|_| TableError::Corrupt("data block"))?;
+        self.cache.insert(key, block.clone());
+        Ok(block)
+    }
+
+    /// Point lookup: newest visible version of `user_key` at `snapshot`.
+    pub fn get(
+        &self,
+        user_key: &[u8],
+        snapshot: SequenceNumber,
+        tl: &mut Timeline,
+    ) -> Result<Option<VersionedValue>, TableError> {
+        // Bloom filter: DRAM-resident probes.
+        tl.charge(self.cost.dram.random_read(8) * 3);
+        if !self.bloom.may_contain(user_key) {
+            return Ok(None);
+        }
+        let target = InternalKey::seek_to(user_key, snapshot);
+        // Index binary search (DRAM).
+        let cpu = self.cost.cpu;
+        let mut probes = 0u64;
+        let idx = self.index.partition_point(|(last, _, _)| {
+            probes += 1;
+            key::compare(last, target.encoded()) == std::cmp::Ordering::Less
+        });
+        tl.charge((self.cost.dram.random_read(32) + cpu.key_compare) * probes.max(1));
+        if idx >= self.index.len() {
+            return Ok(None);
+        }
+        let block = self.load_block(idx, tl)?;
+        // In-block restart search at DRAM cost.
+        tl.charge(self.cost.dram.random_read(64) * 5);
+        match block.seek(target.encoded()) {
+            Some((ikey, value)) if key::user_key(&ikey) == user_key => {
+                let seq = key::sequence(&ikey);
+                let kind = key::kind(&ikey)
+                    .ok_or(TableError::Corrupt("entry kind"))?;
+                Ok(Some((seq, kind, value)))
+            }
+            _ => Ok(None),
+        }
+    }
+
+    /// Bounded range scan: reads only the blocks that can intersect
+    /// `[start, end)` user-key range, stopping after `limit` entries.
+    /// Returns raw (internal key, value) pairs in order.
+    pub fn scan_range(
+        &self,
+        start: &[u8],
+        end: Option<&[u8]>,
+        limit: usize,
+        tl: &mut Timeline,
+    ) -> Result<Vec<RawEntry>, TableError> {
+        let target = InternalKey::seek_to(start, key::MAX_SEQUENCE);
+        let mut idx = self.index.partition_point(|(last, _, _)| {
+            key::compare(last, target.encoded()) == std::cmp::Ordering::Less
+        });
+        let mut out = Vec::new();
+        'blocks: while idx < self.index.len() && out.len() < limit {
+            let block = self.load_block(idx, tl)?;
+            idx += 1;
+            for (ikey, value) in block.iter() {
+                let uk = key::user_key(&ikey);
+                if uk < start {
+                    continue;
+                }
+                if let Some(end) = end {
+                    if uk >= end {
+                        break 'blocks;
+                    }
+                }
+                out.push((ikey, value));
+                if out.len() >= limit {
+                    break 'blocks;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Sequential iterator over the whole table.
+    pub fn iter<'a>(&'a self, tl: &'a mut Timeline) -> TableIterator<'a> {
+        TableIterator {
+            table: self,
+            tl,
+            block: None,
+            block_idx: 0,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Collect all entries (for compaction inputs and tests).
+    pub fn scan_all(
+        &self,
+        tl: &mut Timeline,
+    ) -> Result<Vec<RawEntry>, TableError> {
+        let mut out = Vec::new();
+        for i in 0..self.index.len() {
+            let block = self.load_block(i, tl)?;
+            out.extend(block.iter());
+        }
+        Ok(out)
+    }
+
+    /// First entry with internal key >= target, scanning forward across
+    /// blocks. Returns (ikey, value).
+    pub fn seek(
+        &self,
+        target: &[u8],
+        tl: &mut Timeline,
+    ) -> Result<Option<RawEntry>, TableError> {
+        let idx = self.index.partition_point(|(last, _, _)| {
+            key::compare(last, target) == std::cmp::Ordering::Less
+        });
+        if idx >= self.index.len() {
+            return Ok(None);
+        }
+        let block = self.load_block(idx, tl)?;
+        Ok(block.seek(target))
+    }
+}
+
+impl std::fmt::Debug for SsTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SsTable")
+            .field("name", &self.file.name())
+            .field("size", &self.file.size())
+            .field("blocks", &self.index.len())
+            .finish()
+    }
+}
+
+/// Streaming iterator over a table's entries in order.
+pub struct TableIterator<'a> {
+    table: &'a SsTable,
+    tl: &'a mut Timeline,
+    block: Option<std::vec::IntoIter<(Vec<u8>, Vec<u8>)>>,
+    block_idx: usize,
+    pending: Vec<(Vec<u8>, Vec<u8>)>,
+}
+
+impl Iterator for TableIterator<'_> {
+    type Item = (Vec<u8>, Vec<u8>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(iter) = &mut self.block {
+                if let Some(kv) = iter.next() {
+                    return Some(kv);
+                }
+            }
+            if self.block_idx >= self.table.index.len() {
+                return None;
+            }
+            let block =
+                self.table.load_block(self.block_idx, self.tl).ok()?;
+            self.block_idx += 1;
+            let entries: Vec<_> = block.iter().collect();
+            let _ = &self.pending;
+            self.block = Some(entries.into_iter());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim::CostModel;
+
+    fn setup() -> (Arc<SsdDevice>, Arc<BlockCache>) {
+        (
+            SsdDevice::new(CostModel::default()),
+            Arc::new(BlockCache::new(1 << 20)),
+        )
+    }
+
+    fn build_table(
+        device: &Arc<SsdDevice>,
+        name: &str,
+        n: usize,
+    ) -> Vec<(String, String)> {
+        let mut b =
+            SsTableBuilder::new(device, name, SsTableOptions::default())
+                .unwrap();
+        let mut tl = Timeline::new();
+        let mut entries = Vec::new();
+        for i in 0..n {
+            let k = format!("user{:08}", i * 5);
+            let v = format!("value-{i}-{}", "x".repeat(i % 37));
+            b.add(k.as_bytes(), 100, KeyKind::Value, v.as_bytes(), &mut tl);
+            entries.push((k, v));
+        }
+        b.finish(&mut tl).unwrap();
+        entries
+    }
+
+    #[test]
+    fn build_and_get_roundtrip() {
+        let (device, cache) = setup();
+        let entries = build_table(&device, "t1.sst", 2000);
+        let mut tl = Timeline::new();
+        let t = SsTable::open(&device, "t1.sst", cache, &mut tl).unwrap();
+        assert!(t.block_count() > 1, "should span multiple blocks");
+        for (k, v) in entries.iter().step_by(61) {
+            let (seq, kind, value) =
+                t.get(k.as_bytes(), u64::MAX, &mut tl).unwrap().unwrap();
+            assert_eq!(seq, 100);
+            assert_eq!(kind, KeyKind::Value);
+            assert_eq!(value, v.as_bytes());
+        }
+    }
+
+    #[test]
+    fn get_misses_via_bloom_and_search() {
+        let (device, cache) = setup();
+        build_table(&device, "t2.sst", 500);
+        let mut tl = Timeline::new();
+        let t = SsTable::open(&device, "t2.sst", cache, &mut tl).unwrap();
+        // Absent keys (bloom catches most).
+        for i in 0..50 {
+            let k = format!("absent{:08}", i);
+            assert!(t.get(k.as_bytes(), u64::MAX, &mut tl).unwrap().is_none());
+        }
+        // Between existing keys (keys go by 5).
+        assert!(t
+            .get(b"user00000001", u64::MAX, &mut tl)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn scan_all_returns_everything_in_order() {
+        let (device, cache) = setup();
+        let entries = build_table(&device, "t3.sst", 777);
+        let mut tl = Timeline::new();
+        let t = SsTable::open(&device, "t3.sst", cache, &mut tl).unwrap();
+        let got = t.scan_all(&mut tl).unwrap();
+        assert_eq!(got.len(), entries.len());
+        for ((ikey, value), (k, v)) in got.iter().zip(&entries) {
+            assert_eq!(key::user_key(ikey), k.as_bytes());
+            assert_eq!(value, v.as_bytes());
+        }
+        // Iterator agrees with scan_all.
+        let mut tl2 = Timeline::new();
+        assert_eq!(t.iter(&mut tl2).count(), entries.len());
+    }
+
+    #[test]
+    fn cached_reads_cost_less_than_cold_reads() {
+        let (device, cache) = setup();
+        let entries = build_table(&device, "t4.sst", 3000);
+        let mut tl = Timeline::new();
+        let t =
+            SsTable::open(&device, "t4.sst", Arc::clone(&cache), &mut tl)
+                .unwrap();
+        let probe = entries[1234].0.clone();
+        let mut cold = Timeline::new();
+        t.get(probe.as_bytes(), u64::MAX, &mut cold).unwrap().unwrap();
+        let mut warm = Timeline::new();
+        t.get(probe.as_bytes(), u64::MAX, &mut warm).unwrap().unwrap();
+        assert!(
+            warm.elapsed().as_nanos() * 4 < cold.elapsed().as_nanos(),
+            "warm {} cold {}",
+            warm.elapsed(),
+            cold.elapsed()
+        );
+        assert!(cache.hits.get() >= 1);
+    }
+
+    #[test]
+    fn table1_latency_anchors() {
+        // The paper's Table I: ~22us cold SSD lookup, ~2.6us cached.
+        let (device, cache) = setup();
+        build_table(&device, "t5.sst", 100_000);
+        let mut tl = Timeline::new();
+        let t =
+            SsTable::open(&device, "t5.sst", Arc::clone(&cache), &mut tl)
+                .unwrap();
+        let mut cold = Timeline::new();
+        t.get(b"user00250000", u64::MAX, &mut cold).unwrap().unwrap();
+        let cold_us = cold.elapsed().as_micros_f64();
+        assert!(
+            (12.0..40.0).contains(&cold_us),
+            "cold lookup {cold_us}us should be ~22us"
+        );
+        let mut warm = Timeline::new();
+        t.get(b"user00250000", u64::MAX, &mut warm).unwrap().unwrap();
+        let warm_us = warm.elapsed().as_micros_f64();
+        assert!(
+            (0.5..6.0).contains(&warm_us),
+            "warm lookup {warm_us}us should be ~2.6us"
+        );
+    }
+
+    #[test]
+    fn snapshot_visibility_across_versions() {
+        let (device, cache) = setup();
+        let mut b = SsTableBuilder::new(
+            &device,
+            "v.sst",
+            SsTableOptions::default(),
+        )
+        .unwrap();
+        let mut tl = Timeline::new();
+        b.add(b"k", 9, KeyKind::Value, b"v9", &mut tl);
+        b.add(b"k", 5, KeyKind::Delete, b"", &mut tl);
+        b.add(b"k", 2, KeyKind::Value, b"v2", &mut tl);
+        b.finish(&mut tl).unwrap();
+        let t = SsTable::open(&device, "v.sst", cache, &mut tl).unwrap();
+        let (seq, kind, _) =
+            t.get(b"k", u64::MAX, &mut tl).unwrap().unwrap();
+        assert_eq!((seq, kind), (9, KeyKind::Value));
+        let (seq, kind, _) = t.get(b"k", 7, &mut tl).unwrap().unwrap();
+        assert_eq!((seq, kind), (5, KeyKind::Delete));
+        let (seq, _, v) = t.get(b"k", 3, &mut tl).unwrap().unwrap();
+        assert_eq!((seq, v.as_slice()), (2, &b"v2"[..]));
+        assert!(t.get(b"k", 1, &mut tl).unwrap().is_none());
+    }
+
+    #[test]
+    fn open_rejects_non_table() {
+        let (device, cache) = setup();
+        let mut w = device.create("junk").unwrap();
+        w.append(&[0u8; 64]);
+        let mut tl = Timeline::new();
+        w.finish(&mut tl).unwrap();
+        assert!(SsTable::open(&device, "junk", cache, &mut tl).is_err());
+    }
+
+    #[test]
+    fn scan_range_is_bounded_and_ordered() {
+        let (device, cache) = setup();
+        let entries = build_table(&device, "r.sst", 3000);
+        let mut tl = Timeline::new();
+        let t = SsTable::open(&device, "r.sst", cache, &mut tl).unwrap();
+        // Middle slice.
+        let lo = entries[100].0.as_bytes();
+        let hi = entries[150].0.as_bytes();
+        let hits = t.scan_range(lo, Some(hi), usize::MAX, &mut tl).unwrap();
+        assert_eq!(hits.len(), 50);
+        assert_eq!(key::user_key(&hits[0].0), lo);
+        for pair in hits.windows(2) {
+            assert!(key::compare(&pair[0].0, &pair[1].0).is_lt());
+        }
+        // Limit applies.
+        let hits = t.scan_range(lo, None, 7, &mut tl).unwrap();
+        assert_eq!(hits.len(), 7);
+        // A short scan reads far fewer blocks than the full table.
+        let mut short = Timeline::new();
+        t.scan_range(lo, Some(hi), usize::MAX, &mut short).unwrap();
+        let mut full = Timeline::new();
+        t.scan_all(&mut full).unwrap();
+        assert!(short.elapsed().as_nanos() * 4 < full.elapsed().as_nanos());
+        // Past-the-end scan is empty.
+        assert!(t
+            .scan_range(b"zzzz", None, 10, &mut tl)
+            .unwrap()
+            .is_empty());
+    }
+
+    proptest::proptest! {
+        #![proptest_config(
+            proptest::prelude::ProptestConfig::with_cases(24))]
+        #[test]
+        fn prop_roundtrip_and_get(
+            keys in proptest::collection::btree_set(
+                proptest::collection::vec(b'a'..=b'f', 1..14), 1..150),
+            vlen in 0usize..60,
+        ) {
+            let (device, cache) = setup();
+            let mut b = SsTableBuilder::new(
+                &device,
+                "p.sst",
+                SsTableOptions { block_size: 256, bloom_bits_per_key: 10 },
+            )
+            .unwrap();
+            let mut tl = Timeline::new();
+            for (i, k) in keys.iter().enumerate() {
+                b.add(k, i as u64 + 1, KeyKind::Value, &vec![b'v'; vlen], &mut tl);
+            }
+            b.finish(&mut tl).unwrap();
+            let t = SsTable::open(&device, "p.sst", cache, &mut tl).unwrap();
+            // Everything retrievable.
+            for (i, k) in keys.iter().enumerate() {
+                let (seq, kind, v) =
+                    t.get(k, u64::MAX, &mut tl).unwrap().unwrap();
+                proptest::prop_assert_eq!(seq, i as u64 + 1);
+                proptest::prop_assert_eq!(kind, KeyKind::Value);
+                proptest::prop_assert_eq!(v.len(), vlen);
+            }
+            // Full scan matches input order.
+            let all = t.scan_all(&mut tl).unwrap();
+            proptest::prop_assert_eq!(all.len(), keys.len());
+            for ((ikey, _), k) in all.iter().zip(keys.iter()) {
+                proptest::prop_assert_eq!(key::user_key(ikey), &k[..]);
+            }
+        }
+    }
+
+    #[test]
+    fn seek_positions_at_or_after_target() {
+        let (device, cache) = setup();
+        build_table(&device, "s.sst", 100);
+        let mut tl = Timeline::new();
+        let t = SsTable::open(&device, "s.sst", cache, &mut tl).unwrap();
+        let target = InternalKey::seek_to(b"user00000012", u64::MAX);
+        let (ikey, _) = t.seek(target.encoded(), &mut tl).unwrap().unwrap();
+        assert_eq!(key::user_key(&ikey), b"user00000015");
+        let end = InternalKey::seek_to(b"zzz", u64::MAX);
+        assert!(t.seek(end.encoded(), &mut tl).unwrap().is_none());
+    }
+}

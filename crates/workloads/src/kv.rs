@@ -1,0 +1,286 @@
+//! `benchmark_kv`-style key-value workloads.
+//!
+//! The paper built `benchmark_kv` on db_bench; this module provides the
+//! equivalent generators: sequential/random fill, update-only with
+//! tunable Zipfian skew, and mixed read/write streams. Keys follow the
+//! db_bench convention `user{:010}` unless a prefix override is given.
+
+use sim::{KeyDistribution, Pcg64};
+
+/// One generated operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KvOp {
+    Put { key: Vec<u8>, value: Vec<u8> },
+    Get { key: Vec<u8> },
+    Scan { start: Vec<u8>, limit: usize },
+    Delete { key: Vec<u8> },
+}
+
+/// Workload specification.
+#[derive(Clone, Debug)]
+pub struct KvWorkloadSpec {
+    /// Key prefix (`user` by default).
+    pub prefix: String,
+    /// Key domain size.
+    pub keys: u64,
+    /// Value payload size in bytes.
+    pub value_size: usize,
+    /// Fraction of operations that are reads (`0.0..=1.0`).
+    pub read_fraction: f64,
+    /// Fraction of operations that are scans (carved out of reads).
+    pub scan_fraction: f64,
+    /// Entries returned per scan.
+    pub scan_length: usize,
+    /// Zipfian skew for key choice (0 = uniform).
+    pub skew: f64,
+    /// Whether writes target only existing keys (update-only).
+    pub update_only: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for KvWorkloadSpec {
+    fn default() -> Self {
+        KvWorkloadSpec {
+            prefix: "user".to_string(),
+            keys: 100_000,
+            value_size: 100,
+            read_fraction: 0.5,
+            scan_fraction: 0.0,
+            scan_length: 100,
+            skew: 0.0,
+            update_only: false,
+            seed: 0xb1ade,
+        }
+    }
+}
+
+/// A reproducible operation stream.
+pub struct KvWorkload {
+    spec: KvWorkloadSpec,
+    rng: Pcg64,
+    value_rng: Pcg64,
+    dist: KeyDistribution,
+    /// Keys written so far (bounds the readable horizon).
+    inserted: u64,
+}
+
+impl KvWorkload {
+    pub fn new(spec: KvWorkloadSpec) -> Self {
+        let dist = KeyDistribution::zipfian(spec.keys, spec.skew);
+        KvWorkload {
+            rng: Pcg64::seeded(spec.seed),
+            value_rng: Pcg64::seeded(spec.seed ^ 0x56a1),
+            dist,
+            inserted: 0,
+            spec,
+        }
+    }
+
+    pub fn spec(&self) -> &KvWorkloadSpec {
+        &self.spec
+    }
+
+    /// Format key `i` in the db_bench style.
+    pub fn key(&self, i: u64) -> Vec<u8> {
+        format!("{}{:010}", self.spec.prefix, i).into_bytes()
+    }
+
+    /// A fresh random value payload.
+    pub fn value(&mut self) -> Vec<u8> {
+        let mut v = vec![0u8; self.spec.value_size];
+        // Half compressible padding, half random — matches db_bench's
+        // ~50% compressibility defaults.
+        let half = v.len() / 2;
+        self.value_rng.fill_bytes(&mut v[..half]);
+        v
+    }
+
+    /// Sequential load phase: every key exactly once, ascending.
+    pub fn fill_sequential(&mut self) -> Vec<KvOp> {
+        let ops = (0..self.spec.keys)
+            .map(|i| KvOp::Put { key: self.key(i), value: self.value() })
+            .collect();
+        self.inserted = self.spec.keys;
+        ops
+    }
+
+    /// Random-order load phase: every key exactly once, shuffled.
+    pub fn fill_random(&mut self) -> Vec<KvOp> {
+        let mut order: Vec<u64> = (0..self.spec.keys).collect();
+        self.rng.shuffle(&mut order);
+        let ops = order
+            .into_iter()
+            .map(|i| KvOp::Put { key: self.key(i), value: self.value() })
+            .collect();
+        self.inserted = self.spec.keys;
+        ops
+    }
+
+    /// Mark the key space as fully loaded without emitting ops (when the
+    /// caller loaded data separately).
+    pub fn assume_loaded(&mut self) {
+        self.inserted = self.spec.keys;
+    }
+
+    /// Next operation of the mixed phase.
+    pub fn next_op(&mut self) -> KvOp {
+        let horizon = self.inserted.max(1);
+        let r = self.rng.next_f64();
+        if r < self.spec.read_fraction {
+            let key_idx = self.dist.sample(&mut self.rng, horizon);
+            if self.rng.next_f64() < self.spec.scan_fraction {
+                KvOp::Scan {
+                    start: self.key(key_idx),
+                    limit: self.spec.scan_length,
+                }
+            } else {
+                KvOp::Get { key: self.key(key_idx) }
+            }
+        } else {
+            let key_idx = if self.spec.update_only {
+                self.dist.sample(&mut self.rng, horizon)
+            } else if self.inserted < self.spec.keys {
+                let next = self.inserted;
+                self.inserted += 1;
+                next
+            } else {
+                self.dist.sample(&mut self.rng, horizon)
+            };
+            let value = self.value();
+            KvOp::Put { key: self.key(key_idx), value }
+        }
+    }
+
+    /// Generate `n` mixed operations.
+    pub fn ops(&mut self, n: usize) -> Vec<KvOp> {
+        (0..n).map(|_| self.next_op()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_sequential_covers_domain_once() {
+        let mut w = KvWorkload::new(KvWorkloadSpec {
+            keys: 100,
+            value_size: 8,
+            ..KvWorkloadSpec::default()
+        });
+        let ops = w.fill_sequential();
+        assert_eq!(ops.len(), 100);
+        match (&ops[0], &ops[99]) {
+            (KvOp::Put { key: k0, .. }, KvOp::Put { key: k99, .. }) => {
+                assert_eq!(k0, b"user0000000000");
+                assert_eq!(k99, b"user0000000099");
+            }
+            _ => panic!("fill must be puts"),
+        }
+    }
+
+    #[test]
+    fn fill_random_is_a_permutation() {
+        let mut w = KvWorkload::new(KvWorkloadSpec {
+            keys: 200,
+            ..KvWorkloadSpec::default()
+        });
+        let ops = w.fill_random();
+        let mut keys: Vec<Vec<u8>> = ops
+            .iter()
+            .map(|op| match op {
+                KvOp::Put { key, .. } => key.clone(),
+                _ => panic!(),
+            })
+            .collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), 200);
+    }
+
+    #[test]
+    fn read_fraction_is_respected() {
+        let mut w = KvWorkload::new(KvWorkloadSpec {
+            keys: 1000,
+            read_fraction: 0.7,
+            ..KvWorkloadSpec::default()
+        });
+        w.assume_loaded();
+        let ops = w.ops(10_000);
+        let reads = ops
+            .iter()
+            .filter(|op| matches!(op, KvOp::Get { .. } | KvOp::Scan { .. }))
+            .count();
+        let frac = reads as f64 / ops.len() as f64;
+        assert!((0.67..0.73).contains(&frac), "read fraction {frac}");
+    }
+
+    #[test]
+    fn update_only_never_exceeds_horizon() {
+        let mut w = KvWorkload::new(KvWorkloadSpec {
+            keys: 50,
+            read_fraction: 0.0,
+            update_only: true,
+            ..KvWorkloadSpec::default()
+        });
+        w.assume_loaded();
+        for op in w.ops(500) {
+            match op {
+                KvOp::Put { key, .. } => {
+                    assert!(key <= b"user0000000049".to_vec())
+                }
+                _ => panic!("update-only emits puts"),
+            }
+        }
+    }
+
+    #[test]
+    fn skewed_workload_concentrates_reads() {
+        let count_distinct = |skew: f64| {
+            let mut w = KvWorkload::new(KvWorkloadSpec {
+                keys: 10_000,
+                read_fraction: 1.0,
+                skew,
+                ..KvWorkloadSpec::default()
+            });
+            w.assume_loaded();
+            let mut seen = std::collections::HashSet::new();
+            for op in w.ops(2_000) {
+                if let KvOp::Get { key } = op {
+                    seen.insert(key);
+                }
+            }
+            seen.len()
+        };
+        assert!(count_distinct(0.99) < count_distinct(0.0) / 2);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = KvWorkloadSpec { keys: 100, ..KvWorkloadSpec::default() };
+        let mut a = KvWorkload::new(spec.clone());
+        let mut b = KvWorkload::new(spec);
+        a.assume_loaded();
+        b.assume_loaded();
+        assert_eq!(a.ops(100), b.ops(100));
+    }
+
+    #[test]
+    fn scans_emerge_when_configured() {
+        let mut w = KvWorkload::new(KvWorkloadSpec {
+            keys: 1000,
+            read_fraction: 1.0,
+            scan_fraction: 0.5,
+            scan_length: 7,
+            ..KvWorkloadSpec::default()
+        });
+        w.assume_loaded();
+        let ops = w.ops(1000);
+        let scans = ops
+            .iter()
+            .filter(|op| matches!(op, KvOp::Scan { limit: 7, .. }))
+            .count();
+        assert!((300..700).contains(&scans), "scan count {scans}");
+    }
+}

@@ -1,0 +1,48 @@
+//! YCSB tour: run the seven standard YCSB mixes against PM-Blade and
+//! print throughput and latency percentiles per workload.
+//!
+//! ```sh
+//! cargo run --release -p pmblade-examples --bin ycsb_tour
+//! ```
+
+use pm_blade::{Db, DbError, Options, Partitioner};
+use workloads::{run_ycsb, YcsbKind, YcsbWorkload};
+
+const RECORDS: u64 = 5_000;
+const OPS: usize = 5_000;
+
+fn main() -> Result<(), DbError> {
+    println!("workload  throughput(ops/s)   read p50    read p99   write p50");
+    for kind in YcsbKind::ALL {
+        let mut opts = Options::pm_blade(8 << 20);
+        opts.memtable_bytes = 32 << 10;
+        opts.partitioner = Partitioner::numeric("user", RECORDS, 4);
+        let mut db = Db::open(opts)?;
+
+        let mut w = YcsbWorkload::new(kind, RECORDS, 256, 7);
+        let load = w.load_ops();
+        let load_metrics = run_ycsb(&mut db, &load)?;
+        let metrics = if kind == YcsbKind::Load {
+            load_metrics
+        } else {
+            run_ycsb(&mut db, &w.ops(OPS))?
+        };
+        let p = |h: &sim::Histogram, q: f64| {
+            if h.is_empty() {
+                "-".to_string()
+            } else {
+                format!("{}", h.quantile_duration(q))
+            }
+        };
+        println!(
+            "{:>8}  {:>18.0}  {:>10}  {:>10}  {:>10}",
+            kind.name(),
+            metrics.throughput(),
+            p(&metrics.reads, 0.5),
+            p(&metrics.reads, 0.99),
+            p(&metrics.writes, 0.5),
+        );
+    }
+    println!("\n(latencies are virtual-device time; see DESIGN.md)");
+    Ok(())
+}

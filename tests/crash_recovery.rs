@@ -1,0 +1,132 @@
+//! Durability: the WAL and PM backing survive a process "crash" (drop
+//! without flush) and restore the engine's visible state.
+
+use pm_blade::{Db, Mode};
+use pmblade_integration_tests::{key_for, tiny_options, value_for};
+
+fn wal_dir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "pmblade-it-{}-{}",
+        std::process::id(),
+        tag
+    ))
+}
+
+#[test]
+fn unflushed_writes_replay_from_wal() {
+    let dir = wal_dir("replay");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut opts = tiny_options(Mode::PmBlade);
+    opts.wal_dir = Some(dir.clone());
+    {
+        let mut db = Db::open(opts.clone()).unwrap();
+        for i in 0..50u64 {
+            db.put(&key_for(i), &value_for(i, 64)).unwrap();
+        }
+        db.delete(&key_for(10)).unwrap();
+        // Force the log to disk the way a commit point would.
+        db.flush_partition(0).unwrap();
+        // More writes after the flush — these live only in the WAL.
+        db.put(&key_for(100), b"tail-write").unwrap();
+        // Drop without flushing: simulated crash.
+    }
+    let mut db = Db::open(opts).unwrap();
+    for i in 0..50u64 {
+        let out = db.get(&key_for(i)).unwrap();
+        if i == 10 {
+            assert!(out.value.is_none(), "tombstone must replay");
+        } else {
+            assert_eq!(out.value.unwrap(), value_for(i, 64));
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sequence_numbers_resume_after_recovery() {
+    let dir = wal_dir("seq");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut opts = tiny_options(Mode::PmBlade);
+    opts.wal_dir = Some(dir.clone());
+    let seq_before;
+    {
+        let mut db = Db::open(opts.clone()).unwrap();
+        for i in 0..20u64 {
+            db.put(&key_for(i), b"v").unwrap();
+        }
+        db.flush_partition(0).unwrap();
+        seq_before = db.snapshot();
+    }
+    let mut db = Db::open(opts).unwrap();
+    assert!(
+        db.snapshot() >= seq_before,
+        "sequences must not regress: {} vs {seq_before}",
+        db.snapshot()
+    );
+    // New writes supersede recovered ones.
+    db.put(&key_for(5), b"after-crash").unwrap();
+    assert_eq!(
+        db.get(&key_for(5)).unwrap().value.as_deref(),
+        Some(&b"after-crash"[..])
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn pm_pool_backing_recovers_regions() {
+    // Exercised at the device level: a backed pool restores published
+    // regions with checksums verified (engine-level PM recovery composes
+    // from this plus the WAL).
+    let dir = wal_dir("pmpool");
+    let _ = std::fs::remove_dir_all(&dir);
+    let cost = sim::CostModel::default();
+    let ids: Vec<u64>;
+    {
+        let pool = pm_device::PmPool::with_backing(1 << 20, cost, &dir)
+            .unwrap();
+        let mut tl = sim::Timeline::new();
+        ids = (0..5)
+            .map(|i| {
+                pool.publish(value_for(i, 512), &mut tl).unwrap().id()
+            })
+            .collect();
+        pool.free(ids[2]);
+    }
+    let pool =
+        pm_device::PmPool::with_backing(1 << 20, cost, &dir).unwrap();
+    let live = pool.region_ids();
+    assert_eq!(live.len(), 4);
+    assert!(!live.contains(&ids[2]), "freed region must stay freed");
+    for (i, id) in ids.iter().enumerate() {
+        if i == 2 {
+            continue;
+        }
+        assert_eq!(
+            pool.get(*id).unwrap().bytes(),
+            value_for(i as u64, 512).as_slice()
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn recovery_is_idempotent() {
+    let dir = wal_dir("idem");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut opts = tiny_options(Mode::PmBlade);
+    opts.wal_dir = Some(dir.clone());
+    {
+        let mut db = Db::open(opts.clone()).unwrap();
+        db.put(b"stable", b"value").unwrap();
+        db.flush_partition(0).unwrap();
+    }
+    // Open and drop twice more without writing.
+    for _ in 0..2 {
+        let mut db = Db::open(opts.clone()).unwrap();
+        assert_eq!(
+            db.get(b"stable").unwrap().value.as_deref(),
+            Some(&b"value"[..])
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

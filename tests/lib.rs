@@ -1,0 +1,41 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use pm_blade::{Db, Mode, Options};
+
+/// A small engine configuration that exercises every compaction path
+/// quickly: tiny memtables, tight PM budget, shallow level targets.
+pub fn tiny_options(mode: Mode) -> Options {
+    Options {
+        mode,
+        pm_capacity: 2 << 20,
+        memtable_bytes: 8 << 10,
+        tau_w: 64 << 10,
+        tau_m: 1536 << 10,
+        tau_t: 768 << 10,
+        l1_target: 256 << 10,
+        max_table_bytes: 128 << 10,
+        block_cache_bytes: 256 << 10,
+        l0_unsorted_hard_cap: 8,
+        ..Options::default()
+    }
+}
+
+/// Open a tiny engine in the given mode.
+pub fn tiny_db(mode: Mode) -> Db {
+    Db::open(tiny_options(mode)).expect("engine opens")
+}
+
+/// Deterministic value payload for key index `i`.
+pub fn value_for(i: u64, len: usize) -> Vec<u8> {
+    let mut v = format!("value-{i}-").into_bytes();
+    while v.len() < len {
+        v.push(b'a' + (i % 26) as u8);
+    }
+    v.truncate(len);
+    v
+}
+
+/// `keyNNNNNNNN` formatted key.
+pub fn key_for(i: u64) -> Vec<u8> {
+    format!("key{:08}", i).into_bytes()
+}

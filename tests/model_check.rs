@@ -1,0 +1,152 @@
+//! Model checking: the engine must behave exactly like a `BTreeMap`
+//! reference model under arbitrary interleavings of writes, deletes,
+//! reads, scans, flushes and compactions — in every engine mode.
+
+use std::collections::BTreeMap;
+
+use pm_blade::{Db, Mode};
+use pmblade_integration_tests::{tiny_db, value_for};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Put(u16, u16),
+    Delete(u16),
+    Get(u16),
+    Scan(u16, u8),
+    Flush,
+    Internal,
+    Major,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (0u16..300, 0u16..100).prop_map(|(k, v)| Op::Put(k, v)),
+        1 => (0u16..300).prop_map(Op::Delete),
+        3 => (0u16..300).prop_map(Op::Get),
+        1 => (0u16..300, 1u8..30).prop_map(|(k, n)| Op::Scan(k, n)),
+        1 => Just(Op::Flush),
+        1 => Just(Op::Internal),
+        1 => Just(Op::Major),
+    ]
+}
+
+fn key(k: u16) -> Vec<u8> {
+    format!("key{:05}", k).into_bytes()
+}
+
+fn check_mode(mode: Mode, ops: &[Op]) {
+    let mut db = tiny_db(mode);
+    let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+    for (step, op) in ops.iter().enumerate() {
+        match op {
+            Op::Put(k, v) => {
+                let value = value_for(*k as u64 * 1000 + *v as u64, 48);
+                db.put(&key(*k), &value).unwrap();
+                model.insert(key(*k), value);
+            }
+            Op::Delete(k) => {
+                db.delete(&key(*k)).unwrap();
+                model.remove(&key(*k));
+            }
+            Op::Get(k) => {
+                let got = db.get(&key(*k)).unwrap().value;
+                let want = model.get(&key(*k)).cloned();
+                assert_eq!(
+                    got, want,
+                    "step {step}: {mode:?} get({k}) diverged"
+                );
+            }
+            Op::Scan(k, n) => {
+                let start = key(*k);
+                let (rows, _) =
+                    db.scan(&start, None, *n as usize).unwrap();
+                let want: Vec<(Vec<u8>, Vec<u8>)> = model
+                    .range(start..)
+                    .take(*n as usize)
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect();
+                assert_eq!(
+                    rows, want,
+                    "step {step}: {mode:?} scan({k},{n}) diverged"
+                );
+            }
+            Op::Flush => db.flush_all().unwrap(),
+            Op::Internal => db.run_internal_compaction(0).unwrap(),
+            Op::Major => db.run_major_compaction(0).unwrap(),
+        }
+    }
+    // Final audit: every model key readable, every deleted key absent.
+    for (k, v) in &model {
+        assert_eq!(db.get(k).unwrap().value.as_ref(), Some(v));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn pmblade_matches_model(
+        ops in proptest::collection::vec(op_strategy(), 1..180)
+    ) {
+        check_mode(Mode::PmBlade, &ops);
+    }
+
+    #[test]
+    fn pmblade_pm_matches_model(
+        ops in proptest::collection::vec(op_strategy(), 1..120)
+    ) {
+        check_mode(Mode::PmBladePm, &ops);
+    }
+
+    #[test]
+    fn ssd_level0_matches_model(
+        ops in proptest::collection::vec(op_strategy(), 1..120)
+    ) {
+        check_mode(Mode::SsdLevel0, &ops);
+    }
+
+    #[test]
+    fn matrixkv_matches_model(
+        ops in proptest::collection::vec(op_strategy(), 1..120)
+    ) {
+        check_mode(Mode::MatrixKv, &ops);
+    }
+}
+
+/// A targeted regression: interleaving deletes with compactions at every
+/// boundary (the classic LSM resurrection bug family).
+#[test]
+fn delete_resurrection_sweep() {
+    for mode in [Mode::PmBlade, Mode::PmBladePm, Mode::SsdLevel0, Mode::MatrixKv]
+    {
+        let mut db = tiny_db(mode);
+        db.put(&key(1), b"v1").unwrap();
+        db.flush_all().unwrap();
+        db.run_major_compaction(0).unwrap(); // value at the bottom
+        db.delete(&key(1)).unwrap();
+        db.flush_all().unwrap(); // tombstone in level-0
+        assert_eq!(db.get(&key(1)).unwrap().value, None, "{mode:?} L0");
+        db.run_internal_compaction(0).unwrap();
+        assert_eq!(
+            db.get(&key(1)).unwrap().value,
+            None,
+            "{mode:?} after internal compaction"
+        );
+        db.run_major_compaction(0).unwrap();
+        assert_eq!(
+            db.get(&key(1)).unwrap().value,
+            None,
+            "{mode:?} after major compaction"
+        );
+        // And the key can come back to life legitimately.
+        db.put(&key(1), b"v2").unwrap();
+        assert_eq!(
+            db.get(&key(1)).unwrap().value.as_deref(),
+            Some(&b"v2"[..]),
+            "{mode:?} rebirth"
+        );
+    }
+}
