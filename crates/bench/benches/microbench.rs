@@ -100,7 +100,7 @@ fn bench_szip(c: &mut Criterion) {
 
 fn bench_engine(c: &mut Criterion) {
     c.bench_function("engine/put_get_cycle", |b| {
-        let mut db = Db::open(Options {
+        let db = Db::open(Options {
             pm_capacity: 32 << 20,
             memtable_bytes: 256 << 10,
             ..Options::default()

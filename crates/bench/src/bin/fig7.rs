@@ -96,7 +96,8 @@ fn main() {
                 Mode::PmBlade => db.run_internal_compaction(0).unwrap(),
                 _ => db.run_major_compaction(0).unwrap(),
             }
-            let ev = db.compaction_log().last().unwrap();
+            let log = db.compaction_log();
+            let ev = log.last().unwrap();
             // Interference felt by one read: the compaction occupies the
             // device for its duration; a concurrent random read waits a
             // uniformly-distributed slice of the per-I/O service time.

@@ -1,0 +1,154 @@
+//! Group commit: batched writes and the per-partition commit queue.
+//!
+//! Concurrent writers to the same partition coalesce into *commit
+//! groups*: each writer enqueues a [`Ticket`] and then races for the
+//! partition's commit mutex. The winner (the **leader**) drains the
+//! queue, appends every queued operation to the WAL in one pass,
+//! applies them to the memtable under a single partition write lock,
+//! and marks every ticket done *before* releasing the commit mutex —
+//! so a follower that subsequently wins the mutex observes its ticket
+//! completed and returns without doing any work. No condition variable
+//! is needed: a follower either finds its ticket done, or becomes the
+//! next leader itself.
+//!
+//! Lock hierarchy (documented in DESIGN.md): commit mutex (per
+//! partition) → WAL mutex → partition `RwLock`. The leader never holds
+//! two of these except in that order, and never holds two partition
+//! locks at once.
+
+use parking_lot::Mutex;
+use sim::SimDuration;
+
+use crate::engine::DbError;
+
+/// One write operation inside a [`WriteBatch`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BatchOp {
+    Put { key: Vec<u8>, value: Vec<u8> },
+    Delete { key: Vec<u8> },
+}
+
+impl BatchOp {
+    pub fn key(&self) -> &[u8] {
+        match self {
+            BatchOp::Put { key, .. } | BatchOp::Delete { key } => key,
+        }
+    }
+}
+
+/// An ordered set of writes applied atomically *per partition*: all
+/// operations routed to one partition become visible to readers in a
+/// single step (one memtable apply under the partition's write lock,
+/// with the batch's sequence range published only afterwards). A batch
+/// spanning several partitions is applied partition-by-partition in
+/// ascending id order; cross-partition atomicity is not guaranteed.
+#[derive(Clone, Debug, Default)]
+pub struct WriteBatch {
+    pub(crate) ops: Vec<BatchOp>,
+}
+
+impl WriteBatch {
+    pub fn new() -> Self {
+        WriteBatch::default()
+    }
+
+    /// Queue an insert/update.
+    pub fn put(&mut self, key: impl Into<Vec<u8>>, value: impl Into<Vec<u8>>) -> &mut Self {
+        self.ops.push(BatchOp::Put { key: key.into(), value: value.into() });
+        self
+    }
+
+    /// Queue a tombstone.
+    pub fn delete(&mut self, key: impl Into<Vec<u8>>) -> &mut Self {
+        self.ops.push(BatchOp::Delete { key: key.into() });
+        self
+    }
+
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// One writer's stake in a commit group. The leader fills `result` and
+/// then raises `done` (with release ordering) before it releases the
+/// commit mutex; the owning writer spins on the mutex/`done` pair, so
+/// there is no lost-wakeup window.
+pub(crate) struct Ticket {
+    pub(crate) ops: Vec<BatchOp>,
+    done: std::sync::atomic::AtomicBool,
+    result: Mutex<Option<Result<SimDuration, DbError>>>,
+}
+
+impl Ticket {
+    pub(crate) fn new(ops: Vec<BatchOp>) -> Self {
+        Ticket {
+            ops,
+            done: std::sync::atomic::AtomicBool::new(false),
+            result: Mutex::new(None),
+        }
+    }
+
+    pub(crate) fn is_done(&self) -> bool {
+        self.done.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// Store the outcome and publish completion.
+    pub(crate) fn complete(&self, result: Result<SimDuration, DbError>) {
+        *self.result.lock() = Some(result);
+        self.done.store(true, std::sync::atomic::Ordering::Release);
+    }
+
+    pub(crate) fn take_result(&self) -> Result<SimDuration, DbError> {
+        self.result
+            .lock()
+            .take()
+            .unwrap_or_else(|| Err(DbError::Commit("ticket completed without a result".into())))
+    }
+}
+
+/// Per-partition group-commit state.
+pub(crate) struct Committer {
+    /// Tickets waiting to be committed.
+    pub(crate) queue: Mutex<Vec<std::sync::Arc<Ticket>>>,
+    /// Held by the current leader for the duration of one group commit
+    /// (including any memtable flush it triggers).
+    pub(crate) commit: Mutex<()>,
+}
+
+impl Committer {
+    pub(crate) fn new() -> Self {
+        Committer { queue: Mutex::new(Vec::new()), commit: Mutex::new(()) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_builder_orders_ops() {
+        let mut b = WriteBatch::new();
+        b.put(&b"a"[..], &b"1"[..]).delete(&b"b"[..]).put(&b"a"[..], &b"2"[..]);
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+        assert_eq!(b.ops[0].key(), b"a");
+        assert_eq!(b.ops[1], BatchOp::Delete { key: b"b".to_vec() });
+        assert_eq!(
+            b.ops[2],
+            BatchOp::Put { key: b"a".to_vec(), value: b"2".to_vec() }
+        );
+    }
+
+    #[test]
+    fn ticket_completion_is_visible() {
+        let t = Ticket::new(vec![]);
+        assert!(!t.is_done());
+        t.complete(Ok(SimDuration::from_nanos(7)));
+        assert!(t.is_done());
+        assert_eq!(t.take_result().unwrap(), SimDuration::from_nanos(7));
+    }
+}

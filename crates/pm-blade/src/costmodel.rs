@@ -14,28 +14,38 @@
 //!    hottest partitions in PM: maximize `Σ nʳᵢ` subject to
 //!    `Σ sᵢ ≤ τ_t`, solved greedily by read density `nʳᵢ / sᵢ`.
 
-use sim::{SimDuration, SimInstant};
+use sim::{Counter, SimDuration, SimInstant};
 
 use crate::options::CostScalars;
 
 /// Per-partition access counters from Table II. The engine resets them
 /// when a compaction touches the partition ("re-zeroed when a major
 /// compaction or internal compaction occurs").
+///
+/// The read/write/update tallies are atomic [`Counter`]s so the hot
+/// read path can bump them while holding only the partition's *read*
+/// lock; `window_start` is plain data, mutated only under the write
+/// lock (compactions).
 #[derive(Clone, Debug)]
 pub struct PartitionCounters {
     /// `n_i^r`: reads since the window started.
-    pub reads: u64,
+    pub reads: Counter,
     /// `n_i^w`: writes since the window started.
-    pub writes: u64,
+    pub writes: Counter,
     /// `n_i^u`: writes that overwrote an existing key (updates).
-    pub updates: u64,
+    pub updates: Counter,
     /// Start of the observation window on the engine's virtual clock.
     pub window_start: SimInstant,
 }
 
 impl PartitionCounters {
     pub fn new(now: SimInstant) -> Self {
-        PartitionCounters { reads: 0, writes: 0, updates: 0, window_start: now }
+        PartitionCounters {
+            reads: Counter::default(),
+            writes: Counter::default(),
+            updates: Counter::default(),
+            window_start: now,
+        }
     }
 
     /// `n̂_i^r`: reads per virtual second over the window.
@@ -43,9 +53,9 @@ impl PartitionCounters {
         let secs = now.duration_since(self.window_start).as_secs_f64();
         if secs <= 0.0 {
             // A zero-length window with reads counts as very hot.
-            return if self.reads > 0 { f64::INFINITY } else { 0.0 };
+            return if self.reads.get() > 0 { f64::INFINITY } else { 0.0 };
         }
-        self.reads as f64 / secs
+        self.reads.get() as f64 / secs
     }
 
     /// Reset at compaction time.
@@ -89,10 +99,11 @@ pub fn write_benefit_positive(
     l0_records: usize,
     scalars: &CostScalars,
 ) -> bool {
-    if counters.writes == 0 || l0_records == 0 {
+    let (writes, updates) = (counters.writes.get(), counters.updates.get());
+    if writes == 0 || l0_records == 0 {
         return false;
     }
-    let removable = counters.updates.min(counters.writes) as f64;
+    let removable = updates.min(writes) as f64;
     let saved = removable * scalars.major_per_record.as_secs_f64();
     let spent =
         l0_records as f64 * scalars.internal_per_record.as_secs_f64();
@@ -174,23 +185,23 @@ mod tests {
 
     #[test]
     fn read_rate_is_reads_per_second() {
-        let mut c = PartitionCounters::new(SimInstant::ORIGIN);
-        c.reads = 500;
+        let c = PartitionCounters::new(SimInstant::ORIGIN);
+        c.reads.add(500);
         assert!((c.read_rate(at(10)) - 50.0).abs() < 1e-9);
         // Zero-length window with reads → hot.
         assert!(c.read_rate(SimInstant::ORIGIN).is_infinite());
-        c.reads = 0;
+        c.reads.reset();
         assert_eq!(c.read_rate(SimInstant::ORIGIN), 0.0);
     }
 
     #[test]
     fn eq1_needs_reads_and_unsorted_tables() {
         let s = scalars();
-        let mut c = PartitionCounters::new(SimInstant::ORIGIN);
+        let c = PartitionCounters::new(SimInstant::ORIGIN);
         // No reads: never trigger.
         assert!(!read_benefit_positive(&c, 10, at(1), &s));
         // Reads but only one unsorted table: nothing to merge.
-        c.reads = 1_000_000;
+        c.reads.add(1_000_000);
         assert!(!read_benefit_positive(&c, 1, at(1), &s));
         // Hot partition with many unsorted tables: trigger.
         assert!(read_benefit_positive(&c, 8, at(1), &s));
@@ -201,23 +212,23 @@ mod tests {
         let s = scalars();
         // Work rate = I_p/t_p = 0.05. Benefit = rate * n/2 * I_b.
         // With n=4 and I_b=2us: rate must exceed 0.05/(2*2e-6) = 12.5k/s.
-        let mut cold = PartitionCounters::new(SimInstant::ORIGIN);
-        cold.reads = 5_000; // 5k/s over 1s
+        let cold = PartitionCounters::new(SimInstant::ORIGIN);
+        cold.reads.add(5_000); // 5k/s over 1s
         assert!(!read_benefit_positive(&cold, 4, at(1), &s));
-        let mut hot = PartitionCounters::new(SimInstant::ORIGIN);
-        hot.reads = 50_000; // 50k/s
+        let hot = PartitionCounters::new(SimInstant::ORIGIN);
+        hot.reads.add(50_000); // 50k/s
         assert!(read_benefit_positive(&hot, 4, at(1), &s));
     }
 
     #[test]
     fn eq2_triggers_on_update_heavy_windows() {
         let s = scalars();
-        let mut c = PartitionCounters::new(SimInstant::ORIGIN);
+        let c = PartitionCounters::new(SimInstant::ORIGIN);
         // I_s = 5us, I_p = 2us: need removable > l0_records * 2/5.
-        c.writes = 1000;
-        c.updates = 100; // 100 removable vs 1000 L0 records: not worth it
+        c.writes.add(1000);
+        c.updates.add(100); // 100 removable vs 1000 L0 records: not worth it
         assert!(!write_benefit_positive(&c, 1000, &s));
-        c.updates = 500; // 500 removable: worth it
+        c.updates.add(400); // 500 removable: worth it
         assert!(write_benefit_positive(&c, 1000, &s));
         // A big L0 makes the same update count uneconomical.
         assert!(!write_benefit_positive(&c, 10_000, &s));
@@ -304,13 +315,13 @@ mod tests {
     #[test]
     fn counters_reset_clears_window() {
         let mut c = PartitionCounters::new(SimInstant::ORIGIN);
-        c.reads = 10;
-        c.writes = 20;
-        c.updates = 5;
+        c.reads.add(10);
+        c.writes.add(20);
+        c.updates.add(5);
         c.reset(at(3));
-        assert_eq!(c.reads, 0);
-        assert_eq!(c.writes, 0);
-        assert_eq!(c.updates, 0);
+        assert_eq!(c.reads.get(), 0);
+        assert_eq!(c.writes.get(), 0);
+        assert_eq!(c.updates.get(), 0);
         assert_eq!(c.window_start, at(3));
     }
 }

@@ -1,21 +1,38 @@
 //! The engine facade.
 //!
-//! [`Db`] is a single-writer engine over virtual time: every public
-//! operation returns the virtual latency it cost, and a logical clock
-//! advances by each operation's duration so the cost models can compute
-//! access *rates*. Background work (flushes, compactions) is executed
-//! inline at the trigger points of Algorithm 1, with its time recorded
-//! in a compaction log rather than the foreground latency.
+//! [`Db`] is a shared-handle engine over virtual time: clone it into an
+//! `Arc` and call every public operation through `&self` from any
+//! number of threads. Partition state lives behind per-partition
+//! `RwLock`s; reads take the lock in shared mode (and drop it entirely
+//! while searching the immutable PM level-0), writes coalesce through a
+//! per-partition group-commit queue (see [`crate::commit`]) so
+//! concurrent writers cost one WAL append and one memtable apply per
+//! group. Every operation returns the virtual latency it cost, and a
+//! logical clock advances by each operation's duration so the cost
+//! models can compute access *rates*. Background work (flushes,
+//! compactions) is executed inline at the trigger points of
+//! Algorithm 1, with its time recorded in a compaction log rather than
+//! the foreground latency.
+//!
+//! # Lock hierarchy
+//!
+//! `commit mutex (per partition)` → `WAL mutex` → `partition RwLock`
+//! → `compaction-log mutex`. A thread never acquires a lock to the
+//! left of one it already holds, never holds two partition locks at
+//! once, and releases the WAL mutex before touching a partition.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use encoding::key::{KeyKind, SequenceNumber};
 use memtable::{Wal, WalRecord};
+use parking_lot::{Mutex, RwLock};
 use pm_device::{PmError, PmPool};
 use sim::{SimDuration, SimInstant, Timeline};
 use sstable::BlockCache;
 use ssd_device::{SsdDevice, SsdError};
 
+use crate::commit::{BatchOp, Committer, Ticket, WriteBatch};
 use crate::compaction::CompactionWork;
 use crate::costmodel::{
     read_benefit_positive, select_retained, write_benefit_positive,
@@ -26,13 +43,22 @@ use crate::partition::{Level0, Partition};
 use crate::stats::{EngineStats, ReadSource};
 
 /// Engine errors.
+///
+/// Marked `#[non_exhaustive]`: new failure classes may be added without
+/// a breaking change, so downstream matches need a wildcard arm.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum DbError {
     Pm(PmError),
     Ssd(SsdError),
     Table(sstable::table::TableError),
     Wal(memtable::WalError),
     Corrupt(String),
+    /// Invalid configuration, rejected by [`crate::options::OptionsBuilder::build`].
+    Config(String),
+    /// A group commit failed; the string carries the leader's error for
+    /// every follower in the group.
+    Commit(String),
 }
 
 impl std::fmt::Display for DbError {
@@ -43,6 +69,8 @@ impl std::fmt::Display for DbError {
             DbError::Table(e) => write!(f, "table: {e}"),
             DbError::Wal(e) => write!(f, "wal: {e}"),
             DbError::Corrupt(msg) => write!(f, "corrupt: {msg}"),
+            DbError::Config(msg) => write!(f, "config: {msg}"),
+            DbError::Commit(msg) => write!(f, "commit: {msg}"),
         }
     }
 }
@@ -77,6 +105,12 @@ impl From<memtable::WalError> for DbError {
 pub type ScanResult = (Vec<(Vec<u8>, Vec<u8>)>, SimDuration);
 
 /// Result of a point read.
+///
+/// `value` is `None` both for keys that were never written and for keys
+/// whose newest visible version is a tombstone; `source` distinguishes
+/// the tiers (`Miss` means the key was found nowhere, while a tombstone
+/// reports the tier that held it). `latency` is the virtual time the
+/// read cost, already added to the engine clock.
 #[derive(Clone, Debug)]
 pub struct ReadOutcome {
     /// The value, if the key is live.
@@ -85,6 +119,32 @@ pub struct ReadOutcome {
     pub source: ReadSource,
     /// Virtual latency of the read.
     pub latency: SimDuration,
+}
+
+/// Cumulative write-amplification counters.
+///
+/// `user_bytes` is the denominator (payload accepted by `put`/`delete`);
+/// `pm_bytes` and `ssd_bytes` are the device-level bytes actually
+/// written, including flush and compaction rewrites.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct WriteAmp {
+    /// Bytes written to the PM pool.
+    pub pm_bytes: u64,
+    /// Bytes written to the SSD.
+    pub ssd_bytes: u64,
+    /// User payload bytes accepted.
+    pub user_bytes: u64,
+}
+
+impl WriteAmp {
+    /// Total device bytes per user byte (the paper's WA factor).
+    pub fn factor(&self) -> f64 {
+        if self.user_bytes == 0 {
+            0.0
+        } else {
+            (self.pm_bytes + self.ssd_bytes) as f64 / self.user_bytes as f64
+        }
+    }
 }
 
 /// One background-compaction record.
@@ -104,80 +164,114 @@ pub enum CompactionKind {
     Major,
 }
 
+/// A compaction the caller wants run now, handled by [`Db::compact`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CompactionRequest {
+    /// Freeze + flush one partition's memtable, then apply the mode's
+    /// compaction strategy (Algorithm 1).
+    Flush { partition: usize },
+    /// Flush every partition (shutdown / bench boundary).
+    FlushAll,
+    /// Merge one partition's PM tables into a fresh sorted run (§IV-B).
+    Internal { partition: usize },
+    /// Move one partition's entire level-0 into level-1.
+    Major { partition: usize },
+    /// Eq 3: major-compact the cold partitions, retaining the hottest
+    /// in PM under the τ_t budget.
+    MajorWithRetention,
+}
+
 /// The PM-Blade storage engine.
+///
+/// `Db` is `Send + Sync`; share it as `Arc<Db>` across threads. Reads
+/// (`get`, `get_at`, `scan`) take per-partition read locks — with a
+/// lock-free fast path over the immutable PM level-0 — and writes
+/// (`put`, `delete`, `write_batch`) go through per-partition group
+/// commit.
 pub struct Db {
     opts: Options,
-    pub(crate) partitions: Vec<Partition>,
+    partitions: Vec<RwLock<Partition>>,
+    committers: Vec<Committer>,
     pool: Arc<PmPool>,
     device: Arc<SsdDevice>,
     cache: Arc<BlockCache>,
-    seq: SequenceNumber,
-    clock: SimInstant,
-    table_counter: u64,
+    /// Next-sequence allocator (`fetch_add` hands out disjoint ranges).
+    seq: AtomicU64,
+    /// Highest sequence published to readers: advanced only *after* the
+    /// owning batch has been applied, so a snapshot never observes half
+    /// a batch (batch sequence ranges are contiguous and disjoint).
+    visible_seq: AtomicU64,
+    /// Virtual clock as nanoseconds since `SimInstant::ORIGIN`.
+    clock: AtomicU64,
+    table_counter: AtomicU64,
     stats: EngineStats,
-    compaction_log: Vec<CompactionEvent>,
-    wal: Option<Wal>,
+    compaction_log: Mutex<Vec<CompactionEvent>>,
+    wal: Option<Mutex<Wal>>,
     /// Mean value size observed (drives compaction trace balance).
-    value_bytes_sum: u64,
-    value_count: u64,
+    value_bytes_sum: AtomicU64,
+    value_count: AtomicU64,
 }
 
 impl Db {
     /// Open an engine with the given options.
+    ///
+    /// `open` trusts its input; use [`Options::builder`] to validate a
+    /// configuration before opening.
     pub fn open(opts: Options) -> Result<Db, DbError> {
         let pool = PmPool::new(opts.pm_capacity, opts.cost);
         let device = SsdDevice::new(opts.cost);
         let cache = Arc::new(BlockCache::new(opts.block_cache_bytes));
         let now = SimInstant::ORIGIN;
-        let partitions = (0..opts.partitioner.count())
+        let mut partitions: Vec<Partition> = (0..opts.partitioner.count())
             .map(|id| Partition::new(id, &opts, now))
             .collect();
-        let mut db = Db {
-            partitions,
+        let mut seq: SequenceNumber = 0;
+        // WAL replay happens before the partitions go behind locks.
+        let wal = match opts.wal_dir.clone() {
+            None => None,
+            Some(dir) => {
+                std::fs::create_dir_all(&dir)
+                    .map_err(|e| DbError::Corrupt(format!("wal dir: {e}")))?;
+                let path = dir.join("engine.wal");
+                if path.exists() {
+                    let mut tl = Timeline::new();
+                    for rec in Wal::replay(&path)? {
+                        seq = seq.max(rec.seq);
+                        let pid = opts.partitioner.locate(&rec.user_key);
+                        partitions[pid].mem.insert(
+                            &rec.user_key,
+                            rec.seq,
+                            rec.kind,
+                            &rec.value,
+                            &mut tl,
+                        );
+                    }
+                }
+                // Keep appending to the surviving log: truncating here
+                // would lose the replayed records if the process crashed
+                // again before the next flush. Real deployments rotate
+                // at checkpoints.
+                Some(Mutex::new(Wal::open_append(path, opts.cost)?))
+            }
+        };
+        let committers = (0..partitions.len()).map(|_| Committer::new()).collect();
+        Ok(Db {
+            partitions: partitions.into_iter().map(RwLock::new).collect(),
+            committers,
             pool,
             device,
             cache,
-            seq: 0,
-            clock: now,
-            table_counter: 0,
+            seq: AtomicU64::new(seq),
+            visible_seq: AtomicU64::new(seq),
+            clock: AtomicU64::new(0),
+            table_counter: AtomicU64::new(0),
             stats: EngineStats::default(),
-            compaction_log: Vec::new(),
-            wal: None,
-            value_bytes_sum: 0,
-            value_count: 0,
+            compaction_log: Mutex::new(Vec::new()),
+            wal,
+            value_bytes_sum: AtomicU64::new(0),
+            value_count: AtomicU64::new(0),
             opts,
-        };
-        db.init_wal()?;
-        Ok(db)
-    }
-
-    fn init_wal(&mut self) -> Result<(), DbError> {
-        let Some(dir) = self.opts.wal_dir.clone() else {
-            return Ok(());
-        };
-        std::fs::create_dir_all(&dir)
-            .map_err(|e| DbError::Corrupt(format!("wal dir: {e}")))?;
-        let path = dir.join("engine.wal");
-        // Replay whatever survived the last run.
-        if path.exists() {
-            let mut tl = Timeline::new();
-            for rec in Wal::replay(&path)? {
-                self.seq = self.seq.max(rec.seq);
-                let pid = self.opts.partitioner.locate(&rec.user_key);
-                self.partitions[pid].mem.insert(
-                    &rec.user_key,
-                    rec.seq,
-                    rec.kind,
-                    &rec.value,
-                    &mut tl,
-                );
-            }
-        }
-        // Keep appending to the surviving log: truncating here would
-        // lose the replayed records if the process crashed again before
-        // the next flush. Real deployments rotate at checkpoints.
-        self.wal = Some(Wal::open_append(path, self.opts.cost)?);
-        Ok(())
+        })
     }
 
     // ---------------------------------------------------------------
@@ -204,18 +298,26 @@ impl Db {
         &self.cache
     }
 
-    pub fn compaction_log(&self) -> &[CompactionEvent] {
-        &self.compaction_log
+    /// A point-in-time copy of the compaction log.
+    pub fn compaction_log(&self) -> Vec<CompactionEvent> {
+        self.compaction_log.lock().clone()
     }
 
     /// Current logical clock.
     pub fn now(&self) -> SimInstant {
-        self.clock
+        SimInstant::ORIGIN
+            + SimDuration::from_nanos(self.clock.load(Ordering::Relaxed))
     }
 
-    /// Latest sequence number (usable as a snapshot).
+    /// Latest *published* sequence number (usable as a snapshot): every
+    /// write batch at or below this sequence is fully visible.
+    ///
+    /// Snapshots are not pinned: compactions keep only the newest
+    /// version of each key, so a snapshot stays accurate only while the
+    /// versions it references still exist (i.e. until a flush-triggered
+    /// compaction rewrites them).
     pub fn snapshot(&self) -> SequenceNumber {
-        self.seq
+        self.visible_seq.load(Ordering::Acquire)
     }
 
     /// Total PM bytes in use.
@@ -223,25 +325,45 @@ impl Db {
         self.pool.used()
     }
 
-    /// Write amplification to date: `(pm_bytes, ssd_bytes, user_bytes)`.
+    /// Write amplification to date.
+    pub fn write_amp(&self) -> WriteAmp {
+        WriteAmp {
+            pm_bytes: self.pool.stats().bytes_written.get(),
+            ssd_bytes: self.device.stats().bytes_written.get(),
+            user_bytes: self.stats.user_bytes_written.get(),
+        }
+    }
+
+    /// Write amplification as a raw `(pm_bytes, ssd_bytes, user_bytes)`
+    /// tuple.
+    #[deprecated(note = "use `write_amp()`, which returns the typed `WriteAmp`")]
     pub fn write_amplification(&self) -> (u64, u64, u64) {
-        (
-            self.pool.stats().bytes_written.get(),
-            self.device.stats().bytes_written.get(),
-            self.stats.user_bytes_written.get(),
-        )
+        let wa = self.write_amp();
+        (wa.pm_bytes, wa.ssd_bytes, wa.user_bytes)
     }
 
     /// Mean observed value size (fallback 1 KiB).
     pub fn mean_value_size(&self) -> u32 {
         self.value_bytes_sum
-            .checked_div(self.value_count)
+            .load(Ordering::Relaxed)
+            .checked_div(self.value_count.load(Ordering::Relaxed))
             .map(|v| v as u32)
             .unwrap_or(1024)
     }
 
-    fn advance(&mut self, d: SimDuration) {
-        self.clock += d;
+    fn advance(&self, d: SimDuration) {
+        self.clock.fetch_add(d.as_nanos(), Ordering::Relaxed);
+    }
+
+    /// Force the WAL to stable storage (no-op without a WAL).
+    pub fn sync_wal(&self) -> Result<SimDuration, DbError> {
+        let mut tl = Timeline::new();
+        if let Some(wal) = &self.wal {
+            wal.lock().sync(&mut tl)?;
+        }
+        let d = tl.elapsed();
+        self.advance(d);
+        Ok(d)
     }
 
     // ---------------------------------------------------------------
@@ -250,77 +372,214 @@ impl Db {
 
     /// Insert or update a key.
     pub fn put(
-        &mut self,
+        &self,
         user_key: &[u8],
         value: &[u8],
     ) -> Result<SimDuration, DbError> {
-        self.write(user_key, value, KeyKind::Value)
+        let pid = self.opts.partitioner.locate(user_key);
+        self.submit(
+            pid,
+            vec![BatchOp::Put { key: user_key.to_vec(), value: value.to_vec() }],
+        )
     }
 
     /// Delete a key (writes a tombstone).
-    pub fn delete(&mut self, user_key: &[u8]) -> Result<SimDuration, DbError> {
-        self.stats.deletes.incr();
-        self.write(user_key, b"", KeyKind::Delete)
+    pub fn delete(&self, user_key: &[u8]) -> Result<SimDuration, DbError> {
+        let pid = self.opts.partitioner.locate(user_key);
+        self.submit(pid, vec![BatchOp::Delete { key: user_key.to_vec() }])
     }
 
-    fn write(
-        &mut self,
-        user_key: &[u8],
-        value: &[u8],
-        kind: KeyKind,
-    ) -> Result<SimDuration, DbError> {
+    /// Apply a [`WriteBatch`]. Operations routed to one partition become
+    /// visible atomically; a batch spanning partitions is applied in
+    /// ascending partition order, each partition's slice atomically.
+    pub fn write_batch(&self, batch: WriteBatch) -> Result<SimDuration, DbError> {
+        if batch.is_empty() {
+            return Ok(SimDuration::ZERO);
+        }
+        self.stats.batch_writes.incr();
+        // Split by partition, preserving op order within each.
+        let mut per_pid: Vec<Vec<BatchOp>> =
+            (0..self.partitions.len()).map(|_| Vec::new()).collect();
+        for op in batch.ops {
+            per_pid[self.opts.partitioner.locate(op.key())].push(op);
+        }
+        let mut total = SimDuration::ZERO;
+        for (pid, ops) in per_pid.into_iter().enumerate() {
+            if !ops.is_empty() {
+                total += self.submit(pid, ops)?;
+            }
+        }
+        Ok(total)
+    }
+
+    /// Enqueue `ops` for partition `pid` and wait for a commit group to
+    /// carry them. See [`crate::commit`] for the leader/follower scheme.
+    fn submit(&self, pid: usize, ops: Vec<BatchOp>) -> Result<SimDuration, DbError> {
+        let committer = &self.committers[pid];
+        let ticket = Arc::new(Ticket::new(ops));
+        committer.queue.lock().push(Arc::clone(&ticket));
+        loop {
+            if ticket.is_done() {
+                break;
+            }
+            let _leader = committer.commit.lock();
+            if ticket.is_done() {
+                // A previous leader committed our ticket; its completion
+                // happened before it released the mutex we now hold.
+                break;
+            }
+            // We are the leader: our ticket is still queued (tickets
+            // only leave the queue inside this critical section).
+            let group: Vec<Arc<Ticket>> =
+                std::mem::take(&mut *committer.queue.lock());
+            debug_assert!(group.iter().any(|t| Arc::ptr_eq(t, &ticket)));
+            self.commit_group(pid, &group)?;
+            break;
+        }
+        ticket.take_result()
+    }
+
+    /// Commit one group: allocate sequences, append every record to the
+    /// WAL once, apply everything to the memtable under one partition
+    /// write lock, publish the sequence range, then complete every
+    /// ticket. Runs with the partition's commit mutex held.
+    fn commit_group(
+        &self,
+        pid: usize,
+        group: &[Arc<Ticket>],
+    ) -> Result<(), DbError> {
         let mut tl = Timeline::new();
-        self.seq += 1;
-        let seq = self.seq;
-        if let Some(wal) = &mut self.wal {
-            wal.append(
-                &WalRecord {
-                    seq,
-                    kind,
-                    user_key: user_key.to_vec(),
-                    value: value.to_vec(),
-                },
-                &mut tl,
-            )?;
+        let total_ops: usize = group.iter().map(|t| t.ops.len()).sum();
+        let base = self.seq.fetch_add(total_ops as u64, Ordering::Relaxed);
+        let max_seq = base + total_ops as u64;
+        // One WAL pass for the whole group.
+        if let Some(wal) = &self.wal {
+            let mut wal = wal.lock();
+            let mut seq = base;
+            for ticket in group {
+                for op in &ticket.ops {
+                    seq += 1;
+                    let rec = match op {
+                        BatchOp::Put { key, value } => WalRecord {
+                            seq,
+                            kind: KeyKind::Value,
+                            user_key: key.clone(),
+                            value: value.clone(),
+                        },
+                        BatchOp::Delete { key } => WalRecord {
+                            seq,
+                            kind: KeyKind::Delete,
+                            user_key: key.clone(),
+                            value: Vec::new(),
+                        },
+                    };
+                    if let Err(e) = wal.append(&rec, &mut tl) {
+                        // The group never reached the memtable; fail every
+                        // ticket with the same diagnostic.
+                        let msg = format!("wal append: {e}");
+                        for t in group {
+                            t.complete(Err(DbError::Commit(msg.clone())));
+                        }
+                        return Ok(());
+                    }
+                }
+            }
         }
-        let pid = self.opts.partitioner.locate(user_key);
-        let partition = &mut self.partitions[pid];
-        partition.note_write(user_key);
-        partition.mem.insert(user_key, seq, kind, value, &mut tl);
-        self.stats.puts.incr();
-        self.stats
-            .user_bytes_written
-            .add((user_key.len() + value.len()) as u64);
-        if kind == KeyKind::Value {
-            self.value_bytes_sum += value.len() as u64;
-            self.value_count += 1;
+        // One memtable apply for the whole group.
+        let mem_full = {
+            let mut p = self.partitions[pid].write();
+            let mut seq = base;
+            for ticket in group {
+                for op in &ticket.ops {
+                    seq += 1;
+                    let (key, value, kind) = match op {
+                        BatchOp::Put { key, value } => {
+                            (key, value.as_slice(), KeyKind::Value)
+                        }
+                        BatchOp::Delete { key } => {
+                            self.stats.deletes.incr();
+                            (key, &b""[..], KeyKind::Delete)
+                        }
+                    };
+                    p.note_write(key);
+                    p.mem.insert(key, seq, kind, value, &mut tl);
+                    self.stats.puts.incr();
+                    self.stats
+                        .user_bytes_written
+                        .add((key.len() + value.len()) as u64);
+                    if kind == KeyKind::Value {
+                        self.value_bytes_sum
+                            .fetch_add(value.len() as u64, Ordering::Relaxed);
+                        self.value_count.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            p.mem.approximate_size() >= self.opts.memtable_bytes
+        };
+        // Publish: snapshots taken from here on see the whole group.
+        self.visible_seq.fetch_max(max_seq, Ordering::AcqRel);
+        self.stats.group_commits.incr();
+        self.stats.grouped_writes.add(total_ops as u64);
+        let elapsed = tl.elapsed();
+        self.advance(elapsed);
+        // Charge each ticket its share of the group's virtual time.
+        for ticket in group {
+            let share = SimDuration::from_nanos(
+                elapsed.as_nanos() * ticket.ops.len() as u64
+                    / total_ops.max(1) as u64,
+            );
+            ticket.complete(Ok(share));
         }
-        let fg = tl.elapsed();
-        self.advance(fg);
-        if self.partitions[pid].mem.approximate_size()
-            >= self.opts.memtable_bytes
-        {
-            self.flush_partition(pid)?;
+        if mem_full {
+            // Still holding the commit mutex: no new group can race the
+            // flush into a half-frozen memtable.
+            self.do_flush(pid)?;
         }
-        Ok(fg)
+        Ok(())
     }
 
     /// Point read at the latest snapshot.
-    pub fn get(&mut self, user_key: &[u8]) -> Result<ReadOutcome, DbError> {
+    pub fn get(&self, user_key: &[u8]) -> Result<ReadOutcome, DbError> {
         self.get_at(user_key, SequenceNumber::MAX)
     }
 
-    /// Point read at a snapshot.
+    /// Point read at a snapshot (see [`Db::snapshot`]).
+    ///
+    /// Fast path: the memtable probe runs under the partition's read
+    /// lock; if the partition has a PM level-0, the lock is dropped and
+    /// the PM tables are searched through an immutable snapshot of their
+    /// handles (PM tables are never mutated after publication, and the
+    /// `Arc`s keep them readable even if a concurrent compaction frees
+    /// their pool space). Only the SSD levels — whose tables *can* be
+    /// deleted by a concurrent major compaction — are searched under the
+    /// lock again.
     pub fn get_at(
-        &mut self,
+        &self,
         user_key: &[u8],
         snapshot: SequenceNumber,
     ) -> Result<ReadOutcome, DbError> {
         let mut tl = Timeline::new();
         let pid = self.opts.partitioner.locate(user_key);
-        let partition = &mut self.partitions[pid];
-        partition.counters.reads += 1;
-        let (hit, source) = partition.get(user_key, snapshot, &mut tl);
+        let guard = self.partitions[pid].read();
+        guard.counters.reads.incr();
+        let (hit, source) = if let Some(hit) = guard.mem.get(user_key, snapshot, &mut tl)
+        {
+            (Some(hit), ReadSource::MemTable)
+        } else if let Level0::Pm(l0) = &guard.level0 {
+            let l0_snap = l0.snapshot();
+            drop(guard);
+            if let Some(hit) = l0_snap.get(user_key, snapshot, &mut tl) {
+                (Some(hit), ReadSource::Pm)
+            } else {
+                let guard = self.partitions[pid].read();
+                match guard.levels.get(user_key, snapshot, &mut tl) {
+                    Some(hit) => (Some(hit), ReadSource::Ssd),
+                    None => (None, ReadSource::Miss),
+                }
+            }
+        } else {
+            guard.get_below_memtable(user_key, snapshot, &mut tl)
+        };
         self.stats.note_read(source);
         let latency = tl.elapsed();
         self.advance(latency);
@@ -333,9 +592,10 @@ impl Db {
 
     /// Range scan over `[start, end)`, at most `limit` live entries.
     /// Returns the live `(key, value)` rows plus the scan's virtual
-    /// latency.
+    /// latency. Each partition is read under its lock; the scan as a
+    /// whole is not a point-in-time snapshot across partitions.
     pub fn scan(
-        &mut self,
+        &self,
         start: &[u8],
         end: Option<&[u8]>,
         limit: usize,
@@ -348,8 +608,8 @@ impl Db {
             .unwrap_or(self.partitions.len() - 1);
         let mut out = Vec::new();
         for pid in first_pid..=last_pid {
-            let partition = &mut self.partitions[pid];
-            partition.counters.reads += 1;
+            let partition = self.partitions[pid].read();
+            partition.counters.reads.incr();
             let remaining = limit - out.len();
             // Per-source limits count raw entries, but shadowed versions
             // and tombstones are dropped by the merge — so a truncated
@@ -400,6 +660,7 @@ impl Db {
                 }
                 per_source *= 4;
             };
+            drop(partition);
             for entry in merged {
                 if out.len() >= limit {
                     break;
@@ -421,26 +682,75 @@ impl Db {
     // Compaction driving (Algorithm 1)
     // ---------------------------------------------------------------
 
+    /// Run a compaction now. This is the single entry point for every
+    /// manually-triggered compaction; the engine calls the same internal
+    /// paths from its automatic triggers.
+    pub fn compact(&self, request: CompactionRequest) -> Result<(), DbError> {
+        match request {
+            CompactionRequest::Flush { partition } => self.do_flush(partition),
+            CompactionRequest::FlushAll => {
+                for pid in 0..self.partitions.len() {
+                    self.do_flush(pid)?;
+                }
+                Ok(())
+            }
+            CompactionRequest::Internal { partition } => {
+                self.do_internal(partition)
+            }
+            CompactionRequest::Major { partition } => self.do_major(partition),
+            CompactionRequest::MajorWithRetention => self.do_retention(),
+        }
+    }
+
     /// Freeze + flush one partition's memtable, then apply the
     /// compaction strategy.
-    pub fn flush_partition(&mut self, pid: usize) -> Result<(), DbError> {
+    #[deprecated(note = "use `compact(CompactionRequest::Flush { partition })`")]
+    pub fn flush_partition(&self, pid: usize) -> Result<(), DbError> {
+        self.do_flush(pid)
+    }
+
+    /// Flush every partition (shutdown / bench boundary).
+    #[deprecated(note = "use `compact(CompactionRequest::FlushAll)`")]
+    pub fn flush_all(&self) -> Result<(), DbError> {
+        self.compact(CompactionRequest::FlushAll)
+    }
+
+    /// Run an internal compaction on one partition now.
+    #[deprecated(note = "use `compact(CompactionRequest::Internal { partition })`")]
+    pub fn run_internal_compaction(&self, pid: usize) -> Result<(), DbError> {
+        self.do_internal(pid)
+    }
+
+    /// Major-compact one partition (its whole level-0 into level-1).
+    #[deprecated(note = "use `compact(CompactionRequest::Major { partition })`")]
+    pub fn run_major_compaction(&self, pid: usize) -> Result<(), DbError> {
+        self.do_major(pid)
+    }
+
+    /// Eq 3 retention pass.
+    #[deprecated(note = "use `compact(CompactionRequest::MajorWithRetention)`")]
+    pub fn run_major_with_retention(&self) -> Result<(), DbError> {
+        self.do_retention()
+    }
+
+    fn do_flush(&self, pid: usize) -> Result<(), DbError> {
         let mut tl = Timeline::new();
-        if let Some(wal) = &mut self.wal {
-            wal.sync(&mut tl)?;
+        if let Some(wal) = &self.wal {
+            wal.lock().sync(&mut tl)?;
         }
-        let report = self.partitions[pid].minor_compaction(
+        let report = self.partitions[pid].write().minor_compaction(
             &self.opts,
             &self.pool,
             &self.device,
             &self.cache,
-            &mut self.table_counter,
+            &self.table_counter,
             &mut tl,
         )?;
         if report.is_some() {
             self.stats.minor_compactions.incr();
             let d = tl.elapsed();
             self.advance(d);
-            self.compaction_log.push(CompactionEvent {
+            self.compaction_log.lock().push(CompactionEvent {
                 kind: CompactionKind::Minor,
                 partition: pid,
                 duration: d,
@@ -451,47 +761,45 @@ impl Db {
         Ok(())
     }
 
-    /// Flush every partition (shutdown / bench boundary).
-    pub fn flush_all(&mut self) -> Result<(), DbError> {
-        for pid in 0..self.partitions.len() {
-            self.flush_partition(pid)?;
-        }
-        Ok(())
-    }
-
-    /// Algorithm 1: run after a PM table lands in partition `pid`.
-    fn apply_strategy(&mut self, pid: usize) -> Result<(), DbError> {
+    /// Algorithm 1: run after a PM table lands in partition `pid`. The
+    /// trigger state is sampled under a read lock and the lock dropped
+    /// before acting; the compaction paths re-check what is actually
+    /// there, so a racing compaction at worst makes one of them a no-op.
+    fn apply_strategy(&self, pid: usize) -> Result<(), DbError> {
         match self.opts.mode {
             Mode::PmBlade => {
-                let now = self.clock;
-                let partition = &self.partitions[pid];
-                let unsorted = partition.unsorted_count();
-                let hard = unsorted >= self.opts.l0_unsorted_hard_cap;
-                // Line 1-3: Eq 1 — read-amplification relief.
-                let eq1 = read_benefit_positive(
-                    &partition.counters,
-                    unsorted,
-                    now,
-                    &self.opts.scalars,
-                );
-                // Line 4-6: Eq 2 — write-amplification relief, gated on
-                // the partition exceeding τ_w.
-                let l0_records = match &partition.level0 {
-                    crate::partition::Level0::Pm(l0) => l0.entries(),
-                    _ => 0,
-                };
-                let eq2 = partition.pm_bytes() >= self.opts.tau_w
-                    && write_benefit_positive(
+                let now = self.now();
+                let (run_internal, _unsorted) = {
+                    let partition = self.partitions[pid].read();
+                    let unsorted = partition.unsorted_count();
+                    let hard = unsorted >= self.opts.l0_unsorted_hard_cap;
+                    // Line 1-3: Eq 1 — read-amplification relief.
+                    let eq1 = read_benefit_positive(
                         &partition.counters,
-                        l0_records,
+                        unsorted,
+                        now,
                         &self.opts.scalars,
                     );
-                if (eq1 || eq2 || hard) && unsorted >= 2 {
-                    self.run_internal_compaction(pid)?;
+                    // Line 4-6: Eq 2 — write-amplification relief, gated
+                    // on the partition exceeding τ_w.
+                    let l0_records = match &partition.level0 {
+                        Level0::Pm(l0) => l0.entries(),
+                        _ => 0,
+                    };
+                    let eq2 = partition.pm_bytes() >= self.opts.tau_w
+                        && write_benefit_positive(
+                            &partition.counters,
+                            l0_records,
+                            &self.opts.scalars,
+                        );
+                    ((eq1 || eq2 || hard) && unsorted >= 2, unsorted)
+                };
+                if run_internal {
+                    self.do_internal(pid)?;
                 }
                 // Line 7-9: Eq 3 — major compaction with retention.
                 if self.pool.used() >= self.opts.tau_m {
-                    self.run_major_with_retention()?;
+                    self.do_retention()?;
                 }
             }
             Mode::PmBladePm => {
@@ -501,11 +809,11 @@ impl Db {
                 // is compacted to level-1 — leaving the PM capacity
                 // underutilized, exactly the behaviour the paper
                 // criticises.
-                if self.partitions[pid].unsorted_count()
+                if self.partitions[pid].read().unsorted_count()
                     >= self.opts.l0_table_trigger
                     || self.pool.used() >= self.opts.tau_m
                 {
-                    self.run_major_compaction(pid)?;
+                    self.do_major(pid)?;
                 }
             }
             Mode::MatrixKv => {
@@ -513,50 +821,52 @@ impl Db {
                 // no retention.
                 if self.pool.used() >= self.opts.tau_m {
                     for pid in 0..self.partitions.len() {
-                        self.run_major_compaction(pid)?;
+                        self.do_major(pid)?;
                     }
                 }
             }
             Mode::SsdLevel0 => {
-                if self.partitions[pid].ssd_l0_full(self.opts.l0_table_trigger)
+                if self.partitions[pid]
+                    .read()
+                    .ssd_l0_full(self.opts.l0_table_trigger)
                 {
-                    self.run_major_compaction(pid)?;
+                    self.do_major(pid)?;
                 }
             }
         }
         Ok(())
     }
 
-    /// Run an internal compaction on one partition now.
+    /// Internal compaction (§IV-B).
     ///
     /// Internal compaction publishes the new sorted run before releasing
     /// the old tables, so it needs PM headroom; when the pool cannot fit
     /// the new run the engine falls back to a major compaction, which
     /// frees the partition's PM space instead.
-    pub fn run_internal_compaction(&mut self, pid: usize) -> Result<(), DbError> {
+    fn do_internal(&self, pid: usize) -> Result<(), DbError> {
         let mut tl = Timeline::new();
-        let result = match self.partitions[pid].internal_compaction(
-            &self.opts,
-            &self.pool,
-            &mut tl,
-        ) {
+        let mut p = self.partitions[pid].write();
+        let result = match p.internal_compaction(&self.opts, &self.pool, &mut tl)
+        {
             Ok(r) => r,
             Err(DbError::Pm(PmError::OutOfSpace { .. })) => {
-                return self.run_major_compaction(pid);
+                drop(p);
+                return self.do_major(pid);
             }
             Err(e) => return Err(e),
         };
         if let Some((before, after, released)) = result {
+            let now = self.now();
+            p.counters.reset(now);
+            drop(p);
             self.stats.internal_compactions.incr();
             self.stats.internal_space_released.add(released as u64);
             self.stats
                 .internal_dropped_records
                 .add((before - after) as u64);
-            let now = self.clock;
-            self.partitions[pid].counters.reset(now);
             let d = tl.elapsed();
             self.advance(d);
-            self.compaction_log.push(CompactionEvent {
+            self.compaction_log.lock().push(CompactionEvent {
                 kind: CompactionKind::Internal,
                 partition: pid,
                 duration: d,
@@ -567,30 +877,38 @@ impl Db {
     }
 
     /// Major-compact one partition (its whole level-0 into level-1).
-    pub fn run_major_compaction(&mut self, pid: usize) -> Result<(), DbError> {
+    fn do_major(&self, pid: usize) -> Result<(), DbError> {
         let mut tl = Timeline::new();
+        // Device counters are global: a compaction racing on another
+        // partition skews this event's work attribution but never the
+        // cumulative totals.
         let pm_read_before = self.pool.stats().bytes_read.get();
         let ssd_written_before = self.device.stats().bytes_written.get();
-        let records = match &self.partitions[pid].level0 {
+        let mut p = self.partitions[pid].write();
+        let records = match &p.level0 {
             Level0::Pm(l0) => l0.entries(),
             Level0::Matrix(m) => m.entries(),
             Level0::Ssd(tables) => tables.len() * 1000,
         } as u64;
-        let deleted = self.partitions[pid].major_compaction(
+        let deleted = p.major_compaction(
             &self.opts,
             &self.pool,
             &self.device,
             &self.cache,
-            &mut self.table_counter,
+            &self.table_counter,
             &mut tl,
         )?;
+        // Delete replaced SSTables while still holding the write lock:
+        // concurrent readers search the SSD levels only under the read
+        // lock, so no reader can be mid-probe in a deleted table.
         for name in deleted {
             let _ = self.device.delete(&name);
             self.cache.purge_table(sstable::cache::table_id(&name));
         }
+        let now = self.now();
+        p.counters.reset(now);
+        drop(p);
         self.stats.major_compactions.incr();
-        let now = self.clock;
-        self.partitions[pid].counters.reset(now);
         let d = tl.elapsed();
         self.advance(d);
         let work = CompactionWork {
@@ -600,7 +918,7 @@ impl Db {
             records,
             value_size: self.mean_value_size(),
         };
-        self.compaction_log.push(CompactionEvent {
+        self.compaction_log.lock().push(CompactionEvent {
             kind: CompactionKind::Major,
             partition: pid,
             duration: d,
@@ -611,44 +929,47 @@ impl Db {
 
     /// Eq 3: keep the hottest partitions in PM, compact the rest, and
     /// keep evicting colder retained partitions until PM is below τ_m.
-    pub fn run_major_with_retention(&mut self) -> Result<(), DbError> {
+    /// Partition locks are taken one at a time (candidate sampling,
+    /// then each victim's compaction) — never two at once.
+    fn do_retention(&self) -> Result<(), DbError> {
         let candidates: Vec<RetentionCandidate> = self
             .partitions
             .iter()
-            .map(|p| RetentionCandidate {
-                partition: p.id,
-                reads: p.counters.reads,
-                bytes: p.pm_bytes(),
+            .map(|lock| {
+                let p = lock.read();
+                RetentionCandidate {
+                    partition: p.id,
+                    reads: p.counters.reads.get(),
+                    bytes: p.pm_bytes(),
+                }
             })
             .collect();
         let retained = select_retained(&candidates, self.opts.tau_t);
-        let victims: Vec<usize> = self
-            .partitions
-            .iter()
-            .map(|p| p.id)
-            .filter(|id| !retained.contains(id))
-            .collect();
-        for pid in victims {
-            if self.partitions[pid].pm_bytes() > 0 {
-                self.run_major_compaction(pid)?;
+        for c in &candidates {
+            if !retained.contains(&c.partition) && c.bytes > 0 {
+                self.do_major(c.partition)?;
             }
         }
         // Safety: if the retained set alone still exceeds τ_m (e.g. a
         // single enormous partition), evict coldest-first until it fits.
         if self.pool.used() >= self.opts.tau_m {
-            let mut by_density: Vec<usize> = retained;
-            by_density.sort_by(|&a, &b| {
-                let da = self.partitions[a].counters.reads as f64
-                    / self.partitions[a].pm_bytes().max(1) as f64;
-                let db = self.partitions[b].counters.reads as f64
-                    / self.partitions[b].pm_bytes().max(1) as f64;
-                da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+            let mut by_density: Vec<(usize, f64)> = retained
+                .into_iter()
+                .map(|pid| {
+                    let p = self.partitions[pid].read();
+                    let density = p.counters.reads.get() as f64
+                        / p.pm_bytes().max(1) as f64;
+                    (pid, density)
+                })
+                .collect();
+            by_density.sort_by(|a, b| {
+                a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal)
             });
-            for pid in by_density {
+            for (pid, _) in by_density {
                 if self.pool.used() < self.opts.tau_m {
                     break;
                 }
-                self.run_major_compaction(pid)?;
+                self.do_major(pid)?;
             }
         }
         Ok(())
@@ -660,7 +981,7 @@ impl std::fmt::Debug for Db {
         f.debug_struct("Db")
             .field("mode", &self.opts.mode)
             .field("partitions", &self.partitions.len())
-            .field("seq", &self.seq)
+            .field("seq", &self.seq.load(Ordering::Relaxed))
             .field("pm_used", &self.pool.used())
             .finish()
     }
@@ -670,6 +991,12 @@ impl std::fmt::Debug for Db {
 mod tests {
     use super::*;
     use crate::options::Partitioner;
+
+    // Compile-time proof that the engine can be shared across threads.
+    const _: fn() = || {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Db>();
+    };
 
     fn small_opts(mode: Mode) -> Options {
         Options {
@@ -685,7 +1012,7 @@ mod tests {
         }
     }
 
-    fn fill(db: &mut Db, n: usize, vlen: usize, tag: &str) {
+    fn fill(db: &Db, n: usize, vlen: usize, tag: &str) {
         for i in 0..n {
             let k = format!("key{:08}", i);
             let v = format!("{tag}-{}", "x".repeat(vlen));
@@ -695,7 +1022,7 @@ mod tests {
 
     #[test]
     fn put_get_roundtrip_through_memtable() {
-        let mut db = Db::open(small_opts(Mode::PmBlade)).unwrap();
+        let db = Db::open(small_opts(Mode::PmBlade)).unwrap();
         db.put(b"hello", b"world").unwrap();
         let out = db.get(b"hello").unwrap();
         assert_eq!(out.value.as_deref(), Some(&b"world"[..]));
@@ -706,9 +1033,9 @@ mod tests {
 
     #[test]
     fn flush_moves_data_to_pm() {
-        let mut db = Db::open(small_opts(Mode::PmBlade)).unwrap();
-        fill(&mut db, 100, 100, "a");
-        db.flush_all().unwrap();
+        let db = Db::open(small_opts(Mode::PmBlade)).unwrap();
+        fill(&db, 100, 100, "a");
+        db.compact(CompactionRequest::FlushAll).unwrap();
         assert!(db.pm_used() > 0);
         let out = db.get(b"key00000050").unwrap();
         assert_eq!(out.source, ReadSource::Pm);
@@ -718,7 +1045,7 @@ mod tests {
 
     #[test]
     fn updates_supersede_and_deletes_hide() {
-        let mut db = Db::open(small_opts(Mode::PmBlade)).unwrap();
+        let db = Db::open(small_opts(Mode::PmBlade)).unwrap();
         db.put(b"k", b"v1").unwrap();
         db.put(b"k", b"v2").unwrap();
         assert_eq!(db.get(b"k").unwrap().value.as_deref(), Some(&b"v2"[..]));
@@ -726,15 +1053,15 @@ mod tests {
         assert_eq!(db.get(b"k").unwrap().value, None);
         // Across a flush too.
         db.put(b"p", b"q").unwrap();
-        db.flush_all().unwrap();
+        db.compact(CompactionRequest::FlushAll).unwrap();
         db.delete(b"p").unwrap();
-        db.flush_all().unwrap();
+        db.compact(CompactionRequest::FlushAll).unwrap();
         assert_eq!(db.get(b"p").unwrap().value, None);
     }
 
     #[test]
     fn snapshot_reads_see_past_versions() {
-        let mut db = Db::open(small_opts(Mode::PmBlade)).unwrap();
+        let db = Db::open(small_opts(Mode::PmBlade)).unwrap();
         db.put(b"k", b"old").unwrap();
         let snap = db.snapshot();
         db.put(b"k", b"new").unwrap();
@@ -746,12 +1073,44 @@ mod tests {
     }
 
     #[test]
+    fn write_batch_applies_atomically_per_partition() {
+        let db = Db::open(small_opts(Mode::PmBlade)).unwrap();
+        db.put(b"a", b"0").unwrap();
+        let before = db.snapshot();
+        let mut batch = WriteBatch::new();
+        batch.put(&b"a"[..], &b"1"[..]).put(&b"b"[..], &b"1"[..]).delete(&b"c"[..]);
+        let latency = db.write_batch(batch).unwrap();
+        assert!(latency > SimDuration::ZERO);
+        let after = db.snapshot();
+        // Pre-batch snapshot sees none of the batch.
+        assert_eq!(
+            db.get_at(b"a", before).unwrap().value.as_deref(),
+            Some(&b"0"[..])
+        );
+        assert_eq!(db.get_at(b"b", before).unwrap().value, None);
+        // Post-batch snapshot sees all of it.
+        assert_eq!(
+            db.get_at(b"a", after).unwrap().value.as_deref(),
+            Some(&b"1"[..])
+        );
+        assert_eq!(
+            db.get_at(b"b", after).unwrap().value.as_deref(),
+            Some(&b"1"[..])
+        );
+        assert_eq!(db.stats().batch_writes.get(), 1);
+        assert!(db.stats().group_commits.get() >= 1);
+        assert!(db.stats().grouped_writes.get() >= 3);
+        // An empty batch is a no-op.
+        assert_eq!(db.write_batch(WriteBatch::new()).unwrap(), SimDuration::ZERO);
+    }
+
+    #[test]
     fn writes_trigger_automatic_flush_and_internal_compaction() {
         let mut opts = small_opts(Mode::PmBlade);
         opts.l0_unsorted_hard_cap = 3;
-        let mut db = Db::open(opts).unwrap();
+        let db = Db::open(opts).unwrap();
         // Enough data for multiple memtable freezes.
-        fill(&mut db, 1500, 64, "x");
+        fill(&db, 1500, 64, "x");
         assert!(db.stats().minor_compactions.get() >= 3);
         assert!(
             db.stats().internal_compactions.get() >= 1,
@@ -772,8 +1131,8 @@ mod tests {
         let mut opts = small_opts(Mode::PmBlade);
         opts.tau_m = 128 << 10;
         opts.tau_t = 64 << 10;
-        let mut db = Db::open(opts).unwrap();
-        fill(&mut db, 3000, 64, "y");
+        let db = Db::open(opts).unwrap();
+        fill(&db, 3000, 64, "y");
         assert!(
             db.stats().major_compactions.get() >= 1,
             "PM pressure must force major compaction"
@@ -787,9 +1146,9 @@ mod tests {
 
     #[test]
     fn rocksdb_mode_uses_ssd_level0() {
-        let mut db = Db::open(small_opts(Mode::SsdLevel0)).unwrap();
-        fill(&mut db, 600, 64, "r");
-        db.flush_all().unwrap();
+        let db = Db::open(small_opts(Mode::SsdLevel0)).unwrap();
+        fill(&db, 600, 64, "r");
+        db.compact(CompactionRequest::FlushAll).unwrap();
         assert_eq!(db.pm_used(), 0, "no PM in SSD-L0 mode");
         assert!(db.ssd().stats().bytes_written.get() > 0);
         let out = db.get(b"key00000100").unwrap();
@@ -799,9 +1158,9 @@ mod tests {
 
     #[test]
     fn matrixkv_mode_round_trips() {
-        let mut db = Db::open(small_opts(Mode::MatrixKv)).unwrap();
-        fill(&mut db, 800, 64, "m");
-        db.flush_all().unwrap();
+        let db = Db::open(small_opts(Mode::MatrixKv)).unwrap();
+        fill(&db, 800, 64, "m");
+        db.compact(CompactionRequest::FlushAll).unwrap();
         assert!(db.pm_used() > 0);
         for i in (0..800).step_by(97) {
             let k = format!("key{:08}", i);
@@ -811,11 +1170,11 @@ mod tests {
 
     #[test]
     fn scan_merges_tiers_in_order() {
-        let mut db = Db::open(small_opts(Mode::PmBlade)).unwrap();
+        let db = Db::open(small_opts(Mode::PmBlade)).unwrap();
         for i in 0..50 {
             db.put(format!("a{:04}", i).as_bytes(), b"old").unwrap();
         }
-        db.flush_all().unwrap();
+        db.compact(CompactionRequest::FlushAll).unwrap();
         // Overwrite a few in the memtable.
         db.put(b"a0010", b"new").unwrap();
         db.delete(b"a0011").unwrap();
@@ -839,7 +1198,7 @@ mod tests {
 
     #[test]
     fn scan_respects_limit() {
-        let mut db = Db::open(small_opts(Mode::PmBlade)).unwrap();
+        let db = Db::open(small_opts(Mode::PmBlade)).unwrap();
         for i in 0..100 {
             db.put(format!("s{:04}", i).as_bytes(), b"v").unwrap();
         }
@@ -852,9 +1211,9 @@ mod tests {
         let mut opts = small_opts(Mode::PmBlade);
         opts.partitioner =
             Partitioner::Ranges(vec![b"key00000500".to_vec()]);
-        let mut db = Db::open(opts).unwrap();
-        fill(&mut db, 1000, 32, "p");
-        db.flush_all().unwrap();
+        let db = Db::open(opts).unwrap();
+        fill(&db, 1000, 32, "p");
+        db.compact(CompactionRequest::FlushAll).unwrap();
         assert!(db.get(b"key00000100").unwrap().value.is_some());
         assert!(db.get(b"key00000900").unwrap().value.is_some());
         // Scan spanning the boundary.
@@ -867,14 +1226,33 @@ mod tests {
     fn write_amplification_accounting_sane() {
         let mut opts = small_opts(Mode::PmBlade);
         opts.tau_m = 128 << 10;
-        let mut db = Db::open(opts).unwrap();
-        fill(&mut db, 2000, 64, "w");
-        db.flush_all().unwrap();
-        let (pm, ssd, user) = db.write_amplification();
-        assert!(user > 0);
-        assert!(pm > 0, "flushes write PM");
+        let db = Db::open(opts).unwrap();
+        fill(&db, 2000, 64, "w");
+        db.compact(CompactionRequest::FlushAll).unwrap();
+        let wa = db.write_amp();
+        assert!(wa.user_bytes > 0);
+        assert!(wa.pm_bytes > 0, "flushes write PM");
         // Amplification factor must exceed 1 once compactions happened.
-        assert!(pm + ssd >= user, "pm {pm} ssd {ssd} user {user}");
+        assert!(wa.factor() >= 1.0, "{wa:?}");
+        // The deprecated tuple accessor reports the same numbers.
+        #[allow(deprecated)]
+        let (pm, ssd, user) = db.write_amplification();
+        assert_eq!((pm, ssd, user), (wa.pm_bytes, wa.ssd_bytes, wa.user_bytes));
+    }
+
+    #[test]
+    fn deprecated_compaction_names_still_work() {
+        let db = Db::open(small_opts(Mode::PmBlade)).unwrap();
+        fill(&db, 200, 64, "d");
+        #[allow(deprecated)]
+        {
+            db.flush_all().unwrap();
+            db.flush_partition(0).unwrap();
+            db.run_internal_compaction(0).unwrap();
+            db.run_major_compaction(0).unwrap();
+            db.run_major_with_retention().unwrap();
+        }
+        assert!(db.get(b"key00000100").unwrap().value.is_some());
     }
 
     #[test]
@@ -885,16 +1263,13 @@ mod tests {
         let mut opts = small_opts(Mode::PmBlade);
         opts.wal_dir = Some(dir.clone());
         {
-            let mut db = Db::open(opts.clone()).unwrap();
+            let db = Db::open(opts.clone()).unwrap();
             db.put(b"durable", b"yes").unwrap();
             db.delete(b"gone").unwrap();
-            if let Some(wal) = &mut db.wal {
-                let mut tl = Timeline::new();
-                wal.sync(&mut tl).unwrap();
-            }
+            db.sync_wal().unwrap();
             // Drop without flushing: memtable contents only in the WAL.
         }
-        let mut db2 = Db::open(opts).unwrap();
+        let db2 = Db::open(opts).unwrap();
         assert_eq!(
             db2.get(b"durable").unwrap().value.as_deref(),
             Some(&b"yes"[..])
@@ -908,8 +1283,8 @@ mod tests {
         let mut opts = small_opts(Mode::PmBlade);
         opts.tau_m = 128 << 10;
         opts.l0_unsorted_hard_cap = 2;
-        let mut db = Db::open(opts).unwrap();
-        fill(&mut db, 2000, 64, "c");
+        let db = Db::open(opts).unwrap();
+        fill(&db, 2000, 64, "c");
         let kinds: std::collections::HashSet<_> =
             db.compaction_log().iter().map(|e| e.kind).collect();
         assert!(kinds.contains(&CompactionKind::Minor));
@@ -925,14 +1300,50 @@ mod tests {
 
     #[test]
     fn pm_hit_ratio_reflects_tiering() {
-        let mut db = Db::open(small_opts(Mode::PmBlade)).unwrap();
-        fill(&mut db, 200, 64, "h");
-        db.flush_all().unwrap();
+        let db = Db::open(small_opts(Mode::PmBlade)).unwrap();
+        fill(&db, 200, 64, "h");
+        db.compact(CompactionRequest::FlushAll).unwrap();
         for i in 0..200 {
             let k = format!("key{:08}", i);
             db.get(k.as_bytes()).unwrap();
         }
         // Nothing was major-compacted: everything served from PM.
         assert!(db.stats().pm_hit_ratio() > 0.99);
+    }
+
+    #[test]
+    fn shared_handle_supports_concurrent_writers_and_readers() {
+        let db = Arc::new(Db::open(small_opts(Mode::PmBlade)).unwrap());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let db = Arc::clone(&db);
+                s.spawn(move || {
+                    for i in 0..200 {
+                        let k = format!("t{t}-{i:05}");
+                        db.put(k.as_bytes(), b"v").unwrap();
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let db = Arc::clone(&db);
+                s.spawn(move || {
+                    for i in 0..300 {
+                        let k = format!("t{}-{:05}", i % 4, i % 200);
+                        let _ = db.get(k.as_bytes()).unwrap();
+                    }
+                });
+            }
+        });
+        // Every write survived the concurrency.
+        for t in 0..4 {
+            for i in 0..200 {
+                let k = format!("t{t}-{i:05}");
+                assert!(
+                    db.get(k.as_bytes()).unwrap().value.is_some(),
+                    "lost {k}"
+                );
+            }
+        }
+        assert_eq!(db.stats().puts.get(), 800);
     }
 }

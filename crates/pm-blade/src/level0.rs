@@ -68,37 +68,19 @@ impl PmLevel0 {
         snapshot: SequenceNumber,
         tl: &mut Timeline,
     ) -> Option<Lookup> {
-        // Unsorted tables are mutually overlapping: scan newest→oldest and
-        // take the newest visible version seen (a newer table always holds
-        // newer sequences for the keys it contains).
-        let mut best: Option<Lookup> = None;
-        for handle in self.unsorted.iter().rev() {
-            if !handle.overlaps_key(user_key) {
-                continue;
-            }
-            if let Some(hit) = handle.table.get(user_key, snapshot, tl) {
-                match &best {
-                    Some(b) if b.seq >= hit.seq => {}
-                    _ => best = Some(hit),
-                }
-                // Tables are flushed in sequence order; the first hit
-                // from the newest table is final.
-                break;
-            }
+        get_in(&self.unsorted, &self.sorted, user_key, snapshot, tl)
+    }
+
+    /// A cheap immutable copy of the current table set (Arc clones of
+    /// the handles, no data copied). Because PM tables are never mutated
+    /// after publication, the snapshot can be searched without holding
+    /// the partition lock; a concurrent compaction that frees the
+    /// underlying regions cannot invalidate the `Arc`-held tables.
+    pub fn snapshot(&self) -> PmL0Snapshot {
+        PmL0Snapshot {
+            unsorted: self.unsorted.clone(),
+            sorted: self.sorted.clone(),
         }
-        if best.is_some() {
-            return best;
-        }
-        // Sorted run: at most one table can contain the key.
-        let idx = self
-            .sorted
-            .partition_point(|h| h.last.as_slice() < user_key);
-        if let Some(handle) = self.sorted.get(idx) {
-            if handle.overlaps_key(user_key) {
-                return handle.table.get(user_key, snapshot, tl);
-            }
-        }
-        None
     }
 
     /// Entries overlapping `[start, end)` from every table, newest first
@@ -179,6 +161,69 @@ impl std::fmt::Debug for PmLevel0 {
             .field("bytes", &self.bytes())
             .finish()
     }
+}
+
+/// A point-in-time view of one partition's level-0, safe to search
+/// without any lock held. See [`PmLevel0::snapshot`].
+#[derive(Clone, Debug)]
+pub struct PmL0Snapshot {
+    unsorted: Vec<PmTableHandle>,
+    sorted: Vec<PmTableHandle>,
+}
+
+impl PmL0Snapshot {
+    /// Point lookup with the same semantics as [`PmLevel0::get`].
+    pub fn get(
+        &self,
+        user_key: &[u8],
+        snapshot: SequenceNumber,
+        tl: &mut Timeline,
+    ) -> Option<Lookup> {
+        get_in(&self.unsorted, &self.sorted, user_key, snapshot, tl)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.unsorted.is_empty() && self.sorted.is_empty()
+    }
+}
+
+/// Shared lookup walk over an (unsorted, sorted) table set.
+fn get_in(
+    unsorted: &[PmTableHandle],
+    sorted: &[PmTableHandle],
+    user_key: &[u8],
+    snapshot: SequenceNumber,
+    tl: &mut Timeline,
+) -> Option<Lookup> {
+    // Unsorted tables are mutually overlapping: scan newest→oldest and
+    // take the newest visible version seen (a newer table always holds
+    // newer sequences for the keys it contains).
+    let mut best: Option<Lookup> = None;
+    for handle in unsorted.iter().rev() {
+        if !handle.overlaps_key(user_key) {
+            continue;
+        }
+        if let Some(hit) = handle.table.get(user_key, snapshot, tl) {
+            match &best {
+                Some(b) if b.seq >= hit.seq => {}
+                _ => best = Some(hit),
+            }
+            // Tables are flushed in sequence order; the first hit
+            // from the newest table is final.
+            break;
+        }
+    }
+    if best.is_some() {
+        return best;
+    }
+    // Sorted run: at most one table can contain the key.
+    let idx = sorted.partition_point(|h| h.last.as_slice() < user_key);
+    if let Some(handle) = sorted.get(idx) {
+        if handle.overlaps_key(user_key) {
+            return handle.table.get(user_key, snapshot, tl);
+        }
+    }
+    None
 }
 
 #[cfg(test)]

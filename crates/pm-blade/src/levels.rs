@@ -6,6 +6,7 @@
 //! policy — adequate at the reproduction's scale and identical in
 //! write-amplification shape to per-table picking).
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use encoding::key::{self, SequenceNumber};
@@ -160,14 +161,16 @@ impl std::fmt::Debug for SsdLevels {
 }
 
 /// Build SSTables (split at `max_bytes`) from sorted entries. Returns the
-/// new handles; files are named `{prefix}-{counter}.sst`.
+/// new handles; files are named `{prefix}-{counter}.sst`. The counter is
+/// atomic so concurrent compactions of different partitions never mint
+/// the same file name.
 #[allow(clippy::too_many_arguments)]
 pub fn build_ss_tables(
     entries: &[OwnedEntry],
     device: &Arc<SsdDevice>,
     cache: &Arc<BlockCache>,
     prefix: &str,
-    counter: &mut u64,
+    counter: &AtomicU64,
     max_bytes: usize,
     opts: SsTableOptions,
     tl: &mut Timeline,
@@ -175,8 +178,8 @@ pub fn build_ss_tables(
     let mut out = Vec::new();
     let mut iter = entries.iter().peekable();
     while iter.peek().is_some() {
-        *counter += 1;
-        let name = format!("{prefix}-{counter:08}.sst");
+        let n = counter.fetch_add(1, Ordering::Relaxed) + 1;
+        let name = format!("{prefix}-{n:08}.sst");
         let mut builder = SsTableBuilder::new(device, &name, opts)?;
         let mut first: Option<Vec<u8>> = None;
         let mut last: Vec<u8> = Vec::new();
@@ -228,18 +231,18 @@ mod tests {
     fn build_and_lookup_across_levels() {
         let (device, cache) = setup();
         let mut tl = Timeline::new();
-        let mut counter = 0;
+        let counter = AtomicU64::new(0);
         let l1: Vec<OwnedEntry> =
             (0..100).map(|i| e(&format!("k{:04}", i), 200 + i, "l1")).collect();
         let l2: Vec<OwnedEntry> =
             (0..200).map(|i| e(&format!("k{:04}", i), 1 + i, "l2")).collect();
         let t1 = build_ss_tables(
-            &l1, &device, &cache, "p0-L1", &mut counter, usize::MAX,
+            &l1, &device, &cache, "p0-L1", &counter, usize::MAX,
             SsTableOptions::default(), &mut tl,
         )
         .unwrap();
         let t2 = build_ss_tables(
-            &l2, &device, &cache, "p0-L2", &mut counter, usize::MAX,
+            &l2, &device, &cache, "p0-L2", &counter, usize::MAX,
             SsTableOptions::default(), &mut tl,
         )
         .unwrap();
@@ -261,12 +264,12 @@ mod tests {
     fn split_produces_ordered_tables() {
         let (device, cache) = setup();
         let mut tl = Timeline::new();
-        let mut counter = 0;
+        let counter = AtomicU64::new(0);
         let entries: Vec<OwnedEntry> = (0..2000)
             .map(|i| e(&format!("k{:06}", i), i + 1, &"v".repeat(64)))
             .collect();
         let tables = build_ss_tables(
-            &entries, &device, &cache, "p0-L1", &mut counter, 32 << 10,
+            &entries, &device, &cache, "p0-L1", &counter, 32 << 10,
             SsTableOptions::default(), &mut tl,
         )
         .unwrap();
@@ -280,16 +283,16 @@ mod tests {
     fn overlapping_filters_by_range() {
         let (device, cache) = setup();
         let mut tl = Timeline::new();
-        let mut counter = 0;
+        let counter = AtomicU64::new(0);
         let a = build_ss_tables(
             &[e("a", 1, "1"), e("c", 2, "2")],
-            &device, &cache, "x", &mut counter, usize::MAX,
+            &device, &cache, "x", &counter, usize::MAX,
             SsTableOptions::default(), &mut tl,
         )
         .unwrap();
         let b = build_ss_tables(
             &[e("m", 3, "3"), e("o", 4, "4")],
-            &device, &cache, "x", &mut counter, usize::MAX,
+            &device, &cache, "x", &counter, usize::MAX,
             SsTableOptions::default(), &mut tl,
         )
         .unwrap();
@@ -307,11 +310,11 @@ mod tests {
     fn scan_sources_orders_within_levels() {
         let (device, cache) = setup();
         let mut tl = Timeline::new();
-        let mut counter = 0;
+        let counter = AtomicU64::new(0);
         let entries: Vec<OwnedEntry> =
             (0..50).map(|i| e(&format!("k{:03}", i), i + 1, "v")).collect();
         let tables = build_ss_tables(
-            &entries, &device, &cache, "s", &mut counter, usize::MAX,
+            &entries, &device, &cache, "s", &counter, usize::MAX,
             SsTableOptions::default(), &mut tl,
         )
         .unwrap();
@@ -327,10 +330,10 @@ mod tests {
     fn tombstones_flow_through_get() {
         let (device, cache) = setup();
         let mut tl = Timeline::new();
-        let mut counter = 0;
+        let counter = AtomicU64::new(0);
         let entries = vec![OwnedEntry::tombstone(b"gone".to_vec(), 9)];
         let tables = build_ss_tables(
-            &entries, &device, &cache, "t", &mut counter, usize::MAX,
+            &entries, &device, &cache, "t", &counter, usize::MAX,
             SsTableOptions::default(), &mut tl,
         )
         .unwrap();

@@ -21,6 +21,7 @@
 //! [`options::Mode::MatrixKv`] (a matrix-container level-0 with column
 //! compaction).
 
+pub mod commit;
 pub mod compaction;
 pub mod costmodel;
 pub mod engine;
@@ -33,10 +34,15 @@ pub mod partition;
 pub mod relational;
 pub mod stats;
 
-pub use engine::{Db, DbError, ReadOutcome};
-pub use options::{Mode, Options, Partitioner};
+pub use commit::{BatchOp, WriteBatch};
+pub use engine::{
+    CompactionEvent, CompactionKind, CompactionRequest, Db, DbError,
+    ReadOutcome, WriteAmp,
+};
+pub use level0::PmL0Snapshot;
+pub use options::{Mode, Options, OptionsBuilder, Partitioner};
 pub use relational::{Relational, TableDef};
-pub use stats::EngineStats;
+pub use stats::{EngineStats, ReadSource};
 
 /// Convenience re-exports for downstream users.
 pub use encoding::key::{KeyKind, SequenceNumber};

@@ -171,6 +171,14 @@ impl Default for Options {
 }
 
 impl Options {
+    /// Start a validated configuration from the defaults. Unlike
+    /// constructing `Options` directly (which `Db::open` accepts
+    /// as-is), [`OptionsBuilder::build`] rejects inconsistent
+    /// configurations with [`DbError::Config`].
+    pub fn builder() -> OptionsBuilder {
+        OptionsBuilder { opts: Options::default() }
+    }
+
     /// The paper's "PMBlade" configuration at a given PM scale.
     pub fn pm_blade(pm_capacity: usize) -> Self {
         Options {
@@ -195,6 +203,174 @@ impl Options {
     /// paper, also run at 80 GB).
     pub fn matrixkv(pm_capacity: usize) -> Self {
         Options { mode: Mode::MatrixKv, ..Options::pm_blade(pm_capacity) }
+    }
+}
+
+/// Checked construction of [`Options`].
+///
+/// Every setter mirrors the `Options` field of the same name; `build`
+/// cross-validates the configuration and returns
+/// [`DbError::Config`](crate::engine::DbError::Config) with a
+/// human-readable diagnostic on the first violation found.
+#[derive(Clone, Debug)]
+pub struct OptionsBuilder {
+    opts: Options,
+}
+
+impl OptionsBuilder {
+    /// Start from an existing configuration (e.g. a mode preset).
+    pub fn from_options(opts: Options) -> Self {
+        OptionsBuilder { opts }
+    }
+
+    pub fn mode(mut self, mode: Mode) -> Self {
+        self.opts.mode = mode;
+        self
+    }
+
+    pub fn partitioner(mut self, partitioner: Partitioner) -> Self {
+        self.opts.partitioner = partitioner;
+        self
+    }
+
+    pub fn pm_capacity(mut self, bytes: usize) -> Self {
+        self.opts.pm_capacity = bytes;
+        self
+    }
+
+    pub fn memtable_bytes(mut self, bytes: usize) -> Self {
+        self.opts.memtable_bytes = bytes;
+        self
+    }
+
+    pub fn tau_w(mut self, bytes: usize) -> Self {
+        self.opts.tau_w = bytes;
+        self
+    }
+
+    pub fn tau_m(mut self, bytes: usize) -> Self {
+        self.opts.tau_m = bytes;
+        self
+    }
+
+    pub fn tau_t(mut self, bytes: usize) -> Self {
+        self.opts.tau_t = bytes;
+        self
+    }
+
+    pub fn l0_unsorted_hard_cap(mut self, cap: usize) -> Self {
+        self.opts.l0_unsorted_hard_cap = cap;
+        self
+    }
+
+    pub fn l0_table_trigger(mut self, trigger: usize) -> Self {
+        self.opts.l0_table_trigger = trigger;
+        self
+    }
+
+    pub fn l1_target(mut self, bytes: usize) -> Self {
+        self.opts.l1_target = bytes;
+        self
+    }
+
+    pub fn level_multiplier(mut self, multiplier: usize) -> Self {
+        self.opts.level_multiplier = multiplier;
+        self
+    }
+
+    pub fn max_table_bytes(mut self, bytes: usize) -> Self {
+        self.opts.max_table_bytes = bytes;
+        self
+    }
+
+    pub fn block_cache_bytes(mut self, bytes: usize) -> Self {
+        self.opts.block_cache_bytes = bytes;
+        self
+    }
+
+    pub fn matrix_columns(mut self, columns: usize) -> Self {
+        self.opts.matrix_columns = columns;
+        self
+    }
+
+    pub fn wal_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.opts.wal_dir = Some(dir.into());
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<Options, crate::engine::DbError> {
+        use crate::engine::DbError;
+        let o = &self.opts;
+        let fail = |msg: String| Err(DbError::Config(msg));
+        if o.partitioner.count() == 0 {
+            return fail("at least one partition is required".into());
+        }
+        if let Partitioner::Ranges(bounds) = &o.partitioner {
+            if bounds.is_empty() {
+                return fail(
+                    "range partitioner needs at least one boundary \
+                     (use Partitioner::Single for one partition)"
+                        .into(),
+                );
+            }
+            if !bounds.windows(2).all(|w| w[0] < w[1]) {
+                return fail(
+                    "partition boundaries must be strictly ascending".into(),
+                );
+            }
+        }
+        if o.memtable_bytes == 0 {
+            return fail("memtable_bytes must be positive".into());
+        }
+        let uses_pm = matches!(
+            o.mode,
+            Mode::PmBlade | Mode::PmBladePm | Mode::MatrixKv
+        );
+        if uses_pm {
+            if o.pm_capacity < o.memtable_bytes {
+                return fail(format!(
+                    "pm_capacity ({}) must hold at least one memtable \
+                     flush ({})",
+                    o.pm_capacity, o.memtable_bytes
+                ));
+            }
+            if o.tau_m > o.pm_capacity {
+                return fail(format!(
+                    "tau_m ({}) cannot exceed pm_capacity ({})",
+                    o.tau_m, o.pm_capacity
+                ));
+            }
+            if o.tau_t > o.tau_m {
+                return fail(format!(
+                    "tau_t ({}) cannot exceed tau_m ({}): the retention \
+                     budget must fit below the major-compaction trigger",
+                    o.tau_t, o.tau_m
+                ));
+            }
+        }
+        if o.max_table_bytes == 0 {
+            return fail("max_table_bytes must be positive".into());
+        }
+        if o.l1_target == 0 {
+            return fail("l1_target must be positive".into());
+        }
+        if o.level_multiplier < 2 {
+            return fail(format!(
+                "level_multiplier ({}) must be at least 2",
+                o.level_multiplier
+            ));
+        }
+        if o.mode == Mode::MatrixKv && o.matrix_columns == 0 {
+            return fail("matrix_columns must be at least 1".into());
+        }
+        if o.l0_unsorted_hard_cap == 0 {
+            return fail("l0_unsorted_hard_cap must be at least 1".into());
+        }
+        if o.l0_table_trigger == 0 {
+            return fail("l0_table_trigger must be at least 1".into());
+        }
+        Ok(self.opts)
     }
 }
 
@@ -228,6 +404,72 @@ mod tests {
         assert_eq!(p.locate(b"user0000250000"), 1);
         assert_eq!(p.locate(b"user0000500000"), 2);
         assert_eq!(p.locate(b"user0000999999"), 3);
+    }
+
+    #[test]
+    fn builder_accepts_default_and_presets() {
+        assert!(Options::builder().build().is_ok());
+        assert!(OptionsBuilder::from_options(Options::pm_blade(1 << 20))
+            .build()
+            .is_ok());
+        assert!(OptionsBuilder::from_options(Options::rocksdb_like())
+            .build()
+            .is_ok());
+        let opts = Options::builder()
+            .mode(Mode::PmBlade)
+            .pm_capacity(1 << 20)
+            .memtable_bytes(8 << 10)
+            .tau_m(768 << 10)
+            .tau_t(384 << 10)
+            .build()
+            .unwrap();
+        assert_eq!(opts.pm_capacity, 1 << 20);
+    }
+
+    #[test]
+    fn builder_rejects_inconsistent_configs() {
+        let msg = |r: Result<Options, crate::engine::DbError>| match r {
+            Err(crate::engine::DbError::Config(m)) => m,
+            other => panic!("expected Config error, got {other:?}"),
+        };
+        assert!(msg(Options::builder().memtable_bytes(0).build())
+            .contains("memtable_bytes"));
+        assert!(msg(
+            Options::builder()
+                .pm_capacity(4 << 10)
+                .memtable_bytes(64 << 10)
+                .tau_m(1 << 10)
+                .tau_t(1 << 10)
+                .build()
+        )
+        .contains("pm_capacity"));
+        assert!(msg(
+            Options::builder().tau_m(96 << 20).tau_t(90 << 20).build()
+        )
+        .contains("tau_m"));
+        assert!(msg(
+            Options::builder().tau_t(80 << 20).tau_m(72 << 20).build()
+        )
+        .contains("tau_t"));
+        assert!(msg(
+            Options::builder()
+                .partitioner(Partitioner::Ranges(vec![
+                    b"m".to_vec(),
+                    b"f".to_vec(),
+                ]))
+                .build()
+        )
+        .contains("ascending"));
+        assert!(msg(Options::builder().level_multiplier(1).build())
+            .contains("level_multiplier"));
+        assert!(msg(Options::builder().max_table_bytes(0).build())
+            .contains("max_table_bytes"));
+        // SSD-only mode doesn't need PM headroom.
+        assert!(Options::builder()
+            .mode(Mode::SsdLevel0)
+            .pm_capacity(0)
+            .build()
+            .is_ok());
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! level-0 (PM or SSD depending on the engine mode) and SSD level stack,
 //! with its own access counters feeding the cost models.
 
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
 use encoding::key::{KeyKind, SequenceNumber};
@@ -80,9 +81,9 @@ impl Partition {
 
     /// Record a write for the cost-model counters.
     pub fn note_write(&mut self, user_key: &[u8]) {
-        self.counters.writes += 1;
+        self.counters.writes.incr();
         if !self.seen_keys.insert(hash_key(user_key)) {
-            self.counters.updates += 1;
+            self.counters.updates.incr();
         }
     }
 
@@ -114,6 +115,17 @@ impl Partition {
         if let Some(hit) = self.mem.get(user_key, snapshot, tl) {
             return (Some(hit), ReadSource::MemTable);
         }
+        self.get_below_memtable(user_key, snapshot, tl)
+    }
+
+    /// Point lookup through level-0 and the SSD levels, skipping the
+    /// memtable (which the engine's fast path has already probed).
+    pub fn get_below_memtable(
+        &self,
+        user_key: &[u8],
+        snapshot: SequenceNumber,
+        tl: &mut Timeline,
+    ) -> (Option<Lookup>, ReadSource) {
         match &self.level0 {
             Level0::Pm(l0) => {
                 if let Some(hit) = l0.get(user_key, snapshot, tl) {
@@ -202,7 +214,7 @@ impl Partition {
         pool: &PmPool,
         device: &Arc<SsdDevice>,
         cache: &Arc<BlockCache>,
-        table_counter: &mut u64,
+        table_counter: &AtomicU64,
         tl: &mut Timeline,
     ) -> Result<Option<FlushReport>, crate::engine::DbError> {
         if self.mem.is_empty() {
@@ -232,7 +244,6 @@ impl Partition {
                 m.flush_row(&entries, opts, pool, tl)?;
             }
             Level0::Ssd(tables) => {
-                *table_counter += 1;
                 let new = build_ss_tables(
                     &entries,
                     device,
@@ -293,7 +304,7 @@ impl Partition {
         pool: &PmPool,
         device: &Arc<SsdDevice>,
         cache: &Arc<BlockCache>,
-        table_counter: &mut u64,
+        table_counter: &AtomicU64,
         tl: &mut Timeline,
     ) -> Result<Vec<String>, crate::engine::DbError> {
         // Collect level-0 input.
@@ -428,7 +439,7 @@ impl Partition {
         opts: &Options,
         device: &Arc<SsdDevice>,
         cache: &Arc<BlockCache>,
-        table_counter: &mut u64,
+        table_counter: &AtomicU64,
         tl: &mut Timeline,
     ) -> Result<Vec<String>, crate::engine::DbError> {
         let mut deleted = Vec::new();

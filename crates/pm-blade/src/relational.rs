@@ -16,6 +16,7 @@
 
 use sim::SimDuration;
 
+use crate::commit::WriteBatch;
 use crate::engine::{Db, DbError};
 
 /// Schema of one logical table.
@@ -105,6 +106,8 @@ impl Relational {
         &self.db
     }
 
+    /// Mutable access to the underlying engine.
+    #[deprecated(note = "every `Db` operation now takes `&self`; use `db()`")]
     pub fn db_mut(&mut self) -> &mut Db {
         &mut self.db
     }
@@ -120,27 +123,29 @@ impl Relational {
             .expect("unknown table id")
     }
 
-    /// Insert a full row, maintaining every index. Returns the virtual
-    /// latency.
+    /// Insert a full row, maintaining every index. The row and its index
+    /// entries travel in one [`WriteBatch`], so a concurrent reader never
+    /// observes a row without its index entries (within one partition).
+    /// Returns the virtual latency.
     pub fn insert_row(
-        &mut self,
+        &self,
         table: u16,
         row: &Row,
     ) -> Result<SimDuration, DbError> {
         let def = self.table(table).clone();
         assert_eq!(row.len(), def.columns, "row arity mismatch");
         let pk = &row[0];
-        let mut total = self.db.put(&row_key(table, pk), &encode_row(row))?;
+        let mut batch = WriteBatch::new();
+        batch.put(row_key(table, pk), encode_row(row));
         for &col in &def.indexes {
-            total +=
-                self.db.put(&index_key(table, col, &row[col], pk), pk)?;
+            batch.put(index_key(table, col, &row[col], pk), pk.clone());
         }
-        Ok(total)
+        self.db.write_batch(batch)
     }
 
     /// Update one column of an existing row (index-maintaining).
     pub fn update_column(
-        &mut self,
+        &self,
         table: u16,
         pk: &[u8],
         col: usize,
@@ -156,17 +161,19 @@ impl Relational {
         let mut row = decode_row(&raw)
             .ok_or_else(|| DbError::Corrupt("row payload".into()))?;
         let old = std::mem::replace(&mut row[col], value.to_vec());
+        let mut batch = WriteBatch::new();
         if def.indexes.contains(&col) && old != value {
-            total += self.db.delete(&index_key(table, col, &old, pk))?;
-            total += self.db.put(&index_key(table, col, value, pk), pk)?;
+            batch.delete(index_key(table, col, &old, pk));
+            batch.put(index_key(table, col, value, pk), pk.to_vec());
         }
-        total += self.db.put(&rk, &encode_row(&row))?;
+        batch.put(rk, encode_row(&row));
+        total += self.db.write_batch(batch)?;
         Ok(total)
     }
 
     /// Primary-key point read.
     pub fn get_row(
-        &mut self,
+        &self,
         table: u16,
         pk: &[u8],
     ) -> Result<(Option<Row>, SimDuration), DbError> {
@@ -178,7 +185,7 @@ impl Relational {
     /// Index query: scan the index prefix for row ids, then point-read
     /// each row — the two-step lookup §VI-D describes.
     pub fn index_query(
-        &mut self,
+        &self,
         table: u16,
         col: usize,
         value: &[u8],
@@ -204,7 +211,7 @@ impl Relational {
 
     /// Range scan of rows by primary key.
     pub fn scan_rows(
-        &mut self,
+        &self,
         table: u16,
         start_pk: &[u8],
         limit: usize,
@@ -219,7 +226,7 @@ impl Relational {
 
     /// Delete a row and its index entries.
     pub fn delete_row(
-        &mut self,
+        &self,
         table: u16,
         pk: &[u8],
     ) -> Result<SimDuration, DbError> {
@@ -227,15 +234,16 @@ impl Relational {
         let rk = row_key(table, pk);
         let read = self.db.get(&rk)?;
         let mut total = read.latency;
+        let mut batch = WriteBatch::new();
         if let Some(raw) = read.value {
             if let Some(row) = decode_row(&raw) {
                 for &col in &def.indexes {
-                    total +=
-                        self.db.delete(&index_key(table, col, &row[col], pk))?;
+                    batch.delete(index_key(table, col, &row[col], pk));
                 }
             }
         }
-        total += self.db.delete(&rk)?;
+        batch.delete(rk);
+        total += self.db.write_batch(batch)?;
         Ok(total)
     }
 }
@@ -282,7 +290,7 @@ mod tests {
 
     #[test]
     fn insert_and_point_read() {
-        let mut rel = setup();
+        let rel = setup();
         rel.insert_row(1, &row("order1", "pending", "user9", "50.0"))
             .unwrap();
         let (got, latency) = rel.get_row(1, b"order1").unwrap();
@@ -294,7 +302,7 @@ mod tests {
 
     #[test]
     fn index_query_finds_rows_via_two_step_lookup() {
-        let mut rel = setup();
+        let rel = setup();
         for i in 0..20 {
             let status = if i % 2 == 0 { "paid" } else { "pending" };
             rel.insert_row(
@@ -312,7 +320,7 @@ mod tests {
 
     #[test]
     fn update_column_moves_index_entries() {
-        let mut rel = setup();
+        let rel = setup();
         rel.insert_row(1, &row("o1", "pending", "u1", "1")).unwrap();
         rel.update_column(1, b"o1", 1, b"paid").unwrap();
         let (paid, _) = rel.index_query(1, 1, b"paid", 10).unwrap();
@@ -325,7 +333,7 @@ mod tests {
 
     #[test]
     fn update_unindexed_column_leaves_indexes_alone() {
-        let mut rel = setup();
+        let rel = setup();
         rel.insert_row(1, &row("o2", "paid", "u2", "5")).unwrap();
         rel.update_column(1, b"o2", 3, b"7.5").unwrap();
         let (rows, _) = rel.index_query(1, 1, b"paid", 10).unwrap();
@@ -335,7 +343,7 @@ mod tests {
 
     #[test]
     fn delete_row_clears_indexes() {
-        let mut rel = setup();
+        let rel = setup();
         rel.insert_row(1, &row("o3", "paid", "u3", "2")).unwrap();
         rel.delete_row(1, b"o3").unwrap();
         assert!(rel.get_row(1, b"o3").unwrap().0.is_none());
@@ -345,7 +353,7 @@ mod tests {
 
     #[test]
     fn scan_rows_orders_by_pk() {
-        let mut rel = setup();
+        let rel = setup();
         for i in [3, 1, 2] {
             rel.insert_row(
                 2,
@@ -366,7 +374,7 @@ mod tests {
 
     #[test]
     fn tables_are_isolated() {
-        let mut rel = setup();
+        let rel = setup();
         rel.insert_row(2, &vec![b"dup".to_vec(), b"t2".to_vec()]).unwrap();
         rel.insert_row(1, &row("dup", "s", "u", "1")).unwrap();
         let (r1, _) = rel.get_row(1, b"dup").unwrap();
@@ -377,7 +385,7 @@ mod tests {
 
     #[test]
     fn index_values_containing_separator_bytes_stay_isolated() {
-        let mut rel = setup();
+        let rel = setup();
         // value "a" pk "b:c" vs value "a\0b" — must not collide.
         rel.insert_row(2, &vec![b"b:c".to_vec(), b"a".to_vec()]).unwrap();
         rel.insert_row(2, &vec![b"x".to_vec(), b"a\x00b".to_vec()])
@@ -389,7 +397,7 @@ mod tests {
 
     #[test]
     fn survives_flushes_and_compactions() {
-        let mut rel = setup();
+        let rel = setup();
         for i in 0..300 {
             rel.insert_row(
                 1,
@@ -402,7 +410,7 @@ mod tests {
             )
             .unwrap();
         }
-        rel.db_mut().flush_all().unwrap();
+        rel.db().compact(crate::engine::CompactionRequest::FlushAll).unwrap();
         let (rows, _) = rel.index_query(1, 1, b"st3", 500).unwrap();
         assert_eq!(rows.len(), 60);
         let (row, _) = rel.get_row(1, b"o00123").unwrap();

@@ -42,6 +42,13 @@ pub struct EngineStats {
     pub internal_space_released: Counter,
     /// Records dropped as duplicates by internal compaction.
     pub internal_dropped_records: Counter,
+    /// Group-commit activity: commit groups flushed by a leader, total
+    /// write operations that rode in those groups, and `WriteBatch`
+    /// submissions (a batch of N ops counts once here, N times in
+    /// `grouped_writes`).
+    pub group_commits: Counter,
+    pub grouped_writes: Counter,
+    pub batch_writes: Counter,
 }
 
 impl EngineStats {

@@ -49,7 +49,7 @@ enum Which {
 }
 
 /// Run a batch of key-value operations.
-pub fn run_kv(db: &mut Db, ops: &[KvOp]) -> Result<RunMetrics, DbError> {
+pub fn run_kv(db: &Db, ops: &[KvOp]) -> Result<RunMetrics, DbError> {
     let mut m = RunMetrics::default();
     for op in ops {
         match op {
@@ -75,7 +75,7 @@ pub fn run_kv(db: &mut Db, ops: &[KvOp]) -> Result<RunMetrics, DbError> {
 }
 
 /// Run a batch of YCSB operations.
-pub fn run_ycsb(db: &mut Db, ops: &[YcsbOp]) -> Result<RunMetrics, DbError> {
+pub fn run_ycsb(db: &Db, ops: &[YcsbOp]) -> Result<RunMetrics, DbError> {
     let mut m = RunMetrics::default();
     for op in ops {
         match op {
@@ -103,7 +103,7 @@ pub fn run_ycsb(db: &mut Db, ops: &[YcsbOp]) -> Result<RunMetrics, DbError> {
 
 /// Run a batch of Meituan order operations against the relational layer.
 pub fn run_meituan(
-    rel: &mut Relational,
+    rel: &Relational,
     ops: &[OrderOp],
 ) -> Result<RunMetrics, DbError> {
     let mut m = RunMetrics::default();
@@ -159,7 +159,7 @@ mod tests {
 
     #[test]
     fn kv_driver_roundtrip() {
-        let mut db = small_db(Mode::PmBlade);
+        let db = small_db(Mode::PmBlade);
         let mut w = KvWorkload::new(KvWorkloadSpec {
             keys: 500,
             value_size: 64,
@@ -167,11 +167,11 @@ mod tests {
             ..KvWorkloadSpec::default()
         });
         let load = w.fill_random();
-        let m = run_kv(&mut db, &load).unwrap();
+        let m = run_kv(&db, &load).unwrap();
         assert_eq!(m.operations, 500);
         assert!(m.throughput() > 0.0);
         let mixed = w.ops(1000);
-        let m = run_kv(&mut db, &mixed).unwrap();
+        let m = run_kv(&db, &mixed).unwrap();
         assert_eq!(m.operations, 1000);
         assert!(m.reads.count() > 0);
         assert!(m.writes.count() > 0);
@@ -179,23 +179,23 @@ mod tests {
 
     #[test]
     fn ycsb_driver_covers_all_op_kinds() {
-        let mut db = small_db(Mode::PmBlade);
+        let db = small_db(Mode::PmBlade);
         let mut w = YcsbWorkload::new(YcsbKind::E, 300, 64, 5);
-        run_ycsb(&mut db, &w.load_ops()).unwrap();
-        let m = run_ycsb(&mut db, &w.ops(200)).unwrap();
+        run_ycsb(&db, &w.load_ops()).unwrap();
+        let m = run_ycsb(&db, &w.ops(200)).unwrap();
         assert!(m.scans.count() > 0, "workload E is scan-heavy");
         let mut f = YcsbWorkload::new(YcsbKind::F, 300, 64, 6);
         f.assume_loaded();
-        let m = run_ycsb(&mut db, &f.ops(100)).unwrap();
+        let m = run_ycsb(&db, &f.ops(100)).unwrap();
         assert!(m.writes.count() > 0, "RMW counts as a write");
     }
 
     #[test]
     fn meituan_driver_runs_lifecycle() {
         let db = small_db(Mode::PmBlade);
-        let mut rel = Relational::new(db, MeituanWorkload::schema());
+        let rel = Relational::new(db, MeituanWorkload::schema());
         let mut w = MeituanWorkload::new(400, 0.5, 9);
-        let m = run_meituan(&mut rel, &w.ops(300)).unwrap();
+        let m = run_meituan(&rel, &w.ops(300)).unwrap();
         assert_eq!(m.operations, 300);
         assert!(m.reads.count() > 0);
         assert!(m.writes.count() > 0);

@@ -7,7 +7,7 @@
 
 use coroutine::{Policy, Scheduler, SchedulerConfig, TraceParams};
 use pm_blade::engine::CompactionKind;
-use pm_blade::{Db, DbError, Options};
+use pm_blade::{CompactionRequest, Db, DbError, Options};
 
 fn main() -> Result<(), DbError> {
     // ---- Internal compaction on demand -------------------------------
@@ -18,27 +18,27 @@ fn main() -> Result<(), DbError> {
     opts.tau_w = usize::MAX;
     opts.tau_m = usize::MAX;
     opts.scalars.binary_search = sim::SimDuration::ZERO;
-    let mut db = Db::open(opts)?;
+    let db = Db::open(opts)?;
 
     // Update-heavy traffic: 4000 writes over 800 keys.
     for i in 0..4_000u32 {
         let key = format!("k{:05}", i % 800);
         db.put(key.as_bytes(), format!("v{i}").as_bytes())?;
     }
-    db.flush_all()?;
+    db.compact(CompactionRequest::FlushAll)?;
     let before = db.pm_used();
     let n_unsorted = 40; // roughly; one per memtable freeze
     println!("level-0 before: ~{n_unsorted} unsorted tables, {before} bytes on PM");
 
-    db.run_internal_compaction(0)?;
+    db.compact(CompactionRequest::Internal { partition: 0 })?;
     println!(
         "internal compaction released {} bytes ({} duplicate records)",
         db.stats().internal_space_released.get(),
         db.stats().internal_dropped_records.get(),
     );
     println!("level-0 after: {} bytes on PM", db.pm_used());
-    let ev = db
-        .compaction_log()
+    let log = db.compaction_log();
+    let ev = log
         .iter()
         .rev()
         .find(|e| e.kind == CompactionKind::Internal)

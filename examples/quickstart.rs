@@ -5,12 +5,12 @@
 //! cargo run --release -p pmblade-examples --bin quickstart
 //! ```
 
-use pm_blade::{Db, Options};
+use pm_blade::{CompactionRequest, Db, Options};
 
 fn main() -> Result<(), pm_blade::DbError> {
     // An 8 MiB PM level-0 standing in for the paper's 80 GB module; all
     // timing below is on the virtual device clock.
-    let mut db = Db::open(Options::pm_blade(8 << 20))?;
+    let db = Db::open(Options::pm_blade(8 << 20))?;
 
     // Basic key-value operations. Every call returns its virtual latency.
     let w = db.put(b"order:1001", b"status=placed")?;
@@ -41,7 +41,7 @@ fn main() -> Result<(), pm_blade::DbError> {
     println!("scan     : {} rows in {latency}", rows.len());
 
     // Force the memtable down to the PM level-0 and look at the tiers.
-    db.flush_all()?;
+    db.compact(CompactionRequest::FlushAll)?;
     let out = db.get(b"order:000500")?;
     println!(
         "tiered   : order:000500 now served from {:?} in {}",
@@ -49,10 +49,13 @@ fn main() -> Result<(), pm_blade::DbError> {
     );
 
     // Engine statistics: write amplification and compaction activity.
-    let (pm, ssd, user) = db.write_amplification();
+    let wa = db.write_amp();
     println!(
-        "wa       : user {user}B -> PM {pm}B + SSD {ssd}B ({:.2}x)",
-        (pm + ssd) as f64 / user.max(1) as f64
+        "wa       : user {}B -> PM {}B + SSD {}B ({:.2}x)",
+        wa.user_bytes,
+        wa.pm_bytes,
+        wa.ssd_bytes,
+        wa.factor()
     );
     println!(
         "compact  : {} minor, {} internal, {} major",

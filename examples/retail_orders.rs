@@ -13,7 +13,7 @@ fn main() -> Result<(), DbError> {
     let db = Db::open(Options::pm_blade(8 << 20))?;
     // An orders table: pk, status, user, merchant, amount — with
     // secondary indexes on status (1), user (2) and merchant (3).
-    let mut rel = Relational::new(
+    let rel = Relational::new(
         db,
         vec![TableDef::new(ORDERS, 5, vec![1, 2, 3])],
     );

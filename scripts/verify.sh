@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verification: release build + full test suite.
+#
+# All dependencies are vendored path crates under vendor/ and cargo runs
+# offline (.cargo/config.toml sets net.offline = true). If cargo tries to
+# reach crates.io, something removed a vendored crate or added a registry
+# dependency — fix the manifest, do not go online.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "+ $*"
+    if ! "$@"; then
+        status=$?
+        echo "verify: '$*' failed (exit $status)" >&2
+        echo "verify: note: deps are vendored and cargo is offline;" >&2
+        echo "verify: a 'failed to fetch'/'registry' error means a manifest" >&2
+        echo "verify: references a crate not in vendor/ — add a path dep," >&2
+        echo "verify: do not 'cargo add' or enable the network." >&2
+        exit "$status"
+    fi
+}
+
+run cargo build --workspace --release
+run cargo test --workspace -q
+echo "verify: OK"

@@ -1,7 +1,7 @@
 //! Durability: the WAL and PM backing survive a process "crash" (drop
 //! without flush) and restore the engine's visible state.
 
-use pm_blade::{Db, Mode};
+use pm_blade::{CompactionRequest, Db, Mode};
 use pmblade_integration_tests::{key_for, tiny_options, value_for};
 
 fn wal_dir(tag: &str) -> std::path::PathBuf {
@@ -19,18 +19,18 @@ fn unflushed_writes_replay_from_wal() {
     let mut opts = tiny_options(Mode::PmBlade);
     opts.wal_dir = Some(dir.clone());
     {
-        let mut db = Db::open(opts.clone()).unwrap();
+        let db = Db::open(opts.clone()).unwrap();
         for i in 0..50u64 {
             db.put(&key_for(i), &value_for(i, 64)).unwrap();
         }
         db.delete(&key_for(10)).unwrap();
         // Force the log to disk the way a commit point would.
-        db.flush_partition(0).unwrap();
+        db.compact(CompactionRequest::Flush { partition: 0 }).unwrap();
         // More writes after the flush — these live only in the WAL.
         db.put(&key_for(100), b"tail-write").unwrap();
         // Drop without flushing: simulated crash.
     }
-    let mut db = Db::open(opts).unwrap();
+    let db = Db::open(opts).unwrap();
     for i in 0..50u64 {
         let out = db.get(&key_for(i)).unwrap();
         if i == 10 {
@@ -50,14 +50,14 @@ fn sequence_numbers_resume_after_recovery() {
     opts.wal_dir = Some(dir.clone());
     let seq_before;
     {
-        let mut db = Db::open(opts.clone()).unwrap();
+        let db = Db::open(opts.clone()).unwrap();
         for i in 0..20u64 {
             db.put(&key_for(i), b"v").unwrap();
         }
-        db.flush_partition(0).unwrap();
+        db.compact(CompactionRequest::Flush { partition: 0 }).unwrap();
         seq_before = db.snapshot();
     }
-    let mut db = Db::open(opts).unwrap();
+    let db = Db::open(opts).unwrap();
     assert!(
         db.snapshot() >= seq_before,
         "sequences must not regress: {} vs {seq_before}",
@@ -116,13 +116,13 @@ fn recovery_is_idempotent() {
     let mut opts = tiny_options(Mode::PmBlade);
     opts.wal_dir = Some(dir.clone());
     {
-        let mut db = Db::open(opts.clone()).unwrap();
+        let db = Db::open(opts.clone()).unwrap();
         db.put(b"stable", b"value").unwrap();
-        db.flush_partition(0).unwrap();
+        db.compact(CompactionRequest::Flush { partition: 0 }).unwrap();
     }
     // Open and drop twice more without writing.
     for _ in 0..2 {
-        let mut db = Db::open(opts.clone()).unwrap();
+        let db = Db::open(opts.clone()).unwrap();
         assert_eq!(
             db.get(b"stable").unwrap().value.as_deref(),
             Some(&b"value"[..])

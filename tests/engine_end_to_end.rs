@@ -3,12 +3,12 @@
 //! SSD levels within one test.
 
 use pm_blade::stats::ReadSource;
-use pm_blade::{Mode, Partitioner};
+use pm_blade::{CompactionRequest, Mode, Partitioner};
 use pmblade_integration_tests::{key_for, tiny_db, tiny_options, value_for};
 
 #[test]
 fn full_lifecycle_reads_stay_correct() {
-    let mut db = tiny_db(Mode::PmBlade);
+    let db = tiny_db(Mode::PmBlade);
     // Phase 1: 6000 unique keys x ~420B ≈ 2.5 MiB of distinct data
     // through a 2 MiB PM pool — the level-0 must spill to the SSD.
     let n = 6_000u64;
@@ -39,16 +39,16 @@ fn full_lifecycle_reads_stay_correct() {
 
 #[test]
 fn reads_route_through_expected_tiers() {
-    let mut db = tiny_db(Mode::PmBlade);
+    let db = tiny_db(Mode::PmBlade);
     db.put(b"in-memtable", b"1").unwrap();
     let out = db.get(b"in-memtable").unwrap();
     assert_eq!(out.source, ReadSource::MemTable);
 
-    db.flush_all().unwrap();
+    db.compact(CompactionRequest::FlushAll).unwrap();
     let out = db.get(b"in-memtable").unwrap();
     assert_eq!(out.source, ReadSource::Pm);
 
-    db.run_major_compaction(0).unwrap();
+    db.compact(CompactionRequest::Major { partition: 0 }).unwrap();
     let out = db.get(b"in-memtable").unwrap();
     assert_eq!(out.source, ReadSource::Ssd);
     assert_eq!(out.value.as_deref(), Some(&b"1"[..]));
@@ -60,19 +60,19 @@ fn reads_route_through_expected_tiers() {
 
 #[test]
 fn deletes_survive_every_compaction_boundary() {
-    let mut db = tiny_db(Mode::PmBlade);
+    let db = tiny_db(Mode::PmBlade);
     for i in 0..200u64 {
         db.put(&key_for(i), b"live").unwrap();
     }
-    db.flush_all().unwrap();
-    db.run_major_compaction(0).unwrap(); // values now on SSD
+    db.compact(CompactionRequest::FlushAll).unwrap();
+    db.compact(CompactionRequest::Major { partition: 0 }).unwrap(); // values now on SSD
     // Delete half, then push tombstones through the same path.
     for i in (0..200u64).step_by(2) {
         db.delete(&key_for(i)).unwrap();
     }
-    db.flush_all().unwrap();
-    db.run_internal_compaction(0).unwrap();
-    db.run_major_compaction(0).unwrap();
+    db.compact(CompactionRequest::FlushAll).unwrap();
+    db.compact(CompactionRequest::Internal { partition: 0 }).unwrap();
+    db.compact(CompactionRequest::Major { partition: 0 }).unwrap();
     for i in 0..200u64 {
         let out = db.get(&key_for(i)).unwrap();
         if i % 2 == 0 {
@@ -85,11 +85,11 @@ fn deletes_survive_every_compaction_boundary() {
 
 #[test]
 fn scans_agree_with_point_reads_across_tiers() {
-    let mut db = tiny_db(Mode::PmBlade);
+    let db = tiny_db(Mode::PmBlade);
     for i in 0..500u64 {
         db.put(&key_for(i), &value_for(i, 64)).unwrap();
     }
-    db.flush_all().unwrap();
+    db.compact(CompactionRequest::FlushAll).unwrap();
     // Overwrite a band in the memtable so the scan must merge tiers.
     for i in 100..120u64 {
         db.put(&key_for(i), b"fresh").unwrap();
@@ -104,8 +104,8 @@ fn scans_agree_with_point_reads_across_tiers() {
 
 #[test]
 fn partitioned_and_single_engines_agree() {
-    let mut single = tiny_db(Mode::PmBlade);
-    let mut parts = {
+    let single = tiny_db(Mode::PmBlade);
+    let parts = {
         let mut opts = tiny_options(Mode::PmBlade);
         opts.partitioner = Partitioner::numeric("key", 1_000, 4);
         pm_blade::Db::open(opts).unwrap()
@@ -135,7 +135,7 @@ fn partitioned_and_single_engines_agree() {
 
 #[test]
 fn virtual_clock_advances_with_work() {
-    let mut db = tiny_db(Mode::PmBlade);
+    let db = tiny_db(Mode::PmBlade);
     let t0 = db.now();
     for i in 0..100u64 {
         db.put(&key_for(i), b"x").unwrap();

@@ -2,7 +2,7 @@
 //! agree on *what* the data is — they may only differ in *where* it
 //! lives and what it costs.
 
-use pm_blade::{Db, Mode};
+use pm_blade::{CompactionRequest, Db, Mode};
 use pmblade_integration_tests::{key_for, tiny_db, value_for};
 
 const ALL_MODES: [Mode; 4] =
@@ -31,7 +31,7 @@ fn all_modes_agree_on_contents() {
     for mode in ALL_MODES {
         let mut db = tiny_db(mode);
         drive(&mut db, 42, 4_000);
-        db.flush_all().unwrap();
+        db.compact(CompactionRequest::FlushAll).unwrap();
         let view: Vec<Option<Vec<u8>>> = (0..600u64)
             .map(|i| db.get(&key_for(i)).unwrap().value)
             .collect();
@@ -69,11 +69,11 @@ fn all_modes_agree_on_scans() {
 #[test]
 fn pm_modes_use_pm_and_ssd_mode_does_not() {
     for mode in ALL_MODES {
-        let mut db = tiny_db(mode);
+        let db = tiny_db(mode);
         for i in 0..500u64 {
             db.put(&key_for(i), &value_for(i, 200)).unwrap();
         }
-        db.flush_all().unwrap();
+        db.compact(CompactionRequest::FlushAll).unwrap();
         match mode {
             Mode::SsdLevel0 => {
                 assert_eq!(db.pm_used(), 0, "{mode:?} must not touch PM")
@@ -96,11 +96,12 @@ fn write_amplification_ordering_between_modes() {
             let i = rng.next_below(1_500);
             db.put(&key_for(i), &value_for(i, 300)).unwrap();
         }
-        db.flush_all().unwrap();
+        db.compact(CompactionRequest::FlushAll).unwrap();
     }
-    let (_, ssd_writes, user) = ssd_mode.write_amplification();
-    let (_, blade_ssd, user2) = blade.write_amplification();
-    assert_eq!(user, user2);
+    let ssd_wa = ssd_mode.write_amp();
+    let blade_wa = blade.write_amp();
+    let (ssd_writes, blade_ssd) = (ssd_wa.ssd_bytes, blade_wa.ssd_bytes);
+    assert_eq!(ssd_wa.user_bytes, blade_wa.user_bytes);
     assert!(
         blade_ssd < ssd_writes,
         "pm-blade ssd bytes {blade_ssd} must undercut rocksdb-like {ssd_writes}"
@@ -118,7 +119,7 @@ fn matrixkv_costs_more_to_flush_than_pmblade() {
         for i in 0..1_000u64 {
             db.put(&key_for(i), &value_for(i, 256)).unwrap();
         }
-        db.flush_all().unwrap();
+        db.compact(CompactionRequest::FlushAll).unwrap();
     }
     let flush_time = |db: &Db| -> sim::SimDuration {
         db.compaction_log()

@@ -4,7 +4,7 @@
 
 use std::collections::BTreeMap;
 
-use pm_blade::{Db, Mode};
+use pm_blade::{CompactionRequest, Mode};
 use pmblade_integration_tests::{tiny_db, value_for};
 use proptest::prelude::*;
 
@@ -36,7 +36,7 @@ fn key(k: u16) -> Vec<u8> {
 }
 
 fn check_mode(mode: Mode, ops: &[Op]) {
-    let mut db = tiny_db(mode);
+    let db = tiny_db(mode);
     let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
     for (step, op) in ops.iter().enumerate() {
         match op {
@@ -71,9 +71,9 @@ fn check_mode(mode: Mode, ops: &[Op]) {
                     "step {step}: {mode:?} scan({k},{n}) diverged"
                 );
             }
-            Op::Flush => db.flush_all().unwrap(),
-            Op::Internal => db.run_internal_compaction(0).unwrap(),
-            Op::Major => db.run_major_compaction(0).unwrap(),
+            Op::Flush => db.compact(CompactionRequest::FlushAll).unwrap(),
+            Op::Internal => db.compact(CompactionRequest::Internal { partition: 0 }).unwrap(),
+            Op::Major => db.compact(CompactionRequest::Major { partition: 0 }).unwrap(),
         }
     }
     // Final audit: every model key readable, every deleted key absent.
@@ -122,20 +122,20 @@ proptest! {
 fn delete_resurrection_sweep() {
     for mode in [Mode::PmBlade, Mode::PmBladePm, Mode::SsdLevel0, Mode::MatrixKv]
     {
-        let mut db = tiny_db(mode);
+        let db = tiny_db(mode);
         db.put(&key(1), b"v1").unwrap();
-        db.flush_all().unwrap();
-        db.run_major_compaction(0).unwrap(); // value at the bottom
+        db.compact(CompactionRequest::FlushAll).unwrap();
+        db.compact(CompactionRequest::Major { partition: 0 }).unwrap(); // value at the bottom
         db.delete(&key(1)).unwrap();
-        db.flush_all().unwrap(); // tombstone in level-0
+        db.compact(CompactionRequest::FlushAll).unwrap(); // tombstone in level-0
         assert_eq!(db.get(&key(1)).unwrap().value, None, "{mode:?} L0");
-        db.run_internal_compaction(0).unwrap();
+        db.compact(CompactionRequest::Internal { partition: 0 }).unwrap();
         assert_eq!(
             db.get(&key(1)).unwrap().value,
             None,
             "{mode:?} after internal compaction"
         );
-        db.run_major_compaction(0).unwrap();
+        db.compact(CompactionRequest::Major { partition: 0 }).unwrap();
         assert_eq!(
             db.get(&key(1)).unwrap().value,
             None,

@@ -3,7 +3,7 @@
 //! failed units.
 
 use coroutine::{Policy, Scheduler, SchedulerConfig, TraceParams};
-use pm_blade::{Db, Mode};
+use pm_blade::{CompactionRequest, Db, Mode};
 use pmblade_integration_tests::{key_for, tiny_db, tiny_options, value_for};
 
 /// Fig 7(a): with internal compaction, level-0 read latency stays far
@@ -24,7 +24,7 @@ fn internal_compaction_caps_read_amplification() {
             let i = rng.next_below(800);
             db.put(&key_for(i), &value_for(i, 200)).unwrap();
         }
-        db.flush_all().unwrap();
+        db.compact(CompactionRequest::FlushAll).unwrap();
     }
     let probe = |db: &mut Db| -> sim::SimDuration {
         let mut total = sim::SimDuration::ZERO;
@@ -52,15 +52,15 @@ fn space_released_grows_with_skew() {
         opts.tau_w = usize::MAX;
         opts.l0_unsorted_hard_cap = usize::MAX;
         opts.scalars.binary_search = sim::SimDuration::ZERO;
-        let mut db = Db::open(opts).unwrap();
+        let db = Db::open(opts).unwrap();
         let mut rng = sim::Pcg64::seeded(31);
         let dist = sim::KeyDistribution::zipfian(2_000, skew);
         for _ in 0..4_000 {
             let i = dist.sample(&mut rng, 2_000);
             db.put(&key_for(i), &value_for(i, 300)).unwrap();
         }
-        db.flush_all().unwrap();
-        db.run_internal_compaction(0).unwrap();
+        db.compact(CompactionRequest::FlushAll).unwrap();
+        db.compact(CompactionRequest::Internal { partition: 0 }).unwrap();
         db.stats().internal_space_released.get()
     };
     let mild = released_at(0.2);
@@ -79,7 +79,7 @@ fn retention_beats_whole_level_eviction_on_hit_ratio() {
         let mut opts = tiny_options(mode);
         opts.partitioner =
             pm_blade::Partitioner::numeric("key", 2_000, 4);
-        let mut db = Db::open(opts).unwrap();
+        let db = Db::open(opts).unwrap();
         // Load 2x PM capacity.
         for i in 0..10_000u64 {
             db.put(&key_for(i % 2_000), &value_for(i, 400)).unwrap();
@@ -143,15 +143,15 @@ fn scheduler_policy_ordering_holds() {
 /// an order of magnitude from the latter.
 #[test]
 fn tiering_latency_anchors_hold() {
-    let mut db = tiny_db(Mode::PmBlade);
+    let db = tiny_db(Mode::PmBlade);
     for i in 0..1_000u64 {
         db.put(&key_for(i), &value_for(i, 100)).unwrap();
     }
-    db.flush_all().unwrap();
-    db.run_internal_compaction(0).unwrap();
+    db.compact(CompactionRequest::FlushAll).unwrap();
+    db.compact(CompactionRequest::Internal { partition: 0 }).unwrap();
     let pm_read = db.get(&key_for(500)).unwrap();
     assert_eq!(pm_read.source, pm_blade::stats::ReadSource::Pm);
-    db.run_major_compaction(0).unwrap();
+    db.compact(CompactionRequest::Major { partition: 0 }).unwrap();
     // Cold SSD read (cache may have been warmed by compaction; probe an
     // arbitrary key and compare magnitudes rather than exact numbers).
     let ssd_read = db.get(&key_for(501)).unwrap();
@@ -168,17 +168,24 @@ fn tiering_latency_anchors_hold() {
 /// are at least the user bytes once everything has been flushed.
 #[test]
 fn write_amplification_accounting_consistent() {
-    let mut db = tiny_db(Mode::PmBlade);
+    let db = tiny_db(Mode::PmBlade);
     for i in 0..2_000u64 {
         db.put(&key_for(i), &value_for(i, 256)).unwrap();
     }
-    db.flush_all().unwrap();
-    let (pm, ssd, user) = db.write_amplification();
-    assert!(user > 0);
-    assert!(pm + ssd >= user, "{pm}+{ssd} vs {user}");
+    db.compact(CompactionRequest::FlushAll).unwrap();
+    let wa = db.write_amp();
+    assert!(wa.user_bytes > 0);
+    assert!(
+        wa.pm_bytes + wa.ssd_bytes >= wa.user_bytes,
+        "{}+{} vs {}",
+        wa.pm_bytes,
+        wa.ssd_bytes,
+        wa.user_bytes
+    );
+    assert!(wa.factor() >= 1.0);
     // Internal compaction releases space but never loses entries.
     let before_entries: u64 = db.stats().puts.get();
-    db.run_internal_compaction(0).unwrap();
+    db.compact(CompactionRequest::Internal { partition: 0 }).unwrap();
     assert_eq!(db.stats().puts.get(), before_entries);
     for i in (0..2_000u64).step_by(173) {
         assert!(db.get(&key_for(i)).unwrap().value.is_some());
