@@ -7,8 +7,8 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use pm_blade::{Db, Options};
 use pmtable::{
-    ArrayTable, ArrayTableBuilder, DramBuf, L0Table, MetaExtractor,
-    OwnedEntry, PmTable, PmTableBuilder, PmTableOptions, Storage,
+    ArrayTable, ArrayTableBuilder, DramBuf, L0Table, MetaExtractor, OwnedEntry, PmTable,
+    PmTableBuilder, PmTableOptions, Storage,
 };
 use sim::{CostModel, Pcg64, Timeline};
 
@@ -124,14 +124,7 @@ fn bench_merge(c: &mut Criterion) {
     c.bench_function("compaction/merge_dedup_10k", |b| {
         b.iter_batched(
             || vec![a.clone(), b2.clone()],
-            |sources| {
-                pm_blade::handle::merge_dedup(
-                    sources,
-                    false,
-                    &cost,
-                    &mut Timeline::new(),
-                )
-            },
+            |sources| pm_blade::handle::merge_dedup(sources, false, &cost, &mut Timeline::new()),
             BatchSize::SmallInput,
         )
     });

@@ -7,9 +7,7 @@
 use bench::{pct, us, Table};
 use coroutine::{Policy, Scheduler, SchedulerConfig, TraceParams};
 use pm_blade::{Db, Options, Partitioner};
-use pmtable::{
-    DramBuf, L0Table, MetaExtractor, PmTable, PmTableBuilder, PmTableOptions,
-};
+use pmtable::{DramBuf, L0Table, MetaExtractor, PmTable, PmTableBuilder, PmTableOptions};
 use sim::{CostModel, Pcg64, Timeline};
 
 fn group_size_ablation() {
@@ -72,7 +70,8 @@ fn partition_ablation() {
                 db.put(k.as_bytes(), &value).unwrap();
             }
         }
-        let (pm, ssd, user) = db.write_amplification();
+        let wa = db.write_amp();
+        let (pm, ssd, user) = (wa.pm_bytes, wa.ssd_bytes, wa.user_bytes);
         table.row(&[
             parts.to_string(),
             pct(db.stats().pm_hit_ratio()),
@@ -100,7 +99,12 @@ fn scheduler_ablation() {
     };
     let tasks = coroutine::trace::split(&params, 4, 17);
     let configs = [
-        ("naive (no flush coroutine)", Policy::NaiveCoroutine, 4u64, 0u64),
+        (
+            "naive (no flush coroutine)",
+            Policy::NaiveCoroutine,
+            4u64,
+            0u64,
+        ),
         ("flush coroutine, gate off (q=64)", Policy::PmBlade, 64, 0),
         ("flush coroutine + gate (q=4)", Policy::PmBlade, 4, 0),
         // With foreground reads sharing the device, the gate defers

@@ -11,8 +11,20 @@
 use std::process::Command;
 
 const EXPERIMENTS: &[&str] = &[
-    "table1", "fig2a", "table3", "fig6", "table4", "table5", "fig7",
-    "fig8", "fig9", "fig10", "fig11", "fig12", "ablations", "future_cxl",
+    "table1",
+    "fig2a",
+    "table3",
+    "fig6",
+    "table4",
+    "table5",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "ablations",
+    "future_cxl",
 ];
 
 fn main() {

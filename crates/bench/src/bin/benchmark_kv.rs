@@ -10,11 +10,15 @@
 //!                           readwhilewriting|seekrandom|indextable]
 //!              [--num N] [--value-size B] [--skew Z] [--reads N]
 //!              [--partitions P] [--pm-mib M] [--threads T]
+//!              [--metrics-out PATH]
 //!
 //! `--threads T` runs the write benchmarks (`fillseq`, `fillrandom`,
 //! `updaterandom`) with T OS threads sharing one
 //! `Arc<Db>`; concurrent writers coalesce through the engine's
 //! per-partition group commit.
+//!
+//! `--metrics-out PATH` writes the engine's final metrics snapshot
+//! (counters, latency quantiles, compaction spans) to PATH as JSON.
 //! ```
 //!
 //! Example: `cargo run --release -p bench --bin benchmark_kv -- \
@@ -35,6 +39,7 @@ struct Args {
     partitions: usize,
     pm_mib: usize,
     threads: usize,
+    metrics_out: Option<std::path::PathBuf>,
 }
 
 impl Default for Args {
@@ -49,6 +54,7 @@ impl Default for Args {
             partitions: 8,
             pm_mib: 8,
             threads: 1,
+            metrics_out: None,
         }
     }
 }
@@ -78,14 +84,10 @@ fn parse_args() -> Args {
             }
             "--benchmark" => args.benchmark = value(),
             "--num" => args.num = value().parse().expect("--num"),
-            "--value-size" => {
-                args.value_size = value().parse().expect("--value-size")
-            }
+            "--value-size" => args.value_size = value().parse().expect("--value-size"),
             "--skew" => args.skew = value().parse().expect("--skew"),
             "--reads" => args.reads = value().parse().expect("--reads"),
-            "--partitions" => {
-                args.partitions = value().parse().expect("--partitions")
-            }
+            "--partitions" => args.partitions = value().parse().expect("--partitions"),
             "--pm-mib" => args.pm_mib = value().parse().expect("--pm-mib"),
             "--threads" => {
                 args.threads = value().parse().expect("--threads");
@@ -93,6 +95,9 @@ fn parse_args() -> Args {
                     eprintln!("--threads must be at least 1");
                     std::process::exit(2);
                 }
+            }
+            "--metrics-out" => {
+                args.metrics_out = Some(value().into());
             }
             "--help" | "-h" => {
                 println!(
@@ -118,9 +123,28 @@ fn open_db(args: &Args) -> Db {
         Mode::MatrixKv => Options::matrixkv(args.pm_mib << 20),
     };
     opts.memtable_bytes = 32 << 10;
-    opts.partitioner =
-        Partitioner::numeric("user", args.num.max(1), args.partitions.max(1));
+    opts.partitioner = Partitioner::numeric("user", args.num.max(1), args.partitions.max(1));
     Db::open(opts).expect("engine opens")
+}
+
+/// Write the engine's final metrics snapshot as JSON, if requested.
+fn write_metrics(db: &Db, args: &Args) {
+    let Some(path) = &args.metrics_out else {
+        return;
+    };
+    let snap = db.metrics_snapshot();
+    std::fs::write(path, snap.to_json()).unwrap_or_else(|e| {
+        eprintln!("--metrics-out {}: {e}", path.display());
+        std::process::exit(1);
+    });
+    println!(
+        "metrics: {} counters, {} histograms, {} spans ({} evicted) -> {}",
+        snap.counters.len(),
+        snap.histograms.len(),
+        snap.spans.len(),
+        snap.spans_dropped,
+        path.display()
+    );
 }
 
 fn report(name: &str, hist: &Histogram, total: SimDuration, ops: u64) {
@@ -169,13 +193,10 @@ fn threaded_writes(
                             t * per_thread + i
                         } else {
                             // Disjoint stripes keep fills collision-free.
-                            (t * per_thread + i)
-                                .wrapping_mul(0x9e3779b97f4a7c15)
-                                % args.num.max(1)
+                            (t * per_thread + i).wrapping_mul(0x9e3779b97f4a7c15) % args.num.max(1)
                         };
                         let k = format!("user{key_id:010}");
-                        let d =
-                            db.put(k.as_bytes(), &value).expect("put");
+                        let d = db.put(k.as_bytes(), &value).expect("put");
                         hist.record_duration(d);
                         virt += d;
                     }
@@ -212,8 +233,11 @@ fn fill(db: &mut Db, args: &Args, sequential: bool) -> SimDuration {
         value_size: args.value_size,
         ..KvWorkloadSpec::default()
     });
-    let ops =
-        if sequential { w.fill_sequential() } else { w.fill_random() };
+    let ops = if sequential {
+        w.fill_sequential()
+    } else {
+        w.fill_random()
+    };
     let m = run_kv(db, &ops).expect("fill");
     report(
         if sequential { "fillseq" } else { "fillrandom" },
@@ -337,6 +361,7 @@ fn index_table(args: &Args) {
         total += d;
     }
     report("indextable/query", &hist, total, args.reads.min(5_000));
+    write_metrics(rel.db(), args);
 }
 
 fn main() {
@@ -360,51 +385,54 @@ fn main() {
             if args.threads > 1 {
                 let db = std::sync::Arc::new(open_db(&args));
                 threaded_writes(&db, &args, "fillseq", args.num, true, false);
+                write_metrics(&db, &args);
             } else {
                 let mut db = open_db(&args);
                 fill(&mut db, &args, true);
+                write_metrics(&db, &args);
             }
         }
         "fillrandom" => {
             if args.threads > 1 {
                 let db = std::sync::Arc::new(open_db(&args));
-                threaded_writes(
-                    &db, &args, "fillrandom", args.num, false, false,
-                );
+                threaded_writes(&db, &args, "fillrandom", args.num, false, false);
+                write_metrics(&db, &args);
             } else {
                 let mut db = open_db(&args);
                 fill(&mut db, &args, false);
+                write_metrics(&db, &args);
             }
         }
         "readrandom" => {
             let mut db = open_db(&args);
             fill(&mut db, &args, false);
             read_random(&mut db, &args);
+            write_metrics(&db, &args);
         }
         "updaterandom" => {
             if args.threads > 1 {
                 let db = std::sync::Arc::new(open_db(&args));
-                threaded_writes(
-                    &db, &args, "fill(load)", args.num, false, false,
-                );
-                threaded_writes(
-                    &db, &args, "updaterandom", args.reads, false, true,
-                );
+                threaded_writes(&db, &args, "fill(load)", args.num, false, false);
+                threaded_writes(&db, &args, "updaterandom", args.reads, false, true);
+                write_metrics(&db, &args);
             } else {
                 let mut db = open_db(&args);
                 fill(&mut db, &args, false);
                 update_random(&mut db, &args);
+                write_metrics(&db, &args);
             }
         }
         "readwhilewriting" => {
             let mut db = open_db(&args);
             fill(&mut db, &args, false);
             read_while_writing(&mut db, &args);
+            write_metrics(&db, &args);
         }
         "seekrandom" => {
             let mut db = open_db(&args);
             fill(&mut db, &args, false);
             seek_random(&mut db, &args);
+            write_metrics(&db, &args);
         }
         "indextable" => index_table(&args),
         other => {

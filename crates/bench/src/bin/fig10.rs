@@ -44,8 +44,7 @@ fn options(rung: &Rung) -> Options {
             opts.pm_table.extractor = pmtable::MetaExtractor::None;
             opts.pm_table.group_size = 2;
         } else {
-            opts.pm_table.extractor =
-                pmtable::MetaExtractor::Delimiter(b':');
+            opts.pm_table.extractor = pmtable::MetaExtractor::Delimiter(b':');
             opts.pm_table.group_size = 16;
         }
     }
@@ -104,11 +103,11 @@ fn main() {
     let mut baseline_tput = None;
     for rung in &rungs {
         let db = Db::open(options(rung)).unwrap();
-        let mut rel = Relational::new(db, MeituanWorkload::schema());
+        let rel = Relational::new(db, MeituanWorkload::schema());
         // Load phase: orders only.
         let mut load = MeituanWorkload::new(600, 0.0, 77);
         let ops = load.ops(3_000);
-        run_meituan(&mut rel, &ops).unwrap();
+        run_meituan(&rel, &ops).unwrap();
         // Mixed transactions.
         let mut mixed = MeituanWorkload::new(600, 0.5, 78);
         // Continue the order id sequence past the loaded range.
@@ -116,15 +115,10 @@ fn main() {
             mixed.new_order();
         }
         let ops = mixed.ops(6_000);
-        let m = run_meituan(&mut rel, &ops).unwrap();
+        let m = run_meituan(&rel, &ops).unwrap();
         // Fold compaction (background) time into throughput, with the
         // coroutine discount for the full system.
-        let bg: sim::SimDuration = rel
-            .db()
-            .compaction_log()
-            .iter()
-            .map(|e| e.duration)
-            .sum();
+        let bg: sim::SimDuration = rel.db().compaction_log().iter().map(|e| e.duration).sum();
         let total = m.elapsed + bg.mul_f64(rung.coroutine_factor);
         let tput = m.operations as f64 / total.as_secs_f64();
         let base = *baseline_tput.get_or_insert(tput);

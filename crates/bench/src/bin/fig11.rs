@@ -34,25 +34,25 @@ fn main() {
     let mut pmblade_tput = None;
     for (name, mut opts) in systems {
         if opts.mode == pm_blade::Mode::PmBlade {
-            opts.pm_table.extractor =
-                pmtable::MetaExtractor::Delimiter(b':');
+            opts.pm_table.extractor = pmtable::MetaExtractor::Delimiter(b':');
             // The paper's PM-Blade partitions its tree by key range;
             // the baselines are unpartitioned stores.
             opts.partitioner = bench::meituan_partitioner();
         }
         let db = Db::open(opts).unwrap();
-        let mut rel = Relational::new(db, MeituanWorkload::schema());
+        let rel = Relational::new(db, MeituanWorkload::schema());
         // Load ~2.5x the PM capacity, as in the paper (200 GB vs 80 GB).
         let mut load = MeituanWorkload::new(800, 0.0, 81);
         let ops = load.ops(20_000);
-        run_meituan(&mut rel, &ops).unwrap();
+        run_meituan(&rel, &ops).unwrap();
         let mut mixed = MeituanWorkload::new(800, 0.5, 82);
         for _ in 0..load.orders_created() {
             mixed.new_order();
         }
         let ops = mixed.ops(10_000);
-        let m = run_meituan(&mut rel, &ops).unwrap();
-        let (pm, ssd, user) = rel.db().write_amplification();
+        let m = run_meituan(&rel, &ops).unwrap();
+        let amp = rel.db().write_amp();
+        let (pm, ssd, user) = (amp.pm_bytes, amp.ssd_bytes, amp.user_bytes);
         wa.row(&[
             name.to_string(),
             mib(pm),
@@ -66,14 +66,8 @@ fn main() {
             us(m.writes.mean_duration()),
             us(m.scans.mean_duration()),
         ]);
-        let bg: sim::SimDuration = rel
-            .db()
-            .compaction_log()
-            .iter()
-            .map(|e| e.duration)
-            .sum();
-        let tput =
-            m.operations as f64 / (m.elapsed + bg).as_secs_f64();
+        let bg: sim::SimDuration = rel.db().compaction_log().iter().map(|e| e.duration).sum();
+        let tput = m.operations as f64 / (m.elapsed + bg).as_secs_f64();
         let base = *pmblade_tput.get_or_insert(tput);
         thr.row(&[name.to_string(), format!("{:.2}x", tput / base)]);
     }

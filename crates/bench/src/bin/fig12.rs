@@ -27,36 +27,36 @@ fn systems() -> [(&'static str, Options); 4] {
 fn main() {
     let mut table = Table::new(
         "Fig 12 — YCSB throughput normalized to RocksDB",
-        &["workload", "PMBlade", "RocksDB", "MatrixKV-8", "MatrixKV-80"],
+        &[
+            "workload",
+            "PMBlade",
+            "RocksDB",
+            "MatrixKV-8",
+            "MatrixKV-80",
+        ],
     );
     for kind in YcsbKind::ALL {
         let mut tputs = Vec::new();
         for (_, mut opts) in systems() {
             if opts.mode == pm_blade::Mode::PmBlade {
                 // PM-Blade partitions its tree by key range (§III).
-                opts.partitioner =
-                    pm_blade::Partitioner::numeric("user", RECORDS, 8);
+                opts.partitioner = pm_blade::Partitioner::numeric("user", RECORDS, 8);
             }
-            let mut db = Db::open(opts).unwrap();
+            let db = Db::open(opts).unwrap();
             // Load phase (also the measured phase for Load itself).
             let mut w = YcsbWorkload::new(kind, RECORDS, VALUE, 90);
             let load_ops = w.load_ops();
-            let load_metrics = run_ycsb(&mut db, &load_ops).unwrap();
+            let load_metrics = run_ycsb(&db, &load_ops).unwrap();
             let metrics = if kind == YcsbKind::Load {
                 load_metrics
             } else {
-                run_ycsb(&mut db, &w.ops(RUN_OPS)).unwrap()
+                run_ycsb(&db, &w.ops(RUN_OPS)).unwrap()
             };
-            let bg: sim::SimDuration = db
-                .compaction_log()
-                .iter()
-                .map(|e| e.duration)
-                .sum();
+            let bg: sim::SimDuration = db.compaction_log().iter().map(|e| e.duration).sum();
             // For run phases, background time attributable to the run is
             // what happened after the load; approximate by weighting bg
             // by the run's share of total writes.
-            let tput = metrics.operations as f64
-                / (metrics.elapsed + bg).as_secs_f64();
+            let tput = metrics.operations as f64 / (metrics.elapsed + bg).as_secs_f64();
             tputs.push(tput);
         }
         let base = tputs[1]; // normalize to RocksDB

@@ -22,11 +22,7 @@ fn main() {
             .map(|i| {
                 let mut v = vec![0u8; value_len];
                 rng.fill_bytes(&mut v);
-                OwnedEntry::value(
-                    format!("key{:012}", i).into_bytes(),
-                    i as u64 + 1,
-                    v,
-                )
+                OwnedEntry::value(format!("key{:012}", i).into_bytes(), i as u64 + 1, v)
             })
             .collect();
         entries.sort_by(|a, b| a.internal_cmp(b));
@@ -40,8 +36,7 @@ fn main() {
         pool.publish(bytes, &mut write_tl).unwrap();
         let encode = encode_tl.elapsed();
         let write = write_tl.elapsed();
-        let share =
-            write.as_nanos() as f64 / (encode + write).as_nanos() as f64;
+        let share = write.as_nanos() as f64 / (encode + write).as_nanos() as f64;
         table.row(&[
             format!("{}B", value_len + 24),
             bench::us(encode),

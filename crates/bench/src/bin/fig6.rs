@@ -15,13 +15,12 @@ use bench::{index_entries, us, Table};
 use encoding::key::KeyKind;
 use pm_device::PmPool;
 use pmtable::{
-    ArrayTable, ArrayTableBuilder, L0Table, MetaExtractor, PmTable,
-    PmTableBuilder, PmTableOptions, SnappyGroupTable,
-    SnappyGroupTableBuilder, SnappyTable, SnappyTableBuilder,
+    ArrayTable, ArrayTableBuilder, L0Table, MetaExtractor, PmTable, PmTableBuilder, PmTableOptions,
+    SnappyGroupTable, SnappyGroupTableBuilder, SnappyTable, SnappyTableBuilder,
 };
 use sim::{CostModel, Pcg64, SimDuration, Timeline};
-use sstable::{BlockCache, SsTable, SsTableBuilder, SsTableOptions};
 use ssd_device::SsdDevice;
+use sstable::{BlockCache, SsTable, SsTableBuilder, SsTableOptions};
 
 const PROBES: usize = 3_000;
 
@@ -37,11 +36,25 @@ fn main() {
     let cost = CostModel::default();
     let mut build_table = Table::new(
         "Fig 6(a) — minor compaction duration (normalized to Array-based)",
-        &["entries", "PM table", "Array", "Array-snappy", "snappy-group", "SSTable"],
+        &[
+            "entries",
+            "PM table",
+            "Array",
+            "Array-snappy",
+            "snappy-group",
+            "SSTable",
+        ],
     );
     let mut read_table = Table::new(
         "Fig 6(b) — point-read latency",
-        &["entries", "PM table", "Array", "Array-snappy", "snappy-group", "SSTable"],
+        &[
+            "entries",
+            "PM table",
+            "Array",
+            "Array-snappy",
+            "snappy-group",
+            "SSTable",
+        ],
     );
 
     for &n in &[20_000usize, 50_000, 100_000, 200_000] {
@@ -67,9 +80,7 @@ fn main() {
                 "pm",
                 Built {
                     build_time: tl.elapsed(),
-                    reader: Box::new(move |k, tl| {
-                        t.get(k, u64::MAX, tl).is_some()
-                    }),
+                    reader: Box::new(move |k, tl| t.get(k, u64::MAX, tl).is_some()),
                 },
             ));
         }
@@ -87,9 +98,7 @@ fn main() {
                 "array",
                 Built {
                     build_time: tl.elapsed(),
-                    reader: Box::new(move |k, tl| {
-                        t.get(k, u64::MAX, tl).is_some()
-                    }),
+                    reader: Box::new(move |k, tl| t.get(k, u64::MAX, tl).is_some()),
                 },
             ));
         }
@@ -107,9 +116,7 @@ fn main() {
                 "snappy",
                 Built {
                     build_time: tl.elapsed(),
-                    reader: Box::new(move |k, tl| {
-                        t.get(k, u64::MAX, tl).is_some()
-                    }),
+                    reader: Box::new(move |k, tl| t.get(k, u64::MAX, tl).is_some()),
                 },
             ));
         }
@@ -127,9 +134,7 @@ fn main() {
                 "group",
                 Built {
                     build_time: tl.elapsed(),
-                    reader: Box::new(move |k, tl| {
-                        t.get(k, u64::MAX, tl).is_some()
-                    }),
+                    reader: Box::new(move |k, tl| t.get(k, u64::MAX, tl).is_some()),
                 },
             ));
         }
@@ -139,12 +144,7 @@ fn main() {
             let cache = Arc::new(BlockCache::new(256 << 10));
             let mut tl = Timeline::new();
             let name = format!("fig6-{n}.sst");
-            let mut b = SsTableBuilder::new(
-                &device,
-                &name,
-                SsTableOptions::default(),
-            )
-            .unwrap();
+            let mut b = SsTableBuilder::new(&device, &name, SsTableOptions::default()).unwrap();
             for e in entries.iter() {
                 b.add(&e.user_key, e.seq, KeyKind::Value, &e.value, &mut tl);
             }
@@ -155,9 +155,7 @@ fn main() {
                 "sstable",
                 Built {
                     build_time,
-                    reader: Box::new(move |k, tl| {
-                        matches!(t.get(k, u64::MAX, tl), Ok(Some(_)))
-                    }),
+                    reader: Box::new(move |k, tl| matches!(t.get(k, u64::MAX, tl), Ok(Some(_)))),
                 },
             ));
         }
@@ -168,8 +166,7 @@ fn main() {
         for (_, built) in &variants {
             brow.push(format!(
                 "{:.2}x",
-                built.build_time.as_nanos() as f64
-                    / array_build.as_nanos() as f64
+                built.build_time.as_nanos() as f64 / array_build.as_nanos() as f64
             ));
         }
         build_table.row(&brow);

@@ -8,7 +8,7 @@
 //!     one, for PM and SSD level-0s.
 
 use bench::{us, Table};
-use pm_blade::{Db, Mode, Options};
+use pm_blade::{CompactionRequest, Db, Mode, Options};
 use sim::{Histogram, Pcg64};
 
 fn make(mode: Mode) -> Db {
@@ -54,8 +54,11 @@ fn main() {
         &["ops", "PMBlade", "PMBlade-PM", "PMBlade-SSD"],
     );
     let keys = 4_000u64;
-    let mut dbs =
-        [make(Mode::PmBlade), make(Mode::PmBladePm), make(Mode::SsdLevel0)];
+    let mut dbs = [
+        make(Mode::PmBlade),
+        make(Mode::PmBladePm),
+        make(Mode::SsdLevel0),
+    ];
     let step = 4_000usize;
     for round in 1..=4 {
         let mut cells = vec![format!("{}k", round * step / 500)];
@@ -89,12 +92,16 @@ fn main() {
     ] {
         let mut db = make(mode);
         bench::load_data(&mut db, 1 << 20, 1024, -1.0, 3000);
-        db.flush_all().unwrap();
+        db.compact(CompactionRequest::FlushAll).unwrap();
         // Trigger the compaction and measure its duration.
         let interference = if compact {
             match mode {
-                Mode::PmBlade => db.run_internal_compaction(0).unwrap(),
-                _ => db.run_major_compaction(0).unwrap(),
+                Mode::PmBlade => db
+                    .compact(CompactionRequest::Internal { partition: 0 })
+                    .unwrap(),
+                _ => db
+                    .compact(CompactionRequest::Major { partition: 0 })
+                    .unwrap(),
             }
             let log = db.compaction_log();
             let ev = log.last().unwrap();

@@ -9,7 +9,7 @@
 //!     skew 0 in the paper).
 
 use bench::{mib, pct, Table};
-use pm_blade::{Db, Mode, Options, Partitioner};
+use pm_blade::{CompactionRequest, Db, Mode, Options, Partitioner};
 use sim::Pcg64;
 
 fn partitioned(mut opts: Options, keys: u64) -> Options {
@@ -25,9 +25,7 @@ fn main() {
     );
     let data = bench::DATA_BYTES;
     let keys = (data / 1038) as u64;
-    for &(name, skew) in
-        &[("uniform", 0.0f64), ("zipf 0.6", 0.6), ("zipf 0.99", 0.99)]
-    {
+    for &(name, skew) in &[("uniform", 0.0f64), ("zipf 0.6", 0.6), ("zipf 0.99", 0.99)] {
         let mut row = vec![name.to_string()];
         for mode in [Mode::SsdLevel0, Mode::PmBladePm, Mode::PmBlade] {
             let opts: Options = match mode {
@@ -36,11 +34,11 @@ fn main() {
                 Mode::PmBlade => bench::pmblade(),
                 _ => unreachable!(),
             };
-            let mut db =
-                Db::open(partitioned(opts, keys)).unwrap();
+            let mut db = Db::open(partitioned(opts, keys)).unwrap();
             bench::load_data(&mut db, data, 1024, skew, 4000);
-            db.flush_all().unwrap();
-            let (pm, ssd, user) = db.write_amplification();
+            db.compact(CompactionRequest::FlushAll).unwrap();
+            let wa = db.write_amp();
+            let (pm, ssd, user) = (wa.pm_bytes, wa.ssd_bytes, wa.user_bytes);
             let total = pm + ssd;
             row.push(format!(
                 "{}+{} ({:.1}x)",
@@ -80,8 +78,7 @@ fn main() {
             let mut rng = Pcg64::seeded(6000);
             let value = vec![0u8; 1024];
             for i in 0..30_000 {
-                let k =
-                    format!("user{:010}", dist.sample(&mut rng, keys));
+                let k = format!("user{:010}", dist.sample(&mut rng, keys));
                 if i % 2 == 0 {
                     db.get(k.as_bytes()).unwrap();
                 } else {

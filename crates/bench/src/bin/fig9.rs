@@ -70,9 +70,7 @@ fn main() {
          Coroutine"
     );
     io.print();
-    println!(
-        "\npaper 9(b): at 32B PMBlade +35%/+18%; ≥128B PMBlade near 100%"
-    );
+    println!("\npaper 9(b): at 32B PMBlade +35%/+18%; ≥128B PMBlade near 100%");
     lat.print();
     println!("\npaper 9(c): PMBlade lowest; at 512B it is 66% of Thread");
     dur.print();

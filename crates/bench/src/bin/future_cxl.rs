@@ -43,9 +43,9 @@ fn main() {
                 writes += 1;
             }
         }
-        let bg: sim::SimDuration =
-            db.compaction_log().iter().map(|e| e.duration).sum();
-        let (pm, ssd, user) = db.write_amplification();
+        let bg: sim::SimDuration = db.compaction_log().iter().map(|e| e.duration).sum();
+        let wa = db.write_amp();
+        let (pm, ssd, user) = (wa.pm_bytes, wa.ssd_bytes, wa.user_bytes);
         results.push((
             read_total / reads,
             write_total / writes,

@@ -13,8 +13,8 @@ use encoding::key::KeyKind;
 use pm_device::PmPool;
 use pmtable::{L0Table, PmTable, PmTableBuilder, PmTableOptions};
 use sim::{CostModel, Pcg64, SimDuration, Timeline};
-use sstable::{BlockCache, SsTable, SsTableBuilder, SsTableOptions};
 use ssd_device::SsdDevice;
+use sstable::{BlockCache, SsTable, SsTableBuilder, SsTableOptions};
 
 const ENTRIES_PER_TABLE: usize = 1_000_000;
 const PROBES: usize = 2_000;
@@ -23,7 +23,12 @@ fn main() {
     let cost = CostModel::default();
     let mut table = Table::new(
         "Table I — query latency vs number of tables",
-        &["tables", "table on PM", "SSTable in cache", "SSTable in SSD"],
+        &[
+            "tables",
+            "table on PM",
+            "SSTable in cache",
+            "SSTable in SSD",
+        ],
     );
 
     for &ntables in &[1usize, 2, 4, 8] {
@@ -31,11 +36,7 @@ fn main() {
         let pool = PmPool::new(1 << 30, cost);
         let mut pm_tables = Vec::new();
         for t in 0..ntables {
-            let entries = index_entries(
-                ENTRIES_PER_TABLE / ntables,
-                8,
-                100 + t as u64,
-            );
+            let entries = index_entries(ENTRIES_PER_TABLE / ntables, 8, 100 + t as u64);
             let mut b = PmTableBuilder::new(PmTableOptions {
                 group_size: 16,
                 extractor: pmtable::MetaExtractor::Delimiter(b':'),
@@ -54,8 +55,7 @@ fn main() {
             let mut tl = Timeline::new();
             // Worst case of unsorted L0: probe every table.
             for (t, entries) in &pm_tables {
-                let probe =
-                    &entries[rng.next_below(entries.len() as u64) as usize];
+                let probe = &entries[rng.next_below(entries.len() as u64) as usize];
                 let _ = t.get(&probe.user_key, u64::MAX, &mut tl);
             }
             pm_total += tl.elapsed();
@@ -69,31 +69,18 @@ fn main() {
         let mut cold_tables = Vec::new();
         let mut keysets = Vec::new();
         for t in 0..ntables {
-            let entries = index_entries(
-                ENTRIES_PER_TABLE / ntables,
-                8,
-                200 + t as u64,
-            );
+            let entries = index_entries(ENTRIES_PER_TABLE / ntables, 8, 200 + t as u64);
             let name = format!("t{ntables}-{t}.sst");
-            let mut b = SsTableBuilder::new(
-                &device,
-                &name,
-                SsTableOptions::default(),
-            )
-            .unwrap();
+            let mut b = SsTableBuilder::new(&device, &name, SsTableOptions::default()).unwrap();
             let mut tl = Timeline::new();
             for e in &entries {
                 b.add(&e.user_key, e.seq, KeyKind::Value, &e.value, &mut tl);
             }
             b.finish(&mut tl).unwrap();
-            warm_tables.push(
-                SsTable::open(&device, &name, Arc::clone(&big_cache), &mut tl)
-                    .unwrap(),
-            );
-            cold_tables.push(
-                SsTable::open(&device, &name, Arc::clone(&no_cache), &mut tl)
-                    .unwrap(),
-            );
+            warm_tables
+                .push(SsTable::open(&device, &name, Arc::clone(&big_cache), &mut tl).unwrap());
+            cold_tables
+                .push(SsTable::open(&device, &name, Arc::clone(&no_cache), &mut tl).unwrap());
             keysets.push(entries);
         }
         // Warm the cache fully.
@@ -109,11 +96,8 @@ fn main() {
         for _ in 0..PROBES {
             let mut twarm = Timeline::new();
             let mut tcold = Timeline::new();
-            for ((warm, cold), entries) in
-                warm_tables.iter().zip(&cold_tables).zip(&keysets)
-            {
-                let probe =
-                    &entries[rng.next_below(entries.len() as u64) as usize];
+            for ((warm, cold), entries) in warm_tables.iter().zip(&cold_tables).zip(&keysets) {
+                let probe = &entries[rng.next_below(entries.len() as u64) as usize];
                 let _ = warm.get(&probe.user_key, u64::MAX, &mut twarm);
                 let _ = cold.get(&probe.user_key, u64::MAX, &mut tcold);
             }

@@ -19,8 +19,7 @@ fn main() {
         max_io: 8,
         ..SchedulerConfig::default()
     };
-    let baseline = Scheduler::new(base_cfg)
-        .run(&coroutine::trace::split(&params, 1, 33));
+    let baseline = Scheduler::new(base_cfg).run(&coroutine::trace::split(&params, 1, 33));
 
     let mut table = Table::new(
         "Table III — compaction with multi-threads (1 core)",
@@ -29,8 +28,7 @@ fn main() {
     for n in 1..=5usize {
         let tasks = coroutine::trace::split(&params, n, 33);
         let report = Scheduler::new(base_cfg).run(&tasks);
-        let speedup = baseline.duration.as_nanos() as f64
-            / report.duration.as_nanos() as f64;
+        let speedup = baseline.duration.as_nanos() as f64 / report.duration.as_nanos() as f64;
         table.row(&[
             n.to_string(),
             format!("{:.1}x", speedup),

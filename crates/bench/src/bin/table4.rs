@@ -3,7 +3,7 @@
 //! more space reclaimed (the paper frees ~80% of used PM at skew 1.0).
 
 use bench::{mib, pct, Table};
-use pm_blade::{Db, Options};
+use pm_blade::{CompactionRequest, Db, Options};
 
 fn main() {
     let mut table = Table::new(
@@ -19,13 +19,14 @@ fn main() {
         opts.tau_m = usize::MAX;
         opts.tau_w = usize::MAX;
         opts.scalars.binary_search = sim::SimDuration::ZERO; // Eq1 off
-        // Headroom for the sorted run built by the manual compaction.
+                                                             // Headroom for the sorted run built by the manual compaction.
         opts.pm_capacity = 32 << 20;
         let mut db = Db::open(opts).unwrap();
         bench::load_data(&mut db, 4 << 20, 1024, skew, 1000);
-        db.flush_all().unwrap();
+        db.compact(CompactionRequest::FlushAll).unwrap();
         let before = db.pm_used() as u64;
-        db.run_internal_compaction(0).unwrap();
+        db.compact(CompactionRequest::Internal { partition: 0 })
+            .unwrap();
         let released = db.stats().internal_space_released.get();
         table.row(&[
             format!("{skew:.1}"),

@@ -4,7 +4,7 @@
 
 use bench::{ms, Table};
 use pm_blade::engine::CompactionKind;
-use pm_blade::{Db, Mode, Options};
+use pm_blade::{CompactionRequest, Db, Mode, Options};
 
 fn run(mode: Mode, value_size: usize) -> sim::SimDuration {
     let mut opts: Options = match mode {
@@ -21,21 +21,20 @@ fn run(mode: Mode, value_size: usize) -> sim::SimDuration {
     opts.pm_capacity = 16 << 20;
     let mut db = Db::open(opts).unwrap();
     bench::load_data(&mut db, 1 << 20, value_size, 0.3, 2000);
-    db.flush_all().unwrap();
+    db.compact(CompactionRequest::FlushAll).unwrap();
     match mode {
-        Mode::PmBlade => db.run_internal_compaction(0).unwrap(),
-        Mode::SsdLevel0 => db.run_major_compaction(0).unwrap(),
+        Mode::PmBlade => db
+            .compact(CompactionRequest::Internal { partition: 0 })
+            .unwrap(),
+        Mode::SsdLevel0 => db
+            .compact(CompactionRequest::Major { partition: 0 })
+            .unwrap(),
         _ => unreachable!(),
     }
     db.compaction_log()
         .iter()
         .rev()
-        .find(|e| {
-            matches!(
-                e.kind,
-                CompactionKind::Internal | CompactionKind::Major
-            )
-        })
+        .find(|e| matches!(e.kind, CompactionKind::Internal | CompactionKind::Major))
         .map(|e| e.duration)
         .expect("compaction ran")
 }
@@ -43,7 +42,12 @@ fn run(mode: Mode, value_size: usize) -> sim::SimDuration {
 fn main() {
     let mut table = Table::new(
         "Table V — compaction duration (1 MiB of data)",
-        &["value size", "PMBlade (internal)", "PMBlade-SSD (L0→L1)", "ratio"],
+        &[
+            "value size",
+            "PMBlade (internal)",
+            "PMBlade-SSD (L0→L1)",
+            "ratio",
+        ],
     );
     for &value_size in &[512usize, 1024, 4096, 16384, 65536] {
         let pm = run(Mode::PmBlade, value_size);

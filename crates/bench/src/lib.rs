@@ -152,8 +152,7 @@ impl Table {
 
     /// Render to stdout.
     pub fn print(&self) {
-        let mut widths: Vec<usize> =
-            self.header.iter().map(|h| h.len()).collect();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
         for row in &self.rows {
             for (w, cell) in widths.iter_mut().zip(row) {
                 *w = (*w).max(cell.len());
@@ -209,21 +208,18 @@ pub fn mib(bytes: u64) -> String {
 /// fill); `skew >= 0` *samples* keys from a Zipfian of that skew with
 /// replacement (0 = uniform), matching the paper's update-only loads
 /// where even the uniform distribution produces duplicate versions.
-pub fn load_data(
-    db: &mut Db,
-    total_bytes: usize,
-    value_size: usize,
-    skew: f64,
-    seed: u64,
-) -> u64 {
+pub fn load_data(db: &mut Db, total_bytes: usize, value_size: usize, skew: f64, seed: u64) -> u64 {
     let per_entry = value_size + 14;
     let n = (total_bytes / per_entry).max(1) as u64;
     let mut rng = Pcg64::seeded(seed);
     let dist = sim::KeyDistribution::zipfian(n, skew.max(0.0));
     let mut value = vec![0u8; value_size];
     for i in 0..n {
-        let key_idx =
-            if skew < 0.0 { i } else { dist.sample(&mut rng, n) };
+        let key_idx = if skew < 0.0 {
+            i
+        } else {
+            dist.sample(&mut rng, n)
+        };
         let key = format!("user{:010}", key_idx);
         let half = value_size / 2;
         rng.fill_bytes(&mut value[..half]);

@@ -159,9 +159,7 @@ impl Scheduler {
                 .min_by_key(|(_, s)| s.now)
                 .map(|(i, s)| (i, s.now));
 
-            let flush_ready = flush_queue
-                .front()
-                .map(|j| j.ready.max(flush_now));
+            let flush_ready = flush_queue.front().map(|j| j.ready.max(flush_now));
 
             // Decide who advances next: the earliest entity.
             let run_flush = match (flush_ready, next_task) {
@@ -213,16 +211,14 @@ impl Scheduler {
                     // preemption penalty per quantum of burst length.
                     let mut overhead = switch;
                     if cfg.policy == Policy::OsThreads {
-                        let quanta =
-                            stage.dur.as_nanos() / cfg.quantum.as_nanos().max(1);
+                        let quanta = stage.dur.as_nanos() / cfg.quantum.as_nanos().max(1);
                         overhead += cfg.thread_switch * quanta;
                     }
                     // Workers are pinned: c worker threads on c cores,
                     // k coroutines each (§V-C). A blocked coroutine
                     // idles its own core.
                     let core = idx % cfg.cores.max(1);
-                    let end =
-                        cpu.run_on(core, state.now, stage.dur + overhead);
+                    let end = cpu.run_on(core, state.now, stage.dur + overhead);
                     useful_cpu += stage.dur;
                     state.now = end;
                 }
@@ -266,8 +262,7 @@ impl Scheduler {
             .unwrap_or(SimInstant::ORIGIN);
         let end = tasks_end.max(flush_now);
         let start = SimInstant::ORIGIN;
-        let span = end.duration_since(start).as_nanos() as f64
-            * cfg.cores as f64;
+        let span = end.duration_since(start).as_nanos() as f64 * cfg.cores as f64;
         let cpu_utilization = if span == 0.0 {
             0.0
         } else {
@@ -352,8 +347,7 @@ mod tests {
             let ts = tasks(n, 1024);
             let r = run(Policy::OsThreads, 1, &ts);
             // Same total work split n ways.
-            let speedup = base.duration.as_nanos() as f64
-                / r.duration.as_nanos() as f64;
+            let speedup = base.duration.as_nanos() as f64 / r.duration.as_nanos() as f64;
             speedups.push(speedup);
             assert!(
                 r.io_mean_latency >= last_latency,

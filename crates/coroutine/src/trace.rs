@@ -30,15 +30,24 @@ pub struct Stage {
 
 impl Stage {
     pub fn read(dur: SimDuration) -> Self {
-        Stage { kind: StageKind::Read, dur }
+        Stage {
+            kind: StageKind::Read,
+            dur,
+        }
     }
 
     pub fn sort(dur: SimDuration) -> Self {
-        Stage { kind: StageKind::Sort, dur }
+        Stage {
+            kind: StageKind::Sort,
+            dur,
+        }
     }
 
     pub fn write(dur: SimDuration) -> Self {
-        Stage { kind: StageKind::Write, dur }
+        Stage {
+            kind: StageKind::Write,
+            dur,
+        }
     }
 }
 
@@ -124,8 +133,7 @@ impl Default for TraceParams {
 /// which in turn depends on the (random) duplicate pattern.
 pub fn synthesize(params: &TraceParams, rng: &mut Pcg64) -> CompactionTask {
     let entry_size = (params.value_size + 24).max(1) as u64;
-    let entries_per_block =
-        (params.read_block as u64 / entry_size).max(1);
+    let entries_per_block = (params.read_block as u64 / entry_size).max(1);
     let total_entries = (params.input_bytes / entry_size).max(1);
     let write_capacity = params.write_buffer as u64;
 
@@ -147,8 +155,7 @@ pub fn synthesize(params: &TraceParams, rng: &mut Pcg64) -> CompactionTask {
             let est = if survive <= 0.0 {
                 left
             } else {
-                ((room as f64 / (entry_size as f64 * survive)).ceil() as u64)
-                    .max(1)
+                ((room as f64 / (entry_size as f64 * survive)).ceil() as u64).max(1)
             };
             // Jitter ±30%: the duplicate pattern is data-dependent.
             let jitter = 0.7 + 0.6 * rng.next_f64();
@@ -193,10 +200,7 @@ mod tests {
         let entry = (params.value_size + 24) as u64;
         let expected_entries = params.input_bytes / entry;
         // CPU time accounts for every entry exactly once.
-        assert_eq!(
-            t.cpu_time(),
-            params.cpu_per_entry * expected_entries,
-        );
+        assert_eq!(t.cpu_time(), params.cpu_per_entry * expected_entries,);
         // Reads cover the input.
         let reads = t
             .stages
@@ -211,15 +215,25 @@ mod tests {
     fn writes_reflect_survivor_volume() {
         let mut rng = Pcg64::seeded(2);
         let no_dup = synthesize(
-            &TraceParams { dup_ratio: 0.0, ..TraceParams::default() },
+            &TraceParams {
+                dup_ratio: 0.0,
+                ..TraceParams::default()
+            },
             &mut rng,
         );
         let heavy_dup = synthesize(
-            &TraceParams { dup_ratio: 0.8, ..TraceParams::default() },
+            &TraceParams {
+                dup_ratio: 0.8,
+                ..TraceParams::default()
+            },
             &mut rng,
         );
-        let count =
-            |t: &CompactionTask| t.stages.iter().filter(|s| s.kind == StageKind::Write).count();
+        let count = |t: &CompactionTask| {
+            t.stages
+                .iter()
+                .filter(|s| s.kind == StageKind::Write)
+                .count()
+        };
         assert!(
             count(&heavy_dup) < count(&no_dup),
             "duplicates shrink output: {} vs {}",
@@ -250,11 +264,17 @@ mod tests {
     fn small_values_shift_work_to_cpu() {
         let mut rng = Pcg64::seeded(4);
         let small = synthesize(
-            &TraceParams { value_size: 32, ..TraceParams::default() },
+            &TraceParams {
+                value_size: 32,
+                ..TraceParams::default()
+            },
             &mut rng,
         );
         let large = synthesize(
-            &TraceParams { value_size: 4096, ..TraceParams::default() },
+            &TraceParams {
+                value_size: 4096,
+                ..TraceParams::default()
+            },
             &mut rng,
         );
         let ratio = |t: &CompactionTask| {

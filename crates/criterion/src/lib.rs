@@ -40,7 +40,10 @@ pub struct Bencher {
 
 impl Bencher {
     fn new(iters_per_sample: u64, samples: usize) -> Self {
-        Bencher { iters_per_sample, samples: Vec::with_capacity(samples) }
+        Bencher {
+            iters_per_sample,
+            samples: Vec::with_capacity(samples),
+        }
     }
 
     /// Time `routine` repeatedly; each sample is `iters_per_sample` calls.
@@ -55,7 +58,8 @@ impl Bencher {
             for _ in 0..self.iters_per_sample {
                 black_box(routine());
             }
-            self.samples.push(start.elapsed() / self.iters_per_sample as u32);
+            self.samples
+                .push(start.elapsed() / self.iters_per_sample as u32);
         }
     }
 
@@ -87,7 +91,10 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 20, iters_per_sample: 64 }
+        Criterion {
+            sample_size: 20,
+            iters_per_sample: 64,
+        }
     }
 }
 
@@ -101,7 +108,12 @@ impl Criterion {
         let mut b = Bencher::new(self.iters_per_sample, self.sample_size);
         f(&mut b);
         let (min, mean) = summarize(&b.samples);
-        println!("{id:<40} min {:>12?}  mean {:>12?}  ({} samples)", min, mean, b.samples.len());
+        println!(
+            "{id:<40} min {:>12?}  mean {:>12?}  ({} samples)",
+            min,
+            mean,
+            b.samples.len()
+        );
         self
     }
 }

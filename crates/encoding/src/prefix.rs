@@ -74,10 +74,7 @@ pub const PM_PREFIX_WIDTH: usize = 16;
 ///
 /// Returns the group index whose leader prefix is the greatest one
 /// `<= prefix(key)` (0 when key sorts before everything).
-pub fn locate_group<const W: usize>(
-    leaders: &[FixedPrefix<W>],
-    key: &[u8],
-) -> usize {
+pub fn locate_group<const W: usize>(leaders: &[FixedPrefix<W>], key: &[u8]) -> usize {
     if leaders.is_empty() {
         return 0;
     }
@@ -112,8 +109,7 @@ mod tests {
 
     #[test]
     fn group_lcp_uses_first_and_last() {
-        let keys: Vec<&[u8]> =
-            vec![b"tbl1:a", b"tbl1:b", b"tbl1:c", b"tbl1:z"];
+        let keys: Vec<&[u8]> = vec![b"tbl1:a", b"tbl1:b", b"tbl1:c", b"tbl1:z"];
         assert_eq!(group_common_prefix_len(&keys), 5);
         assert_eq!(group_common_prefix_len(&[]), 0);
         let one: Vec<&[u8]> = vec![b"solo"];
@@ -138,8 +134,10 @@ mod tests {
 
     #[test]
     fn locate_group_finds_containing_group() {
-        let leaders: Vec<FixedPrefix<4>> =
-            [b"aaaa", b"bbbb", b"cccc"].iter().map(|k| FixedPrefix::of(&k[..])).collect();
+        let leaders: Vec<FixedPrefix<4>> = [b"aaaa", b"bbbb", b"cccc"]
+            .iter()
+            .map(|k| FixedPrefix::of(&k[..]))
+            .collect();
         assert_eq!(locate_group(&leaders, b"aaaa0"), 0);
         assert_eq!(locate_group(&leaders, b"bbbz"), 1);
         assert_eq!(locate_group(&leaders, b"bbbb"), 1);

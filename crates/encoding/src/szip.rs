@@ -109,8 +109,7 @@ impl std::error::Error for SzipError {}
 
 /// Decompress a buffer produced by [`compress`].
 pub fn decompress(input: &[u8]) -> Result<Vec<u8>, SzipError> {
-    let (expected, mut pos) =
-        varint::get_u64(input).ok_or(SzipError::Truncated)?;
+    let (expected, mut pos) = varint::get_u64(input).ok_or(SzipError::Truncated)?;
     let expected = expected as usize;
     let mut out = Vec::with_capacity(expected);
     while pos < input.len() {
@@ -130,9 +129,7 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>, SzipError> {
                 if pos + 2 > input.len() {
                     return Err(SzipError::Truncated);
                 }
-                let offset = u16::from_le_bytes(
-                    input[pos..pos + 2].try_into().unwrap(),
-                ) as usize;
+                let offset = u16::from_le_bytes(input[pos..pos + 2].try_into().unwrap()) as usize;
                 pos += 2;
                 if offset == 0 || offset > out.len() {
                     return Err(SzipError::BadOffset);
@@ -167,10 +164,14 @@ mod tests {
 
     #[test]
     fn roundtrip_repetitive_compresses() {
-        let input: Vec<u8> =
-            b"orderrow-".iter().cycle().take(4096).copied().collect();
+        let input: Vec<u8> = b"orderrow-".iter().cycle().take(4096).copied().collect();
         let c = compress(&input);
-        assert!(c.len() < input.len() / 4, "ratio {}/{}", c.len(), input.len());
+        assert!(
+            c.len() < input.len() / 4,
+            "ratio {}/{}",
+            c.len(),
+            input.len()
+        );
         assert_eq!(decompress(&c).unwrap(), input);
     }
 

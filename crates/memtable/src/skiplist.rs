@@ -115,7 +115,11 @@ impl MemTable {
         self.approximate_bytes += ikey.len() + value.len() + 64;
         self.entries += 1;
         tl.charge(self.cost.dram.write(ikey.len() + value.len()));
-        self.nodes.push(Node { ikey, value: value.to_vec(), next });
+        self.nodes.push(Node {
+            ikey,
+            value: value.to_vec(),
+            next,
+        });
     }
 
     /// Newest entry for `user_key` visible at `snapshot`.
@@ -125,8 +129,7 @@ impl MemTable {
         snapshot: SequenceNumber,
         tl: &mut Timeline,
     ) -> Option<Lookup> {
-        let target =
-            key::InternalKey::seek_to(user_key, snapshot).into_encoded();
+        let target = key::InternalKey::seek_to(user_key, snapshot).into_encoded();
         let mut cur = 0usize;
         for level in (0..self.height).rev() {
             loop {
@@ -151,7 +154,11 @@ impl MemTable {
         debug_assert!(seq <= snapshot, "seek placed us at a visible version");
         let kind = key::kind(&node.ikey)?;
         tl.charge(self.cost.dram.sequential_read(node.value.len()));
-        Some(Lookup { seq, kind, value: node.value.clone() })
+        Some(Lookup {
+            seq,
+            kind,
+            value: node.value.clone(),
+        })
     }
 
     /// All entries in internal-key order.
@@ -180,8 +187,7 @@ impl MemTable {
         limit: usize,
         tl: &mut Timeline,
     ) -> Vec<OwnedEntry> {
-        let target =
-            key::InternalKey::seek_to(start, key::MAX_SEQUENCE).into_encoded();
+        let target = key::InternalKey::seek_to(start, key::MAX_SEQUENCE).into_encoded();
         let mut cur = 0usize;
         for level in (0..self.height).rev() {
             loop {
@@ -296,9 +302,7 @@ mod tests {
         let entries = t.entries_in_order();
         let keys: Vec<(String, u64)> = entries
             .iter()
-            .map(|e| {
-                (String::from_utf8(e.user_key.clone()).unwrap(), e.seq)
-            })
+            .map(|e| (String::from_utf8(e.user_key.clone()).unwrap(), e.seq))
             .collect();
         assert_eq!(
             keys,
@@ -359,9 +363,7 @@ mod tests {
         t.get(b"k0050", u64::MAX, &mut read_tl);
         assert!(read_tl.elapsed() > sim::SimDuration::ZERO);
         // Memtable reads must be far cheaper than one SSD access.
-        assert!(
-            read_tl.elapsed() < CostModel::default().ssd.random_read(4096)
-        );
+        assert!(read_tl.elapsed() < CostModel::default().ssd.random_read(4096));
     }
 
     proptest::proptest! {

@@ -71,25 +71,29 @@ impl Wal {
             .write(true)
             .truncate(true)
             .open(&path)?;
-        Ok(Wal { file, path, written: 0, cost })
+        Ok(Wal {
+            file,
+            path,
+            written: 0,
+            cost,
+        })
     }
 
     /// Open a log for appending, preserving existing records (used after
     /// replay so a second crash before the next flush loses nothing).
-    pub fn open_append(
-        path: impl Into<PathBuf>,
-        cost: CostModel,
-    ) -> Result<Self, WalError> {
+    pub fn open_append(path: impl Into<PathBuf>, cost: CostModel) -> Result<Self, WalError> {
         let path = path.into();
         if let Some(parent) = path.parent() {
             std::fs::create_dir_all(parent)?;
         }
-        let file = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&path)?;
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
         let written = file.metadata()?.len();
-        Ok(Wal { file, path, written, cost })
+        Ok(Wal {
+            file,
+            path,
+            written,
+            cost,
+        })
     }
 
     pub fn path(&self) -> &Path {
@@ -103,9 +107,7 @@ impl Wal {
     /// Append one record and charge its device cost.
     pub fn append(&mut self, rec: &WalRecord, tl: &mut Timeline) -> Result<(), WalError> {
         let mut payload = Vec::with_capacity(rec.user_key.len() + rec.value.len() + 24);
-        payload.extend_from_slice(
-            &key::pack_trailer(rec.seq, rec.kind).to_le_bytes(),
-        );
+        payload.extend_from_slice(&key::pack_trailer(rec.seq, rec.kind).to_le_bytes());
         varint::put_slice(&mut payload, &rec.user_key);
         varint::put_slice(&mut payload, &rec.value);
         let mut frame = Vec::with_capacity(payload.len() + 8);
@@ -133,8 +135,7 @@ impl Wal {
         let mut out = Vec::new();
         let mut pos = 0usize;
         while pos + 8 <= raw.len() {
-            let len = u32::from_le_bytes(raw[pos..pos + 4].try_into().unwrap())
-                as usize;
+            let len = u32::from_le_bytes(raw[pos..pos + 4].try_into().unwrap()) as usize;
             let stored = crc::unmask(u32::from_le_bytes(
                 raw[pos + 4..pos + 8].try_into().unwrap(),
             ));
@@ -146,11 +147,15 @@ impl Wal {
                 break; // corrupt frame: stop replay here
             }
             let mut r = varint::Reader::new(payload);
-            let Some(trailer_bytes) = r.read_bytes(8) else { break };
+            let Some(trailer_bytes) = r.read_bytes(8) else {
+                break;
+            };
             let trailer = u64::from_le_bytes(trailer_bytes.try_into().unwrap());
             let (seq, kind) = key::unpack_trailer(trailer);
             let Some(kind) = kind else { break };
-            let Some(user_key) = r.read_slice() else { break };
+            let Some(user_key) = r.read_slice() else {
+                break;
+            };
             let Some(value) = r.read_slice() else { break };
             out.push(WalRecord {
                 seq,
@@ -186,8 +191,7 @@ mod tests {
     use super::*;
 
     fn tmp(name: &str) -> PathBuf {
-        std::env::temp_dir()
-            .join(format!("pmblade-wal-{}-{name}", std::process::id()))
+        std::env::temp_dir().join(format!("pmblade-wal-{}-{name}", std::process::id()))
     }
 
     fn rec(seq: u64, k: &str, v: &str) -> WalRecord {
@@ -203,8 +207,9 @@ mod tests {
     fn append_sync_replay_roundtrip() {
         let path = tmp("roundtrip");
         let mut tl = Timeline::new();
-        let records: Vec<WalRecord> =
-            (0..50).map(|i| rec(i + 1, &format!("k{i}"), &format!("v{i}"))).collect();
+        let records: Vec<WalRecord> = (0..50)
+            .map(|i| rec(i + 1, &format!("k{i}"), &format!("v{i}")))
+            .collect();
         {
             let mut wal = Wal::create(&path, CostModel::default()).unwrap();
             for r in &records {

@@ -22,7 +22,9 @@ pub struct Mutex<T: ?Sized> {
 
 impl<T> Mutex<T> {
     pub const fn new(value: T) -> Self {
-        Mutex { inner: std::sync::Mutex::new(value) }
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
     }
 
     pub fn into_inner(self) -> T {
@@ -83,7 +85,9 @@ pub struct RwLock<T: ?Sized> {
 
 impl<T> RwLock<T> {
     pub const fn new(value: T) -> Self {
-        RwLock { inner: std::sync::RwLock::new(value) }
+        RwLock {
+            inner: std::sync::RwLock::new(value),
+        }
     }
 
     pub fn into_inner(self) -> T {

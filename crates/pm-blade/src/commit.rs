@@ -16,10 +16,13 @@
 //! two of these except in that order, and never holds two partition
 //! locks at once.
 
+use std::sync::Arc;
+
 use parking_lot::Mutex;
-use sim::SimDuration;
+use sim::{Counter, SimDuration};
 
 use crate::engine::DbError;
+use crate::telemetry::{MetricKey, MetricsRegistry};
 
 /// One write operation inside a [`WriteBatch`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -54,7 +57,10 @@ impl WriteBatch {
 
     /// Queue an insert/update.
     pub fn put(&mut self, key: impl Into<Vec<u8>>, value: impl Into<Vec<u8>>) -> &mut Self {
-        self.ops.push(BatchOp::Put { key: key.into(), value: value.into() });
+        self.ops.push(BatchOp::Put {
+            key: key.into(),
+            value: value.into(),
+        });
         self
     }
 
@@ -110,6 +116,25 @@ impl Ticket {
     }
 }
 
+/// Per-partition group-commit metric handles, pre-registered at
+/// `Db::open` so leaders record without touching the registry locks
+/// (and so the counters appear in snapshots even while still zero).
+pub(crate) struct CommitMetrics {
+    /// Commit groups this partition's leaders flushed.
+    pub(crate) group_commits: Arc<Counter>,
+    /// Write operations that rode in those groups.
+    pub(crate) grouped_writes: Arc<Counter>,
+}
+
+impl CommitMetrics {
+    pub(crate) fn register(registry: &MetricsRegistry, partition: usize) -> Self {
+        CommitMetrics {
+            group_commits: registry.counter(MetricKey::partition("group_commits", partition)),
+            grouped_writes: registry.counter(MetricKey::partition("grouped_writes", partition)),
+        }
+    }
+}
+
 /// Per-partition group-commit state.
 pub(crate) struct Committer {
     /// Tickets waiting to be committed.
@@ -117,11 +142,17 @@ pub(crate) struct Committer {
     /// Held by the current leader for the duration of one group commit
     /// (including any memtable flush it triggers).
     pub(crate) commit: Mutex<()>,
+    /// This partition's group-commit counters.
+    pub(crate) metrics: CommitMetrics,
 }
 
 impl Committer {
-    pub(crate) fn new() -> Self {
-        Committer { queue: Mutex::new(Vec::new()), commit: Mutex::new(()) }
+    pub(crate) fn new(metrics: CommitMetrics) -> Self {
+        Committer {
+            queue: Mutex::new(Vec::new()),
+            commit: Mutex::new(()),
+            metrics,
+        }
     }
 }
 
@@ -132,14 +163,39 @@ mod tests {
     #[test]
     fn batch_builder_orders_ops() {
         let mut b = WriteBatch::new();
-        b.put(&b"a"[..], &b"1"[..]).delete(&b"b"[..]).put(&b"a"[..], &b"2"[..]);
+        b.put(&b"a"[..], &b"1"[..])
+            .delete(&b"b"[..])
+            .put(&b"a"[..], &b"2"[..]);
         assert_eq!(b.len(), 3);
         assert!(!b.is_empty());
         assert_eq!(b.ops[0].key(), b"a");
         assert_eq!(b.ops[1], BatchOp::Delete { key: b"b".to_vec() });
         assert_eq!(
             b.ops[2],
-            BatchOp::Put { key: b"a".to_vec(), value: b"2".to_vec() }
+            BatchOp::Put {
+                key: b"a".to_vec(),
+                value: b"2".to_vec()
+            }
+        );
+    }
+
+    #[test]
+    fn commit_metrics_register_per_partition() {
+        let registry = MetricsRegistry::new();
+        let m = CommitMetrics::register(&registry, 3);
+        m.group_commits.incr();
+        m.grouped_writes.add(5);
+        assert_eq!(
+            registry
+                .counter(MetricKey::partition("group_commits", 3))
+                .get(),
+            1
+        );
+        assert_eq!(
+            registry
+                .counter(MetricKey::partition("grouped_writes", 3))
+                .get(),
+            5
         );
     }
 

@@ -30,8 +30,7 @@ impl CompactionWork {
         if self.input_bytes == 0 {
             return 0.0;
         }
-        (1.0 - self.output_bytes as f64 / self.input_bytes as f64)
-            .clamp(0.0, 0.95)
+        (1.0 - self.output_bytes as f64 / self.input_bytes as f64).clamp(0.0, 0.95)
     }
 }
 
@@ -50,11 +49,7 @@ pub struct MajorReport {
 /// `k = max(⌊q/c⌋, 1)` coroutines each (§V-C), so the subtask count is
 /// `c·k` for the coroutine policies and `c` (one thread per core's task)
 /// under plain threads — mirroring how the paper parallelizes.
-pub fn schedule_major(
-    work: &CompactionWork,
-    cfg: SchedulerConfig,
-    seed: u64,
-) -> RunReport {
+pub fn schedule_major(work: &CompactionWork, cfg: SchedulerConfig, seed: u64) -> RunReport {
     let k = ((cfg.max_io as usize) / cfg.cores.max(1)).max(1);
     let subtasks = match cfg.policy {
         Policy::OsThreads => cfg.cores.max(1) * k, // same total parallelism
@@ -70,17 +65,15 @@ pub fn schedule_major(
     Scheduler::new(cfg).run(&tasks)
 }
 
-fn split_tasks(
-    params: &TraceParams,
-    n: usize,
-    seed: u64,
-) -> Vec<CompactionTask> {
+fn split_tasks(params: &TraceParams, n: usize, seed: u64) -> Vec<CompactionTask> {
     let mut rng = Pcg64::seeded(seed);
     let share = TraceParams {
         input_bytes: (params.input_bytes / n as u64).max(1),
         ..*params
     };
-    (0..n).map(|_| coroutine::trace::synthesize(&share, &mut rng)).collect()
+    (0..n)
+        .map(|_| coroutine::trace::synthesize(&share, &mut rng))
+        .collect()
 }
 
 #[cfg(test)]
@@ -100,21 +93,31 @@ mod tests {
     fn dup_ratio_reflects_shrinkage() {
         let w = work();
         assert!((w.dup_ratio() - 0.25).abs() < 1e-9);
-        let none = CompactionWork { output_bytes: 4 << 20, ..w };
+        let none = CompactionWork {
+            output_bytes: 4 << 20,
+            ..w
+        };
         assert_eq!(none.dup_ratio(), 0.0);
-        let empty = CompactionWork { input_bytes: 0, ..w };
+        let empty = CompactionWork {
+            input_bytes: 0,
+            ..w
+        };
         assert_eq!(empty.dup_ratio(), 0.0);
-        let expand = CompactionWork { output_bytes: 8 << 20, ..w };
+        let expand = CompactionWork {
+            output_bytes: 8 << 20,
+            ..w
+        };
         assert_eq!(expand.dup_ratio(), 0.0, "growth clamps at zero");
     }
 
     #[test]
     fn schedule_runs_under_all_policies() {
         let w = work();
-        for policy in
-            [Policy::OsThreads, Policy::NaiveCoroutine, Policy::PmBlade]
-        {
-            let cfg = SchedulerConfig { policy, ..SchedulerConfig::default() };
+        for policy in [Policy::OsThreads, Policy::NaiveCoroutine, Policy::PmBlade] {
+            let cfg = SchedulerConfig {
+                policy,
+                ..SchedulerConfig::default()
+            };
             let report = schedule_major(&w, cfg, 11);
             assert!(report.duration > SimDuration::ZERO, "{policy:?}");
             assert!(report.io_requests > 0);
@@ -127,7 +130,10 @@ mod tests {
         let run = |policy| {
             schedule_major(
                 &w,
-                SchedulerConfig { policy, ..SchedulerConfig::default() },
+                SchedulerConfig {
+                    policy,
+                    ..SchedulerConfig::default()
+                },
                 13,
             )
         };

@@ -17,6 +17,7 @@
 use sim::{Counter, SimDuration, SimInstant};
 
 use crate::options::CostScalars;
+use crate::telemetry::CostDecision;
 
 /// Per-partition access counters from Table II. The engine resets them
 /// when a compaction touches the partition ("re-zeroed when a major
@@ -53,7 +54,11 @@ impl PartitionCounters {
         let secs = now.duration_since(self.window_start).as_secs_f64();
         if secs <= 0.0 {
             // A zero-length window with reads counts as very hot.
-            return if self.reads.get() > 0 { f64::INFINITY } else { 0.0 };
+            return if self.reads.get() > 0 {
+                f64::INFINITY
+            } else {
+                0.0
+            };
         }
         self.reads.get() as f64 / secs
     }
@@ -79,8 +84,7 @@ pub fn read_benefit_positive(
     if rate == 0.0 {
         return false;
     }
-    let benefit_per_sec =
-        rate * (unsorted as f64 / 2.0) * scalars.binary_search.as_secs_f64();
+    let benefit_per_sec = rate * (unsorted as f64 / 2.0) * scalars.binary_search.as_secs_f64();
     let work_rate = scalars.internal_per_record.as_secs_f64()
         / scalars.internal_time_per_record.as_secs_f64().max(1e-12);
     benefit_per_sec > work_rate
@@ -105,8 +109,7 @@ pub fn write_benefit_positive(
     }
     let removable = updates.min(writes) as f64;
     let saved = removable * scalars.major_per_record.as_secs_f64();
-    let spent =
-        l0_records as f64 * scalars.internal_per_record.as_secs_f64();
+    let spent = l0_records as f64 * scalars.internal_per_record.as_secs_f64();
     saved > spent
 }
 
@@ -123,10 +126,7 @@ pub struct RetentionCandidate {
 /// Eq 3 (greedy): pick the partition set Φ to *retain* in PM, maximizing
 /// total reads subject to `Σ s_i ≤ budget`. Returns the partition ids to
 /// retain; everything else is the major-compaction victim set `P − Φ`.
-pub fn select_retained(
-    candidates: &[RetentionCandidate],
-    budget: usize,
-) -> Vec<usize> {
+pub fn select_retained(candidates: &[RetentionCandidate], budget: usize) -> Vec<usize> {
     let mut sorted: Vec<&RetentionCandidate> = candidates.iter().collect();
     // Greedy by read density n_i^r / s_i, ties broken toward smaller
     // partitions (cheaper to keep).
@@ -152,6 +152,43 @@ pub fn select_retained(
     retained
 }
 
+/// Eq 1 with its inputs and verdict packaged for telemetry: the same
+/// evaluation as [`read_benefit_positive`], reported as a
+/// [`CostDecision`] for listeners and spans.
+pub fn explain_read_benefit(
+    partition: usize,
+    counters: &PartitionCounters,
+    unsorted: usize,
+    now: SimInstant,
+    scalars: &CostScalars,
+) -> CostDecision {
+    CostDecision::ReadBenefit {
+        partition,
+        read_rate: counters.read_rate(now),
+        unsorted,
+        triggered: read_benefit_positive(counters, unsorted, now, scalars),
+    }
+}
+
+/// Eq 2 with its inputs and verdict packaged for telemetry. `gated`
+/// ands in the τ_w size gate the engine applies on top of the raw
+/// benefit comparison (so `triggered` reports the *effective* verdict).
+pub fn explain_write_benefit(
+    partition: usize,
+    counters: &PartitionCounters,
+    l0_records: usize,
+    gated: bool,
+    scalars: &CostScalars,
+) -> CostDecision {
+    CostDecision::WriteBenefit {
+        partition,
+        window_writes: counters.writes.get(),
+        window_updates: counters.updates.get(),
+        l0_records,
+        triggered: gated && write_benefit_positive(counters, l0_records, scalars),
+    }
+}
+
 /// Convenience: expected read-cost saving per second for diagnostics.
 pub fn read_benefit_rate(
     counters: &PartitionCounters,
@@ -164,9 +201,7 @@ pub fn read_benefit_rate(
         return SimDuration::from_secs(1);
     }
     SimDuration::from_nanos(
-        (rate
-            * (unsorted as f64 / 2.0)
-            * scalars.binary_search.as_nanos() as f64) as u64,
+        (rate * (unsorted as f64 / 2.0) * scalars.binary_search.as_nanos() as f64) as u64,
     )
 }
 
@@ -241,9 +276,21 @@ mod tests {
     #[test]
     fn knapsack_prefers_dense_partitions() {
         let candidates = vec![
-            RetentionCandidate { partition: 0, reads: 100, bytes: 100 },
-            RetentionCandidate { partition: 1, reads: 1000, bytes: 100 },
-            RetentionCandidate { partition: 2, reads: 10, bytes: 100 },
+            RetentionCandidate {
+                partition: 0,
+                reads: 100,
+                bytes: 100,
+            },
+            RetentionCandidate {
+                partition: 1,
+                reads: 1000,
+                bytes: 100,
+            },
+            RetentionCandidate {
+                partition: 2,
+                reads: 10,
+                bytes: 100,
+            },
         ];
         // Budget fits two.
         let kept = select_retained(&candidates, 200);
@@ -253,8 +300,16 @@ mod tests {
     #[test]
     fn knapsack_respects_budget_exactly() {
         let candidates = vec![
-            RetentionCandidate { partition: 0, reads: 50, bytes: 60 },
-            RetentionCandidate { partition: 1, reads: 49, bytes: 60 },
+            RetentionCandidate {
+                partition: 0,
+                reads: 50,
+                bytes: 60,
+            },
+            RetentionCandidate {
+                partition: 1,
+                reads: 49,
+                bytes: 60,
+            },
         ];
         // Only one fits.
         assert_eq!(select_retained(&candidates, 100), vec![0]);
@@ -267,9 +322,21 @@ mod tests {
     #[test]
     fn knapsack_skips_empty_partitions_and_greedy_fills_gaps() {
         let candidates = vec![
-            RetentionCandidate { partition: 0, reads: 0, bytes: 0 },
-            RetentionCandidate { partition: 1, reads: 500, bytes: 90 },
-            RetentionCandidate { partition: 2, reads: 100, bytes: 10 },
+            RetentionCandidate {
+                partition: 0,
+                reads: 0,
+                bytes: 0,
+            },
+            RetentionCandidate {
+                partition: 1,
+                reads: 500,
+                bytes: 90,
+            },
+            RetentionCandidate {
+                partition: 2,
+                reads: 100,
+                bytes: 10,
+            },
         ];
         // Density: p2 (10/byte) > p1 (5.5/byte). Both fit in 100.
         assert_eq!(select_retained(&candidates, 100), vec![1, 2]);

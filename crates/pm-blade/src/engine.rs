@@ -29,18 +29,23 @@ use memtable::{Wal, WalRecord};
 use parking_lot::{Mutex, RwLock};
 use pm_device::{PmError, PmPool};
 use sim::{SimDuration, SimInstant, Timeline};
-use sstable::BlockCache;
 use ssd_device::{SsdDevice, SsdError};
+use sstable::BlockCache;
 
-use crate::commit::{BatchOp, Committer, Ticket, WriteBatch};
+use sim::Counter;
+
+use crate::commit::{BatchOp, CommitMetrics, Committer, Ticket, WriteBatch};
 use crate::compaction::CompactionWork;
 use crate::costmodel::{
-    read_benefit_positive, select_retained, write_benefit_positive,
-    RetentionCandidate,
+    explain_read_benefit, explain_write_benefit, select_retained, RetentionCandidate,
 };
 use crate::options::{Mode, Options};
 use crate::partition::{Level0, Partition};
-use crate::stats::{EngineStats, ReadSource};
+use crate::stats::{EngineStats, LatencyStats, ReadSource};
+use crate::telemetry::{
+    CostDecision, EventRing, LatencyRecorder, MetricKey, MetricsRegistry, MetricsSnapshot,
+    SpanKind, TraceSpan,
+};
 
 /// Engine errors.
 ///
@@ -205,11 +210,35 @@ pub struct Db {
     clock: AtomicU64,
     table_counter: AtomicU64,
     stats: EngineStats,
-    compaction_log: Mutex<Vec<CompactionEvent>>,
     wal: Option<Mutex<Wal>>,
     /// Mean value size observed (drives compaction trace balance).
     value_bytes_sum: AtomicU64,
     value_count: AtomicU64,
+    /// Metrics registry; every engine counter/gauge/histogram lives (or
+    /// is mirrored) here so one `metrics_snapshot()` sees everything.
+    registry: MetricsRegistry,
+    /// Capped span ring backing `compaction_log()` / snapshot spans.
+    ring: EventRing,
+    /// Monotonic span-id allocator (ids order span *completion*).
+    span_ids: AtomicU64,
+    /// Per-partition read-source counter handles (hot path: no registry
+    /// lookups on reads).
+    read_metrics: Vec<ReadMetrics>,
+    lat_reads: Arc<LatencyRecorder>,
+    lat_writes: Arc<LatencyRecorder>,
+    lat_scans: Arc<LatencyRecorder>,
+    commit_latency: Arc<LatencyRecorder>,
+    wal_sync_latency: Arc<LatencyRecorder>,
+    wal_appends: Arc<Counter>,
+    wal_syncs: Arc<Counter>,
+}
+
+/// Pre-fetched per-partition read counters (see [`Db::read_metrics`]).
+struct ReadMetrics {
+    reads: Arc<Counter>,
+    memtable: Arc<Counter>,
+    pm: Arc<Counter>,
+    miss: Arc<Counter>,
 }
 
 impl Db {
@@ -254,7 +283,34 @@ impl Db {
                 Some(Mutex::new(Wal::open_append(path, opts.cost)?))
             }
         };
-        let committers = (0..partitions.len()).map(|_| Committer::new()).collect();
+        let registry = MetricsRegistry::new();
+        let stats = EngineStats::default();
+        stats.register(&registry);
+        let committers = (0..partitions.len())
+            .map(|pid| Committer::new(CommitMetrics::register(&registry, pid)))
+            .collect();
+        // Pre-register the per-partition read counters (and the level-1
+        // SSD source — deeper levels register lazily on first hit) so a
+        // snapshot taken before any read still lists them at zero.
+        let read_metrics = (0..partitions.len())
+            .map(|pid| ReadMetrics {
+                reads: registry.counter(MetricKey::partition("partition_reads", pid)),
+                memtable: registry.counter(MetricKey::partition("read_source_memtable", pid)),
+                pm: registry.counter(MetricKey::partition("read_source_pm", pid)),
+                miss: registry.counter(MetricKey::partition("read_source_miss", pid)),
+            })
+            .collect();
+        for pid in 0..partitions.len() {
+            registry.counter(MetricKey::level("read_source_ssd", pid, 1));
+        }
+        let lat_reads = registry.histogram(MetricKey::global("read_latency"));
+        let lat_writes = registry.histogram(MetricKey::global("write_latency"));
+        let lat_scans = registry.histogram(MetricKey::global("scan_latency"));
+        let commit_latency = registry.histogram(MetricKey::global("group_commit_latency"));
+        let wal_sync_latency = registry.histogram(MetricKey::global("wal_sync_latency"));
+        let wal_appends = registry.counter(MetricKey::global("wal_appends"));
+        let wal_syncs = registry.counter(MetricKey::global("wal_syncs"));
+        let ring = EventRing::new(opts.event_log_capacity);
         Ok(Db {
             partitions: partitions.into_iter().map(RwLock::new).collect(),
             committers,
@@ -265,11 +321,21 @@ impl Db {
             visible_seq: AtomicU64::new(seq),
             clock: AtomicU64::new(0),
             table_counter: AtomicU64::new(0),
-            stats: EngineStats::default(),
-            compaction_log: Mutex::new(Vec::new()),
+            stats,
             wal,
             value_bytes_sum: AtomicU64::new(0),
             value_count: AtomicU64::new(0),
+            registry,
+            ring,
+            span_ids: AtomicU64::new(0),
+            read_metrics,
+            lat_reads,
+            lat_writes,
+            lat_scans,
+            commit_latency,
+            wal_sync_latency,
+            wal_appends,
+            wal_syncs,
             opts,
         })
     }
@@ -298,15 +364,124 @@ impl Db {
         &self.cache
     }
 
-    /// A point-in-time copy of the compaction log.
+    /// A point-in-time copy of the compaction log, derived from the
+    /// span ring. The ring is capped at
+    /// [`crate::options::Options::event_log_capacity`] events; when it
+    /// overflows, the *oldest* events are evicted (see
+    /// [`MetricsSnapshot::spans_dropped`] for the count), so this log is
+    /// a recent-history window, not a complete record.
     pub fn compaction_log(&self) -> Vec<CompactionEvent> {
-        self.compaction_log.lock().clone()
+        self.ring
+            .snapshot()
+            .into_iter()
+            .filter_map(|span| {
+                let kind = match span.kind {
+                    SpanKind::Flush => CompactionKind::Minor,
+                    SpanKind::Internal => CompactionKind::Internal,
+                    SpanKind::Major => CompactionKind::Major,
+                    SpanKind::GroupCommit => return None,
+                };
+                let work = (kind == CompactionKind::Major).then_some(CompactionWork {
+                    input_bytes: span.input_bytes,
+                    output_bytes: span.output_bytes,
+                    records: span.input_records,
+                    value_size: span.value_size,
+                });
+                Some(CompactionEvent {
+                    kind,
+                    partition: span.partition,
+                    duration: span.duration(),
+                    work,
+                })
+            })
+            .collect()
+    }
+
+    /// The engine's metrics registry (for custom instrumentation and
+    /// ad-hoc queries; most callers want [`Db::metrics_snapshot`]).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// A consistent-enough point-in-time view of every engine metric:
+    /// counters, gauges (refreshed on the spot), latency histograms, and
+    /// the recent compaction/flush spans. Counters are sampled without a
+    /// global pause, so values may skew by in-flight operations, but
+    /// each counter is individually monotonic across snapshots.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        // Refresh point-in-time gauges before collecting.
+        self.registry
+            .gauge(MetricKey::global("pm_used_bytes"))
+            .set(self.pool.used() as i64);
+        self.registry
+            .gauge(MetricKey::global("block_cache_used_bytes"))
+            .set(self.cache.used() as i64);
+        for (pid, lock) in self.partitions.iter().enumerate() {
+            let p = lock.read();
+            self.registry
+                .gauge(MetricKey::partition("memtable_bytes", pid))
+                .set(p.mem.approximate_size() as i64);
+            self.registry
+                .gauge(MetricKey::partition("pm_l0_bytes", pid))
+                .set(p.pm_bytes() as i64);
+            self.registry
+                .gauge(MetricKey::partition("l0_unsorted_tables", pid))
+                .set(p.unsorted_count() as i64);
+            self.registry
+                .gauge(MetricKey::partition("ssd_level_bytes", pid))
+                .set(p.levels.total_bytes() as i64);
+        }
+        let (mut counters, gauges, histograms) = self.registry.collect();
+        // Device and cache counters live in their own crates; mirror
+        // them into the snapshot (they are monotonic, so deltas work).
+        counters.insert(MetricKey::global("block_cache_hits"), self.cache.hits.get());
+        counters.insert(
+            MetricKey::global("block_cache_misses"),
+            self.cache.misses.get(),
+        );
+        counters.insert(
+            MetricKey::global("block_cache_evictions"),
+            self.cache.evictions.get(),
+        );
+        counters.insert(
+            MetricKey::global("pm_bytes_written"),
+            self.pool.stats().bytes_written.get(),
+        );
+        counters.insert(
+            MetricKey::global("pm_bytes_read"),
+            self.pool.stats().bytes_read.get(),
+        );
+        counters.insert(
+            MetricKey::global("ssd_bytes_written"),
+            self.device.stats().bytes_written.get(),
+        );
+        counters.insert(
+            MetricKey::global("ssd_bytes_read"),
+            self.device.stats().bytes_read.get(),
+        );
+        MetricsSnapshot::from_parts(
+            self.clock.load(Ordering::Relaxed),
+            counters,
+            gauges,
+            histograms,
+            self.ring.snapshot(),
+            self.ring.dropped(),
+        )
+    }
+
+    /// Foreground latency histograms (reads / writes / scans), copied
+    /// out of the registry.
+    pub fn latency_stats(&self) -> LatencyStats {
+        LatencyStats {
+            reads: self.lat_reads.histogram(),
+            writes: self.lat_writes.histogram(),
+            scans: self.lat_scans.histogram(),
+        }
     }
 
     /// Current logical clock.
     pub fn now(&self) -> SimInstant {
-        SimInstant::ORIGIN
-            + SimDuration::from_nanos(self.clock.load(Ordering::Relaxed))
+        SimInstant::ORIGIN + SimDuration::from_nanos(self.clock.load(Ordering::Relaxed))
     }
 
     /// Latest *published* sequence number (usable as a snapshot): every
@@ -334,14 +509,6 @@ impl Db {
         }
     }
 
-    /// Write amplification as a raw `(pm_bytes, ssd_bytes, user_bytes)`
-    /// tuple.
-    #[deprecated(note = "use `write_amp()`, which returns the typed `WriteAmp`")]
-    pub fn write_amplification(&self) -> (u64, u64, u64) {
-        let wa = self.write_amp();
-        (wa.pm_bytes, wa.ssd_bytes, wa.user_bytes)
-    }
-
     /// Mean observed value size (fallback 1 KiB).
     pub fn mean_value_size(&self) -> u32 {
         self.value_bytes_sum
@@ -355,11 +522,56 @@ impl Db {
         self.clock.fetch_add(d.as_nanos(), Ordering::Relaxed);
     }
 
+    fn next_span_id(&self) -> u64 {
+        self.span_ids.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// A zero-work span (used to close a begin/complete pair when the
+    /// operation turned out to be a no-op).
+    fn empty_span(
+        &self,
+        kind: SpanKind,
+        pid: usize,
+        start_nanos: u64,
+        cost: Option<CostDecision>,
+    ) -> TraceSpan {
+        TraceSpan {
+            id: self.next_span_id(),
+            kind,
+            partition: pid,
+            start_nanos,
+            end_nanos: start_nanos,
+            input_records: 0,
+            output_records: 0,
+            input_bytes: 0,
+            output_bytes: 0,
+            value_size: self.mean_value_size(),
+            cost,
+        }
+    }
+
+    /// Record a cost-model verdict: bump its trigger counter and notify
+    /// listeners. Called before the compaction the decision may trigger.
+    fn note_cost_decision(&self, decision: &CostDecision) {
+        if decision.triggered() {
+            let name = match decision {
+                CostDecision::ReadBenefit { .. } => "cost_eq1_triggers",
+                CostDecision::WriteBenefit { .. } => "cost_eq2_triggers",
+                CostDecision::HardCap { .. } => "cost_hard_cap_triggers",
+                CostDecision::Retention { .. } => "cost_retention_passes",
+            };
+            self.registry.counter(MetricKey::global(name)).incr();
+        }
+        self.opts.listeners.cost_decision(decision);
+    }
+
     /// Force the WAL to stable storage (no-op without a WAL).
     pub fn sync_wal(&self) -> Result<SimDuration, DbError> {
         let mut tl = Timeline::new();
         if let Some(wal) = &self.wal {
             wal.lock().sync(&mut tl)?;
+            self.wal_syncs.incr();
+            self.wal_sync_latency.record(tl.elapsed());
         }
         let d = tl.elapsed();
         self.advance(d);
@@ -371,22 +583,26 @@ impl Db {
     // ---------------------------------------------------------------
 
     /// Insert or update a key.
-    pub fn put(
-        &self,
-        user_key: &[u8],
-        value: &[u8],
-    ) -> Result<SimDuration, DbError> {
+    pub fn put(&self, user_key: &[u8], value: &[u8]) -> Result<SimDuration, DbError> {
         let pid = self.opts.partitioner.locate(user_key);
         self.submit(
             pid,
-            vec![BatchOp::Put { key: user_key.to_vec(), value: value.to_vec() }],
+            vec![BatchOp::Put {
+                key: user_key.to_vec(),
+                value: value.to_vec(),
+            }],
         )
     }
 
     /// Delete a key (writes a tombstone).
     pub fn delete(&self, user_key: &[u8]) -> Result<SimDuration, DbError> {
         let pid = self.opts.partitioner.locate(user_key);
-        self.submit(pid, vec![BatchOp::Delete { key: user_key.to_vec() }])
+        self.submit(
+            pid,
+            vec![BatchOp::Delete {
+                key: user_key.to_vec(),
+            }],
+        )
     }
 
     /// Apply a [`WriteBatch`]. Operations routed to one partition become
@@ -418,37 +634,32 @@ impl Db {
         let committer = &self.committers[pid];
         let ticket = Arc::new(Ticket::new(ops));
         committer.queue.lock().push(Arc::clone(&ticket));
-        loop {
-            if ticket.is_done() {
-                break;
-            }
+        if !ticket.is_done() {
             let _leader = committer.commit.lock();
-            if ticket.is_done() {
-                // A previous leader committed our ticket; its completion
-                // happened before it released the mutex we now hold.
-                break;
+            if !ticket.is_done() {
+                // We are the leader: our ticket is still queued (tickets
+                // only leave the queue inside this critical section). A
+                // done ticket here would mean a previous leader committed
+                // it, completing it before releasing the mutex we hold.
+                let group: Vec<Arc<Ticket>> = std::mem::take(&mut *committer.queue.lock());
+                debug_assert!(group.iter().any(|t| Arc::ptr_eq(t, &ticket)));
+                self.commit_group(pid, &group)?;
             }
-            // We are the leader: our ticket is still queued (tickets
-            // only leave the queue inside this critical section).
-            let group: Vec<Arc<Ticket>> =
-                std::mem::take(&mut *committer.queue.lock());
-            debug_assert!(group.iter().any(|t| Arc::ptr_eq(t, &ticket)));
-            self.commit_group(pid, &group)?;
-            break;
         }
-        ticket.take_result()
+        let result = ticket.take_result();
+        if let Ok(latency) = &result {
+            self.lat_writes.record(*latency);
+        }
+        result
     }
 
     /// Commit one group: allocate sequences, append every record to the
     /// WAL once, apply everything to the memtable under one partition
     /// write lock, publish the sequence range, then complete every
     /// ticket. Runs with the partition's commit mutex held.
-    fn commit_group(
-        &self,
-        pid: usize,
-        group: &[Arc<Ticket>],
-    ) -> Result<(), DbError> {
+    fn commit_group(&self, pid: usize, group: &[Arc<Ticket>]) -> Result<(), DbError> {
         let mut tl = Timeline::new();
+        let start_nanos = self.clock.load(Ordering::Relaxed);
         let total_ops: usize = group.iter().map(|t| t.ops.len()).sum();
         let base = self.seq.fetch_add(total_ops as u64, Ordering::Relaxed);
         let max_seq = base + total_ops as u64;
@@ -482,10 +693,12 @@ impl Db {
                         }
                         return Ok(());
                     }
+                    self.wal_appends.incr();
                 }
             }
         }
         // One memtable apply for the whole group.
+        let mut group_bytes = 0u64;
         let mem_full = {
             let mut p = self.partitions[pid].write();
             let mut seq = base;
@@ -493,9 +706,7 @@ impl Db {
                 for op in &ticket.ops {
                     seq += 1;
                     let (key, value, kind) = match op {
-                        BatchOp::Put { key, value } => {
-                            (key, value.as_slice(), KeyKind::Value)
-                        }
+                        BatchOp::Put { key, value } => (key, value.as_slice(), KeyKind::Value),
                         BatchOp::Delete { key } => {
                             self.stats.deletes.incr();
                             (key, &b""[..], KeyKind::Delete)
@@ -504,6 +715,7 @@ impl Db {
                     p.note_write(key);
                     p.mem.insert(key, seq, kind, value, &mut tl);
                     self.stats.puts.incr();
+                    group_bytes += (key.len() + value.len()) as u64;
                     self.stats
                         .user_bytes_written
                         .add((key.len() + value.len()) as u64);
@@ -520,13 +732,34 @@ impl Db {
         self.visible_seq.fetch_max(max_seq, Ordering::AcqRel);
         self.stats.group_commits.incr();
         self.stats.grouped_writes.add(total_ops as u64);
+        let committer = &self.committers[pid];
+        committer.metrics.group_commits.incr();
+        committer.metrics.grouped_writes.add(total_ops as u64);
         let elapsed = tl.elapsed();
         self.advance(elapsed);
+        self.commit_latency.record(elapsed);
+        // Group-commit spans go to listeners and metrics only — the
+        // ring is reserved for compaction history.
+        if !self.opts.listeners.is_empty() {
+            let span = TraceSpan {
+                id: self.next_span_id(),
+                kind: SpanKind::GroupCommit,
+                partition: pid,
+                start_nanos,
+                end_nanos: start_nanos + elapsed.as_nanos(),
+                input_records: total_ops as u64,
+                output_records: total_ops as u64,
+                input_bytes: group_bytes,
+                output_bytes: group_bytes,
+                value_size: self.mean_value_size(),
+                cost: None,
+            };
+            self.opts.listeners.group_commit(&span);
+        }
         // Charge each ticket its share of the group's virtual time.
         for ticket in group {
             let share = SimDuration::from_nanos(
-                elapsed.as_nanos() * ticket.ops.len() as u64
-                    / total_ops.max(1) as u64,
+                elapsed.as_nanos() * ticket.ops.len() as u64 / total_ops.max(1) as u64,
             );
             ticket.complete(Ok(share));
         }
@@ -562,32 +795,51 @@ impl Db {
         let pid = self.opts.partitioner.locate(user_key);
         let guard = self.partitions[pid].read();
         guard.counters.reads.incr();
-        let (hit, source) = if let Some(hit) = guard.mem.get(user_key, snapshot, &mut tl)
+        let (hit, source, ssd_level) = if let Some(hit) = guard.mem.get(user_key, snapshot, &mut tl)
         {
-            (Some(hit), ReadSource::MemTable)
+            (Some(hit), ReadSource::MemTable, None)
         } else if let Level0::Pm(l0) = &guard.level0 {
             let l0_snap = l0.snapshot();
             drop(guard);
             if let Some(hit) = l0_snap.get(user_key, snapshot, &mut tl) {
-                (Some(hit), ReadSource::Pm)
+                (Some(hit), ReadSource::Pm, None)
             } else {
                 let guard = self.partitions[pid].read();
                 match guard.levels.get(user_key, snapshot, &mut tl) {
-                    Some(hit) => (Some(hit), ReadSource::Ssd),
-                    None => (None, ReadSource::Miss),
+                    Some((hit, level)) => (Some(hit), ReadSource::Ssd, Some(level)),
+                    None => (None, ReadSource::Miss, None),
                 }
             }
         } else {
             guard.get_below_memtable(user_key, snapshot, &mut tl)
         };
         self.stats.note_read(source);
+        self.note_read_source(pid, source, ssd_level);
         let latency = tl.elapsed();
         self.advance(latency);
+        self.lat_reads.record(latency);
         Ok(ReadOutcome {
             value: hit.and_then(|l| l.into_value()),
             source,
             latency,
         })
+    }
+
+    /// Bump the per-partition (and, for SSD hits, per-level) read-source
+    /// counters. `level` is 0 for an SSD level-0 table hit, 1+ for the
+    /// sorted levels.
+    fn note_read_source(&self, pid: usize, source: ReadSource, level: Option<usize>) {
+        let m = &self.read_metrics[pid];
+        m.reads.incr();
+        match source {
+            ReadSource::MemTable => m.memtable.incr(),
+            ReadSource::Pm => m.pm.incr(),
+            ReadSource::Miss => m.miss.incr(),
+            ReadSource::Ssd => self
+                .registry
+                .counter(MetricKey::level("read_source_ssd", pid, level.unwrap_or(0)))
+                .incr(),
+        }
     }
 
     /// Range scan over `[start, end)`, at most `limit` live entries.
@@ -610,6 +862,7 @@ impl Db {
         for pid in first_pid..=last_pid {
             let partition = self.partitions[pid].read();
             partition.counters.reads.incr();
+            self.read_metrics[pid].reads.incr();
             let remaining = limit - out.len();
             // Per-source limits count raw entries, but shadowed versions
             // and tombstones are dropped by the merge — so a truncated
@@ -620,8 +873,7 @@ impl Db {
             let mut per_source = remaining.max(1);
             let merged = loop {
                 let mut attempt = Timeline::new();
-                let sources =
-                    partition.scan_sources(start, end, per_source, &mut attempt);
+                let sources = partition.scan_sources(start, end, per_source, &mut attempt);
                 // Merged results are only complete up to the smallest
                 // last key among truncated sources (beyond it, a
                 // truncated source may be hiding smaller keys than what
@@ -638,23 +890,13 @@ impl Db {
                         }
                     }
                 }
-                let mut merged = crate::handle::merge_dedup(
-                    sources,
-                    false,
-                    &self.opts.cost,
-                    &mut attempt,
-                );
+                let mut merged =
+                    crate::handle::merge_dedup(sources, false, &self.opts.cost, &mut attempt);
                 if let Some(b) = &bound {
                     merged.retain(|e| e.user_key.as_slice() <= b.as_slice());
                 }
-                let live = merged
-                    .iter()
-                    .filter(|e| e.kind == KeyKind::Value)
-                    .count();
-                if live >= remaining
-                    || bound.is_none()
-                    || per_source >= usize::MAX / 8
-                {
+                let live = merged.iter().filter(|e| e.kind == KeyKind::Value).count();
+                if live >= remaining || bound.is_none() || per_source >= usize::MAX / 8 {
                     tl.charge(attempt.elapsed());
                     break merged;
                 }
@@ -675,6 +917,7 @@ impl Db {
         }
         let latency = tl.elapsed();
         self.advance(latency);
+        self.lat_scans.record(latency);
         Ok((out, latency))
     }
 
@@ -694,9 +937,7 @@ impl Db {
                 }
                 Ok(())
             }
-            CompactionRequest::Internal { partition } => {
-                self.do_internal(partition)
-            }
+            CompactionRequest::Internal { partition } => self.do_internal(partition, None),
             CompactionRequest::Major { partition } => self.do_major(partition),
             CompactionRequest::MajorWithRetention => self.do_retention(),
         }
@@ -718,7 +959,7 @@ impl Db {
     /// Run an internal compaction on one partition now.
     #[deprecated(note = "use `compact(CompactionRequest::Internal { partition })`")]
     pub fn run_internal_compaction(&self, pid: usize) -> Result<(), DbError> {
-        self.do_internal(pid)
+        self.do_internal(pid, None)
     }
 
     /// Major-compact one partition (its whole level-0 into level-1).
@@ -735,8 +976,16 @@ impl Db {
 
     fn do_flush(&self, pid: usize) -> Result<(), DbError> {
         let mut tl = Timeline::new();
+        let start_nanos = self.clock.load(Ordering::Relaxed);
+        self.opts.listeners.flush_begin(pid);
+        let pm_written_before = self.pool.stats().bytes_written.get();
+        let ssd_written_before = self.device.stats().bytes_written.get();
         if let Some(wal) = &self.wal {
-            wal.lock().sync(&mut tl)?;
+            let mut sync_tl = Timeline::new();
+            wal.lock().sync(&mut sync_tl)?;
+            self.wal_syncs.incr();
+            self.wal_sync_latency.record(sync_tl.elapsed());
+            tl.charge(sync_tl.elapsed());
         }
         let report = self.partitions[pid].write().minor_compaction(
             &self.opts,
@@ -746,16 +995,38 @@ impl Db {
             &self.table_counter,
             &mut tl,
         )?;
-        if report.is_some() {
-            self.stats.minor_compactions.incr();
-            let d = tl.elapsed();
-            self.advance(d);
-            self.compaction_log.lock().push(CompactionEvent {
-                kind: CompactionKind::Minor,
-                partition: pid,
-                duration: d,
-                work: None,
-            });
+        let flushed = match report {
+            Some(report) => {
+                self.stats.minor_compactions.incr();
+                let d = tl.elapsed();
+                self.advance(d);
+                let span = TraceSpan {
+                    id: self.next_span_id(),
+                    kind: SpanKind::Flush,
+                    partition: pid,
+                    start_nanos,
+                    end_nanos: start_nanos + d.as_nanos(),
+                    input_records: report.entries as u64,
+                    output_records: report.entries as u64,
+                    input_bytes: report.bytes as u64,
+                    output_bytes: (self.pool.stats().bytes_written.get() - pm_written_before)
+                        + (self.device.stats().bytes_written.get() - ssd_written_before),
+                    value_size: self.mean_value_size(),
+                    cost: None,
+                };
+                self.ring.push(span.clone());
+                self.opts.listeners.flush_complete(&span);
+                true
+            }
+            None => {
+                // Nothing to flush: close the begin/complete pair with a
+                // zero-work span.
+                let span = self.empty_span(SpanKind::Flush, pid, start_nanos, None);
+                self.opts.listeners.flush_complete(&span);
+                false
+            }
+        };
+        if flushed {
             self.apply_strategy(pid)?;
         }
         Ok(())
@@ -769,12 +1040,12 @@ impl Db {
         match self.opts.mode {
             Mode::PmBlade => {
                 let now = self.now();
-                let (run_internal, _unsorted) = {
+                let (d_eq1, d_eq2, d_hard, unsorted) = {
                     let partition = self.partitions[pid].read();
                     let unsorted = partition.unsorted_count();
-                    let hard = unsorted >= self.opts.l0_unsorted_hard_cap;
                     // Line 1-3: Eq 1 — read-amplification relief.
-                    let eq1 = read_benefit_positive(
+                    let d_eq1 = explain_read_benefit(
+                        pid,
                         &partition.counters,
                         unsorted,
                         now,
@@ -786,16 +1057,31 @@ impl Db {
                         Level0::Pm(l0) => l0.entries(),
                         _ => 0,
                     };
-                    let eq2 = partition.pm_bytes() >= self.opts.tau_w
-                        && write_benefit_positive(
-                            &partition.counters,
-                            l0_records,
-                            &self.opts.scalars,
-                        );
-                    ((eq1 || eq2 || hard) && unsorted >= 2, unsorted)
+                    let d_eq2 = explain_write_benefit(
+                        pid,
+                        &partition.counters,
+                        l0_records,
+                        partition.pm_bytes() >= self.opts.tau_w,
+                        &self.opts.scalars,
+                    );
+                    let d_hard = CostDecision::HardCap {
+                        partition: pid,
+                        unsorted,
+                        cap: self.opts.l0_unsorted_hard_cap,
+                        triggered: unsorted >= self.opts.l0_unsorted_hard_cap,
+                    };
+                    (d_eq1, d_eq2, d_hard, unsorted)
                 };
+                self.note_cost_decision(&d_eq1);
+                self.note_cost_decision(&d_eq2);
+                self.note_cost_decision(&d_hard);
+                let run_internal =
+                    (d_eq1.triggered() || d_eq2.triggered() || d_hard.triggered()) && unsorted >= 2;
                 if run_internal {
-                    self.do_internal(pid)?;
+                    // Attribute the compaction to the first rule that
+                    // fired (Algorithm 1 evaluates them in this order).
+                    let cause = [d_eq1, d_eq2, d_hard].into_iter().find(|d| d.triggered());
+                    self.do_internal(pid, cause)?;
                 }
                 // Line 7-9: Eq 3 — major compaction with retention.
                 if self.pool.used() >= self.opts.tau_m {
@@ -809,8 +1095,7 @@ impl Db {
                 // is compacted to level-1 — leaving the PM capacity
                 // underutilized, exactly the behaviour the paper
                 // criticises.
-                if self.partitions[pid].read().unsorted_count()
-                    >= self.opts.l0_table_trigger
+                if self.partitions[pid].read().unsorted_count() >= self.opts.l0_table_trigger
                     || self.pool.used() >= self.opts.tau_m
                 {
                     self.do_major(pid)?;
@@ -843,19 +1128,29 @@ impl Db {
     /// the old tables, so it needs PM headroom; when the pool cannot fit
     /// the new run the engine falls back to a major compaction, which
     /// frees the partition's PM space instead.
-    fn do_internal(&self, pid: usize) -> Result<(), DbError> {
+    fn do_internal(&self, pid: usize, cost: Option<CostDecision>) -> Result<(), DbError> {
         let mut tl = Timeline::new();
+        let start_nanos = self.clock.load(Ordering::Relaxed);
+        self.opts
+            .listeners
+            .compaction_begin(SpanKind::Internal, pid);
+        let pm_read_before = self.pool.stats().bytes_read.get();
+        let pm_written_before = self.pool.stats().bytes_written.get();
         let mut p = self.partitions[pid].write();
-        let result = match p.internal_compaction(&self.opts, &self.pool, &mut tl)
-        {
+        let result = match p.internal_compaction(&self.opts, &self.pool, &mut tl) {
             Ok(r) => r,
             Err(DbError::Pm(PmError::OutOfSpace { .. })) => {
                 drop(p);
+                // PM cannot fit the new sorted run: close this span
+                // empty and fall back to a major compaction, which
+                // frees the partition's PM space instead.
+                let span = self.empty_span(SpanKind::Internal, pid, start_nanos, cost);
+                self.opts.listeners.compaction_complete(&span);
                 return self.do_major(pid);
             }
             Err(e) => return Err(e),
         };
-        if let Some((before, after, released)) = result {
+        let span = if let Some((before, after, released)) = result {
             let now = self.now();
             p.counters.reset(now);
             drop(p);
@@ -866,19 +1161,34 @@ impl Db {
                 .add((before - after) as u64);
             let d = tl.elapsed();
             self.advance(d);
-            self.compaction_log.lock().push(CompactionEvent {
-                kind: CompactionKind::Internal,
+            let span = TraceSpan {
+                id: self.next_span_id(),
+                kind: SpanKind::Internal,
                 partition: pid,
-                duration: d,
-                work: None,
-            });
-        }
+                start_nanos,
+                end_nanos: start_nanos + d.as_nanos(),
+                input_records: before as u64,
+                output_records: after as u64,
+                input_bytes: self.pool.stats().bytes_read.get() - pm_read_before,
+                output_bytes: self.pool.stats().bytes_written.get() - pm_written_before,
+                value_size: self.mean_value_size(),
+                cost,
+            };
+            self.ring.push(span.clone());
+            span
+        } else {
+            drop(p);
+            self.empty_span(SpanKind::Internal, pid, start_nanos, cost)
+        };
+        self.opts.listeners.compaction_complete(&span);
         Ok(())
     }
 
     /// Major-compact one partition (its whole level-0 into level-1).
     fn do_major(&self, pid: usize) -> Result<(), DbError> {
         let mut tl = Timeline::new();
+        let start_nanos = self.clock.load(Ordering::Relaxed);
+        self.opts.listeners.compaction_begin(SpanKind::Major, pid);
         // Device counters are global: a compaction racing on another
         // partition skews this event's work attribution but never the
         // cumulative totals.
@@ -911,19 +1221,21 @@ impl Db {
         self.stats.major_compactions.incr();
         let d = tl.elapsed();
         self.advance(d);
-        let work = CompactionWork {
-            input_bytes: self.pool.stats().bytes_read.get() - pm_read_before,
-            output_bytes: self.device.stats().bytes_written.get()
-                - ssd_written_before,
-            records,
-            value_size: self.mean_value_size(),
-        };
-        self.compaction_log.lock().push(CompactionEvent {
-            kind: CompactionKind::Major,
+        let span = TraceSpan {
+            id: self.next_span_id(),
+            kind: SpanKind::Major,
             partition: pid,
-            duration: d,
-            work: Some(work),
-        });
+            start_nanos,
+            end_nanos: start_nanos + d.as_nanos(),
+            input_records: records,
+            output_records: records,
+            input_bytes: self.pool.stats().bytes_read.get() - pm_read_before,
+            output_bytes: self.device.stats().bytes_written.get() - ssd_written_before,
+            value_size: self.mean_value_size(),
+            cost: None,
+        };
+        self.ring.push(span.clone());
+        self.opts.listeners.compaction_complete(&span);
         Ok(())
     }
 
@@ -945,10 +1257,19 @@ impl Db {
             })
             .collect();
         let retained = select_retained(&candidates, self.opts.tau_t);
-        for c in &candidates {
-            if !retained.contains(&c.partition) && c.bytes > 0 {
-                self.do_major(c.partition)?;
-            }
+        let victims: Vec<usize> = candidates
+            .iter()
+            .filter(|c| !retained.contains(&c.partition) && c.bytes > 0)
+            .map(|c| c.partition)
+            .collect();
+        self.note_cost_decision(&CostDecision::Retention {
+            pm_used: self.pool.used(),
+            budget: self.opts.tau_t,
+            retained: retained.clone(),
+            victims: victims.clone(),
+        });
+        for pid in victims {
+            self.do_major(pid)?;
         }
         // Safety: if the retained set alone still exceeds τ_m (e.g. a
         // single enormous partition), evict coldest-first until it fits.
@@ -957,14 +1278,11 @@ impl Db {
                 .into_iter()
                 .map(|pid| {
                     let p = self.partitions[pid].read();
-                    let density = p.counters.reads.get() as f64
-                        / p.pm_bytes().max(1) as f64;
+                    let density = p.counters.reads.get() as f64 / p.pm_bytes().max(1) as f64;
                     (pid, density)
                 })
                 .collect();
-            by_density.sort_by(|a, b| {
-                a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal)
-            });
+            by_density.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
             for (pid, _) in by_density {
                 if self.pool.used() < self.opts.tau_m {
                     break;
@@ -1078,7 +1396,10 @@ mod tests {
         db.put(b"a", b"0").unwrap();
         let before = db.snapshot();
         let mut batch = WriteBatch::new();
-        batch.put(&b"a"[..], &b"1"[..]).put(&b"b"[..], &b"1"[..]).delete(&b"c"[..]);
+        batch
+            .put(&b"a"[..], &b"1"[..])
+            .put(&b"b"[..], &b"1"[..])
+            .delete(&b"c"[..]);
         let latency = db.write_batch(batch).unwrap();
         assert!(latency > SimDuration::ZERO);
         let after = db.snapshot();
@@ -1101,7 +1422,10 @@ mod tests {
         assert!(db.stats().group_commits.get() >= 1);
         assert!(db.stats().grouped_writes.get() >= 3);
         // An empty batch is a no-op.
-        assert_eq!(db.write_batch(WriteBatch::new()).unwrap(), SimDuration::ZERO);
+        assert_eq!(
+            db.write_batch(WriteBatch::new()).unwrap(),
+            SimDuration::ZERO
+        );
     }
 
     #[test]
@@ -1119,10 +1443,7 @@ mod tests {
         // Everything still readable.
         for i in (0..1500).step_by(173) {
             let k = format!("key{:08}", i);
-            assert!(
-                db.get(k.as_bytes()).unwrap().value.is_some(),
-                "missing {k}"
-            );
+            assert!(db.get(k.as_bytes()).unwrap().value.is_some(), "missing {k}");
         }
     }
 
@@ -1178,8 +1499,7 @@ mod tests {
         // Overwrite a few in the memtable.
         db.put(b"a0010", b"new").unwrap();
         db.delete(b"a0011").unwrap();
-        let (items, latency) =
-            db.scan(b"a0005", Some(b"a0015"), 100).unwrap();
+        let (items, latency) = db.scan(b"a0005", Some(b"a0015"), 100).unwrap();
         let keys: Vec<String> = items
             .iter()
             .map(|(k, _)| String::from_utf8(k.clone()).unwrap())
@@ -1209,16 +1529,14 @@ mod tests {
     #[test]
     fn partitioned_engine_routes_and_scans_across_partitions() {
         let mut opts = small_opts(Mode::PmBlade);
-        opts.partitioner =
-            Partitioner::Ranges(vec![b"key00000500".to_vec()]);
+        opts.partitioner = Partitioner::Ranges(vec![b"key00000500".to_vec()]);
         let db = Db::open(opts).unwrap();
         fill(&db, 1000, 32, "p");
         db.compact(CompactionRequest::FlushAll).unwrap();
         assert!(db.get(b"key00000100").unwrap().value.is_some());
         assert!(db.get(b"key00000900").unwrap().value.is_some());
         // Scan spanning the boundary.
-        let (items, _) =
-            db.scan(b"key00000490", Some(b"key00000510"), 100).unwrap();
+        let (items, _) = db.scan(b"key00000490", Some(b"key00000510"), 100).unwrap();
         assert_eq!(items.len(), 20);
     }
 
@@ -1234,10 +1552,6 @@ mod tests {
         assert!(wa.pm_bytes > 0, "flushes write PM");
         // Amplification factor must exceed 1 once compactions happened.
         assert!(wa.factor() >= 1.0, "{wa:?}");
-        // The deprecated tuple accessor reports the same numbers.
-        #[allow(deprecated)]
-        let (pm, ssd, user) = db.write_amplification();
-        assert_eq!((pm, ssd, user), (wa.pm_bytes, wa.ssd_bytes, wa.user_bytes));
     }
 
     #[test]
@@ -1257,8 +1571,7 @@ mod tests {
 
     #[test]
     fn wal_recovery_restores_unflushed_writes() {
-        let dir = std::env::temp_dir()
-            .join(format!("pmblade-engine-wal-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("pmblade-engine-wal-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let mut opts = small_opts(Mode::PmBlade);
         opts.wal_dir = Some(dir.clone());
@@ -1296,6 +1609,75 @@ mod tests {
             .iter()
             .filter(|e| e.kind == CompactionKind::Major)
             .all(|e| e.work.is_some()));
+    }
+
+    #[test]
+    fn compaction_log_is_capped_by_event_log_capacity() {
+        let mut opts = small_opts(Mode::PmBlade);
+        opts.event_log_capacity = 4;
+        let db = Db::open(opts).unwrap();
+        fill(&db, 1500, 64, "r");
+        db.compact(CompactionRequest::FlushAll).unwrap();
+        let log = db.compaction_log();
+        assert!(log.len() <= 4, "ring must cap the log: {}", log.len());
+        let snap = db.metrics_snapshot();
+        assert!(snap.spans_dropped > 0, "older events were evicted");
+    }
+
+    #[test]
+    fn metrics_snapshot_covers_engine_activity() {
+        let mut opts = small_opts(Mode::PmBlade);
+        opts.tau_m = 128 << 10;
+        opts.l0_unsorted_hard_cap = 2;
+        let db = Db::open(opts).unwrap();
+        fill(&db, 2000, 64, "s");
+        for i in (0..2000).step_by(7) {
+            let k = format!("key{:08}", i);
+            db.get(k.as_bytes()).unwrap();
+        }
+        db.scan(b"key00000100", Some(b"key00000200"), 50).unwrap();
+        let snap = db.metrics_snapshot();
+        // Global counters absorbed from EngineStats.
+        assert_eq!(snap.counter("puts"), 2000);
+        assert!(snap.counter("gets") > 0);
+        assert_eq!(snap.counter("scans"), 1);
+        // Per-partition group-commit counters.
+        assert!(snap.counter_at(&MetricKey::partition("group_commits", 0)) > 0);
+        // Read-source split, keyed by partition.
+        assert!(
+            snap.counter("partition_reads") >= snap.counter("gets"),
+            "scans also count partition touches"
+        );
+        // Device counters are mirrored in.
+        assert!(snap.counter("pm_bytes_written") > 0);
+        // Latency histograms are populated.
+        let reads = &snap.histograms[&MetricKey::global("read_latency")];
+        assert!(reads.count > 0 && reads.p50_nanos > 0);
+        let writes = &snap.histograms[&MetricKey::global("write_latency")];
+        assert_eq!(writes.count, 2000);
+        // At least one complete compaction span with virtual timing.
+        assert!(!snap.spans.is_empty());
+        assert!(snap.spans.iter().all(|s| s.end_nanos >= s.start_nanos));
+        // Deltas are non-negative and reflect new work only.
+        let before = db.metrics_snapshot();
+        db.put(b"key-extra", b"v").unwrap();
+        let after = db.metrics_snapshot();
+        let delta = after.delta(&before);
+        assert_eq!(delta.counter("puts"), 1);
+        assert_eq!(delta.counter("gets"), 0);
+    }
+
+    #[test]
+    fn latency_stats_capture_foreground_ops() {
+        let db = Db::open(small_opts(Mode::PmBlade)).unwrap();
+        db.put(b"k", b"v").unwrap();
+        db.get(b"k").unwrap();
+        db.scan(b"a", None, 10).unwrap();
+        let lat = db.latency_stats();
+        assert_eq!(lat.writes.count(), 1);
+        assert_eq!(lat.reads.count(), 1);
+        assert_eq!(lat.scans.count(), 1);
+        assert!(lat.reads.quantile(0.5) > 0);
     }
 
     #[test]
@@ -1338,10 +1720,7 @@ mod tests {
         for t in 0..4 {
             for i in 0..200 {
                 let k = format!("t{t}-{i:05}");
-                assert!(
-                    db.get(k.as_bytes()).unwrap().value.is_some(),
-                    "lost {k}"
-                );
+                assert!(db.get(k.as_bytes()).unwrap().value.is_some(), "lost {k}");
             }
         }
         assert_eq!(db.stats().puts.get(), 800);

@@ -30,8 +30,7 @@ impl PmTableHandle {
     /// Does this table's range intersect `[start, end)`?
     pub fn overlaps_range(&self, start: &[u8], end: Option<&[u8]>) -> bool {
         let after_start = self.last.as_slice() >= start;
-        let before_end =
-            end.is_none_or(|e| self.first.as_slice() < e);
+        let before_end = end.is_none_or(|e| self.first.as_slice() < e);
         after_start && before_end
     }
 }
@@ -64,8 +63,7 @@ impl SsTableHandle {
 
     pub fn overlaps_range(&self, start: &[u8], end: Option<&[u8]>) -> bool {
         let after_start = self.last.as_slice() >= start;
-        let before_end =
-            end.is_none_or(|e| self.first.as_slice() < e);
+        let before_end = end.is_none_or(|e| self.first.as_slice() < e);
         after_start && before_end
     }
 
@@ -134,39 +132,37 @@ pub fn build_pm_tables(
     let mut out = Vec::new();
     let mut builder = PmTableBuilder::new(opts);
     let mut first: Option<Vec<u8>> = None;
-    let flush =
-        |builder: &mut PmTableBuilder,
-         first: &mut Option<Vec<u8>>,
-         last: &[u8],
-         tl: &mut Timeline|
-         -> Result<Option<PmTableHandle>, pm_device::PmError> {
-            if builder.entry_count() == 0 {
-                return Ok(None);
-            }
-            let done = std::mem::replace(builder, PmTableBuilder::new(opts));
-            let entries = done.entry_count();
-            let (bytes, _stats) = done.finish(cost, tl);
-            let len = bytes.len();
-            let region = pool.publish(bytes, tl)?;
-            let region_id = region.id();
-            let table =
-                PmTable::open(region).expect("just-built table parses");
-            let max_seq = table
-                .scan_all(&mut Timeline::new())
-                .iter()
-                .map(|e| e.seq)
-                .max()
-                .unwrap_or(0);
-            Ok(Some(PmTableHandle {
-                first: first.take().expect("non-empty builder has first"),
-                last: last.to_vec(),
-                table: Arc::new(table),
-                region: region_id,
-                entries,
-                bytes: len,
-                max_seq,
-            }))
-        };
+    let flush = |builder: &mut PmTableBuilder,
+                 first: &mut Option<Vec<u8>>,
+                 last: &[u8],
+                 tl: &mut Timeline|
+     -> Result<Option<PmTableHandle>, pm_device::PmError> {
+        if builder.entry_count() == 0 {
+            return Ok(None);
+        }
+        let done = std::mem::replace(builder, PmTableBuilder::new(opts));
+        let entries = done.entry_count();
+        let (bytes, _stats) = done.finish(cost, tl);
+        let len = bytes.len();
+        let region = pool.publish(bytes, tl)?;
+        let region_id = region.id();
+        let table = PmTable::open(region).expect("just-built table parses");
+        let max_seq = table
+            .scan_all(&mut Timeline::new())
+            .iter()
+            .map(|e| e.seq)
+            .max()
+            .unwrap_or(0);
+        Ok(Some(PmTableHandle {
+            first: first.take().expect("non-empty builder has first"),
+            last: last.to_vec(),
+            table: Arc::new(table),
+            region: region_id,
+            entries,
+            bytes: len,
+            max_seq,
+        }))
+    };
     let mut last_key: Vec<u8> = Vec::new();
     let mut pending_bytes = 0usize;
     for entry in entries {
@@ -233,8 +229,9 @@ mod tests {
     fn merge_result_is_sorted_unique() {
         let cost = CostModel::default();
         let mut tl = Timeline::new();
-        let a: Vec<OwnedEntry> =
-            (0..50).map(|i| e(&format!("k{:03}", i * 2), i + 1, "a")).collect();
+        let a: Vec<OwnedEntry> = (0..50)
+            .map(|i| e(&format!("k{:03}", i * 2), i + 1, "a"))
+            .collect();
         let b: Vec<OwnedEntry> = (0..50)
             .map(|i| e(&format!("k{:03}", i * 2 + 1), 100 + i, "b"))
             .collect();

@@ -115,11 +115,8 @@ impl PmLevel0 {
 
     /// Read every entry of every table (internal-compaction input).
     pub fn scan_all_sources(&self, tl: &mut Timeline) -> Vec<Vec<OwnedEntry>> {
-        let mut sources: Vec<Vec<OwnedEntry>> = self
-            .unsorted
-            .iter()
-            .map(|h| h.table.scan_all(tl))
-            .collect();
+        let mut sources: Vec<Vec<OwnedEntry>> =
+            self.unsorted.iter().map(|h| h.table.scan_all(tl)).collect();
         let mut run = Vec::new();
         for handle in &self.sorted {
             run.extend(handle.table.scan_all(tl));
@@ -141,11 +138,7 @@ impl PmLevel0 {
 
     /// Replace the whole level-0 with a new sorted run (after internal
     /// compaction). Returns bytes released by the old tables.
-    pub fn replace_with_sorted(
-        &mut self,
-        run: Vec<PmTableHandle>,
-        pool: &PmPool,
-    ) -> usize {
+    pub fn replace_with_sorted(&mut self, run: Vec<PmTableHandle>, pool: &PmPool) -> usize {
         debug_assert!(run.windows(2).all(|w| w[0].last < w[1].first));
         let released = self.clear(pool);
         self.sorted = run;
@@ -237,10 +230,7 @@ mod tests {
         OwnedEntry::value(k.as_bytes().to_vec(), seq, v.as_bytes().to_vec())
     }
 
-    fn table(
-        pool: &PmPool,
-        entries: Vec<OwnedEntry>,
-    ) -> PmTableHandle {
+    fn table(pool: &PmPool, entries: Vec<OwnedEntry>) -> PmTableHandle {
         let cost = CostModel::default();
         let mut sorted = entries;
         sorted.sort_by(|a, b| a.internal_cmp(b));
@@ -335,10 +325,7 @@ mod tests {
     fn scan_sources_respects_range() {
         let pool = pool();
         let mut l0 = PmLevel0::new();
-        l0.push_unsorted(table(
-            &pool,
-            vec![entry("a", 1, "1"), entry("d", 2, "2")],
-        ));
+        l0.push_unsorted(table(&pool, vec![entry("a", 1, "1"), entry("d", 2, "2")]));
         l0.sorted = vec![table(&pool, vec![entry("b", 3, "3")])];
         let mut tl = Timeline::new();
         let sources = l0.scan_sources(b"b", Some(b"d"), usize::MAX, &mut tl);

@@ -12,8 +12,8 @@ use std::sync::Arc;
 use encoding::key::{self, SequenceNumber};
 use pmtable::{Lookup, OwnedEntry};
 use sim::Timeline;
-use sstable::{BlockCache, SsTable, SsTableBuilder, SsTableOptions};
 use ssd_device::SsdDevice;
+use sstable::{BlockCache, SsTable, SsTableBuilder, SsTableOptions};
 
 use crate::handle::SsTableHandle;
 
@@ -55,22 +55,25 @@ impl SsdLevels {
     }
 
     /// Point lookup: walk levels top-down; within a level at most one
-    /// table overlaps.
+    /// table overlaps. Returns the hit plus the 1-based level that
+    /// served it (for the per-level read-source metrics).
     pub fn get(
         &self,
         user_key: &[u8],
         snapshot: SequenceNumber,
         tl: &mut Timeline,
-    ) -> Option<Lookup> {
-        for level in &self.levels {
+    ) -> Option<(Lookup, usize)> {
+        for (depth, level) in self.levels.iter().enumerate() {
             let idx = level.partition_point(|h| h.last.as_slice() < user_key);
-            let Some(handle) = level.get(idx) else { continue };
+            let Some(handle) = level.get(idx) else {
+                continue;
+            };
             if !handle.overlaps_key(user_key) {
                 continue;
             }
             match handle.table.get(user_key, snapshot, tl) {
                 Ok(Some((seq, kind, value))) => {
-                    return Some(Lookup { seq, kind, value })
+                    return Some((Lookup { seq, kind, value }, depth + 1))
                 }
                 Ok(None) => continue,
                 Err(_) => continue,
@@ -133,12 +136,7 @@ impl SsdLevels {
     }
 
     /// All tables of level `n` overlapping `[first, last]`.
-    pub fn overlapping(
-        &self,
-        level: usize,
-        first: &[u8],
-        last: &[u8],
-    ) -> Vec<SsTableHandle> {
+    pub fn overlapping(&self, level: usize, first: &[u8], last: &[u8]) -> Vec<SsTableHandle> {
         self.levels
             .get(level - 1)
             .map(|tables| {
@@ -154,9 +152,12 @@ impl SsdLevels {
 
 impl std::fmt::Debug for SsdLevels {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let sizes: Vec<u64> =
-            (1..=self.levels.len()).map(|l| self.level_bytes(l)).collect();
-        f.debug_struct("SsdLevels").field("level_bytes", &sizes).finish()
+        let sizes: Vec<u64> = (1..=self.levels.len())
+            .map(|l| self.level_bytes(l))
+            .collect();
+        f.debug_struct("SsdLevels")
+            .field("level_bytes", &sizes)
+            .finish()
     }
 }
 
@@ -196,8 +197,7 @@ pub fn build_ss_tables(
             }
         }
         let (bytes, _, _) = builder.finish(tl)?;
-        let table =
-            SsTable::open(device, &name, Arc::clone(cache), tl)?;
+        let table = SsTable::open(device, &name, Arc::clone(cache), tl)?;
         out.push(SsTableHandle {
             table: Arc::new(table),
             name,
@@ -232,29 +232,45 @@ mod tests {
         let (device, cache) = setup();
         let mut tl = Timeline::new();
         let counter = AtomicU64::new(0);
-        let l1: Vec<OwnedEntry> =
-            (0..100).map(|i| e(&format!("k{:04}", i), 200 + i, "l1")).collect();
-        let l2: Vec<OwnedEntry> =
-            (0..200).map(|i| e(&format!("k{:04}", i), 1 + i, "l2")).collect();
+        let l1: Vec<OwnedEntry> = (0..100)
+            .map(|i| e(&format!("k{:04}", i), 200 + i, "l1"))
+            .collect();
+        let l2: Vec<OwnedEntry> = (0..200)
+            .map(|i| e(&format!("k{:04}", i), 1 + i, "l2"))
+            .collect();
         let t1 = build_ss_tables(
-            &l1, &device, &cache, "p0-L1", &counter, usize::MAX,
-            SsTableOptions::default(), &mut tl,
+            &l1,
+            &device,
+            &cache,
+            "p0-L1",
+            &counter,
+            usize::MAX,
+            SsTableOptions::default(),
+            &mut tl,
         )
         .unwrap();
         let t2 = build_ss_tables(
-            &l2, &device, &cache, "p0-L2", &counter, usize::MAX,
-            SsTableOptions::default(), &mut tl,
+            &l2,
+            &device,
+            &cache,
+            "p0-L2",
+            &counter,
+            usize::MAX,
+            SsTableOptions::default(),
+            &mut tl,
         )
         .unwrap();
         let mut levels = SsdLevels::new();
         levels.replace_level(1, t1);
         levels.replace_level(2, t2);
-        // Key in both levels: L1 wins.
-        let hit = levels.get(b"k0050", u64::MAX, &mut tl).unwrap();
+        // Key in both levels: L1 wins (and reports level 1).
+        let (hit, level) = levels.get(b"k0050", u64::MAX, &mut tl).unwrap();
         assert_eq!(hit.value, b"l1");
+        assert_eq!(level, 1);
         // Key only in L2.
-        let hit = levels.get(b"k0150", u64::MAX, &mut tl).unwrap();
+        let (hit, level) = levels.get(b"k0150", u64::MAX, &mut tl).unwrap();
         assert_eq!(hit.value, b"l2");
+        assert_eq!(level, 2);
         assert!(levels.get(b"k9999", u64::MAX, &mut tl).is_none());
         assert_eq!(levels.depth(), 2);
         assert!(levels.total_bytes() > 0);
@@ -269,8 +285,14 @@ mod tests {
             .map(|i| e(&format!("k{:06}", i), i + 1, &"v".repeat(64)))
             .collect();
         let tables = build_ss_tables(
-            &entries, &device, &cache, "p0-L1", &counter, 32 << 10,
-            SsTableOptions::default(), &mut tl,
+            &entries,
+            &device,
+            &cache,
+            "p0-L1",
+            &counter,
+            32 << 10,
+            SsTableOptions::default(),
+            &mut tl,
         )
         .unwrap();
         assert!(tables.len() > 1);
@@ -286,14 +308,24 @@ mod tests {
         let counter = AtomicU64::new(0);
         let a = build_ss_tables(
             &[e("a", 1, "1"), e("c", 2, "2")],
-            &device, &cache, "x", &counter, usize::MAX,
-            SsTableOptions::default(), &mut tl,
+            &device,
+            &cache,
+            "x",
+            &counter,
+            usize::MAX,
+            SsTableOptions::default(),
+            &mut tl,
         )
         .unwrap();
         let b = build_ss_tables(
             &[e("m", 3, "3"), e("o", 4, "4")],
-            &device, &cache, "x", &counter, usize::MAX,
-            SsTableOptions::default(), &mut tl,
+            &device,
+            &cache,
+            "x",
+            &counter,
+            usize::MAX,
+            SsTableOptions::default(),
+            &mut tl,
         )
         .unwrap();
         let mut levels = SsdLevels::new();
@@ -311,11 +343,18 @@ mod tests {
         let (device, cache) = setup();
         let mut tl = Timeline::new();
         let counter = AtomicU64::new(0);
-        let entries: Vec<OwnedEntry> =
-            (0..50).map(|i| e(&format!("k{:03}", i), i + 1, "v")).collect();
+        let entries: Vec<OwnedEntry> = (0..50)
+            .map(|i| e(&format!("k{:03}", i), i + 1, "v"))
+            .collect();
         let tables = build_ss_tables(
-            &entries, &device, &cache, "s", &counter, usize::MAX,
-            SsTableOptions::default(), &mut tl,
+            &entries,
+            &device,
+            &cache,
+            "s",
+            &counter,
+            usize::MAX,
+            SsTableOptions::default(),
+            &mut tl,
         )
         .unwrap();
         let mut levels = SsdLevels::new();
@@ -333,13 +372,19 @@ mod tests {
         let counter = AtomicU64::new(0);
         let entries = vec![OwnedEntry::tombstone(b"gone".to_vec(), 9)];
         let tables = build_ss_tables(
-            &entries, &device, &cache, "t", &counter, usize::MAX,
-            SsTableOptions::default(), &mut tl,
+            &entries,
+            &device,
+            &cache,
+            "t",
+            &counter,
+            usize::MAX,
+            SsTableOptions::default(),
+            &mut tl,
         )
         .unwrap();
         let mut levels = SsdLevels::new();
         levels.replace_level(1, tables);
-        let hit = levels.get(b"gone", u64::MAX, &mut tl).unwrap();
+        let (hit, _) = levels.get(b"gone", u64::MAX, &mut tl).unwrap();
         assert_eq!(hit.kind, KeyKind::Delete);
     }
 }

@@ -33,16 +33,20 @@ pub mod options;
 pub mod partition;
 pub mod relational;
 pub mod stats;
+pub mod telemetry;
 
 pub use commit::{BatchOp, WriteBatch};
 pub use engine::{
-    CompactionEvent, CompactionKind, CompactionRequest, Db, DbError,
-    ReadOutcome, WriteAmp,
+    CompactionEvent, CompactionKind, CompactionRequest, Db, DbError, ReadOutcome, WriteAmp,
 };
 pub use level0::PmL0Snapshot;
 pub use options::{Mode, Options, OptionsBuilder, Partitioner};
 pub use relational::{Relational, TableDef};
-pub use stats::{EngineStats, ReadSource};
+pub use stats::{EngineStats, LatencyStats, ReadSource};
+pub use telemetry::{
+    CostDecision, EventListener, HistogramSummary, ListenerSet, MetricKey, MetricsRegistry,
+    MetricsSnapshot, SpanKind, TraceSpan,
+};
 
 /// Convenience re-exports for downstream users.
 pub use encoding::key::{KeyKind, SequenceNumber};

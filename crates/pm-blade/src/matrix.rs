@@ -45,7 +45,10 @@ pub struct MatrixL0 {
 
 impl MatrixL0 {
     pub fn new(columns: usize) -> Self {
-        MatrixL0 { rows: Vec::new(), columns: columns.max(1) }
+        MatrixL0 {
+            rows: Vec::new(),
+            columns: columns.max(1),
+        }
     }
 
     pub fn rows(&self) -> usize {
@@ -93,12 +96,9 @@ impl MatrixL0 {
         // Matrix construction overhead: proportional to the flush cost.
         let flush_cost = tl.elapsed() - before;
         tl.charge(flush_cost.mul_f64(opts.matrix_flush_overhead));
-        let table = ArrayTable::open(region)
-            .map_err(|e| crate::engine::DbError::Corrupt(e.to_string()))?;
-        let first = table
-            .first_user_key()
-            .expect("nonempty row")
-            .to_vec();
+        let table =
+            ArrayTable::open(region).map_err(|e| crate::engine::DbError::Corrupt(e.to_string()))?;
+        let first = table.first_user_key().expect("nonempty row").to_vec();
         let last = table.last_user_key().expect("nonempty row").to_vec();
         self.rows.push(Row {
             table,
@@ -121,8 +121,7 @@ impl MatrixL0 {
     ) -> Option<Lookup> {
         let mut first_row_searched = false;
         for row in self.rows.iter().rev() {
-            if row.first.as_slice() > user_key || row.last.as_slice() < user_key
-            {
+            if row.first.as_slice() > user_key || row.last.as_slice() < user_key {
                 continue;
             }
             if !first_row_searched {
@@ -158,8 +157,7 @@ impl MatrixL0 {
             .iter()
             .rev()
             .filter(|row| {
-                row.last.as_slice() >= start
-                    && end.is_none_or(|e| row.first.as_slice() < e)
+                row.last.as_slice() >= start && end.is_none_or(|e| row.first.as_slice() < e)
             })
             .map(|row| row.table.scan_range(start, end, limit, tl))
             .collect()
@@ -179,10 +177,7 @@ impl MatrixL0 {
     /// Split sorted merged entries into `columns` key-range slices — the
     /// column compaction granularity (each slice becomes one fine-grained
     /// compaction unit).
-    pub fn column_slices<'a>(
-        &self,
-        merged: &'a [OwnedEntry],
-    ) -> Vec<&'a [OwnedEntry]> {
+    pub fn column_slices<'a>(&self, merged: &'a [OwnedEntry]) -> Vec<&'a [OwnedEntry]> {
         if merged.is_empty() {
             return Vec::new();
         }
@@ -237,7 +232,8 @@ mod tests {
         let mut m = MatrixL0::new(4);
         let mut tl = Timeline::new();
         m.flush_row(&entries(1, 50), &opts, &pool, &mut tl).unwrap();
-        m.flush_row(&entries(1000, 50), &opts, &pool, &mut tl).unwrap();
+        m.flush_row(&entries(1000, 50), &opts, &pool, &mut tl)
+            .unwrap();
         assert_eq!(m.rows(), 2);
         // Newest row wins.
         let hit = m.get(b"k00006", u64::MAX, &mut tl).unwrap();
@@ -257,8 +253,10 @@ mod tests {
         let mut m1 = MatrixL0::new(4);
         m1.flush_row(&rows, &base_opts, &pool, &mut with).unwrap();
         let mut m2 = MatrixL0::new(4);
-        let cheap =
-            Options { matrix_flush_overhead: 0.0, ..base_opts.clone() };
+        let cheap = Options {
+            matrix_flush_overhead: 0.0,
+            ..base_opts.clone()
+        };
         m2.flush_row(&rows, &cheap, &pool, &mut without).unwrap();
         assert!(with.elapsed() > without.elapsed());
     }
@@ -290,8 +288,7 @@ mod tests {
         assert_eq!(total, 103);
         // Slices are contiguous key ranges.
         for pair in slices.windows(2) {
-            assert!(pair[0].last().unwrap().user_key
-                < pair[1].first().unwrap().user_key);
+            assert!(pair[0].last().unwrap().user_key < pair[1].first().unwrap().user_key);
         }
         assert!(m.column_slices(&[]).is_empty());
     }

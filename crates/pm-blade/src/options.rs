@@ -3,6 +3,8 @@
 use pmtable::{MetaExtractor, PmTableOptions};
 use sim::{CostModel, SimDuration};
 
+use crate::telemetry::{EventListener, ListenerSet};
+
 /// Which system the engine behaves as — the paper's comparison matrix.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Mode {
@@ -44,9 +46,7 @@ impl Partitioner {
     pub fn locate(&self, key: &[u8]) -> usize {
         match self {
             Partitioner::Single => 0,
-            Partitioner::Ranges(b) => {
-                b.partition_point(|split| split.as_slice() <= key)
-            }
+            Partitioner::Ranges(b) => b.partition_point(|split| split.as_slice() <= key),
         }
     }
 
@@ -136,6 +136,16 @@ pub struct Options {
     pub matrix_columns: usize,
     /// Directory for the write-ahead log; `None` disables the WAL.
     pub wal_dir: Option<std::path::PathBuf>,
+    /// Capacity of the compaction-span ring buffer behind
+    /// `Db::compaction_log()` and `MetricsSnapshot::spans`. When full,
+    /// the *oldest* spans are evicted (and counted as dropped in
+    /// snapshots). Must be at least 1.
+    pub event_log_capacity: usize,
+    /// Event listeners invoked on flush/compaction/commit spans and
+    /// cost-model decisions. See
+    /// [`EventListener`](crate::telemetry::EventListener) for the
+    /// reentrancy rules.
+    pub listeners: ListenerSet,
 }
 
 impl Default for Options {
@@ -166,6 +176,8 @@ impl Default for Options {
             matrix_flush_overhead: 0.6,
             matrix_columns: 8,
             wal_dir: None,
+            event_log_capacity: 1024,
+            listeners: ListenerSet::new(),
         }
     }
 }
@@ -176,7 +188,9 @@ impl Options {
     /// as-is), [`OptionsBuilder::build`] rejects inconsistent
     /// configurations with [`DbError::Config`].
     pub fn builder() -> OptionsBuilder {
-        OptionsBuilder { opts: Options::default() }
+        OptionsBuilder {
+            opts: Options::default(),
+        }
     }
 
     /// The paper's "PMBlade" configuration at a given PM scale.
@@ -191,18 +205,27 @@ impl Options {
 
     /// "PMBlade-PM": PM level-0, conventional strategy.
     pub fn pm_blade_pm(pm_capacity: usize) -> Self {
-        Options { mode: Mode::PmBladePm, ..Options::pm_blade(pm_capacity) }
+        Options {
+            mode: Mode::PmBladePm,
+            ..Options::pm_blade(pm_capacity)
+        }
     }
 
     /// "PMBlade-SSD" / RocksDB-like.
     pub fn rocksdb_like() -> Self {
-        Options { mode: Mode::SsdLevel0, ..Options::default() }
+        Options {
+            mode: Mode::SsdLevel0,
+            ..Options::default()
+        }
     }
 
     /// MatrixKV-like with the given PM capacity (8 GB default in the
     /// paper, also run at 80 GB).
     pub fn matrixkv(pm_capacity: usize) -> Self {
-        Options { mode: Mode::MatrixKv, ..Options::pm_blade(pm_capacity) }
+        Options {
+            mode: Mode::MatrixKv,
+            ..Options::pm_blade(pm_capacity)
+        }
     }
 }
 
@@ -298,6 +321,18 @@ impl OptionsBuilder {
         self
     }
 
+    pub fn event_log_capacity(mut self, capacity: usize) -> Self {
+        self.opts.event_log_capacity = capacity;
+        self
+    }
+
+    /// Register an event listener (may be called repeatedly; listeners
+    /// are invoked in registration order).
+    pub fn add_event_listener(mut self, listener: std::sync::Arc<dyn EventListener>) -> Self {
+        self.opts.listeners.add(listener);
+        self
+    }
+
     /// Validate and produce the configuration.
     pub fn build(self) -> Result<Options, crate::engine::DbError> {
         use crate::engine::DbError;
@@ -315,18 +350,13 @@ impl OptionsBuilder {
                 );
             }
             if !bounds.windows(2).all(|w| w[0] < w[1]) {
-                return fail(
-                    "partition boundaries must be strictly ascending".into(),
-                );
+                return fail("partition boundaries must be strictly ascending".into());
             }
         }
         if o.memtable_bytes == 0 {
             return fail("memtable_bytes must be positive".into());
         }
-        let uses_pm = matches!(
-            o.mode,
-            Mode::PmBlade | Mode::PmBladePm | Mode::MatrixKv
-        );
+        let uses_pm = matches!(o.mode, Mode::PmBlade | Mode::PmBladePm | Mode::MatrixKv);
         if uses_pm {
             if o.pm_capacity < o.memtable_bytes {
                 return fail(format!(
@@ -369,6 +399,9 @@ impl OptionsBuilder {
         }
         if o.l0_table_trigger == 0 {
             return fail("l0_table_trigger must be at least 1".into());
+        }
+        if o.event_log_capacity == 0 {
+            return fail("event_log_capacity must be at least 1".into());
         }
         Ok(self.opts)
     }
@@ -432,38 +465,25 @@ mod tests {
             Err(crate::engine::DbError::Config(m)) => m,
             other => panic!("expected Config error, got {other:?}"),
         };
-        assert!(msg(Options::builder().memtable_bytes(0).build())
-            .contains("memtable_bytes"));
-        assert!(msg(
-            Options::builder()
-                .pm_capacity(4 << 10)
-                .memtable_bytes(64 << 10)
-                .tau_m(1 << 10)
-                .tau_t(1 << 10)
-                .build()
-        )
+        assert!(msg(Options::builder().memtable_bytes(0).build()).contains("memtable_bytes"));
+        assert!(msg(Options::builder()
+            .pm_capacity(4 << 10)
+            .memtable_bytes(64 << 10)
+            .tau_m(1 << 10)
+            .tau_t(1 << 10)
+            .build())
         .contains("pm_capacity"));
-        assert!(msg(
-            Options::builder().tau_m(96 << 20).tau_t(90 << 20).build()
-        )
-        .contains("tau_m"));
-        assert!(msg(
-            Options::builder().tau_t(80 << 20).tau_m(72 << 20).build()
-        )
-        .contains("tau_t"));
-        assert!(msg(
-            Options::builder()
-                .partitioner(Partitioner::Ranges(vec![
-                    b"m".to_vec(),
-                    b"f".to_vec(),
-                ]))
-                .build()
-        )
+        assert!(msg(Options::builder().tau_m(96 << 20).tau_t(90 << 20).build()).contains("tau_m"));
+        assert!(msg(Options::builder().tau_t(80 << 20).tau_m(72 << 20).build()).contains("tau_t"));
+        assert!(msg(Options::builder()
+            .partitioner(Partitioner::Ranges(vec![b"m".to_vec(), b"f".to_vec(),]))
+            .build())
         .contains("ascending"));
-        assert!(msg(Options::builder().level_multiplier(1).build())
-            .contains("level_multiplier"));
-        assert!(msg(Options::builder().max_table_bytes(0).build())
-            .contains("max_table_bytes"));
+        assert!(msg(Options::builder().level_multiplier(1).build()).contains("level_multiplier"));
+        assert!(msg(Options::builder().max_table_bytes(0).build()).contains("max_table_bytes"));
+        assert!(
+            msg(Options::builder().event_log_capacity(0).build()).contains("event_log_capacity")
+        );
         // SSD-only mode doesn't need PM headroom.
         assert!(Options::builder()
             .mode(Mode::SsdLevel0)

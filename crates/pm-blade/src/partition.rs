@@ -12,8 +12,8 @@ use memtable::MemTable;
 use pm_device::PmPool;
 use pmtable::{Lookup, OwnedEntry};
 use sim::{CostModel, SimInstant, Timeline};
-use sstable::{BlockCache, SsTableOptions};
 use ssd_device::SsdDevice;
+use sstable::{BlockCache, SsTableOptions};
 
 use crate::costmodel::PartitionCounters;
 use crate::handle::{build_pm_tables, merge_dedup, SsTableHandle};
@@ -64,9 +64,7 @@ impl Partition {
         let level0 = match opts.mode {
             Mode::PmBlade | Mode::PmBladePm => Level0::Pm(PmLevel0::new()),
             Mode::SsdLevel0 => Level0::Ssd(Vec::new()),
-            Mode::MatrixKv => {
-                Level0::Matrix(MatrixL0::new(opts.matrix_columns))
-            }
+            Mode::MatrixKv => Level0::Matrix(MatrixL0::new(opts.matrix_columns)),
         };
         Partition {
             id,
@@ -105,36 +103,39 @@ impl Partition {
         }
     }
 
-    /// Point lookup through every tier of this partition.
+    /// Point lookup through every tier of this partition. The third
+    /// element is the SSD level that served the read (0 for an SSD
+    /// level-0 table, 1-based below), `None` for non-SSD sources.
     pub fn get(
         &self,
         user_key: &[u8],
         snapshot: SequenceNumber,
         tl: &mut Timeline,
-    ) -> (Option<Lookup>, ReadSource) {
+    ) -> (Option<Lookup>, ReadSource, Option<usize>) {
         if let Some(hit) = self.mem.get(user_key, snapshot, tl) {
-            return (Some(hit), ReadSource::MemTable);
+            return (Some(hit), ReadSource::MemTable, None);
         }
         self.get_below_memtable(user_key, snapshot, tl)
     }
 
     /// Point lookup through level-0 and the SSD levels, skipping the
     /// memtable (which the engine's fast path has already probed).
+    /// Returns `(hit, source, ssd_level)` as in [`Partition::get`].
     pub fn get_below_memtable(
         &self,
         user_key: &[u8],
         snapshot: SequenceNumber,
         tl: &mut Timeline,
-    ) -> (Option<Lookup>, ReadSource) {
+    ) -> (Option<Lookup>, ReadSource, Option<usize>) {
         match &self.level0 {
             Level0::Pm(l0) => {
                 if let Some(hit) = l0.get(user_key, snapshot, tl) {
-                    return (Some(hit), ReadSource::Pm);
+                    return (Some(hit), ReadSource::Pm, None);
                 }
             }
             Level0::Matrix(m) => {
                 if let Some(hit) = m.get(user_key, snapshot, tl) {
-                    return (Some(hit), ReadSource::Pm);
+                    return (Some(hit), ReadSource::Pm, None);
                 }
             }
             Level0::Ssd(tables) => {
@@ -143,21 +144,16 @@ impl Partition {
                     if !handle.overlaps_key(user_key) {
                         continue;
                     }
-                    if let Ok(Some((seq, kind, value))) =
-                        handle.table.get(user_key, snapshot, tl)
-                    {
-                        return (
-                            Some(Lookup { seq, kind, value }),
-                            ReadSource::Ssd,
-                        );
+                    if let Ok(Some((seq, kind, value))) = handle.table.get(user_key, snapshot, tl) {
+                        return (Some(Lookup { seq, kind, value }), ReadSource::Ssd, Some(0));
                     }
                 }
             }
         }
-        if let Some(hit) = self.levels.get(user_key, snapshot, tl) {
-            return (Some(hit), ReadSource::Ssd);
+        if let Some((hit, level)) = self.levels.get(user_key, snapshot, tl) {
+            return (Some(hit), ReadSource::Ssd, Some(level));
         }
-        (None, ReadSource::Miss)
+        (None, ReadSource::Miss, None)
     }
 
     /// Range-scan sources across all tiers, newest tier first.
@@ -170,29 +166,20 @@ impl Partition {
     ) -> Vec<Vec<OwnedEntry>> {
         let mut sources = vec![self.mem.scan_range(start, end, limit, tl)];
         match &self.level0 {
-            Level0::Pm(l0) => {
-                sources.extend(l0.scan_sources(start, end, limit, tl))
-            }
-            Level0::Matrix(m) => {
-                sources.extend(m.scan_sources(start, end, limit, tl))
-            }
+            Level0::Pm(l0) => sources.extend(l0.scan_sources(start, end, limit, tl)),
+            Level0::Matrix(m) => sources.extend(m.scan_sources(start, end, limit, tl)),
             Level0::Ssd(tables) => {
                 for handle in tables.iter().rev() {
                     if !handle.overlaps_range(start, end) {
                         continue;
                     }
                     let mut run = Vec::new();
-                    if let Ok(hits) = handle
-                        .table
-                        .scan_range(start, end, limit, tl)
-                    {
+                    if let Ok(hits) = handle.table.scan_range(start, end, limit, tl) {
                         for (ikey, value) in hits {
                             run.push(OwnedEntry {
-                                user_key: encoding::key::user_key(&ikey)
-                                    .to_vec(),
+                                user_key: encoding::key::user_key(&ikey).to_vec(),
                                 seq: encoding::key::sequence(&ikey),
-                                kind: encoding::key::kind(&ikey)
-                                    .expect("valid kind"),
+                                kind: encoding::key::kind(&ikey).expect("valid kind"),
                                 value,
                             });
                         }
@@ -313,12 +300,8 @@ impl Partition {
         match &mut self.level0 {
             Level0::Pm(l0) => {
                 sources.extend(l0.scan_all_sources(tl));
-                released_regions.extend(
-                    l0.unsorted
-                        .iter()
-                        .chain(l0.sorted.iter())
-                        .map(|h| h.region),
-                );
+                released_regions
+                    .extend(l0.unsorted.iter().chain(l0.sorted.iter()).map(|h| h.region));
                 l0.unsorted.clear();
                 l0.sorted.clear();
             }
@@ -332,11 +315,9 @@ impl Partition {
                     if let Ok(all) = handle.table.scan_all(tl) {
                         for (ikey, value) in all {
                             run.push(OwnedEntry {
-                                user_key: encoding::key::user_key(&ikey)
-                                    .to_vec(),
+                                user_key: encoding::key::user_key(&ikey).to_vec(),
                                 seq: encoding::key::sequence(&ikey),
-                                kind: encoding::key::kind(&ikey)
-                                    .expect("valid kind"),
+                                kind: encoding::key::kind(&ikey).expect("valid kind"),
                                 value,
                             });
                         }
@@ -423,13 +404,7 @@ impl Partition {
             }
         }
         // Cascade oversized deeper levels.
-        deleted.extend(self.cascade_levels(
-            opts,
-            device,
-            cache,
-            table_counter,
-            tl,
-        )?);
+        deleted.extend(self.cascade_levels(opts, device, cache, table_counter, tl)?);
         Ok(deleted)
     }
 
@@ -445,8 +420,8 @@ impl Partition {
         let mut deleted = Vec::new();
         let mut level = 1usize;
         while level <= self.levels.depth() {
-            let target = opts.l1_target as u64
-                * (opts.level_multiplier as u64).pow(level as u32 - 1);
+            let target =
+                opts.l1_target as u64 * (opts.level_multiplier as u64).pow(level as u32 - 1);
             if self.levels.level_bytes(level) <= target {
                 level += 1;
                 continue;
@@ -465,11 +440,9 @@ impl Partition {
                     if let Ok(all) = handle.table.scan_all(tl) {
                         for (ikey, value) in all {
                             run.push(OwnedEntry {
-                                user_key: encoding::key::user_key(&ikey)
-                                    .to_vec(),
+                                user_key: encoding::key::user_key(&ikey).to_vec(),
                                 seq: encoding::key::sequence(&ikey),
-                                kind: encoding::key::kind(&ikey)
-                                    .expect("valid kind"),
+                                kind: encoding::key::kind(&ikey).expect("valid kind"),
                                 value,
                             });
                         }
@@ -480,8 +453,7 @@ impl Partition {
                 }
             }
             let is_bottom = level + 1 >= self.levels.depth();
-            let merged =
-                merge_dedup(sources, is_bottom, &opts.cost, tl);
+            let merged = merge_dedup(sources, is_bottom, &opts.cost, tl);
             let new_tables = build_ss_tables(
                 &merged,
                 device,

@@ -33,7 +33,11 @@ impl TableDef {
     pub fn new(id: u16, columns: usize, indexes: Vec<usize>) -> Self {
         assert!(columns >= 1);
         assert!(indexes.iter().all(|&c| c > 0 && c < columns));
-        TableDef { id, columns, indexes }
+        TableDef {
+            id,
+            columns,
+            indexes,
+        }
     }
 }
 
@@ -127,11 +131,7 @@ impl Relational {
     /// entries travel in one [`WriteBatch`], so a concurrent reader never
     /// observes a row without its index entries (within one partition).
     /// Returns the virtual latency.
-    pub fn insert_row(
-        &self,
-        table: u16,
-        row: &Row,
-    ) -> Result<SimDuration, DbError> {
+    pub fn insert_row(&self, table: u16, row: &Row) -> Result<SimDuration, DbError> {
         let def = self.table(table).clone();
         assert_eq!(row.len(), def.columns, "row arity mismatch");
         let pk = &row[0];
@@ -158,8 +158,7 @@ impl Relational {
         let Some(raw) = read.value else {
             return Ok(total); // row vanished; nothing to update
         };
-        let mut row = decode_row(&raw)
-            .ok_or_else(|| DbError::Corrupt("row payload".into()))?;
+        let mut row = decode_row(&raw).ok_or_else(|| DbError::Corrupt("row payload".into()))?;
         let old = std::mem::replace(&mut row[col], value.to_vec());
         let mut batch = WriteBatch::new();
         if def.indexes.contains(&col) && old != value {
@@ -172,11 +171,7 @@ impl Relational {
     }
 
     /// Primary-key point read.
-    pub fn get_row(
-        &self,
-        table: u16,
-        pk: &[u8],
-    ) -> Result<(Option<Row>, SimDuration), DbError> {
+    pub fn get_row(&self, table: u16, pk: &[u8]) -> Result<(Option<Row>, SimDuration), DbError> {
         let out = self.db.get(&row_key(table, pk))?;
         let row = out.value.as_deref().and_then(decode_row);
         Ok((row, out.latency))
@@ -219,17 +214,12 @@ impl Relational {
         let start = row_key(table, start_pk);
         let end = format!("r{:04};", table).into_bytes(); // ':'+1
         let (hits, latency) = self.db.scan(&start, Some(&end), limit)?;
-        let rows =
-            hits.iter().filter_map(|(_, v)| decode_row(v)).collect();
+        let rows = hits.iter().filter_map(|(_, v)| decode_row(v)).collect();
         Ok((rows, latency))
     }
 
     /// Delete a row and its index entries.
-    pub fn delete_row(
-        &self,
-        table: u16,
-        pk: &[u8],
-    ) -> Result<SimDuration, DbError> {
+    pub fn delete_row(&self, table: u16, pk: &[u8]) -> Result<SimDuration, DbError> {
         let def = self.table(table).clone();
         let rk = row_key(table, pk);
         let read = self.db.get(&rk)?;
@@ -305,11 +295,8 @@ mod tests {
         let rel = setup();
         for i in 0..20 {
             let status = if i % 2 == 0 { "paid" } else { "pending" };
-            rel.insert_row(
-                1,
-                &row(&format!("order{:03}", i), status, "user1", "9.9"),
-            )
-            .unwrap();
+            rel.insert_row(1, &row(&format!("order{:03}", i), status, "user1", "9.9"))
+                .unwrap();
         }
         let (rows, _) = rel.index_query(1, 1, b"paid", 100).unwrap();
         assert_eq!(rows.len(), 10);
@@ -357,11 +344,7 @@ mod tests {
         for i in [3, 1, 2] {
             rel.insert_row(
                 2,
-                vec![
-                    format!("pk{i}").into_bytes(),
-                    format!("v{i}").into_bytes(),
-                ]
-                .as_ref(),
+                vec![format!("pk{i}").into_bytes(), format!("v{i}").into_bytes()].as_ref(),
             )
             .unwrap();
         }
@@ -375,7 +358,8 @@ mod tests {
     #[test]
     fn tables_are_isolated() {
         let rel = setup();
-        rel.insert_row(2, &vec![b"dup".to_vec(), b"t2".to_vec()]).unwrap();
+        rel.insert_row(2, &vec![b"dup".to_vec(), b"t2".to_vec()])
+            .unwrap();
         rel.insert_row(1, &row("dup", "s", "u", "1")).unwrap();
         let (r1, _) = rel.get_row(1, b"dup").unwrap();
         let (r2, _) = rel.get_row(2, b"dup").unwrap();
@@ -387,7 +371,8 @@ mod tests {
     fn index_values_containing_separator_bytes_stay_isolated() {
         let rel = setup();
         // value "a" pk "b:c" vs value "a\0b" — must not collide.
-        rel.insert_row(2, &vec![b"b:c".to_vec(), b"a".to_vec()]).unwrap();
+        rel.insert_row(2, &vec![b"b:c".to_vec(), b"a".to_vec()])
+            .unwrap();
         rel.insert_row(2, &vec![b"x".to_vec(), b"a\x00b".to_vec()])
             .unwrap();
         let (rows, _) = rel.index_query(2, 1, b"a", 10).unwrap();
@@ -410,7 +395,9 @@ mod tests {
             )
             .unwrap();
         }
-        rel.db().compact(crate::engine::CompactionRequest::FlushAll).unwrap();
+        rel.db()
+            .compact(crate::engine::CompactionRequest::FlushAll)
+            .unwrap();
         let (rows, _) = rel.index_query(1, 1, b"st3", 500).unwrap();
         assert_eq!(rows.len(), 60);
         let (row, _) = rel.get_row(1, b"o00123").unwrap();

@@ -2,8 +2,19 @@
 //!
 //! Byte counters are exact (they drive the write-amplification
 //! experiments); latency distributions are virtual-clock durations.
+//!
+//! Since the observability layer landed, `EngineStats` is a *view*
+//! over counters owned jointly with the
+//! [`MetricsRegistry`](crate::telemetry::MetricsRegistry): each field
+//! is an `Arc<Counter>` that [`EngineStats::register`] also files
+//! under its field name, so `db.stats()` and `db.metrics_snapshot()`
+//! always agree.
+
+use std::sync::Arc;
 
 use sim::{Counter, Histogram};
+
+use crate::telemetry::{MetricKey, MetricsRegistry};
 
 /// Where a read was ultimately served from.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -23,35 +34,62 @@ pub enum ReadSource {
 pub struct EngineStats {
     /// User payload bytes accepted by `put`/`delete` (the denominator of
     /// write amplification).
-    pub user_bytes_written: Counter,
+    pub user_bytes_written: Arc<Counter>,
     /// Foreground operations.
-    pub puts: Counter,
-    pub gets: Counter,
-    pub deletes: Counter,
-    pub scans: Counter,
+    pub puts: Arc<Counter>,
+    pub gets: Arc<Counter>,
+    pub deletes: Arc<Counter>,
+    pub scans: Arc<Counter>,
     /// Reads by serving tier.
-    pub reads_from_memtable: Counter,
-    pub reads_from_pm: Counter,
-    pub reads_from_ssd: Counter,
-    pub read_misses: Counter,
+    pub reads_from_memtable: Arc<Counter>,
+    pub reads_from_pm: Arc<Counter>,
+    pub reads_from_ssd: Arc<Counter>,
+    pub read_misses: Arc<Counter>,
     /// Compaction activity.
-    pub minor_compactions: Counter,
-    pub internal_compactions: Counter,
-    pub major_compactions: Counter,
+    pub minor_compactions: Arc<Counter>,
+    pub internal_compactions: Arc<Counter>,
+    pub major_compactions: Arc<Counter>,
     /// Bytes reclaimed on PM by internal compaction (Table IV).
-    pub internal_space_released: Counter,
+    pub internal_space_released: Arc<Counter>,
     /// Records dropped as duplicates by internal compaction.
-    pub internal_dropped_records: Counter,
+    pub internal_dropped_records: Arc<Counter>,
     /// Group-commit activity: commit groups flushed by a leader, total
     /// write operations that rode in those groups, and `WriteBatch`
     /// submissions (a batch of N ops counts once here, N times in
     /// `grouped_writes`).
-    pub group_commits: Counter,
-    pub grouped_writes: Counter,
-    pub batch_writes: Counter,
+    pub group_commits: Arc<Counter>,
+    pub grouped_writes: Arc<Counter>,
+    pub batch_writes: Arc<Counter>,
 }
 
 impl EngineStats {
+    /// File every counter into `registry` under its field name, so the
+    /// flat stats view and the registry read the same atomics.
+    pub fn register(&self, registry: &MetricsRegistry) {
+        let fields: [(&'static str, &Arc<Counter>); 17] = [
+            ("user_bytes_written", &self.user_bytes_written),
+            ("puts", &self.puts),
+            ("gets", &self.gets),
+            ("deletes", &self.deletes),
+            ("scans", &self.scans),
+            ("reads_from_memtable", &self.reads_from_memtable),
+            ("reads_from_pm", &self.reads_from_pm),
+            ("reads_from_ssd", &self.reads_from_ssd),
+            ("read_misses", &self.read_misses),
+            ("minor_compactions", &self.minor_compactions),
+            ("internal_compactions", &self.internal_compactions),
+            ("major_compactions", &self.major_compactions),
+            ("internal_space_released", &self.internal_space_released),
+            ("internal_dropped_records", &self.internal_dropped_records),
+            ("group_commits", &self.group_commits),
+            ("grouped_writes", &self.grouped_writes),
+            ("batch_writes", &self.batch_writes),
+        ];
+        for (name, counter) in fields {
+            registry.register_counter(MetricKey::global(name), Arc::clone(counter));
+        }
+    }
+
     /// Record a read outcome.
     pub fn note_read(&self, source: ReadSource) {
         self.gets.incr();
@@ -76,9 +114,14 @@ impl EngineStats {
     }
 }
 
-/// Mutable per-run latency recorders, kept separate from the atomic
-/// counters so benches can own them without locks.
-#[derive(Default, Debug)]
+/// Foreground latency distributions (virtual-clock durations).
+///
+/// The engine records every `get`/`get_at`, `put`/`delete`/
+/// `write_batch`, and `scan` into the registry's `read_latency`,
+/// `write_latency`, and `scan_latency` histograms;
+/// `Db::latency_stats()` returns them as this plain-`Histogram` view
+/// for callers that want quantiles without walking a snapshot.
+#[derive(Default, Debug, Clone)]
 pub struct LatencyStats {
     pub reads: Histogram,
     pub writes: Histogram,
@@ -110,5 +153,18 @@ mod tests {
     fn empty_stats_ratio_is_zero() {
         let s = EngineStats::default();
         assert_eq!(s.pm_hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn registered_stats_share_the_registry_counters() {
+        let s = EngineStats::default();
+        let registry = MetricsRegistry::new();
+        s.register(&registry);
+        s.puts.add(3);
+        registry.counter(MetricKey::global("puts")).incr();
+        assert_eq!(s.puts.get(), 4);
+        let (counters, _, _) = registry.collect();
+        assert_eq!(counters[&MetricKey::global("puts")], 4);
+        assert_eq!(counters.len(), 17, "every field is registered");
     }
 }

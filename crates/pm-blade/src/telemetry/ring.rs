@@ -1,0 +1,126 @@
+//! The capped span ring backing `Db::compaction_log()`.
+
+use std::collections::VecDeque;
+
+use parking_lot::Mutex;
+
+use super::span::TraceSpan;
+
+/// A fixed-capacity ring of completed compaction spans.
+///
+/// When full, pushing evicts the *oldest* span; evictions are counted
+/// so snapshots can report how much history was lost. Group-commit
+/// spans are deliberately kept out of the ring (they would evict the
+/// much rarer compaction spans within seconds on a write-heavy
+/// workload) — they reach listeners and the metrics registry instead.
+pub struct EventRing {
+    inner: Mutex<Inner>,
+}
+
+struct Inner {
+    buf: VecDeque<TraceSpan>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl EventRing {
+    /// `capacity` must be at least 1 (enforced by
+    /// `OptionsBuilder::build`; a raw `Options` with 0 gets 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        EventRing {
+            inner: Mutex::new(Inner {
+                buf: VecDeque::with_capacity(capacity.min(1024)),
+                capacity,
+                dropped: 0,
+            }),
+        }
+    }
+
+    pub fn push(&self, span: TraceSpan) {
+        let mut inner = self.inner.lock();
+        if inner.buf.len() >= inner.capacity {
+            inner.buf.pop_front();
+            inner.dropped += 1;
+        }
+        inner.buf.push_back(span);
+    }
+
+    /// Oldest-to-newest copy of the retained spans.
+    pub fn snapshot(&self) -> Vec<TraceSpan> {
+        self.inner.lock().buf.iter().cloned().collect()
+    }
+
+    /// Spans evicted so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().capacity
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().buf.is_empty()
+    }
+}
+
+impl std::fmt::Debug for EventRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("EventRing")
+            .field("len", &inner.buf.len())
+            .field("capacity", &inner.capacity)
+            .field("dropped", &inner.dropped)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::span::SpanKind;
+
+    fn span(id: u64) -> TraceSpan {
+        TraceSpan {
+            id,
+            kind: SpanKind::Flush,
+            partition: 0,
+            start_nanos: id,
+            end_nanos: id + 1,
+            input_records: 0,
+            output_records: 0,
+            input_bytes: 0,
+            output_bytes: 0,
+            value_size: 0,
+            cost: None,
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let ring = EventRing::new(3);
+        for id in 0..5 {
+            ring.push(span(id));
+        }
+        let ids: Vec<u64> = ring.snapshot().iter().map(|s| s.id).collect();
+        assert_eq!(ids, vec![2, 3, 4]);
+        assert_eq!(ring.dropped(), 2);
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.capacity(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let ring = EventRing::new(0);
+        ring.push(span(1));
+        ring.push(span(2));
+        assert_eq!(ring.capacity(), 1);
+        assert_eq!(ring.snapshot().len(), 1);
+        assert_eq!(ring.snapshot()[0].id, 2);
+    }
+}

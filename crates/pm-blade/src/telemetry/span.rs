@@ -1,0 +1,170 @@
+//! Tracing spans: one record per background-work episode.
+
+use sim::SimDuration;
+
+/// What kind of work a span covers.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SpanKind {
+    /// Minor compaction: memtable frozen and flushed to level-0.
+    Flush,
+    /// Internal compaction: PM tables merged into a fresh sorted run.
+    Internal,
+    /// Major compaction: level-0 moved into the SSD levels.
+    Major,
+    /// One group commit (leader drain): WAL pass + memtable apply.
+    GroupCommit,
+}
+
+impl SpanKind {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SpanKind::Flush => "flush",
+            SpanKind::Internal => "internal",
+            SpanKind::Major => "major",
+            SpanKind::GroupCommit => "group_commit",
+        }
+    }
+}
+
+/// A completed span. `start_nanos`/`end_nanos` are on the engine's
+/// virtual clock; byte counts are measured from the device counters
+/// around the work (a compaction racing on another partition can skew
+/// one span's attribution but never the cumulative totals).
+#[derive(Clone, Debug)]
+pub struct TraceSpan {
+    /// Monotonically increasing id, unique within one engine.
+    pub id: u64,
+    pub kind: SpanKind,
+    pub partition: usize,
+    /// Virtual time when the work started.
+    pub start_nanos: u64,
+    /// Virtual time when the work finished (`start + duration`).
+    pub end_nanos: u64,
+    /// Records read by the work (0 when nothing was there to do).
+    pub input_records: u64,
+    /// Records surviving into the output.
+    pub output_records: u64,
+    /// Device bytes read by the work.
+    pub input_bytes: u64,
+    /// Device bytes written by the work.
+    pub output_bytes: u64,
+    /// Mean value size observed at span time (for §V cost traces).
+    pub value_size: u32,
+    /// The cost-model verdict that triggered this work, if any.
+    pub cost: Option<CostDecision>,
+}
+
+impl TraceSpan {
+    pub fn duration(&self) -> SimDuration {
+        SimDuration::from_nanos(self.end_nanos.saturating_sub(self.start_nanos))
+    }
+}
+
+/// One evaluated cost-model rule (§IV-C) with its inputs and verdict.
+#[derive(Clone, Debug)]
+pub enum CostDecision {
+    /// Eq 1: read-amplification relief.
+    ReadBenefit {
+        partition: usize,
+        /// `n̂_i^r`: observed reads per virtual second.
+        read_rate: f64,
+        /// `n_i`: unsorted PM tables.
+        unsorted: usize,
+        triggered: bool,
+    },
+    /// Eq 2: SSD write-amplification relief.
+    WriteBenefit {
+        partition: usize,
+        /// `n_i^w`: writes in the window.
+        window_writes: u64,
+        /// `n_i^u`: updates (removable duplicates) in the window.
+        window_updates: u64,
+        /// Records the internal pass would rewrite.
+        l0_records: usize,
+        triggered: bool,
+    },
+    /// The `l0_unsorted_hard_cap` safety valve.
+    HardCap {
+        partition: usize,
+        unsorted: usize,
+        cap: usize,
+        triggered: bool,
+    },
+    /// Eq 3: the retention knapsack at major-compaction time.
+    Retention {
+        /// PM bytes in use when the pass started.
+        pm_used: usize,
+        /// `τ_t`: the retention budget.
+        budget: usize,
+        /// Partitions kept in PM.
+        retained: Vec<usize>,
+        /// Partitions major-compacted to the SSD.
+        victims: Vec<usize>,
+    },
+}
+
+impl CostDecision {
+    /// Short rule name for rendering and counters.
+    pub fn rule(&self) -> &'static str {
+        match self {
+            CostDecision::ReadBenefit { .. } => "eq1_read_benefit",
+            CostDecision::WriteBenefit { .. } => "eq2_write_benefit",
+            CostDecision::HardCap { .. } => "hard_cap",
+            CostDecision::Retention { .. } => "eq3_retention",
+        }
+    }
+
+    /// Did the rule fire? (Retention passes always count as fired.)
+    pub fn triggered(&self) -> bool {
+        match self {
+            CostDecision::ReadBenefit { triggered, .. }
+            | CostDecision::WriteBenefit { triggered, .. }
+            | CostDecision::HardCap { triggered, .. } => *triggered,
+            CostDecision::Retention { .. } => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_duration_is_end_minus_start() {
+        let span = TraceSpan {
+            id: 1,
+            kind: SpanKind::Flush,
+            partition: 0,
+            start_nanos: 100,
+            end_nanos: 350,
+            input_records: 0,
+            output_records: 0,
+            input_bytes: 0,
+            output_bytes: 0,
+            value_size: 0,
+            cost: None,
+        };
+        assert_eq!(span.duration(), SimDuration::from_nanos(250));
+        assert_eq!(span.kind.as_str(), "flush");
+    }
+
+    #[test]
+    fn decisions_expose_rule_and_verdict() {
+        let d = CostDecision::ReadBenefit {
+            partition: 2,
+            read_rate: 100.0,
+            unsorted: 4,
+            triggered: false,
+        };
+        assert_eq!(d.rule(), "eq1_read_benefit");
+        assert!(!d.triggered());
+        let r = CostDecision::Retention {
+            pm_used: 10,
+            budget: 5,
+            retained: vec![0],
+            victims: vec![1],
+        };
+        assert_eq!(r.rule(), "eq3_retention");
+        assert!(r.triggered());
+    }
+}

@@ -21,7 +21,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use sim::{Counter, CostModel, SimDuration, Timeline};
+use sim::{CostModel, Counter, SimDuration, Timeline};
 
 /// Shared PM device statistics.
 #[derive(Default, Debug)]
@@ -50,7 +50,10 @@ pub enum PmError {
 impl std::fmt::Display for PmError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            PmError::OutOfSpace { requested, available } => write!(
+            PmError::OutOfSpace {
+                requested,
+                available,
+            } => write!(
                 f,
                 "pm pool out of space: requested {requested}, available {available}"
             ),
@@ -241,11 +244,7 @@ impl PmPool {
 
     /// Write `data` into a new region, metering the write and persist cost.
     /// Fails when the pool lacks space.
-    pub fn publish(
-        &self,
-        data: Vec<u8>,
-        tl: &mut Timeline,
-    ) -> Result<PmRegion, PmError> {
+    pub fn publish(&self, data: Vec<u8>, tl: &mut Timeline) -> Result<PmRegion, PmError> {
         let len = data.len();
         let mut state = self.state.lock();
         if state.used + len > self.capacity {
@@ -365,7 +364,10 @@ mod tests {
         p.publish(vec![0; 6], &mut tl).unwrap();
         let err = p.publish(vec![0; 6], &mut tl).unwrap_err();
         match err {
-            PmError::OutOfSpace { requested, available } => {
+            PmError::OutOfSpace {
+                requested,
+                available,
+            } => {
                 assert_eq!(requested, 6);
                 assert_eq!(available, 4);
             }
@@ -429,8 +431,7 @@ mod tests {
 
     #[test]
     fn backed_pool_recovers_regions() {
-        let dir = std::env::temp_dir()
-            .join(format!("pmblade-pm-test-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("pmblade-pm-test-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         let cost = CostModel::default();
         let (id_a, id_b);
@@ -452,8 +453,7 @@ mod tests {
 
     #[test]
     fn recovery_detects_corruption() {
-        let dir = std::env::temp_dir()
-            .join(format!("pmblade-pm-corrupt-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("pmblade-pm-corrupt-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         let cost = CostModel::default();
         {

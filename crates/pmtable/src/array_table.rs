@@ -57,9 +57,8 @@ impl ArrayTableBuilder {
         self.meta
             .extend_from_slice(&(entry.value.len() as u32).to_le_bytes());
         self.data.extend_from_slice(&entry.user_key);
-        self.data.extend_from_slice(
-            &key::pack_trailer(entry.seq, entry.kind).to_le_bytes(),
-        );
+        self.data
+            .extend_from_slice(&key::pack_trailer(entry.seq, entry.kind).to_le_bytes());
         self.data.extend_from_slice(&entry.value);
         self.raw_bytes += entry.raw_len();
         self.count += 1;
@@ -71,13 +70,8 @@ impl ArrayTableBuilder {
     }
 
     /// Encode: header | metadata array | data array. Charges encode CPU.
-    pub fn finish(
-        self,
-        cost: &sim::CostModel,
-        tl: &mut Timeline,
-    ) -> (Vec<u8>, BuildStats) {
-        let mut out =
-            Vec::with_capacity(HEADER_LEN + self.meta.len() + self.data.len());
+    pub fn finish(self, cost: &sim::CostModel, tl: &mut Timeline) -> (Vec<u8>, BuildStats) {
+        let mut out = Vec::with_capacity(HEADER_LEN + self.meta.len() + self.data.len());
         out.extend_from_slice(&MAGIC.to_le_bytes());
         out.extend_from_slice(&(self.count as u32).to_le_bytes());
         out.extend_from_slice(&self.meta);
@@ -159,8 +153,7 @@ impl<S: Storage> ArrayTable<S> {
         let d = self.storage.bytes();
         let user_key = d[start..start + klen as usize].to_vec();
         let tstart = start + klen as usize;
-        let trailer =
-            u64::from_le_bytes(d[tstart..tstart + 8].try_into().unwrap());
+        let trailer = u64::from_le_bytes(d[tstart..tstart + 8].try_into().unwrap());
         let (seq, kind) = key::unpack_trailer(trailer);
         let value = d[tstart + 8..tstart + 8 + vlen as usize].to_vec();
         self.storage
@@ -216,12 +209,7 @@ impl<S: Storage> ArrayTable<S> {
 }
 
 impl<S: Storage> L0Table for ArrayTable<S> {
-    fn get(
-        &self,
-        user_key: &[u8],
-        snapshot: SequenceNumber,
-        tl: &mut Timeline,
-    ) -> Option<Lookup> {
+    fn get(&self, user_key: &[u8], snapshot: SequenceNumber, tl: &mut Timeline) -> Option<Lookup> {
         let mut idx = self.lower_bound(user_key, tl);
         // Versions of one key are adjacent, newest first; walk forward to
         // the first one at or below the snapshot.
@@ -383,9 +371,7 @@ mod tests {
     fn open_rejects_garbage() {
         let cost = CostModel::default();
         assert!(ArrayTable::open(DramBuf::new(vec![1, 2], cost)).is_err());
-        assert!(
-            ArrayTable::open(DramBuf::new(vec![0xAB; 16], cost)).is_err()
-        );
+        assert!(ArrayTable::open(DramBuf::new(vec![0xAB; 16], cost)).is_err());
     }
 
     #[test]

@@ -42,7 +42,12 @@ fn decode_record(r: &mut varint::Reader<'_>) -> Option<OwnedEntry> {
     let trailer = u64::from_le_bytes(r.read_bytes(8)?.try_into().unwrap());
     let value = r.read_slice()?.to_vec();
     let (seq, kind) = key::unpack_trailer(trailer);
-    Some(OwnedEntry { user_key, seq, kind: kind?, value })
+    Some(OwnedEntry {
+        user_key,
+        seq,
+        kind: kind?,
+        value,
+    })
 }
 
 /// Shared encoded form: header | meta rows | blob area.
@@ -55,23 +60,28 @@ struct Encoded {
 
 impl Encoded {
     fn new() -> Self {
-        Encoded { meta: Vec::new(), blobs: Vec::new(), rows: 0 }
+        Encoded {
+            meta: Vec::new(),
+            blobs: Vec::new(),
+            rows: 0,
+        }
     }
 
     fn push(&mut self, raw: &[u8]) -> usize {
         let comp = szip::compress(raw);
         let off = self.blobs.len() as u32;
         self.meta.extend_from_slice(&off.to_le_bytes());
-        self.meta.extend_from_slice(&(comp.len() as u32).to_le_bytes());
-        self.meta.extend_from_slice(&(raw.len() as u32).to_le_bytes());
+        self.meta
+            .extend_from_slice(&(comp.len() as u32).to_le_bytes());
+        self.meta
+            .extend_from_slice(&(raw.len() as u32).to_le_bytes());
         self.blobs.extend_from_slice(&comp);
         self.rows += 1;
         comp.len()
     }
 
     fn assemble(self, magic: u32) -> Vec<u8> {
-        let mut out =
-            Vec::with_capacity(HEADER_LEN + self.meta.len() + self.blobs.len());
+        let mut out = Vec::with_capacity(HEADER_LEN + self.meta.len() + self.blobs.len());
         out.extend_from_slice(&magic.to_le_bytes());
         out.extend_from_slice(&self.rows.to_le_bytes());
         out.extend_from_slice(&self.meta);
@@ -100,7 +110,11 @@ impl<S: Storage> Opened<S> {
         if blob_off > data.len() {
             return Err(format!("{what}: truncated metadata"));
         }
-        Ok(Opened { storage, rows, blob_off })
+        Ok(Opened {
+            storage,
+            rows,
+            blob_off,
+        })
     }
 
     fn meta_row(&self, idx: u32) -> (u32, u32, u32) {
@@ -158,9 +172,7 @@ impl SnappyTableBuilder {
 
     pub fn add(&mut self, entry: OwnedEntry) {
         if let Some(prev) = &self.last {
-            debug_assert!(
-                prev.internal_cmp(&entry) != std::cmp::Ordering::Greater
-            );
+            debug_assert!(prev.internal_cmp(&entry) != std::cmp::Ordering::Greater);
         }
         let rec = encode_record(&entry);
         self.compressed_input += rec.len();
@@ -174,16 +186,13 @@ impl SnappyTableBuilder {
         self.enc.rows as usize
     }
 
-    pub fn finish(
-        self,
-        cost: &sim::CostModel,
-        tl: &mut Timeline,
-    ) -> (Vec<u8>, BuildStats) {
+    pub fn finish(self, cost: &sim::CostModel, tl: &mut Timeline) -> (Vec<u8>, BuildStats) {
         // One compressor invocation per record: pay the per-call base every
         // time — the expense the paper calls out for Array-snappy.
         tl.charge(cost.cpu.compress_base * self.compress_calls as u64);
         tl.charge(
-            cost.cpu.compress(self.compressed_input)
+            cost.cpu
+                .compress(self.compressed_input)
                 .saturating_sub(cost.cpu.compress_base),
         );
         tl.charge(cost.cpu.merge_per_entry * self.enc.rows as u64);
@@ -224,18 +233,12 @@ impl<S: Storage> SnappyTable<S> {
 
     fn record(&self, idx: u32, tl: &mut Timeline) -> OwnedEntry {
         let raw = self.inner.load_blob(idx, tl);
-        decode_record(&mut varint::Reader::new(&raw))
-            .expect("record written by our builder")
+        decode_record(&mut varint::Reader::new(&raw)).expect("record written by our builder")
     }
 }
 
 impl<S: Storage> L0Table for SnappyTable<S> {
-    fn get(
-        &self,
-        user_key: &[u8],
-        snapshot: SequenceNumber,
-        tl: &mut Timeline,
-    ) -> Option<Lookup> {
+    fn get(&self, user_key: &[u8], snapshot: SequenceNumber, tl: &mut Timeline) -> Option<Lookup> {
         let cpu = self.inner.storage.cost_model().cpu;
         let (mut lo, mut hi) = (0u32, self.inner.rows);
         while lo < hi {
@@ -255,7 +258,11 @@ impl<S: Storage> L0Table for SnappyTable<S> {
                 return None;
             }
             if e.seq <= snapshot {
-                return Some(Lookup { seq: e.seq, kind: e.kind, value: e.value });
+                return Some(Lookup {
+                    seq: e.seq,
+                    kind: e.kind,
+                    value: e.value,
+                });
             }
             idx += 1;
         }
@@ -319,9 +326,7 @@ impl SnappyGroupTableBuilder {
 
     pub fn add(&mut self, entry: OwnedEntry) {
         if let Some(prev) = self.pending.last() {
-            debug_assert!(
-                prev.internal_cmp(&entry) != std::cmp::Ordering::Greater
-            );
+            debug_assert!(prev.internal_cmp(&entry) != std::cmp::Ordering::Greater);
         }
         self.raw_bytes += entry.raw_len();
         self.entries += 1;
@@ -352,17 +357,14 @@ impl SnappyGroupTableBuilder {
         self.entries
     }
 
-    pub fn finish(
-        mut self,
-        cost: &sim::CostModel,
-        tl: &mut Timeline,
-    ) -> (Vec<u8>, BuildStats) {
+    pub fn finish(mut self, cost: &sim::CostModel, tl: &mut Timeline) -> (Vec<u8>, BuildStats) {
         self.flush_group();
         // One compressor call per GROUP records: the per-call base is
         // amortized 8×, the saving the paper credits to group compression.
         tl.charge(cost.cpu.compress_base * self.compress_calls as u64);
         tl.charge(
-            cost.cpu.compress(self.compressed_input)
+            cost.cpu
+                .compress(self.compressed_input)
                 .saturating_sub(cost.cpu.compress_base),
         );
         tl.charge(cost.cpu.merge_per_entry * self.entries as u64);
@@ -414,11 +416,7 @@ impl<S: Storage> SnappyGroupTable<S> {
     }
 }
 
-fn decode_group<S: Storage>(
-    inner: &Opened<S>,
-    idx: u32,
-    tl: &mut Timeline,
-) -> Vec<OwnedEntry> {
+fn decode_group<S: Storage>(inner: &Opened<S>, idx: u32, tl: &mut Timeline) -> Vec<OwnedEntry> {
     let raw = inner.load_blob(idx, tl);
     let mut r = varint::Reader::new(&raw);
     let count = r.read_u32().expect("group header") as usize;
@@ -428,12 +426,7 @@ fn decode_group<S: Storage>(
 }
 
 impl<S: Storage> L0Table for SnappyGroupTable<S> {
-    fn get(
-        &self,
-        user_key: &[u8],
-        snapshot: SequenceNumber,
-        tl: &mut Timeline,
-    ) -> Option<Lookup> {
+    fn get(&self, user_key: &[u8], snapshot: SequenceNumber, tl: &mut Timeline) -> Option<Lookup> {
         let cpu = self.inner.storage.cost_model().cpu;
         // Binary search on groups: each probe decompresses a whole group
         // to read its first key — the cost the paper flags.
@@ -515,12 +508,14 @@ mod tests {
         }
         let mut tl = Timeline::new();
         let (bytes, stats) = b.finish(&cost, &mut tl);
-        (SnappyTable::open(DramBuf::new(bytes, cost)).unwrap(), stats, tl)
+        (
+            SnappyTable::open(DramBuf::new(bytes, cost)).unwrap(),
+            stats,
+            tl,
+        )
     }
 
-    fn build_group(
-        entries: &[OwnedEntry],
-    ) -> (SnappyGroupTable<DramBuf>, BuildStats, Timeline) {
+    fn build_group(entries: &[OwnedEntry]) -> (SnappyGroupTable<DramBuf>, BuildStats, Timeline) {
         let cost = CostModel::default();
         let mut b = SnappyGroupTableBuilder::new();
         for e in entries {

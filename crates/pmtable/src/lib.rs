@@ -40,7 +40,11 @@ pub struct OwnedEntry {
 }
 
 impl OwnedEntry {
-    pub fn value(user_key: impl Into<Vec<u8>>, seq: SequenceNumber, value: impl Into<Vec<u8>>) -> Self {
+    pub fn value(
+        user_key: impl Into<Vec<u8>>,
+        seq: SequenceNumber,
+        value: impl Into<Vec<u8>>,
+    ) -> Self {
         OwnedEntry {
             user_key: user_key.into(),
             seq,

@@ -67,12 +67,10 @@ impl MetaExtractor {
                 let n = (n as usize).min(key.len());
                 key.split_at(n)
             }
-            MetaExtractor::Delimiter(d) => {
-                match key.iter().position(|&b| b == d) {
-                    Some(i) => key.split_at(i + 1),
-                    None => (&key[..0], key),
-                }
-            }
+            MetaExtractor::Delimiter(d) => match key.iter().position(|&b| b == d) {
+                Some(i) => key.split_at(i + 1),
+                None => (&key[..0], key),
+            },
         }
     }
 
@@ -105,7 +103,10 @@ pub struct PmTableOptions {
 
 impl Default for PmTableOptions {
     fn default() -> Self {
-        PmTableOptions { group_size: 16, extractor: MetaExtractor::None }
+        PmTableOptions {
+            group_size: 16,
+            extractor: MetaExtractor::None,
+        }
     }
 }
 
@@ -119,7 +120,11 @@ pub struct PmTableBuilder {
 impl PmTableBuilder {
     pub fn new(opts: PmTableOptions) -> Self {
         assert!(opts.group_size >= 2, "group size must be at least 2");
-        PmTableBuilder { opts, entries: Vec::new(), raw_bytes: 0 }
+        PmTableBuilder {
+            opts,
+            entries: Vec::new(),
+            raw_bytes: 0,
+        }
     }
 
     /// Append the next entry; must not sort before the previous one.
@@ -144,11 +149,7 @@ impl PmTableBuilder {
 
     /// Encode the table, charging CPU encode cost to `tl`.
     /// Returns the payload (to be published to PM) and build stats.
-    pub fn finish(
-        self,
-        cost: &sim::CostModel,
-        tl: &mut Timeline,
-    ) -> (Vec<u8>, BuildStats) {
+    pub fn finish(self, cost: &sim::CostModel, tl: &mut Timeline) -> (Vec<u8>, BuildStats) {
         let opts = self.opts;
         let entries = self.entries;
         // Group assignment: split on group_size or meta change.
@@ -164,9 +165,7 @@ impl PmTableBuilder {
             while i < entries.len() {
                 let (meta, _) = opts.extractor.split(&entries[i].user_key);
                 let meta_id = match metas.last() {
-                    Some(last) if last.as_slice() == meta => {
-                        (metas.len() - 1) as u16
-                    }
+                    Some(last) if last.as_slice() == meta => (metas.len() - 1) as u16,
                     _ => {
                         metas.push(meta.to_vec());
                         (metas.len() - 1) as u16
@@ -174,14 +173,17 @@ impl PmTableBuilder {
                 };
                 let mut len = 1usize;
                 while len < opts.group_size && i + len < entries.len() {
-                    let (m, _) =
-                        opts.extractor.split(&entries[i + len].user_key);
+                    let (m, _) = opts.extractor.split(&entries[i + len].user_key);
                     if m != metas[meta_id as usize].as_slice() {
                         break;
                     }
                     len += 1;
                 }
-                groups.push(Group { start: i, len, meta_id });
+                groups.push(Group {
+                    start: i,
+                    len,
+                    meta_id,
+                });
                 i += len;
             }
         }
@@ -199,13 +201,13 @@ impl PmTableBuilder {
                 .collect();
             // The group's shared prefix (after meta strip) is the LCP of
             // its first and last key, since the group is sorted.
-            let lcp = encoding::prefix::common_prefix_len(
-                rests[0],
-                rests[rests.len() - 1],
+            let lcp = encoding::prefix::common_prefix_len(rests[0], rests[rests.len() - 1]);
+            debug_assert!(
+                meta.is_empty()
+                    || slice
+                        .iter()
+                        .all(|e| { opts.extractor.split(&e.user_key).0 == meta.as_slice() })
             );
-            debug_assert!(meta.is_empty() || slice.iter().all(|e| {
-                opts.extractor.split(&e.user_key).0 == meta.as_slice()
-            }));
             let block_off = entry_layer.len() as u32;
             varint::put_u32(&mut entry_layer, lcp as u32);
             entry_layer.extend_from_slice(&rests[0][..lcp]);
@@ -213,9 +215,7 @@ impl PmTableBuilder {
                 let krem = &rest[lcp..];
                 varint::put_u32(&mut entry_layer, krem.len() as u32);
                 varint::put_u32(&mut entry_layer, e.value.len() as u32);
-                entry_layer.extend_from_slice(
-                    &key::pack_trailer(e.seq, e.kind).to_le_bytes(),
-                );
+                entry_layer.extend_from_slice(&key::pack_trailer(e.seq, e.kind).to_le_bytes());
                 entry_layer.extend_from_slice(krem);
                 entry_layer.extend_from_slice(&e.value);
             }
@@ -224,9 +224,7 @@ impl PmTableBuilder {
             gindex.extend_from_slice(&block_len.to_le_bytes());
             gindex.extend_from_slice(&(g.len as u16).to_le_bytes());
             gindex.extend_from_slice(&g.meta_id.to_le_bytes());
-            prefixes.extend_from_slice(
-                FixedPrefix::<PREFIX_WIDTH>::of(rests[0]).as_bytes(),
-            );
+            prefixes.extend_from_slice(FixedPrefix::<PREFIX_WIDTH>::of(rests[0]).as_bytes());
         }
 
         // Meta layer with group ranges.
@@ -238,15 +236,12 @@ impl PmTableBuilder {
             let mut cursor = 0usize;
             for (mid, meta) in metas.iter().enumerate() {
                 let first = cursor;
-                while cursor < groups.len()
-                    && groups[cursor].meta_id as usize == mid
-                {
+                while cursor < groups.len() && groups[cursor].meta_id as usize == mid {
                     cursor += 1;
                 }
                 varint::put_slice(&mut meta_layer, meta);
                 meta_layer.extend_from_slice(&(first as u32).to_le_bytes());
-                meta_layer
-                    .extend_from_slice(&((cursor - first) as u32).to_le_bytes());
+                meta_layer.extend_from_slice(&((cursor - first) as u32).to_le_bytes());
             }
         }
 
@@ -339,9 +334,8 @@ impl<S: Storage> PmTable<S> {
         if data.len() < HEADER_LEN {
             return Err(PmTableError::Truncated);
         }
-        let u32_at = |off: usize| -> u32 {
-            u32::from_le_bytes(data[off..off + 4].try_into().unwrap())
-        };
+        let u32_at =
+            |off: usize| -> u32 { u32::from_le_bytes(data[off..off + 4].try_into().unwrap()) };
         if u32_at(0) != MAGIC {
             return Err(PmTableError::BadMagic);
         }
@@ -363,15 +357,10 @@ impl<S: Storage> PmTable<S> {
         // Decode meta layer.
         let mut metas = Vec::new();
         {
-            let mut r = varint::Reader::new(
-                &data[meta_off as usize..prefix_off as usize],
-            );
+            let mut r = varint::Reader::new(&data[meta_off as usize..prefix_off as usize]);
             let count = r.read_u32().ok_or(PmTableError::Truncated)?;
             for _ in 0..count {
-                let prefix = r
-                    .read_slice()
-                    .ok_or(PmTableError::Truncated)?
-                    .to_vec();
+                let prefix = r.read_slice().ok_or(PmTableError::Truncated)?.to_vec();
                 let first_group = u32::from_le_bytes(
                     r.read_bytes(4)
                         .ok_or(PmTableError::Truncated)?
@@ -384,7 +373,11 @@ impl<S: Storage> PmTable<S> {
                         .try_into()
                         .unwrap(),
                 );
-                metas.push(MetaRow { prefix, first_group, group_count: gcount });
+                metas.push(MetaRow {
+                    prefix,
+                    first_group,
+                    group_count: gcount,
+                });
             }
         }
         let mut table = PmTable {
@@ -407,8 +400,7 @@ impl<S: Storage> PmTable<S> {
             let last = table
                 .decode_group(group_count - 1, &mut scratch)
                 .ok_or(PmTableError::Corrupt("last group"))?;
-            table.first_key =
-                first.first().map(|e| e.user_key.clone());
+            table.first_key = first.first().map(|e| e.user_key.clone());
             table.last_key = last.last().map(|e| e.user_key.clone());
         }
         Ok(table)
@@ -421,14 +413,10 @@ impl<S: Storage> PmTable<S> {
     fn gindex(&self, group: u32) -> (u32, u32, u16, u16) {
         let off = self.gindex_off as usize + group as usize * GINDEX_ENTRY_LEN;
         let data = self.storage.bytes();
-        let block_off =
-            u32::from_le_bytes(data[off..off + 4].try_into().unwrap());
-        let block_len =
-            u32::from_le_bytes(data[off + 4..off + 8].try_into().unwrap());
-        let count =
-            u16::from_le_bytes(data[off + 8..off + 10].try_into().unwrap());
-        let meta_id =
-            u16::from_le_bytes(data[off + 10..off + 12].try_into().unwrap());
+        let block_off = u32::from_le_bytes(data[off..off + 4].try_into().unwrap());
+        let block_len = u32::from_le_bytes(data[off + 4..off + 8].try_into().unwrap());
+        let count = u16::from_le_bytes(data[off + 8..off + 10].try_into().unwrap());
+        let meta_id = u16::from_le_bytes(data[off + 10..off + 12].try_into().unwrap());
         (block_off, block_len, count, meta_id)
     }
 
@@ -438,17 +426,15 @@ impl<S: Storage> PmTable<S> {
     }
 
     /// Decode every entry of one group, metering one block read.
-    fn decode_group(
-        &self,
-        group: u32,
-        tl: &mut Timeline,
-    ) -> Option<Vec<OwnedEntry>> {
+    fn decode_group(&self, group: u32, tl: &mut Timeline) -> Option<Vec<OwnedEntry>> {
         let (block_off, block_len, count, meta_id) = self.gindex(group);
         self.storage.meter_random(block_len as usize, tl);
         let meta = &self.metas.get(meta_id as usize)?.prefix;
         let start = self.entry_off as usize + block_off as usize;
-        let block =
-            self.storage.bytes().get(start..start + block_len as usize)?;
+        let block = self
+            .storage
+            .bytes()
+            .get(start..start + block_len as usize)?;
         let mut r = varint::Reader::new(block);
         let lcp_len = r.read_u32()? as usize;
         let lcp = r.read_bytes(lcp_len)?.to_vec();
@@ -460,12 +446,16 @@ impl<S: Storage> PmTable<S> {
             let krem = r.read_bytes(krem_len)?;
             let value = r.read_bytes(vlen)?.to_vec();
             let (seq, kind) = key::unpack_trailer(trailer);
-            let mut user_key =
-                Vec::with_capacity(meta.len() + lcp.len() + krem.len());
+            let mut user_key = Vec::with_capacity(meta.len() + lcp.len() + krem.len());
             user_key.extend_from_slice(meta);
             user_key.extend_from_slice(&lcp);
             user_key.extend_from_slice(krem);
-            out.push(OwnedEntry { user_key, seq, kind: kind?, value });
+            out.push(OwnedEntry {
+                user_key,
+                seq,
+                kind: kind?,
+                value,
+            });
         }
         Some(out)
     }
@@ -478,8 +468,10 @@ impl<S: Storage> PmTable<S> {
             return None;
         }
         let start = self.entry_off as usize + block_off as usize;
-        let block =
-            self.storage.bytes().get(start..start + block_len as usize)?;
+        let block = self
+            .storage
+            .bytes()
+            .get(start..start + block_len as usize)?;
         let mut r = varint::Reader::new(block);
         let lcp_len = r.read_u32()? as usize;
         let lcp = r.read_bytes(lcp_len)?;
@@ -496,13 +488,7 @@ impl<S: Storage> PmTable<S> {
     /// Binary search the prefix layer within `[lo, hi)` for the last group
     /// whose leader prefix <= probe. Charges one fixed-size PM read per
     /// probe.
-    fn locate_group(
-        &self,
-        rest: &[u8],
-        lo: u32,
-        hi: u32,
-        tl: &mut Timeline,
-    ) -> u32 {
+    fn locate_group(&self, rest: &[u8], lo: u32, hi: u32, tl: &mut Timeline) -> u32 {
         let probe = FixedPrefix::<PREFIX_WIDTH>::of(rest);
         let cpu = self.storage.cost_model().cpu;
         let (mut lo, mut hi) = (lo as i64, hi as i64);
@@ -511,8 +497,7 @@ impl<S: Storage> PmTable<S> {
             let mid = (lo + hi) / 2;
             self.storage.meter_random(PREFIX_WIDTH, tl);
             tl.charge(cpu.key_compare);
-            let leader =
-                FixedPrefix::<PREFIX_WIDTH>::of(self.prefix_at(mid as u32));
+            let leader = FixedPrefix::<PREFIX_WIDTH>::of(self.prefix_at(mid as u32));
             if leader <= probe {
                 lo = mid + 1;
             } else {
@@ -524,33 +509,21 @@ impl<S: Storage> PmTable<S> {
 }
 
 impl<S: Storage> L0Table for PmTable<S> {
-    fn get(
-        &self,
-        user_key: &[u8],
-        snapshot: SequenceNumber,
-        tl: &mut Timeline,
-    ) -> Option<Lookup> {
+    fn get(&self, user_key: &[u8], snapshot: SequenceNumber, tl: &mut Timeline) -> Option<Lookup> {
         if self.group_count == 0 {
             return None;
         }
         let (meta, rest) = self.extractor.split(user_key);
         // Meta layer is DRAM-resident; binary search it at DRAM cost.
         let cpu = self.storage.cost_model().cpu;
-        tl.charge(
-            cpu.key_compare
-                * (self.metas.len().max(2) as u64).ilog2() as u64,
-        );
+        tl.charge(cpu.key_compare * (self.metas.len().max(2) as u64).ilog2() as u64);
         let mid = self
             .metas
             .binary_search_by(|row| row.prefix.as_slice().cmp(meta))
             .ok()?;
         let row = &self.metas[mid];
-        let mut group = self.locate_group(
-            rest,
-            row.first_group,
-            row.first_group + row.group_count,
-            tl,
-        );
+        let mut group =
+            self.locate_group(rest, row.first_group, row.first_group + row.group_count, tl);
         // Fixed-width leaders can tie across groups; if the probe sorts
         // before this group's *full* first key, the match (if any) lives
         // in an earlier group with the same leader. Step back until the
@@ -569,7 +542,11 @@ impl<S: Storage> L0Table for PmTable<S> {
             .into_iter()
             .filter(|e| e.user_key == user_key && e.seq <= snapshot)
             .max_by_key(|e| e.seq)
-            .map(|e| Lookup { seq: e.seq, kind: e.kind, value: e.value })
+            .map(|e| Lookup {
+                seq: e.seq,
+                kind: e.kind,
+                value: e.value,
+            })
     }
 
     fn entry_count(&self) -> usize {
@@ -628,12 +605,8 @@ impl<S: Storage> PmTable<S> {
         let mut out = Vec::new();
         let mut group = match self.metas.get(start_meta) {
             Some(row) if row.prefix.as_slice() == meta => {
-                let mut g = self.locate_group(
-                    rest,
-                    row.first_group,
-                    row.first_group + row.group_count,
-                    tl,
-                );
+                let mut g =
+                    self.locate_group(rest, row.first_group, row.first_group + row.group_count, tl);
                 // Same fixed-width-prefix tie handling as `get`: step
                 // back while the located group's full first key sorts
                 // after the scan start, or entries in earlier tied
@@ -681,14 +654,11 @@ impl<S: Storage> PmTable<S> {
 mod tests {
     use super::*;
     use crate::storage::DramBuf;
-    use encoding::key::KeyKind;
     use crate::testutil::index_entries;
+    use encoding::key::KeyKind;
     use sim::CostModel;
 
-    fn build(
-        entries: &[OwnedEntry],
-        opts: PmTableOptions,
-    ) -> PmTable<DramBuf> {
+    fn build(entries: &[OwnedEntry], opts: PmTableOptions) -> PmTable<DramBuf> {
         let cost = CostModel::default();
         let mut b = PmTableBuilder::new(opts);
         for e in entries {
@@ -832,11 +802,17 @@ mod tests {
         let entries = index_entries(333, 12, 7);
         let t8 = build(
             &entries,
-            PmTableOptions { group_size: 8, ..delim_opts() },
+            PmTableOptions {
+                group_size: 8,
+                ..delim_opts()
+            },
         );
         let t16 = build(
             &entries,
-            PmTableOptions { group_size: 16, ..delim_opts() },
+            PmTableOptions {
+                group_size: 16,
+                ..delim_opts()
+            },
         );
         let mut tl = Timeline::new();
         for e in entries.iter().step_by(17) {
@@ -861,7 +837,10 @@ mod tests {
         entries.sort_by(|a, b| a.internal_cmp(b));
         let t = build(
             &entries,
-            PmTableOptions { group_size: 16, extractor: MetaExtractor::None },
+            PmTableOptions {
+                group_size: 16,
+                extractor: MetaExtractor::None,
+            },
         );
         let mut tl = Timeline::new();
         for e in &entries {
@@ -877,10 +856,7 @@ mod tests {
         let entries = index_entries(64, 8, 8);
         let t = build(&entries, delim_opts());
         assert_eq!(t.first_user_key().unwrap(), entries[0].user_key);
-        assert_eq!(
-            t.last_user_key().unwrap(),
-            entries.last().unwrap().user_key
-        );
+        assert_eq!(t.last_user_key().unwrap(), entries.last().unwrap().user_key);
     }
 
     #[test]

@@ -51,11 +51,17 @@ pub struct DramBuf {
 
 impl DramBuf {
     pub fn new(data: Vec<u8>, cost: CostModel) -> Self {
-        DramBuf { data: Arc::new(data), cost }
+        DramBuf {
+            data: Arc::new(data),
+            cost,
+        }
     }
 
     pub fn with_default_cost(data: Vec<u8>) -> Self {
-        DramBuf { data: Arc::new(data), cost: CostModel::default() }
+        DramBuf {
+            data: Arc::new(data),
+            cost: CostModel::default(),
+        }
     }
 }
 

@@ -28,7 +28,9 @@ pub mod test_runner {
                 h ^= b as u64;
                 h = h.wrapping_mul(0x0000_0100_0000_01b3);
             }
-            TestRng { state: h ^ ((case as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)) }
+            TestRng {
+                state: h ^ ((case as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+            }
         }
 
         #[inline]
@@ -63,13 +65,19 @@ pub mod test_runner {
 
     impl Default for ProptestConfig {
         fn default() -> Self {
-            ProptestConfig { cases: 64, max_shrink_iters: 0 }
+            ProptestConfig {
+                cases: 64,
+                max_shrink_iters: 0,
+            }
         }
     }
 
     impl ProptestConfig {
         pub fn with_cases(cases: u32) -> Self {
-            ProptestConfig { cases, ..Default::default() }
+            ProptestConfig {
+                cases,
+                ..Default::default()
+            }
         }
     }
 }
@@ -270,7 +278,9 @@ pub mod arbitrary {
     impl Arbitrary for String {
         fn arbitrary(rng: &mut TestRng) -> String {
             let len = rng.below(64) as usize;
-            (0..len).map(|_| (b'a' + rng.below(26) as u8) as char).collect()
+            (0..len)
+                .map(|_| (b'a' + rng.below(26) as u8) as char)
+                .collect()
         }
     }
 }
@@ -325,7 +335,10 @@ pub mod collection {
     }
 
     pub fn vec<S: Strategy>(element: S, size: impl SizeRange + 'static) -> VecStrategy<S> {
-        VecStrategy { element, size: Box::new(size) }
+        VecStrategy {
+            element,
+            size: Box::new(size),
+        }
     }
 
     pub struct BTreeSetStrategy<S> {
@@ -352,14 +365,14 @@ pub mod collection {
         }
     }
 
-    pub fn btree_set<S: Strategy>(
-        element: S,
-        size: impl SizeRange + 'static,
-    ) -> BTreeSetStrategy<S>
+    pub fn btree_set<S: Strategy>(element: S, size: impl SizeRange + 'static) -> BTreeSetStrategy<S>
     where
         S::Value: Ord,
     {
-        BTreeSetStrategy { element, size: Box::new(size) }
+        BTreeSetStrategy {
+            element,
+            size: Box::new(size),
+        }
     }
 }
 
@@ -398,7 +411,9 @@ pub mod sample {
 
     /// Uniformly pick one of the given items.
     pub fn select<T: Clone>(items: impl Into<Vec<T>>) -> Select<T> {
-        Select { items: items.into() }
+        Select {
+            items: items.into(),
+        }
     }
 }
 

@@ -80,9 +80,7 @@ impl DeviceCost {
 
 #[inline]
 fn per_byte(unit: SimDuration, bytes: usize) -> SimDuration {
-    SimDuration::from_nanos(
-        (unit.as_nanos() as u128 * bytes as u128 / 1024) as u64,
-    )
+    SimDuration::from_nanos((unit.as_nanos() as u128 * bytes as u128 / 1024) as u64)
 }
 
 /// CPU work costs, charged to timelines for compute-bound table work.
@@ -256,12 +254,9 @@ mod tests {
         // 2.6us cached, 22.3us on SSD (one 4K block + search).
         let m = CostModel::default();
         let probes = 20u64;
-        let pm: SimDuration =
-            (0..probes).map(|_| m.pm.random_read(32)).sum();
-        let dram: SimDuration =
-            (0..probes).map(|_| m.dram.random_read(32)).sum();
-        let ssd = m.ssd.random_read(4096)
-            + (0..probes).map(|_| m.dram.random_read(32)).sum();
+        let pm: SimDuration = (0..probes).map(|_| m.pm.random_read(32)).sum();
+        let dram: SimDuration = (0..probes).map(|_| m.dram.random_read(32)).sum();
+        let ssd = m.ssd.random_read(4096) + (0..probes).map(|_| m.dram.random_read(32)).sum();
         let pm_us = pm.as_micros_f64();
         let dram_us = dram.as_micros_f64();
         let ssd_us = ssd.as_micros_f64();
@@ -312,20 +307,15 @@ mod tests {
         // Persistence: a pricier barrier, but page- rather than
         // cacheline-granular, so bulk flushes cost less per byte.
         assert!(cxl.pm.persist > optane.pm.persist);
-        let per_byte_optane = optane.pm.persist.as_nanos() as f64
-            / optane.pm.granularity as f64;
-        let per_byte_cxl =
-            cxl.pm.persist.as_nanos() as f64 / cxl.pm.granularity as f64;
+        let per_byte_optane = optane.pm.persist.as_nanos() as f64 / optane.pm.granularity as f64;
+        let per_byte_cxl = cxl.pm.persist.as_nanos() as f64 / cxl.pm.granularity as f64;
         assert!(per_byte_cxl < per_byte_optane);
     }
 
     #[test]
     fn device_class_lookup() {
         let m = CostModel::default();
-        assert_eq!(
-            m.device(DeviceClass::Pm).read_base,
-            m.pm.read_base
-        );
+        assert_eq!(m.device(DeviceClass::Pm).read_base, m.pm.read_base);
         assert_eq!(DeviceClass::Ssd.name(), "ssd");
     }
 }

@@ -27,7 +27,10 @@ pub struct CpuCores {
 impl CpuCores {
     pub fn new(cores: usize) -> Self {
         assert!(cores > 0, "need at least one core");
-        CpuCores { free_at: vec![SimInstant::ORIGIN; cores], busy: SimDuration::ZERO }
+        CpuCores {
+            free_at: vec![SimInstant::ORIGIN; cores],
+            busy: SimDuration::ZERO,
+        }
     }
 
     pub fn cores(&self) -> usize {
@@ -49,12 +52,7 @@ impl CpuCores {
     /// Run a CPU burst on a *specific* core — models worker threads
     /// pinned to physical cores, where a blocked coroutine leaves its
     /// own core idle even if another core's queue is shorter.
-    pub fn run_on(
-        &mut self,
-        core: usize,
-        now: SimInstant,
-        dur: SimDuration,
-    ) -> SimInstant {
+    pub fn run_on(&mut self, core: usize, now: SimInstant, dur: SimDuration) -> SimInstant {
         let start = self.free_at[core].max(now);
         let end = start + dur;
         self.free_at[core] = end;
@@ -64,7 +62,12 @@ impl CpuCores {
 
     /// Earliest instant any core is available for a task at `now`.
     pub fn next_available(&self, now: SimInstant) -> SimInstant {
-        self.free_at.iter().copied().min().unwrap_or(SimInstant::ORIGIN).max(now)
+        self.free_at
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(SimInstant::ORIGIN)
+            .max(now)
     }
 
     /// Total core-busy virtual time consumed so far.
@@ -74,8 +77,7 @@ impl CpuCores {
 
     /// Fraction of capacity used over `[start, end]`.
     pub fn utilization(&self, start: SimInstant, end: SimInstant) -> f64 {
-        let span = end.duration_since(start).as_nanos() as f64
-            * self.free_at.len() as f64;
+        let span = end.duration_since(start).as_nanos() as f64 * self.free_at.len() as f64;
         if span == 0.0 {
             return 0.0;
         }
@@ -138,21 +140,20 @@ impl IoDevice {
 
     /// Submit a request at `now` with base (uncontended) service time
     /// `service`. Returns the completion record.
-    pub fn submit(
-        &mut self,
-        now: SimInstant,
-        service: SimDuration,
-    ) -> IoCompletion {
+    pub fn submit(&mut self, now: SimInstant, service: SimDuration) -> IoCompletion {
         let depth = self.depth_at(now) + 1;
-        let inflated =
-            service.mul_f64(1.0 + self.contention_penalty * (depth - 1) as f64);
+        let inflated = service.mul_f64(1.0 + self.contention_penalty * (depth - 1) as f64);
         let start = self.free_at.max(now);
         let end = start + inflated;
         self.free_at = end;
         self.busy += inflated;
         self.inflight.push(end);
         self.completions += 1;
-        let rec = IoCompletion { issued: now, completed: end, depth };
+        let rec = IoCompletion {
+            issued: now,
+            completed: end,
+            depth,
+        };
         self.total_latency += rec.latency();
         rec
     }

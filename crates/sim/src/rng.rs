@@ -19,7 +19,10 @@ const PCG_MULT: u64 = 6364136223846793005;
 impl Pcg64 {
     /// Create a generator from a seed and stream id.
     pub fn new(seed: u64, stream: u64) -> Self {
-        let mut rng = Pcg64 { state: 0, inc: (stream << 1) | 1 };
+        let mut rng = Pcg64 {
+            state: 0,
+            inc: (stream << 1) | 1,
+        };
         rng.next_u32();
         rng.state = rng.state.wrapping_add(seed);
         rng.next_u32();
@@ -119,9 +122,15 @@ impl Zipfian {
         let zetan = Self::zeta(n, theta);
         let zeta2 = Self::zeta(2, theta);
         let alpha = 1.0 / (1.0 - theta);
-        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta))
-            / (1.0 - zeta2 / zetan);
-        Zipfian { n, theta, alpha, zetan, eta, zeta2 }
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipfian {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            zeta2,
+        }
     }
 
     fn zeta(n: u64, theta: f64) -> f64 {
@@ -130,8 +139,7 @@ impl Zipfian {
         if n <= 10_000 {
             (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
         } else {
-            let head: f64 =
-                (1..=10_000u64).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+            let head: f64 = (1..=10_000u64).map(|i| 1.0 / (i as f64).powf(theta)).sum();
             // integral of x^-theta from 10000 to n
             let a = 1.0 - theta;
             head + ((n as f64).powf(a) - 10_000f64.powf(a)) / a
@@ -203,9 +211,7 @@ impl KeyDistribution {
     /// (exclusive). For `Latest`, samples are taken near `max_key`.
     pub fn sample(&self, rng: &mut Pcg64, max_key: u64) -> u64 {
         match self {
-            KeyDistribution::Uniform { n } => {
-                rng.next_below((*n).min(max_key.max(1)))
-            }
+            KeyDistribution::Uniform { n } => rng.next_below((*n).min(max_key.max(1))),
             KeyDistribution::Zipfian(z) => {
                 let rank = z.sample(rng);
                 // Scatter ranks over the key space deterministically so
@@ -317,9 +323,8 @@ mod tests {
         let mut rng = Pcg64::seeded(11);
         let hot = Zipfian::new(10_000, 0.99);
         let mild = Zipfian::new(10_000, 0.4);
-        let count = |z: &Zipfian, rng: &mut Pcg64| {
-            (0..10_000).filter(|_| z.sample(rng) < 10).count()
-        };
+        let count =
+            |z: &Zipfian, rng: &mut Pcg64| (0..10_000).filter(|_| z.sample(rng) < 10).count();
         let h = count(&hot, &mut rng);
         let m = count(&mild, &mut rng);
         assert!(h > 2 * m, "hot {h} vs mild {m}");

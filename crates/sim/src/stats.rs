@@ -18,7 +18,9 @@ pub struct Counter {
 
 impl Counter {
     pub const fn new() -> Self {
-        Counter { value: AtomicU64::new(0) }
+        Counter {
+            value: AtomicU64::new(0),
+        }
     }
 
     #[inline]
@@ -44,7 +46,9 @@ impl Counter {
 
 impl Clone for Counter {
     fn clone(&self) -> Self {
-        Counter { value: AtomicU64::new(self.get()) }
+        Counter {
+            value: AtomicU64::new(self.get()),
+        }
     }
 }
 
@@ -131,6 +135,11 @@ impl Histogram {
 
     pub fn count(&self) -> u64 {
         self.total
+    }
+
+    /// Exact sum of every recorded value (for mean / Prometheus `_sum`).
+    pub fn sum(&self) -> u128 {
+        self.sum
     }
 
     pub fn is_empty(&self) -> bool {

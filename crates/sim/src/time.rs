@@ -26,17 +26,23 @@ impl SimDuration {
 
     #[inline]
     pub const fn from_micros(micros: u64) -> Self {
-        SimDuration { nanos: micros * 1_000 }
+        SimDuration {
+            nanos: micros * 1_000,
+        }
     }
 
     #[inline]
     pub const fn from_millis(millis: u64) -> Self {
-        SimDuration { nanos: millis * 1_000_000 }
+        SimDuration {
+            nanos: millis * 1_000_000,
+        }
     }
 
     #[inline]
     pub const fn from_secs(secs: u64) -> Self {
-        SimDuration { nanos: secs * 1_000_000_000 }
+        SimDuration {
+            nanos: secs * 1_000_000_000,
+        }
     }
 
     #[inline]
@@ -61,14 +67,18 @@ impl SimDuration {
 
     #[inline]
     pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
-        SimDuration { nanos: self.nanos.saturating_sub(rhs.nanos) }
+        SimDuration {
+            nanos: self.nanos.saturating_sub(rhs.nanos),
+        }
     }
 
     /// Scale by a float factor, used by cost models for per-byte terms.
     #[inline]
     pub fn mul_f64(self, factor: f64) -> SimDuration {
         debug_assert!(factor >= 0.0);
-        SimDuration { nanos: (self.nanos as f64 * factor).round() as u64 }
+        SimDuration {
+            nanos: (self.nanos as f64 * factor).round() as u64,
+        }
     }
 
     #[inline]
@@ -94,7 +104,9 @@ impl Add for SimDuration {
     type Output = SimDuration;
     #[inline]
     fn add(self, rhs: SimDuration) -> SimDuration {
-        SimDuration { nanos: self.nanos + rhs.nanos }
+        SimDuration {
+            nanos: self.nanos + rhs.nanos,
+        }
     }
 }
 
@@ -109,7 +121,9 @@ impl Sub for SimDuration {
     type Output = SimDuration;
     #[inline]
     fn sub(self, rhs: SimDuration) -> SimDuration {
-        SimDuration { nanos: self.nanos - rhs.nanos }
+        SimDuration {
+            nanos: self.nanos - rhs.nanos,
+        }
     }
 }
 
@@ -117,7 +131,9 @@ impl Mul<u64> for SimDuration {
     type Output = SimDuration;
     #[inline]
     fn mul(self, rhs: u64) -> SimDuration {
-        SimDuration { nanos: self.nanos * rhs }
+        SimDuration {
+            nanos: self.nanos * rhs,
+        }
     }
 }
 
@@ -125,7 +141,9 @@ impl Div<u64> for SimDuration {
     type Output = SimDuration;
     #[inline]
     fn div(self, rhs: u64) -> SimDuration {
-        SimDuration { nanos: self.nanos / rhs }
+        SimDuration {
+            nanos: self.nanos / rhs,
+        }
     }
 }
 
@@ -194,7 +212,9 @@ impl Add<SimDuration> for SimInstant {
     type Output = SimInstant;
     #[inline]
     fn add(self, rhs: SimDuration) -> SimInstant {
-        SimInstant { nanos: self.nanos + rhs.as_nanos() }
+        SimInstant {
+            nanos: self.nanos + rhs.as_nanos(),
+        }
     }
 }
 
@@ -218,7 +238,9 @@ pub struct Timeline {
 impl Timeline {
     #[inline]
     pub fn new() -> Self {
-        Timeline { elapsed: SimDuration::ZERO }
+        Timeline {
+            elapsed: SimDuration::ZERO,
+        }
     }
 
     /// Charge `d` virtual time to this operation.
@@ -281,8 +303,7 @@ mod tests {
 
     #[test]
     fn duration_sum() {
-        let total: SimDuration =
-            (1..=4).map(SimDuration::from_nanos).sum();
+        let total: SimDuration = (1..=4).map(SimDuration::from_nanos).sum();
         assert_eq!(total.as_nanos(), 10);
     }
 

@@ -18,7 +18,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use sim::{Counter, CostModel, SimDuration, Timeline};
+use sim::{CostModel, Counter, SimDuration, Timeline};
 
 /// Shared SSD statistics.
 #[derive(Default, Debug)]
@@ -41,7 +41,12 @@ pub enum SsdError {
     /// No object with that name.
     NotFound(String),
     /// Read past the end of an object.
-    OutOfBounds { name: String, offset: u64, len: usize, size: u64 },
+    OutOfBounds {
+        name: String,
+        offset: u64,
+        len: usize,
+        size: u64,
+    },
     /// An object with that name already exists.
     AlreadyExists(String),
 }
@@ -50,7 +55,12 @@ impl std::fmt::Display for SsdError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SsdError::NotFound(n) => write!(f, "ssd object not found: {n}"),
-            SsdError::OutOfBounds { name, offset, len, size } => write!(
+            SsdError::OutOfBounds {
+                name,
+                offset,
+                len,
+                size,
+            } => write!(
                 f,
                 "ssd read out of bounds: {name} offset {offset} len {len} size {size}"
             ),
@@ -85,13 +95,19 @@ impl IoPressure {
     /// RAII guard marking one client read in flight.
     pub fn begin_client_read(self: &Arc<Self>) -> IoGuard {
         self.client_reads.fetch_add(1, Ordering::Relaxed);
-        IoGuard { pressure: Arc::clone(self), kind: IoKind::Client }
+        IoGuard {
+            pressure: Arc::clone(self),
+            kind: IoKind::Client,
+        }
     }
 
     /// RAII guard marking one compaction I/O in flight.
     pub fn begin_compaction_io(self: &Arc<Self>) -> IoGuard {
         self.compaction_ios.fetch_add(1, Ordering::Relaxed);
-        IoGuard { pressure: Arc::clone(self), kind: IoKind::Compaction }
+        IoGuard {
+            pressure: Arc::clone(self),
+            kind: IoKind::Compaction,
+        }
     }
 
     /// The paper's flush-coroutine admission count:
@@ -156,10 +172,7 @@ impl SsdDevice {
 
     /// Begin writing a new object. The writer buffers in DRAM and meters
     /// device costs per [`SsdWriter::flush`].
-    pub fn create(
-        self: &Arc<Self>,
-        name: impl Into<String>,
-    ) -> Result<SsdWriter, SsdError> {
+    pub fn create(self: &Arc<Self>, name: impl Into<String>) -> Result<SsdWriter, SsdError> {
         let name = name.into();
         let objects = self.objects.lock();
         if objects.contains_key(&name) {
@@ -299,12 +312,7 @@ impl SsdFile {
     }
 
     /// Random block read: charges a full device access.
-    pub fn read(
-        &self,
-        offset: u64,
-        len: usize,
-        tl: &mut Timeline,
-    ) -> Result<&[u8], SsdError> {
+    pub fn read(&self, offset: u64, len: usize, tl: &mut Timeline) -> Result<&[u8], SsdError> {
         let end = offset + len as u64;
         if end > self.size() {
             return Err(SsdError::OutOfBounds {
@@ -482,9 +490,6 @@ mod tests {
         // Anchor: one 4K SSD block read must dwarf a PM random read,
         // the central premise of the paper.
         let cost = CostModel::default();
-        assert!(
-            cost.ssd.random_read(4096).as_nanos()
-                > 10 * cost.pm.random_read(256).as_nanos()
-        );
+        assert!(cost.ssd.random_read(4096).as_nanos() > 10 * cost.pm.random_read(256).as_nanos());
     }
 }

@@ -50,9 +50,7 @@ impl BlockBuilder {
     /// internal-key order.
     pub fn add(&mut self, ikey: &[u8], value: &[u8]) {
         debug_assert!(
-            self.entries == 0
-                || key::compare(&self.last_key, ikey)
-                    != std::cmp::Ordering::Greater,
+            self.entries == 0 || key::compare(&self.last_key, ikey) != std::cmp::Ordering::Greater,
             "block entries must be sorted"
         );
         let shared = if self.count_since_restart < RESTART_INTERVAL {
@@ -138,15 +136,12 @@ impl Block {
             return Err(BlockError::Truncated);
         }
         let body_len = raw.len() - 4;
-        let stored = encoding::crc::unmask(u32::from_le_bytes(
-            raw[body_len..].try_into().unwrap(),
-        ));
+        let stored = encoding::crc::unmask(u32::from_le_bytes(raw[body_len..].try_into().unwrap()));
         if encoding::crc::crc32c(&raw[..body_len]) != stored {
             return Err(BlockError::BadChecksum);
         }
-        let restart_count = u32::from_le_bytes(
-            raw[body_len - 4..body_len].try_into().unwrap(),
-        ) as usize;
+        let restart_count =
+            u32::from_le_bytes(raw[body_len - 4..body_len].try_into().unwrap()) as usize;
         let restarts_off = body_len
             .checked_sub(4 + restart_count * 4)
             .ok_or(BlockError::Corrupt)?;
@@ -195,7 +190,11 @@ impl Block {
 
     /// Iterate all (internal key, value) pairs.
     pub fn iter(&self) -> BlockIter<'_> {
-        BlockIter { block: self, pos: 0, key: Vec::new() }
+        BlockIter {
+            block: self,
+            pos: 0,
+            key: Vec::new(),
+        }
     }
 
     /// Find the first entry whose internal key is >= `target` (by the
@@ -254,6 +253,7 @@ mod tests {
         InternalKey::seek_to(k.as_bytes(), seq).into_encoded()
     }
 
+    #[allow(clippy::type_complexity)]
     fn sample_block(n: usize) -> (Block, Vec<(Vec<u8>, Vec<u8>)>) {
         let mut b = BlockBuilder::new();
         let mut entries = Vec::new();
@@ -349,10 +349,7 @@ mod tests {
         for i in 0..64 {
             shared.add(&ikey(&format!("commonprefix{:04}", i), 1), b"v");
             // Vary the leading byte so nothing is shared.
-            disjoint.add(
-                &ikey(&format!("{:04}commonprefix", i), 1),
-                b"v",
-            );
+            disjoint.add(&ikey(&format!("{:04}commonprefix", i), 1), b"v");
         }
         assert!(shared.size() < disjoint.size());
     }

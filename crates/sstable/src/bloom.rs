@@ -44,8 +44,7 @@ impl BloomFilter {
             let h1 = hash64(key, 0x51ed);
             let h2 = hash64(key, 0xa3c9);
             for i in 0..k {
-                let bit = (h1.wrapping_add((i as u64).wrapping_mul(h2))
-                    % nbits as u64) as usize;
+                let bit = (h1.wrapping_add((i as u64).wrapping_mul(h2)) % nbits as u64) as usize;
                 bits[bit / 8] |= 1 << (bit % 8);
             }
         }
@@ -61,8 +60,7 @@ impl BloomFilter {
         let h1 = hash64(key, 0x51ed);
         let h2 = hash64(key, 0xa3c9);
         (0..self.k).all(|i| {
-            let bit = (h1.wrapping_add((i as u64).wrapping_mul(h2))
-                % nbits as u64) as usize;
+            let bit = (h1.wrapping_add((i as u64).wrapping_mul(h2)) % nbits as u64) as usize;
             self.bits[bit / 8] & (1 << (bit % 8)) != 0
         })
     }
@@ -81,7 +79,10 @@ impl BloomFilter {
         if k == 0 || k > 30 {
             return None;
         }
-        Some(BloomFilter { bits: bits.to_vec(), k })
+        Some(BloomFilter {
+            bits: bits.to_vec(),
+            k,
+        })
     }
 
     /// Size of the encoded filter.
@@ -101,11 +102,7 @@ mod tests {
     #[test]
     fn no_false_negatives() {
         let ks = keys(10_000);
-        let f = BloomFilter::build(
-            ks.iter().map(|k| k.as_slice()),
-            ks.len(),
-            10,
-        );
+        let f = BloomFilter::build(ks.iter().map(|k| k.as_slice()), ks.len(), 10);
         for k in &ks {
             assert!(f.may_contain(k), "false negative on {k:?}");
         }
@@ -114,11 +111,7 @@ mod tests {
     #[test]
     fn false_positive_rate_near_one_percent() {
         let ks = keys(10_000);
-        let f = BloomFilter::build(
-            ks.iter().map(|k| k.as_slice()),
-            ks.len(),
-            10,
-        );
+        let f = BloomFilter::build(ks.iter().map(|k| k.as_slice()), ks.len(), 10);
         let fp = (0..10_000)
             .filter(|i| f.may_contain(format!("absent-{i:08}").as_bytes()))
             .count();
@@ -154,11 +147,7 @@ mod tests {
     fn more_bits_fewer_false_positives() {
         let ks = keys(5_000);
         let probe = |bpk: usize| {
-            let f = BloomFilter::build(
-                ks.iter().map(|k| k.as_slice()),
-                ks.len(),
-                bpk,
-            );
+            let f = BloomFilter::build(ks.iter().map(|k| k.as_slice()), ks.len(), bpk);
             (0..5_000)
                 .filter(|i| f.may_contain(format!("miss{i}").as_bytes()))
                 .count()

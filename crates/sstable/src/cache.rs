@@ -123,9 +123,7 @@ impl BlockCache {
         while state.used + size > self.capacity {
             // Evict the stalest entry. O(n) scan is fine: eviction is rare
             // relative to hits and the map stays modest at our scales.
-            let Some((&victim, _)) =
-                state.map.iter().min_by_key(|(_, e)| e.stamp)
-            else {
+            let Some((&victim, _)) = state.map.iter().min_by_key(|(_, e)| e.stamp) else {
                 break;
             };
             let removed = state.map.remove(&victim).expect("victim present");
@@ -189,7 +187,10 @@ mod tests {
     }
 
     fn key(i: u64) -> BlockKey {
-        BlockKey { table: 1, offset: i }
+        BlockKey {
+            table: 1,
+            offset: i,
+        }
     }
 
     #[test]
@@ -249,11 +250,33 @@ mod tests {
     #[test]
     fn purge_table_removes_only_that_table() {
         let c = BlockCache::new(1 << 16);
-        c.insert(BlockKey { table: 1, offset: 0 }, block(1, 10));
-        c.insert(BlockKey { table: 2, offset: 0 }, block(2, 10));
+        c.insert(
+            BlockKey {
+                table: 1,
+                offset: 0,
+            },
+            block(1, 10),
+        );
+        c.insert(
+            BlockKey {
+                table: 2,
+                offset: 0,
+            },
+            block(2, 10),
+        );
         c.purge_table(1);
-        assert!(c.get(BlockKey { table: 1, offset: 0 }).is_none());
-        assert!(c.get(BlockKey { table: 2, offset: 0 }).is_some());
+        assert!(c
+            .get(BlockKey {
+                table: 1,
+                offset: 0
+            })
+            .is_none());
+        assert!(c
+            .get(BlockKey {
+                table: 2,
+                offset: 0
+            })
+            .is_some());
     }
 
     #[test]

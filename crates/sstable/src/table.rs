@@ -45,7 +45,10 @@ pub struct SsTableOptions {
 
 impl Default for SsTableOptions {
     fn default() -> Self {
-        SsTableOptions { block_size: 4096, bloom_bits_per_key: 10 }
+        SsTableOptions {
+            block_size: 4096,
+            bloom_bits_per_key: 10,
+        }
     }
 }
 
@@ -136,10 +139,7 @@ impl SsTableBuilder {
 
     /// Seal the table: bloom block, index block, footer, fsync.
     /// Returns `(file size, smallest key, largest key)`.
-    pub fn finish(
-        mut self,
-        tl: &mut Timeline,
-    ) -> Result<TableSummary, SsdError> {
+    pub fn finish(mut self, tl: &mut Timeline) -> Result<TableSummary, SsdError> {
         self.finish_block(tl);
         let bloom_off = self.writer.offset();
         let bloom = BloomFilter::build(
@@ -223,20 +223,16 @@ impl SsTable {
         let footer = file
             .read(size - FOOTER_LEN as u64, FOOTER_LEN, tl)?
             .to_vec();
-        let magic =
-            u32::from_le_bytes(footer[FOOTER_LEN - 4..].try_into().unwrap());
+        let magic = u32::from_le_bytes(footer[FOOTER_LEN - 4..].try_into().unwrap());
         if magic != MAGIC {
             return Err(TableError::Corrupt("bad magic"));
         }
         let bloom_off = u64::from_le_bytes(footer[0..8].try_into().unwrap());
-        let bloom_len =
-            u32::from_le_bytes(footer[8..12].try_into().unwrap()) as usize;
+        let bloom_len = u32::from_le_bytes(footer[8..12].try_into().unwrap()) as usize;
         let index_off = u64::from_le_bytes(footer[12..20].try_into().unwrap());
-        let index_len =
-            u32::from_le_bytes(footer[20..24].try_into().unwrap()) as usize;
+        let index_len = u32::from_le_bytes(footer[20..24].try_into().unwrap()) as usize;
         let bloom_raw = file.read(bloom_off, bloom_len, tl)?.to_vec();
-        let bloom = BloomFilter::decode(&bloom_raw)
-            .ok_or(TableError::Corrupt("bloom"))?;
+        let bloom = BloomFilter::decode(&bloom_raw).ok_or(TableError::Corrupt("bloom"))?;
         let index_raw = file.read(index_off, index_len, tl)?.to_vec();
         let mut r = varint::Reader::new(&index_raw);
         let n = r.read_u32().ok_or(TableError::Corrupt("index count"))? as usize;
@@ -291,15 +287,17 @@ impl SsTable {
     /// Fetch block `i`, via the cache when possible.
     fn load_block(&self, i: usize, tl: &mut Timeline) -> Result<Block, TableError> {
         let (_, off, len) = self.index[i];
-        let key = BlockKey { table: self.id, offset: off };
+        let key = BlockKey {
+            table: self.id,
+            offset: off,
+        };
         if let Some(block) = self.cache.get(key) {
             // Served from DRAM.
             tl.charge(self.cost.dram.random_read(len as usize));
             return Ok(block);
         }
         let raw = self.file.read(off, len as usize, tl)?.to_vec();
-        let block = Block::decode(raw)
-            .map_err(|_| TableError::Corrupt("data block"))?;
+        let block = Block::decode(raw).map_err(|_| TableError::Corrupt("data block"))?;
         self.cache.insert(key, block.clone());
         Ok(block)
     }
@@ -334,8 +332,7 @@ impl SsTable {
         match block.seek(target.encoded()) {
             Some((ikey, value)) if key::user_key(&ikey) == user_key => {
                 let seq = key::sequence(&ikey);
-                let kind = key::kind(&ikey)
-                    .ok_or(TableError::Corrupt("entry kind"))?;
+                let kind = key::kind(&ikey).ok_or(TableError::Corrupt("entry kind"))?;
                 Ok(Some((seq, kind, value)))
             }
             _ => Ok(None),
@@ -391,10 +388,7 @@ impl SsTable {
     }
 
     /// Collect all entries (for compaction inputs and tests).
-    pub fn scan_all(
-        &self,
-        tl: &mut Timeline,
-    ) -> Result<Vec<RawEntry>, TableError> {
+    pub fn scan_all(&self, tl: &mut Timeline) -> Result<Vec<RawEntry>, TableError> {
         let mut out = Vec::new();
         for i in 0..self.index.len() {
             let block = self.load_block(i, tl)?;
@@ -405,14 +399,10 @@ impl SsTable {
 
     /// First entry with internal key >= target, scanning forward across
     /// blocks. Returns (ikey, value).
-    pub fn seek(
-        &self,
-        target: &[u8],
-        tl: &mut Timeline,
-    ) -> Result<Option<RawEntry>, TableError> {
-        let idx = self.index.partition_point(|(last, _, _)| {
-            key::compare(last, target) == std::cmp::Ordering::Less
-        });
+    pub fn seek(&self, target: &[u8], tl: &mut Timeline) -> Result<Option<RawEntry>, TableError> {
+        let idx = self
+            .index
+            .partition_point(|(last, _, _)| key::compare(last, target) == std::cmp::Ordering::Less);
         if idx >= self.index.len() {
             return Ok(None);
         }
@@ -453,8 +443,7 @@ impl Iterator for TableIterator<'_> {
             if self.block_idx >= self.table.index.len() {
                 return None;
             }
-            let block =
-                self.table.load_block(self.block_idx, self.tl).ok()?;
+            let block = self.table.load_block(self.block_idx, self.tl).ok()?;
             self.block_idx += 1;
             let entries: Vec<_> = block.iter().collect();
             let _ = &self.pending;
@@ -475,14 +464,8 @@ mod tests {
         )
     }
 
-    fn build_table(
-        device: &Arc<SsdDevice>,
-        name: &str,
-        n: usize,
-    ) -> Vec<(String, String)> {
-        let mut b =
-            SsTableBuilder::new(device, name, SsTableOptions::default())
-                .unwrap();
+    fn build_table(device: &Arc<SsdDevice>, name: &str, n: usize) -> Vec<(String, String)> {
+        let mut b = SsTableBuilder::new(device, name, SsTableOptions::default()).unwrap();
         let mut tl = Timeline::new();
         let mut entries = Vec::new();
         for i in 0..n {
@@ -503,8 +486,7 @@ mod tests {
         let t = SsTable::open(&device, "t1.sst", cache, &mut tl).unwrap();
         assert!(t.block_count() > 1, "should span multiple blocks");
         for (k, v) in entries.iter().step_by(61) {
-            let (seq, kind, value) =
-                t.get(k.as_bytes(), u64::MAX, &mut tl).unwrap().unwrap();
+            let (seq, kind, value) = t.get(k.as_bytes(), u64::MAX, &mut tl).unwrap().unwrap();
             assert_eq!(seq, 100);
             assert_eq!(kind, KeyKind::Value);
             assert_eq!(value, v.as_bytes());
@@ -523,10 +505,7 @@ mod tests {
             assert!(t.get(k.as_bytes(), u64::MAX, &mut tl).unwrap().is_none());
         }
         // Between existing keys (keys go by 5).
-        assert!(t
-            .get(b"user00000001", u64::MAX, &mut tl)
-            .unwrap()
-            .is_none());
+        assert!(t.get(b"user00000001", u64::MAX, &mut tl).unwrap().is_none());
     }
 
     #[test]
@@ -551,14 +530,16 @@ mod tests {
         let (device, cache) = setup();
         let entries = build_table(&device, "t4.sst", 3000);
         let mut tl = Timeline::new();
-        let t =
-            SsTable::open(&device, "t4.sst", Arc::clone(&cache), &mut tl)
-                .unwrap();
+        let t = SsTable::open(&device, "t4.sst", Arc::clone(&cache), &mut tl).unwrap();
         let probe = entries[1234].0.clone();
         let mut cold = Timeline::new();
-        t.get(probe.as_bytes(), u64::MAX, &mut cold).unwrap().unwrap();
+        t.get(probe.as_bytes(), u64::MAX, &mut cold)
+            .unwrap()
+            .unwrap();
         let mut warm = Timeline::new();
-        t.get(probe.as_bytes(), u64::MAX, &mut warm).unwrap().unwrap();
+        t.get(probe.as_bytes(), u64::MAX, &mut warm)
+            .unwrap()
+            .unwrap();
         assert!(
             warm.elapsed().as_nanos() * 4 < cold.elapsed().as_nanos(),
             "warm {} cold {}",
@@ -574,18 +555,20 @@ mod tests {
         let (device, cache) = setup();
         build_table(&device, "t5.sst", 100_000);
         let mut tl = Timeline::new();
-        let t =
-            SsTable::open(&device, "t5.sst", Arc::clone(&cache), &mut tl)
-                .unwrap();
+        let t = SsTable::open(&device, "t5.sst", Arc::clone(&cache), &mut tl).unwrap();
         let mut cold = Timeline::new();
-        t.get(b"user00250000", u64::MAX, &mut cold).unwrap().unwrap();
+        t.get(b"user00250000", u64::MAX, &mut cold)
+            .unwrap()
+            .unwrap();
         let cold_us = cold.elapsed().as_micros_f64();
         assert!(
             (12.0..40.0).contains(&cold_us),
             "cold lookup {cold_us}us should be ~22us"
         );
         let mut warm = Timeline::new();
-        t.get(b"user00250000", u64::MAX, &mut warm).unwrap().unwrap();
+        t.get(b"user00250000", u64::MAX, &mut warm)
+            .unwrap()
+            .unwrap();
         let warm_us = warm.elapsed().as_micros_f64();
         assert!(
             (0.5..6.0).contains(&warm_us),
@@ -596,20 +579,14 @@ mod tests {
     #[test]
     fn snapshot_visibility_across_versions() {
         let (device, cache) = setup();
-        let mut b = SsTableBuilder::new(
-            &device,
-            "v.sst",
-            SsTableOptions::default(),
-        )
-        .unwrap();
+        let mut b = SsTableBuilder::new(&device, "v.sst", SsTableOptions::default()).unwrap();
         let mut tl = Timeline::new();
         b.add(b"k", 9, KeyKind::Value, b"v9", &mut tl);
         b.add(b"k", 5, KeyKind::Delete, b"", &mut tl);
         b.add(b"k", 2, KeyKind::Value, b"v2", &mut tl);
         b.finish(&mut tl).unwrap();
         let t = SsTable::open(&device, "v.sst", cache, &mut tl).unwrap();
-        let (seq, kind, _) =
-            t.get(b"k", u64::MAX, &mut tl).unwrap().unwrap();
+        let (seq, kind, _) = t.get(b"k", u64::MAX, &mut tl).unwrap().unwrap();
         assert_eq!((seq, kind), (9, KeyKind::Value));
         let (seq, kind, _) = t.get(b"k", 7, &mut tl).unwrap().unwrap();
         assert_eq!((seq, kind), (5, KeyKind::Delete));
@@ -653,10 +630,7 @@ mod tests {
         t.scan_all(&mut full).unwrap();
         assert!(short.elapsed().as_nanos() * 4 < full.elapsed().as_nanos());
         // Past-the-end scan is empty.
-        assert!(t
-            .scan_range(b"zzzz", None, 10, &mut tl)
-            .unwrap()
-            .is_empty());
+        assert!(t.scan_range(b"zzzz", None, 10, &mut tl).unwrap().is_empty());
     }
 
     proptest::proptest! {

@@ -102,10 +102,7 @@ pub fn run_ycsb(db: &Db, ops: &[YcsbOp]) -> Result<RunMetrics, DbError> {
 }
 
 /// Run a batch of Meituan order operations against the relational layer.
-pub fn run_meituan(
-    rel: &Relational,
-    ops: &[OrderOp],
-) -> Result<RunMetrics, DbError> {
+pub fn run_meituan(rel: &Relational, ops: &[OrderOp]) -> Result<RunMetrics, DbError> {
     let mut m = RunMetrics::default();
     for op in ops {
         match op {
@@ -116,11 +113,21 @@ pub fn run_meituan(
                 }
                 m.note(Which::Write, total);
             }
-            OrderOp::StatusUpdate { table, pk, col, value } => {
+            OrderOp::StatusUpdate {
+                table,
+                pk,
+                col,
+                value,
+            } => {
                 let d = rel.update_column(*table, pk, *col, value)?;
                 m.note(Which::Write, d);
             }
-            OrderOp::IndexQuery { table, col, value, limit } => {
+            OrderOp::IndexQuery {
+                table,
+                col,
+                value,
+                limit,
+            } => {
                 let (_, d) = rel.index_query(*table, *col, value, *limit)?;
                 m.note(Which::Read, d);
             }
@@ -128,7 +135,11 @@ pub fn run_meituan(
                 let (_, d) = rel.get_row(*table, pk)?;
                 m.note(Which::Read, d);
             }
-            OrderOp::RecentScan { table, start_pk, limit } => {
+            OrderOp::RecentScan {
+                table,
+                start_pk,
+                limit,
+            } => {
                 let (_, d) = rel.scan_rows(*table, start_pk, *limit)?;
                 m.note(Which::Scan, d);
             }

@@ -99,7 +99,10 @@ impl KvWorkload {
     /// Sequential load phase: every key exactly once, ascending.
     pub fn fill_sequential(&mut self) -> Vec<KvOp> {
         let ops = (0..self.spec.keys)
-            .map(|i| KvOp::Put { key: self.key(i), value: self.value() })
+            .map(|i| KvOp::Put {
+                key: self.key(i),
+                value: self.value(),
+            })
             .collect();
         self.inserted = self.spec.keys;
         ops
@@ -111,7 +114,10 @@ impl KvWorkload {
         self.rng.shuffle(&mut order);
         let ops = order
             .into_iter()
-            .map(|i| KvOp::Put { key: self.key(i), value: self.value() })
+            .map(|i| KvOp::Put {
+                key: self.key(i),
+                value: self.value(),
+            })
             .collect();
         self.inserted = self.spec.keys;
         ops
@@ -135,7 +141,9 @@ impl KvWorkload {
                     limit: self.spec.scan_length,
                 }
             } else {
-                KvOp::Get { key: self.key(key_idx) }
+                KvOp::Get {
+                    key: self.key(key_idx),
+                }
             }
         } else {
             let key_idx = if self.spec.update_only {
@@ -148,7 +156,10 @@ impl KvWorkload {
                 self.dist.sample(&mut self.rng, horizon)
             };
             let value = self.value();
-            KvOp::Put { key: self.key(key_idx), value }
+            KvOp::Put {
+                key: self.key(key_idx),
+                value,
+            }
         }
     }
 
@@ -258,7 +269,10 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let spec = KvWorkloadSpec { keys: 100, ..KvWorkloadSpec::default() };
+        let spec = KvWorkloadSpec {
+            keys: 100,
+            ..KvWorkloadSpec::default()
+        };
         let mut a = KvWorkload::new(spec.clone());
         let mut b = KvWorkload::new(spec);
         a.assume_loaded();

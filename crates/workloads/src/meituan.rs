@@ -26,13 +26,27 @@ pub enum OrderOp {
     /// Insert `rows` (one per touched table) for a new order.
     NewOrder { rows: Vec<(u16, Row)> },
     /// Advance an order's status column on its main table.
-    StatusUpdate { table: u16, pk: Vec<u8>, col: usize, value: Vec<u8> },
+    StatusUpdate {
+        table: u16,
+        pk: Vec<u8>,
+        col: usize,
+        value: Vec<u8>,
+    },
     /// Index query: find rows by an indexed column, then point-read.
-    IndexQuery { table: u16, col: usize, value: Vec<u8>, limit: usize },
+    IndexQuery {
+        table: u16,
+        col: usize,
+        value: Vec<u8>,
+        limit: usize,
+    },
     /// Primary-key point read.
     PointRead { table: u16, pk: Vec<u8> },
     /// Short range scan of recent orders on one table.
-    RecentScan { table: u16, start_pk: Vec<u8>, limit: usize },
+    RecentScan {
+        table: u16,
+        start_pk: Vec<u8>,
+        limit: usize,
+    },
 }
 
 /// Configuration and generator state.
@@ -54,8 +68,7 @@ pub struct MeituanWorkload {
 }
 
 /// Status progression of an order.
-pub const STATUSES: [&str; 5] =
-    ["placed", "paid", "packed", "delivering", "done"];
+pub const STATUSES: [&str; 5] = ["placed", "paid", "packed", "delivering", "done"];
 
 impl MeituanWorkload {
     /// Standard schema: 10 tables × 10 columns × 3 indexes.
@@ -113,12 +126,8 @@ impl MeituanWorkload {
             // Indexed columns get low-cardinality values (status, user,
             // merchant); the rest carry payload.
             row.push(STATUSES[0].as_bytes().to_vec());
-            row.push(
-                format!("u{:06}", self.rng.next_below(50_000)).into_bytes(),
-            );
-            row.push(
-                format!("m{:05}", self.rng.next_below(5_000)).into_bytes(),
-            );
+            row.push(format!("u{:06}", self.rng.next_below(50_000)).into_bytes());
+            row.push(format!("m{:05}", self.rng.next_below(5_000)).into_bytes());
             let payload_cols = table.columns - 4;
             let per_col = (per_table / payload_cols.max(1)).max(4);
             for _ in 0..payload_cols {
@@ -138,8 +147,7 @@ impl MeituanWorkload {
         if self.orders > self.recency_domain {
             // Rebuild the recency skew for the grown horizon.
             self.recency_domain = (self.recency_domain * 2).max(self.orders);
-            self.recency =
-                KeyDistribution::latest(self.recency_domain, 0.9);
+            self.recency = KeyDistribution::latest(self.recency_domain, 0.9);
         }
         self.recency.sample(&mut self.rng, self.orders)
     }
@@ -166,13 +174,11 @@ impl MeituanWorkload {
         if r < 0.6 {
             let col = 1 + self.rng.next_below(3) as usize;
             let value = match col {
-                1 => {
-                    STATUSES[self.rng.next_below(5) as usize].as_bytes().to_vec()
-                }
-                2 => format!("u{:06}", self.rng.next_below(50_000))
-                    .into_bytes(),
-                _ => format!("m{:05}", self.rng.next_below(5_000))
-                    .into_bytes(),
+                1 => STATUSES[self.rng.next_below(5) as usize]
+                    .as_bytes()
+                    .to_vec(),
+                2 => format!("u{:06}", self.rng.next_below(50_000)).into_bytes(),
+                _ => format!("m{:05}", self.rng.next_below(5_000)).into_bytes(),
             };
             OrderOp::IndexQuery {
                 table: 1 + (self.rng.next_below(10) as u16),
@@ -247,9 +253,7 @@ mod tests {
         let mut total = 0;
         for _ in 0..2000 {
             if let OrderOp::StatusUpdate { pk, .. } = w.next_op() {
-                let id: u64 = String::from_utf8_lossy(&pk[1..])
-                    .parse()
-                    .unwrap();
+                let id: u64 = String::from_utf8_lossy(&pk[1..]).parse().unwrap();
                 total += 1;
                 if id >= w.orders_created().saturating_sub(100) {
                     recent += 1;
@@ -286,9 +290,7 @@ mod tests {
         for op in w.ops(200) {
             if let OrderOp::StatusUpdate { value, col, .. } = op {
                 assert_eq!(col, 1);
-                assert!(STATUSES
-                    .iter()
-                    .any(|s| s.as_bytes() == value.as_slice()));
+                assert!(STATUSES.iter().any(|s| s.as_bytes() == value.as_slice()));
             }
         }
     }

@@ -53,12 +53,26 @@ impl YcsbKind {
 /// One YCSB operation.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum YcsbOp {
-    Insert { key: Vec<u8>, value: Vec<u8> },
-    Update { key: Vec<u8>, value: Vec<u8> },
-    Read { key: Vec<u8> },
-    Scan { start: Vec<u8>, limit: usize },
+    Insert {
+        key: Vec<u8>,
+        value: Vec<u8>,
+    },
+    Update {
+        key: Vec<u8>,
+        value: Vec<u8>,
+    },
+    Read {
+        key: Vec<u8>,
+    },
+    Scan {
+        start: Vec<u8>,
+        limit: usize,
+    },
     /// Read-modify-write (workload F): read then write back.
-    Rmw { key: Vec<u8>, value: Vec<u8> },
+    Rmw {
+        key: Vec<u8>,
+        value: Vec<u8>,
+    },
 }
 
 /// Workload generator.
@@ -75,12 +89,7 @@ pub struct YcsbWorkload {
 
 impl YcsbWorkload {
     /// `record_count` keys, `value_size`-byte values, standard skew 0.99.
-    pub fn new(
-        kind: YcsbKind,
-        record_count: u64,
-        value_size: usize,
-        seed: u64,
-    ) -> Self {
+    pub fn new(kind: YcsbKind, record_count: u64, value_size: usize, seed: u64) -> Self {
         let dist = match kind {
             YcsbKind::D => KeyDistribution::latest(record_count, 0.99),
             _ => KeyDistribution::zipfian(record_count, 0.99),
@@ -115,7 +124,10 @@ impl YcsbWorkload {
     /// The load phase: `record_count` inserts in key order.
     pub fn load_ops(&mut self) -> Vec<YcsbOp> {
         let ops = (0..self.record_count)
-            .map(|i| YcsbOp::Insert { key: self.key(i), value: self.value() })
+            .map(|i| YcsbOp::Insert {
+                key: self.key(i),
+                value: self.value(),
+            })
             .collect();
         self.inserted = self.record_count;
         ops
@@ -129,9 +141,7 @@ impl YcsbWorkload {
     /// One operation of the run phase.
     pub fn next_op(&mut self) -> YcsbOp {
         let horizon = self.inserted.max(1);
-        let pick = |rng: &mut Pcg64, dist: &KeyDistribution| {
-            dist.sample(rng, horizon)
-        };
+        let pick = |rng: &mut Pcg64, dist: &KeyDistribution| dist.sample(rng, horizon);
         match self.kind {
             YcsbKind::Load => {
                 let i = self.inserted.min(self.record_count - 1);
@@ -148,7 +158,10 @@ impl YcsbWorkload {
                 } else {
                     let i = pick(&mut self.rng, &self.dist);
                     let k = self.key(i);
-                    YcsbOp::Update { key: k, value: self.value() }
+                    YcsbOp::Update {
+                        key: k,
+                        value: self.value(),
+                    }
                 }
             }
             YcsbKind::B => {
@@ -158,7 +171,10 @@ impl YcsbWorkload {
                 } else {
                     let i = pick(&mut self.rng, &self.dist);
                     let k = self.key(i);
-                    YcsbOp::Update { key: k, value: self.value() }
+                    YcsbOp::Update {
+                        key: k,
+                        value: self.value(),
+                    }
                 }
             }
             YcsbKind::C => {
@@ -172,20 +188,25 @@ impl YcsbWorkload {
                 } else {
                     let i = self.inserted;
                     self.inserted += 1;
-                    YcsbOp::Insert { key: self.key(i), value: self.value() }
+                    YcsbOp::Insert {
+                        key: self.key(i),
+                        value: self.value(),
+                    }
                 }
             }
             YcsbKind::E => {
                 if self.rng.next_f64() < 0.95 {
                     let i = pick(&mut self.rng, &self.dist);
                     let start = self.key(i);
-                    let limit =
-                        1 + self.scan_rng.next_below(100) as usize;
+                    let limit = 1 + self.scan_rng.next_below(100) as usize;
                     YcsbOp::Scan { start, limit }
                 } else {
                     let i = self.inserted;
                     self.inserted += 1;
-                    YcsbOp::Insert { key: self.key(i), value: self.value() }
+                    YcsbOp::Insert {
+                        key: self.key(i),
+                        value: self.value(),
+                    }
                 }
             }
             YcsbKind::F => {
@@ -195,7 +216,10 @@ impl YcsbWorkload {
                 } else {
                     let i = pick(&mut self.rng, &self.dist);
                     let k = self.key(i);
-                    YcsbOp::Rmw { key: k, value: self.value() }
+                    YcsbOp::Rmw {
+                        key: k,
+                        value: self.value(),
+                    }
                 }
             }
         }
@@ -255,9 +279,7 @@ mod tests {
         let mut total = 0;
         for op in w.ops(2000) {
             if let YcsbOp::Read { key } = op {
-                let idx: u64 = String::from_utf8_lossy(&key[4..])
-                    .parse()
-                    .unwrap();
+                let idx: u64 = String::from_utf8_lossy(&key[4..]).parse().unwrap();
                 total += 1;
                 if idx > 90_000 {
                     near += 1;
@@ -293,9 +315,7 @@ mod tests {
         let mut w = YcsbWorkload::new(YcsbKind::Load, 500, 16, 9);
         let ops = w.load_ops();
         assert_eq!(ops.len(), 500);
-        assert!(ops
-            .iter()
-            .all(|op| matches!(op, YcsbOp::Insert { .. })));
+        assert!(ops.iter().all(|op| matches!(op, YcsbOp::Insert { .. })));
     }
 
     #[test]

@@ -47,7 +47,10 @@ fn main() -> Result<(), DbError> {
 
     // Reads are sharply cheaper once level-0 is sorted.
     let out = db.get(b"k00400")?;
-    println!("post-compaction read: {} from {:?}\n", out.latency, out.source);
+    println!(
+        "post-compaction read: {} from {:?}\n",
+        out.latency, out.source
+    );
 
     // ---- The coroutine scheduler --------------------------------------
     // The same compaction work under the three §V policies.

@@ -1,0 +1,140 @@
+//! Observability tour: event listeners, metrics snapshots, deltas, and
+//! the Prometheus / JSON / table renderers.
+//!
+//! ```sh
+//! cargo run --release -p pmblade-examples --bin observability
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use pm_blade::{CompactionRequest, CostDecision, Db, EventListener, Options, TraceSpan};
+
+/// A listener that tallies engine events. Listener hooks run on the
+/// engine thread that did the work — with the partition's commit mutex
+/// held for group commits — so they must stay cheap and must never call
+/// back into the `Db`.
+#[derive(Default)]
+struct Tally {
+    flushes: AtomicU64,
+    compactions: AtomicU64,
+    group_commits: AtomicU64,
+    cost_triggers: AtomicU64,
+}
+
+impl EventListener for Tally {
+    fn on_flush_complete(&self, _span: &TraceSpan) {
+        self.flushes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn on_compaction_complete(&self, span: &TraceSpan) {
+        self.compactions.fetch_add(1, Ordering::Relaxed);
+        if let Some(cost) = &span.cost {
+            println!(
+                "  [listener] {} compaction on p{} triggered by {}",
+                span.kind.as_str(),
+                span.partition,
+                cost.rule()
+            );
+        }
+    }
+
+    fn on_group_commit(&self, _span: &TraceSpan) {
+        self.group_commits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn on_cost_decision(&self, decision: &CostDecision) {
+        if decision.triggered() {
+            self.cost_triggers.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+fn main() -> Result<(), pm_blade::DbError> {
+    let tally = Arc::new(Tally::default());
+    let opts: Options = Options::builder()
+        .pm_capacity(4 << 20)
+        .memtable_bytes(32 << 10)
+        .tau_w(64 << 10)
+        .tau_m(2 << 20)
+        .tau_t(1 << 20)
+        .l1_target(512 << 10)
+        .max_table_bytes(128 << 10)
+        .event_log_capacity(256)
+        .add_event_listener(Arc::clone(&tally) as Arc<dyn EventListener>)
+        .build()?;
+    let db = Db::open(opts)?;
+
+    // Generate enough traffic to exercise flushes and compactions.
+    for i in 0..20_000u32 {
+        let key = format!("user{:08}", i % 5_000);
+        db.put(key.as_bytes(), &[b'v'; 100])?;
+    }
+    for i in 0..2_000u32 {
+        let key = format!("user{:08}", i);
+        db.get(key.as_bytes())?;
+    }
+    db.scan(b"user00000100", Some(b"user00000200"), 50)?;
+    db.compact(CompactionRequest::FlushAll)?;
+
+    // 1. The listener saw every event as it happened.
+    println!("\n== listener tallies ==");
+    println!("flushes        {}", tally.flushes.load(Ordering::Relaxed));
+    println!(
+        "compactions    {}",
+        tally.compactions.load(Ordering::Relaxed)
+    );
+    println!(
+        "group commits  {}",
+        tally.group_commits.load(Ordering::Relaxed)
+    );
+    println!(
+        "cost triggers  {}",
+        tally.cost_triggers.load(Ordering::Relaxed)
+    );
+
+    // 2. Pull-style: one snapshot covers every counter, gauge, latency
+    //    histogram, and the retained compaction spans.
+    let snap = db.metrics_snapshot();
+    println!("\n{}", snap.render_table());
+
+    // 3. Deltas: subtract an earlier snapshot to get a rate window.
+    let before = db.metrics_snapshot();
+    for i in 0..1_000u32 {
+        db.put(format!("user{:08}", i).as_bytes(), b"delta")?;
+    }
+    let window = db.metrics_snapshot().delta(&before);
+    println!(
+        "== delta window == puts {} / group commits {} / spans {}",
+        window.counter_at(&pm_blade::MetricKey::global("puts")),
+        window.counter_at(&pm_blade::MetricKey::global("group_commits")),
+        window.spans.len()
+    );
+
+    // 4. Prometheus text exposition, ready for a scrape endpoint.
+    println!("\n== prometheus (excerpt) ==");
+    for line in db.metrics_snapshot().to_prometheus().lines().filter(|l| {
+        l.starts_with("pmblade_read_latency")
+            || l.starts_with("pmblade_group_commits")
+            || l.starts_with("pmblade_pm_used_bytes")
+    }) {
+        println!("{line}");
+    }
+
+    // 5. JSON, as written by `benchmark_kv --metrics-out`.
+    let json = db.metrics_snapshot().to_json();
+    println!("\n== json == {} bytes (excerpt)", json.len());
+    for line in json.lines().take(6) {
+        println!("{line}");
+    }
+
+    // The compaction log is the same data, seen through the ring: it
+    // holds at most `event_log_capacity` recent events.
+    let log = db.compaction_log();
+    println!(
+        "\ncompaction log: {} recent events (minor/internal/major), {:?} spans dropped",
+        log.len(),
+        snap.spans_dropped
+    );
+    Ok(())
+}

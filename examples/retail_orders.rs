@@ -13,10 +13,7 @@ fn main() -> Result<(), DbError> {
     let db = Db::open(Options::pm_blade(8 << 20))?;
     // An orders table: pk, status, user, merchant, amount — with
     // secondary indexes on status (1), user (2) and merchant (3).
-    let rel = Relational::new(
-        db,
-        vec![TableDef::new(ORDERS, 5, vec![1, 2, 3])],
-    );
+    let rel = Relational::new(db, vec![TableDef::new(ORDERS, 5, vec![1, 2, 3])]);
 
     // A burst of take-out orders.
     for i in 0..3_000u32 {
@@ -34,12 +31,7 @@ fn main() -> Result<(), DbError> {
 
     // Orders progress: pay the most recent thousand.
     for i in 2_000..3_000u32 {
-        rel.update_column(
-            ORDERS,
-            format!("o{:08}", i).as_bytes(),
-            1,
-            b"paid",
-        )?;
+        rel.update_column(ORDERS, format!("o{:08}", i).as_bytes(), 1, b"paid")?;
     }
 
     // Index query: everything user u0042 ordered (scan the index,

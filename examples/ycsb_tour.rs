@@ -17,15 +17,15 @@ fn main() -> Result<(), DbError> {
         let mut opts = Options::pm_blade(8 << 20);
         opts.memtable_bytes = 32 << 10;
         opts.partitioner = Partitioner::numeric("user", RECORDS, 4);
-        let mut db = Db::open(opts)?;
+        let db = Db::open(opts)?;
 
         let mut w = YcsbWorkload::new(kind, RECORDS, 256, 7);
         let load = w.load_ops();
-        let load_metrics = run_ycsb(&mut db, &load)?;
+        let load_metrics = run_ycsb(&db, &load)?;
         let metrics = if kind == YcsbKind::Load {
             load_metrics
         } else {
-            run_ycsb(&mut db, &w.ops(OPS))?
+            run_ycsb(&db, &w.ops(OPS))?
         };
         let p = |h: &sim::Histogram, q: f64| {
             if h.is_empty() {

@@ -4,9 +4,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use pm_blade::{
-    CompactionRequest, Db, Mode, Options, Partitioner, WriteBatch,
-};
+use pm_blade::{CompactionRequest, Db, Mode, Options, Partitioner, WriteBatch};
 use proptest::prelude::*;
 
 // `Db` must be shareable across threads without wrappers.
@@ -66,17 +64,10 @@ fn writers_readers_and_compactions_share_one_handle() {
             s.spawn(move |_| {
                 let mut i = 0usize;
                 while !done.load(Ordering::Relaxed) {
-                    let k = format!(
-                        "w{}-{:06}",
-                        (i + r) % WRITERS,
-                        i % KEYS_PER_WRITER
-                    );
+                    let k = format!("w{}-{:06}", (i + r) % WRITERS, i % KEYS_PER_WRITER);
                     let out = db.get(k.as_bytes()).unwrap();
                     if let Some(v) = out.value {
-                        assert!(
-                            v.len() == 2 && v[0] == b'r',
-                            "torn value {v:?} for {k}"
-                        );
+                        assert!(v.len() == 2 && v[0] == b'r', "torn value {v:?} for {k}");
                     }
                     i += 1;
                 }

@@ -5,11 +5,7 @@ use pm_blade::{CompactionRequest, Db, Mode};
 use pmblade_integration_tests::{key_for, tiny_options, value_for};
 
 fn wal_dir(tag: &str) -> std::path::PathBuf {
-    std::env::temp_dir().join(format!(
-        "pmblade-it-{}-{}",
-        std::process::id(),
-        tag
-    ))
+    std::env::temp_dir().join(format!("pmblade-it-{}-{}", std::process::id(), tag))
 }
 
 #[test]
@@ -25,7 +21,8 @@ fn unflushed_writes_replay_from_wal() {
         }
         db.delete(&key_for(10)).unwrap();
         // Force the log to disk the way a commit point would.
-        db.compact(CompactionRequest::Flush { partition: 0 }).unwrap();
+        db.compact(CompactionRequest::Flush { partition: 0 })
+            .unwrap();
         // More writes after the flush — these live only in the WAL.
         db.put(&key_for(100), b"tail-write").unwrap();
         // Drop without flushing: simulated crash.
@@ -54,7 +51,8 @@ fn sequence_numbers_resume_after_recovery() {
         for i in 0..20u64 {
             db.put(&key_for(i), b"v").unwrap();
         }
-        db.compact(CompactionRequest::Flush { partition: 0 }).unwrap();
+        db.compact(CompactionRequest::Flush { partition: 0 })
+            .unwrap();
         seq_before = db.snapshot();
     }
     let db = Db::open(opts).unwrap();
@@ -82,18 +80,14 @@ fn pm_pool_backing_recovers_regions() {
     let cost = sim::CostModel::default();
     let ids: Vec<u64>;
     {
-        let pool = pm_device::PmPool::with_backing(1 << 20, cost, &dir)
-            .unwrap();
+        let pool = pm_device::PmPool::with_backing(1 << 20, cost, &dir).unwrap();
         let mut tl = sim::Timeline::new();
         ids = (0..5)
-            .map(|i| {
-                pool.publish(value_for(i, 512), &mut tl).unwrap().id()
-            })
+            .map(|i| pool.publish(value_for(i, 512), &mut tl).unwrap().id())
             .collect();
         pool.free(ids[2]);
     }
-    let pool =
-        pm_device::PmPool::with_backing(1 << 20, cost, &dir).unwrap();
+    let pool = pm_device::PmPool::with_backing(1 << 20, cost, &dir).unwrap();
     let live = pool.region_ids();
     assert_eq!(live.len(), 4);
     assert!(!live.contains(&ids[2]), "freed region must stay freed");
@@ -118,7 +112,8 @@ fn recovery_is_idempotent() {
     {
         let db = Db::open(opts.clone()).unwrap();
         db.put(b"stable", b"value").unwrap();
-        db.compact(CompactionRequest::Flush { partition: 0 }).unwrap();
+        db.compact(CompactionRequest::Flush { partition: 0 })
+            .unwrap();
     }
     // Open and drop twice more without writing.
     for _ in 0..2 {

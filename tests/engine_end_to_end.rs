@@ -21,7 +21,10 @@ fn full_lifecycle_reads_stay_correct() {
         db.put(&key_for(i), &value_for(i + 1_000_000, 400)).unwrap();
     }
     assert!(db.stats().minor_compactions.get() > 10);
-    assert!(db.stats().major_compactions.get() >= 1, "PM must have filled");
+    assert!(
+        db.stats().major_compactions.get() >= 1,
+        "PM must have filled"
+    );
     for k in (0..n).step_by(97) {
         let expected = if k % 3 == 0 {
             value_for(k + 1_000_000, 400)
@@ -48,7 +51,8 @@ fn reads_route_through_expected_tiers() {
     let out = db.get(b"in-memtable").unwrap();
     assert_eq!(out.source, ReadSource::Pm);
 
-    db.compact(CompactionRequest::Major { partition: 0 }).unwrap();
+    db.compact(CompactionRequest::Major { partition: 0 })
+        .unwrap();
     let out = db.get(b"in-memtable").unwrap();
     assert_eq!(out.source, ReadSource::Ssd);
     assert_eq!(out.value.as_deref(), Some(&b"1"[..]));
@@ -65,14 +69,17 @@ fn deletes_survive_every_compaction_boundary() {
         db.put(&key_for(i), b"live").unwrap();
     }
     db.compact(CompactionRequest::FlushAll).unwrap();
-    db.compact(CompactionRequest::Major { partition: 0 }).unwrap(); // values now on SSD
-    // Delete half, then push tombstones through the same path.
+    db.compact(CompactionRequest::Major { partition: 0 })
+        .unwrap(); // values now on SSD
+                   // Delete half, then push tombstones through the same path.
     for i in (0..200u64).step_by(2) {
         db.delete(&key_for(i)).unwrap();
     }
     db.compact(CompactionRequest::FlushAll).unwrap();
-    db.compact(CompactionRequest::Internal { partition: 0 }).unwrap();
-    db.compact(CompactionRequest::Major { partition: 0 }).unwrap();
+    db.compact(CompactionRequest::Internal { partition: 0 })
+        .unwrap();
+    db.compact(CompactionRequest::Major { partition: 0 })
+        .unwrap();
     for i in 0..200u64 {
         let out = db.get(&key_for(i)).unwrap();
         if i % 2 == 0 {
@@ -128,7 +135,9 @@ fn partitioned_and_single_engines_agree() {
         assert_eq!(a, b, "partitioning changed visibility of key {i}");
     }
     // Cross-partition scan equals single-partition scan.
-    let (sa, _) = single.scan(&key_for(200), Some(&key_for(300)), 500).unwrap();
+    let (sa, _) = single
+        .scan(&key_for(200), Some(&key_for(300)), 500)
+        .unwrap();
     let (pa, _) = parts.scan(&key_for(200), Some(&key_for(300)), 500).unwrap();
     assert_eq!(sa, pa);
 }

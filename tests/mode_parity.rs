@@ -5,8 +5,12 @@
 use pm_blade::{CompactionRequest, Db, Mode};
 use pmblade_integration_tests::{key_for, tiny_db, value_for};
 
-const ALL_MODES: [Mode; 4] =
-    [Mode::PmBlade, Mode::PmBladePm, Mode::SsdLevel0, Mode::MatrixKv];
+const ALL_MODES: [Mode; 4] = [
+    Mode::PmBlade,
+    Mode::PmBladePm,
+    Mode::SsdLevel0,
+    Mode::MatrixKv,
+];
 
 fn drive(db: &mut Db, seed: u64, ops: usize) {
     let mut rng = sim::Pcg64::seeded(seed);
@@ -39,10 +43,7 @@ fn all_modes_agree_on_contents() {
             None => reference = Some(view),
             Some(expect) => {
                 for (i, (a, b)) in expect.iter().zip(&view).enumerate() {
-                    assert_eq!(
-                        a, b,
-                        "mode {mode:?} disagrees on key {i}"
-                    );
+                    assert_eq!(a, b, "mode {mode:?} disagrees on key {i}");
                 }
             }
         }
@@ -55,8 +56,7 @@ fn all_modes_agree_on_scans() {
     for mode in ALL_MODES {
         let mut db = tiny_db(mode);
         drive(&mut db, 99, 2_500);
-        let (rows, _) =
-            db.scan(&key_for(100), Some(&key_for(400)), 10_000).unwrap();
+        let (rows, _) = db.scan(&key_for(100), Some(&key_for(400)), 10_000).unwrap();
         match &reference {
             None => reference = Some(rows),
             Some(expect) => {
@@ -124,9 +124,7 @@ fn matrixkv_costs_more_to_flush_than_pmblade() {
     let flush_time = |db: &Db| -> sim::SimDuration {
         db.compaction_log()
             .iter()
-            .filter(|e| {
-                e.kind == pm_blade::engine::CompactionKind::Minor
-            })
+            .filter(|e| e.kind == pm_blade::engine::CompactionKind::Minor)
             .map(|e| e.duration)
             .sum()
     };

@@ -52,28 +52,25 @@ fn check_mode(mode: Mode, ops: &[Op]) {
             Op::Get(k) => {
                 let got = db.get(&key(*k)).unwrap().value;
                 let want = model.get(&key(*k)).cloned();
-                assert_eq!(
-                    got, want,
-                    "step {step}: {mode:?} get({k}) diverged"
-                );
+                assert_eq!(got, want, "step {step}: {mode:?} get({k}) diverged");
             }
             Op::Scan(k, n) => {
                 let start = key(*k);
-                let (rows, _) =
-                    db.scan(&start, None, *n as usize).unwrap();
+                let (rows, _) = db.scan(&start, None, *n as usize).unwrap();
                 let want: Vec<(Vec<u8>, Vec<u8>)> = model
                     .range(start..)
                     .take(*n as usize)
                     .map(|(k, v)| (k.clone(), v.clone()))
                     .collect();
-                assert_eq!(
-                    rows, want,
-                    "step {step}: {mode:?} scan({k},{n}) diverged"
-                );
+                assert_eq!(rows, want, "step {step}: {mode:?} scan({k},{n}) diverged");
             }
             Op::Flush => db.compact(CompactionRequest::FlushAll).unwrap(),
-            Op::Internal => db.compact(CompactionRequest::Internal { partition: 0 }).unwrap(),
-            Op::Major => db.compact(CompactionRequest::Major { partition: 0 }).unwrap(),
+            Op::Internal => db
+                .compact(CompactionRequest::Internal { partition: 0 })
+                .unwrap(),
+            Op::Major => db
+                .compact(CompactionRequest::Major { partition: 0 })
+                .unwrap(),
         }
     }
     // Final audit: every model key readable, every deleted key absent.
@@ -120,22 +117,29 @@ proptest! {
 /// boundary (the classic LSM resurrection bug family).
 #[test]
 fn delete_resurrection_sweep() {
-    for mode in [Mode::PmBlade, Mode::PmBladePm, Mode::SsdLevel0, Mode::MatrixKv]
-    {
+    for mode in [
+        Mode::PmBlade,
+        Mode::PmBladePm,
+        Mode::SsdLevel0,
+        Mode::MatrixKv,
+    ] {
         let db = tiny_db(mode);
         db.put(&key(1), b"v1").unwrap();
         db.compact(CompactionRequest::FlushAll).unwrap();
-        db.compact(CompactionRequest::Major { partition: 0 }).unwrap(); // value at the bottom
+        db.compact(CompactionRequest::Major { partition: 0 })
+            .unwrap(); // value at the bottom
         db.delete(&key(1)).unwrap();
         db.compact(CompactionRequest::FlushAll).unwrap(); // tombstone in level-0
         assert_eq!(db.get(&key(1)).unwrap().value, None, "{mode:?} L0");
-        db.compact(CompactionRequest::Internal { partition: 0 }).unwrap();
+        db.compact(CompactionRequest::Internal { partition: 0 })
+            .unwrap();
         assert_eq!(
             db.get(&key(1)).unwrap().value,
             None,
             "{mode:?} after internal compaction"
         );
-        db.compact(CompactionRequest::Major { partition: 0 }).unwrap();
+        db.compact(CompactionRequest::Major { partition: 0 })
+            .unwrap();
         assert_eq!(
             db.get(&key(1)).unwrap().value,
             None,

@@ -60,7 +60,8 @@ fn space_released_grows_with_skew() {
             db.put(&key_for(i), &value_for(i, 300)).unwrap();
         }
         db.compact(CompactionRequest::FlushAll).unwrap();
-        db.compact(CompactionRequest::Internal { partition: 0 }).unwrap();
+        db.compact(CompactionRequest::Internal { partition: 0 })
+            .unwrap();
         db.stats().internal_space_released.get()
     };
     let mild = released_at(0.2);
@@ -77,8 +78,7 @@ fn space_released_grows_with_skew() {
 fn retention_beats_whole_level_eviction_on_hit_ratio() {
     let run = |mode: Mode| -> f64 {
         let mut opts = tiny_options(mode);
-        opts.partitioner =
-            pm_blade::Partitioner::numeric("key", 2_000, 4);
+        opts.partitioner = pm_blade::Partitioner::numeric("key", 2_000, 4);
         let db = Db::open(opts).unwrap();
         // Load 2x PM capacity.
         for i in 0..10_000u64 {
@@ -148,10 +148,12 @@ fn tiering_latency_anchors_hold() {
         db.put(&key_for(i), &value_for(i, 100)).unwrap();
     }
     db.compact(CompactionRequest::FlushAll).unwrap();
-    db.compact(CompactionRequest::Internal { partition: 0 }).unwrap();
+    db.compact(CompactionRequest::Internal { partition: 0 })
+        .unwrap();
     let pm_read = db.get(&key_for(500)).unwrap();
     assert_eq!(pm_read.source, pm_blade::stats::ReadSource::Pm);
-    db.compact(CompactionRequest::Major { partition: 0 }).unwrap();
+    db.compact(CompactionRequest::Major { partition: 0 })
+        .unwrap();
     // Cold SSD read (cache may have been warmed by compaction; probe an
     // arbitrary key and compare magnitudes rather than exact numbers).
     let ssd_read = db.get(&key_for(501)).unwrap();
@@ -185,7 +187,8 @@ fn write_amplification_accounting_consistent() {
     assert!(wa.factor() >= 1.0);
     // Internal compaction releases space but never loses entries.
     let before_entries: u64 = db.stats().puts.get();
-    db.compact(CompactionRequest::Internal { partition: 0 }).unwrap();
+    db.compact(CompactionRequest::Internal { partition: 0 })
+        .unwrap();
     assert_eq!(db.stats().puts.get(), before_entries);
     for i in (0..2_000u64).step_by(173) {
         assert!(db.get(&key_for(i)).unwrap().value.is_some());
