@@ -10,7 +10,11 @@
 //!                           readwhilewriting|seekrandom|indextable]
 //!              [--num N] [--value-size B] [--skew Z] [--reads N]
 //!              [--partitions P] [--pm-mib M] [--threads T]
-//!              [--metrics-out PATH]
+//!              [--maintenance inline|background] [--metrics-out PATH]
+//!
+//! `--maintenance background` moves flush/compaction onto the engine's
+//! worker pool, so put latencies no longer absorb maintenance time —
+//! compare `rww/writes` p99 against the default `inline` run.
 //!
 //! `--threads T` runs the write benchmarks (`fillseq`, `fillrandom`,
 //! `updaterandom`) with T OS threads sharing one
@@ -24,7 +28,7 @@
 //! Example: `cargo run --release -p bench --bin benchmark_kv -- \
 //!           --benchmark readrandom --num 50000 --skew 0.9`
 
-use pm_blade::{Db, Mode, Options, Partitioner, Relational, TableDef};
+use pm_blade::{Db, MaintenanceMode, Mode, Options, Partitioner, Relational, TableDef};
 use sim::{Histogram, KeyDistribution, Pcg64, SimDuration};
 use workloads::{run_kv, KvWorkload, KvWorkloadSpec};
 
@@ -39,6 +43,7 @@ struct Args {
     partitions: usize,
     pm_mib: usize,
     threads: usize,
+    maintenance: MaintenanceMode,
     metrics_out: Option<std::path::PathBuf>,
 }
 
@@ -54,6 +59,7 @@ impl Default for Args {
             partitions: 8,
             pm_mib: 8,
             threads: 1,
+            maintenance: MaintenanceMode::Inline,
             metrics_out: None,
         }
     }
@@ -96,6 +102,16 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 }
             }
+            "--maintenance" => {
+                args.maintenance = match value().as_str() {
+                    "inline" => MaintenanceMode::Inline,
+                    "background" => MaintenanceMode::Background,
+                    other => {
+                        eprintln!("unknown maintenance mode {other}");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--metrics-out" => {
                 args.metrics_out = Some(value().into());
             }
@@ -122,7 +138,10 @@ fn open_db(args: &Args) -> Db {
         Mode::SsdLevel0 => Options::rocksdb_like(),
         Mode::MatrixKv => Options::matrixkv(args.pm_mib << 20),
     };
-    opts.memtable_bytes = 32 << 10;
+    // A small memtable makes flush cost visible in write latencies —
+    // exactly the spike `--maintenance background` is meant to remove.
+    opts.memtable_bytes = 8 << 10;
+    opts.maintenance = args.maintenance;
     opts.partitioner = Partitioner::numeric("user", args.num.max(1), args.partitions.max(1));
     Db::open(opts).expect("engine opens")
 }
@@ -145,6 +164,14 @@ fn write_metrics(db: &Db, args: &Args) {
         snap.spans_dropped,
         path.display()
     );
+}
+
+/// Settle the engine and emit final metrics: drains the background
+/// maintenance queue (a no-op under `--maintenance inline`) so reported
+/// compaction counters cover the whole run, then writes the snapshot.
+fn finish(db: &Db, args: &Args) {
+    db.close();
+    write_metrics(db, args);
 }
 
 fn report(name: &str, hist: &Histogram, total: SimDuration, ops: u64) {
@@ -361,21 +388,22 @@ fn index_table(args: &Args) {
         total += d;
     }
     report("indextable/query", &hist, total, args.reads.min(5_000));
-    write_metrics(rel.db(), args);
+    finish(rel.db(), args);
 }
 
 fn main() {
     let args = parse_args();
     println!(
         "benchmark_kv: mode={:?} benchmark={} num={} value={}B skew={} \
-         partitions={} pm={}MiB",
+         partitions={} pm={}MiB maintenance={:?}",
         args.mode,
         args.benchmark,
         args.num,
         args.value_size,
         args.skew,
         args.partitions,
-        args.pm_mib
+        args.pm_mib,
+        args.maintenance
     );
     if args.threads > 1 {
         println!("threads={} (shared Arc<Db>, group commit)", args.threads);
@@ -385,54 +413,54 @@ fn main() {
             if args.threads > 1 {
                 let db = std::sync::Arc::new(open_db(&args));
                 threaded_writes(&db, &args, "fillseq", args.num, true, false);
-                write_metrics(&db, &args);
+                finish(&db, &args);
             } else {
                 let mut db = open_db(&args);
                 fill(&mut db, &args, true);
-                write_metrics(&db, &args);
+                finish(&db, &args);
             }
         }
         "fillrandom" => {
             if args.threads > 1 {
                 let db = std::sync::Arc::new(open_db(&args));
                 threaded_writes(&db, &args, "fillrandom", args.num, false, false);
-                write_metrics(&db, &args);
+                finish(&db, &args);
             } else {
                 let mut db = open_db(&args);
                 fill(&mut db, &args, false);
-                write_metrics(&db, &args);
+                finish(&db, &args);
             }
         }
         "readrandom" => {
             let mut db = open_db(&args);
             fill(&mut db, &args, false);
             read_random(&mut db, &args);
-            write_metrics(&db, &args);
+            finish(&db, &args);
         }
         "updaterandom" => {
             if args.threads > 1 {
                 let db = std::sync::Arc::new(open_db(&args));
                 threaded_writes(&db, &args, "fill(load)", args.num, false, false);
                 threaded_writes(&db, &args, "updaterandom", args.reads, false, true);
-                write_metrics(&db, &args);
+                finish(&db, &args);
             } else {
                 let mut db = open_db(&args);
                 fill(&mut db, &args, false);
                 update_random(&mut db, &args);
-                write_metrics(&db, &args);
+                finish(&db, &args);
             }
         }
         "readwhilewriting" => {
             let mut db = open_db(&args);
             fill(&mut db, &args, false);
             read_while_writing(&mut db, &args);
-            write_metrics(&db, &args);
+            finish(&db, &args);
         }
         "seekrandom" => {
             let mut db = open_db(&args);
             fill(&mut db, &args, false);
             seek_random(&mut db, &args);
-            write_metrics(&db, &args);
+            finish(&db, &args);
         }
         "indextable" => index_table(&args),
         other => {

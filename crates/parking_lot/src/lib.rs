@@ -145,6 +145,56 @@ impl<T> From<T> for RwLock<T> {
     }
 }
 
+/// A condition variable paired with [`Mutex`].
+///
+/// Because this shim's guards *are* `std` guards, `wait` follows the
+/// `std::sync::Condvar` calling convention — the guard is consumed and
+/// handed back — rather than `parking_lot`'s `&mut guard` signature.
+/// Poisoning is ignored, consistent with the locks above.
+#[derive(Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.inner.wait(guard).unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Wait with a timeout; returns the reacquired guard (whether woken
+    /// or timed out).
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: std::time::Duration,
+    ) -> MutexGuard<'a, T> {
+        match self.inner.wait_timeout(guard, timeout) {
+            Ok((guard, _)) => guard,
+            Err(e) => e.into_inner().0,
+        }
+    }
+
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad("Condvar { .. }")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,6 +216,27 @@ mod tests {
         drop((a, b));
         *l.write() = 9;
         assert_eq!(*l.read(), 9);
+    }
+
+    #[test]
+    fn condvar_signals_across_threads() {
+        let pair = std::sync::Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = pair.clone();
+        let waiter = std::thread::spawn(move || {
+            let (lock, cv) = &*pair2;
+            let mut ready = lock.lock();
+            while !*ready {
+                ready = cv.wait(ready);
+            }
+        });
+        let (lock, cv) = &*pair;
+        *lock.lock() = true;
+        cv.notify_all();
+        waiter.join().unwrap();
+        // Timeout path returns the guard either way.
+        let g = lock.lock();
+        let g = cv.wait_timeout(g, std::time::Duration::from_millis(1));
+        assert!(*g);
     }
 
     #[test]

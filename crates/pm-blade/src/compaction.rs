@@ -43,6 +43,26 @@ pub struct MajorReport {
     pub device_time: SimDuration,
 }
 
+/// The paper's compaction splitter: `k = max(⌊q/c⌋, 1)` chunks per
+/// compaction (§V-C), where `q` is the device I/O window and `c` the
+/// worker cores. The same `k` splits synthesized traces in
+/// [`schedule_major`] and *real* background major compactions in
+/// [`crate::maintenance`] — a worker moves the level-0 in `k` installs,
+/// yielding the partition lock (and the CPU) between chunks so
+/// foreground reads and flush jobs interleave.
+pub fn chunk_count(cfg: &SchedulerConfig) -> usize {
+    ((cfg.max_io as usize) / cfg.cores.max(1)).max(1)
+}
+
+/// §V admission for flush work: `q_flush = max(q − q_comp − q_cli, 0)`.
+/// `q_cli` is clamped below `q` so a drained system always admits at
+/// least one flush — otherwise a configuration with `client_io ≥ max_io`
+/// would starve flushes forever and deadlock the stall path.
+pub fn flush_admission(cfg: &SchedulerConfig, running_compactions: u64) -> u64 {
+    let q_cli = cfg.client_io.min(cfg.max_io.saturating_sub(1));
+    cfg.max_io.saturating_sub(running_compactions + q_cli)
+}
+
 /// Derive per-task traces for this compaction and run them under `cfg`.
 ///
 /// The compaction splitter assigns `c` worker threads and
@@ -50,7 +70,7 @@ pub struct MajorReport {
 /// `c·k` for the coroutine policies and `c` (one thread per core's task)
 /// under plain threads — mirroring how the paper parallelizes.
 pub fn schedule_major(work: &CompactionWork, cfg: SchedulerConfig, seed: u64) -> RunReport {
-    let k = ((cfg.max_io as usize) / cfg.cores.max(1)).max(1);
+    let k = chunk_count(&cfg);
     let subtasks = match cfg.policy {
         Policy::OsThreads => cfg.cores.max(1) * k, // same total parallelism
         _ => cfg.cores.max(1) * k,
@@ -87,6 +107,36 @@ mod tests {
             records: 4096,
             value_size: 1024,
         }
+    }
+
+    #[test]
+    fn chunk_count_matches_the_splitter() {
+        let cfg = |cores, max_io| SchedulerConfig {
+            cores,
+            max_io,
+            ..SchedulerConfig::default()
+        };
+        assert_eq!(chunk_count(&cfg(2, 4)), 2);
+        assert_eq!(chunk_count(&cfg(4, 4)), 1);
+        assert_eq!(chunk_count(&cfg(1, 8)), 8);
+        // Degenerate configs still produce at least one chunk.
+        assert_eq!(chunk_count(&cfg(8, 1)), 1);
+    }
+
+    #[test]
+    fn flush_admission_ports_the_equation() {
+        let cfg = |max_io, client_io| SchedulerConfig {
+            max_io,
+            client_io,
+            ..SchedulerConfig::default()
+        };
+        // q_flush = max(q − q_comp − q_cli, 0)
+        assert_eq!(flush_admission(&cfg(4, 0), 0), 4);
+        assert_eq!(flush_admission(&cfg(4, 1), 2), 1);
+        assert_eq!(flush_admission(&cfg(4, 1), 3), 0);
+        // q_cli is clamped so an idle system always admits a flush.
+        assert_eq!(flush_admission(&cfg(4, 9), 0), 1);
+        assert_eq!(flush_admission(&cfg(1, 1), 0), 1);
     }
 
     #[test]

@@ -9,10 +9,18 @@
 //! concurrent writers cost one WAL append and one memtable apply per
 //! group. Every operation returns the virtual latency it cost, and a
 //! logical clock advances by each operation's duration so the cost
-//! models can compute access *rates*. Background work (flushes,
-//! compactions) is executed inline at the trigger points of
-//! Algorithm 1, with its time recorded in a compaction log rather than
-//! the foreground latency.
+//! models can compute access *rates*.
+//!
+//! Maintenance (flushes, compactions) runs in one of two places,
+//! selected by [`MaintenanceMode`]:
+//!
+//! - **Inline** (default): the work executes at the Algorithm-1 trigger
+//!   point, on the triggering thread, and the triggering commit group is
+//!   charged its virtual time — deterministic, single-threaded-friendly.
+//! - **Background**: trigger points enqueue jobs on the
+//!   [`crate::maintenance`] queue and a worker pool owned by [`Db`]
+//!   executes them; writers are throttled by slowdown/stall
+//!   backpressure instead of paying compaction latency directly.
 //!
 //! # Lock hierarchy
 //!
@@ -20,6 +28,9 @@
 //! → `compaction-log mutex`. A thread never acquires a lock to the
 //! left of one it already holds, never holds two partition locks at
 //! once, and releases the WAL mutex before touching a partition.
+//! Maintenance workers enter at the WAL mutex (flush sync) or the
+//! partition lock — never the commit mutex — so they order the same
+//! way as a foreground thread that has already committed.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -39,7 +50,8 @@ use crate::compaction::CompactionWork;
 use crate::costmodel::{
     explain_read_benefit, explain_write_benefit, select_retained, RetentionCandidate,
 };
-use crate::options::{Mode, Options};
+use crate::maintenance::{self, Job, JobKind, MaintenanceShared, QueueMetrics};
+use crate::options::{MaintenanceMode, Mode, Options};
 use crate::partition::{Level0, Partition};
 use crate::stats::{EngineStats, LatencyStats, ReadSource};
 use crate::telemetry::{
@@ -169,7 +181,7 @@ pub enum CompactionKind {
     Major,
 }
 
-/// A compaction the caller wants run now, handled by [`Db::compact`].
+/// A compaction the caller wants run now, handled by [`DbCore::compact`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CompactionRequest {
     /// Freeze + flush one partition's memtable, then apply the mode's
@@ -193,7 +205,110 @@ pub enum CompactionRequest {
 /// lock-free fast path over the immutable PM level-0 — and writes
 /// (`put`, `delete`, `write_batch`) go through per-partition group
 /// commit.
+///
+/// `Db` is a thin owner around [`DbCore`] (every engine operation is
+/// reachable through `Deref`): it additionally owns the background
+/// maintenance workers in [`MaintenanceMode::Background`] and drains
+/// them on [`Db::close`] / drop. The workers themselves hold
+/// `Arc<DbCore>`, so dropping the `Db` handle never races a job that is
+/// still running.
 pub struct Db {
+    core: Arc<DbCore>,
+    /// Worker threads servicing the maintenance queue (empty in Inline
+    /// mode). Taken (not just joined) by `close` so it is idempotent.
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl std::ops::Deref for Db {
+    type Target = DbCore;
+
+    fn deref(&self) -> &DbCore {
+        &self.core
+    }
+}
+
+impl Db {
+    /// Open an engine with the given options.
+    ///
+    /// `open` trusts its input; use [`Options::builder`] to validate a
+    /// configuration before opening. In
+    /// [`MaintenanceMode::Background`] this also spawns
+    /// [`Options::maintenance_workers`] worker threads.
+    pub fn open(opts: Options) -> Result<Db, DbError> {
+        let core = Arc::new(DbCore::open(opts)?);
+        let mut workers = Vec::new();
+        if let Some(m) = &core.maintenance {
+            for i in 0..core.opts.maintenance_workers.max(1) {
+                let core = Arc::clone(&core);
+                let queue = Arc::clone(m);
+                let spawned = std::thread::Builder::new()
+                    .name(format!("pmblade-maint-{i}"))
+                    .spawn(move || {
+                        while let Some(job) = queue.next_job() {
+                            let ok = core.run_job(&job).is_ok();
+                            queue.job_done(&job, ok);
+                        }
+                    });
+                match spawned {
+                    Ok(handle) => workers.push(handle),
+                    Err(e) => {
+                        // Unwind the workers already running before
+                        // reporting failure, or they would spin forever
+                        // on a queue nobody ever drains.
+                        m.drain();
+                        for h in workers {
+                            let _ = h.join();
+                        }
+                        return Err(DbError::Corrupt(format!("spawn maintenance worker: {e}")));
+                    }
+                }
+            }
+        }
+        Ok(Db {
+            core,
+            workers: Mutex::new(workers),
+        })
+    }
+
+    /// The shared engine core (what the maintenance workers hold).
+    /// Clone the `Arc` to keep the engine alive independently of this
+    /// handle — but note maintenance workers stop at [`Db::close`].
+    pub fn core(&self) -> &Arc<DbCore> {
+        &self.core
+    }
+
+    /// Drain the maintenance queue and join the worker pool: blocks
+    /// until every queued job (including jobs that running jobs
+    /// enqueue) has finished, then stops the workers. Idempotent, and
+    /// also run by `Drop`. The engine stays usable afterwards —
+    /// triggered maintenance falls back to inline execution, as in
+    /// [`MaintenanceMode::Inline`].
+    pub fn close(&self) {
+        if let Some(m) = &self.core.maintenance {
+            m.drain();
+        }
+        let workers: Vec<_> = std::mem::take(&mut *self.workers.lock());
+        for handle in workers {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Db {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+impl std::fmt::Debug for Db {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.core.fmt(f)
+    }
+}
+
+/// The engine proper: every state field and every operation. Shared
+/// between the public [`Db`] handle and the maintenance workers.
+pub struct DbCore {
     opts: Options,
     partitions: Vec<RwLock<Partition>>,
     committers: Vec<Committer>,
@@ -231,9 +346,17 @@ pub struct Db {
     wal_sync_latency: Arc<LatencyRecorder>,
     wal_appends: Arc<Counter>,
     wal_syncs: Arc<Counter>,
+    /// The background job queue; `Some` iff
+    /// `opts.maintenance == MaintenanceMode::Background`.
+    maintenance: Option<Arc<MaintenanceShared>>,
+    write_slowdowns: Arc<Counter>,
+    write_stalls: Arc<Counter>,
+    /// Wall-clock (not virtual) stall durations: stalls park the real
+    /// thread, so the histogram measures what a client would feel.
+    stall_wall: Arc<LatencyRecorder>,
 }
 
-/// Pre-fetched per-partition read counters (see [`Db::read_metrics`]).
+/// Pre-fetched per-partition read counters (see [`DbCore::read_metrics`]).
 struct ReadMetrics {
     reads: Arc<Counter>,
     memtable: Arc<Counter>,
@@ -241,12 +364,10 @@ struct ReadMetrics {
     miss: Arc<Counter>,
 }
 
-impl Db {
-    /// Open an engine with the given options.
-    ///
-    /// `open` trusts its input; use [`Options::builder`] to validate a
-    /// configuration before opening.
-    pub fn open(opts: Options) -> Result<Db, DbError> {
+impl DbCore {
+    /// Build the engine core. Callers almost always want [`Db::open`],
+    /// which also spawns the background workers.
+    fn open(opts: Options) -> Result<DbCore, DbError> {
         let pool = PmPool::new(opts.pm_capacity, opts.cost);
         let device = SsdDevice::new(opts.cost);
         let cache = Arc::new(BlockCache::new(opts.block_cache_bytes));
@@ -310,8 +431,24 @@ impl Db {
         let wal_sync_latency = registry.histogram(MetricKey::global("wal_sync_latency"));
         let wal_appends = registry.counter(MetricKey::global("wal_appends"));
         let wal_syncs = registry.counter(MetricKey::global("wal_syncs"));
+        // Maintenance metrics are pre-registered in BOTH modes so a
+        // Prometheus scrape of an Inline engine still lists them (at
+        // zero) and dashboards render identically across modes.
+        let write_slowdowns = registry.counter(MetricKey::global("write_slowdowns"));
+        let write_stalls = registry.counter(MetricKey::global("write_stalls"));
+        let stall_wall = registry.histogram(MetricKey::global("write_stall_wall_nanos"));
+        let queue_metrics = QueueMetrics {
+            depth: registry.gauge(MetricKey::global("maintenance_queue_depth")),
+            inflight: registry.gauge(MetricKey::global("maintenance_jobs_inflight")),
+            enqueued: registry.counter(MetricKey::global("maintenance_jobs_enqueued")),
+            deduped: registry.counter(MetricKey::global("maintenance_jobs_deduped")),
+            completed: registry.counter(MetricKey::global("maintenance_jobs_completed")),
+            failed: registry.counter(MetricKey::global("maintenance_jobs_failed")),
+        };
+        let maintenance = (opts.maintenance == MaintenanceMode::Background)
+            .then(|| Arc::new(MaintenanceShared::new(opts.scheduler, queue_metrics)));
         let ring = EventRing::new(opts.event_log_capacity);
-        Ok(Db {
+        Ok(DbCore {
             partitions: partitions.into_iter().map(RwLock::new).collect(),
             committers,
             pool,
@@ -336,6 +473,10 @@ impl Db {
             wal_sync_latency,
             wal_appends,
             wal_syncs,
+            maintenance,
+            write_slowdowns,
+            write_stalls,
+            stall_wall,
             opts,
         })
     }
@@ -398,7 +539,7 @@ impl Db {
     }
 
     /// The engine's metrics registry (for custom instrumentation and
-    /// ad-hoc queries; most callers want [`Db::metrics_snapshot`]).
+    /// ad-hoc queries; most callers want [`DbCore::metrics_snapshot`]).
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.registry
     }
@@ -630,7 +771,11 @@ impl Db {
 
     /// Enqueue `ops` for partition `pid` and wait for a commit group to
     /// carry them. See [`crate::commit`] for the leader/follower scheme.
+    /// In Background mode the write first passes the backpressure gate
+    /// ([`DbCore::throttle`]); any slowdown penalty is part of the
+    /// write's reported latency.
     fn submit(&self, pid: usize, ops: Vec<BatchOp>) -> Result<SimDuration, DbError> {
+        let penalty = self.throttle(pid);
         let committer = &self.committers[pid];
         let ticket = Arc::new(Ticket::new(ops));
         committer.queue.lock().push(Arc::clone(&ticket));
@@ -647,10 +792,122 @@ impl Db {
             }
         }
         let result = ticket.take_result();
-        if let Ok(latency) = &result {
-            self.lat_writes.record(*latency);
+        match result {
+            Ok(latency) => {
+                let total = latency + penalty;
+                self.lat_writes.record(total);
+                Ok(total)
+            }
+            Err(e) => Err(e),
         }
-        result
+    }
+
+    /// RocksDB-style write backpressure, evaluated before a write joins
+    /// the commit queue (Background mode only; Inline writes pay for
+    /// maintenance directly and need no gate). Two pressure signals per
+    /// partition — unsorted level-0 tables and memtable debt (size as a
+    /// multiple of the flush target) — each with a *slowdown* threshold
+    /// (charge [`Options::slowdown_delay`] of virtual latency) and a
+    /// *stall* threshold (park the real thread until the workers catch
+    /// up). Returns the virtual penalty to add to the write's latency;
+    /// the engine clock is advanced by it here.
+    fn throttle(&self, pid: usize) -> SimDuration {
+        let Some(m) = &self.maintenance else {
+            return SimDuration::ZERO;
+        };
+        let mut stall_start: Option<std::time::Instant> = None;
+        loop {
+            let (mem_bytes, unsorted) = {
+                let p = self.partitions[pid].read();
+                (p.mem.approximate_size(), p.unsorted_count())
+            };
+            let debt = mem_bytes / self.opts.memtable_bytes.max(1);
+            let l0_stalled = unsorted >= self.opts.l0_stall_trigger;
+            let mem_stalled = debt >= self.opts.memtable_stall_debt;
+            if (l0_stalled || mem_stalled) && m.accepting() {
+                if stall_start.is_none() {
+                    stall_start = Some(std::time::Instant::now());
+                    self.write_stalls.incr();
+                }
+                // Make sure relief is queued before parking (dedup makes
+                // the re-enqueue per loop iteration free).
+                if l0_stalled {
+                    m.enqueue(Job {
+                        kind: JobKind::Internal,
+                        partition: pid,
+                        cost: None,
+                    });
+                }
+                if mem_stalled {
+                    m.enqueue(Job {
+                        kind: JobKind::Flush,
+                        partition: pid,
+                        cost: None,
+                    });
+                }
+                m.wait_for_progress(std::time::Duration::from_millis(1));
+                continue;
+            }
+            if let Some(start) = stall_start {
+                self.stall_wall
+                    .record_nanos(start.elapsed().as_nanos() as u64);
+            }
+            // Early relief: once L0 is halfway to the slowdown
+            // watermark, queue an internal compaction so the workers
+            // usually clear the signal before any penalty engages.
+            // (Dedup makes the repeated enqueue free.)
+            if unsorted * 2 >= self.opts.l0_slowdown_trigger && m.accepting() {
+                m.enqueue(Job {
+                    kind: JobKind::Internal,
+                    partition: pid,
+                    cost: None,
+                });
+            }
+            let l0_slowed = unsorted >= self.opts.l0_slowdown_trigger;
+            let mem_slowed = debt >= self.opts.memtable_slowdown_debt;
+            if l0_slowed || mem_slowed {
+                // A slowdown must queue its own relief: the condition
+                // can sit below the engine's §IV triggers indefinitely,
+                // and without help every subsequent write would keep
+                // paying the penalty.
+                if mem_slowed {
+                    m.enqueue(Job {
+                        kind: JobKind::Flush,
+                        partition: pid,
+                        cost: None,
+                    });
+                }
+                self.write_slowdowns.incr();
+                // Pace the writer in wall-clock time as well (RocksDB's
+                // delayed-write behaviour): a penalised writer that
+                // keeps running at full speed would re-trip the trigger
+                // before the workers can touch the backlog.
+                m.wait_for_progress(std::time::Duration::from_micros(100));
+                self.advance(self.opts.slowdown_delay);
+                return self.opts.slowdown_delay;
+            }
+            return SimDuration::ZERO;
+        }
+    }
+
+    /// Route one piece of triggered maintenance onto the background
+    /// queue. Returns `false` when the engine runs Inline (or the queue
+    /// has shut down) and the caller must execute the work itself.
+    fn offload(&self, job: Job) -> bool {
+        match &self.maintenance {
+            Some(m) => m.enqueue(job),
+            None => false,
+        }
+    }
+
+    /// Execute one background job (called from the worker threads).
+    pub(crate) fn run_job(&self, job: &Job) -> Result<(), DbError> {
+        match job.kind {
+            JobKind::Flush => self.do_flush(job.partition),
+            JobKind::Internal => self.do_internal(job.partition, job.cost.clone()),
+            JobKind::Major => self.do_major_chunked(job.partition),
+            JobKind::Retention => self.do_retention_inner(true),
+        }
     }
 
     /// Commit one group: allocate sequences, append every record to the
@@ -756,19 +1013,45 @@ impl Db {
             };
             self.opts.listeners.group_commit(&span);
         }
-        // Charge each ticket its share of the group's virtual time.
+        // Maintenance the group triggered. Inline mode runs the flush
+        // *before* the tickets complete and bills its virtual time to
+        // the group — the triggering writers observe the latency spike
+        // they caused, which is exactly the cost Background mode moves
+        // off the write path (there the trigger is one enqueue).
+        let mut maintenance = SimDuration::ZERO;
+        let mut flush_err = None;
+        if mem_full {
+            let offloaded = self.offload(Job {
+                kind: JobKind::Flush,
+                partition: pid,
+                cost: None,
+            });
+            if !offloaded {
+                // Still holding the commit mutex: no new group can race
+                // the flush into a half-frozen memtable.
+                let before = self.clock.load(Ordering::Relaxed);
+                if let Err(e) = self.do_flush(pid) {
+                    flush_err = Some(e);
+                }
+                maintenance = SimDuration::from_nanos(
+                    self.clock.load(Ordering::Relaxed).saturating_sub(before),
+                );
+            }
+        }
+        // Charge each ticket its share of the group's virtual time
+        // (including any inline maintenance). Tickets always complete,
+        // even on a flush error — the group itself durably committed.
+        let billed = elapsed + maintenance;
         for ticket in group {
             let share = SimDuration::from_nanos(
-                elapsed.as_nanos() * ticket.ops.len() as u64 / total_ops.max(1) as u64,
+                billed.as_nanos() * ticket.ops.len() as u64 / total_ops.max(1) as u64,
             );
             ticket.complete(Ok(share));
         }
-        if mem_full {
-            // Still holding the commit mutex: no new group can race the
-            // flush into a half-frozen memtable.
-            self.do_flush(pid)?;
+        match flush_err {
+            Some(e) => Err(e),
+            None => Ok(()),
         }
-        Ok(())
     }
 
     /// Point read at the latest snapshot.
@@ -776,7 +1059,7 @@ impl Db {
         self.get_at(user_key, SequenceNumber::MAX)
     }
 
-    /// Point read at a snapshot (see [`Db::snapshot`]).
+    /// Point read at a snapshot (see [`DbCore::snapshot`]).
     ///
     /// Fast path: the memtable probe runs under the partition's read
     /// lock; if the partition has a PM level-0, the lock is dropped and
@@ -1081,11 +1364,25 @@ impl Db {
                     // Attribute the compaction to the first rule that
                     // fired (Algorithm 1 evaluates them in this order).
                     let cause = [d_eq1, d_eq2, d_hard].into_iter().find(|d| d.triggered());
-                    self.do_internal(pid, cause)?;
+                    let offloaded = self.offload(Job {
+                        kind: JobKind::Internal,
+                        partition: pid,
+                        cost: cause.clone(),
+                    });
+                    if !offloaded {
+                        self.do_internal(pid, cause)?;
+                    }
                 }
                 // Line 7-9: Eq 3 — major compaction with retention.
                 if self.pool.used() >= self.opts.tau_m {
-                    self.do_retention()?;
+                    let offloaded = self.offload(Job {
+                        kind: JobKind::Retention,
+                        partition: maintenance::GLOBAL_PARTITION,
+                        cost: None,
+                    });
+                    if !offloaded {
+                        self.do_retention()?;
+                    }
                 }
             }
             Mode::PmBladePm => {
@@ -1098,7 +1395,7 @@ impl Db {
                 if self.partitions[pid].read().unsorted_count() >= self.opts.l0_table_trigger
                     || self.pool.used() >= self.opts.tau_m
                 {
-                    self.do_major(pid)?;
+                    self.major_or_enqueue(pid)?;
                 }
             }
             Mode::MatrixKv => {
@@ -1106,7 +1403,7 @@ impl Db {
                 // no retention.
                 if self.pool.used() >= self.opts.tau_m {
                     for pid in 0..self.partitions.len() {
-                        self.do_major(pid)?;
+                        self.major_or_enqueue(pid)?;
                     }
                 }
             }
@@ -1115,7 +1412,7 @@ impl Db {
                     .read()
                     .ssd_l0_full(self.opts.l0_table_trigger)
                 {
-                    self.do_major(pid)?;
+                    self.major_or_enqueue(pid)?;
                 }
             }
         }
@@ -1184,8 +1481,56 @@ impl Db {
         Ok(())
     }
 
+    /// Trigger-site helper: enqueue a major compaction in Background
+    /// mode, run it inline otherwise.
+    fn major_or_enqueue(&self, pid: usize) -> Result<(), DbError> {
+        let offloaded = self.offload(Job {
+            kind: JobKind::Major,
+            partition: pid,
+            cost: None,
+        });
+        if offloaded {
+            Ok(())
+        } else {
+            self.do_major(pid)
+        }
+    }
+
     /// Major-compact one partition (its whole level-0 into level-1).
     fn do_major(&self, pid: usize) -> Result<(), DbError> {
+        self.do_major_limited(pid, usize::MAX)
+    }
+
+    /// The §V-C compaction splitter applied to real work: move the
+    /// partition's level-0 in `k = max(⌊q/c⌋, 1)` installs, yielding
+    /// the partition lock (and the CPU) between chunks so foreground
+    /// operations interleave with a large major compaction. Used by the
+    /// background workers; the inline path keeps the single-install
+    /// major for deterministic span counts.
+    fn do_major_chunked(&self, pid: usize) -> Result<(), DbError> {
+        let k = crate::compaction::chunk_count(&self.opts.scheduler);
+        let total = self.partitions[pid].read().l0_table_count();
+        if k <= 1 || total == 0 {
+            // Nothing to split (or a Matrix/SSD level-0, which drains
+            // in one install regardless).
+            return self.do_major(pid);
+        }
+        let per_chunk = total.div_ceil(k).max(1);
+        // Each limited pass moves the *oldest* tables first, so between
+        // chunks the remaining level-0 still shadows level-1 for every
+        // key it holds. Loop until empty: a concurrent flush may add
+        // tables mid-pass, and each pass removes at least one table, so
+        // this terminates once the partition quiesces.
+        while self.partitions[pid].read().l0_table_count() > 0 {
+            self.do_major_limited(pid, per_chunk)?;
+            std::thread::yield_now();
+        }
+        Ok(())
+    }
+
+    /// One major-compaction install moving at most `table_limit`
+    /// level-0 tables (oldest first; `usize::MAX` moves everything).
+    fn do_major_limited(&self, pid: usize, table_limit: usize) -> Result<(), DbError> {
         let mut tl = Timeline::new();
         let start_nanos = self.clock.load(Ordering::Relaxed);
         self.opts.listeners.compaction_begin(SpanKind::Major, pid);
@@ -1195,19 +1540,24 @@ impl Db {
         let pm_read_before = self.pool.stats().bytes_read.get();
         let ssd_written_before = self.device.stats().bytes_written.get();
         let mut p = self.partitions[pid].write();
-        let records = match &p.level0 {
+        let entries_in = |p: &Partition| match &p.level0 {
             Level0::Pm(l0) => l0.entries(),
             Level0::Matrix(m) => m.entries(),
             Level0::Ssd(tables) => tables.len() * 1000,
-        } as u64;
+        };
+        let records_before = entries_in(&p) as u64;
         let deleted = p.major_compaction(
             &self.opts,
             &self.pool,
             &self.device,
             &self.cache,
             &self.table_counter,
+            table_limit,
             &mut tl,
         )?;
+        // For a limited pass, only the moved slice counts as this
+        // span's input.
+        let records = records_before.saturating_sub(entries_in(&p) as u64);
         // Delete replaced SSTables while still holding the write lock:
         // concurrent readers search the SSD levels only under the read
         // lock, so no reader can be mid-probe in a deleted table.
@@ -1244,6 +1594,22 @@ impl Db {
     /// Partition locks are taken one at a time (candidate sampling,
     /// then each victim's compaction) — never two at once.
     fn do_retention(&self) -> Result<(), DbError> {
+        self.do_retention_inner(false)
+    }
+
+    /// `chunked` selects the background flavor: victims move through
+    /// [`DbCore::do_major_chunked`] with a yield between partitions, so
+    /// one retention pass never monopolizes a worker.
+    fn do_retention_inner(&self, chunked: bool) -> Result<(), DbError> {
+        let evict = |pid: usize| -> Result<(), DbError> {
+            if chunked {
+                let r = self.do_major_chunked(pid);
+                std::thread::yield_now();
+                r
+            } else {
+                self.do_major(pid)
+            }
+        };
         let candidates: Vec<RetentionCandidate> = self
             .partitions
             .iter()
@@ -1269,7 +1635,7 @@ impl Db {
             victims: victims.clone(),
         });
         for pid in victims {
-            self.do_major(pid)?;
+            evict(pid)?;
         }
         // Safety: if the retained set alone still exceeds τ_m (e.g. a
         // single enormous partition), evict coldest-first until it fits.
@@ -1287,17 +1653,18 @@ impl Db {
                 if self.pool.used() < self.opts.tau_m {
                     break;
                 }
-                self.do_major(pid)?;
+                evict(pid)?;
             }
         }
         Ok(())
     }
 }
 
-impl std::fmt::Debug for Db {
+impl std::fmt::Debug for DbCore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Db")
             .field("mode", &self.opts.mode)
+            .field("maintenance", &self.opts.maintenance)
             .field("partitions", &self.partitions.len())
             .field("seq", &self.seq.load(Ordering::Relaxed))
             .field("pm_used", &self.pool.used())
@@ -1691,6 +2058,30 @@ mod tests {
         }
         // Nothing was major-compacted: everything served from PM.
         assert!(db.stats().pm_hit_ratio() > 0.99);
+    }
+
+    #[test]
+    fn background_mode_round_trips_and_survives_close() {
+        let mut opts = small_opts(Mode::PmBlade);
+        opts.maintenance = MaintenanceMode::Background;
+        opts.l0_unsorted_hard_cap = 3;
+        let db = Db::open(opts).unwrap();
+        fill(&db, 1500, 64, "b");
+        db.close();
+        // close() drained every queued flush/compaction.
+        assert_eq!(db.core().maintenance.as_ref().unwrap().queue_depth(), 0);
+        assert!(db.stats().minor_compactions.get() >= 1);
+        for i in (0..1500).step_by(173) {
+            let k = format!("key{:08}", i);
+            assert!(db.get(k.as_bytes()).unwrap().value.is_some(), "lost {k}");
+        }
+        // Post-close the engine stays usable: triggers fall back inline.
+        let minors_at_close = db.stats().minor_compactions.get();
+        fill(&db, 600, 64, "after");
+        assert!(db.stats().minor_compactions.get() > minors_at_close);
+        assert!(db.get(b"key00000001").unwrap().value.is_some());
+        // Idempotent.
+        db.close();
     }
 
     #[test]

@@ -127,6 +127,39 @@ impl PmLevel0 {
         sources
     }
 
+    /// Detach up to `limit` of the *oldest* tables for a chunked major
+    /// compaction, returning their entries and PM regions. The sorted
+    /// run is always older than every unsorted table (it was built from
+    /// all tables present at its creation; later flushes only append
+    /// unsorted tables with strictly newer sequences), and unsorted
+    /// tables age front-to-back — so draining run-first/front-first
+    /// guarantees any version left behind in level-0 is newer than what
+    /// moved down, and reads (level-0 before level-1) stay correct
+    /// between chunks.
+    pub fn take_oldest(
+        &mut self,
+        limit: usize,
+        tl: &mut Timeline,
+    ) -> (Vec<Vec<OwnedEntry>>, Vec<pm_device::RegionId>) {
+        let take_sorted = self.sorted.len().min(limit);
+        let take_unsorted = self.unsorted.len().min(limit - take_sorted);
+        let mut sources = Vec::new();
+        let mut regions = Vec::new();
+        let mut run = Vec::new();
+        for handle in self.sorted.drain(..take_sorted) {
+            run.extend(handle.table.scan_all(tl));
+            regions.push(handle.region);
+        }
+        if !run.is_empty() {
+            sources.push(run);
+        }
+        for handle in self.unsorted.drain(..take_unsorted) {
+            sources.push(handle.table.scan_all(tl));
+            regions.push(handle.region);
+        }
+        (sources, regions)
+    }
+
     /// Drop every table, freeing PM space. Returns bytes released.
     pub fn clear(&mut self, pool: &PmPool) -> usize {
         let released = self.bytes();

@@ -28,6 +28,7 @@ pub mod engine;
 pub mod handle;
 pub mod level0;
 pub mod levels;
+pub mod maintenance;
 pub mod matrix;
 pub mod options;
 pub mod partition;
@@ -37,10 +38,10 @@ pub mod telemetry;
 
 pub use commit::{BatchOp, WriteBatch};
 pub use engine::{
-    CompactionEvent, CompactionKind, CompactionRequest, Db, DbError, ReadOutcome, WriteAmp,
+    CompactionEvent, CompactionKind, CompactionRequest, Db, DbCore, DbError, ReadOutcome, WriteAmp,
 };
 pub use level0::PmL0Snapshot;
-pub use options::{Mode, Options, OptionsBuilder, Partitioner};
+pub use options::{MaintenanceMode, Mode, Options, OptionsBuilder, Partitioner};
 pub use relational::{Relational, TableDef};
 pub use stats::{EngineStats, LatencyStats, ReadSource};
 pub use telemetry::{

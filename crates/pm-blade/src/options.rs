@@ -23,6 +23,25 @@ pub enum Mode {
     MatrixKv,
 }
 
+/// Where maintenance work (flushes, internal/major compactions) runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum MaintenanceMode {
+    /// Execute maintenance synchronously at the Algorithm-1 trigger
+    /// points, on the thread that tripped them. Deterministic: a fixed
+    /// workload produces the exact same compaction sequence every run,
+    /// which the simulation tests rely on. The triggering write is
+    /// charged the maintenance's virtual time.
+    #[default]
+    Inline,
+    /// Enqueue maintenance jobs for the engine's background worker pool
+    /// (§V): writes only detect triggers and enqueue, workers execute.
+    /// Writers are throttled by RocksDB-style slowdown/stall thresholds
+    /// when they outrun the workers. Job *timing* becomes
+    /// scheduling-dependent; final key/value state is identical to
+    /// [`MaintenanceMode::Inline`] for the same workload.
+    Background,
+}
+
 /// How the key space is split into independently-managed partitions.
 #[derive(Clone, Debug)]
 pub enum Partitioner {
@@ -146,6 +165,30 @@ pub struct Options {
     /// [`EventListener`](crate::telemetry::EventListener) for the
     /// reentrancy rules.
     pub listeners: ListenerSet,
+    /// Inline (deterministic, default) or background (worker-pool)
+    /// maintenance execution.
+    pub maintenance: MaintenanceMode,
+    /// Background worker threads servicing the maintenance queue
+    /// (ignored in [`MaintenanceMode::Inline`]). Must be at least 1.
+    pub maintenance_workers: usize,
+    /// Unsorted level-0 tables per partition beyond which writes to that
+    /// partition are *slowed down* in background mode.
+    pub l0_slowdown_trigger: usize,
+    /// Unsorted level-0 tables per partition beyond which writes to that
+    /// partition *stall* until a worker catches up. Must exceed
+    /// [`Options::l0_slowdown_trigger`].
+    pub l0_stall_trigger: usize,
+    /// Memtable debt (memtable size as a multiple of
+    /// [`Options::memtable_bytes`]) that slows writes down in background
+    /// mode. The memtable keeps absorbing writes past its freeze
+    /// threshold while the flush job waits for a worker.
+    pub memtable_slowdown_debt: usize,
+    /// Memtable debt multiple that stalls writes. Must exceed
+    /// [`Options::memtable_slowdown_debt`].
+    pub memtable_stall_debt: usize,
+    /// Virtual-time penalty charged to each write admitted under
+    /// slowdown (the RocksDB `delayed_write_rate` analogue).
+    pub slowdown_delay: SimDuration,
 }
 
 impl Default for Options {
@@ -178,6 +221,13 @@ impl Default for Options {
             wal_dir: None,
             event_log_capacity: 1024,
             listeners: ListenerSet::new(),
+            maintenance: MaintenanceMode::Inline,
+            maintenance_workers: 2,
+            l0_slowdown_trigger: 12,
+            l0_stall_trigger: 24,
+            memtable_slowdown_debt: 2,
+            memtable_stall_debt: 4,
+            slowdown_delay: SimDuration::from_micros(100),
         }
     }
 }
@@ -326,6 +376,46 @@ impl OptionsBuilder {
         self
     }
 
+    pub fn maintenance(mut self, mode: MaintenanceMode) -> Self {
+        self.opts.maintenance = mode;
+        self
+    }
+
+    pub fn maintenance_workers(mut self, workers: usize) -> Self {
+        self.opts.maintenance_workers = workers;
+        self
+    }
+
+    pub fn l0_slowdown_trigger(mut self, tables: usize) -> Self {
+        self.opts.l0_slowdown_trigger = tables;
+        self
+    }
+
+    pub fn l0_stall_trigger(mut self, tables: usize) -> Self {
+        self.opts.l0_stall_trigger = tables;
+        self
+    }
+
+    pub fn memtable_slowdown_debt(mut self, multiples: usize) -> Self {
+        self.opts.memtable_slowdown_debt = multiples;
+        self
+    }
+
+    pub fn memtable_stall_debt(mut self, multiples: usize) -> Self {
+        self.opts.memtable_stall_debt = multiples;
+        self
+    }
+
+    pub fn slowdown_delay(mut self, delay: SimDuration) -> Self {
+        self.opts.slowdown_delay = delay;
+        self
+    }
+
+    pub fn scheduler(mut self, cfg: coroutine::SchedulerConfig) -> Self {
+        self.opts.scheduler = cfg;
+        self
+    }
+
     /// Register an event listener (may be called repeatedly; listeners
     /// are invoked in registration order).
     pub fn add_event_listener(mut self, listener: std::sync::Arc<dyn EventListener>) -> Self {
@@ -402,6 +492,41 @@ impl OptionsBuilder {
         }
         if o.event_log_capacity == 0 {
             return fail("event_log_capacity must be at least 1".into());
+        }
+        if o.maintenance_workers == 0 {
+            return fail(
+                "maintenance_workers must be at least 1 \
+                 (the background pool needs a worker)"
+                    .into(),
+            );
+        }
+        if o.l0_slowdown_trigger == 0 {
+            return fail("l0_slowdown_trigger must be at least 1".into());
+        }
+        if o.l0_slowdown_trigger >= o.l0_stall_trigger {
+            return fail(format!(
+                "l0_slowdown_trigger ({}) must stay below \
+                 l0_stall_trigger ({}): the stall threshold is the hard \
+                 backstop behind the slowdown",
+                o.l0_slowdown_trigger, o.l0_stall_trigger
+            ));
+        }
+        if o.memtable_slowdown_debt == 0 {
+            return fail("memtable_slowdown_debt must be at least 1".into());
+        }
+        if o.memtable_slowdown_debt >= o.memtable_stall_debt {
+            return fail(format!(
+                "memtable_slowdown_debt ({}) must stay below \
+                 memtable_stall_debt ({}): the stall threshold is the \
+                 hard backstop behind the slowdown",
+                o.memtable_slowdown_debt, o.memtable_stall_debt
+            ));
+        }
+        if o.scheduler.cores == 0 {
+            return fail("scheduler.cores must be at least 1".into());
+        }
+        if o.scheduler.max_io == 0 {
+            return fail("scheduler.max_io must be at least 1".into());
         }
         Ok(self.opts)
     }
@@ -490,6 +615,61 @@ mod tests {
             .pm_capacity(0)
             .build()
             .is_ok());
+    }
+
+    #[test]
+    fn builder_rejects_bad_maintenance_configs() {
+        let msg = |r: Result<Options, crate::engine::DbError>| match r {
+            Err(crate::engine::DbError::Config(m)) => m,
+            other => panic!("expected Config error, got {other:?}"),
+        };
+        assert!(
+            msg(Options::builder().maintenance_workers(0).build()).contains("maintenance_workers")
+        );
+        // Slowdown thresholds must stay strictly below their stall
+        // backstops.
+        assert!(msg(Options::builder()
+            .l0_slowdown_trigger(8)
+            .l0_stall_trigger(8)
+            .build())
+        .contains("l0_slowdown_trigger"));
+        assert!(msg(Options::builder()
+            .l0_slowdown_trigger(9)
+            .l0_stall_trigger(8)
+            .build())
+        .contains("l0_slowdown_trigger"));
+        assert!(msg(Options::builder()
+            .memtable_slowdown_debt(4)
+            .memtable_stall_debt(4)
+            .build())
+        .contains("memtable_slowdown_debt"));
+        assert!(msg(Options::builder().memtable_slowdown_debt(0).build())
+            .contains("memtable_slowdown_debt"));
+        assert!(
+            msg(Options::builder().l0_slowdown_trigger(0).build()).contains("l0_slowdown_trigger")
+        );
+        // SchedulerConfig sanity: zero cores or a zero I/O window would
+        // wedge the §V admission policy.
+        let bad_cores = coroutine::SchedulerConfig {
+            cores: 0,
+            ..Default::default()
+        };
+        assert!(msg(Options::builder().scheduler(bad_cores).build()).contains("scheduler.cores"));
+        let bad_io = coroutine::SchedulerConfig {
+            max_io: 0,
+            ..Default::default()
+        };
+        assert!(msg(Options::builder().scheduler(bad_io).build()).contains("scheduler.max_io"));
+        // A consistent background configuration passes.
+        let opts = Options::builder()
+            .maintenance(MaintenanceMode::Background)
+            .maintenance_workers(3)
+            .l0_slowdown_trigger(6)
+            .l0_stall_trigger(12)
+            .build()
+            .unwrap();
+        assert_eq!(opts.maintenance, MaintenanceMode::Background);
+        assert_eq!(opts.maintenance_workers, 3);
     }
 
     #[test]

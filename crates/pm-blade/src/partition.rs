@@ -103,6 +103,16 @@ impl Partition {
         }
     }
 
+    /// Total PM level-0 tables (sorted run + unsorted), the unit the §V
+    /// compaction splitter chunks by. Zero for non-PM level-0s, whose
+    /// major compactions are not chunkable.
+    pub fn l0_table_count(&self) -> usize {
+        match &self.level0 {
+            Level0::Pm(l0) => l0.sorted_count() + l0.unsorted_count(),
+            _ => 0,
+        }
+    }
+
     /// Point lookup through every tier of this partition. The third
     /// element is the SSD level that served the read (0 for an SSD
     /// level-0 table, 1-based below), `None` for non-SSD sources.
@@ -213,36 +223,46 @@ impl Partition {
             entries: entries.len(),
             bytes: entries.iter().map(|e| e.raw_len()).sum(),
         };
-        match &mut self.level0 {
-            Level0::Pm(l0) => {
-                let handles = build_pm_tables(
-                    &entries,
-                    opts.pm_table,
-                    usize::MAX, // one flush = one unsorted table
-                    pool,
-                    &opts.cost,
-                    tl,
-                )?;
+        let built: Result<(), crate::engine::DbError> = match &mut self.level0 {
+            Level0::Pm(l0) => build_pm_tables(
+                &entries,
+                opts.pm_table,
+                usize::MAX, // one flush = one unsorted table
+                pool,
+                &opts.cost,
+                tl,
+            )
+            .map(|handles| {
                 for h in handles {
                     l0.push_unsorted(h);
                 }
+            })
+            .map_err(Into::into),
+            Level0::Matrix(m) => m.flush_row(&entries, opts, pool, tl),
+            Level0::Ssd(tables) => build_ss_tables(
+                &entries,
+                device,
+                cache,
+                &format!("p{:03}-L0", self.id),
+                table_counter,
+                usize::MAX,
+                SsTableOptions::default(),
+                tl,
+            )
+            .map(|new| tables.extend(new))
+            .map_err(Into::into),
+        };
+        if let Err(e) = built {
+            // Put the frozen memtable back before surfacing the error:
+            // a background worker has nowhere to report it, and silently
+            // dropping the entries would lose committed writes. Writes
+            // that raced into the fresh memtable sort newer (higher
+            // seq), so re-inserting them over the frozen entries is safe.
+            let racing = std::mem::replace(&mut self.mem, frozen);
+            for r in racing.entries_in_order() {
+                self.mem.insert(&r.user_key, r.seq, r.kind, &r.value, tl);
             }
-            Level0::Matrix(m) => {
-                m.flush_row(&entries, opts, pool, tl)?;
-            }
-            Level0::Ssd(tables) => {
-                let new = build_ss_tables(
-                    &entries,
-                    device,
-                    cache,
-                    &format!("p{:03}-L0", self.id),
-                    table_counter,
-                    usize::MAX,
-                    SsTableOptions::default(),
-                    tl,
-                )?;
-                tables.extend(new);
-            }
+            return Err(e);
         }
         Ok(Some(report))
     }
@@ -281,9 +301,16 @@ impl Partition {
         Ok(Some((before, after, released)))
     }
 
-    /// Major compaction: move this partition's entire level-0 into
-    /// level-1, merging with the overlapping level-1 tables. Returns the
-    /// names of replaced SSTables for deletion.
+    /// Major compaction: move this partition's level-0 into level-1,
+    /// merging with the overlapping level-1 tables. Returns the names of
+    /// replaced SSTables for deletion.
+    ///
+    /// `table_limit` bounds how many level-0 tables move in this pass
+    /// (`usize::MAX` = the whole level-0). Background workers pass the
+    /// §V chunk size so the partition's write lock is released between
+    /// chunks; the oldest tables move first (see
+    /// [`PmLevel0::take_oldest`]) so reads stay correct mid-compaction.
+    /// Non-PM level-0s ignore the limit and drain fully.
     #[allow(clippy::too_many_arguments)]
     pub fn major_compaction(
         &mut self,
@@ -292,6 +319,7 @@ impl Partition {
         device: &Arc<SsdDevice>,
         cache: &Arc<BlockCache>,
         table_counter: &AtomicU64,
+        table_limit: usize,
         tl: &mut Timeline,
     ) -> Result<Vec<String>, crate::engine::DbError> {
         // Collect level-0 input.
@@ -299,11 +327,9 @@ impl Partition {
         let mut released_regions: Vec<pm_device::RegionId> = Vec::new();
         match &mut self.level0 {
             Level0::Pm(l0) => {
-                sources.extend(l0.scan_all_sources(tl));
-                released_regions
-                    .extend(l0.unsorted.iter().chain(l0.sorted.iter()).map(|h| h.region));
-                l0.unsorted.clear();
-                l0.sorted.clear();
+                let (chunk, regions) = l0.take_oldest(table_limit, tl);
+                sources.extend(chunk);
+                released_regions.extend(regions);
             }
             Level0::Matrix(m) => {
                 sources.extend(m.drain_sources(tl));

@@ -524,29 +524,47 @@ impl<S: Storage> L0Table for PmTable<S> {
         let row = &self.metas[mid];
         let mut group =
             self.locate_group(rest, row.first_group, row.first_group + row.group_count, tl);
-        // Fixed-width leaders can tie across groups; if the probe sorts
-        // before this group's *full* first key, the match (if any) lives
-        // in an earlier group with the same leader. Step back until the
-        // group's first key is <= the probe.
+        // Fixed-width leaders can tie across groups, and the versions of
+        // one key can straddle a group boundary — internal-key order
+        // stores the newest sequence *first*, so newer versions live in
+        // earlier groups. Step back while the group's full first key is
+        // >= the probe: the match, or a newer version of it, may live in
+        // an earlier group.
         while group > row.first_group {
             self.storage.meter_random(32, tl);
             match self.group_first_rest(group) {
-                Some(first) if first.as_slice() > rest => group -= 1,
+                Some(first) if first.as_slice() >= rest => group -= 1,
                 _ => break,
             }
         }
-        // One sequential block scan; decode_group meters the block read.
-        let entries = self.decode_group(group, tl)?;
-        tl.charge(cpu.key_compare * entries.len() as u64);
-        entries
-            .into_iter()
-            .filter(|e| e.user_key == user_key && e.seq <= snapshot)
-            .max_by_key(|e| e.seq)
-            .map(|e| Lookup {
-                seq: e.seq,
-                kind: e.kind,
-                value: e.value,
-            })
+        // Scan forward from the earliest candidate group. Versions are
+        // laid out newest-first, so the first group with a visible
+        // (seq <= snapshot) entry holds the newest visible version.
+        let end = row.first_group + row.group_count;
+        for g in group..end {
+            if g > group {
+                self.storage.meter_random(32, tl);
+                match self.group_first_rest(g) {
+                    Some(first) if first.as_slice() > rest => break,
+                    _ => {}
+                }
+            }
+            // One sequential block scan; decode_group meters the read.
+            let entries = self.decode_group(g, tl)?;
+            tl.charge(cpu.key_compare * entries.len() as u64);
+            if let Some(e) = entries
+                .into_iter()
+                .filter(|e| e.user_key == user_key && e.seq <= snapshot)
+                .max_by_key(|e| e.seq)
+            {
+                return Some(Lookup {
+                    seq: e.seq,
+                    kind: e.kind,
+                    value: e.value,
+                });
+            }
+        }
+        None
     }
 
     fn entry_count(&self) -> usize {
@@ -728,6 +746,40 @@ mod tests {
         assert_eq!(t.get(b"t0:k", 10, &mut tl).unwrap().value, b"v10");
         assert!(t.get(b"t0:k", 5, &mut tl).is_none());
         assert_eq!(t.get(b"t0:k", u64::MAX, &mut tl).unwrap().value, b"v30");
+    }
+
+    #[test]
+    fn versions_straddling_group_boundaries() {
+        // Internal-key order places the newest sequence of a key *first*,
+        // so when a key's versions span several groups the newest lives
+        // at the tail of the earliest group. A lookup that only decodes
+        // the group whose first key matches the probe would return a
+        // stale version (regression: Background-mode parity divergence).
+        let mut entries = vec![OwnedEntry::value(
+            b"t0:a".to_vec(),
+            1000,
+            b"before".to_vec(),
+        )];
+        for seq in (1..=30u64).rev() {
+            entries.push(OwnedEntry::value(
+                b"t0:k".to_vec(),
+                seq,
+                format!("v{seq}").into_bytes(),
+            ));
+        }
+        entries.push(OwnedEntry::value(b"t0:z".to_vec(), 1001, b"after".to_vec()));
+        let t = build(&entries, delim_opts());
+        let mut tl = Timeline::new();
+        // group_size is 8, so the 30 versions span four groups; the
+        // newest (seq 30) sits mid-group right after "t0:a".
+        assert_eq!(t.get(b"t0:k", u64::MAX, &mut tl).unwrap().seq, 30);
+        for snap in 1..=30u64 {
+            let hit = t.get(b"t0:k", snap, &mut tl).unwrap();
+            assert_eq!(hit.seq, snap, "snapshot {snap} must see its own version");
+            assert_eq!(hit.value, format!("v{snap}").into_bytes());
+        }
+        assert_eq!(t.get(b"t0:a", u64::MAX, &mut tl).unwrap().value, b"before");
+        assert_eq!(t.get(b"t0:z", u64::MAX, &mut tl).unwrap().value, b"after");
     }
 
     #[test]

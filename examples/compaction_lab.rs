@@ -7,7 +7,7 @@
 
 use coroutine::{Policy, Scheduler, SchedulerConfig, TraceParams};
 use pm_blade::engine::CompactionKind;
-use pm_blade::{CompactionRequest, Db, DbError, Options};
+use pm_blade::{CompactionRequest, Db, DbError, MaintenanceMode, Options};
 
 fn main() -> Result<(), DbError> {
     // ---- Internal compaction on demand -------------------------------
@@ -83,5 +83,33 @@ fn main() -> Result<(), DbError> {
         );
     }
     println!("\nthe flush coroutine + pressure gate give the best duration and utilization");
+
+    // ---- Background maintenance ---------------------------------------
+    // The same triggers, but fired by §V worker threads instead of the
+    // writing thread: puts only enqueue jobs (deduplicated per partition)
+    // and only slow down when level-0 or memtable debt crosses the
+    // backpressure watermarks.
+    let mut opts = Options::pm_blade(16 << 20);
+    opts.memtable_bytes = 16 << 10;
+    opts.maintenance = MaintenanceMode::Background;
+    let db = Db::open(opts)?;
+    for i in 0..4_000u32 {
+        let key = format!("k{:05}", i % 800);
+        db.put(key.as_bytes(), format!("v{i}").as_bytes())?;
+    }
+    db.close(); // drain the queue, join the workers
+    let snap = db.metrics_snapshot();
+    println!(
+        "\nbackground lab: {} jobs enqueued, {} deduped, {} completed, {} failed",
+        snap.counter("maintenance_jobs_enqueued"),
+        snap.counter("maintenance_jobs_deduped"),
+        snap.counter("maintenance_jobs_completed"),
+        snap.counter("maintenance_jobs_failed"),
+    );
+    println!(
+        "backpressure: {} slowdowns, {} stalls",
+        snap.counter("write_slowdowns"),
+        snap.counter("write_stalls"),
+    );
     Ok(())
 }

@@ -111,14 +111,41 @@ fn main() -> Result<(), pm_blade::DbError> {
         window.spans.len()
     );
 
-    // 4. Prometheus text exposition, ready for a scrape endpoint.
+    // 4. Prometheus text exposition, ready for a scrape endpoint. The
+    //    maintenance gauges/counters (queue depth, in-flight jobs,
+    //    slowdowns, stalls) are exported alongside the engine metrics —
+    //    they stay at zero here because this Db runs in Inline mode.
     println!("\n== prometheus (excerpt) ==");
     for line in db.metrics_snapshot().to_prometheus().lines().filter(|l| {
         l.starts_with("pmblade_read_latency")
             || l.starts_with("pmblade_group_commits")
             || l.starts_with("pmblade_pm_used_bytes")
+            || l.starts_with("pmblade_maintenance_queue_depth")
+            || l.starts_with("pmblade_write_stalls")
     }) {
         println!("{line}");
+    }
+
+    // 4b. The same counters move once maintenance runs on worker threads.
+    let mut bg_opts = Options::pm_blade(4 << 20);
+    bg_opts.memtable_bytes = 32 << 10;
+    bg_opts.maintenance = pm_blade::MaintenanceMode::Background;
+    let bg = Db::open(bg_opts)?;
+    for i in 0..20_000u32 {
+        bg.put(format!("user{:08}", i % 5_000).as_bytes(), &[b'v'; 100])?;
+    }
+    bg.close();
+    let bg_snap = bg.metrics_snapshot();
+    println!("\n== background maintenance ==");
+    for name in [
+        "maintenance_jobs_enqueued",
+        "maintenance_jobs_deduped",
+        "maintenance_jobs_completed",
+        "maintenance_jobs_failed",
+        "write_slowdowns",
+        "write_stalls",
+    ] {
+        println!("{name:<27} {}", bg_snap.counter(name));
     }
 
     // 5. JSON, as written by `benchmark_kv --metrics-out`.

@@ -1,9 +1,11 @@
 //! Every engine mode (PMBlade, PMBlade-PM, SSD level-0, MatrixKV) must
 //! agree on *what* the data is — they may only differ in *where* it
-//! lives and what it costs.
+//! lives and what it costs. The same holds across the two
+//! [`MaintenanceMode`]s: Inline and Background may schedule compactions
+//! differently, but never disagree on contents.
 
-use pm_blade::{CompactionRequest, Db, Mode};
-use pmblade_integration_tests::{key_for, tiny_db, value_for};
+use pm_blade::{CompactionRequest, Db, MaintenanceMode, Mode};
+use pmblade_integration_tests::{key_for, tiny_db, tiny_options, value_for};
 
 const ALL_MODES: [Mode; 4] = [
     Mode::PmBlade,
@@ -44,6 +46,34 @@ fn all_modes_agree_on_contents() {
             Some(expect) => {
                 for (i, (a, b)) in expect.iter().zip(&view).enumerate() {
                     assert_eq!(a, b, "mode {mode:?} disagrees on key {i}");
+                }
+            }
+        }
+    }
+}
+
+/// A fixed workload must produce the identical final key/value state
+/// whether maintenance ran inline at the trigger points or on the
+/// background workers. `close()` drains the queue before the final
+/// flush, so the Background run is fully settled when compared.
+#[test]
+fn inline_and_background_agree_on_contents() {
+    let mut reference: Option<Vec<Option<Vec<u8>>>> = None;
+    for maintenance in [MaintenanceMode::Inline, MaintenanceMode::Background] {
+        let mut opts = tiny_options(Mode::PmBlade);
+        opts.maintenance = maintenance;
+        let mut db = Db::open(opts).expect("engine opens");
+        drive(&mut db, 42, 4_000);
+        db.close();
+        db.compact(CompactionRequest::FlushAll).unwrap();
+        let view: Vec<Option<Vec<u8>>> = (0..600u64)
+            .map(|i| db.get(&key_for(i)).unwrap().value)
+            .collect();
+        match &reference {
+            None => reference = Some(view),
+            Some(expect) => {
+                for (i, (a, b)) in expect.iter().zip(&view).enumerate() {
+                    assert_eq!(a, b, "{maintenance:?} disagrees on key {i}");
                 }
             }
         }

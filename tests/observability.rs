@@ -279,6 +279,7 @@ fn prometheus_rendering_matches_golden() {
     counters.insert(MetricKey::partition("group_commits", 1), 9);
     counters.insert(MetricKey::level("read_source_ssd", 1, 2), 3);
     let mut gauges = BTreeMap::new();
+    gauges.insert(MetricKey::global("maintenance_queue_depth"), 3);
     gauges.insert(MetricKey::global("pm_used_bytes"), 65_536);
     let mut histograms = BTreeMap::new();
     let mut h = Histogram::new();
@@ -295,6 +296,8 @@ pmblade_group_commits{partition=\"0\"} 7
 pmblade_group_commits{partition=\"1\"} 9
 # TYPE pmblade_read_source_ssd counter
 pmblade_read_source_ssd{partition=\"1\",level=\"2\"} 3
+# TYPE pmblade_maintenance_queue_depth gauge
+pmblade_maintenance_queue_depth 3
 # TYPE pmblade_pm_used_bytes gauge
 pmblade_pm_used_bytes 65536
 # TYPE pmblade_read_latency summary
@@ -349,6 +352,12 @@ fn prometheus_exposition_is_well_formed() {
         "pmblade_write_latency{quantile=\"0.99\"}",
         "pmblade_pm_bytes_written ",
         "pmblade_pm_used_bytes ",
+        // Maintenance metrics are pre-registered in both modes, so an
+        // Inline engine still exposes them (at zero) for dashboards.
+        "pmblade_maintenance_queue_depth ",
+        "pmblade_maintenance_jobs_enqueued ",
+        "pmblade_write_stalls ",
+        "pmblade_write_slowdowns ",
     ] {
         assert!(text.contains(needle), "missing {needle}\n{text}");
     }
