@@ -34,6 +34,7 @@ fn build_pm_table(data: &[OwnedEntry]) -> PmTable<DramBuf> {
     let mut b = PmTableBuilder::new(PmTableOptions {
         group_size: 16,
         extractor: MetaExtractor::Delimiter(b':'),
+        filter_bits_per_key: 0,
     });
     for e in data {
         b.add(e.clone());

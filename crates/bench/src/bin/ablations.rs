@@ -21,6 +21,7 @@ fn group_size_ablation() {
         let mut b = PmTableBuilder::new(PmTableOptions {
             group_size,
             extractor: MetaExtractor::Delimiter(b':'),
+            filter_bits_per_key: 0,
         });
         for e in &entries {
             b.add(e.clone());

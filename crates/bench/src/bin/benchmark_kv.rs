@@ -6,11 +6,25 @@
 //!
 //! ```text
 //! benchmark_kv [--mode pmblade|pmblade-pm|rocksdb|matrixkv]
-//!              [--benchmark fillseq|fillrandom|readrandom|updaterandom|
-//!                           readwhilewriting|seekrandom|indextable]
+//!              [--benchmark fillseq|fillrandom|readrandom|readhot|
+//!                           updaterandom|readwhilewriting|seekrandom|
+//!                           indextable]
 //!              [--num N] [--value-size B] [--skew Z] [--reads N]
 //!              [--partitions P] [--pm-mib M] [--threads T]
 //!              [--maintenance inline|background] [--metrics-out PATH]
+//!              [--pm-filter-bits B] [--pm-cache-bytes N]
+//!
+//! `readhot` is the zipfian hot-set read workload: after a random fill,
+//! reads hammer a small hot subset of the keyspace (1% of `--num`,
+//! zipf-skewed within it). Repeat reads of the same PM prefix groups are
+//! exactly what the shared group-decode cache accelerates.
+//!
+//! `--pm-filter-bits` sets the per-key bloom-filter budget for PM-L0
+//! tables (0 disables filters); `--pm-cache-bytes` sizes the shared
+//! decoded-group cache (0 disables it). Both default to the engine
+//! defaults. Compare `readrandom` p99 with `--pm-filter-bits 0
+//! --pm-cache-bytes 0` against the defaults to see the read-path
+//! acceleration (recorded in `BENCH_read_path.json`).
 //!
 //! `--maintenance background` moves flush/compaction onto the engine's
 //! worker pool, so put latencies no longer absorb maintenance time —
@@ -45,6 +59,8 @@ struct Args {
     threads: usize,
     maintenance: MaintenanceMode,
     metrics_out: Option<std::path::PathBuf>,
+    pm_filter_bits: Option<usize>,
+    pm_cache_bytes: Option<usize>,
 }
 
 impl Default for Args {
@@ -61,6 +77,8 @@ impl Default for Args {
             threads: 1,
             maintenance: MaintenanceMode::Inline,
             metrics_out: None,
+            pm_filter_bits: None,
+            pm_cache_bytes: None,
         }
     }
 }
@@ -115,6 +133,12 @@ fn parse_args() -> Args {
             "--metrics-out" => {
                 args.metrics_out = Some(value().into());
             }
+            "--pm-filter-bits" => {
+                args.pm_filter_bits = Some(value().parse().expect("--pm-filter-bits"));
+            }
+            "--pm-cache-bytes" => {
+                args.pm_cache_bytes = Some(value().parse().expect("--pm-cache-bytes"));
+            }
             "--help" | "-h" => {
                 println!(
                     "benchmark_kv: db_bench-style micro-benchmark for \
@@ -143,6 +167,12 @@ fn open_db(args: &Args) -> Db {
     opts.memtable_bytes = 8 << 10;
     opts.maintenance = args.maintenance;
     opts.partitioner = Partitioner::numeric("user", args.num.max(1), args.partitions.max(1));
+    if let Some(bits) = args.pm_filter_bits {
+        opts.pm_filter_bits_per_key = bits;
+    }
+    if let Some(bytes) = args.pm_cache_bytes {
+        opts.pm_group_cache_bytes = bytes;
+    }
     Db::open(opts).expect("engine opens")
 }
 
@@ -297,6 +327,56 @@ fn read_random(db: &mut Db, args: &Args) {
         100.0 * hits as f64 / args.reads as f64,
         100.0 * db.stats().pm_hit_ratio()
     );
+    report_read_path(db);
+}
+
+/// Print the PM-L0 read-acceleration counters (bloom filters + shared
+/// group-decode cache) after a read benchmark.
+fn report_read_path(db: &Db) {
+    let snap = db.metrics_snapshot();
+    let checked = snap.counter("pm_filter_checked_total");
+    let useful = snap.counter("pm_filter_useful_total");
+    let cache_hits = snap.counter("pm_group_cache_hit_total");
+    let cache_misses = snap.counter("pm_group_cache_miss_total");
+    println!(
+        "{:<18} filters: {useful}/{checked} pruned ({:.1}%)  \
+         group cache: {cache_hits} hits / {cache_misses} misses ({:.1}%)",
+        "",
+        100.0 * useful as f64 / checked.max(1) as f64,
+        100.0 * cache_hits as f64 / (cache_hits + cache_misses).max(1) as f64,
+    );
+}
+
+/// Zipfian hot-set reads: hammer the hottest 1% of the keyspace after a
+/// random fill. Repeat reads decode the same PM prefix groups, so this
+/// is the shared group-decode cache's best case.
+fn read_hot(db: &mut Db, args: &Args) {
+    let hot = (args.num / 100).max(1);
+    let skew = if args.skew > 0.0 { args.skew } else { 0.99 };
+    let dist = KeyDistribution::zipfian(hot, skew);
+    let mut rng = Pcg64::seeded(0x407e);
+    let mut hist = Histogram::new();
+    let mut total = SimDuration::ZERO;
+    let mut hits = 0u64;
+    for _ in 0..args.reads {
+        // Spread the hot ids across the keyspace so they span tables.
+        let id = dist.sample(&mut rng, hot).wrapping_mul(0x9e3779b97f4a7c15) % args.num.max(1);
+        let k = format!("user{id:010}");
+        let out = db.get(k.as_bytes()).expect("get");
+        if out.value.is_some() {
+            hits += 1;
+        }
+        hist.record_duration(out.latency);
+        total += out.latency;
+    }
+    report("readhot", &hist, total, args.reads);
+    println!(
+        "{:<18} hot set {hot} keys  hit ratio {:.1}%  served from pm {:.1}%",
+        "",
+        100.0 * hits as f64 / args.reads as f64,
+        100.0 * db.stats().pm_hit_ratio()
+    );
+    report_read_path(db);
 }
 
 fn update_random(db: &mut Db, args: &Args) {
@@ -435,6 +515,12 @@ fn main() {
             let mut db = open_db(&args);
             fill(&mut db, &args, false);
             read_random(&mut db, &args);
+            finish(&db, &args);
+        }
+        "readhot" => {
+            let mut db = open_db(&args);
+            fill(&mut db, &args, false);
+            read_hot(&mut db, &args);
             finish(&db, &args);
         }
         "updaterandom" => {

@@ -68,6 +68,7 @@ fn main() {
             let mut b = PmTableBuilder::new(PmTableOptions {
                 group_size: 16,
                 extractor: MetaExtractor::Delimiter(b':'),
+                filter_bits_per_key: 0,
             });
             for e in entries.iter() {
                 b.add(e.clone());

@@ -40,6 +40,7 @@ fn main() {
             let mut b = PmTableBuilder::new(PmTableOptions {
                 group_size: 16,
                 extractor: pmtable::MetaExtractor::Delimiter(b':'),
+                filter_bits_per_key: 0,
             });
             for e in &entries {
                 b.add(e.clone());

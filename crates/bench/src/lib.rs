@@ -46,6 +46,7 @@ fn scaled(mode: Mode, pm: usize) -> Options {
         pm_table: PmTableOptions {
             group_size: 16,
             extractor: MetaExtractor::None,
+            filter_bits_per_key: 0, // overridden by pm_filter_bits_per_key at open
         },
         ..Options::default()
     }

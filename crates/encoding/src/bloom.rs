@@ -4,6 +4,11 @@
 //! combine into `k` probe positions. Sized at `bits_per_key` bits per key
 //! (default 10, ≈1% false positives), matching the RocksDB default the
 //! paper's baselines use.
+//!
+//! Lives in `encoding` because both table formats attach it: the SSD
+//! SSTable stores it as a named filter block, and the PM table appends
+//! it after the entry layer (flagged in the header) so PM level-0 gets
+//! the same negative-lookup pruning as the SSD levels.
 
 /// An immutable bloom filter.
 #[derive(Clone, Debug, PartialEq, Eq)]

@@ -4,6 +4,8 @@
 //!   LSM ordering (user keys ascending, sequence numbers descending so the
 //!   newest version of a key sorts first).
 //! - [`varint`]: LEB128-style unsigned varints used by every table format.
+//! - [`bloom`]: the bloom filter attached to both table formats (the SSD
+//!   SSTable's filter block and the PM table's appended filter section).
 //! - [`crc`]: CRC32C (Castagnoli) block checksums.
 //! - [`prefix`]: the shared-prefix group codec backing the PM table's
 //!   prefix layer (§IV-A of the paper).
@@ -11,6 +13,7 @@
 //!   the Array-snappy baselines (Fig 6) — same architecture (literal /
 //!   copy tags, greedy hash-chain matcher), no external dependency.
 
+pub mod bloom;
 pub mod crc;
 pub mod key;
 pub mod prefix;

@@ -77,6 +77,22 @@ pub fn read_benefit_positive(
     now: SimInstant,
     scalars: &CostScalars,
 ) -> bool {
+    read_benefit_positive_filtered(counters, unsorted, now, scalars, 0.0)
+}
+
+/// Eq 1 adjusted for per-table bloom filters: a probe the filter prunes
+/// costs ~0, so the read amplification a merge would relieve is not
+/// `n_i/2` but `n_i·(1 − prune)/2`, where `prune` is the observed
+/// fraction of filter checks that ruled a table out. With effective
+/// filters the benefit side shrinks and internal compaction triggers
+/// later — exactly the paper's Eq 1 with the filtered probe cost.
+pub fn read_benefit_positive_filtered(
+    counters: &PartitionCounters,
+    unsorted: usize,
+    now: SimInstant,
+    scalars: &CostScalars,
+    prune_ratio: f64,
+) -> bool {
     if unsorted < 2 {
         return false; // nothing to merge
     }
@@ -84,7 +100,8 @@ pub fn read_benefit_positive(
     if rate == 0.0 {
         return false;
     }
-    let benefit_per_sec = rate * (unsorted as f64 / 2.0) * scalars.binary_search.as_secs_f64();
+    let effective = unsorted as f64 * (1.0 - prune_ratio.clamp(0.0, 1.0));
+    let benefit_per_sec = rate * (effective / 2.0) * scalars.binary_search.as_secs_f64();
     let work_rate = scalars.internal_per_record.as_secs_f64()
         / scalars.internal_time_per_record.as_secs_f64().max(1e-12);
     benefit_per_sec > work_rate
@@ -162,11 +179,24 @@ pub fn explain_read_benefit(
     now: SimInstant,
     scalars: &CostScalars,
 ) -> CostDecision {
+    explain_read_benefit_filtered(partition, counters, unsorted, now, scalars, 0.0)
+}
+
+/// [`explain_read_benefit`] with the bloom prune ratio folded in (see
+/// [`read_benefit_positive_filtered`]).
+pub fn explain_read_benefit_filtered(
+    partition: usize,
+    counters: &PartitionCounters,
+    unsorted: usize,
+    now: SimInstant,
+    scalars: &CostScalars,
+    prune_ratio: f64,
+) -> CostDecision {
     CostDecision::ReadBenefit {
         partition,
         read_rate: counters.read_rate(now),
         unsorted,
-        triggered: read_benefit_positive(counters, unsorted, now, scalars),
+        triggered: read_benefit_positive_filtered(counters, unsorted, now, scalars, prune_ratio),
     }
 }
 
@@ -253,6 +283,27 @@ mod tests {
         let hot = PartitionCounters::new(SimInstant::ORIGIN);
         hot.reads.add(50_000); // 50k/s
         assert!(read_benefit_positive(&hot, 4, at(1), &s));
+    }
+
+    #[test]
+    fn eq1_filtered_delays_trigger_as_filters_prune() {
+        let s = scalars();
+        let c = PartitionCounters::new(SimInstant::ORIGIN);
+        c.reads.add(50_000); // 50k/s over 1s: triggers unfiltered at n=4
+        assert!(read_benefit_positive_filtered(&c, 4, at(1), &s, 0.0));
+        // Filters pruning 90% of probes shrink the benefit 10×: below
+        // threshold now (12.5k/s needed unfiltered → 125k/s at 0.9).
+        assert!(!read_benefit_positive_filtered(&c, 4, at(1), &s, 0.9));
+        // Perfect filters: pruned probes cost ~0, never trigger on reads.
+        assert!(!read_benefit_positive_filtered(&c, 100, at(1), &s, 1.0));
+        // Out-of-range ratios clamp instead of flipping the sign.
+        assert!(read_benefit_positive_filtered(&c, 4, at(1), &s, -3.0));
+        assert!(!read_benefit_positive_filtered(&c, 4, at(1), &s, 7.0));
+        // Delegation: ratio 0 matches the unfiltered form everywhere.
+        assert_eq!(
+            read_benefit_positive(&c, 4, at(1), &s),
+            read_benefit_positive_filtered(&c, 4, at(1), &s, 0.0)
+        );
     }
 
     #[test]

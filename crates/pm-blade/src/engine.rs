@@ -48,8 +48,10 @@ use sim::Counter;
 use crate::commit::{BatchOp, CommitMetrics, Committer, Ticket, WriteBatch};
 use crate::compaction::CompactionWork;
 use crate::costmodel::{
-    explain_read_benefit, explain_write_benefit, select_retained, RetentionCandidate,
+    explain_read_benefit_filtered, explain_write_benefit, select_retained, RetentionCandidate,
 };
+use crate::groupcache::PmGroupCache;
+use crate::level0::ProbeStats;
 use crate::maintenance::{self, Job, JobKind, MaintenanceShared, QueueMetrics};
 use crate::options::{MaintenanceMode, Mode, Options};
 use crate::partition::{Level0, Partition};
@@ -346,6 +348,19 @@ pub struct DbCore {
     wal_sync_latency: Arc<LatencyRecorder>,
     wal_appends: Arc<Counter>,
     wal_syncs: Arc<Counter>,
+    /// Shared decoded-prefix-group cache for the PM level-0 read path.
+    /// Sized by [`Options::pm_group_cache_bytes`] (0 disables it).
+    group_cache: Arc<PmGroupCache>,
+    /// PM-L0 bloom-filter outcome counters (global; hot path keeps the
+    /// `Arc`s so reads never touch the registry map).
+    pm_filter_checked: Arc<Counter>,
+    pm_filter_useful: Arc<Counter>,
+    pm_filter_miss: Arc<Counter>,
+    /// Distribution of PM tables actually probed per PM-L0 lookup.
+    pm_tables_probed: Arc<LatencyRecorder>,
+    /// Table-read failures surfaced by the SSD read path (these
+    /// propagate to the caller instead of being swallowed as misses).
+    ssd_read_errors: Arc<Counter>,
     /// The background job queue; `Some` iff
     /// `opts.maintenance == MaintenanceMode::Background`.
     maintenance: Option<Arc<MaintenanceShared>>,
@@ -367,7 +382,11 @@ struct ReadMetrics {
 impl DbCore {
     /// Build the engine core. Callers almost always want [`Db::open`],
     /// which also spawns the background workers.
-    fn open(opts: Options) -> Result<DbCore, DbError> {
+    fn open(mut opts: Options) -> Result<DbCore, DbError> {
+        // The PM-table filter knob lives on the engine options; project
+        // it onto the per-table build options so every flush and
+        // compaction builds (or skips) filters consistently.
+        opts.pm_table.filter_bits_per_key = opts.pm_filter_bits_per_key;
         let pool = PmPool::new(opts.pm_capacity, opts.cost);
         let device = SsdDevice::new(opts.cost);
         let cache = Arc::new(BlockCache::new(opts.block_cache_bytes));
@@ -424,6 +443,32 @@ impl DbCore {
         for pid in 0..partitions.len() {
             registry.counter(MetricKey::level("read_source_ssd", pid, 1));
         }
+        // PM-L0 read-acceleration metrics. The cache owns its counters;
+        // registering the same `Arc`s means snapshots and Prometheus
+        // rendering see them with zero mirroring on the hot path.
+        let group_cache = Arc::new(PmGroupCache::new(opts.pm_group_cache_bytes));
+        registry.register_counter(
+            MetricKey::global("pm_group_cache_hit_total"),
+            Arc::clone(&group_cache.hits),
+        );
+        registry.register_counter(
+            MetricKey::global("pm_group_cache_miss_total"),
+            Arc::clone(&group_cache.misses),
+        );
+        registry.register_counter(
+            MetricKey::global("pm_group_cache_evictions_total"),
+            Arc::clone(&group_cache.evictions),
+        );
+        registry.register_counter(
+            MetricKey::global("pm_group_cache_invalidations_total"),
+            Arc::clone(&group_cache.invalidations),
+        );
+        registry.gauge(MetricKey::global("pm_group_cache_used_bytes"));
+        let pm_filter_checked = registry.counter(MetricKey::global("pm_filter_checked_total"));
+        let pm_filter_useful = registry.counter(MetricKey::global("pm_filter_useful_total"));
+        let pm_filter_miss = registry.counter(MetricKey::global("pm_filter_miss_total"));
+        let pm_tables_probed = registry.histogram(MetricKey::global("pm_tables_probed_per_get"));
+        let ssd_read_errors = registry.counter(MetricKey::global("ssd_read_errors_total"));
         let lat_reads = registry.histogram(MetricKey::global("read_latency"));
         let lat_writes = registry.histogram(MetricKey::global("write_latency"));
         let lat_scans = registry.histogram(MetricKey::global("scan_latency"));
@@ -473,6 +518,12 @@ impl DbCore {
             wal_sync_latency,
             wal_appends,
             wal_syncs,
+            group_cache,
+            pm_filter_checked,
+            pm_filter_useful,
+            pm_filter_miss,
+            pm_tables_probed,
+            ssd_read_errors,
             maintenance,
             write_slowdowns,
             write_stalls,
@@ -557,6 +608,9 @@ impl DbCore {
         self.registry
             .gauge(MetricKey::global("block_cache_used_bytes"))
             .set(self.cache.used() as i64);
+        self.registry
+            .gauge(MetricKey::global("pm_group_cache_used_bytes"))
+            .set(self.group_cache.used() as i64);
         for (pid, lock) in self.partitions.iter().enumerate() {
             let p = lock.read();
             self.registry
@@ -1078,23 +1132,42 @@ impl DbCore {
         let pid = self.opts.partitioner.locate(user_key);
         let guard = self.partitions[pid].read();
         guard.counters.reads.incr();
-        let (hit, source, ssd_level) = if let Some(hit) = guard.mem.get(user_key, snapshot, &mut tl)
-        {
-            (Some(hit), ReadSource::MemTable, None)
+        let probed = if let Some(hit) = guard.mem.get(user_key, snapshot, &mut tl) {
+            Ok((Some(hit), ReadSource::MemTable, None))
         } else if let Level0::Pm(l0) = &guard.level0 {
             let l0_snap = l0.snapshot();
             drop(guard);
-            if let Some(hit) = l0_snap.get(user_key, snapshot, &mut tl) {
-                (Some(hit), ReadSource::Pm, None)
+            let mut probe = ProbeStats::default();
+            let l0_hit = l0_snap.get_with(
+                user_key,
+                snapshot,
+                &mut tl,
+                Some(&self.group_cache),
+                &mut probe,
+            );
+            self.note_probe_stats(&probe);
+            if let Some(hit) = l0_hit {
+                Ok((Some(hit), ReadSource::Pm, None))
             } else {
                 let guard = self.partitions[pid].read();
                 match guard.levels.get(user_key, snapshot, &mut tl) {
-                    Some((hit, level)) => (Some(hit), ReadSource::Ssd, Some(level)),
-                    None => (None, ReadSource::Miss, None),
+                    Ok(Some((hit, level))) => Ok((Some(hit), ReadSource::Ssd, Some(level))),
+                    Ok(None) => Ok((None, ReadSource::Miss, None)),
+                    Err(e) => Err(DbError::from(e)),
                 }
             }
         } else {
             guard.get_below_memtable(user_key, snapshot, &mut tl)
+        };
+        let (hit, source, ssd_level) = match probed {
+            Ok(result) => result,
+            Err(e) => {
+                // Surface the failure (do not treat it as a miss), but
+                // still account for the work the read performed.
+                self.ssd_read_errors.incr();
+                self.advance(tl.elapsed());
+                return Err(e);
+            }
         };
         self.stats.note_read(source);
         self.note_read_source(pid, source, ssd_level);
@@ -1106,6 +1179,34 @@ impl DbCore {
             source,
             latency,
         })
+    }
+
+    /// The shared PM-L0 group-decode cache (for diagnostics and tests).
+    pub fn group_cache(&self) -> &PmGroupCache {
+        &self.group_cache
+    }
+
+    /// Fold one PM-L0 probe's filter/probe outcome into the global
+    /// counters and the tables-probed-per-get distribution.
+    fn note_probe_stats(&self, probe: &ProbeStats) {
+        self.pm_tables_probed.record_nanos(probe.tables_probed);
+        if probe.filter_checked > 0 {
+            self.pm_filter_checked.add(probe.filter_checked);
+            self.pm_filter_useful.add(probe.filter_useful);
+            self.pm_filter_miss.add(probe.filter_false_positives);
+        }
+    }
+
+    /// The observed bloom-filter prune ratio: the fraction of filter
+    /// checks that skipped a table probe. Feeds the filtered Eq 1
+    /// (pruned probes cost ~nothing, so internal compaction can wait).
+    fn filter_prune_ratio(&self) -> f64 {
+        let checked = self.pm_filter_checked.get();
+        if checked == 0 {
+            0.0
+        } else {
+            self.pm_filter_useful.get() as f64 / checked as f64
+        }
     }
 
     /// Bump the per-partition (and, for SSD hits, per-level) read-source
@@ -1327,12 +1428,15 @@ impl DbCore {
                     let partition = self.partitions[pid].read();
                     let unsorted = partition.unsorted_count();
                     // Line 1-3: Eq 1 — read-amplification relief.
-                    let d_eq1 = explain_read_benefit(
+                    // Bloom-pruned probes cost ~nothing, so the benefit
+                    // is discounted by the observed prune ratio.
+                    let d_eq1 = explain_read_benefit_filtered(
                         pid,
                         &partition.counters,
                         unsorted,
                         now,
                         &self.opts.scalars,
+                        self.filter_prune_ratio(),
                     );
                     // Line 4-6: Eq 2 — write-amplification relief, gated
                     // on the partition exceeding τ_w.
@@ -1447,15 +1551,22 @@ impl DbCore {
             }
             Err(e) => return Err(e),
         };
-        let span = if let Some((before, after, released)) = result {
+        let span = if let Some(report) = result {
             let now = self.now();
             p.counters.reset(now);
             drop(p);
+            // The merged-away tables can never serve a read again (their
+            // ids are never reused); purging just reclaims cache space.
+            for id in &report.retired_cache_ids {
+                self.group_cache.purge_table(*id);
+            }
             self.stats.internal_compactions.incr();
-            self.stats.internal_space_released.add(released as u64);
+            self.stats
+                .internal_space_released
+                .add(report.bytes_released as u64);
             self.stats
                 .internal_dropped_records
-                .add((before - after) as u64);
+                .add((report.records_before - report.records_after) as u64);
             let d = tl.elapsed();
             self.advance(d);
             let span = TraceSpan {
@@ -1464,8 +1575,8 @@ impl DbCore {
                 partition: pid,
                 start_nanos,
                 end_nanos: start_nanos + d.as_nanos(),
-                input_records: before as u64,
-                output_records: after as u64,
+                input_records: report.records_before as u64,
+                output_records: report.records_after as u64,
                 input_bytes: self.pool.stats().bytes_read.get() - pm_read_before,
                 output_bytes: self.pool.stats().bytes_written.get() - pm_written_before,
                 value_size: self.mean_value_size(),
@@ -1546,7 +1657,7 @@ impl DbCore {
             Level0::Ssd(tables) => tables.len() * 1000,
         };
         let records_before = entries_in(&p) as u64;
-        let deleted = p.major_compaction(
+        let report = p.major_compaction(
             &self.opts,
             &self.pool,
             &self.device,
@@ -1561,9 +1672,13 @@ impl DbCore {
         // Delete replaced SSTables while still holding the write lock:
         // concurrent readers search the SSD levels only under the read
         // lock, so no reader can be mid-probe in a deleted table.
-        for name in deleted {
-            let _ = self.device.delete(&name);
-            self.cache.purge_table(sstable::cache::table_id(&name));
+        for name in &report.deleted_tables {
+            let _ = self.device.delete(name);
+            self.cache.purge_table(sstable::cache::table_id(name));
+        }
+        // Retired PM tables left level-0; reclaim their cached groups.
+        for id in &report.retired_cache_ids {
+            self.group_cache.purge_table(*id);
         }
         let now = self.now();
         p.counters.reset(now);

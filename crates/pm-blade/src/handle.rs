@@ -1,5 +1,6 @@
 //! Table handles and merge utilities shared by the compaction paths.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use encoding::key::SequenceNumber;
@@ -7,6 +8,11 @@ use pm_device::{PmPool, PmRegion, RegionId};
 use pmtable::{L0Table, OwnedEntry, PmTable, PmTableBuilder, PmTableOptions};
 use sim::Timeline;
 use sstable::SsTable;
+
+/// Process-global allocator for [`PmTableHandle::cache_id`]. Ids are
+/// monotonic and never reused, so a retired table's cached groups can
+/// never alias a newer table's.
+static NEXT_CACHE_ID: AtomicU64 = AtomicU64::new(1);
 
 /// A PM table resident in level-0.
 #[derive(Clone)]
@@ -19,6 +25,9 @@ pub struct PmTableHandle {
     pub bytes: usize,
     /// Largest sequence stored; newer tables shadow older ones.
     pub max_seq: SequenceNumber,
+    /// Unique key for the shared group-decode cache
+    /// ([`crate::groupcache::PmGroupCache`]).
+    pub cache_id: u64,
 }
 
 impl PmTableHandle {
@@ -161,6 +170,7 @@ pub fn build_pm_tables(
             entries,
             bytes: len,
             max_seq,
+            cache_id: NEXT_CACHE_ID.fetch_add(1, Ordering::Relaxed),
         }))
     };
     let mut last_key: Vec<u8> = Vec::new();

@@ -7,21 +7,96 @@
 //!   the *read amplification* internal compaction exists to fix;
 //! - the **sorted run** — the output of the last internal compaction:
 //!   tables ordered and non-overlapping, so a read touches at most one.
+//!
+//! Two read accelerators sit in front of the table probes:
+//!
+//! - each table's **bloom filter** (built at flush time when
+//!   `pm_filter_bits_per_key > 0`) is consulted before the table is
+//!   searched, so most unsorted tables that merely *straddle* a key's
+//!   range are skipped without touching their meta layer;
+//! - a [`FenceIndex`] over the sorted run — a contiguous array of
+//!   first/last fence keys rebuilt only when the run changes — locates
+//!   the single candidate table without walking the fat handle vector
+//!   on every get.
+
+use std::sync::Arc;
 
 use encoding::key::SequenceNumber;
 use pm_device::PmPool;
 use pmtable::{L0Table, Lookup, OwnedEntry};
 use sim::Timeline;
 
+use crate::groupcache::PmGroupCache;
 use crate::handle::PmTableHandle;
+
+/// Per-get probe accounting, surfaced through engine telemetry.
+#[derive(Default, Clone, Copy, Debug)]
+pub struct ProbeStats {
+    /// PM tables actually searched (meta layer touched).
+    pub tables_probed: u64,
+    /// Bloom filters consulted.
+    pub filter_checked: u64,
+    /// Probes skipped because the filter ruled the table out.
+    pub filter_useful: u64,
+    /// Filter said "maybe" but the table did not hold the key.
+    pub filter_false_positives: u64,
+}
+
+impl ProbeStats {
+    pub fn merge(&mut self, other: &ProbeStats) {
+        self.tables_probed += other.tables_probed;
+        self.filter_checked += other.filter_checked;
+        self.filter_useful += other.filter_useful;
+        self.filter_false_positives += other.filter_false_positives;
+    }
+}
+
+/// A compact index over the sorted run: the first and last user key of
+/// each table, in run order, in one contiguous allocation-per-key array.
+/// Built once per run change instead of re-deriving the candidate table
+/// from the handle vector on every get.
+#[derive(Default, Debug)]
+pub struct FenceIndex {
+    firsts: Vec<Box<[u8]>>,
+    lasts: Vec<Box<[u8]>>,
+}
+
+impl FenceIndex {
+    pub fn build(sorted: &[PmTableHandle]) -> Self {
+        FenceIndex {
+            firsts: sorted.iter().map(|h| h.first.clone().into()).collect(),
+            lasts: sorted.iter().map(|h| h.last.clone().into()).collect(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.lasts.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.lasts.is_empty()
+    }
+
+    /// Index of the unique table whose `[first, last]` range covers
+    /// `user_key`, if any. Binary search over the last-key fences, then
+    /// one first-key comparison to reject keys falling in a gap.
+    pub fn locate(&self, user_key: &[u8]) -> Option<usize> {
+        let idx = self.lasts.partition_point(|last| last.as_ref() < user_key);
+        (idx < self.lasts.len() && self.firsts[idx].as_ref() <= user_key).then_some(idx)
+    }
+}
 
 /// Level-0 state for one partition.
 #[derive(Default)]
 pub struct PmLevel0 {
     /// Oldest → newest; reads walk newest → oldest.
     pub unsorted: Vec<PmTableHandle>,
-    /// Non-overlapping ascending run.
-    pub sorted: Vec<PmTableHandle>,
+    /// Non-overlapping ascending run. Private so every mutation rebuilds
+    /// the fence index.
+    sorted: Vec<PmTableHandle>,
+    /// Fence index over `sorted`; rebuilt whenever the run changes and
+    /// shared with snapshots by `Arc`.
+    fence: Arc<FenceIndex>,
 }
 
 impl PmLevel0 {
@@ -45,6 +120,11 @@ impl PmLevel0 {
         self.sorted.len()
     }
 
+    /// The sorted run, oldest data in level-0.
+    pub fn sorted_run(&self) -> &[PmTableHandle] {
+        &self.sorted
+    }
+
     pub fn is_empty(&self) -> bool {
         self.unsorted.is_empty() && self.sorted.is_empty()
     }
@@ -60,6 +140,14 @@ impl PmLevel0 {
         self.unsorted.push(handle);
     }
 
+    /// Install a sorted run directly (tests and recovery); unlike
+    /// [`PmLevel0::replace_with_sorted`] nothing is freed.
+    pub fn set_sorted_run(&mut self, run: Vec<PmTableHandle>) {
+        debug_assert!(run.windows(2).all(|w| w[0].last < w[1].first));
+        self.fence = Arc::new(FenceIndex::build(&run));
+        self.sorted = run;
+    }
+
     /// Point lookup across level-0: newest unsorted table wins, then the
     /// sorted run.
     pub fn get(
@@ -68,7 +156,17 @@ impl PmLevel0 {
         snapshot: SequenceNumber,
         tl: &mut Timeline,
     ) -> Option<Lookup> {
-        get_in(&self.unsorted, &self.sorted, user_key, snapshot, tl)
+        let mut stats = ProbeStats::default();
+        get_in(
+            &self.unsorted,
+            &self.sorted,
+            &self.fence,
+            user_key,
+            snapshot,
+            tl,
+            None,
+            &mut stats,
+        )
     }
 
     /// A cheap immutable copy of the current table set (Arc clones of
@@ -80,6 +178,7 @@ impl PmLevel0 {
         PmL0Snapshot {
             unsorted: self.unsorted.clone(),
             sorted: self.sorted.clone(),
+            fence: Arc::clone(&self.fence),
         }
     }
 
@@ -128,27 +227,29 @@ impl PmLevel0 {
     }
 
     /// Detach up to `limit` of the *oldest* tables for a chunked major
-    /// compaction, returning their entries and PM regions. The sorted
-    /// run is always older than every unsorted table (it was built from
-    /// all tables present at its creation; later flushes only append
-    /// unsorted tables with strictly newer sequences), and unsorted
-    /// tables age front-to-back — so draining run-first/front-first
-    /// guarantees any version left behind in level-0 is newer than what
-    /// moved down, and reads (level-0 before level-1) stay correct
-    /// between chunks.
+    /// compaction, returning their entries, PM regions, and group-cache
+    /// ids (for purging). The sorted run is always older than every
+    /// unsorted table (it was built from all tables present at its
+    /// creation; later flushes only append unsorted tables with strictly
+    /// newer sequences), and unsorted tables age front-to-back — so
+    /// draining run-first/front-first guarantees any version left behind
+    /// in level-0 is newer than what moved down, and reads (level-0
+    /// before level-1) stay correct between chunks.
     pub fn take_oldest(
         &mut self,
         limit: usize,
         tl: &mut Timeline,
-    ) -> (Vec<Vec<OwnedEntry>>, Vec<pm_device::RegionId>) {
+    ) -> (Vec<Vec<OwnedEntry>>, Vec<pm_device::RegionId>, Vec<u64>) {
         let take_sorted = self.sorted.len().min(limit);
         let take_unsorted = self.unsorted.len().min(limit - take_sorted);
         let mut sources = Vec::new();
         let mut regions = Vec::new();
+        let mut cache_ids = Vec::new();
         let mut run = Vec::new();
         for handle in self.sorted.drain(..take_sorted) {
             run.extend(handle.table.scan_all(tl));
             regions.push(handle.region);
+            cache_ids.push(handle.cache_id);
         }
         if !run.is_empty() {
             sources.push(run);
@@ -156,26 +257,38 @@ impl PmLevel0 {
         for handle in self.unsorted.drain(..take_unsorted) {
             sources.push(handle.table.scan_all(tl));
             regions.push(handle.region);
+            cache_ids.push(handle.cache_id);
         }
-        (sources, regions)
+        self.fence = Arc::new(FenceIndex::build(&self.sorted));
+        (sources, regions, cache_ids)
     }
 
-    /// Drop every table, freeing PM space. Returns bytes released.
-    pub fn clear(&mut self, pool: &PmPool) -> usize {
+    /// Drop every table, freeing PM space. Returns bytes released and
+    /// the retired tables' group-cache ids.
+    pub fn clear(&mut self, pool: &PmPool) -> (usize, Vec<u64>) {
         let released = self.bytes();
+        let mut cache_ids = Vec::with_capacity(self.unsorted.len() + self.sorted.len());
         for handle in self.unsorted.drain(..).chain(self.sorted.drain(..)) {
             pool.free(handle.region);
+            cache_ids.push(handle.cache_id);
         }
-        released
+        self.fence = Arc::new(FenceIndex::default());
+        (released, cache_ids)
     }
 
     /// Replace the whole level-0 with a new sorted run (after internal
-    /// compaction). Returns bytes released by the old tables.
-    pub fn replace_with_sorted(&mut self, run: Vec<PmTableHandle>, pool: &PmPool) -> usize {
+    /// compaction). Returns bytes released by the old tables and their
+    /// group-cache ids.
+    pub fn replace_with_sorted(
+        &mut self,
+        run: Vec<PmTableHandle>,
+        pool: &PmPool,
+    ) -> (usize, Vec<u64>) {
         debug_assert!(run.windows(2).all(|w| w[0].last < w[1].first));
-        let released = self.clear(pool);
+        let (released, cache_ids) = self.clear(pool);
+        self.fence = Arc::new(FenceIndex::build(&run));
         self.sorted = run;
-        released
+        (released, cache_ids)
     }
 }
 
@@ -195,6 +308,7 @@ impl std::fmt::Debug for PmLevel0 {
 pub struct PmL0Snapshot {
     unsorted: Vec<PmTableHandle>,
     sorted: Vec<PmTableHandle>,
+    fence: Arc<FenceIndex>,
 }
 
 impl PmL0Snapshot {
@@ -205,7 +319,31 @@ impl PmL0Snapshot {
         snapshot: SequenceNumber,
         tl: &mut Timeline,
     ) -> Option<Lookup> {
-        get_in(&self.unsorted, &self.sorted, user_key, snapshot, tl)
+        let mut stats = ProbeStats::default();
+        self.get_with(user_key, snapshot, tl, None, &mut stats)
+    }
+
+    /// Point lookup threading the shared group-decode cache and probe
+    /// accounting. `cache` of `None` (or a zero-capacity cache) degrades
+    /// to plain PM reads.
+    pub fn get_with(
+        &self,
+        user_key: &[u8],
+        snapshot: SequenceNumber,
+        tl: &mut Timeline,
+        cache: Option<&PmGroupCache>,
+        stats: &mut ProbeStats,
+    ) -> Option<Lookup> {
+        get_in(
+            &self.unsorted,
+            &self.sorted,
+            &self.fence,
+            user_key,
+            snapshot,
+            tl,
+            cache,
+            stats,
+        )
     }
 
     pub fn is_empty(&self) -> bool {
@@ -213,13 +351,59 @@ impl PmL0Snapshot {
     }
 }
 
-/// Shared lookup walk over an (unsorted, sorted) table set.
-fn get_in(
-    unsorted: &[PmTableHandle],
-    sorted: &[PmTableHandle],
+/// Search one table, going through the shared group cache when provided.
+fn probe_table(
+    handle: &PmTableHandle,
     user_key: &[u8],
     snapshot: SequenceNumber,
     tl: &mut Timeline,
+    cache: Option<&PmGroupCache>,
+    stats: &mut ProbeStats,
+) -> Option<Lookup> {
+    stats.tables_probed += 1;
+    match cache {
+        Some(c) => {
+            handle
+                .table
+                .get_with_cache(user_key, snapshot, tl, &c.for_table(handle.cache_id))
+        }
+        None => handle.table.get(user_key, snapshot, tl),
+    }
+}
+
+/// Consult a table's bloom filter (when it has one). Returns `true` when
+/// the filter proves the key absent and the probe can be skipped.
+fn filter_rules_out(
+    handle: &PmTableHandle,
+    user_key: &[u8],
+    tl: &mut Timeline,
+    stats: &mut ProbeStats,
+) -> bool {
+    match handle.table.filter_may_contain(user_key, tl) {
+        Some(may_contain) => {
+            stats.filter_checked += 1;
+            if may_contain {
+                false
+            } else {
+                stats.filter_useful += 1;
+                true
+            }
+        }
+        None => false,
+    }
+}
+
+/// Shared lookup walk over an (unsorted, sorted) table set.
+#[allow(clippy::too_many_arguments)]
+fn get_in(
+    unsorted: &[PmTableHandle],
+    sorted: &[PmTableHandle],
+    fence: &FenceIndex,
+    user_key: &[u8],
+    snapshot: SequenceNumber,
+    tl: &mut Timeline,
+    cache: Option<&PmGroupCache>,
+    stats: &mut ProbeStats,
 ) -> Option<Lookup> {
     // Unsorted tables are mutually overlapping: scan newest→oldest and
     // take the newest visible version seen (a newer table always holds
@@ -229,7 +413,11 @@ fn get_in(
         if !handle.overlaps_key(user_key) {
             continue;
         }
-        if let Some(hit) = handle.table.get(user_key, snapshot, tl) {
+        let had_filter = handle.table.has_filter();
+        if had_filter && filter_rules_out(handle, user_key, tl, stats) {
+            continue;
+        }
+        if let Some(hit) = probe_table(handle, user_key, snapshot, tl, cache, stats) {
             match &best {
                 Some(b) if b.seq >= hit.seq => {}
                 _ => best = Some(hit),
@@ -237,17 +425,27 @@ fn get_in(
             // Tables are flushed in sequence order; the first hit
             // from the newest table is final.
             break;
+        } else if had_filter {
+            stats.filter_false_positives += 1;
         }
     }
     if best.is_some() {
         return best;
     }
-    // Sorted run: at most one table can contain the key.
-    let idx = sorted.partition_point(|h| h.last.as_slice() < user_key);
-    if let Some(handle) = sorted.get(idx) {
-        if handle.overlaps_key(user_key) {
-            return handle.table.get(user_key, snapshot, tl);
+    // Sorted run: the fence index names the only table that can contain
+    // the key (or proves none does).
+    debug_assert_eq!(fence.len(), sorted.len());
+    if let Some(idx) = fence.locate(user_key) {
+        let handle = &sorted[idx];
+        let had_filter = handle.table.has_filter();
+        if had_filter && filter_rules_out(handle, user_key, tl, stats) {
+            return None;
         }
+        let hit = probe_table(handle, user_key, snapshot, tl, cache, stats);
+        if hit.is_none() && had_filter {
+            stats.filter_false_positives += 1;
+        }
+        return hit;
     }
     None
 }
@@ -264,21 +462,29 @@ mod tests {
     }
 
     fn table(pool: &PmPool, entries: Vec<OwnedEntry>) -> PmTableHandle {
+        table_opts(pool, entries, PmTableOptions::default())
+    }
+
+    fn filtered_table(pool: &PmPool, entries: Vec<OwnedEntry>) -> PmTableHandle {
+        table_opts(
+            pool,
+            entries,
+            PmTableOptions {
+                filter_bits_per_key: 10,
+                ..Default::default()
+            },
+        )
+    }
+
+    fn table_opts(pool: &PmPool, entries: Vec<OwnedEntry>, opts: PmTableOptions) -> PmTableHandle {
         let cost = CostModel::default();
         let mut sorted = entries;
         sorted.sort_by(|a, b| a.internal_cmp(b));
         let mut tl = Timeline::new();
-        build_pm_tables(
-            &sorted,
-            PmTableOptions::default(),
-            usize::MAX,
-            pool,
-            &cost,
-            &mut tl,
-        )
-        .unwrap()
-        .pop()
-        .unwrap()
+        build_pm_tables(&sorted, opts, usize::MAX, pool, &cost, &mut tl)
+            .unwrap()
+            .pop()
+            .unwrap()
     }
 
     fn pool() -> std::sync::Arc<PmPool> {
@@ -311,10 +517,10 @@ mod tests {
     fn sorted_run_serves_after_unsorted_miss() {
         let pool = pool();
         let mut l0 = PmLevel0::new();
-        l0.sorted = vec![
+        l0.set_sorted_run(vec![
             table(&pool, vec![entry("a", 1, "1"), entry("c", 2, "2")]),
             table(&pool, vec![entry("m", 3, "3"), entry("z", 4, "4")]),
-        ];
+        ]);
         l0.push_unsorted(table(&pool, vec![entry("b", 9, "fresh")]));
         let mut tl = Timeline::new();
         assert_eq!(l0.get(b"m", u64::MAX, &mut tl).unwrap().value, b"3");
@@ -333,8 +539,9 @@ mod tests {
         let before = pool.used();
         assert!(before > 0);
         let run = vec![table(&pool, vec![entry("a", 2, "y")])];
-        let released = l0.replace_with_sorted(run, &pool);
+        let (released, retired) = l0.replace_with_sorted(run, &pool);
         assert!(released > 0);
+        assert_eq!(retired.len(), 2, "both old tables report cache ids");
         assert_eq!(l0.unsorted_count(), 0);
         assert_eq!(l0.sorted_count(), 1);
         assert!(pool.used() < before);
@@ -347,9 +554,10 @@ mod tests {
         let pool = pool();
         let mut l0 = PmLevel0::new();
         l0.push_unsorted(table(&pool, vec![entry("a", 1, "x")]));
-        l0.sorted = vec![table(&pool, vec![entry("b", 2, "y")])];
-        let released = l0.clear(&pool);
+        l0.set_sorted_run(vec![table(&pool, vec![entry("b", 2, "y")])]);
+        let (released, retired) = l0.clear(&pool);
         assert!(released > 0);
+        assert_eq!(retired.len(), 2);
         assert!(l0.is_empty());
         assert_eq!(pool.used(), 0);
     }
@@ -359,11 +567,101 @@ mod tests {
         let pool = pool();
         let mut l0 = PmLevel0::new();
         l0.push_unsorted(table(&pool, vec![entry("a", 1, "1"), entry("d", 2, "2")]));
-        l0.sorted = vec![table(&pool, vec![entry("b", 3, "3")])];
+        l0.set_sorted_run(vec![table(&pool, vec![entry("b", 3, "3")])]);
         let mut tl = Timeline::new();
         let sources = l0.scan_sources(b"b", Some(b"d"), usize::MAX, &mut tl);
         let all: Vec<_> = sources.into_iter().flatten().collect();
         assert_eq!(all.len(), 1);
         assert_eq!(all[0].user_key, b"b");
+    }
+
+    #[test]
+    fn fence_index_locates_only_covering_table() {
+        let pool = pool();
+        let mut l0 = PmLevel0::new();
+        l0.set_sorted_run(vec![
+            table(&pool, vec![entry("b", 1, "1"), entry("d", 2, "2")]),
+            table(&pool, vec![entry("h", 3, "3"), entry("k", 4, "4")]),
+        ]);
+        let snap = l0.snapshot();
+        let fence = FenceIndex::build(l0.sorted_run());
+        assert_eq!(fence.len(), 2);
+        assert_eq!(fence.locate(b"b"), Some(0));
+        assert_eq!(fence.locate(b"c"), Some(0));
+        assert_eq!(fence.locate(b"d"), Some(0));
+        assert_eq!(fence.locate(b"h"), Some(1));
+        assert_eq!(fence.locate(b"k"), Some(1));
+        // Keys before, between, and after the run resolve to no table.
+        assert_eq!(fence.locate(b"a"), None);
+        assert_eq!(fence.locate(b"f"), None);
+        assert_eq!(fence.locate(b"z"), None);
+        let mut tl = Timeline::new();
+        assert_eq!(snap.get(b"h", u64::MAX, &mut tl).unwrap().value, b"3");
+        assert!(snap.get(b"f", u64::MAX, &mut tl).is_none());
+    }
+
+    #[test]
+    fn bloom_filters_skip_absent_key_probes() {
+        let pool = pool();
+        let mut l0 = PmLevel0::new();
+        // Two wide unsorted tables that both straddle the probe key.
+        l0.push_unsorted(filtered_table(
+            &pool,
+            vec![entry("a", 1, "1"), entry("z", 2, "2")],
+        ));
+        l0.push_unsorted(filtered_table(
+            &pool,
+            vec![entry("b", 3, "3"), entry("y", 4, "4")],
+        ));
+        let snap = l0.snapshot();
+        let mut tl = Timeline::new();
+        let mut stats = ProbeStats::default();
+        assert!(snap
+            .get_with(b"mmm", u64::MAX, &mut tl, None, &mut stats)
+            .is_none());
+        assert_eq!(stats.filter_checked, 2);
+        assert_eq!(
+            stats.filter_useful + stats.filter_false_positives,
+            2,
+            "every checked filter either pruned or false-positived"
+        );
+        assert_eq!(
+            stats.tables_probed, stats.filter_false_positives,
+            "only false positives cost a table probe"
+        );
+        // Present keys always reach the table (no false negatives).
+        let mut stats = ProbeStats::default();
+        let hit = snap
+            .get_with(b"b", u64::MAX, &mut tl, None, &mut stats)
+            .unwrap();
+        assert_eq!(hit.value, b"3");
+        assert!(stats.tables_probed >= 1);
+    }
+
+    #[test]
+    fn group_cache_serves_repeat_reads() {
+        let pool = pool();
+        let cache = PmGroupCache::new(1 << 20);
+        let mut l0 = PmLevel0::new();
+        l0.push_unsorted(filtered_table(
+            &pool,
+            (0..64)
+                .map(|i| entry(&format!("k{i:04}"), i + 1, "v"))
+                .collect(),
+        ));
+        let snap = l0.snapshot();
+        let mut stats = ProbeStats::default();
+        let mut cold_tl = Timeline::new();
+        let cold = snap.get_with(b"k0007", u64::MAX, &mut cold_tl, Some(&cache), &mut stats);
+        assert_eq!(cold.unwrap().value, b"v");
+        assert_eq!(cache.hits.get(), 0);
+        let mut warm_tl = Timeline::new();
+        let warm = snap.get_with(b"k0007", u64::MAX, &mut warm_tl, Some(&cache), &mut stats);
+        assert_eq!(warm.unwrap().value, b"v");
+        assert_eq!(cache.hits.get(), 1);
+        assert!(
+            warm_tl.elapsed() < cold_tl.elapsed(),
+            "cached group read must be cheaper than a PM decode"
+        );
     }
 }

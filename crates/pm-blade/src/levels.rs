@@ -57,12 +57,16 @@ impl SsdLevels {
     /// Point lookup: walk levels top-down; within a level at most one
     /// table overlaps. Returns the hit plus the 1-based level that
     /// served it (for the per-level read-source metrics).
+    ///
+    /// A table-read failure propagates instead of being skipped: a
+    /// deeper level may hold an *older* version of the key, so falling
+    /// through past an unreadable table could silently serve stale data.
     pub fn get(
         &self,
         user_key: &[u8],
         snapshot: SequenceNumber,
         tl: &mut Timeline,
-    ) -> Option<(Lookup, usize)> {
+    ) -> Result<Option<(Lookup, usize)>, sstable::table::TableError> {
         for (depth, level) in self.levels.iter().enumerate() {
             let idx = level.partition_point(|h| h.last.as_slice() < user_key);
             let Some(handle) = level.get(idx) else {
@@ -71,15 +75,14 @@ impl SsdLevels {
             if !handle.overlaps_key(user_key) {
                 continue;
             }
-            match handle.table.get(user_key, snapshot, tl) {
-                Ok(Some((seq, kind, value))) => {
-                    return Some((Lookup { seq, kind, value }, depth + 1))
+            match handle.table.get(user_key, snapshot, tl)? {
+                Some((seq, kind, value)) => {
+                    return Ok(Some((Lookup { seq, kind, value }, depth + 1)))
                 }
-                Ok(None) => continue,
-                Err(_) => continue,
+                None => continue,
             }
         }
-        None
+        Ok(None)
     }
 
     /// Range scan sources, one per level (each level is itself sorted).
@@ -264,14 +267,14 @@ mod tests {
         levels.replace_level(1, t1);
         levels.replace_level(2, t2);
         // Key in both levels: L1 wins (and reports level 1).
-        let (hit, level) = levels.get(b"k0050", u64::MAX, &mut tl).unwrap();
+        let (hit, level) = levels.get(b"k0050", u64::MAX, &mut tl).unwrap().unwrap();
         assert_eq!(hit.value, b"l1");
         assert_eq!(level, 1);
         // Key only in L2.
-        let (hit, level) = levels.get(b"k0150", u64::MAX, &mut tl).unwrap();
+        let (hit, level) = levels.get(b"k0150", u64::MAX, &mut tl).unwrap().unwrap();
         assert_eq!(hit.value, b"l2");
         assert_eq!(level, 2);
-        assert!(levels.get(b"k9999", u64::MAX, &mut tl).is_none());
+        assert!(levels.get(b"k9999", u64::MAX, &mut tl).unwrap().is_none());
         assert_eq!(levels.depth(), 2);
         assert!(levels.total_bytes() > 0);
     }
@@ -384,7 +387,7 @@ mod tests {
         .unwrap();
         let mut levels = SsdLevels::new();
         levels.replace_level(1, tables);
-        let (hit, _) = levels.get(b"gone", u64::MAX, &mut tl).unwrap();
+        let (hit, _) = levels.get(b"gone", u64::MAX, &mut tl).unwrap().unwrap();
         assert_eq!(hit.kind, KeyKind::Delete);
     }
 }

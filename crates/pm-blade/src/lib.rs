@@ -25,6 +25,7 @@ pub mod commit;
 pub mod compaction;
 pub mod costmodel;
 pub mod engine;
+pub mod groupcache;
 pub mod handle;
 pub mod level0;
 pub mod levels;
@@ -40,6 +41,7 @@ pub use commit::{BatchOp, WriteBatch};
 pub use engine::{
     CompactionEvent, CompactionKind, CompactionRequest, Db, DbCore, DbError, ReadOutcome, WriteAmp,
 };
+pub use groupcache::PmGroupCache;
 pub use level0::PmL0Snapshot;
 pub use options::{MaintenanceMode, Mode, Options, OptionsBuilder, Partitioner};
 pub use relational::{Relational, TableDef};

@@ -136,8 +136,19 @@ pub struct Options {
     pub tau_t: usize,
     /// Cost scalars for Eqs 1–3.
     pub scalars: CostScalars,
-    /// PM table encoding options.
+    /// PM table encoding options. `Db::open` copies
+    /// [`Options::pm_filter_bits_per_key`] into
+    /// `pm_table.filter_bits_per_key`, so the engine-level knob wins.
     pub pm_table: PmTableOptions,
+    /// Bloom-filter budget for PM level-0 tables, in bits per distinct
+    /// user key (RocksDB-style; 10 ≈ 1% false positives). 0 disables
+    /// the filters entirely — every `get` walks the group search of
+    /// every overlapping table, the pre-acceleration read path.
+    pub pm_filter_bits_per_key: usize,
+    /// DRAM capacity of the shared decoded-group cache for PM level-0
+    /// reads, in bytes. Charged like [`Options::block_cache_bytes`]; 0
+    /// disables the cache (every lookup decodes its group from PM).
+    pub pm_group_cache_bytes: usize,
     /// Level-1 target size per partition; level n target is
     /// `l1_target * level_multiplier^(n-1)`.
     pub l1_target: usize,
@@ -210,7 +221,10 @@ impl Default for Options {
             pm_table: PmTableOptions {
                 group_size: 16,
                 extractor: MetaExtractor::None,
+                filter_bits_per_key: 0,
             },
+            pm_filter_bits_per_key: 10,
+            pm_group_cache_bytes: 4 << 20,
             l1_target: 8 << 20,
             level_multiplier: 10,
             max_table_bytes: 2 << 20,
@@ -361,6 +375,16 @@ impl OptionsBuilder {
         self
     }
 
+    pub fn pm_filter_bits_per_key(mut self, bits: usize) -> Self {
+        self.opts.pm_filter_bits_per_key = bits;
+        self
+    }
+
+    pub fn pm_group_cache_bytes(mut self, bytes: usize) -> Self {
+        self.opts.pm_group_cache_bytes = bytes;
+        self
+    }
+
     pub fn matrix_columns(mut self, columns: usize) -> Self {
         self.opts.matrix_columns = columns;
         self
@@ -471,6 +495,14 @@ impl OptionsBuilder {
         }
         if o.max_table_bytes == 0 {
             return fail("max_table_bytes must be positive".into());
+        }
+        if o.pm_filter_bits_per_key > 64 {
+            return fail(format!(
+                "pm_filter_bits_per_key ({}) is capped at 64: past that \
+                 the false-positive rate no longer improves and the \
+                 filter section just burns PM",
+                o.pm_filter_bits_per_key
+            ));
         }
         if o.l1_target == 0 {
             return fail("l1_target must be positive".into());
@@ -606,6 +638,14 @@ mod tests {
         .contains("ascending"));
         assert!(msg(Options::builder().level_multiplier(1).build()).contains("level_multiplier"));
         assert!(msg(Options::builder().max_table_bytes(0).build()).contains("max_table_bytes"));
+        assert!(msg(Options::builder().pm_filter_bits_per_key(65).build())
+            .contains("pm_filter_bits_per_key"));
+        // 0 legitimately disables the filter and the cache.
+        assert!(Options::builder()
+            .pm_filter_bits_per_key(0)
+            .pm_group_cache_bytes(0)
+            .build()
+            .is_ok());
         assert!(
             msg(Options::builder().event_log_capacity(0).build()).contains("event_log_capacity")
         );

@@ -37,6 +37,24 @@ pub struct FlushReport {
     pub bytes: usize,
 }
 
+/// What an internal compaction produced.
+#[derive(Clone, Debug, Default)]
+pub struct InternalCompactionReport {
+    pub records_before: usize,
+    pub records_after: usize,
+    pub bytes_released: usize,
+    /// Cache ids of retired PM tables, for group-cache invalidation.
+    pub retired_cache_ids: Vec<u64>,
+}
+
+/// What a major compaction removed: SSTable files to delete plus
+/// retired PM-table cache ids for group-cache invalidation.
+#[derive(Clone, Debug, Default)]
+pub struct MajorCompactionReport {
+    pub deleted_tables: Vec<String>,
+    pub retired_cache_ids: Vec<u64>,
+}
+
 /// One partition's state.
 pub struct Partition {
     pub id: usize,
@@ -116,14 +134,15 @@ impl Partition {
     /// Point lookup through every tier of this partition. The third
     /// element is the SSD level that served the read (0 for an SSD
     /// level-0 table, 1-based below), `None` for non-SSD sources.
+    /// Table-read errors propagate instead of being treated as misses.
     pub fn get(
         &self,
         user_key: &[u8],
         snapshot: SequenceNumber,
         tl: &mut Timeline,
-    ) -> (Option<Lookup>, ReadSource, Option<usize>) {
+    ) -> Result<(Option<Lookup>, ReadSource, Option<usize>), crate::engine::DbError> {
         if let Some(hit) = self.mem.get(user_key, snapshot, tl) {
-            return (Some(hit), ReadSource::MemTable, None);
+            return Ok((Some(hit), ReadSource::MemTable, None));
         }
         self.get_below_memtable(user_key, snapshot, tl)
     }
@@ -136,34 +155,36 @@ impl Partition {
         user_key: &[u8],
         snapshot: SequenceNumber,
         tl: &mut Timeline,
-    ) -> (Option<Lookup>, ReadSource, Option<usize>) {
+    ) -> Result<(Option<Lookup>, ReadSource, Option<usize>), crate::engine::DbError> {
         match &self.level0 {
             Level0::Pm(l0) => {
                 if let Some(hit) = l0.get(user_key, snapshot, tl) {
-                    return (Some(hit), ReadSource::Pm, None);
+                    return Ok((Some(hit), ReadSource::Pm, None));
                 }
             }
             Level0::Matrix(m) => {
                 if let Some(hit) = m.get(user_key, snapshot, tl) {
-                    return (Some(hit), ReadSource::Pm, None);
+                    return Ok((Some(hit), ReadSource::Pm, None));
                 }
             }
             Level0::Ssd(tables) => {
-                // SSD level-0 tables overlap: newest first.
+                // SSD level-0 tables overlap: newest first. An unreadable
+                // table must fail the read — an older version of the key
+                // may hide behind it.
                 for handle in tables.iter().rev() {
                     if !handle.overlaps_key(user_key) {
                         continue;
                     }
-                    if let Ok(Some((seq, kind, value))) = handle.table.get(user_key, snapshot, tl) {
-                        return (Some(Lookup { seq, kind, value }), ReadSource::Ssd, Some(0));
+                    if let Some((seq, kind, value)) = handle.table.get(user_key, snapshot, tl)? {
+                        return Ok((Some(Lookup { seq, kind, value }), ReadSource::Ssd, Some(0)));
                     }
                 }
             }
         }
-        if let Some((hit, level)) = self.levels.get(user_key, snapshot, tl) {
-            return (Some(hit), ReadSource::Ssd, Some(level));
+        if let Some((hit, level)) = self.levels.get(user_key, snapshot, tl)? {
+            return Ok((Some(hit), ReadSource::Ssd, Some(level)));
         }
-        (None, ReadSource::Miss, None)
+        Ok((None, ReadSource::Miss, None))
     }
 
     /// Range-scan sources across all tiers, newest tier first.
@@ -268,13 +289,14 @@ impl Partition {
     }
 
     /// Internal compaction (§IV-B): merge all PM tables into a fresh
-    /// sorted run. Returns `(records_before, records_after, bytes_released)`.
+    /// sorted run. Returns the report, or `None` when there was nothing
+    /// to merge.
     pub fn internal_compaction(
         &mut self,
         opts: &Options,
         pool: &PmPool,
         tl: &mut Timeline,
-    ) -> Result<Option<(usize, usize, usize)>, crate::engine::DbError> {
+    ) -> Result<Option<InternalCompactionReport>, crate::engine::DbError> {
         let Level0::Pm(l0) = &mut self.level0 else {
             return Ok(None);
         };
@@ -296,14 +318,19 @@ impl Partition {
         )?;
         let new_bytes: usize = run.iter().map(|h| h.bytes).sum();
         let old_bytes = l0.bytes();
-        l0.replace_with_sorted(run, pool);
+        let (_freed, retired_cache_ids) = l0.replace_with_sorted(run, pool);
         let released = old_bytes.saturating_sub(new_bytes);
-        Ok(Some((before, after, released)))
+        Ok(Some(InternalCompactionReport {
+            records_before: before,
+            records_after: after,
+            bytes_released: released,
+            retired_cache_ids,
+        }))
     }
 
     /// Major compaction: move this partition's level-0 into level-1,
     /// merging with the overlapping level-1 tables. Returns the names of
-    /// replaced SSTables for deletion.
+    /// replaced SSTables for deletion plus retired PM cache ids.
     ///
     /// `table_limit` bounds how many level-0 tables move in this pass
     /// (`usize::MAX` = the whole level-0). Background workers pass the
@@ -321,15 +348,17 @@ impl Partition {
         table_counter: &AtomicU64,
         table_limit: usize,
         tl: &mut Timeline,
-    ) -> Result<Vec<String>, crate::engine::DbError> {
+    ) -> Result<MajorCompactionReport, crate::engine::DbError> {
         // Collect level-0 input.
         let mut sources: Vec<Vec<OwnedEntry>> = Vec::new();
         let mut released_regions: Vec<pm_device::RegionId> = Vec::new();
+        let mut retired_cache_ids: Vec<u64> = Vec::new();
         match &mut self.level0 {
             Level0::Pm(l0) => {
-                let (chunk, regions) = l0.take_oldest(table_limit, tl);
+                let (chunk, regions, cache_ids) = l0.take_oldest(table_limit, tl);
                 sources.extend(chunk);
                 released_regions.extend(regions);
+                retired_cache_ids.extend(cache_ids);
             }
             Level0::Matrix(m) => {
                 sources.extend(m.drain_sources(tl));
@@ -360,7 +389,10 @@ impl Partition {
             if let Level0::Ssd(tables) = &mut self.level0 {
                 tables.clear();
             }
-            return Ok(Vec::new());
+            return Ok(MajorCompactionReport {
+                deleted_tables: Vec::new(),
+                retired_cache_ids,
+            });
         }
         // Merge with overlapping level-1 tables.
         let first = sources
@@ -431,7 +463,10 @@ impl Partition {
         }
         // Cascade oversized deeper levels.
         deleted.extend(self.cascade_levels(opts, device, cache, table_counter, tl)?);
-        Ok(deleted)
+        Ok(MajorCompactionReport {
+            deleted_tables: deleted,
+            retired_cache_ids,
+        })
     }
 
     /// Push oversized levels downward until every level fits its target.

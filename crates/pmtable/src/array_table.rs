@@ -331,6 +331,7 @@ mod tests {
         let mut b = PmTableBuilder::new(PmTableOptions {
             group_size: 16,
             extractor: MetaExtractor::Delimiter(b':'),
+            filter_bits_per_key: 0,
         });
         for e in &entries {
             b.add(e.clone());
@@ -383,6 +384,7 @@ mod tests {
         let mut pb = PmTableBuilder::new(PmTableOptions {
             group_size: 16,
             extractor: MetaExtractor::Delimiter(b':'),
+            filter_bits_per_key: 0,
         });
         for e in &entries {
             ab.add(e.clone());

@@ -25,7 +25,9 @@ pub use array_table::{ArrayTable, ArrayTableBuilder};
 pub use compressed_array::{
     SnappyGroupTable, SnappyGroupTableBuilder, SnappyTable, SnappyTableBuilder,
 };
-pub use pm_table::{MetaExtractor, PmTable, PmTableBuilder, PmTableOptions};
+pub use pm_table::{
+    GroupAccess, MetaExtractor, NoGroupCache, PmTable, PmTableBuilder, PmTableOptions,
+};
 pub use storage::{DramBuf, Storage};
 
 use encoding::key::{KeyKind, SequenceNumber};

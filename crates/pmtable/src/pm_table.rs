@@ -21,7 +21,7 @@
 //!
 //! ```text
 //! header:   magic u32 | entry_count u32 | group_count u32 |
-//!           extractor tag u8 + arg u8 | group_size u8 | reserved u8 |
+//!           extractor tag u8 + arg u8 | group_size u8 | flags u8 |
 //!           meta_off u32 | prefix_off u32 | gindex_off u32 | entry_off u32
 //! meta:     count u32, then per meta: varint len | bytes |
 //!           first_group u32 | group_count u32
@@ -30,8 +30,17 @@
 //!           meta_id u16)
 //! entries:  per group: varint lcp_len | lcp bytes | per entry:
 //!           varint krem_len | varint vlen | trailer u64 | krem | value
+//! filter:   (only when flags bit 0 set) bloom bytes | filter_len u32
 //! ```
+//!
+//! The filter section is appended *after* the entry layer and announced
+//! by header flags bit 0; group blocks are addressed relative to
+//! `entry_off`, so readers that predate the filter simply ignore the
+//! tail bytes and older tables (flags = 0) open unchanged.
 
+use std::sync::Arc;
+
+use encoding::bloom::BloomFilter;
 use encoding::key::{self, SequenceNumber};
 use encoding::prefix::FixedPrefix;
 use encoding::varint;
@@ -44,6 +53,8 @@ const MAGIC: u32 = 0x504D_5442; // "PMTB"
 const HEADER_LEN: usize = 4 + 4 + 4 + 4 + 16;
 const PREFIX_WIDTH: usize = 16;
 const GINDEX_ENTRY_LEN: usize = 12;
+/// Header flags bit 0: a bloom filter section trails the entry layer.
+const FLAG_FILTER: u8 = 0b0000_0001;
 
 /// How the meta prefix (e.g. `{tableID}`) is carved off a user key.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -99,6 +110,9 @@ pub struct PmTableOptions {
     pub group_size: usize,
     /// Meta-prefix extraction rule.
     pub extractor: MetaExtractor,
+    /// Bloom-filter budget in bits per distinct user key; 0 disables the
+    /// filter section entirely (the pre-filter table layout).
+    pub filter_bits_per_key: usize,
 }
 
 impl Default for PmTableOptions {
@@ -106,6 +120,7 @@ impl Default for PmTableOptions {
         PmTableOptions {
             group_size: 16,
             extractor: MetaExtractor::None,
+            filter_bits_per_key: 0,
         }
     }
 }
@@ -245,7 +260,33 @@ impl PmTableBuilder {
             }
         }
 
-        // Assemble: header | meta | prefix | gindex | entries.
+        // Optional bloom filter over distinct user keys (entries are
+        // sorted, so distinct keys are adjacent).
+        let filter = (opts.filter_bits_per_key > 0 && !entries.is_empty()).then(|| {
+            let mut distinct = 0usize;
+            let mut prev: Option<&[u8]> = None;
+            for e in &entries {
+                if prev != Some(e.user_key.as_slice()) {
+                    distinct += 1;
+                    prev = Some(e.user_key.as_slice());
+                }
+            }
+            let mut seen: Option<&[u8]> = None;
+            BloomFilter::build(
+                entries.iter().filter_map(|e| {
+                    if seen == Some(e.user_key.as_slice()) {
+                        None
+                    } else {
+                        seen = Some(e.user_key.as_slice());
+                        Some(e.user_key.as_slice())
+                    }
+                }),
+                distinct,
+                opts.filter_bits_per_key,
+            )
+        });
+
+        // Assemble: header | meta | prefix | gindex | entries [| filter].
         let ext = opts.extractor.encode();
         let meta_off = HEADER_LEN as u32;
         let prefix_off = meta_off + meta_layer.len() as u32;
@@ -258,7 +299,7 @@ impl PmTableBuilder {
         out.push(ext[0]);
         out.push(ext[1]);
         out.push(opts.group_size as u8);
-        out.push(0);
+        out.push(if filter.is_some() { FLAG_FILTER } else { 0 });
         out.extend_from_slice(&meta_off.to_le_bytes());
         out.extend_from_slice(&prefix_off.to_le_bytes());
         out.extend_from_slice(&gindex_off.to_le_bytes());
@@ -268,6 +309,11 @@ impl PmTableBuilder {
         out.extend_from_slice(&prefixes);
         out.extend_from_slice(&gindex);
         out.extend_from_slice(&entry_layer);
+        if let Some(filter) = &filter {
+            let encoded = filter.encode();
+            out.extend_from_slice(&encoded);
+            out.extend_from_slice(&(encoded.len() as u32).to_le_bytes());
+        }
 
         // Prefix stripping is plain encoding work — no LZ pass.
         tl.charge(cost.cpu.encode(self.raw_bytes));
@@ -305,6 +351,9 @@ pub struct PmTable<S: Storage> {
     metas: Vec<MetaRow>,
     first_key: Option<Vec<u8>>,
     last_key: Option<Vec<u8>>,
+    /// Decoded bloom filter (DRAM-resident, like the meta layer); `None`
+    /// for tables built with `filter_bits_per_key = 0`.
+    filter: Option<BloomFilter>,
 }
 
 /// Errors opening a PM table.
@@ -354,6 +403,24 @@ impl<S: Storage> PmTable<S> {
         {
             return Err(PmTableError::Corrupt("section offsets"));
         }
+        // Filter section: trailing `bloom bytes | filter_len u32`.
+        let filter = if data[15] & FLAG_FILTER != 0 {
+            if data.len() < 4 {
+                return Err(PmTableError::Corrupt("filter section"));
+            }
+            let len_off = data.len() - 4;
+            let flen = u32::from_le_bytes(data[len_off..].try_into().unwrap()) as usize;
+            let start = len_off
+                .checked_sub(flen)
+                .filter(|&s| s >= entry_off as usize)
+                .ok_or(PmTableError::Corrupt("filter section"))?;
+            Some(
+                BloomFilter::decode(&data[start..len_off])
+                    .ok_or(PmTableError::Corrupt("filter bytes"))?,
+            )
+        } else {
+            None
+        };
         // Decode meta layer.
         let mut metas = Vec::new();
         {
@@ -391,6 +458,7 @@ impl<S: Storage> PmTable<S> {
             metas,
             first_key: None,
             last_key: None,
+            filter,
         };
         if group_count > 0 {
             let mut scratch = Timeline::new();
@@ -506,10 +574,34 @@ impl<S: Storage> PmTable<S> {
         }
         (lo - 1).max(base) as u32
     }
-}
 
-impl<S: Storage> L0Table for PmTable<S> {
-    fn get(&self, user_key: &[u8], snapshot: SequenceNumber, tl: &mut Timeline) -> Option<Lookup> {
+    /// Whether the table carries a bloom filter section.
+    pub fn has_filter(&self) -> bool {
+        self.filter.is_some()
+    }
+
+    /// Probe the bloom filter: `Some(false)` means the key is definitely
+    /// absent and the group search can be skipped entirely; `None` means
+    /// the table was built without a filter. The filter is DRAM-resident
+    /// (decoded at open, like the meta layer), so a probe costs a small
+    /// DRAM read, not a PM access.
+    pub fn filter_may_contain(&self, user_key: &[u8], tl: &mut Timeline) -> Option<bool> {
+        let filter = self.filter.as_ref()?;
+        tl.charge(self.storage.cost_model().dram.random_read(8));
+        Some(filter.may_contain(user_key))
+    }
+
+    /// [`L0Table::get`] with a decoded-group cache: a cache hit replaces
+    /// the group block's PM read + prefix reconstruction with one DRAM
+    /// read of the same length. Results are byte-identical to the
+    /// uncached path — the cache only memoizes `decode_group`.
+    pub fn get_with_cache(
+        &self,
+        user_key: &[u8],
+        snapshot: SequenceNumber,
+        tl: &mut Timeline,
+        cache: &dyn GroupAccess,
+    ) -> Option<Lookup> {
         if self.group_count == 0 {
             return None;
         }
@@ -549,22 +641,68 @@ impl<S: Storage> L0Table for PmTable<S> {
                     _ => {}
                 }
             }
-            // One sequential block scan; decode_group meters the read.
-            let entries = self.decode_group(g, tl)?;
+            // One block scan: served from the decoded-group cache at
+            // DRAM cost, or decoded from PM (decode_group meters the
+            // read) and offered to the cache.
+            let entries = match cache.lookup(g) {
+                Some(cached) => {
+                    let (_, block_len, _, _) = self.gindex(g);
+                    tl.charge(
+                        self.storage
+                            .cost_model()
+                            .dram
+                            .random_read(block_len as usize),
+                    );
+                    cached
+                }
+                None => {
+                    let decoded = Arc::new(self.decode_group(g, tl)?);
+                    cache.store(g, Arc::clone(&decoded));
+                    decoded
+                }
+            };
             tl.charge(cpu.key_compare * entries.len() as u64);
             if let Some(e) = entries
-                .into_iter()
+                .iter()
                 .filter(|e| e.user_key == user_key && e.seq <= snapshot)
                 .max_by_key(|e| e.seq)
             {
                 return Some(Lookup {
                     seq: e.seq,
                     kind: e.kind,
-                    value: e.value,
+                    value: e.value.clone(),
                 });
             }
         }
         None
+    }
+}
+
+/// Hook letting a caller memoize [`PmTable`] group decodes. The cache is
+/// scoped to one table by the caller (the key is just the group index);
+/// `store` receives the freshly decoded group so hot groups skip prefix
+/// reconstruction on later lookups.
+pub trait GroupAccess {
+    /// A previously stored decode of `group`, if still cached.
+    fn lookup(&self, group: u32) -> Option<Arc<Vec<OwnedEntry>>>;
+    /// Offer a freshly decoded group to the cache (may be dropped).
+    fn store(&self, group: u32, entries: Arc<Vec<OwnedEntry>>);
+}
+
+/// The no-op cache behind the plain [`L0Table::get`] path.
+pub struct NoGroupCache;
+
+impl GroupAccess for NoGroupCache {
+    fn lookup(&self, _group: u32) -> Option<Arc<Vec<OwnedEntry>>> {
+        None
+    }
+
+    fn store(&self, _group: u32, _entries: Arc<Vec<OwnedEntry>>) {}
+}
+
+impl<S: Storage> L0Table for PmTable<S> {
+    fn get(&self, user_key: &[u8], snapshot: SequenceNumber, tl: &mut Timeline) -> Option<Lookup> {
+        self.get_with_cache(user_key, snapshot, tl, &NoGroupCache)
     }
 
     fn entry_count(&self) -> usize {
@@ -692,6 +830,7 @@ mod tests {
         PmTableOptions {
             group_size: 8,
             extractor: MetaExtractor::Delimiter(b':'),
+            filter_bits_per_key: 0,
         }
     }
 
@@ -892,6 +1031,7 @@ mod tests {
             PmTableOptions {
                 group_size: 16,
                 extractor: MetaExtractor::None,
+                filter_bits_per_key: 0,
             },
         );
         let mut tl = Timeline::new();
@@ -979,6 +1119,7 @@ mod tests {
             let t = build(&entries, PmTableOptions {
                 group_size: 8,
                 extractor: MetaExtractor::FixedLen(2),
+                filter_bits_per_key: 0,
             });
             let mut tl = Timeline::new();
             let got = t.scan_all(&mut tl);

@@ -9,13 +9,15 @@
 //! ```
 //!
 //! - [`block`]: restart-point prefix-compressed key-value blocks;
-//! - [`bloom`]: per-table bloom filter over user keys;
+//! - [`bloom`]: per-table bloom filter over user keys (shared with the
+//!   PM table format, so the implementation lives in [`encoding::bloom`]
+//!   and is re-exported here);
 //! - [`cache`]: a shared LRU block cache (DRAM) — a cached block read
 //!   costs DRAM latency, an uncached one costs an SSD random read;
 //! - [`table`]: the table builder and reader.
 
 pub mod block;
-pub mod bloom;
+pub use encoding::bloom;
 pub mod cache;
 pub mod table;
 

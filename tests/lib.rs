@@ -4,8 +4,13 @@ use pm_blade::{Db, Mode, Options};
 
 /// A small engine configuration that exercises every compaction path
 /// quickly: tiny memtables, tight PM budget, shallow level targets.
+///
+/// The CI feature matrix re-runs the whole suite under degenerate
+/// read-path settings (filters off, near-zero group cache) by setting
+/// `PMBLADE_TEST_FILTER_BITS` / `PMBLADE_TEST_GROUP_CACHE_BYTES`;
+/// tests that pin these knobs themselves override after calling this.
 pub fn tiny_options(mode: Mode) -> Options {
-    Options {
+    let mut opts = Options {
         mode,
         pm_capacity: 2 << 20,
         memtable_bytes: 8 << 10,
@@ -17,7 +22,23 @@ pub fn tiny_options(mode: Mode) -> Options {
         block_cache_bytes: 256 << 10,
         l0_unsorted_hard_cap: 8,
         ..Options::default()
+    };
+    if let Some(bits) = env_knob("PMBLADE_TEST_FILTER_BITS") {
+        opts.pm_filter_bits_per_key = bits;
     }
+    if let Some(bytes) = env_knob("PMBLADE_TEST_GROUP_CACHE_BYTES") {
+        opts.pm_group_cache_bytes = bytes;
+    }
+    opts
+}
+
+fn env_knob(name: &str) -> Option<usize> {
+    let raw = std::env::var(name).ok()?;
+    Some(
+        raw.trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("{name} must be a usize, got {raw:?}")),
+    )
 }
 
 /// Open a tiny engine in the given mode.

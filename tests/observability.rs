@@ -358,7 +358,28 @@ fn prometheus_exposition_is_well_formed() {
         "pmblade_maintenance_jobs_enqueued ",
         "pmblade_write_stalls ",
         "pmblade_write_slowdowns ",
+        // PM-L0 read-acceleration series: bloom-filter outcomes, the
+        // shared group-decode cache, and the tables-probed distribution.
+        "pmblade_pm_filter_checked_total ",
+        "pmblade_pm_filter_useful_total ",
+        "pmblade_pm_filter_miss_total ",
+        "pmblade_pm_group_cache_hit_total ",
+        "pmblade_pm_group_cache_miss_total ",
+        "pmblade_pm_group_cache_used_bytes ",
+        "pmblade_pm_tables_probed_per_get{quantile=\"0.5\"}",
+        "pmblade_ssd_read_errors_total ",
     ] {
         assert!(text.contains(needle), "missing {needle}\n{text}");
     }
+    // The read phase above ran against flushed PM tables with default
+    // options (filters on, cache on), so the accelerators saw traffic.
+    let snap = db.metrics_snapshot();
+    assert!(
+        snap.counter("pm_filter_checked_total") > 0,
+        "PM reads must consult filters"
+    );
+    assert!(
+        snap.counter("pm_group_cache_hit_total") + snap.counter("pm_group_cache_miss_total") > 0,
+        "PM reads must consult the group cache"
+    );
 }

@@ -1,0 +1,285 @@
+//! Read-path acceleration parity: an engine with PM-L0 bloom filters
+//! and the shared group-decode cache enabled must return byte-identical
+//! `get` and `scan` results to an engine with both disabled, under
+//! arbitrary interleavings of writes, deletes and compactions.
+//!
+//! What this proves:
+//! - **No bloom false negatives**: a filter that wrongly ruled out a
+//!   table would surface as a missing or stale read on the accelerated
+//!   engine only.
+//! - **No stale cache**: a cached group surviving an internal or major
+//!   compaction of its table would surface as a resurrected old version.
+
+use std::sync::Arc;
+
+use pm_blade::{CompactionRequest, Db, Mode, Options};
+use pmblade_integration_tests::{tiny_options, value_for};
+use pmtable::{MetaExtractor, PmTableOptions};
+use proptest::prelude::*;
+
+/// The accelerated engine: default filter budget, a deliberately tiny
+/// cache so evictions and re-fills happen constantly.
+fn accelerated_options() -> Options {
+    let mut opts = tiny_options(Mode::PmBlade);
+    opts.pm_filter_bits_per_key = 10;
+    opts.pm_group_cache_bytes = 32 << 10;
+    opts
+}
+
+/// The plain engine: no filters, no cache — the reference behaviour.
+fn plain_options() -> Options {
+    let mut opts = tiny_options(Mode::PmBlade);
+    opts.pm_filter_bits_per_key = 0;
+    opts.pm_group_cache_bytes = 0;
+    opts
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    Put(u16, u16),
+    Delete(u16),
+    Get(u16),
+    Scan(u16, u8),
+    Flush,
+    Internal,
+    Major,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (0u16..300, 0u16..100).prop_map(|(k, v)| Op::Put(k, v)),
+        1 => (0u16..300).prop_map(Op::Delete),
+        4 => (0u16..300).prop_map(Op::Get),
+        1 => (0u16..300, 1u8..30).prop_map(|(k, n)| Op::Scan(k, n)),
+        1 => Just(Op::Flush),
+        1 => Just(Op::Internal),
+        1 => Just(Op::Major),
+    ]
+}
+
+fn key(k: u16) -> Vec<u8> {
+    format!("key{:05}", k).into_bytes()
+}
+
+/// Drive both engines through the same schedule, comparing every read.
+fn check_parity(fast: &Db, plain: &Db, ops: &[Op]) {
+    for (step, op) in ops.iter().enumerate() {
+        match op {
+            Op::Put(k, v) => {
+                let value = value_for(*k as u64 * 1000 + *v as u64, 48);
+                fast.put(&key(*k), &value).unwrap();
+                plain.put(&key(*k), &value).unwrap();
+            }
+            Op::Delete(k) => {
+                fast.delete(&key(*k)).unwrap();
+                plain.delete(&key(*k)).unwrap();
+            }
+            Op::Get(k) => {
+                let accel = fast.get(&key(*k)).unwrap().value;
+                let reference = plain.get(&key(*k)).unwrap().value;
+                assert_eq!(
+                    accel, reference,
+                    "step {step}: get({k}) diverged with filters+cache on"
+                );
+            }
+            Op::Scan(k, n) => {
+                let start = key(*k);
+                let (accel, _) = fast.scan(&start, None, *n as usize).unwrap();
+                let (reference, _) = plain.scan(&start, None, *n as usize).unwrap();
+                assert_eq!(
+                    accel, reference,
+                    "step {step}: scan({k},{n}) diverged with filters+cache on"
+                );
+            }
+            Op::Flush => {
+                fast.compact(CompactionRequest::FlushAll).unwrap();
+                plain.compact(CompactionRequest::FlushAll).unwrap();
+            }
+            Op::Internal => {
+                fast.compact(CompactionRequest::Internal { partition: 0 })
+                    .unwrap();
+                plain
+                    .compact(CompactionRequest::Internal { partition: 0 })
+                    .unwrap();
+            }
+            Op::Major => {
+                fast.compact(CompactionRequest::Major { partition: 0 })
+                    .unwrap();
+                plain
+                    .compact(CompactionRequest::Major { partition: 0 })
+                    .unwrap();
+            }
+        }
+    }
+    // Final audit: every key, both point reads and a full scan.
+    for k in 0u16..300 {
+        assert_eq!(
+            fast.get(&key(k)).unwrap().value,
+            plain.get(&key(k)).unwrap().value,
+            "final audit: get({k}) diverged"
+        );
+    }
+    let (accel, _) = fast.scan(b"key", None, usize::MAX).unwrap();
+    let (reference, _) = plain.scan(b"key", None, usize::MAX).unwrap();
+    assert_eq!(accel, reference, "final audit: full scan diverged");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn filters_and_cache_preserve_read_results(
+        ops in proptest::collection::vec(op_strategy(), 1..180)
+    ) {
+        let fast = Db::open(accelerated_options()).unwrap();
+        let plain = Db::open(plain_options()).unwrap();
+        check_parity(&fast, &plain, &ops);
+    }
+}
+
+/// The group-straddle regression shape: a 30-version pileup of one key
+/// straddles prefix-group boundaries (group_size 8), flanked by
+/// same-prefix neighbours. Filters must not rule out any straddled
+/// group and the cache must survive the version churn.
+fn straddle_ops() -> Vec<Op> {
+    // key indices: 10 -> "t0:a"-analog, 20 -> the hot key, 30 -> "t0:z".
+    let mut ops = vec![Op::Put(10, 0)];
+    for v in 1..=30 {
+        ops.push(Op::Put(20, v));
+        if v % 8 == 0 {
+            ops.push(Op::Flush);
+        }
+    }
+    ops.push(Op::Put(30, 0));
+    ops.extend([
+        Op::Flush,
+        Op::Get(10),
+        Op::Get(20),
+        Op::Get(30),
+        Op::Internal,
+        Op::Get(10),
+        Op::Get(20),
+        Op::Get(30),
+        Op::Scan(0, 29),
+        Op::Major,
+        Op::Get(10),
+        Op::Get(20),
+        Op::Get(30),
+    ]);
+    ops
+}
+
+/// Deterministic seed derived from the PR-3 group-straddle regression:
+/// `t0:a` written first, 30 stacked versions of `t0:k`, `t0:z` written
+/// last, with group_size 8 and `Delimiter(b':')` meta extraction —
+/// exercised with filters and a tiny cache against the plain engine.
+#[test]
+fn group_straddle_regression_parity() {
+    let pm_table = PmTableOptions {
+        group_size: 8,
+        extractor: MetaExtractor::Delimiter(b':'),
+        filter_bits_per_key: 0, // overridden from pm_filter_bits_per_key
+    };
+    let fast = {
+        let mut opts = accelerated_options();
+        opts.pm_table = pm_table;
+        Db::open(opts).unwrap()
+    };
+    let plain = {
+        let mut opts = plain_options();
+        opts.pm_table = pm_table;
+        Db::open(opts).unwrap()
+    };
+    let k = |name: &str| format!("t0:{name}").into_bytes();
+    for db in [&fast, &plain] {
+        db.put(&k("a"), b"first").unwrap();
+        for v in 1..=30u32 {
+            db.put(&k("k"), format!("version-{v}").as_bytes()).unwrap();
+            if v % 8 == 0 {
+                db.compact(CompactionRequest::FlushAll).unwrap();
+            }
+        }
+        db.put(&k("z"), b"last").unwrap();
+        db.compact(CompactionRequest::FlushAll).unwrap();
+    }
+    let audit = |stage: &str| {
+        for name in ["a", "k", "z", "missing"] {
+            assert_eq!(
+                fast.get(&k(name)).unwrap().value,
+                plain.get(&k(name)).unwrap().value,
+                "{stage}: get(t0:{name}) diverged"
+            );
+        }
+        assert_eq!(
+            fast.get(&k("k")).unwrap().value.as_deref(),
+            Some(&b"version-30"[..]),
+            "{stage}: newest version must win"
+        );
+        let (accel, _) = fast.scan(b"t0:", None, usize::MAX).unwrap();
+        let (reference, _) = plain.scan(b"t0:", None, usize::MAX).unwrap();
+        assert_eq!(accel, reference, "{stage}: scan diverged");
+        assert_eq!(accel.len(), 3, "{stage}: three live keys");
+    };
+    audit("after flush");
+    // Read twice so the second pass is served from the warm cache.
+    audit("cache warm");
+    for db in [&fast, &plain] {
+        db.compact(CompactionRequest::Internal { partition: 0 })
+            .unwrap();
+    }
+    audit("after internal compaction");
+    for db in [&fast, &plain] {
+        db.compact(CompactionRequest::Major { partition: 0 })
+            .unwrap();
+    }
+    audit("after major compaction");
+}
+
+/// The straddle shape also runs through the generic parity driver (so
+/// shrinking keeps working if it ever regresses), plus a concurrent
+/// smoke: readers race internal compactions on the accelerated engine
+/// and must never observe a missing key.
+#[test]
+fn straddle_schedule_parity_and_concurrent_reads() {
+    let fast = Db::open(accelerated_options()).unwrap();
+    let plain = Db::open(plain_options()).unwrap();
+    check_parity(&fast, &plain, &straddle_ops());
+
+    let db = Arc::new(Db::open(accelerated_options()).unwrap());
+    for i in 0u16..120 {
+        db.put(&key(i), &value_for(i as u64, 64)).unwrap();
+    }
+    db.compact(CompactionRequest::FlushAll).unwrap();
+    std::thread::scope(|s| {
+        let readers: Vec<_> = (0..3)
+            .map(|t| {
+                let db = Arc::clone(&db);
+                s.spawn(move || {
+                    for round in 0..40 {
+                        for i in (t..120u16).step_by(3) {
+                            let got = db.get(&key(i)).unwrap().value;
+                            assert!(got.is_some(), "round {round}: key {i} vanished");
+                        }
+                    }
+                })
+            })
+            .collect();
+        let compactor = {
+            let db = Arc::clone(&db);
+            s.spawn(move || {
+                for i in 120u16..180 {
+                    db.put(&key(i), &value_for(i as u64, 64)).unwrap();
+                    if i % 10 == 0 {
+                        db.compact(CompactionRequest::FlushAll).unwrap();
+                        db.compact(CompactionRequest::Internal { partition: 0 })
+                            .unwrap();
+                    }
+                }
+            })
+        };
+        compactor.join().unwrap();
+        readers.into_iter().for_each(|r| r.join().unwrap());
+    });
+}
