@@ -13,6 +13,14 @@
 //!              [--partitions P] [--pm-mib M] [--threads T]
 //!              [--maintenance inline|background] [--metrics-out PATH]
 //!              [--pm-filter-bits B] [--pm-cache-bytes N]
+//!              [--server [HOST:PORT]] [--connections N]
+//!
+//! `--server` switches to the network-service benchmark: `--num` puts
+//! then `--reads` gets issued over `--connections` TCP clients through
+//! `pm-blade-client`, measuring wall-clock round trips. With no address
+//! a `pm-blade-server` is spawned in-process on an ephemeral loopback
+//! port; with `HOST:PORT` an external server is used. Results are
+//! written to `BENCH_server.json`.
 //!
 //! `readhot` is the zipfian hot-set read workload: after a random fill,
 //! reads hammer a small hot subset of the keyspace (1% of `--num`,
@@ -42,7 +50,9 @@
 //! Example: `cargo run --release -p bench --bin benchmark_kv -- \
 //!           --benchmark readrandom --num 50000 --skew 0.9`
 
-use pm_blade::{Db, MaintenanceMode, Mode, Options, Partitioner, Relational, TableDef};
+use pm_blade::{
+    Db, MaintenanceMode, Mode, Options, Partitioner, Relational, ScanRequest, TableDef,
+};
 use sim::{Histogram, KeyDistribution, Pcg64, SimDuration};
 use workloads::{run_kv, KvWorkload, KvWorkloadSpec};
 
@@ -61,6 +71,10 @@ struct Args {
     metrics_out: Option<std::path::PathBuf>,
     pm_filter_bits: Option<usize>,
     pm_cache_bytes: Option<usize>,
+    /// `Some("")` = spawn an in-process server on an ephemeral port;
+    /// `Some(addr)` = benchmark an already-running server at `addr`.
+    server: Option<String>,
+    connections: usize,
 }
 
 impl Default for Args {
@@ -79,14 +93,25 @@ impl Default for Args {
             metrics_out: None,
             pm_filter_bits: None,
             pm_cache_bytes: None,
+            server: None,
+            connections: 8,
         }
     }
 }
 
 fn parse_args() -> Args {
     let mut args = Args::default();
-    let mut it = std::env::args().skip(1);
+    let mut it = std::env::args().skip(1).peekable();
     while let Some(flag) = it.next() {
+        // `--server` takes an *optional* address, so it must peek ahead
+        // before the `value` closure borrows the iterator.
+        if flag == "--server" {
+            args.server = Some(match it.peek() {
+                Some(v) if !v.starts_with('-') => it.next().unwrap(),
+                _ => String::new(),
+            });
+            continue;
+        }
         let mut value = || {
             it.next().unwrap_or_else(|| {
                 eprintln!("missing value for {flag}");
@@ -138,6 +163,13 @@ fn parse_args() -> Args {
             }
             "--pm-cache-bytes" => {
                 args.pm_cache_bytes = Some(value().parse().expect("--pm-cache-bytes"));
+            }
+            "--connections" => {
+                args.connections = value().parse().expect("--connections");
+                if args.connections == 0 {
+                    eprintln!("--connections must be at least 1");
+                    std::process::exit(2);
+                }
             }
             "--help" | "-h" => {
                 println!(
@@ -424,7 +456,9 @@ fn seek_random(db: &mut Db, args: &Args) {
     let mut total = SimDuration::ZERO;
     for _ in 0..args.reads.min(5_000) {
         let k = format!("user{:010}", dist.sample(&mut rng, args.num));
-        let (_, d) = db.scan(k.as_bytes(), None, 50).expect("scan");
+        let (_, d) = db
+            .scan(ScanRequest::new().start(k.into_bytes()).limit(50))
+            .expect("scan");
         hist.record_duration(d);
         total += d;
     }
@@ -471,8 +505,166 @@ fn index_table(args: &Args) {
     finish(rel.db(), args);
 }
 
+/// Format one latency phase of the server benchmark as a JSON object.
+fn phase_json(hist: &Histogram) -> String {
+    format!(
+        "{{\"ops\": {}, \"mean_nanos\": {:.0}, \"p50_nanos\": {}, \
+         \"p99_nanos\": {}, \"p999_nanos\": {}}}",
+        hist.count(),
+        hist.mean(),
+        hist.quantile(0.5),
+        hist.quantile(0.99),
+        hist.quantile(0.999),
+    )
+}
+
+/// The many-connection benchmark for the network service layer: `--num`
+/// puts then `--reads` zipfian gets, split across `--connections` TCP
+/// clients, each measuring *wall-clock* round-trip latency through
+/// `pm-blade-client`. With a bare `--server` the server is spawned
+/// in-process on an ephemeral loopback port and shut down (draining
+/// in-flight requests) at the end, so its telemetry counters land in
+/// the report; with `--server HOST:PORT` an already-running server is
+/// benchmarked and only client-side numbers are available. Results go
+/// to `BENCH_server.json`.
+fn server_bench(args: &Args) {
+    use pm_blade_client::Client;
+    use pm_blade_server::{Server, ServerOptions};
+
+    let (addr, server) = match args.server.as_deref() {
+        Some(addr) if !addr.is_empty() => (addr.to_string(), None),
+        _ => {
+            let db = std::sync::Arc::new(open_db(args));
+            let opts = ServerOptions::builder()
+                .addr("127.0.0.1:0")
+                .poll_interval(std::time::Duration::from_millis(5))
+                .build()
+                .expect("server options");
+            let server = Server::start(db, opts).expect("server starts");
+            (server.local_addr().to_string(), Some(server))
+        }
+    };
+    let connections = args.connections.max(1) as u64;
+    let per_conn_writes = (args.num / connections).max(1);
+    let per_conn_reads = (args.reads / connections).max(1);
+    println!(
+        "server: {} ({} connections, {} puts + {} gets each)",
+        addr, connections, per_conn_writes, per_conn_reads
+    );
+
+    let wall_start = std::time::Instant::now();
+    let results: Vec<(Histogram, Histogram)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..connections)
+            .map(|c| {
+                let addr = addr.clone();
+                let value = vec![b'n'; args.value_size];
+                let dist = KeyDistribution::zipfian(args.num, args.skew);
+                s.spawn(move || {
+                    let mut client = Client::connect(&*addr).expect("client connects");
+                    let mut writes = Histogram::new();
+                    let mut reads = Histogram::new();
+                    let mut rng = Pcg64::seeded(0x53c7 + c);
+                    for i in 0..per_conn_writes {
+                        // Disjoint stripes keep the fill collision-free.
+                        let key_id = (c * per_conn_writes + i).wrapping_mul(0x9e3779b97f4a7c15)
+                            % args.num.max(1);
+                        let k = format!("user{key_id:010}");
+                        let t = std::time::Instant::now();
+                        client.put(k.as_bytes(), &value).expect("remote put");
+                        writes.record(t.elapsed().as_nanos() as u64);
+                    }
+                    for _ in 0..per_conn_reads {
+                        let k = format!("user{:010}", dist.sample(&mut rng, args.num));
+                        let t = std::time::Instant::now();
+                        client.get(k.as_bytes()).expect("remote get");
+                        reads.record(t.elapsed().as_nanos() as u64);
+                    }
+                    (writes, reads)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall = wall_start.elapsed();
+    let mut writes = Histogram::new();
+    let mut reads = Histogram::new();
+    for (w, r) in results {
+        writes.merge(&w);
+        reads.merge(&r);
+    }
+    let total_ops = writes.count() + reads.count();
+    // These histograms hold wall nanos, so wall time is the right base
+    // for the per-phase throughput columns too.
+    let wall_sim = SimDuration::from_nanos(wall.as_nanos() as u64);
+    report("server/puts", &writes, wall_sim, writes.count());
+    report("server/gets", &reads, wall_sim, reads.count());
+    println!(
+        "{:<18} wall {:>8.2?}  {:>12.0} ops/s (wall, {} connections)",
+        "",
+        wall,
+        total_ops as f64 / wall.as_secs_f64().max(1e-12),
+        connections,
+    );
+
+    let server_json = if let Some(server) = server {
+        let db = server.shutdown();
+        let snap = db.metrics_snapshot();
+        println!(
+            "{:<18} server: {} conns  {} puts  {} gets  {} throttled  {} errors",
+            "",
+            snap.counter("server_connections_total"),
+            snap.counter("server_put_total"),
+            snap.counter("server_get_total"),
+            snap.counter("server_throttled_total"),
+            snap.counter("server_errors_total"),
+        );
+        write_metrics(&db, args);
+        format!(
+            "{{\"connections_total\": {}, \"put_total\": {}, \"get_total\": {}, \
+             \"throttled_total\": {}, \"errors_total\": {}}}",
+            snap.counter("server_connections_total"),
+            snap.counter("server_put_total"),
+            snap.counter("server_get_total"),
+            snap.counter("server_throttled_total"),
+            snap.counter("server_errors_total"),
+        )
+    } else {
+        "null".to_string()
+    };
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"server\",\n  \"mode\": \"{:?}\",\n  \
+         \"address\": \"{}\",\n  \"connections\": {},\n  \
+         \"value_size\": {},\n  \"skew\": {},\n  \
+         \"wall_seconds\": {:.6},\n  \"ops_total\": {},\n  \
+         \"throughput_ops_per_sec\": {:.0},\n  \"puts\": {},\n  \
+         \"gets\": {},\n  \"server\": {}\n}}\n",
+        args.mode,
+        addr,
+        connections,
+        args.value_size,
+        args.skew,
+        wall.as_secs_f64(),
+        total_ops,
+        total_ops as f64 / wall.as_secs_f64().max(1e-12),
+        phase_json(&writes),
+        phase_json(&reads),
+        server_json,
+    );
+    let out = std::path::Path::new("BENCH_server.json");
+    std::fs::write(out, json).unwrap_or_else(|e| {
+        eprintln!("BENCH_server.json: {e}");
+        std::process::exit(1);
+    });
+    println!("{:<18} results -> {}", "", out.display());
+}
+
 fn main() {
     let args = parse_args();
+    if args.server.is_some() {
+        server_bench(&args);
+        return;
+    }
     println!(
         "benchmark_kv: mode={:?} benchmark={} num={} value={}B skew={} \
          partitions={} pm={}MiB maintenance={:?}",

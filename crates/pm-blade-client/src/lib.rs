@@ -1,0 +1,285 @@
+//! `pm-blade-client`: a thin blocking client for `pm-blade-server`.
+//!
+//! One [`Client`] wraps one TCP connection and issues one request at a
+//! time (send frame, read response frame). Connection establishment
+//! retries with exponential backoff; all socket I/O honors a
+//! configurable timeout. Conveniences on top of the raw protocol:
+//!
+//! - [`Client::put_batch`] — many puts in one round trip via
+//!   `Request::WriteBatch`;
+//! - [`Client::scan_paged`] — a large forward scan split into
+//!   server-friendly pages, re-issued from the successor of the last
+//!   key until the range or limit is exhausted.
+//!
+//! Engine-side failures arrive as [`ClientError::Remote`] carrying the
+//! stable numeric code of `DbError::code()` plus its display message.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use pm_blade::protocol::{Request, Response, WireError};
+use pm_blade::{BatchOp, CompactionRequest, ScanRequest};
+
+/// Client-side knobs.
+#[derive(Clone, Debug)]
+pub struct ClientOptions {
+    /// Total connection attempts (1 = no retry).
+    pub connect_attempts: u32,
+    /// Backoff before the second attempt; doubles per retry.
+    pub retry_backoff: Duration,
+    /// Read/write timeout on the socket (`None` = block forever).
+    pub io_timeout: Option<Duration>,
+    /// Rows per request issued by [`Client::scan_paged`].
+    pub scan_page: usize,
+}
+
+impl Default for ClientOptions {
+    fn default() -> Self {
+        ClientOptions {
+            connect_attempts: 5,
+            retry_backoff: Duration::from_millis(20),
+            io_timeout: Some(Duration::from_secs(30)),
+            scan_page: 1_000,
+        }
+    }
+}
+
+/// Anything a client call can fail with.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed (connect, send, or receive).
+    Io(io::Error),
+    /// The peer sent bytes that do not parse as a frame/response.
+    Wire(WireError),
+    /// The engine rejected the request: `DbError::code()` + message.
+    Remote { code: u16, message: String },
+    /// The server closed the connection before responding.
+    ConnectionClosed,
+    /// The server answered with a response of the wrong shape.
+    Unexpected(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "client io: {e}"),
+            ClientError::Wire(e) => write!(f, "client wire: {e}"),
+            ClientError::Remote { code, message } => {
+                write!(f, "remote error {code}: {message}")
+            }
+            ClientError::ConnectionClosed => write!(f, "connection closed by server"),
+            ClientError::Unexpected(what) => write!(f, "unexpected response: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        match e {
+            WireError::Io(io) => ClientError::Io(io),
+            other => ClientError::Wire(other),
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// Key/value rows as returned by scans.
+pub type Rows = Vec<(Vec<u8>, Vec<u8>)>;
+
+/// One blocking connection to a `pm-blade-server`.
+pub struct Client {
+    stream: TcpStream,
+    opts: ClientOptions,
+}
+
+impl Client {
+    /// Connect with defaults.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        Client::connect_with(addr, ClientOptions::default())
+    }
+
+    /// Connect, retrying `connect_attempts` times with doubling
+    /// backoff (covers the races where the server is still binding).
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        opts: ClientOptions,
+    ) -> Result<Client, ClientError> {
+        let attempts = opts.connect_attempts.max(1);
+        let mut backoff = opts.retry_backoff;
+        let mut last_err: Option<io::Error> = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(backoff);
+                backoff = backoff.saturating_mul(2);
+            }
+            match TcpStream::connect(&addr) {
+                Ok(stream) => {
+                    stream.set_nodelay(true)?;
+                    stream.set_read_timeout(opts.io_timeout)?;
+                    stream.set_write_timeout(opts.io_timeout)?;
+                    return Ok(Client { stream, opts });
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(ClientError::Io(last_err.unwrap_or_else(|| {
+            io::Error::other("no connection attempts made")
+        })))
+    }
+
+    /// Issue one request and wait for its response. Remote engine
+    /// errors pass through as `Ok(Response::Error { .. })`; use the
+    /// typed wrappers below for automatic conversion.
+    pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        req.write(&mut self.stream)?;
+        match Response::read(&mut self.stream)? {
+            Some(resp) => Ok(resp),
+            None => Err(ClientError::ConnectionClosed),
+        }
+    }
+
+    fn call_checked(&mut self, req: &Request) -> Result<Response, ClientError> {
+        match self.call(req)? {
+            Response::Error { code, message } => Err(ClientError::Remote { code, message }),
+            other => Ok(other),
+        }
+    }
+
+    /// Round-trip liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.call_checked(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(ClientError::Unexpected(format!("{other:?} to Ping"))),
+        }
+    }
+
+    /// Write one key. Returns the engine's virtual commit latency in
+    /// nanoseconds.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) -> Result<u64, ClientError> {
+        let req = Request::Put {
+            key: key.to_vec(),
+            value: value.to_vec(),
+        };
+        self.expect_written(&req)
+    }
+
+    /// Delete one key (tombstone write).
+    pub fn delete(&mut self, key: &[u8]) -> Result<u64, ClientError> {
+        let req = Request::Delete { key: key.to_vec() };
+        self.expect_written(&req)
+    }
+
+    /// Many puts in one round trip.
+    pub fn put_batch(&mut self, pairs: &[(Vec<u8>, Vec<u8>)]) -> Result<u64, ClientError> {
+        let ops = pairs
+            .iter()
+            .map(|(key, value)| BatchOp::Put {
+                key: key.clone(),
+                value: value.clone(),
+            })
+            .collect();
+        self.write_batch(ops)
+    }
+
+    /// An arbitrary put/delete batch in one round trip.
+    pub fn write_batch(&mut self, ops: Vec<BatchOp>) -> Result<u64, ClientError> {
+        self.expect_written(&Request::WriteBatch { ops })
+    }
+
+    fn expect_written(&mut self, req: &Request) -> Result<u64, ClientError> {
+        match self.call_checked(req)? {
+            Response::Written { latency_nanos } => Ok(latency_nanos),
+            other => Err(ClientError::Unexpected(format!("{other:?} to a write"))),
+        }
+    }
+
+    /// Point read; `None` = key absent.
+    pub fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, ClientError> {
+        Ok(self.get_with_latency(key)?.0)
+    }
+
+    /// Point read plus the engine's virtual read latency in nanoseconds.
+    pub fn get_with_latency(&mut self, key: &[u8]) -> Result<(Option<Vec<u8>>, u64), ClientError> {
+        let req = Request::Get { key: key.to_vec() };
+        match self.call_checked(&req)? {
+            Response::Value {
+                value,
+                latency_nanos,
+            } => Ok((value, latency_nanos)),
+            other => Err(ClientError::Unexpected(format!("{other:?} to Get"))),
+        }
+    }
+
+    /// One scan request, one response — at most `request.limit` rows in
+    /// a single frame. For large ranges prefer [`Client::scan_paged`].
+    pub fn scan(&mut self, request: ScanRequest) -> Result<Rows, ClientError> {
+        match self.call_checked(&Request::Scan(request))? {
+            Response::Rows { rows, .. } => Ok(rows),
+            other => Err(ClientError::Unexpected(format!("{other:?} to Scan"))),
+        }
+    }
+
+    /// Forward scan split into pages of `ClientOptions::scan_page`
+    /// rows: each full page is followed up from the successor of its
+    /// last key, until the range, the overall `request.limit`, or the
+    /// data runs out. Reverse scans are issued as a single request
+    /// (paging from the tail would need an exclusive-end cursor).
+    pub fn scan_paged(&mut self, request: ScanRequest) -> Result<Rows, ClientError> {
+        if request.reverse {
+            return self.scan(request);
+        }
+        let page = self.opts.scan_page.max(1);
+        let mut out: Rows = Vec::new();
+        let mut cursor = request.start.clone();
+        loop {
+            let remaining = request.limit - out.len();
+            if remaining == 0 {
+                break;
+            }
+            let page_req = ScanRequest {
+                start: cursor.clone(),
+                end: request.end.clone(),
+                limit: page.min(remaining),
+                reverse: false,
+            };
+            let want = page_req.limit;
+            let rows = self.scan(page_req)?;
+            let full_page = rows.len() == want;
+            let last_key = rows.last().map(|(k, _)| k.clone());
+            out.extend(rows);
+            if !full_page {
+                break;
+            }
+            // Successor of the last key: smallest key strictly greater.
+            let mut next = last_key.expect("full page has a last row");
+            next.push(0x00);
+            cursor = next;
+        }
+        Ok(out)
+    }
+
+    /// Run a compaction on the server.
+    pub fn compact(&mut self, request: CompactionRequest) -> Result<(), ClientError> {
+        match self.call_checked(&Request::Compact(request))? {
+            Response::Compacted => Ok(()),
+            other => Err(ClientError::Unexpected(format!("{other:?} to Compact"))),
+        }
+    }
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client")
+            .field("peer", &self.stream.peer_addr().ok())
+            .field("opts", &self.opts)
+            .finish()
+    }
+}

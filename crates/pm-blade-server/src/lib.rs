@@ -1,0 +1,509 @@
+//! `pm-blade-server`: the network service layer over a [`Db`].
+//!
+//! One accept loop hands each TCP connection to its own handler thread,
+//! which speaks the length-prefixed, CRC-framed protocol of
+//! [`pm_blade::protocol`]. Requests on one connection are processed in
+//! order, so clients may pipeline: send several frames, then read the
+//! responses back in sequence.
+//!
+//! Operational behavior:
+//!
+//! - **Rate limiting** — each connection owns a token bucket
+//!   ([`rate_limit::TokenBucket`]); a hot client is *slowed down*
+//!   (handler sleeps until a token accrues, counted in
+//!   `server_throttled_total`), never errored.
+//! - **Graceful shutdown** — [`Server::shutdown`] stops the accept
+//!   loop, lets every handler finish its in-flight request and drain
+//!   frames the client already sent, joins all threads, and finally
+//!   runs [`Db::close`] so background maintenance lands. No acked
+//!   write is ever lost.
+//! - **Observability** — every operation is wired into the engine's
+//!   [`MetricsRegistry`]: per-op counters (`server_get_total`, …) and
+//!   wall-clock latency histograms (`server_get_latency`, …), plus
+//!   `server_active_connections` / `server_connections_total` /
+//!   `server_throttled_total` / `server_errors_total`. An optional
+//!   HTTP listener serves the whole registry in Prometheus text
+//!   format at `/metrics`.
+
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use pm_blade::protocol::{Request, Response, WireError};
+use pm_blade::telemetry::{Gauge, LatencyRecorder, MetricsRegistry};
+use pm_blade::{Db, DbError, MetricKey, WriteBatch};
+use sim::Counter;
+
+pub mod rate_limit;
+
+use rate_limit::TokenBucket;
+
+/// Knobs for one [`Server`]. Build with [`ServerOptions::builder`],
+/// which validates the combination (mirroring the engine's
+/// `OptionsBuilder`).
+#[derive(Clone, Debug)]
+pub struct ServerOptions {
+    /// Bind address for the KV protocol, e.g. `"127.0.0.1:0"` (port 0
+    /// picks an ephemeral port, reported by [`Server::local_addr`]).
+    pub addr: String,
+    /// Maximum concurrent connections; excess connections are closed
+    /// immediately (counted in `server_conn_rejected_total`).
+    pub max_connections: usize,
+    /// Per-client rate limit in requests/second (`None` = unlimited).
+    pub rate_limit_ops_per_sec: Option<u64>,
+    /// Token-bucket burst size for the rate limiter.
+    pub rate_limit_burst: u64,
+    /// Idle-read timeout; also the shutdown-poll period. Handlers wake
+    /// at this cadence to check for shutdown.
+    pub poll_interval: Duration,
+    /// Optional bind address for the HTTP `/metrics` endpoint.
+    pub metrics_addr: Option<String>,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            addr: "127.0.0.1:0".into(),
+            max_connections: 1024,
+            rate_limit_ops_per_sec: None,
+            rate_limit_burst: 64,
+            poll_interval: Duration::from_millis(50),
+            metrics_addr: None,
+        }
+    }
+}
+
+impl ServerOptions {
+    pub fn builder() -> ServerOptionsBuilder {
+        ServerOptionsBuilder {
+            opts: ServerOptions::default(),
+        }
+    }
+}
+
+/// Consuming builder; `build()` rejects inconsistent settings with
+/// [`DbError::Config`] diagnostics.
+#[derive(Debug)]
+pub struct ServerOptionsBuilder {
+    opts: ServerOptions,
+}
+
+impl ServerOptionsBuilder {
+    pub fn addr(mut self, addr: impl Into<String>) -> Self {
+        self.opts.addr = addr.into();
+        self
+    }
+
+    pub fn max_connections(mut self, n: usize) -> Self {
+        self.opts.max_connections = n;
+        self
+    }
+
+    pub fn rate_limit_ops_per_sec(mut self, rate: u64) -> Self {
+        self.opts.rate_limit_ops_per_sec = Some(rate);
+        self
+    }
+
+    pub fn rate_limit_burst(mut self, burst: u64) -> Self {
+        self.opts.rate_limit_burst = burst;
+        self
+    }
+
+    pub fn poll_interval(mut self, interval: Duration) -> Self {
+        self.opts.poll_interval = interval;
+        self
+    }
+
+    pub fn metrics_addr(mut self, addr: impl Into<String>) -> Self {
+        self.opts.metrics_addr = Some(addr.into());
+        self
+    }
+
+    pub fn build(self) -> Result<ServerOptions, DbError> {
+        let o = &self.opts;
+        if o.addr.is_empty() {
+            return Err(DbError::Config("server addr must not be empty".into()));
+        }
+        if o.max_connections == 0 {
+            return Err(DbError::Config("max_connections must be at least 1".into()));
+        }
+        if o.rate_limit_ops_per_sec == Some(0) {
+            return Err(DbError::Config(
+                "rate_limit_ops_per_sec must be nonzero (omit it for unlimited)".into(),
+            ));
+        }
+        if o.rate_limit_burst == 0 {
+            return Err(DbError::Config(
+                "rate_limit_burst must be at least 1".into(),
+            ));
+        }
+        if o.poll_interval.is_zero() {
+            return Err(DbError::Config("poll_interval must be nonzero".into()));
+        }
+        Ok(self.opts)
+    }
+}
+
+/// Handles to the server's metrics, fetched once at startup so the hot
+/// path never touches the registry locks (the engine's own idiom).
+struct ServerMetrics {
+    connections_total: Arc<Counter>,
+    conn_rejected_total: Arc<Counter>,
+    active_connections: Arc<Gauge>,
+    throttled_total: Arc<Counter>,
+    errors_total: Arc<Counter>,
+    ops: [OpMetrics; 7],
+}
+
+struct OpMetrics {
+    total: Arc<Counter>,
+    latency: Arc<LatencyRecorder>,
+}
+
+/// Index into `ServerMetrics::ops`, in `Request` variant order.
+fn op_index(req: &Request) -> usize {
+    match req {
+        Request::Ping => 0,
+        Request::Put { .. } => 1,
+        Request::Delete { .. } => 2,
+        Request::WriteBatch { .. } => 3,
+        Request::Get { .. } => 4,
+        Request::Scan(_) => 5,
+        Request::Compact(_) => 6,
+    }
+}
+
+impl ServerMetrics {
+    fn new(registry: &MetricsRegistry) -> Self {
+        let op = |total: &'static str, latency: &'static str| OpMetrics {
+            total: registry.counter(MetricKey::global(total)),
+            latency: registry.histogram(MetricKey::global(latency)),
+        };
+        ServerMetrics {
+            connections_total: registry.counter(MetricKey::global("server_connections_total")),
+            conn_rejected_total: registry.counter(MetricKey::global("server_conn_rejected_total")),
+            active_connections: registry.gauge(MetricKey::global("server_active_connections")),
+            throttled_total: registry.counter(MetricKey::global("server_throttled_total")),
+            errors_total: registry.counter(MetricKey::global("server_errors_total")),
+            ops: [
+                op("server_ping_total", "server_ping_latency"),
+                op("server_put_total", "server_put_latency"),
+                op("server_delete_total", "server_delete_latency"),
+                op("server_write_batch_total", "server_write_batch_latency"),
+                op("server_get_total", "server_get_latency"),
+                op("server_scan_total", "server_scan_latency"),
+                op("server_compact_total", "server_compact_latency"),
+            ],
+        }
+    }
+}
+
+struct Shared {
+    db: Arc<Db>,
+    opts: ServerOptions,
+    shutdown: AtomicBool,
+    active: AtomicI64,
+    metrics: ServerMetrics,
+    handlers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A running server. Dropping it without calling [`Server::shutdown`]
+/// leaks the listener threads; call `shutdown()` for an orderly exit.
+pub struct Server {
+    local_addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+    metrics_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind and start serving `db` per `opts`.
+    pub fn start(db: Arc<Db>, opts: ServerOptions) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&opts.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let metrics_listener = match &opts.metrics_addr {
+            Some(addr) => {
+                let l = TcpListener::bind(addr)?;
+                l.set_nonblocking(true)?;
+                Some(l)
+            }
+            None => None,
+        };
+        let metrics_addr = metrics_listener
+            .as_ref()
+            .map(|l| l.local_addr())
+            .transpose()?;
+
+        let metrics = ServerMetrics::new(db.metrics());
+        let shared = Arc::new(Shared {
+            db,
+            opts,
+            shutdown: AtomicBool::new(false),
+            active: AtomicI64::new(0),
+            metrics,
+            handlers: Mutex::new(Vec::new()),
+        });
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("pmblade-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))?;
+
+        let metrics_thread = match metrics_listener {
+            Some(l) => {
+                let s = Arc::clone(&shared);
+                Some(
+                    std::thread::Builder::new()
+                        .name("pmblade-metrics".into())
+                        .spawn(move || metrics_loop(l, s))?,
+                )
+            }
+            None => None,
+        };
+
+        Ok(Server {
+            local_addr,
+            metrics_addr,
+            shared,
+            accept_thread: Some(accept_thread),
+            metrics_thread: Some(metrics_thread).flatten(),
+        })
+    }
+
+    /// The bound KV-protocol address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The bound `/metrics` address, when one was configured.
+    pub fn metrics_local_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
+    }
+
+    /// Currently-open client connections.
+    pub fn active_connections(&self) -> i64 {
+        self.shared.active.load(Ordering::Relaxed)
+    }
+
+    /// Graceful shutdown: stop accepting, let every handler finish its
+    /// in-flight request and drain frames already queued on its socket,
+    /// join all threads, then run [`Db::close`] to land background
+    /// maintenance. Returns the engine handle for post-shutdown
+    /// inspection.
+    pub fn shutdown(mut self) -> Arc<Db> {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.metrics_thread.take() {
+            let _ = t.join();
+        }
+        loop {
+            let Some(h) = self.shared.handlers.lock().pop() else {
+                break;
+            };
+            let _ = h.join();
+        }
+        self.shared.db.close();
+        Arc::clone(&self.shared.db)
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                shared.metrics.connections_total.incr();
+                let active = shared.active.load(Ordering::Relaxed);
+                if active >= shared.opts.max_connections as i64 {
+                    shared.metrics.conn_rejected_total.incr();
+                    drop(stream);
+                    continue;
+                }
+                let n = shared.active.fetch_add(1, Ordering::Relaxed) + 1;
+                shared.metrics.active_connections.set(n);
+                let conn_shared = Arc::clone(&shared);
+                let handle = std::thread::Builder::new()
+                    .name("pmblade-conn".into())
+                    .spawn(move || {
+                        handle_connection(stream, &conn_shared);
+                        let n = conn_shared.active.fetch_sub(1, Ordering::Relaxed) - 1;
+                        conn_shared.metrics.active_connections.set(n);
+                    });
+                match handle {
+                    Ok(h) => shared.handlers.lock().push(h),
+                    Err(_) => {
+                        let n = shared.active.fetch_sub(1, Ordering::Relaxed) - 1;
+                        shared.metrics.active_connections.set(n);
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(shared.opts.poll_interval);
+            }
+            Err(_) => std::thread::sleep(shared.opts.poll_interval),
+        }
+    }
+}
+
+/// Serve one connection until the client hangs up, the stream breaks,
+/// or shutdown drains it.
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.opts.poll_interval));
+    let mut reader = match stream.try_clone() {
+        Ok(r) => r,
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    let mut bucket = shared
+        .opts
+        .rate_limit_ops_per_sec
+        .map(|rate| TokenBucket::new(rate, shared.opts.rate_limit_burst));
+    // Once the shutdown flag is seen, frames the client has already
+    // sent are still served (with a much shorter idle window); the
+    // first quiet moment afterwards closes the connection.
+    let mut draining = false;
+    loop {
+        if !draining && shared.shutdown.load(Ordering::SeqCst) {
+            draining = true;
+            let _ = reader.set_read_timeout(Some(Duration::from_millis(5)));
+        }
+        match Request::read(&mut reader) {
+            Ok(Some(req)) => {
+                if let Some(bucket) = bucket.as_mut() {
+                    let waited = bucket.acquire();
+                    if waited > Duration::ZERO {
+                        shared.metrics.throttled_total.incr();
+                    }
+                }
+                let idx = op_index(&req);
+                let started = Instant::now();
+                let resp = dispatch(&shared.db, req);
+                let m = &shared.metrics.ops[idx];
+                m.total.incr();
+                m.latency.record_nanos(started.elapsed().as_nanos() as u64);
+                if matches!(resp, Response::Error { .. }) {
+                    shared.metrics.errors_total.incr();
+                }
+                if resp.write(&mut writer).is_err() || writer.flush().is_err() {
+                    return;
+                }
+            }
+            Ok(None) => return, // clean EOF at a frame boundary
+            Err(e) if e.is_idle_timeout() => {
+                if draining {
+                    return;
+                }
+            }
+            Err(WireError::Corrupt(msg)) => {
+                // Frame sync is lost; report once and hang up.
+                shared.metrics.errors_total.incr();
+                let _ = Response::Error {
+                    code: 0,
+                    message: format!("corrupt frame: {msg}"),
+                }
+                .write(&mut writer);
+                return;
+            }
+            Err(WireError::TooLarge(len)) => {
+                shared.metrics.errors_total.incr();
+                let _ = Response::Error {
+                    code: 0,
+                    message: format!("frame too large: {len} bytes"),
+                }
+                .write(&mut writer);
+                return;
+            }
+            Err(WireError::Io(_)) => return,
+        }
+    }
+}
+
+/// Map one request onto the engine. Engine failures become
+/// [`Response::Error`] with the stable [`DbError::code`].
+fn dispatch(db: &Db, req: Request) -> Response {
+    let result = match req {
+        Request::Ping => return Response::Pong,
+        Request::Put { key, value } => db.put(&key, &value).map(written),
+        Request::Delete { key } => db.delete(&key).map(written),
+        Request::WriteBatch { ops } => {
+            let mut batch = WriteBatch::new();
+            for op in ops {
+                match op {
+                    pm_blade::BatchOp::Put { key, value } => {
+                        batch.put(key, value);
+                    }
+                    pm_blade::BatchOp::Delete { key } => {
+                        batch.delete(key);
+                    }
+                }
+            }
+            db.write_batch(batch).map(written)
+        }
+        Request::Get { key } => db.get(&key).map(|out| Response::Value {
+            value: out.value,
+            latency_nanos: out.latency.as_nanos(),
+        }),
+        Request::Scan(scan) => db.scan(scan).map(|(rows, latency)| Response::Rows {
+            rows,
+            latency_nanos: latency.as_nanos(),
+        }),
+        Request::Compact(c) => db.compact(c).map(|()| Response::Compacted),
+    };
+    result.unwrap_or_else(|e| Response::from_db_error(&e))
+}
+
+fn written(latency: pm_blade::SimDuration) -> Response {
+    Response::Written {
+        latency_nanos: latency.as_nanos(),
+    }
+}
+
+// --- /metrics HTTP endpoint ------------------------------------------
+
+fn metrics_loop(listener: TcpListener, shared: Arc<Shared>) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => serve_metrics_once(stream, &shared),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(shared.opts.poll_interval);
+            }
+            Err(_) => std::thread::sleep(shared.opts.poll_interval),
+        }
+    }
+}
+
+/// Minimal one-shot HTTP/1.1: read the request line, answer, close.
+fn serve_metrics_once(mut stream: TcpStream, shared: &Shared) {
+    use std::io::Read as _;
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let mut buf = [0u8; 1024];
+    let mut line = Vec::new();
+    // Read until the end of the request line; headers are irrelevant.
+    while !line.contains(&b'\n') && line.len() < 4096 {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => line.extend_from_slice(&buf[..n]),
+            Err(_) => break,
+        }
+    }
+    let request_line = line.split(|&b| b == b'\n').next().unwrap_or(&[]);
+    let (status, body) = if request_line.starts_with(b"GET /metrics") {
+        ("200 OK", shared.db.metrics_snapshot().to_prometheus())
+    } else {
+        ("404 Not Found", "only /metrics lives here\n".to_string())
+    };
+    let _ = write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.flush();
+}

@@ -39,6 +39,7 @@ use encoding::key::{KeyKind, SequenceNumber};
 use memtable::{Wal, WalRecord};
 use parking_lot::{Mutex, RwLock};
 use pm_device::{PmError, PmPool};
+use pmtable::OwnedEntry;
 use sim::{SimDuration, SimInstant, Timeline};
 use ssd_device::{SsdDevice, SsdError};
 use sstable::BlockCache;
@@ -65,6 +66,10 @@ use crate::telemetry::{
 ///
 /// Marked `#[non_exhaustive]`: new failure classes may be added without
 /// a breaking change, so downstream matches need a wildcard arm.
+///
+/// Every variant carries a stable numeric code ([`DbError::code`]) so
+/// the wire protocol can ship errors across a connection without
+/// stringly matching; see DESIGN.md ("Error codes") for the table.
 #[derive(Debug)]
 #[non_exhaustive]
 pub enum DbError {
@@ -78,6 +83,41 @@ pub enum DbError {
     /// A group commit failed; the string carries the leader's error for
     /// every follower in the group.
     Commit(String),
+    /// The operation is valid but this build does not implement it
+    /// (e.g. a protocol feature ahead of the engine).
+    Unsupported(String),
+}
+
+impl DbError {
+    /// Stable numeric code for this error class. Codes are append-only:
+    /// a code, once assigned, never changes meaning, so clients may
+    /// match on the number across releases.
+    ///
+    /// | code | variant       |
+    /// |------|---------------|
+    /// | 1    | `Pm`          |
+    /// | 2    | `Ssd`         |
+    /// | 3    | `Table`       |
+    /// | 4    | `Wal`         |
+    /// | 5    | `Corrupt`     |
+    /// | 6    | `Config`      |
+    /// | 7    | `Commit`      |
+    /// | 8    | `Unsupported` |
+    ///
+    /// Code 0 is reserved for "unknown" (an error shipped by a newer
+    /// engine that this build cannot classify).
+    pub fn code(&self) -> u16 {
+        match self {
+            DbError::Pm(_) => 1,
+            DbError::Ssd(_) => 2,
+            DbError::Table(_) => 3,
+            DbError::Wal(_) => 4,
+            DbError::Corrupt(_) => 5,
+            DbError::Config(_) => 6,
+            DbError::Commit(_) => 7,
+            DbError::Unsupported(_) => 8,
+        }
+    }
 }
 
 impl std::fmt::Display for DbError {
@@ -90,6 +130,7 @@ impl std::fmt::Display for DbError {
             DbError::Corrupt(msg) => write!(f, "corrupt: {msg}"),
             DbError::Config(msg) => write!(f, "config: {msg}"),
             DbError::Commit(msg) => write!(f, "commit: {msg}"),
+            DbError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
         }
     }
 }
@@ -122,6 +163,82 @@ impl From<memtable::WalError> for DbError {
 
 /// Rows plus virtual latency from a range scan.
 pub type ScanResult = (Vec<(Vec<u8>, Vec<u8>)>, SimDuration);
+
+/// A range-scan description, consumed by [`DbCore::scan`] and shipped
+/// verbatim by the wire protocol's `Request::Scan`.
+///
+/// Built fluently; the default is "everything, forward":
+///
+/// ```
+/// use pm_blade::ScanRequest;
+/// let req = ScanRequest::new()
+///     .start("order:000100")
+///     .end("order:000200")
+///     .limit(50);
+/// assert_eq!(req.limit, 50);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScanRequest {
+    /// Inclusive lower bound (empty = from the start of the keyspace).
+    pub start: Vec<u8>,
+    /// Exclusive upper bound; `None` scans to the end of the keyspace.
+    pub end: Option<Vec<u8>>,
+    /// Maximum live rows returned.
+    pub limit: usize,
+    /// Return rows in descending key order. The bounds keep their
+    /// meaning (`[start, end)`); only the result order and the
+    /// truncation side change — a reverse scan keeps the *largest*
+    /// `limit` keys of the range.
+    pub reverse: bool,
+}
+
+impl Default for ScanRequest {
+    fn default() -> Self {
+        ScanRequest {
+            start: Vec::new(),
+            end: None,
+            limit: usize::MAX,
+            reverse: false,
+        }
+    }
+}
+
+impl ScanRequest {
+    pub fn new() -> Self {
+        ScanRequest::default()
+    }
+
+    /// Inclusive lower bound.
+    pub fn start(mut self, start: impl Into<Vec<u8>>) -> Self {
+        self.start = start.into();
+        self
+    }
+
+    /// Exclusive upper bound.
+    pub fn end(mut self, end: impl Into<Vec<u8>>) -> Self {
+        self.end = Some(end.into());
+        self
+    }
+
+    /// Exclusive upper bound as an `Option` (for callers threading one
+    /// through, e.g. the deprecated positional shim).
+    pub fn end_bound(mut self, end: Option<Vec<u8>>) -> Self {
+        self.end = end;
+        self
+    }
+
+    /// Maximum live rows returned.
+    pub fn limit(mut self, limit: usize) -> Self {
+        self.limit = limit;
+        self
+    }
+
+    /// Descending key order.
+    pub fn reverse(mut self, reverse: bool) -> Self {
+        self.reverse = reverse;
+        self
+    }
+}
 
 /// Result of a point read.
 ///
@@ -1226,83 +1343,133 @@ impl DbCore {
         }
     }
 
-    /// Range scan over `[start, end)`, at most `limit` live entries.
-    /// Returns the live `(key, value)` rows plus the scan's virtual
-    /// latency. Each partition is read under its lock; the scan as a
-    /// whole is not a point-in-time snapshot across partitions.
-    pub fn scan(
-        &self,
-        start: &[u8],
-        end: Option<&[u8]>,
-        limit: usize,
-    ) -> Result<ScanResult, DbError> {
+    /// Range scan described by a [`ScanRequest`]: the live
+    /// `(key, value)` rows of `[start, end)` — at most `limit`,
+    /// largest-first when `reverse` — plus the scan's virtual latency.
+    /// Each partition is read under its lock; the scan as a whole is
+    /// not a point-in-time snapshot across partitions.
+    pub fn scan(&self, request: ScanRequest) -> Result<ScanResult, DbError> {
         let mut tl = Timeline::new();
         self.stats.scans.incr();
+        let start = request.start.as_slice();
+        let end = request.end.as_deref();
+        let limit = request.limit;
         let first_pid = self.opts.partitioner.locate(start);
         let last_pid = end
             .map(|e| self.opts.partitioner.locate(e))
             .unwrap_or(self.partitions.len() - 1);
         let mut out = Vec::new();
-        for pid in first_pid..=last_pid {
-            let partition = self.partitions[pid].read();
-            partition.counters.reads.incr();
-            self.read_metrics[pid].reads.incr();
-            let remaining = limit - out.len();
-            // Per-source limits count raw entries, but shadowed versions
-            // and tombstones are dropped by the merge — so a truncated
-            // source can starve the result. Over-fetch adaptively until
-            // either enough live rows surface or every source is
-            // exhausted; only the successful pass is charged (an
-            // iterator-based scan would make exactly one).
-            let mut per_source = remaining.max(1);
-            let merged = loop {
-                let mut attempt = Timeline::new();
-                let sources = partition.scan_sources(start, end, per_source, &mut attempt);
-                // Merged results are only complete up to the smallest
-                // last key among truncated sources (beyond it, a
-                // truncated source may be hiding smaller keys than what
-                // other sources contributed).
-                let mut bound: Option<Vec<u8>> = None;
-                for s in &sources {
-                    if s.len() >= per_source {
-                        if let Some(last) = s.last() {
-                            let k = last.user_key.clone();
-                            bound = Some(match bound.take() {
-                                Some(b) if b <= k => b,
-                                _ => k,
-                            });
-                        }
-                    }
-                }
-                let mut merged =
-                    crate::handle::merge_dedup(sources, false, &self.opts.cost, &mut attempt);
-                if let Some(b) = &bound {
-                    merged.retain(|e| e.user_key.as_slice() <= b.as_slice());
-                }
-                let live = merged.iter().filter(|e| e.kind == KeyKind::Value).count();
-                if live >= remaining || bound.is_none() || per_source >= usize::MAX / 8 {
-                    tl.charge(attempt.elapsed());
-                    break merged;
-                }
-                per_source *= 4;
-            };
-            drop(partition);
-            for entry in merged {
+        if request.reverse {
+            // Reverse scans walk partitions back to front and consume
+            // each partition's slice from the tail. Truncated sources
+            // cut from the *front* of a range, so the slice must be
+            // collected in full before the tail is meaningful — correct
+            // for any range, efficient only for bounded ones.
+            for pid in (first_pid..=last_pid).rev() {
                 if out.len() >= limit {
                     break;
                 }
-                if entry.kind == KeyKind::Value {
-                    out.push((entry.user_key, entry.value));
+                let merged = self.scan_partition(pid, start, end, usize::MAX, &mut tl);
+                for entry in merged.into_iter().rev() {
+                    if out.len() >= limit {
+                        break;
+                    }
+                    if entry.kind == KeyKind::Value {
+                        out.push((entry.user_key, entry.value));
+                    }
                 }
             }
-            if out.len() >= limit {
-                break;
+        } else {
+            for pid in first_pid..=last_pid {
+                let merged = self.scan_partition(pid, start, end, limit - out.len(), &mut tl);
+                for entry in merged {
+                    if out.len() >= limit {
+                        break;
+                    }
+                    if entry.kind == KeyKind::Value {
+                        out.push((entry.user_key, entry.value));
+                    }
+                }
+                if out.len() >= limit {
+                    break;
+                }
             }
         }
         let latency = tl.elapsed();
         self.advance(latency);
         self.lat_scans.record(latency);
         Ok((out, latency))
+    }
+
+    /// Positional scan signature, kept for one release.
+    #[deprecated(note = "build a `ScanRequest` (start/end/limit/reverse) and call `scan`")]
+    pub fn scan_range(
+        &self,
+        start: &[u8],
+        end: Option<&[u8]>,
+        limit: usize,
+    ) -> Result<ScanResult, DbError> {
+        self.scan(ScanRequest {
+            start: start.to_vec(),
+            end: end.map(<[u8]>::to_vec),
+            limit,
+            reverse: false,
+        })
+    }
+
+    /// One partition's merged, version-deduplicated slice of
+    /// `[start, end)`, containing at least `needed` live entries when
+    /// the partition holds that many (tombstones ride along for the
+    /// caller to filter).
+    fn scan_partition(
+        &self,
+        pid: usize,
+        start: &[u8],
+        end: Option<&[u8]>,
+        needed: usize,
+        tl: &mut Timeline,
+    ) -> Vec<OwnedEntry> {
+        let partition = self.partitions[pid].read();
+        partition.counters.reads.incr();
+        self.read_metrics[pid].reads.incr();
+        // Per-source limits count raw entries, but shadowed versions
+        // and tombstones are dropped by the merge — so a truncated
+        // source can starve the result. Over-fetch adaptively until
+        // either enough live rows surface or every source is
+        // exhausted; only the successful pass is charged (an
+        // iterator-based scan would make exactly one).
+        let mut per_source = needed.max(1);
+        loop {
+            let mut attempt = Timeline::new();
+            let sources = partition.scan_sources(start, end, per_source, &mut attempt);
+            // Merged results are only complete up to the smallest
+            // last key among truncated sources (beyond it, a
+            // truncated source may be hiding smaller keys than what
+            // other sources contributed).
+            let mut bound: Option<Vec<u8>> = None;
+            for s in &sources {
+                if s.len() >= per_source {
+                    if let Some(last) = s.last() {
+                        let k = last.user_key.clone();
+                        bound = Some(match bound.take() {
+                            Some(b) if b <= k => b,
+                            _ => k,
+                        });
+                    }
+                }
+            }
+            let mut merged =
+                crate::handle::merge_dedup(sources, false, &self.opts.cost, &mut attempt);
+            if let Some(b) = &bound {
+                merged.retain(|e| e.user_key.as_slice() <= b.as_slice());
+            }
+            let live = merged.iter().filter(|e| e.kind == KeyKind::Value).count();
+            if live >= needed || bound.is_none() || per_source >= usize::MAX / 8 {
+                tl.charge(attempt.elapsed());
+                return merged;
+            }
+            per_source *= 4;
+        }
     }
 
     // ---------------------------------------------------------------
@@ -1313,6 +1480,17 @@ impl DbCore {
     /// manually-triggered compaction; the engine calls the same internal
     /// paths from its automatic triggers.
     pub fn compact(&self, request: CompactionRequest) -> Result<(), DbError> {
+        if let CompactionRequest::Flush { partition }
+        | CompactionRequest::Internal { partition }
+        | CompactionRequest::Major { partition } = request
+        {
+            if partition >= self.partitions.len() {
+                return Err(DbError::Config(format!(
+                    "partition {partition} out of range ({} partitions)",
+                    self.partitions.len()
+                )));
+            }
+        }
         match request {
             CompactionRequest::Flush { partition } => self.do_flush(partition),
             CompactionRequest::FlushAll => {
@@ -1325,37 +1503,6 @@ impl DbCore {
             CompactionRequest::Major { partition } => self.do_major(partition),
             CompactionRequest::MajorWithRetention => self.do_retention(),
         }
-    }
-
-    /// Freeze + flush one partition's memtable, then apply the
-    /// compaction strategy.
-    #[deprecated(note = "use `compact(CompactionRequest::Flush { partition })`")]
-    pub fn flush_partition(&self, pid: usize) -> Result<(), DbError> {
-        self.do_flush(pid)
-    }
-
-    /// Flush every partition (shutdown / bench boundary).
-    #[deprecated(note = "use `compact(CompactionRequest::FlushAll)`")]
-    pub fn flush_all(&self) -> Result<(), DbError> {
-        self.compact(CompactionRequest::FlushAll)
-    }
-
-    /// Run an internal compaction on one partition now.
-    #[deprecated(note = "use `compact(CompactionRequest::Internal { partition })`")]
-    pub fn run_internal_compaction(&self, pid: usize) -> Result<(), DbError> {
-        self.do_internal(pid, None)
-    }
-
-    /// Major-compact one partition (its whole level-0 into level-1).
-    #[deprecated(note = "use `compact(CompactionRequest::Major { partition })`")]
-    pub fn run_major_compaction(&self, pid: usize) -> Result<(), DbError> {
-        self.do_major(pid)
-    }
-
-    /// Eq 3 retention pass.
-    #[deprecated(note = "use `compact(CompactionRequest::MajorWithRetention)`")]
-    pub fn run_major_with_retention(&self) -> Result<(), DbError> {
-        self.do_retention()
     }
 
     fn do_flush(&self, pid: usize) -> Result<(), DbError> {
@@ -1981,7 +2128,9 @@ mod tests {
         // Overwrite a few in the memtable.
         db.put(b"a0010", b"new").unwrap();
         db.delete(b"a0011").unwrap();
-        let (items, latency) = db.scan(b"a0005", Some(b"a0015"), 100).unwrap();
+        let (items, latency) = db
+            .scan(ScanRequest::new().start("a0005").end("a0015").limit(100))
+            .unwrap();
         let keys: Vec<String> = items
             .iter()
             .map(|(k, _)| String::from_utf8(k.clone()).unwrap())
@@ -2004,8 +2153,15 @@ mod tests {
         for i in 0..100 {
             db.put(format!("s{:04}", i).as_bytes(), b"v").unwrap();
         }
-        let (items, _) = db.scan(b"s", None, 7).unwrap();
+        let (items, _) = db.scan(ScanRequest::new().start("s").limit(7)).unwrap();
         assert_eq!(items.len(), 7);
+        // Reverse scans return the largest keys first.
+        let (rev, _) = db
+            .scan(ScanRequest::new().start("s").limit(7).reverse(true))
+            .unwrap();
+        assert_eq!(rev.len(), 7);
+        assert_eq!(rev[0].0, b"s0099".to_vec());
+        assert!(rev.windows(2).all(|w| w[0].0 > w[1].0));
     }
 
     #[test]
@@ -2018,7 +2174,14 @@ mod tests {
         assert!(db.get(b"key00000100").unwrap().value.is_some());
         assert!(db.get(b"key00000900").unwrap().value.is_some());
         // Scan spanning the boundary.
-        let (items, _) = db.scan(b"key00000490", Some(b"key00000510"), 100).unwrap();
+        let (items, _) = db
+            .scan(
+                ScanRequest::new()
+                    .start("key00000490")
+                    .end("key00000510")
+                    .limit(100),
+            )
+            .unwrap();
         assert_eq!(items.len(), 20);
     }
 
@@ -2034,21 +2197,6 @@ mod tests {
         assert!(wa.pm_bytes > 0, "flushes write PM");
         // Amplification factor must exceed 1 once compactions happened.
         assert!(wa.factor() >= 1.0, "{wa:?}");
-    }
-
-    #[test]
-    fn deprecated_compaction_names_still_work() {
-        let db = Db::open(small_opts(Mode::PmBlade)).unwrap();
-        fill(&db, 200, 64, "d");
-        #[allow(deprecated)]
-        {
-            db.flush_all().unwrap();
-            db.flush_partition(0).unwrap();
-            db.run_internal_compaction(0).unwrap();
-            db.run_major_compaction(0).unwrap();
-            db.run_major_with_retention().unwrap();
-        }
-        assert!(db.get(b"key00000100").unwrap().value.is_some());
     }
 
     #[test]
@@ -2117,7 +2265,13 @@ mod tests {
             let k = format!("key{:08}", i);
             db.get(k.as_bytes()).unwrap();
         }
-        db.scan(b"key00000100", Some(b"key00000200"), 50).unwrap();
+        db.scan(
+            ScanRequest::new()
+                .start("key00000100")
+                .end("key00000200")
+                .limit(50),
+        )
+        .unwrap();
         let snap = db.metrics_snapshot();
         // Global counters absorbed from EngineStats.
         assert_eq!(snap.counter("puts"), 2000);
@@ -2154,7 +2308,7 @@ mod tests {
         let db = Db::open(small_opts(Mode::PmBlade)).unwrap();
         db.put(b"k", b"v").unwrap();
         db.get(b"k").unwrap();
-        db.scan(b"a", None, 10).unwrap();
+        db.scan(ScanRequest::new().start("a").limit(10)).unwrap();
         let lat = db.latency_stats();
         assert_eq!(lat.writes.count(), 1);
         assert_eq!(lat.reads.count(), 1);

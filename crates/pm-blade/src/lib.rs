@@ -33,17 +33,20 @@ pub mod maintenance;
 pub mod matrix;
 pub mod options;
 pub mod partition;
+pub mod protocol;
 pub mod relational;
 pub mod stats;
 pub mod telemetry;
 
 pub use commit::{BatchOp, WriteBatch};
 pub use engine::{
-    CompactionEvent, CompactionKind, CompactionRequest, Db, DbCore, DbError, ReadOutcome, WriteAmp,
+    CompactionEvent, CompactionKind, CompactionRequest, Db, DbCore, DbError, ReadOutcome,
+    ScanRequest, WriteAmp,
 };
 pub use groupcache::PmGroupCache;
 pub use level0::PmL0Snapshot;
 pub use options::{MaintenanceMode, Mode, Options, OptionsBuilder, Partitioner};
+pub use protocol::{Request, Response, WireError};
 pub use relational::{Relational, TableDef};
 pub use stats::{EngineStats, LatencyStats, ReadSource};
 pub use telemetry::{

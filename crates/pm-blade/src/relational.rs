@@ -17,7 +17,7 @@
 use sim::SimDuration;
 
 use crate::commit::WriteBatch;
-use crate::engine::{Db, DbError};
+use crate::engine::{Db, DbError, ScanRequest};
 
 /// Schema of one logical table.
 #[derive(Clone, Debug)]
@@ -110,12 +110,6 @@ impl Relational {
         &self.db
     }
 
-    /// Mutable access to the underlying engine.
-    #[deprecated(note = "every `Db` operation now takes `&self`; use `db()`")]
-    pub fn db_mut(&mut self) -> &mut Db {
-        &mut self.db
-    }
-
     pub fn tables(&self) -> &[TableDef] {
         &self.tables
     }
@@ -192,7 +186,9 @@ impl Relational {
         // index entries.
         let mut end = prefix.clone();
         *end.last_mut().expect("prefix nonempty") = 0x02;
-        let (hits, mut total) = self.db.scan(&prefix, Some(&end), limit)?;
+        let (hits, mut total) = self
+            .db
+            .scan(ScanRequest::new().start(prefix).end(end).limit(limit))?;
         let mut rows = Vec::with_capacity(hits.len());
         for (_ikey, pk) in hits {
             let (row, latency) = self.get_row(table, &pk)?;
@@ -213,7 +209,9 @@ impl Relational {
     ) -> Result<(Vec<Row>, SimDuration), DbError> {
         let start = row_key(table, start_pk);
         let end = format!("r{:04};", table).into_bytes(); // ':'+1
-        let (hits, latency) = self.db.scan(&start, Some(&end), limit)?;
+        let (hits, latency) = self
+            .db
+            .scan(ScanRequest::new().start(start).end(end).limit(limit))?;
         let rows = hits.iter().filter_map(|(_, v)| decode_row(v)).collect();
         Ok((rows, latency))
     }

@@ -2,7 +2,7 @@
 //! the paper's evaluation reports: per-class latency distributions and
 //! virtual-time throughput.
 
-use pm_blade::{Db, DbError, Relational};
+use pm_blade::{Db, DbError, Relational, ScanRequest};
 use sim::{Histogram, SimDuration};
 
 use crate::kv::KvOp;
@@ -66,7 +66,7 @@ pub fn run_kv(db: &Db, ops: &[KvOp]) -> Result<RunMetrics, DbError> {
                 m.note(Which::Read, out.latency);
             }
             KvOp::Scan { start, limit } => {
-                let (_, d) = db.scan(start, None, *limit)?;
+                let (_, d) = db.scan(ScanRequest::new().start(start.clone()).limit(*limit))?;
                 m.note(Which::Scan, d);
             }
         }
@@ -88,7 +88,7 @@ pub fn run_ycsb(db: &Db, ops: &[YcsbOp]) -> Result<RunMetrics, DbError> {
                 m.note(Which::Read, out.latency);
             }
             YcsbOp::Scan { start, limit } => {
-                let (_, d) = db.scan(start, None, *limit)?;
+                let (_, d) = db.scan(ScanRequest::new().start(start.clone()).limit(*limit))?;
                 m.note(Which::Scan, d);
             }
             YcsbOp::Rmw { key, value } => {

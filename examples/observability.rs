@@ -8,7 +8,9 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use pm_blade::{CompactionRequest, CostDecision, Db, EventListener, Options, TraceSpan};
+use pm_blade::{
+    CompactionRequest, CostDecision, Db, EventListener, Options, ScanRequest, TraceSpan,
+};
 
 /// A listener that tallies engine events. Listener hooks run on the
 /// engine thread that did the work — with the partition's commit mutex
@@ -74,7 +76,12 @@ fn main() -> Result<(), pm_blade::DbError> {
         let key = format!("user{:08}", i);
         db.get(key.as_bytes())?;
     }
-    db.scan(b"user00000100", Some(b"user00000200"), 50)?;
+    db.scan(
+        ScanRequest::new()
+            .start("user00000100")
+            .end("user00000200")
+            .limit(50),
+    )?;
     db.compact(CompactionRequest::FlushAll)?;
 
     // 1. The listener saw every event as it happened.

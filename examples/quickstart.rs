@@ -5,7 +5,7 @@
 //! cargo run --release -p pmblade-examples --bin quickstart
 //! ```
 
-use pm_blade::{CompactionRequest, Db, MaintenanceMode, Options};
+use pm_blade::{CompactionRequest, Db, MaintenanceMode, Options, ScanRequest};
 
 fn main() -> Result<(), pm_blade::DbError> {
     // An 8 MiB PM level-0 standing in for the paper's 80 GB module; all
@@ -37,7 +37,12 @@ fn main() -> Result<(), pm_blade::DbError> {
     for i in 0..2_000u32 {
         db.put(format!("order:{:06}", i).as_bytes(), b"payload")?;
     }
-    let (rows, latency) = db.scan(b"order:000100", Some(b"order:000110"), 100)?;
+    let (rows, latency) = db.scan(
+        ScanRequest::new()
+            .start("order:000100")
+            .end("order:000110")
+            .limit(100),
+    )?;
     println!("scan     : {} rows in {latency}", rows.len());
 
     // Force the memtable down to the PM level-0 and look at the tiers.

@@ -3,7 +3,7 @@
 //! SSD levels within one test.
 
 use pm_blade::stats::ReadSource;
-use pm_blade::{CompactionRequest, Mode, Partitioner};
+use pm_blade::{CompactionRequest, Mode, Partitioner, ScanRequest};
 use pmblade_integration_tests::{key_for, tiny_db, tiny_options, value_for};
 
 #[test]
@@ -101,7 +101,14 @@ fn scans_agree_with_point_reads_across_tiers() {
     for i in 100..120u64 {
         db.put(&key_for(i), b"fresh").unwrap();
     }
-    let (rows, _) = db.scan(&key_for(90), Some(&key_for(130)), 1000).unwrap();
+    let (rows, _) = db
+        .scan(
+            ScanRequest::new()
+                .start(key_for(90))
+                .end(key_for(130))
+                .limit(1000),
+        )
+        .unwrap();
     assert_eq!(rows.len(), 40);
     for (k, v) in &rows {
         let point = db.get(k).unwrap().value.unwrap();
@@ -135,10 +142,12 @@ fn partitioned_and_single_engines_agree() {
         assert_eq!(a, b, "partitioning changed visibility of key {i}");
     }
     // Cross-partition scan equals single-partition scan.
-    let (sa, _) = single
-        .scan(&key_for(200), Some(&key_for(300)), 500)
-        .unwrap();
-    let (pa, _) = parts.scan(&key_for(200), Some(&key_for(300)), 500).unwrap();
+    let range = ScanRequest::new()
+        .start(key_for(200))
+        .end(key_for(300))
+        .limit(500);
+    let (sa, _) = single.scan(range.clone()).unwrap();
+    let (pa, _) = parts.scan(range).unwrap();
     assert_eq!(sa, pa);
 }
 

@@ -4,7 +4,7 @@
 //! [`MaintenanceMode`]s: Inline and Background may schedule compactions
 //! differently, but never disagree on contents.
 
-use pm_blade::{CompactionRequest, Db, MaintenanceMode, Mode};
+use pm_blade::{CompactionRequest, Db, MaintenanceMode, Mode, ScanRequest};
 use pmblade_integration_tests::{key_for, tiny_db, tiny_options, value_for};
 
 const ALL_MODES: [Mode; 4] = [
@@ -86,7 +86,14 @@ fn all_modes_agree_on_scans() {
     for mode in ALL_MODES {
         let mut db = tiny_db(mode);
         drive(&mut db, 99, 2_500);
-        let (rows, _) = db.scan(&key_for(100), Some(&key_for(400)), 10_000).unwrap();
+        let (rows, _) = db
+            .scan(
+                ScanRequest::new()
+                    .start(key_for(100))
+                    .end(key_for(400))
+                    .limit(10_000),
+            )
+            .unwrap();
         match &reference {
             None => reference = Some(rows),
             Some(expect) => {

@@ -4,7 +4,7 @@
 
 use std::collections::BTreeMap;
 
-use pm_blade::{CompactionRequest, Mode};
+use pm_blade::{CompactionRequest, Mode, ScanRequest};
 use pmblade_integration_tests::{tiny_db, value_for};
 use proptest::prelude::*;
 
@@ -56,7 +56,9 @@ fn check_mode(mode: Mode, ops: &[Op]) {
             }
             Op::Scan(k, n) => {
                 let start = key(*k);
-                let (rows, _) = db.scan(&start, None, *n as usize).unwrap();
+                let (rows, _) = db
+                    .scan(ScanRequest::new().start(start.clone()).limit(*n as usize))
+                    .unwrap();
                 let want: Vec<(Vec<u8>, Vec<u8>)> = model
                     .range(start..)
                     .take(*n as usize)

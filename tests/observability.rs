@@ -8,8 +8,8 @@ use std::sync::Arc;
 use std::sync::Mutex;
 
 use pm_blade::{
-    CompactionRequest, Db, EventListener, MetricKey, MetricsSnapshot, Mode, Options, SpanKind,
-    TraceSpan,
+    CompactionRequest, Db, EventListener, MetricKey, MetricsSnapshot, Mode, Options, ScanRequest,
+    SpanKind, TraceSpan,
 };
 use proptest::prelude::*;
 use sim::Histogram;
@@ -49,7 +49,7 @@ proptest! {
                 0 => { db.put(key.as_bytes(), &[b'v'; 64]).unwrap(); }
                 1 => { db.get(key.as_bytes()).unwrap(); }
                 2 => { db.delete(key.as_bytes()).unwrap(); }
-                _ => { db.scan(key.as_bytes(), None, 5).unwrap(); }
+                _ => { db.scan(ScanRequest::new().start(key.as_bytes()).limit(5)).unwrap(); }
             }
             if i % 7 == 0 {
                 db.compact(CompactionRequest::FlushAll).unwrap();

@@ -12,7 +12,7 @@
 
 use std::sync::Arc;
 
-use pm_blade::{CompactionRequest, Db, Mode, Options};
+use pm_blade::{CompactionRequest, Db, Mode, Options, ScanRequest};
 use pmblade_integration_tests::{tiny_options, value_for};
 use pmtable::{MetaExtractor, PmTableOptions};
 use proptest::prelude::*;
@@ -84,8 +84,12 @@ fn check_parity(fast: &Db, plain: &Db, ops: &[Op]) {
             }
             Op::Scan(k, n) => {
                 let start = key(*k);
-                let (accel, _) = fast.scan(&start, None, *n as usize).unwrap();
-                let (reference, _) = plain.scan(&start, None, *n as usize).unwrap();
+                let (accel, _) = fast
+                    .scan(ScanRequest::new().start(start.clone()).limit(*n as usize))
+                    .unwrap();
+                let (reference, _) = plain
+                    .scan(ScanRequest::new().start(start.clone()).limit(*n as usize))
+                    .unwrap();
                 assert_eq!(
                     accel, reference,
                     "step {step}: scan({k},{n}) diverged with filters+cache on"
@@ -119,8 +123,8 @@ fn check_parity(fast: &Db, plain: &Db, ops: &[Op]) {
             "final audit: get({k}) diverged"
         );
     }
-    let (accel, _) = fast.scan(b"key", None, usize::MAX).unwrap();
-    let (reference, _) = plain.scan(b"key", None, usize::MAX).unwrap();
+    let (accel, _) = fast.scan(ScanRequest::new().start("key")).unwrap();
+    let (reference, _) = plain.scan(ScanRequest::new().start("key")).unwrap();
     assert_eq!(accel, reference, "final audit: full scan diverged");
 }
 
@@ -217,8 +221,8 @@ fn group_straddle_regression_parity() {
             Some(&b"version-30"[..]),
             "{stage}: newest version must win"
         );
-        let (accel, _) = fast.scan(b"t0:", None, usize::MAX).unwrap();
-        let (reference, _) = plain.scan(b"t0:", None, usize::MAX).unwrap();
+        let (accel, _) = fast.scan(ScanRequest::new().start("t0:")).unwrap();
+        let (reference, _) = plain.scan(ScanRequest::new().start("t0:")).unwrap();
         assert_eq!(accel, reference, "{stage}: scan diverged");
         assert_eq!(accel.len(), 3, "{stage}: three live keys");
     };

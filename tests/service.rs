@@ -1,0 +1,423 @@
+//! Service-layer tests: protocol round-trips under random inputs,
+//! loopback client/server parity against direct `Db` calls, graceful
+//! shutdown draining pipelined requests, and rate limiting that slows
+//! a hot client without erroring it.
+
+use std::io::{Read, Write};
+use std::sync::Arc;
+use std::time::Duration;
+
+use pm_blade::protocol::{read_frame, write_frame, Request, Response, WireError};
+use pm_blade::{BatchOp, CompactionRequest, Mode, ScanRequest};
+use pm_blade_client::{Client, ClientOptions};
+use pm_blade_server::{Server, ServerOptions};
+use pmblade_integration_tests::{key_for, tiny_options, value_for};
+use proptest::prelude::*;
+
+// --- protocol round-trip properties ----------------------------------
+
+fn bytes_strategy() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..=255, 0..64)
+}
+
+fn batch_op_strategy() -> BoxedStrategy<BatchOp> {
+    prop_oneof![
+        2 => (bytes_strategy(), bytes_strategy())
+            .prop_map(|(key, value)| BatchOp::Put { key, value }),
+        1 => bytes_strategy().prop_map(|key| BatchOp::Delete { key }),
+    ]
+    .boxed()
+}
+
+fn scan_strategy() -> BoxedStrategy<ScanRequest> {
+    (
+        bytes_strategy(),
+        prop_oneof![1 => Just(None), 2 => bytes_strategy().prop_map(Some)],
+        0usize..100_000,
+        proptest::bool::ANY,
+    )
+        .prop_map(|(start, end, limit, reverse)| ScanRequest {
+            start,
+            end,
+            limit,
+            reverse,
+        })
+        .boxed()
+}
+
+fn request_strategy() -> BoxedStrategy<Request> {
+    prop_oneof![
+        1 => Just(Request::Ping),
+        3 => (bytes_strategy(), bytes_strategy())
+            .prop_map(|(key, value)| Request::Put { key, value }),
+        2 => bytes_strategy().prop_map(|key| Request::Delete { key }),
+        2 => proptest::collection::vec(batch_op_strategy(), 0..8)
+            .prop_map(|ops| Request::WriteBatch { ops }),
+        3 => bytes_strategy().prop_map(|key| Request::Get { key }),
+        2 => scan_strategy().prop_map(Request::Scan),
+        1 => (0u8..5, 0usize..16).prop_map(|(kind, partition)| {
+            Request::Compact(match kind {
+                0 => CompactionRequest::Flush { partition },
+                1 => CompactionRequest::FlushAll,
+                2 => CompactionRequest::Internal { partition },
+                3 => CompactionRequest::Major { partition },
+                _ => CompactionRequest::MajorWithRetention,
+            })
+        }),
+    ]
+    .boxed()
+}
+
+fn response_strategy() -> BoxedStrategy<Response> {
+    prop_oneof![
+        1 => Just(Response::Pong),
+        2 => (0u64..u64::MAX).prop_map(|latency_nanos| Response::Written { latency_nanos }),
+        3 => (
+            prop_oneof![1 => Just(None), 2 => bytes_strategy().prop_map(Some)],
+            0u64..u64::MAX,
+        )
+            .prop_map(|(value, latency_nanos)| Response::Value {
+                value,
+                latency_nanos,
+            }),
+        2 => (
+            proptest::collection::vec((bytes_strategy(), bytes_strategy()), 0..8),
+            0u64..u64::MAX,
+        )
+            .prop_map(|(rows, latency_nanos)| Response::Rows {
+                rows,
+                latency_nanos,
+            }),
+        1 => Just(Response::Compacted),
+        1 => (0u64..u16::MAX as u64, proptest::collection::vec(b'a'..=b'z', 0..32))
+            .prop_map(|(code, msg)| Response::Error {
+                code: code as u16,
+                message: String::from_utf8(msg).unwrap(),
+            }),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn request_roundtrips_through_frames(req in request_strategy()) {
+        let mut wire = Vec::new();
+        req.write(&mut wire).unwrap();
+        let mut cursor = std::io::Cursor::new(&wire);
+        let back = Request::read(&mut cursor).unwrap().expect("one frame");
+        prop_assert_eq!(back, req);
+        prop_assert!(Request::read(&mut cursor).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn response_roundtrips_through_frames(resp in response_strategy()) {
+        let mut wire = Vec::new();
+        resp.write(&mut wire).unwrap();
+        let back = Response::read(&mut std::io::Cursor::new(&wire))
+            .unwrap()
+            .expect("one frame");
+        prop_assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn corrupt_and_truncated_frames_rejected(
+        req in request_strategy(),
+        flip in 0usize..10_000,
+        cut in 1usize..32,
+    ) {
+        let mut wire = Vec::new();
+        req.write(&mut wire).unwrap();
+        // Any single bit flip must be caught: in the length/CRC header
+        // it desynchronizes or mismatches; in the payload the CRC
+        // catches it.
+        let mut corrupted = wire.clone();
+        let pos = flip % corrupted.len();
+        corrupted[pos] ^= 1 << (flip % 8);
+        match read_frame(&mut std::io::Cursor::new(&corrupted)) {
+            Err(WireError::Corrupt(_)) | Err(WireError::TooLarge(_)) => {}
+            Ok(Some(payload)) => {
+                // A length-shrinking header flip can still yield a CRC-valid
+                // shorter frame only if the CRC bytes collide — the mask plus
+                // crc32c make that impossible for a single bit flip.
+                panic!("corrupt frame decoded as {} payload bytes", payload.len());
+            }
+            other => panic!("corrupt frame gave {other:?}"),
+        }
+        // Truncation mid-frame is corruption, not clean EOF.
+        let cut = cut.min(wire.len() - 1);
+        let truncated = &wire[..wire.len() - cut];
+        match read_frame(&mut std::io::Cursor::new(truncated)) {
+            Err(WireError::Corrupt(_)) => {}
+            other => panic!("truncated frame gave {other:?}"),
+        }
+    }
+}
+
+// --- loopback integration --------------------------------------------
+
+fn start_server(opts: ServerOptions) -> (Server, Arc<pm_blade::Db>) {
+    let db = Arc::new(pm_blade::Db::open(tiny_options(Mode::PmBlade)).expect("engine opens"));
+    let server = Server::start(Arc::clone(&db), opts).expect("server binds");
+    (server, db)
+}
+
+fn quick_poll() -> ServerOptions {
+    ServerOptions::builder()
+        .poll_interval(Duration::from_millis(5))
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn loopback_parity_with_direct_db_calls() {
+    const THREADS: u64 = 4;
+    const PER_THREAD: u64 = 200;
+    let (server, db) = start_server(quick_poll());
+    let addr = server.local_addr();
+
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                client.ping().expect("ping");
+                for i in (t * PER_THREAD)..((t + 1) * PER_THREAD) {
+                    if i % 3 == 0 {
+                        let batch: Vec<_> = (0..3)
+                            .map(|j| (key_for(i * 10 + j), value_for(i, 48)))
+                            .collect();
+                        client.put_batch(&batch).expect("batch");
+                    } else {
+                        client
+                            .put(&key_for(i * 10), &value_for(i, 48))
+                            .expect("put");
+                    }
+                    if i % 7 == 0 {
+                        client.delete(&key_for(i * 10 + 1)).expect("delete");
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+
+    // Client-observed reads must be byte-identical to direct Db calls
+    // on the same engine.
+    let mut client = Client::connect(addr).expect("connect");
+    for i in 0..(THREADS * PER_THREAD) {
+        for j in 0..3 {
+            let key = key_for(i * 10 + j);
+            let via_wire = client.get(&key).expect("remote get");
+            let direct = db.get(&key).expect("direct get").value;
+            assert_eq!(via_wire, direct, "get parity diverged on key {i}*10+{j}");
+        }
+    }
+    let scan = ScanRequest::new().start(key_for(0)).limit(5_000);
+    let via_wire = client.scan(scan.clone()).expect("remote scan");
+    let (direct, _) = db.scan(scan).expect("direct scan");
+    assert_eq!(via_wire, direct, "scan parity diverged");
+
+    // Paged scans see the same rows as one big scan.
+    let mut paged_client = Client::connect_with(
+        addr,
+        ClientOptions {
+            scan_page: 64,
+            ..ClientOptions::default()
+        },
+    )
+    .expect("connect");
+    let paged = paged_client
+        .scan_paged(ScanRequest::new().start(key_for(0)).limit(5_000))
+        .expect("paged scan");
+    assert_eq!(paged, via_wire, "paged scan diverged from single scan");
+
+    // Remote compaction works and reads still agree afterwards.
+    client
+        .compact(CompactionRequest::FlushAll)
+        .expect("compact");
+    let key = key_for(20);
+    assert_eq!(
+        client.get(&key).unwrap(),
+        db.get(&key).unwrap().value,
+        "post-compaction parity"
+    );
+
+    let returned = server.shutdown();
+    assert_eq!(
+        returned.metrics_snapshot().counter("server_errors_total"),
+        0
+    );
+}
+
+#[test]
+fn shutdown_drains_pipelined_requests_without_lost_acks() {
+    const PIPELINED: u64 = 64;
+    let (server, _db) = start_server(quick_poll());
+    let addr = server.local_addr();
+
+    // Pipeline a burst of puts on a raw socket without reading any
+    // response, so the frames are queued server-side when shutdown
+    // begins.
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    stream.set_nodelay(true).unwrap();
+    // Handshake first, so the handler thread is provably attached
+    // before shutdown starts (otherwise the not-yet-accepted socket is
+    // reset when the listener drops).
+    Request::Ping.write(&mut stream).unwrap();
+    match Response::read(&mut stream) {
+        Ok(Some(Response::Pong)) => {}
+        other => panic!("handshake failed: {other:?}"),
+    }
+    for i in 0..PIPELINED {
+        Request::Put {
+            key: key_for(i),
+            value: value_for(i, 32),
+        }
+        .write(&mut stream)
+        .unwrap();
+    }
+    stream.flush().unwrap();
+
+    // Shutdown must serve every already-sent frame before closing.
+    let db = server.shutdown();
+
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut acked = 0;
+    loop {
+        match Response::read(&mut stream) {
+            Ok(Some(Response::Written { .. })) => acked += 1,
+            Ok(Some(other)) => panic!("unexpected response {other:?}"),
+            Ok(None) => break,
+            Err(e) => panic!("reading drained responses failed: {e}"),
+        }
+    }
+    assert_eq!(acked, PIPELINED, "every pipelined request must be acked");
+    // Every acked write is visible in the engine after shutdown.
+    for i in 0..PIPELINED {
+        assert_eq!(
+            db.get(&key_for(i)).unwrap().value,
+            Some(value_for(i, 32)),
+            "acked key {i} lost in shutdown"
+        );
+    }
+}
+
+#[test]
+fn rate_limit_throttles_hot_client_without_errors() {
+    let opts = ServerOptions::builder()
+        .poll_interval(Duration::from_millis(5))
+        .rate_limit_ops_per_sec(500)
+        .rate_limit_burst(1)
+        .build()
+        .unwrap();
+    let (server, _db) = start_server(opts);
+    let addr = server.local_addr();
+
+    let mut client = Client::connect(addr).expect("connect");
+    for i in 0..50u64 {
+        client
+            .put(&key_for(i), b"hot")
+            .expect("throttled, not errored");
+    }
+    for i in 0..50u64 {
+        assert_eq!(
+            client.get(&key_for(i)).expect("read back"),
+            Some(b"hot".to_vec())
+        );
+    }
+
+    let db = server.shutdown();
+    let snap = db.metrics_snapshot();
+    assert!(
+        snap.counter("server_throttled_total") > 0,
+        "the hot connection must have been throttled at least once"
+    );
+    assert_eq!(snap.counter("server_errors_total"), 0);
+    assert_eq!(snap.counter("server_put_total"), 50);
+    assert_eq!(snap.counter("server_get_total"), 50);
+}
+
+#[test]
+fn corrupt_frame_gets_error_response_and_disconnect() {
+    let (server, _db) = start_server(quick_poll());
+    let addr = server.local_addr();
+
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    let mut frame = Vec::new();
+    write_frame(&mut frame, &Request::Ping.encode_payload()).unwrap();
+    *frame.last_mut().unwrap() ^= 0xFF;
+    stream.write_all(&frame).unwrap();
+    stream.flush().unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    match Response::read(&mut stream) {
+        Ok(Some(Response::Error { code: 0, message })) => {
+            assert!(message.contains("corrupt"), "got message {message:?}");
+        }
+        other => panic!("expected a code-0 error, got {other:?}"),
+    }
+    // The server hangs up after a framing error.
+    assert!(Response::read(&mut stream).unwrap().is_none());
+
+    let db = server.shutdown();
+    assert!(db.metrics_snapshot().counter("server_errors_total") > 0);
+}
+
+#[test]
+fn metrics_endpoint_serves_prometheus_text() {
+    let opts = ServerOptions::builder()
+        .poll_interval(Duration::from_millis(5))
+        .metrics_addr("127.0.0.1:0")
+        .build()
+        .unwrap();
+    let (server, _db) = start_server(opts);
+    let addr = server.local_addr();
+    let metrics_addr = server.metrics_local_addr().expect("metrics listener");
+
+    let mut client = Client::connect(addr).unwrap();
+    client.put(b"observed", b"yes").unwrap();
+    client.get(b"observed").unwrap();
+
+    let mut http = std::net::TcpStream::connect(metrics_addr).unwrap();
+    http.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let mut body = String::new();
+    http.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    http.read_to_string(&mut body).unwrap();
+    assert!(body.starts_with("HTTP/1.1 200 OK"), "got {body:.60?}");
+    assert!(
+        body.contains("pmblade_server_put_total 1"),
+        "server op counters exported"
+    );
+    assert!(body.contains("pmblade_server_get_total 1"));
+    assert!(body.contains("pmblade_puts"), "engine counters ride along");
+
+    server.shutdown();
+}
+
+#[test]
+fn remote_errors_carry_stable_codes() {
+    let (server, _db) = start_server(quick_poll());
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+
+    // Compacting a partition that does not exist must not kill the
+    // connection: it comes back as a typed remote error, and the
+    // connection keeps working.
+    match client.compact(CompactionRequest::Flush { partition: 9_999 }) {
+        Err(pm_blade_client::ClientError::Remote { code, message }) => {
+            assert!(code > 0, "engine errors carry nonzero codes, got {message}");
+        }
+        other => panic!("expected a remote error, got {other:?}"),
+    }
+    client.ping().expect("connection survives an engine error");
+
+    server.shutdown();
+}
