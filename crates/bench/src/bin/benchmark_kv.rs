@@ -14,6 +14,7 @@
 //!              [--maintenance inline|background] [--metrics-out PATH]
 //!              [--pm-filter-bits B] [--pm-cache-bytes N]
 //!              [--server [HOST:PORT]] [--connections N]
+//!              [--trace-out PATH]
 //!
 //! `--server` switches to the network-service benchmark: `--num` puts
 //! then `--reads` gets issued over `--connections` TCP clients through
@@ -21,6 +22,15 @@
 //! a `pm-blade-server` is spawned in-process on an ephemeral loopback
 //! port; with `HOST:PORT` an external server is used. Results are
 //! written to `BENCH_server.json`.
+//!
+//! `--trace-out PATH` switches to the tracing-overhead benchmark: the
+//! same fill + zipfian read workload runs on two identical engines,
+//! once with request tracing sampling turned off and once tracing every
+//! request. Virtual (engine-clock) read quantiles must be identical —
+//! tracing observes the timeline but never charges it — and the off
+//! run's tracer counters must stay at zero. The traced run's flight
+//! recorder is exported to PATH as Chrome trace-event JSON and the
+//! comparison is written to `BENCH_tracing.json`.
 //!
 //! `readhot` is the zipfian hot-set read workload: after a random fill,
 //! reads hammer a small hot subset of the keyspace (1% of `--num`,
@@ -75,6 +85,10 @@ struct Args {
     /// `Some(addr)` = benchmark an already-running server at `addr`.
     server: Option<String>,
     connections: usize,
+    /// Switches to the tracing-overhead benchmark; the traced run's
+    /// flight recorder is exported to this path as Chrome trace-event
+    /// JSON and the off/on comparison goes to `BENCH_tracing.json`.
+    trace_out: Option<std::path::PathBuf>,
 }
 
 impl Default for Args {
@@ -95,6 +109,7 @@ impl Default for Args {
             pm_cache_bytes: None,
             server: None,
             connections: 8,
+            trace_out: None,
         }
     }
 }
@@ -164,6 +179,9 @@ fn parse_args() -> Args {
             "--pm-cache-bytes" => {
                 args.pm_cache_bytes = Some(value().parse().expect("--pm-cache-bytes"));
             }
+            "--trace-out" => {
+                args.trace_out = Some(value().into());
+            }
             "--connections" => {
                 args.connections = value().parse().expect("--connections");
                 if args.connections == 0 {
@@ -187,7 +205,7 @@ fn parse_args() -> Args {
     args
 }
 
-fn open_db(args: &Args) -> Db {
+fn bench_options(args: &Args) -> Options {
     let mut opts: Options = match args.mode {
         Mode::PmBlade => Options::pm_blade(args.pm_mib << 20),
         Mode::PmBladePm => Options::pm_blade_pm(args.pm_mib << 20),
@@ -205,7 +223,11 @@ fn open_db(args: &Args) -> Db {
     if let Some(bytes) = args.pm_cache_bytes {
         opts.pm_group_cache_bytes = bytes;
     }
-    Db::open(opts).expect("engine opens")
+    opts
+}
+
+fn open_db(args: &Args) -> Db {
+    Db::open(bench_options(args)).expect("engine opens")
 }
 
 /// Write the engine's final metrics snapshot as JSON, if requested.
@@ -659,10 +681,172 @@ fn server_bench(args: &Args) {
     println!("{:<18} results -> {}", "", out.display());
 }
 
+/// The tracing-overhead benchmark (`--trace-out PATH`): run the same
+/// fill + zipfian read workload on two identical engines, one with
+/// sampling off (`trace_sample_every = 0`) and one tracing every
+/// request. Engine latencies come from the virtual clock and tracing
+/// only *observes* the timeline, so the sampling-off run is the
+/// pre-tracing read path — this function asserts the virtual read
+/// quantiles of both runs are bit-identical and that the off run's
+/// tracer counters never moved, records the wall-clock delta for
+/// reference, exports the traced run's flight recorder to PATH as
+/// Chrome trace-event JSON, and writes the comparison to
+/// `BENCH_tracing.json`.
+fn trace_bench(args: &Args) {
+    struct TraceRun {
+        hist: Histogram,
+        total: SimDuration,
+        wall: std::time::Duration,
+        sampled: u64,
+        recorded: u64,
+        db: Db,
+    }
+    let run = |sample_every: u64| -> TraceRun {
+        let mut opts = bench_options(args);
+        opts.trace_sample_every = sample_every;
+        opts.trace_slow_query_nanos = 0;
+        opts.trace_recorder_capacity = 1024;
+        let db = Db::open(opts).expect("engine opens");
+        let mut w = KvWorkload::new(KvWorkloadSpec {
+            keys: args.num,
+            value_size: args.value_size,
+            ..KvWorkloadSpec::default()
+        });
+        let ops = w.fill_random();
+        run_kv(&db, &ops).expect("fill");
+        let dist = KeyDistribution::zipfian(args.num, args.skew);
+        let mut rng = Pcg64::seeded(0xbe9c);
+        let mut hist = Histogram::new();
+        let mut total = SimDuration::ZERO;
+        let wall_start = std::time::Instant::now();
+        for _ in 0..args.reads {
+            let k = format!("user{:010}", dist.sample(&mut rng, args.num));
+            let out = db.get(k.as_bytes()).expect("get");
+            hist.record_duration(out.latency);
+            total += out.latency;
+        }
+        let wall = wall_start.elapsed();
+        db.close();
+        let snap = db.metrics_snapshot();
+        TraceRun {
+            hist,
+            total,
+            wall,
+            sampled: snap.counter("trace_sampled_total"),
+            recorded: snap.counter("trace_recorded_total"),
+            db,
+        }
+    };
+
+    let off = run(0);
+    let on = run(1);
+    report("trace-off/gets", &off.hist, off.total, args.reads);
+    report("trace-on/gets", &on.hist, on.total, args.reads);
+
+    assert_eq!(
+        off.sampled, 0,
+        "sampling off must not sample a single request"
+    );
+    assert_eq!(off.recorded, 0, "sampling off must not record traces");
+    assert!(
+        off.db.flight_recorder().is_empty(),
+        "sampling off must leave the flight recorder empty"
+    );
+    assert!(on.sampled >= args.reads, "trace-on must sample every read");
+    let quantile_pair = |q: f64| (off.hist.quantile(q), on.hist.quantile(q));
+    let (off_p50, on_p50) = quantile_pair(0.5);
+    let (off_p99, on_p99) = quantile_pair(0.99);
+    let (off_p999, on_p999) = quantile_pair(0.999);
+    // Tracing never charges the virtual clock, so this is exact — the
+    // sampling-off run *is* the pre-tracing baseline read path.
+    assert_eq!(
+        (off_p50, off_p99, off_p999),
+        (on_p50, on_p99, on_p999),
+        "tracing must not move virtual read latencies"
+    );
+    let overhead_pct = 100.0 * (on_p99 as f64 - off_p99 as f64) / off_p99.max(1) as f64;
+    assert!(
+        overhead_pct < 2.0,
+        "virtual p99 overhead must stay under 2%"
+    );
+    let wall_delta_pct = 100.0 * (on.wall.as_secs_f64() - off.wall.as_secs_f64())
+        / off.wall.as_secs_f64().max(1e-12);
+    println!(
+        "{:<18} virtual p99 overhead {overhead_pct:.3}%  \
+         wall {:.2?} -> {:.2?} ({wall_delta_pct:+.1}% wall, informational)",
+        "", off.wall, on.wall,
+    );
+
+    let trace_path = args.trace_out.as_deref().expect("--trace-out path");
+    std::fs::write(trace_path, on.db.chrome_trace()).unwrap_or_else(|e| {
+        eprintln!("--trace-out {}: {e}", trace_path.display());
+        std::process::exit(1);
+    });
+    println!(
+        "{:<18} {} traces ({} sampled) -> {}",
+        "",
+        on.recorded,
+        on.sampled,
+        trace_path.display()
+    );
+
+    let run_json = |r: &TraceRun| {
+        format!(
+            "{{\"ops\": {}, \"p50_nanos\": {}, \"p99_nanos\": {}, \
+             \"p999_nanos\": {}, \"wall_seconds\": {:.6}, \
+             \"trace_sampled_total\": {}, \"trace_recorded_total\": {}}}",
+            r.hist.count(),
+            r.hist.quantile(0.5),
+            r.hist.quantile(0.99),
+            r.hist.quantile(0.999),
+            r.wall.as_secs_f64(),
+            r.sampled,
+            r.recorded,
+        )
+    };
+    let json = format!(
+        "{{\n  \"benchmark\": \"tracing_overhead\",\n  \"mode\": \"{:?}\",\n  \
+         \"num\": {},\n  \"reads\": {},\n  \"value_size\": {},\n  \
+         \"skew\": {},\n  \"baseline\": \"sampling-off run; virtual clock \
+         is never charged by tracing, so these are the pre-tracing read \
+         latencies\",\n  \"sampling_off\": {},\n  \
+         \"sampling_every_request\": {},\n  \
+         \"virtual_p99_overhead_pct\": {:.3},\n  \
+         \"virtual_latencies_identical\": true,\n  \
+         \"wall_delta_pct_informational\": {:.1},\n  \
+         \"chrome_trace\": \"{}\"\n}}\n",
+        args.mode,
+        args.num,
+        args.reads,
+        args.value_size,
+        args.skew,
+        run_json(&off),
+        run_json(&on),
+        overhead_pct,
+        wall_delta_pct,
+        trace_path.display(),
+    );
+    let out = std::path::Path::new("BENCH_tracing.json");
+    std::fs::write(out, json).unwrap_or_else(|e| {
+        eprintln!("BENCH_tracing.json: {e}");
+        std::process::exit(1);
+    });
+    println!("{:<18} results -> {}", "", out.display());
+}
+
 fn main() {
     let args = parse_args();
     if args.server.is_some() {
         server_bench(&args);
+        return;
+    }
+    if args.trace_out.is_some() {
+        println!(
+            "benchmark_kv: tracing overhead, mode={:?} num={} reads={} \
+             value={}B skew={}",
+            args.mode, args.num, args.reads, args.value_size, args.skew
+        );
+        trace_bench(&args);
         return;
     }
     println!(

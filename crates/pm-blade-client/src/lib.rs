@@ -9,7 +9,12 @@
 //!   `Request::WriteBatch`;
 //! - [`Client::scan_paged`] — a large forward scan split into
 //!   server-friendly pages, re-issued from the successor of the last
-//!   key until the range or limit is exhausted.
+//!   key until the range or limit is exhausted;
+//! - [`Client::get_traced`] / [`Client::put_traced`] / the generic
+//!   [`Client::call_traced`] — wrap any request in a
+//!   [`Request::Traced`] envelope so the client-chosen trace id spans
+//!   client → server → engine (the server records sampled requests in
+//!   its slow-query flight recorder under that id).
 //!
 //! Engine-side failures arrive as [`ClientError::Remote`] carrying the
 //! stable numeric code of `DbError::code()` plus its display message.
@@ -19,7 +24,7 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use pm_blade::protocol::{Request, Response, WireError};
-use pm_blade::{BatchOp, CompactionRequest, ScanRequest};
+use pm_blade::{BatchOp, CompactionRequest, ScanRequest, TraceContext};
 
 /// Client-side knobs.
 #[derive(Clone, Debug)]
@@ -271,6 +276,56 @@ impl Client {
         match self.call_checked(&Request::Compact(request))? {
             Response::Compacted => Ok(()),
             other => Err(ClientError::Unexpected(format!("{other:?} to Compact"))),
+        }
+    }
+
+    /// Issue any request inside a [`Request::Traced`] envelope. The
+    /// server runs it through the engine's traced entry points, so a
+    /// sampled context lands in the server-side flight recorder under
+    /// `ctx.trace_id`. Remote errors are converted like the typed
+    /// wrappers do.
+    pub fn call_traced(
+        &mut self,
+        ctx: TraceContext,
+        inner: Request,
+    ) -> Result<Response, ClientError> {
+        self.call_checked(&Request::Traced {
+            ctx,
+            inner: Box::new(inner),
+        })
+    }
+
+    /// [`Client::get_with_latency`] under a caller-supplied trace
+    /// context.
+    pub fn get_traced(
+        &mut self,
+        key: &[u8],
+        ctx: TraceContext,
+    ) -> Result<(Option<Vec<u8>>, u64), ClientError> {
+        let inner = Request::Get { key: key.to_vec() };
+        match self.call_traced(ctx, inner)? {
+            Response::Value {
+                value,
+                latency_nanos,
+            } => Ok((value, latency_nanos)),
+            other => Err(ClientError::Unexpected(format!("{other:?} to Get"))),
+        }
+    }
+
+    /// [`Client::put`] under a caller-supplied trace context.
+    pub fn put_traced(
+        &mut self,
+        key: &[u8],
+        value: &[u8],
+        ctx: TraceContext,
+    ) -> Result<u64, ClientError> {
+        let inner = Request::Put {
+            key: key.to_vec(),
+            value: value.to_vec(),
+        };
+        match self.call_traced(ctx, inner)? {
+            Response::Written { latency_nanos } => Ok(latency_nanos),
+            other => Err(ClientError::Unexpected(format!("{other:?} to a write"))),
         }
     }
 }

@@ -18,16 +18,23 @@
 //!   runs [`Db::close`] so background maintenance lands. No acked
 //!   write is ever lost.
 //! - **Observability** — every operation is wired into the engine's
-//!   [`MetricsRegistry`]: per-op counters (`server_get_total`, …) and
+//!   [`MetricsRegistry`]: per-op counters (`server_get_total`, …, plus
+//!   a `connection="N"`-labeled copy per client connection) and
 //!   wall-clock latency histograms (`server_get_latency`, …), plus
-//!   `server_active_connections` / `server_connections_total` /
-//!   `server_throttled_total` / `server_errors_total`. An optional
-//!   HTTP listener serves the whole registry in Prometheus text
-//!   format at `/metrics`.
+//!   `server_active_connections` / `server_inflight_requests` /
+//!   `server_connections_total` / `server_throttled_total` /
+//!   `server_errors_total`. An optional HTTP listener serves the whole
+//!   registry in Prometheus text format at `/metrics` and a live debug
+//!   view (slow-query flight recorder, maintenance-queue state, metrics
+//!   snapshot) as JSON at `/debug`.
+//! - **Tracing** — a [`Request::Traced`] envelope carries the client's
+//!   trace context; the server routes the inner request through the
+//!   engine's `*_traced` entry points so one trace id spans
+//!   client → server → engine (visible in the flight recorder).
 
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -35,7 +42,7 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 use pm_blade::protocol::{Request, Response, WireError};
 use pm_blade::telemetry::{Gauge, LatencyRecorder, MetricsRegistry};
-use pm_blade::{Db, DbError, MetricKey, WriteBatch};
+use pm_blade::{Db, DbError, MetricKey, TraceContext, WriteBatch};
 use sim::Counter;
 
 pub mod rate_limit;
@@ -60,7 +67,8 @@ pub struct ServerOptions {
     /// Idle-read timeout; also the shutdown-poll period. Handlers wake
     /// at this cadence to check for shutdown.
     pub poll_interval: Duration,
-    /// Optional bind address for the HTTP `/metrics` endpoint.
+    /// Optional bind address for the HTTP observability endpoint
+    /// (`/metrics` Prometheus text, `/debug` JSON).
     pub metrics_addr: Option<String>,
 }
 
@@ -154,6 +162,7 @@ struct ServerMetrics {
     connections_total: Arc<Counter>,
     conn_rejected_total: Arc<Counter>,
     active_connections: Arc<Gauge>,
+    inflight_requests: Arc<Gauge>,
     throttled_total: Arc<Counter>,
     errors_total: Arc<Counter>,
     ops: [OpMetrics; 7],
@@ -164,7 +173,32 @@ struct OpMetrics {
     latency: Arc<LatencyRecorder>,
 }
 
-/// Index into `ServerMetrics::ops`, in `Request` variant order.
+/// Per-op counter names, indexed like `ServerMetrics::ops`.
+const OP_TOTAL_NAMES: [&str; 7] = [
+    "server_ping_total",
+    "server_put_total",
+    "server_delete_total",
+    "server_write_batch_total",
+    "server_get_total",
+    "server_scan_total",
+    "server_compact_total",
+];
+
+/// Per-connection copies of the op counters, labeled `connection="N"`.
+/// Distinct names keep `MetricsSnapshot::counter` (which sums a name
+/// across labels) from double-counting the global totals.
+const CONN_OP_TOTAL_NAMES: [&str; 7] = [
+    "server_conn_ping_total",
+    "server_conn_put_total",
+    "server_conn_delete_total",
+    "server_conn_write_batch_total",
+    "server_conn_get_total",
+    "server_conn_scan_total",
+    "server_conn_compact_total",
+];
+
+/// Index into `ServerMetrics::ops`, in `Request` variant order. A
+/// traced envelope counts as its inner operation.
 fn op_index(req: &Request) -> usize {
     match req {
         Request::Ping => 0,
@@ -174,6 +208,7 @@ fn op_index(req: &Request) -> usize {
         Request::Get { .. } => 4,
         Request::Scan(_) => 5,
         Request::Compact(_) => 6,
+        Request::Traced { inner, .. } => op_index(inner),
     }
 }
 
@@ -187,16 +222,17 @@ impl ServerMetrics {
             connections_total: registry.counter(MetricKey::global("server_connections_total")),
             conn_rejected_total: registry.counter(MetricKey::global("server_conn_rejected_total")),
             active_connections: registry.gauge(MetricKey::global("server_active_connections")),
+            inflight_requests: registry.gauge(MetricKey::global("server_inflight_requests")),
             throttled_total: registry.counter(MetricKey::global("server_throttled_total")),
             errors_total: registry.counter(MetricKey::global("server_errors_total")),
             ops: [
-                op("server_ping_total", "server_ping_latency"),
-                op("server_put_total", "server_put_latency"),
-                op("server_delete_total", "server_delete_latency"),
-                op("server_write_batch_total", "server_write_batch_latency"),
-                op("server_get_total", "server_get_latency"),
-                op("server_scan_total", "server_scan_latency"),
-                op("server_compact_total", "server_compact_latency"),
+                op(OP_TOTAL_NAMES[0], "server_ping_latency"),
+                op(OP_TOTAL_NAMES[1], "server_put_latency"),
+                op(OP_TOTAL_NAMES[2], "server_delete_latency"),
+                op(OP_TOTAL_NAMES[3], "server_write_batch_latency"),
+                op(OP_TOTAL_NAMES[4], "server_get_latency"),
+                op(OP_TOTAL_NAMES[5], "server_scan_latency"),
+                op(OP_TOTAL_NAMES[6], "server_compact_latency"),
             ],
         }
     }
@@ -207,6 +243,8 @@ struct Shared {
     opts: ServerOptions,
     shutdown: AtomicBool,
     active: AtomicI64,
+    inflight: AtomicI64,
+    next_conn_id: AtomicU64,
     metrics: ServerMetrics,
     handlers: Mutex<Vec<JoinHandle<()>>>,
 }
@@ -246,6 +284,8 @@ impl Server {
             opts,
             shutdown: AtomicBool::new(false),
             active: AtomicI64::new(0),
+            inflight: AtomicI64::new(0),
+            next_conn_id: AtomicU64::new(0),
             metrics,
             handlers: Mutex::new(Vec::new()),
         });
@@ -328,11 +368,12 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
                 }
                 let n = shared.active.fetch_add(1, Ordering::Relaxed) + 1;
                 shared.metrics.active_connections.set(n);
+                let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
                 let conn_shared = Arc::clone(&shared);
                 let handle = std::thread::Builder::new()
                     .name("pmblade-conn".into())
                     .spawn(move || {
-                        handle_connection(stream, &conn_shared);
+                        handle_connection(stream, &conn_shared, conn_id);
                         let n = conn_shared.active.fetch_sub(1, Ordering::Relaxed) - 1;
                         conn_shared.metrics.active_connections.set(n);
                     });
@@ -354,7 +395,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
 
 /// Serve one connection until the client hangs up, the stream breaks,
 /// or shutdown drains it.
-fn handle_connection(stream: TcpStream, shared: &Shared) {
+fn handle_connection(stream: TcpStream, shared: &Shared, conn_id: u64) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(shared.opts.poll_interval));
     let mut reader = match stream.try_clone() {
@@ -362,6 +403,15 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
         Err(_) => return,
     };
     let mut writer = stream;
+    // Per-connection copies of the op counters, labeled with this
+    // connection's id; fetched once so the request loop stays off the
+    // registry locks.
+    let registry = shared.db.metrics();
+    let conn_ops: Vec<Arc<Counter>> = CONN_OP_TOTAL_NAMES
+        .iter()
+        .copied()
+        .map(|name| registry.counter(MetricKey::connection(name, conn_id)))
+        .collect();
     let mut bucket = shared
         .opts
         .rate_limit_ops_per_sec
@@ -385,9 +435,14 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
                 }
                 let idx = op_index(&req);
                 let started = Instant::now();
+                let n = shared.inflight.fetch_add(1, Ordering::Relaxed) + 1;
+                shared.metrics.inflight_requests.set(n);
                 let resp = dispatch(&shared.db, req);
+                let n = shared.inflight.fetch_sub(1, Ordering::Relaxed) - 1;
+                shared.metrics.inflight_requests.set(n);
                 let m = &shared.metrics.ops[idx];
                 m.total.incr();
+                conn_ops[idx].incr();
                 m.latency.record_nanos(started.elapsed().as_nanos() as u64);
                 if matches!(resp, Response::Error { .. }) {
                     shared.metrics.errors_total.incr();
@@ -427,12 +482,29 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
 }
 
 /// Map one request onto the engine. Engine failures become
-/// [`Response::Error`] with the stable [`DbError::code`].
+/// [`Response::Error`] with the stable [`DbError::code`]. A traced
+/// envelope unwraps here and routes the inner request through the
+/// engine's `*_traced` entry points.
 fn dispatch(db: &Db, req: Request) -> Response {
+    match req {
+        Request::Traced { ctx, inner } => dispatch_inner(db, *inner, Some(ctx)),
+        other => dispatch_inner(db, other, None),
+    }
+}
+
+fn dispatch_inner(db: &Db, req: Request, ctx: Option<TraceContext>) -> Response {
     let result = match req {
         Request::Ping => return Response::Pong,
-        Request::Put { key, value } => db.put(&key, &value).map(written),
-        Request::Delete { key } => db.delete(&key).map(written),
+        Request::Put { key, value } => match ctx {
+            Some(c) => db.put_traced(&key, &value, c),
+            None => db.put(&key, &value),
+        }
+        .map(written),
+        Request::Delete { key } => match ctx {
+            Some(c) => db.delete_traced(&key, c),
+            None => db.delete(&key),
+        }
+        .map(written),
         Request::WriteBatch { ops } => {
             let mut batch = WriteBatch::new();
             for op in ops {
@@ -445,17 +517,32 @@ fn dispatch(db: &Db, req: Request) -> Response {
                     }
                 }
             }
-            db.write_batch(batch).map(written)
+            match ctx {
+                Some(c) => db.write_batch_traced(batch, c),
+                None => db.write_batch(batch),
+            }
+            .map(written)
         }
-        Request::Get { key } => db.get(&key).map(|out| Response::Value {
+        Request::Get { key } => match ctx {
+            Some(c) => db.get_traced(&key, c),
+            None => db.get(&key),
+        }
+        .map(|out| Response::Value {
             value: out.value,
             latency_nanos: out.latency.as_nanos(),
         }),
-        Request::Scan(scan) => db.scan(scan).map(|(rows, latency)| Response::Rows {
+        Request::Scan(scan) => match ctx {
+            Some(c) => db.scan_traced(scan, c),
+            None => db.scan(scan),
+        }
+        .map(|(rows, latency)| Response::Rows {
             rows,
             latency_nanos: latency.as_nanos(),
         }),
+        // Compactions are maintenance, not a traced request path.
         Request::Compact(c) => db.compact(c).map(|()| Response::Compacted),
+        // The decoder rejects nested envelopes; defend anyway.
+        Request::Traced { .. } => Err(DbError::Config("nested traced envelope".into())),
     };
     result.unwrap_or_else(|e| Response::from_db_error(&e))
 }
@@ -466,12 +553,12 @@ fn written(latency: pm_blade::SimDuration) -> Response {
     }
 }
 
-// --- /metrics HTTP endpoint ------------------------------------------
+// --- /metrics + /debug HTTP endpoint ---------------------------------
 
 fn metrics_loop(listener: TcpListener, shared: Arc<Shared>) {
     while !shared.shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
-            Ok((stream, _)) => serve_metrics_once(stream, &shared),
+            Ok((stream, _)) => serve_http_once(stream, &shared),
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(shared.opts.poll_interval);
             }
@@ -481,7 +568,10 @@ fn metrics_loop(listener: TcpListener, shared: Arc<Shared>) {
 }
 
 /// Minimal one-shot HTTP/1.1: read the request line, answer, close.
-fn serve_metrics_once(mut stream: TcpStream, shared: &Shared) {
+/// Routes: `/metrics` (Prometheus text) and `/debug` (JSON: flight
+/// recorder + maintenance-queue state + metrics snapshot). `HEAD`
+/// answers with the same headers and no body; other methods get 405.
+fn serve_http_once(mut stream: TcpStream, shared: &Shared) {
     use std::io::Read as _;
     let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
     let mut buf = [0u8; 1024];
@@ -495,15 +585,55 @@ fn serve_metrics_once(mut stream: TcpStream, shared: &Shared) {
         }
     }
     let request_line = line.split(|&b| b == b'\n').next().unwrap_or(&[]);
-    let (status, body) = if request_line.starts_with(b"GET /metrics") {
-        ("200 OK", shared.db.metrics_snapshot().to_prometheus())
+    let request_line = String::from_utf8_lossy(request_line);
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    const TEXT: &str = "text/plain; charset=utf-8";
+    let (status, content_type, body) = if method != "GET" && method != "HEAD" {
+        (
+            "405 Method Not Allowed",
+            TEXT,
+            "only GET and HEAD are supported\n".to_string(),
+        )
     } else {
-        ("404 Not Found", "only /metrics lives here\n".to_string())
+        match path {
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                shared.db.metrics_snapshot().to_prometheus(),
+            ),
+            "/debug" => ("200 OK", "application/json", debug_json(shared)),
+            _ => (
+                "404 Not Found",
+                TEXT,
+                "routes: /metrics, /debug\n".to_string(),
+            ),
+        }
     };
     let _ = write!(
         stream,
-        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
     );
+    if method != "HEAD" {
+        let _ = stream.write_all(body.as_bytes());
+    }
     let _ = stream.flush();
+}
+
+/// The `/debug` JSON document: the slow-query flight recorder, live
+/// maintenance-queue state, the server's in-flight request gauge, and
+/// a full metrics snapshot.
+fn debug_json(shared: &Shared) -> String {
+    let (queue_depth, jobs_inflight) = shared.db.maintenance_status();
+    format!(
+        "{{\"flight_recorder\": {}, \
+         \"maintenance\": {{\"queue_depth\": {queue_depth}, \"jobs_inflight\": {jobs_inflight}}}, \
+         \"inflight_requests\": {}, \
+         \"metrics\": {}}}\n",
+        shared.db.tracer().recorder().to_json(),
+        shared.metrics.inflight_requests.get(),
+        shared.db.metrics_snapshot().to_json(),
+    )
 }

@@ -22,7 +22,7 @@ use parking_lot::Mutex;
 use sim::{Counter, SimDuration};
 
 use crate::engine::DbError;
-use crate::telemetry::{MetricKey, MetricsRegistry};
+use crate::telemetry::{MetricKey, MetricsRegistry, TraceContext, TraceSpan};
 
 /// One write operation inside a [`WriteBatch`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -85,17 +85,33 @@ impl WriteBatch {
 /// there is no lost-wakeup window.
 pub(crate) struct Ticket {
     pub(crate) ops: Vec<BatchOp>,
+    /// Trace context of the submitting writer (sampled requests only).
+    /// The leader reads it to attribute this ticket's share of the
+    /// group's WAL/apply work and to tag triggered maintenance.
+    pub(crate) trace: Option<TraceContext>,
+    /// Stage spans the leader attributed to this ticket (filled before
+    /// `complete`, drained by the submitter after `take_result`).
+    pub(crate) stages: Mutex<Vec<TraceSpan>>,
     done: std::sync::atomic::AtomicBool,
     result: Mutex<Option<Result<SimDuration, DbError>>>,
 }
 
 impl Ticket {
-    pub(crate) fn new(ops: Vec<BatchOp>) -> Self {
+    pub(crate) fn new(ops: Vec<BatchOp>, trace: Option<TraceContext>) -> Self {
         Ticket {
             ops,
+            trace,
+            stages: Mutex::new(Vec::new()),
             done: std::sync::atomic::AtomicBool::new(false),
             result: Mutex::new(None),
         }
+    }
+
+    /// Drain the leader-attributed stage spans (submitter side; safe
+    /// after `take_result` because `done` was published with release
+    /// ordering).
+    pub(crate) fn take_stages(&self) -> Vec<TraceSpan> {
+        std::mem::take(&mut *self.stages.lock())
     }
 
     pub(crate) fn is_done(&self) -> bool {
@@ -201,7 +217,7 @@ mod tests {
 
     #[test]
     fn ticket_completion_is_visible() {
-        let t = Ticket::new(vec![]);
+        let t = Ticket::new(vec![], None);
         assert!(!t.is_done());
         t.complete(Ok(SimDuration::from_nanos(7)));
         assert!(t.is_done());

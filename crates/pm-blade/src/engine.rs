@@ -53,13 +53,14 @@ use crate::costmodel::{
 };
 use crate::groupcache::PmGroupCache;
 use crate::level0::ProbeStats;
+use crate::levels::SsdReadStats;
 use crate::maintenance::{self, Job, JobKind, MaintenanceShared, QueueMetrics};
 use crate::options::{MaintenanceMode, Mode, Options};
 use crate::partition::{Level0, Partition};
 use crate::stats::{EngineStats, LatencyStats, ReadSource};
 use crate::telemetry::{
-    CostDecision, EventRing, LatencyRecorder, MetricKey, MetricsRegistry, MetricsSnapshot,
-    SpanKind, TraceSpan,
+    chrome_trace_json, CostDecision, EventRing, LatencyRecorder, MetricKey, MetricsRegistry,
+    MetricsSnapshot, RequestTrace, SpanKind, StageTrace, TraceContext, TraceOp, TraceSpan, Tracer,
 };
 
 /// Engine errors.
@@ -220,8 +221,8 @@ impl ScanRequest {
         self
     }
 
-    /// Exclusive upper bound as an `Option` (for callers threading one
-    /// through, e.g. the deprecated positional shim).
+    /// Exclusive upper bound as an `Option` (for callers threading an
+    /// optional bound through without branching).
     pub fn end_bound(mut self, end: Option<Vec<u8>>) -> Self {
         self.end = end;
         self
@@ -486,6 +487,9 @@ pub struct DbCore {
     /// Wall-clock (not virtual) stall durations: stalls park the real
     /// thread, so the histogram measures what a client would feel.
     stall_wall: Arc<LatencyRecorder>,
+    /// Request tracer: sampling decisions plus the slow-query flight
+    /// recorder. Observes the virtual clock, never charges it.
+    tracer: Tracer,
 }
 
 /// Pre-fetched per-partition read counters (see [`DbCore::read_metrics`]).
@@ -610,6 +614,13 @@ impl DbCore {
         let maintenance = (opts.maintenance == MaintenanceMode::Background)
             .then(|| Arc::new(MaintenanceShared::new(opts.scheduler, queue_metrics)));
         let ring = EventRing::new(opts.event_log_capacity);
+        let tracer = Tracer::new(
+            opts.trace_sample_every,
+            opts.trace_slow_query_nanos,
+            opts.trace_recorder_capacity,
+            registry.counter(MetricKey::global("trace_sampled_total")),
+            registry.counter(MetricKey::global("trace_recorded_total")),
+        );
         Ok(DbCore {
             partitions: partitions.into_iter().map(RwLock::new).collect(),
             committers,
@@ -645,6 +656,7 @@ impl DbCore {
             write_slowdowns,
             write_stalls,
             stall_wall,
+            tracer,
             opts,
         })
     }
@@ -688,7 +700,9 @@ impl DbCore {
                     SpanKind::Flush => CompactionKind::Minor,
                     SpanKind::Internal => CompactionKind::Internal,
                     SpanKind::Major => CompactionKind::Major,
-                    SpanKind::GroupCommit => return None,
+                    // Group commits and request stages never reach the
+                    // compaction log.
+                    _ => return None,
                 };
                 let work = (kind == CompactionKind::Major).then_some(CompactionWork {
                     input_bytes: span.input_bytes,
@@ -791,6 +805,34 @@ impl DbCore {
         }
     }
 
+    /// The request tracer (sampling state + slow-query flight recorder).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Snapshot of the slow-query flight recorder: the most recent
+    /// sampled request traces that crossed the slow-query threshold
+    /// (all sampled traces when the threshold is 0), oldest first.
+    pub fn flight_recorder(&self) -> Vec<RequestTrace> {
+        self.tracer.recorder().snapshot()
+    }
+
+    /// The flight recorder rendered as Chrome trace-event JSON (open in
+    /// `chrome://tracing` or Perfetto).
+    pub fn chrome_trace(&self) -> String {
+        chrome_trace_json(&self.flight_recorder())
+    }
+
+    /// Live maintenance-queue state as `(queue_depth, jobs_inflight)`;
+    /// `(0, 0)` in Inline mode, where triggered maintenance runs on the
+    /// triggering thread.
+    pub fn maintenance_status(&self) -> (usize, usize) {
+        match &self.maintenance {
+            Some(m) => (m.queue_depth(), m.inflight()),
+            None => (0, 0),
+        }
+    }
+
     /// Current logical clock.
     pub fn now(&self) -> SimInstant {
         SimInstant::ORIGIN + SimDuration::from_nanos(self.clock.load(Ordering::Relaxed))
@@ -846,9 +888,11 @@ impl DbCore {
         pid: usize,
         start_nanos: u64,
         cost: Option<CostDecision>,
+        origin: u64,
     ) -> TraceSpan {
         TraceSpan {
             id: self.next_span_id(),
+            trace_id: origin,
             kind,
             partition: pid,
             start_nanos,
@@ -896,6 +940,26 @@ impl DbCore {
 
     /// Insert or update a key.
     pub fn put(&self, user_key: &[u8], value: &[u8]) -> Result<SimDuration, DbError> {
+        self.put_with(user_key, value, self.tracer.sample())
+    }
+
+    /// [`DbCore::put`] under a caller-supplied trace context (the wire
+    /// entry point for `Request::Traced`).
+    pub fn put_traced(
+        &self,
+        user_key: &[u8],
+        value: &[u8],
+        ctx: TraceContext,
+    ) -> Result<SimDuration, DbError> {
+        self.put_with(user_key, value, self.tracer.adopt(ctx))
+    }
+
+    fn put_with(
+        &self,
+        user_key: &[u8],
+        value: &[u8],
+        trace: Option<TraceContext>,
+    ) -> Result<SimDuration, DbError> {
         let pid = self.opts.partitioner.locate(user_key);
         self.submit(
             pid,
@@ -903,17 +967,36 @@ impl DbCore {
                 key: user_key.to_vec(),
                 value: value.to_vec(),
             }],
+            trace,
         )
     }
 
     /// Delete a key (writes a tombstone).
     pub fn delete(&self, user_key: &[u8]) -> Result<SimDuration, DbError> {
+        self.delete_with(user_key, self.tracer.sample())
+    }
+
+    /// [`DbCore::delete`] under a caller-supplied trace context.
+    pub fn delete_traced(
+        &self,
+        user_key: &[u8],
+        ctx: TraceContext,
+    ) -> Result<SimDuration, DbError> {
+        self.delete_with(user_key, self.tracer.adopt(ctx))
+    }
+
+    fn delete_with(
+        &self,
+        user_key: &[u8],
+        trace: Option<TraceContext>,
+    ) -> Result<SimDuration, DbError> {
         let pid = self.opts.partitioner.locate(user_key);
         self.submit(
             pid,
             vec![BatchOp::Delete {
                 key: user_key.to_vec(),
             }],
+            trace,
         )
     }
 
@@ -921,6 +1004,25 @@ impl DbCore {
     /// visible atomically; a batch spanning partitions is applied in
     /// ascending partition order, each partition's slice atomically.
     pub fn write_batch(&self, batch: WriteBatch) -> Result<SimDuration, DbError> {
+        self.write_batch_with(batch, self.tracer.sample())
+    }
+
+    /// [`DbCore::write_batch`] under a caller-supplied trace context.
+    /// A batch spanning partitions records one stage set per partition
+    /// commit, all under the same trace id.
+    pub fn write_batch_traced(
+        &self,
+        batch: WriteBatch,
+        ctx: TraceContext,
+    ) -> Result<SimDuration, DbError> {
+        self.write_batch_with(batch, self.tracer.adopt(ctx))
+    }
+
+    fn write_batch_with(
+        &self,
+        batch: WriteBatch,
+        trace: Option<TraceContext>,
+    ) -> Result<SimDuration, DbError> {
         if batch.is_empty() {
             return Ok(SimDuration::ZERO);
         }
@@ -934,7 +1036,7 @@ impl DbCore {
         let mut total = SimDuration::ZERO;
         for (pid, ops) in per_pid.into_iter().enumerate() {
             if !ops.is_empty() {
-                total += self.submit(pid, ops)?;
+                total += self.submit(pid, ops, trace)?;
             }
         }
         Ok(total)
@@ -945,10 +1047,17 @@ impl DbCore {
     /// In Background mode the write first passes the backpressure gate
     /// ([`DbCore::throttle`]); any slowdown penalty is part of the
     /// write's reported latency.
-    fn submit(&self, pid: usize, ops: Vec<BatchOp>) -> Result<SimDuration, DbError> {
-        let penalty = self.throttle(pid);
+    fn submit(
+        &self,
+        pid: usize,
+        ops: Vec<BatchOp>,
+        trace: Option<TraceContext>,
+    ) -> Result<SimDuration, DbError> {
+        let start_nanos = self.clock.load(Ordering::Relaxed);
+        let origin = trace.map_or(0, |c| c.trace_id);
+        let penalty = self.throttle(pid, origin);
         let committer = &self.committers[pid];
-        let ticket = Arc::new(Ticket::new(ops));
+        let ticket = Arc::new(Ticket::new(ops, trace));
         committer.queue.lock().push(Arc::clone(&ticket));
         if !ticket.is_done() {
             let _leader = committer.commit.lock();
@@ -967,6 +1076,16 @@ impl DbCore {
             Ok(latency) => {
                 let total = latency + penalty;
                 self.lat_writes.record(total);
+                if let Some(ctx) = trace {
+                    let mut st = StageTrace::new(ctx, TraceOp::Write, pid, start_nanos);
+                    if penalty > SimDuration::ZERO {
+                        st.stage(SpanKind::ThrottleWait, 0, penalty.as_nanos());
+                    }
+                    for span in ticket.take_stages() {
+                        st.push_span(span);
+                    }
+                    self.tracer.finish(st.finish(total.as_nanos()));
+                }
                 Ok(total)
             }
             Err(e) => Err(e),
@@ -982,7 +1101,9 @@ impl DbCore {
     /// *stall* threshold (park the real thread until the workers catch
     /// up). Returns the virtual penalty to add to the write's latency;
     /// the engine clock is advanced by it here.
-    fn throttle(&self, pid: usize) -> SimDuration {
+    /// `origin` is the trace id of the throttled write (0 = untraced),
+    /// stamped onto the relief jobs it queues.
+    fn throttle(&self, pid: usize, origin: u64) -> SimDuration {
         let Some(m) = &self.maintenance else {
             return SimDuration::ZERO;
         };
@@ -1007,6 +1128,7 @@ impl DbCore {
                         kind: JobKind::Internal,
                         partition: pid,
                         cost: None,
+                        origin_trace: origin,
                     });
                 }
                 if mem_stalled {
@@ -1014,6 +1136,7 @@ impl DbCore {
                         kind: JobKind::Flush,
                         partition: pid,
                         cost: None,
+                        origin_trace: origin,
                     });
                 }
                 m.wait_for_progress(std::time::Duration::from_millis(1));
@@ -1032,6 +1155,7 @@ impl DbCore {
                     kind: JobKind::Internal,
                     partition: pid,
                     cost: None,
+                    origin_trace: origin,
                 });
             }
             let l0_slowed = unsorted >= self.opts.l0_slowdown_trigger;
@@ -1046,6 +1170,7 @@ impl DbCore {
                         kind: JobKind::Flush,
                         partition: pid,
                         cost: None,
+                        origin_trace: origin,
                     });
                 }
                 self.write_slowdowns.incr();
@@ -1074,10 +1199,12 @@ impl DbCore {
     /// Execute one background job (called from the worker threads).
     pub(crate) fn run_job(&self, job: &Job) -> Result<(), DbError> {
         match job.kind {
-            JobKind::Flush => self.do_flush(job.partition),
-            JobKind::Internal => self.do_internal(job.partition, job.cost.clone()),
-            JobKind::Major => self.do_major_chunked(job.partition),
-            JobKind::Retention => self.do_retention_inner(true),
+            JobKind::Flush => self.do_flush(job.partition, job.origin_trace),
+            JobKind::Internal => {
+                self.do_internal(job.partition, job.cost.clone(), job.origin_trace)
+            }
+            JobKind::Major => self.do_major_chunked(job.partition, job.origin_trace),
+            JobKind::Retention => self.do_retention_inner(true, job.origin_trace),
         }
     }
 
@@ -1091,6 +1218,12 @@ impl DbCore {
         let total_ops: usize = group.iter().map(|t| t.ops.len()).sum();
         let base = self.seq.fetch_add(total_ops as u64, Ordering::Relaxed);
         let max_seq = base + total_ops as u64;
+        // First sampled writer in the group becomes the origin for any
+        // maintenance this commit triggers.
+        let origin = group
+            .iter()
+            .find_map(|t| t.trace.map(|c| c.trace_id))
+            .unwrap_or(0);
         // One WAL pass for the whole group.
         if let Some(wal) = &self.wal {
             let mut wal = wal.lock();
@@ -1125,6 +1258,7 @@ impl DbCore {
                 }
             }
         }
+        let wal_nanos = tl.elapsed().as_nanos();
         // One memtable apply for the whole group.
         let mut group_bytes = 0u64;
         let mem_full = {
@@ -1156,6 +1290,7 @@ impl DbCore {
             }
             p.mem.approximate_size() >= self.opts.memtable_bytes
         };
+        let apply_nanos = tl.elapsed().as_nanos().saturating_sub(wal_nanos);
         // Publish: snapshots taken from here on see the whole group.
         self.visible_seq.fetch_max(max_seq, Ordering::AcqRel);
         self.stats.group_commits.incr();
@@ -1171,6 +1306,7 @@ impl DbCore {
         if !self.opts.listeners.is_empty() {
             let span = TraceSpan {
                 id: self.next_span_id(),
+                trace_id: origin,
                 kind: SpanKind::GroupCommit,
                 partition: pid,
                 start_nanos,
@@ -1196,12 +1332,13 @@ impl DbCore {
                 kind: JobKind::Flush,
                 partition: pid,
                 cost: None,
+                origin_trace: origin,
             });
             if !offloaded {
                 // Still holding the commit mutex: no new group can race
                 // the flush into a half-frozen memtable.
                 let before = self.clock.load(Ordering::Relaxed);
-                if let Err(e) = self.do_flush(pid) {
+                if let Err(e) = self.do_flush(pid, origin) {
                     flush_err = Some(e);
                 }
                 maintenance = SimDuration::from_nanos(
@@ -1214,9 +1351,51 @@ impl DbCore {
         // even on a flush error — the group itself durably committed.
         let billed = elapsed + maintenance;
         for ticket in group {
-            let share = SimDuration::from_nanos(
-                billed.as_nanos() * ticket.ops.len() as u64 / total_ops.max(1) as u64,
-            );
+            let ops = ticket.ops.len() as u64;
+            let share_of = |nanos: u64| nanos * ops / total_ops.max(1) as u64;
+            let share = SimDuration::from_nanos(share_of(billed.as_nanos()));
+            // Sampled writers get their share of the group's work split
+            // into stages on the group's timeline. Shares use the same
+            // integer scaling as the billed latency, so the per-stage
+            // sum can never exceed the ticket's reported latency.
+            if let Some(ctx) = ticket.trace {
+                let wal_share = share_of(wal_nanos);
+                let apply_share = share_of(apply_nanos);
+                let wait = share.as_nanos().saturating_sub(wal_share + apply_share);
+                let mk = |kind: SpanKind, from: u64, to: u64, records: u64| TraceSpan {
+                    id: 0,
+                    trace_id: ctx.trace_id,
+                    kind,
+                    partition: pid,
+                    start_nanos: start_nanos + from,
+                    end_nanos: start_nanos + to,
+                    input_records: records,
+                    output_records: records,
+                    input_bytes: 0,
+                    output_bytes: 0,
+                    value_size: 0,
+                    cost: None,
+                };
+                let mut stages = Vec::with_capacity(3);
+                if wal_share > 0 {
+                    stages.push(mk(SpanKind::WalAppend, 0, wal_share, ops));
+                }
+                stages.push(mk(
+                    SpanKind::MemtableApply,
+                    wal_share,
+                    wal_share + apply_share,
+                    ops,
+                ));
+                if wait > 0 {
+                    stages.push(mk(
+                        SpanKind::LeaderWait,
+                        wal_share + apply_share,
+                        wal_share + apply_share + wait,
+                        total_ops as u64,
+                    ));
+                }
+                *ticket.stages.lock() = stages;
+            }
             ticket.complete(Ok(share));
         }
         match flush_err {
@@ -1227,10 +1406,25 @@ impl DbCore {
 
     /// Point read at the latest snapshot.
     pub fn get(&self, user_key: &[u8]) -> Result<ReadOutcome, DbError> {
-        self.get_at(user_key, SequenceNumber::MAX)
+        self.get_at_with(user_key, SequenceNumber::MAX, self.tracer.sample())
+    }
+
+    /// [`DbCore::get`] under a caller-supplied trace context (the wire
+    /// entry point for `Request::Traced`).
+    pub fn get_traced(&self, user_key: &[u8], ctx: TraceContext) -> Result<ReadOutcome, DbError> {
+        self.get_at_with(user_key, SequenceNumber::MAX, self.tracer.adopt(ctx))
     }
 
     /// Point read at a snapshot (see [`DbCore::snapshot`]).
+    pub fn get_at(
+        &self,
+        user_key: &[u8],
+        snapshot: SequenceNumber,
+    ) -> Result<ReadOutcome, DbError> {
+        self.get_at_with(user_key, snapshot, self.tracer.sample())
+    }
+
+    /// The read path proper.
     ///
     /// Fast path: the memtable probe runs under the partition's read
     /// lock; if the partition has a PM level-0, the lock is dropped and
@@ -1240,20 +1434,34 @@ impl DbCore {
     /// their pool space). Only the SSD levels — whose tables *can* be
     /// deleted by a concurrent major compaction — are searched under the
     /// lock again.
-    pub fn get_at(
+    ///
+    /// When `trace` is set, each leg records a stage span from the
+    /// `Timeline::elapsed` deltas around it — measured sub-intervals of
+    /// the same virtual timeline that produces the read's latency, so
+    /// the stage sum can never exceed the total. Untraced reads take
+    /// the exact pre-tracing path (one `None` check per leg).
+    fn get_at_with(
         &self,
         user_key: &[u8],
         snapshot: SequenceNumber,
+        trace: Option<TraceContext>,
     ) -> Result<ReadOutcome, DbError> {
         let mut tl = Timeline::new();
         let pid = self.opts.partitioner.locate(user_key);
+        let start_nanos = self.clock.load(Ordering::Relaxed);
+        let mut st = trace.map(|ctx| StageTrace::new(ctx, TraceOp::Get, pid, start_nanos));
         let guard = self.partitions[pid].read();
         guard.counters.reads.incr();
-        let probed = if let Some(hit) = guard.mem.get(user_key, snapshot, &mut tl) {
+        let mem_hit = guard.mem.get(user_key, snapshot, &mut tl);
+        if let Some(s) = st.as_mut() {
+            s.stage(SpanKind::MemtableProbe, 0, tl.elapsed().as_nanos());
+        }
+        let probed = if let Some(hit) = mem_hit {
             Ok((Some(hit), ReadSource::MemTable, None))
         } else if let Level0::Pm(l0) = &guard.level0 {
             let l0_snap = l0.snapshot();
             drop(guard);
+            let pm_from = tl.elapsed().as_nanos();
             let mut probe = ProbeStats::default();
             let l0_hit = l0_snap.get_with(
                 user_key,
@@ -1263,11 +1471,60 @@ impl DbCore {
                 &mut probe,
             );
             self.note_probe_stats(&probe);
+            if let Some(s) = st.as_mut() {
+                // Lay the measured PM sub-intervals out in consult
+                // order: filters, then cache-served probes, then
+                // probes that decoded groups from PM.
+                let mut cursor = pm_from;
+                if probe.filter_checked > 0 {
+                    s.stage_counts(
+                        SpanKind::FilterConsult,
+                        cursor,
+                        cursor + probe.filter_nanos,
+                        probe.filter_checked,
+                        probe.filter_useful,
+                    );
+                    cursor += probe.filter_nanos;
+                }
+                if probe.decode_cache_hits > 0 {
+                    s.stage_counts(
+                        SpanKind::PmDecodeHit,
+                        cursor,
+                        cursor + probe.decode_hit_nanos,
+                        probe.decode_cache_hits,
+                        0,
+                    );
+                    cursor += probe.decode_hit_nanos;
+                }
+                if probe.decode_cache_misses > 0 || probe.decode_miss_nanos > 0 {
+                    s.stage_counts(
+                        SpanKind::PmDecodeMiss,
+                        cursor,
+                        cursor + probe.decode_miss_nanos,
+                        probe.decode_cache_misses,
+                        0,
+                    );
+                }
+            }
             if let Some(hit) = l0_hit {
                 Ok((Some(hit), ReadSource::Pm, None))
             } else {
                 let guard = self.partitions[pid].read();
-                match guard.levels.get(user_key, snapshot, &mut tl) {
+                let ssd_from = tl.elapsed().as_nanos();
+                let mut ssd = SsdReadStats::default();
+                let res = guard
+                    .levels
+                    .get_with_stats(user_key, snapshot, &mut tl, &mut ssd);
+                if let Some(s) = st.as_mut() {
+                    s.stage_counts(
+                        SpanKind::SsdRead,
+                        ssd_from,
+                        tl.elapsed().as_nanos(),
+                        ssd.levels_searched,
+                        ssd.tables_probed,
+                    );
+                }
+                match res {
                     Ok(Some((hit, level))) => Ok((Some(hit), ReadSource::Ssd, Some(level))),
                     Ok(None) => Ok((None, ReadSource::Miss, None)),
                     Err(e) => Err(DbError::from(e)),
@@ -1291,6 +1548,9 @@ impl DbCore {
         let latency = tl.elapsed();
         self.advance(latency);
         self.lat_reads.record(latency);
+        if let Some(s) = st {
+            self.tracer.finish(s.finish(latency.as_nanos()));
+        }
         Ok(ReadOutcome {
             value: hit.and_then(|l| l.into_value()),
             source,
@@ -1349,7 +1609,26 @@ impl DbCore {
     /// Each partition is read under its lock; the scan as a whole is
     /// not a point-in-time snapshot across partitions.
     pub fn scan(&self, request: ScanRequest) -> Result<ScanResult, DbError> {
+        self.scan_with(request, self.tracer.sample())
+    }
+
+    /// [`DbCore::scan`] under a caller-supplied trace context (the wire
+    /// entry point for `Request::Traced`).
+    pub fn scan_traced(
+        &self,
+        request: ScanRequest,
+        ctx: TraceContext,
+    ) -> Result<ScanResult, DbError> {
+        self.scan_with(request, self.tracer.adopt(ctx))
+    }
+
+    fn scan_with(
+        &self,
+        request: ScanRequest,
+        trace: Option<TraceContext>,
+    ) -> Result<ScanResult, DbError> {
         let mut tl = Timeline::new();
+        let start_nanos = self.clock.load(Ordering::Relaxed);
         self.stats.scans.incr();
         let start = request.start.as_slice();
         let end = request.end.as_deref();
@@ -1398,23 +1677,13 @@ impl DbCore {
         let latency = tl.elapsed();
         self.advance(latency);
         self.lat_scans.record(latency);
+        if let Some(ctx) = trace {
+            // Scans record a stage-less trace (the partition walk is
+            // one merged pass; there is no per-stage breakdown yet).
+            let st = StageTrace::new(ctx, TraceOp::Scan, first_pid, start_nanos);
+            self.tracer.finish(st.finish(latency.as_nanos()));
+        }
         Ok((out, latency))
-    }
-
-    /// Positional scan signature, kept for one release.
-    #[deprecated(note = "build a `ScanRequest` (start/end/limit/reverse) and call `scan`")]
-    pub fn scan_range(
-        &self,
-        start: &[u8],
-        end: Option<&[u8]>,
-        limit: usize,
-    ) -> Result<ScanResult, DbError> {
-        self.scan(ScanRequest {
-            start: start.to_vec(),
-            end: end.map(<[u8]>::to_vec),
-            limit,
-            reverse: false,
-        })
     }
 
     /// One partition's merged, version-deduplicated slice of
@@ -1492,20 +1761,25 @@ impl DbCore {
             }
         }
         match request {
-            CompactionRequest::Flush { partition } => self.do_flush(partition),
+            CompactionRequest::Flush { partition } => self.do_flush(partition, 0),
             CompactionRequest::FlushAll => {
                 for pid in 0..self.partitions.len() {
-                    self.do_flush(pid)?;
+                    self.do_flush(pid, 0)?;
                 }
                 Ok(())
             }
-            CompactionRequest::Internal { partition } => self.do_internal(partition, None),
-            CompactionRequest::Major { partition } => self.do_major(partition),
-            CompactionRequest::MajorWithRetention => self.do_retention(),
+            CompactionRequest::Internal { partition } => self.do_internal(partition, None, 0),
+            CompactionRequest::Major { partition } => self.do_major(partition, 0),
+            CompactionRequest::MajorWithRetention => self.do_retention(0),
         }
     }
 
-    fn do_flush(&self, pid: usize) -> Result<(), DbError> {
+    /// `origin` throughout the maintenance chain is the trace id of the
+    /// sampled foreground request that triggered the work (0 = none, or
+    /// the trigger was untraced); it lands in each maintenance span's
+    /// `trace_id` so a flight-recorder trace can be cross-linked to the
+    /// flush/compaction it caused.
+    fn do_flush(&self, pid: usize, origin: u64) -> Result<(), DbError> {
         let mut tl = Timeline::new();
         let start_nanos = self.clock.load(Ordering::Relaxed);
         self.opts.listeners.flush_begin(pid);
@@ -1533,6 +1807,7 @@ impl DbCore {
                 self.advance(d);
                 let span = TraceSpan {
                     id: self.next_span_id(),
+                    trace_id: origin,
                     kind: SpanKind::Flush,
                     partition: pid,
                     start_nanos,
@@ -1552,13 +1827,13 @@ impl DbCore {
             None => {
                 // Nothing to flush: close the begin/complete pair with a
                 // zero-work span.
-                let span = self.empty_span(SpanKind::Flush, pid, start_nanos, None);
+                let span = self.empty_span(SpanKind::Flush, pid, start_nanos, None, origin);
                 self.opts.listeners.flush_complete(&span);
                 false
             }
         };
         if flushed {
-            self.apply_strategy(pid)?;
+            self.apply_strategy(pid, origin)?;
         }
         Ok(())
     }
@@ -1567,7 +1842,7 @@ impl DbCore {
     /// trigger state is sampled under a read lock and the lock dropped
     /// before acting; the compaction paths re-check what is actually
     /// there, so a racing compaction at worst makes one of them a no-op.
-    fn apply_strategy(&self, pid: usize) -> Result<(), DbError> {
+    fn apply_strategy(&self, pid: usize, origin: u64) -> Result<(), DbError> {
         match self.opts.mode {
             Mode::PmBlade => {
                 let now = self.now();
@@ -1619,9 +1894,10 @@ impl DbCore {
                         kind: JobKind::Internal,
                         partition: pid,
                         cost: cause.clone(),
+                        origin_trace: origin,
                     });
                     if !offloaded {
-                        self.do_internal(pid, cause)?;
+                        self.do_internal(pid, cause, origin)?;
                     }
                 }
                 // Line 7-9: Eq 3 — major compaction with retention.
@@ -1630,9 +1906,10 @@ impl DbCore {
                         kind: JobKind::Retention,
                         partition: maintenance::GLOBAL_PARTITION,
                         cost: None,
+                        origin_trace: origin,
                     });
                     if !offloaded {
-                        self.do_retention()?;
+                        self.do_retention(origin)?;
                     }
                 }
             }
@@ -1646,7 +1923,7 @@ impl DbCore {
                 if self.partitions[pid].read().unsorted_count() >= self.opts.l0_table_trigger
                     || self.pool.used() >= self.opts.tau_m
                 {
-                    self.major_or_enqueue(pid)?;
+                    self.major_or_enqueue(pid, origin)?;
                 }
             }
             Mode::MatrixKv => {
@@ -1654,7 +1931,7 @@ impl DbCore {
                 // no retention.
                 if self.pool.used() >= self.opts.tau_m {
                     for pid in 0..self.partitions.len() {
-                        self.major_or_enqueue(pid)?;
+                        self.major_or_enqueue(pid, origin)?;
                     }
                 }
             }
@@ -1663,7 +1940,7 @@ impl DbCore {
                     .read()
                     .ssd_l0_full(self.opts.l0_table_trigger)
                 {
-                    self.major_or_enqueue(pid)?;
+                    self.major_or_enqueue(pid, origin)?;
                 }
             }
         }
@@ -1676,7 +1953,12 @@ impl DbCore {
     /// the old tables, so it needs PM headroom; when the pool cannot fit
     /// the new run the engine falls back to a major compaction, which
     /// frees the partition's PM space instead.
-    fn do_internal(&self, pid: usize, cost: Option<CostDecision>) -> Result<(), DbError> {
+    fn do_internal(
+        &self,
+        pid: usize,
+        cost: Option<CostDecision>,
+        origin: u64,
+    ) -> Result<(), DbError> {
         let mut tl = Timeline::new();
         let start_nanos = self.clock.load(Ordering::Relaxed);
         self.opts
@@ -1692,9 +1974,9 @@ impl DbCore {
                 // PM cannot fit the new sorted run: close this span
                 // empty and fall back to a major compaction, which
                 // frees the partition's PM space instead.
-                let span = self.empty_span(SpanKind::Internal, pid, start_nanos, cost);
+                let span = self.empty_span(SpanKind::Internal, pid, start_nanos, cost, origin);
                 self.opts.listeners.compaction_complete(&span);
-                return self.do_major(pid);
+                return self.do_major(pid, origin);
             }
             Err(e) => return Err(e),
         };
@@ -1718,6 +2000,7 @@ impl DbCore {
             self.advance(d);
             let span = TraceSpan {
                 id: self.next_span_id(),
+                trace_id: origin,
                 kind: SpanKind::Internal,
                 partition: pid,
                 start_nanos,
@@ -1733,7 +2016,7 @@ impl DbCore {
             span
         } else {
             drop(p);
-            self.empty_span(SpanKind::Internal, pid, start_nanos, cost)
+            self.empty_span(SpanKind::Internal, pid, start_nanos, cost, origin)
         };
         self.opts.listeners.compaction_complete(&span);
         Ok(())
@@ -1741,22 +2024,23 @@ impl DbCore {
 
     /// Trigger-site helper: enqueue a major compaction in Background
     /// mode, run it inline otherwise.
-    fn major_or_enqueue(&self, pid: usize) -> Result<(), DbError> {
+    fn major_or_enqueue(&self, pid: usize, origin: u64) -> Result<(), DbError> {
         let offloaded = self.offload(Job {
             kind: JobKind::Major,
             partition: pid,
             cost: None,
+            origin_trace: origin,
         });
         if offloaded {
             Ok(())
         } else {
-            self.do_major(pid)
+            self.do_major(pid, origin)
         }
     }
 
     /// Major-compact one partition (its whole level-0 into level-1).
-    fn do_major(&self, pid: usize) -> Result<(), DbError> {
-        self.do_major_limited(pid, usize::MAX)
+    fn do_major(&self, pid: usize, origin: u64) -> Result<(), DbError> {
+        self.do_major_limited(pid, usize::MAX, origin)
     }
 
     /// The §V-C compaction splitter applied to real work: move the
@@ -1765,13 +2049,13 @@ impl DbCore {
     /// operations interleave with a large major compaction. Used by the
     /// background workers; the inline path keeps the single-install
     /// major for deterministic span counts.
-    fn do_major_chunked(&self, pid: usize) -> Result<(), DbError> {
+    fn do_major_chunked(&self, pid: usize, origin: u64) -> Result<(), DbError> {
         let k = crate::compaction::chunk_count(&self.opts.scheduler);
         let total = self.partitions[pid].read().l0_table_count();
         if k <= 1 || total == 0 {
             // Nothing to split (or a Matrix/SSD level-0, which drains
             // in one install regardless).
-            return self.do_major(pid);
+            return self.do_major(pid, origin);
         }
         let per_chunk = total.div_ceil(k).max(1);
         // Each limited pass moves the *oldest* tables first, so between
@@ -1780,7 +2064,7 @@ impl DbCore {
         // tables mid-pass, and each pass removes at least one table, so
         // this terminates once the partition quiesces.
         while self.partitions[pid].read().l0_table_count() > 0 {
-            self.do_major_limited(pid, per_chunk)?;
+            self.do_major_limited(pid, per_chunk, origin)?;
             std::thread::yield_now();
         }
         Ok(())
@@ -1788,7 +2072,7 @@ impl DbCore {
 
     /// One major-compaction install moving at most `table_limit`
     /// level-0 tables (oldest first; `usize::MAX` moves everything).
-    fn do_major_limited(&self, pid: usize, table_limit: usize) -> Result<(), DbError> {
+    fn do_major_limited(&self, pid: usize, table_limit: usize, origin: u64) -> Result<(), DbError> {
         let mut tl = Timeline::new();
         let start_nanos = self.clock.load(Ordering::Relaxed);
         self.opts.listeners.compaction_begin(SpanKind::Major, pid);
@@ -1835,6 +2119,7 @@ impl DbCore {
         self.advance(d);
         let span = TraceSpan {
             id: self.next_span_id(),
+            trace_id: origin,
             kind: SpanKind::Major,
             partition: pid,
             start_nanos,
@@ -1855,21 +2140,21 @@ impl DbCore {
     /// keep evicting colder retained partitions until PM is below τ_m.
     /// Partition locks are taken one at a time (candidate sampling,
     /// then each victim's compaction) — never two at once.
-    fn do_retention(&self) -> Result<(), DbError> {
-        self.do_retention_inner(false)
+    fn do_retention(&self, origin: u64) -> Result<(), DbError> {
+        self.do_retention_inner(false, origin)
     }
 
     /// `chunked` selects the background flavor: victims move through
     /// [`DbCore::do_major_chunked`] with a yield between partitions, so
     /// one retention pass never monopolizes a worker.
-    fn do_retention_inner(&self, chunked: bool) -> Result<(), DbError> {
+    fn do_retention_inner(&self, chunked: bool, origin: u64) -> Result<(), DbError> {
         let evict = |pid: usize| -> Result<(), DbError> {
             if chunked {
-                let r = self.do_major_chunked(pid);
+                let r = self.do_major_chunked(pid, origin);
                 std::thread::yield_now();
                 r
             } else {
-                self.do_major(pid)
+                self.do_major(pid, origin)
             }
         };
         let candidates: Vec<RetentionCandidate> = self

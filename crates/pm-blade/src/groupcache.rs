@@ -249,6 +249,54 @@ impl GroupAccess for TableGroupCache<'_> {
     }
 }
 
+/// A [`GroupAccess`] adapter that counts cache outcomes for one probe
+/// so the request tracer can attribute a PM table probe to the decode
+/// cache (all lookups hit) or to a PM group decode (any lookup
+/// missed). Delegates to a [`TableGroupCache`]; the cache's own global
+/// hit/miss counters are unaffected by the wrapping.
+pub struct ObservedGroupAccess<'a> {
+    inner: TableGroupCache<'a>,
+    hits: std::cell::Cell<u64>,
+    misses: std::cell::Cell<u64>,
+}
+
+impl<'a> ObservedGroupAccess<'a> {
+    pub fn new(inner: TableGroupCache<'a>) -> Self {
+        ObservedGroupAccess {
+            inner,
+            hits: std::cell::Cell::new(0),
+            misses: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Group lookups this probe served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.get()
+    }
+
+    /// Group lookups this probe decoded from PM (including lookups
+    /// against a disabled cache, which always decode).
+    pub fn misses(&self) -> u64 {
+        self.misses.get()
+    }
+}
+
+impl GroupAccess for ObservedGroupAccess<'_> {
+    fn lookup(&self, group: u32) -> Option<Arc<Vec<OwnedEntry>>> {
+        let found = self.inner.lookup(group);
+        if found.is_some() {
+            self.hits.set(self.hits.get() + 1);
+        } else {
+            self.misses.set(self.misses.get() + 1);
+        }
+        found
+    }
+
+    fn store(&self, group: u32, entries: Arc<Vec<OwnedEntry>>) {
+        self.inner.store(group, entries);
+    }
+}
+
 impl std::fmt::Debug for PmGroupCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PmGroupCache")
@@ -344,6 +392,19 @@ mod tests {
         assert!(view.lookup(same_shard[0]).is_some());
         assert!(view.lookup(same_shard[3]).is_some());
         assert!(c.evictions.get() >= 1);
+    }
+
+    #[test]
+    fn observed_access_counts_per_probe_outcomes() {
+        let c = PmGroupCache::new(1 << 20);
+        c.for_table(3).store(0, group(3, 2, 8));
+        let obs = ObservedGroupAccess::new(c.for_table(3));
+        assert!(obs.lookup(0).is_some());
+        assert!(obs.lookup(1).is_none());
+        obs.store(1, group(3, 2, 8));
+        assert_eq!(obs.hits(), 1);
+        assert_eq!(obs.misses(), 1);
+        assert!(c.for_table(3).lookup(1).is_some(), "store delegated");
     }
 
     #[test]

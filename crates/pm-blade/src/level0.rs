@@ -26,10 +26,13 @@ use pm_device::PmPool;
 use pmtable::{L0Table, Lookup, OwnedEntry};
 use sim::Timeline;
 
-use crate::groupcache::PmGroupCache;
+use crate::groupcache::{ObservedGroupAccess, PmGroupCache};
 use crate::handle::PmTableHandle;
 
-/// Per-get probe accounting, surfaced through engine telemetry.
+/// Per-get probe accounting, surfaced through engine telemetry and the
+/// request tracer. All `_nanos` fields are virtual-clock sub-intervals
+/// measured as `Timeline::elapsed` deltas around the work — tracing
+/// observes the timeline, it never charges it.
 #[derive(Default, Clone, Copy, Debug)]
 pub struct ProbeStats {
     /// PM tables actually searched (meta layer touched).
@@ -40,6 +43,17 @@ pub struct ProbeStats {
     pub filter_useful: u64,
     /// Filter said "maybe" but the table did not hold the key.
     pub filter_false_positives: u64,
+    /// Virtual time spent consulting bloom filters.
+    pub filter_nanos: u64,
+    /// Group lookups served from the decode cache.
+    pub decode_cache_hits: u64,
+    /// Group lookups that decoded prefix groups from PM (includes all
+    /// lookups when the cache is absent or disabled).
+    pub decode_cache_misses: u64,
+    /// Virtual time in table probes served entirely from the cache.
+    pub decode_hit_nanos: u64,
+    /// Virtual time in table probes that decoded at least one group.
+    pub decode_miss_nanos: u64,
 }
 
 impl ProbeStats {
@@ -48,6 +62,11 @@ impl ProbeStats {
         self.filter_checked += other.filter_checked;
         self.filter_useful += other.filter_useful;
         self.filter_false_positives += other.filter_false_positives;
+        self.filter_nanos += other.filter_nanos;
+        self.decode_cache_hits += other.decode_cache_hits;
+        self.decode_cache_misses += other.decode_cache_misses;
+        self.decode_hit_nanos += other.decode_hit_nanos;
+        self.decode_miss_nanos += other.decode_miss_nanos;
     }
 }
 
@@ -361,14 +380,26 @@ fn probe_table(
     stats: &mut ProbeStats,
 ) -> Option<Lookup> {
     stats.tables_probed += 1;
-    match cache {
+    let before = tl.elapsed().as_nanos();
+    let (hit, cache_hits, cache_misses) = match cache {
         Some(c) => {
-            handle
-                .table
-                .get_with_cache(user_key, snapshot, tl, &c.for_table(handle.cache_id))
+            let access = ObservedGroupAccess::new(c.for_table(handle.cache_id));
+            let hit = handle.table.get_with_cache(user_key, snapshot, tl, &access);
+            (hit, access.hits(), access.misses())
         }
-        None => handle.table.get(user_key, snapshot, tl),
+        None => (handle.table.get(user_key, snapshot, tl), 0, 0),
+    };
+    let spent = tl.elapsed().as_nanos().saturating_sub(before);
+    stats.decode_cache_hits += cache_hits;
+    stats.decode_cache_misses += cache_misses;
+    // A probe counts as cache-served only when every group it touched
+    // came out of the cache; anything else decoded from PM.
+    if cache_hits > 0 && cache_misses == 0 {
+        stats.decode_hit_nanos += spent;
+    } else {
+        stats.decode_miss_nanos += spent;
     }
+    hit
 }
 
 /// Consult a table's bloom filter (when it has one). Returns `true` when
@@ -379,7 +410,10 @@ fn filter_rules_out(
     tl: &mut Timeline,
     stats: &mut ProbeStats,
 ) -> bool {
-    match handle.table.filter_may_contain(user_key, tl) {
+    let before = tl.elapsed().as_nanos();
+    let verdict = handle.table.filter_may_contain(user_key, tl);
+    stats.filter_nanos += tl.elapsed().as_nanos().saturating_sub(before);
+    match verdict {
         Some(may_contain) => {
             stats.filter_checked += 1;
             if may_contain {

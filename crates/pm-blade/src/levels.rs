@@ -17,6 +17,16 @@ use sstable::{BlockCache, SsTable, SsTableBuilder, SsTableOptions};
 
 use crate::handle::SsTableHandle;
 
+/// Per-get SSD probe accounting, threaded into the request tracer's
+/// `ssd_read` stage.
+#[derive(Default, Clone, Copy, Debug)]
+pub struct SsdReadStats {
+    /// Levels whose candidate table overlapped the key and was probed.
+    pub tables_probed: u64,
+    /// Levels walked (including those skipped by the key-range check).
+    pub levels_searched: u64,
+}
+
 /// SSD level stack for one partition.
 #[derive(Default)]
 pub struct SsdLevels {
@@ -67,7 +77,20 @@ impl SsdLevels {
         snapshot: SequenceNumber,
         tl: &mut Timeline,
     ) -> Result<Option<(Lookup, usize)>, sstable::table::TableError> {
+        let mut stats = SsdReadStats::default();
+        self.get_with_stats(user_key, snapshot, tl, &mut stats)
+    }
+
+    /// [`SsdLevels::get`] with per-get probe accounting for tracing.
+    pub fn get_with_stats(
+        &self,
+        user_key: &[u8],
+        snapshot: SequenceNumber,
+        tl: &mut Timeline,
+        stats: &mut SsdReadStats,
+    ) -> Result<Option<(Lookup, usize)>, sstable::table::TableError> {
         for (depth, level) in self.levels.iter().enumerate() {
+            stats.levels_searched += 1;
             let idx = level.partition_point(|h| h.last.as_slice() < user_key);
             let Some(handle) = level.get(idx) else {
                 continue;
@@ -75,6 +98,7 @@ impl SsdLevels {
             if !handle.overlaps_key(user_key) {
                 continue;
             }
+            stats.tables_probed += 1;
             match handle.table.get(user_key, snapshot, tl)? {
                 Some((seq, kind, value)) => {
                     return Ok(Some((Lookup { seq, kind, value }, depth + 1)))

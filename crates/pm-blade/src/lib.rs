@@ -50,8 +50,9 @@ pub use protocol::{Request, Response, WireError};
 pub use relational::{Relational, TableDef};
 pub use stats::{EngineStats, LatencyStats, ReadSource};
 pub use telemetry::{
-    CostDecision, EventListener, HistogramSummary, ListenerSet, MetricKey, MetricsRegistry,
-    MetricsSnapshot, SpanKind, TraceSpan,
+    chrome_trace_json, CostDecision, EventListener, FlightRecorder, HistogramSummary, ListenerSet,
+    MetricKey, MetricsRegistry, MetricsSnapshot, RequestTrace, SpanKind, TraceContext, TraceOp,
+    TraceSpan, Tracer,
 };
 
 /// Convenience re-exports for downstream users.

@@ -200,6 +200,18 @@ pub struct Options {
     /// Virtual-time penalty charged to each write admitted under
     /// slowdown (the RocksDB `delayed_write_rate` analogue).
     pub slowdown_delay: SimDuration,
+    /// Sample 1 in N engine-originated requests for end-to-end stage
+    /// tracing; 0 disables sampling entirely (wire-carried sampled
+    /// contexts are still honored). Sampling only observes the virtual
+    /// clock — it never charges it.
+    pub trace_sample_every: u64,
+    /// Keep a sampled request in the slow-query flight recorder only
+    /// if its total virtual latency is at least this many nanoseconds;
+    /// 0 keeps every sampled request.
+    pub trace_slow_query_nanos: u64,
+    /// Capacity of the slow-query flight-recorder ring (oldest traces
+    /// are evicted and counted as dropped). Must be at least 1.
+    pub trace_recorder_capacity: usize,
 }
 
 impl Default for Options {
@@ -242,6 +254,9 @@ impl Default for Options {
             memtable_slowdown_debt: 2,
             memtable_stall_debt: 4,
             slowdown_delay: SimDuration::from_micros(100),
+            trace_sample_every: 1024,
+            trace_slow_query_nanos: 0,
+            trace_recorder_capacity: 256,
         }
     }
 }
@@ -440,6 +455,25 @@ impl OptionsBuilder {
         self
     }
 
+    /// Sample 1 in `n` requests for stage tracing (0 = off).
+    pub fn trace_sample_every(mut self, n: u64) -> Self {
+        self.opts.trace_sample_every = n;
+        self
+    }
+
+    /// Flight-recorder admission threshold in virtual nanoseconds
+    /// (0 = keep every sampled request).
+    pub fn trace_slow_query_nanos(mut self, nanos: u64) -> Self {
+        self.opts.trace_slow_query_nanos = nanos;
+        self
+    }
+
+    /// Capacity of the slow-query flight-recorder ring.
+    pub fn trace_recorder_capacity(mut self, capacity: usize) -> Self {
+        self.opts.trace_recorder_capacity = capacity;
+        self
+    }
+
     /// Register an event listener (may be called repeatedly; listeners
     /// are invoked in registration order).
     pub fn add_event_listener(mut self, listener: std::sync::Arc<dyn EventListener>) -> Self {
@@ -554,6 +588,14 @@ impl OptionsBuilder {
                 o.memtable_slowdown_debt, o.memtable_stall_debt
             ));
         }
+        if o.trace_recorder_capacity == 0 {
+            return fail(
+                "trace_recorder_capacity must be at least 1 \
+                 (wire-carried sampled traces land there even when \
+                 trace_sample_every is 0)"
+                    .into(),
+            );
+        }
         if o.scheduler.cores == 0 {
             return fail("scheduler.cores must be at least 1".into());
         }
@@ -649,6 +691,10 @@ mod tests {
         assert!(
             msg(Options::builder().event_log_capacity(0).build()).contains("event_log_capacity")
         );
+        assert!(msg(Options::builder().trace_recorder_capacity(0).build())
+            .contains("trace_recorder_capacity"));
+        // Sampling off is a legal steady state.
+        assert!(Options::builder().trace_sample_every(0).build().is_ok());
         // SSD-only mode doesn't need PM headroom.
         assert!(Options::builder()
             .mode(Mode::SsdLevel0)

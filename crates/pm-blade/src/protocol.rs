@@ -23,6 +23,7 @@ use encoding::{crc, varint};
 
 use crate::commit::BatchOp;
 use crate::engine::{CompactionRequest, DbError, ScanRequest};
+use crate::telemetry::TraceContext;
 
 /// Hard cap on one frame's payload. Large enough for a full scan page
 /// of sizeable rows, small enough that a corrupt length prefix cannot
@@ -89,6 +90,14 @@ pub enum Request {
     Scan(ScanRequest),
     /// `Db::compact`.
     Compact(CompactionRequest),
+    /// A request wrapped in a trace context: the server runs `inner`
+    /// through the engine's `*_traced` entry points so the client's
+    /// trace id spans client → server → engine. Nesting is rejected on
+    /// decode (one envelope per request).
+    Traced {
+        ctx: TraceContext,
+        inner: Box<Request>,
+    },
 }
 
 /// One server reply. Virtual latencies ride along so remote callers see
@@ -226,6 +235,11 @@ mod tag {
     pub const GET: u8 = 4;
     pub const SCAN: u8 = 5;
     pub const COMPACT: u8 = 6;
+    pub const TRACED: u8 = 7;
+
+    // Traced-envelope flag bits.
+    pub const TRACE_SAMPLED: u8 = 0b01;
+    pub const TRACE_HAS_DEADLINE: u8 = 0b10;
 
     // Response tags.
     pub const PONG: u8 = 0;
@@ -296,6 +310,13 @@ impl<'a> Dec<'a> {
             1 => Ok(Some(self.bytes()?)),
             _ => Err(corrupt(self.what)),
         }
+    }
+
+    /// Consume and return every remaining byte (the traced envelope's
+    /// inner payload runs to the end of the frame — no length prefix).
+    fn rest(&mut self) -> &'a [u8] {
+        let n = self.r.remaining();
+        self.r.read_bytes(n).unwrap_or(&[])
     }
 
     fn finish(self) -> Result<(), WireError> {
@@ -373,6 +394,22 @@ impl Request {
                     CompactionRequest::MajorWithRetention => out.push(tag::C_RETENTION),
                 }
             }
+            Request::Traced { ctx, inner } => {
+                out.push(tag::TRACED);
+                varint::put_u64(&mut out, ctx.trace_id);
+                let mut flags = 0u8;
+                if ctx.sampled {
+                    flags |= tag::TRACE_SAMPLED;
+                }
+                if ctx.deadline_nanos.is_some() {
+                    flags |= tag::TRACE_HAS_DEADLINE;
+                }
+                out.push(flags);
+                if let Some(d) = ctx.deadline_nanos {
+                    varint::put_u64(&mut out, d);
+                }
+                out.extend_from_slice(&inner.encode_payload());
+            }
         }
         out
     }
@@ -436,6 +473,30 @@ impl Request {
                 tag::C_RETENTION => CompactionRequest::MajorWithRetention,
                 _ => return Err(corrupt("compaction request")),
             }),
+            tag::TRACED => {
+                let trace_id = d.u64()?;
+                let flags = d.u8()?;
+                if flags & !(tag::TRACE_SAMPLED | tag::TRACE_HAS_DEADLINE) != 0 {
+                    return Err(corrupt("trace flags"));
+                }
+                let deadline_nanos = if flags & tag::TRACE_HAS_DEADLINE != 0 {
+                    Some(d.u64()?)
+                } else {
+                    None
+                };
+                let inner = Request::decode(d.rest())?;
+                if matches!(inner, Request::Traced { .. }) {
+                    return Err(WireError::Corrupt("nested traced envelope".into()));
+                }
+                Request::Traced {
+                    ctx: TraceContext {
+                        trace_id,
+                        sampled: flags & tag::TRACE_SAMPLED != 0,
+                        deadline_nanos,
+                    },
+                    inner: Box::new(inner),
+                }
+            }
             t => return Err(WireError::Corrupt(format!("unknown request tag {t}"))),
         };
         d.finish()?;
@@ -608,6 +669,62 @@ mod tests {
         ] {
             roundtrip_request(Request::Compact(c));
         }
+    }
+
+    #[test]
+    fn traced_envelope_roundtrips() {
+        roundtrip_request(Request::Traced {
+            ctx: TraceContext {
+                trace_id: 0xDEAD_BEEF,
+                sampled: true,
+                deadline_nanos: None,
+            },
+            inner: Box::new(Request::Get { key: b"k".to_vec() }),
+        });
+        roundtrip_request(Request::Traced {
+            ctx: TraceContext {
+                trace_id: u64::MAX,
+                sampled: false,
+                deadline_nanos: Some(5_000_000),
+            },
+            inner: Box::new(Request::Put {
+                key: b"k".to_vec(),
+                value: vec![7u8; 300],
+            }),
+        });
+        roundtrip_request(Request::Traced {
+            ctx: TraceContext::sampled(1),
+            inner: Box::new(Request::Scan(ScanRequest::new().start("a").limit(3))),
+        });
+    }
+
+    #[test]
+    fn nested_traced_envelope_rejected() {
+        let inner = Request::Traced {
+            ctx: TraceContext::sampled(2),
+            inner: Box::new(Request::Ping),
+        };
+        let nested = Request::Traced {
+            ctx: TraceContext::sampled(1),
+            inner: Box::new(inner),
+        };
+        assert!(matches!(
+            Request::decode(&nested.encode_payload()),
+            Err(WireError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn traced_envelope_bad_flags_rejected() {
+        let mut payload = Vec::new();
+        payload.push(7); // TRACED
+        encoding::varint::put_u64(&mut payload, 1);
+        payload.push(0b100); // undefined flag bit
+        payload.push(0); // PING
+        assert!(matches!(
+            Request::decode(&payload),
+            Err(WireError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -32,9 +32,13 @@ pub mod registry;
 pub mod ring;
 pub mod snapshot;
 pub mod span;
+pub mod trace;
 
 pub use listener::{EventListener, ListenerSet};
 pub use registry::{Gauge, LatencyRecorder, MetricKey, MetricsRegistry};
 pub use ring::EventRing;
 pub use snapshot::{HistogramSummary, MetricsSnapshot};
 pub use span::{CostDecision, SpanKind, TraceSpan};
+pub use trace::{
+    chrome_trace_json, FlightRecorder, RequestTrace, StageTrace, TraceContext, TraceOp, Tracer,
+};

@@ -14,14 +14,18 @@ use std::sync::Arc;
 use parking_lot::{Mutex, RwLock};
 use sim::{Counter, Histogram, SimDuration};
 
-/// Identity of one metric: a static name plus optional partition and
-/// level labels. Ordering is lexicographic (name, partition, level),
-/// which gives snapshots and renderers a stable order for free.
+/// Identity of one metric: a static name plus optional partition,
+/// level, and connection labels. Ordering is lexicographic (name,
+/// partition, level, connection), which gives snapshots and renderers
+/// a stable order for free.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct MetricKey {
     pub name: &'static str,
     pub partition: Option<usize>,
     pub level: Option<usize>,
+    /// Server-side connection id (the service layer labels its per-op
+    /// counters with the connection that issued them).
+    pub connection: Option<u64>,
 }
 
 impl MetricKey {
@@ -31,6 +35,7 @@ impl MetricKey {
             name,
             partition: None,
             level: None,
+            connection: None,
         }
     }
 
@@ -40,6 +45,7 @@ impl MetricKey {
             name,
             partition: Some(partition),
             level: None,
+            connection: None,
         }
     }
 
@@ -50,19 +56,37 @@ impl MetricKey {
             name,
             partition: Some(partition),
             level: Some(level),
+            connection: None,
+        }
+    }
+
+    /// A per-connection metric (server op counters).
+    pub const fn connection(name: &'static str, connection: u64) -> Self {
+        MetricKey {
+            name,
+            partition: None,
+            level: None,
+            connection: Some(connection),
         }
     }
 
     /// Prometheus-style label suffix: `{partition="0",level="1"}`, or
     /// the empty string for a global metric.
     pub fn label_string(&self) -> String {
-        match (self.partition, self.level) {
-            (None, None) => String::new(),
-            (Some(p), None) => format!("{{partition=\"{p}\"}}"),
-            (Some(p), Some(l)) => {
-                format!("{{partition=\"{p}\",level=\"{l}\"}}")
-            }
-            (None, Some(l)) => format!("{{level=\"{l}\"}}"),
+        let mut parts = Vec::new();
+        if let Some(p) = self.partition {
+            parts.push(format!("partition=\"{p}\""));
+        }
+        if let Some(l) = self.level {
+            parts.push(format!("level=\"{l}\""));
+        }
+        if let Some(c) = self.connection {
+            parts.push(format!("connection=\"{c}\""));
+        }
+        if parts.is_empty() {
+            String::new()
+        } else {
+            format!("{{{}}}", parts.join(","))
         }
     }
 }
@@ -262,5 +286,8 @@ mod tests {
         assert_eq!(b.label_string(), "{partition=\"1\"}");
         assert_eq!(c.label_string(), "{partition=\"1\",level=\"2\"}");
         assert_eq!(c.to_string(), "alpha{partition=\"1\",level=\"2\"}");
+        let d = MetricKey::connection("alpha", 3);
+        assert!(a < d, "connection-labeled keys sort after global");
+        assert_eq!(d.label_string(), "{connection=\"3\"}");
     }
 }

@@ -88,6 +88,7 @@ mod tests {
     fn span(id: u64) -> TraceSpan {
         TraceSpan {
             id,
+            trace_id: 0,
             kind: SpanKind::Flush,
             partition: 0,
             start_nanos: id,

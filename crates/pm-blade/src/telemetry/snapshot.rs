@@ -251,12 +251,13 @@ impl MetricsSnapshot {
             first = false;
             let _ = write!(
                 out,
-                "    {{\"id\": {}, \"kind\": \"{}\", \"partition\": {}, \
+                "    {{\"id\": {}, \"trace_id\": {}, \"kind\": \"{}\", \"partition\": {}, \
                  \"start_nanos\": {}, \"end_nanos\": {}, \
                  \"input_records\": {}, \"output_records\": {}, \
                  \"input_bytes\": {}, \"output_bytes\": {}, \
                  \"value_size\": {}, \"cost\": {}}}",
                 span.id,
+                span.trace_id,
                 span.kind.as_str(),
                 span.partition,
                 span.start_nanos,
@@ -339,10 +340,16 @@ impl MetricsSnapshot {
     }
 }
 
-/// `"partition": 0, "level": 1, ` (or nulls) for JSON objects.
+/// `"partition": 0, "level": 1, ` (or nulls) for JSON objects; a
+/// `"connection": N` field rides along only when the label is set
+/// (server-side per-connection counters).
 fn json_labels(key: &MetricKey) -> String {
+    let connection = match key.connection {
+        Some(c) => format!("\"connection\": {c}, "),
+        None => String::new(),
+    };
     format!(
-        "\"partition\": {}, \"level\": {}, ",
+        "\"partition\": {}, \"level\": {}, {connection}",
         key.partition
             .map(|p| p.to_string())
             .unwrap_or_else(|| "null".into()),
@@ -463,6 +470,7 @@ mod tests {
         histograms.insert(MetricKey::global("read_latency"), h);
         let spans = vec![TraceSpan {
             id: 7,
+            trace_id: 0,
             kind: SpanKind::Major,
             partition: 1,
             start_nanos: 50,

@@ -3,6 +3,13 @@
 use sim::SimDuration;
 
 /// What kind of work a span covers.
+///
+/// The first four kinds are background-work episodes stored in the
+/// engine's span ring. The remaining kinds are *request stages*: the
+/// per-request breakdown recorded by the end-to-end tracer (see
+/// [`crate::telemetry::trace`]) for sampled reads and writes. Stage
+/// spans live only inside a [`crate::telemetry::RequestTrace`]; they
+/// are never pushed to the ring.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum SpanKind {
     /// Minor compaction: memtable frozen and flushed to level-0.
@@ -13,6 +20,26 @@ pub enum SpanKind {
     Major,
     /// One group commit (leader drain): WAL pass + memtable apply.
     GroupCommit,
+    /// Stage: this write's share of the group's WAL append pass.
+    WalAppend,
+    /// Stage: this write's share of the group's memtable apply.
+    MemtableApply,
+    /// Stage: residual group-commit time spent waiting on the leader
+    /// (queueing, other tickets' work, inline maintenance share).
+    LeaderWait,
+    /// Stage: slowdown/stall backpressure charged before the write
+    /// joined the commit queue.
+    ThrottleWait,
+    /// Stage: the memtable probe of a point read.
+    MemtableProbe,
+    /// Stage: bloom-filter / fence-index consults over the PM level-0.
+    FilterConsult,
+    /// Stage: PM table probes served from the group-decode cache.
+    PmDecodeHit,
+    /// Stage: PM table probes that decoded prefix groups from PM.
+    PmDecodeMiss,
+    /// Stage: the SSD-level search after a PM level-0 miss.
+    SsdRead,
 }
 
 impl SpanKind {
@@ -22,6 +49,15 @@ impl SpanKind {
             SpanKind::Internal => "internal",
             SpanKind::Major => "major",
             SpanKind::GroupCommit => "group_commit",
+            SpanKind::WalAppend => "wal_append",
+            SpanKind::MemtableApply => "memtable_apply",
+            SpanKind::LeaderWait => "leader_wait",
+            SpanKind::ThrottleWait => "throttle_wait",
+            SpanKind::MemtableProbe => "memtable_probe",
+            SpanKind::FilterConsult => "filter_consult",
+            SpanKind::PmDecodeHit => "pm_decode_hit",
+            SpanKind::PmDecodeMiss => "pm_decode_miss",
+            SpanKind::SsdRead => "ssd_read",
         }
     }
 }
@@ -32,8 +68,13 @@ impl SpanKind {
 /// one span's attribution but never the cumulative totals).
 #[derive(Clone, Debug)]
 pub struct TraceSpan {
-    /// Monotonically increasing id, unique within one engine.
+    /// Monotonically increasing id, unique within one engine. Request
+    /// *stage* spans (which live inside a `RequestTrace`, not the
+    /// ring) use id 0 — their identity is the trace id.
     pub id: u64,
+    /// Id of the request trace this span belongs to; 0 when the work
+    /// was not triggered by (or part of) a traced request.
+    pub trace_id: u64,
     pub kind: SpanKind,
     pub partition: usize,
     /// Virtual time when the work started.
@@ -133,6 +174,7 @@ mod tests {
     fn span_duration_is_end_minus_start() {
         let span = TraceSpan {
             id: 1,
+            trace_id: 0,
             kind: SpanKind::Flush,
             partition: 0,
             start_nanos: 100,

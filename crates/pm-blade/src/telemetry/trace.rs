@@ -1,0 +1,545 @@
+//! End-to-end request tracing: sampling, per-stage attribution, and
+//! the slow-query flight recorder.
+//!
+//! A [`TraceContext`] names one logical request. It either originates
+//! inside the engine (1-in-N sampling, see [`Tracer::sample`]) or
+//! arrives over the wire (`Request::Traced`), in which case the
+//! client-chosen trace id is adopted verbatim so client, server, and
+//! engine logs line up. Sampled requests accumulate *stage* spans —
+//! plain [`TraceSpan`]s with request-stage [`SpanKind`]s and the trace
+//! id set — into a [`RequestTrace`], which the [`Tracer`] files into a
+//! capped [`FlightRecorder`] ring when the request's total latency
+//! meets the slow-query threshold (threshold 0 keeps every sampled
+//! request).
+//!
+//! All durations are on the engine's virtual clock. Tracing only ever
+//! *observes* the timeline (`Timeline::elapsed` deltas); it never
+//! charges it, so enabling or disabling sampling cannot move a single
+//! virtual latency.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sim::Counter;
+
+use super::span::{SpanKind, TraceSpan};
+
+/// Per-request trace identity, carried client → server → engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Non-zero id shared by every span of the trace. Wire-originated
+    /// ids are chosen by the client; engine-originated ids count up
+    /// from 1.
+    pub trace_id: u64,
+    /// Whether stage recording is on for this request. An unsampled
+    /// context still propagates its id (for log correlation) but
+    /// records nothing.
+    pub sampled: bool,
+    /// Advisory deadline on the engine's virtual clock; recorded for
+    /// diagnosis, never enforced.
+    pub deadline_nanos: Option<u64>,
+}
+
+impl TraceContext {
+    /// A sampled context with no deadline.
+    pub fn sampled(trace_id: u64) -> Self {
+        TraceContext {
+            trace_id,
+            sampled: true,
+            deadline_nanos: None,
+        }
+    }
+}
+
+/// Which public operation a trace covers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceOp {
+    Get,
+    Write,
+    Scan,
+}
+
+impl TraceOp {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            TraceOp::Get => "get",
+            TraceOp::Write => "write",
+            TraceOp::Scan => "scan",
+        }
+    }
+}
+
+/// One completed sampled request with its stage breakdown.
+///
+/// Stage spans sit on the same virtual timeline as the request
+/// (`start_nanos` absolute); their summed durations never exceed
+/// `total_nanos` — stages are measured sub-intervals of the request,
+/// not estimates.
+#[derive(Clone, Debug)]
+pub struct RequestTrace {
+    pub trace_id: u64,
+    pub op: TraceOp,
+    /// Partition the request landed on (first partition for scans).
+    pub partition: usize,
+    /// Virtual time when the engine picked the request up.
+    pub start_nanos: u64,
+    /// Full request latency as reported to the caller.
+    pub total_nanos: u64,
+    /// Advisory deadline from the context, if one was carried.
+    pub deadline_nanos: Option<u64>,
+    pub stages: Vec<TraceSpan>,
+}
+
+impl RequestTrace {
+    /// Sum of the stage durations (≤ `total_nanos`).
+    pub fn stage_nanos(&self) -> u64 {
+        self.stages
+            .iter()
+            .map(|s| s.end_nanos.saturating_sub(s.start_nanos))
+            .sum()
+    }
+
+    /// Hand-rolled JSON object (same dialect as the metrics snapshot).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128 + self.stages.len() * 96);
+        let _ = write!(
+            out,
+            "{{\"trace_id\": {}, \"op\": \"{}\", \"partition\": {}, \
+             \"start_nanos\": {}, \"total_nanos\": {}, \"deadline_nanos\": {}, \"stages\": [",
+            self.trace_id,
+            self.op.as_str(),
+            self.partition,
+            self.start_nanos,
+            self.total_nanos,
+            match self.deadline_nanos {
+                Some(d) => d.to_string(),
+                None => "null".into(),
+            }
+        );
+        for (i, s) in self.stages.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "{{\"stage\": \"{}\", \"start_nanos\": {}, \"end_nanos\": {}, \
+                 \"input_records\": {}, \"output_records\": {}}}",
+                s.kind.as_str(),
+                s.start_nanos,
+                s.end_nanos,
+                s.input_records,
+                s.output_records
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Accumulates one sampled request's stage spans while it runs.
+///
+/// Offsets passed to [`StageTrace::stage`] are nanoseconds since the
+/// request start (a `Timeline::elapsed` reading); spans are stored with
+/// absolute virtual-clock bounds.
+#[derive(Debug)]
+pub struct StageTrace {
+    ctx: TraceContext,
+    op: TraceOp,
+    partition: usize,
+    start_nanos: u64,
+    stages: Vec<TraceSpan>,
+}
+
+impl StageTrace {
+    pub fn new(ctx: TraceContext, op: TraceOp, partition: usize, start_nanos: u64) -> Self {
+        StageTrace {
+            ctx,
+            op,
+            partition,
+            start_nanos,
+            stages: Vec::new(),
+        }
+    }
+
+    pub fn trace_id(&self) -> u64 {
+        self.ctx.trace_id
+    }
+
+    /// Record a stage spanning `[from, to]` nanos since request start.
+    pub fn stage(&mut self, kind: SpanKind, from: u64, to: u64) {
+        self.stage_counts(kind, from, to, 0, 0);
+    }
+
+    /// [`StageTrace::stage`] with input/output counts attached (e.g.
+    /// filters checked vs filters useful).
+    pub fn stage_counts(
+        &mut self,
+        kind: SpanKind,
+        from: u64,
+        to: u64,
+        input_records: u64,
+        output_records: u64,
+    ) {
+        self.stages.push(TraceSpan {
+            id: 0,
+            trace_id: self.ctx.trace_id,
+            kind,
+            partition: self.partition,
+            start_nanos: self.start_nanos + from,
+            end_nanos: self.start_nanos + to.max(from),
+            input_records,
+            output_records,
+            input_bytes: 0,
+            output_bytes: 0,
+            value_size: 0,
+            cost: None,
+        });
+    }
+
+    /// Append a span already carrying absolute bounds (group-commit
+    /// shares are built by the leader on the group's timeline).
+    pub fn push_span(&mut self, span: TraceSpan) {
+        self.stages.push(span);
+    }
+
+    pub fn finish(self, total_nanos: u64) -> RequestTrace {
+        RequestTrace {
+            trace_id: self.ctx.trace_id,
+            op: self.op,
+            partition: self.partition,
+            start_nanos: self.start_nanos,
+            total_nanos,
+            deadline_nanos: self.ctx.deadline_nanos,
+            stages: self.stages,
+        }
+    }
+}
+
+/// A fixed-capacity ring of recently recorded [`RequestTrace`]s.
+///
+/// Same semantics as the compaction-span [`super::EventRing`]: pushing
+/// into a full ring evicts the oldest trace and counts the drop.
+pub struct FlightRecorder {
+    inner: Mutex<FlightInner>,
+}
+
+struct FlightInner {
+    buf: VecDeque<RequestTrace>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl FlightRecorder {
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            inner: Mutex::new(FlightInner {
+                buf: VecDeque::with_capacity(capacity.min(1024)),
+                capacity,
+                dropped: 0,
+            }),
+        }
+    }
+
+    pub fn push(&self, trace: RequestTrace) {
+        let mut inner = self.inner.lock();
+        if inner.buf.len() >= inner.capacity {
+            inner.buf.pop_front();
+            inner.dropped += 1;
+        }
+        inner.buf.push_back(trace);
+    }
+
+    /// Oldest-to-newest copy of the retained traces.
+    pub fn snapshot(&self) -> Vec<RequestTrace> {
+        self.inner.lock().buf.iter().cloned().collect()
+    }
+
+    /// Traces evicted so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().capacity
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().buf.is_empty()
+    }
+
+    /// `{"dropped": N, "traces": [...]}` for the `/debug` endpoint.
+    pub fn to_json(&self) -> String {
+        let (traces, dropped) = {
+            let inner = self.inner.lock();
+            (inner.buf.iter().cloned().collect::<Vec<_>>(), inner.dropped)
+        };
+        let mut out = String::with_capacity(64 + traces.len() * 256);
+        let _ = write!(out, "{{\"dropped\": {dropped}, \"traces\": [");
+        for (i, t) in traces.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&t.to_json());
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("FlightRecorder")
+            .field("len", &inner.buf.len())
+            .field("capacity", &inner.capacity)
+            .field("dropped", &inner.dropped)
+            .finish()
+    }
+}
+
+/// Sampling front-end plus the slow-query recorder, owned by the
+/// engine core.
+///
+/// The sampling-off fast path ([`Tracer::sample`] with rate 0) is a
+/// single branch on a pre-loaded field: no atomics, no allocation.
+#[derive(Debug)]
+pub struct Tracer {
+    /// Sample 1 in N engine-originated requests; 0 disables sampling.
+    sample_every: u64,
+    /// Keep a sampled request only if its total latency is ≥ this; 0
+    /// keeps every sampled request.
+    slow_nanos: u64,
+    ops: AtomicU64,
+    ids: AtomicU64,
+    recorder: FlightRecorder,
+    /// Requests that recorded a stage breakdown (engine-sampled or
+    /// wire-adopted).
+    pub sampled_total: Arc<Counter>,
+    /// Traces filed into the flight recorder (passed the slow-query
+    /// threshold).
+    pub recorded_total: Arc<Counter>,
+}
+
+impl Tracer {
+    pub fn new(
+        sample_every: u64,
+        slow_nanos: u64,
+        recorder_capacity: usize,
+        sampled_total: Arc<Counter>,
+        recorded_total: Arc<Counter>,
+    ) -> Self {
+        Tracer {
+            sample_every,
+            slow_nanos,
+            ops: AtomicU64::new(0),
+            ids: AtomicU64::new(0),
+            recorder: FlightRecorder::new(recorder_capacity),
+            sampled_total,
+            recorded_total,
+        }
+    }
+
+    /// Engine-originated sampling decision: every `sample_every`-th
+    /// call gets a fresh sampled context.
+    pub fn sample(&self) -> Option<TraceContext> {
+        if self.sample_every == 0 {
+            return None;
+        }
+        let n = self.ops.fetch_add(1, Ordering::Relaxed);
+        if !n.is_multiple_of(self.sample_every) {
+            return None;
+        }
+        self.sampled_total.incr();
+        Some(TraceContext::sampled(
+            self.ids.fetch_add(1, Ordering::Relaxed) + 1,
+        ))
+    }
+
+    /// Adopt a wire-carried context. An explicitly sampled context is
+    /// honored regardless of the local sampling rate (the client
+    /// already made the decision); an unsampled one records nothing.
+    pub fn adopt(&self, ctx: TraceContext) -> Option<TraceContext> {
+        if ctx.sampled {
+            self.sampled_total.incr();
+            Some(ctx)
+        } else {
+            None
+        }
+    }
+
+    /// File a finished trace if it meets the slow-query threshold.
+    pub fn finish(&self, trace: RequestTrace) {
+        if trace.total_nanos >= self.slow_nanos {
+            self.recorded_total.incr();
+            self.recorder.push(trace);
+        }
+    }
+
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+}
+
+/// Render traces as Chrome trace-event JSON, loadable in
+/// `chrome://tracing` / Perfetto. One complete (`"ph": "X"`) event per
+/// request plus one per stage; `pid` is the partition, `tid` the trace
+/// id, timestamps are virtual-clock microseconds with nanosecond
+/// precision in the fraction.
+pub fn chrome_trace_json(traces: &[RequestTrace]) -> String {
+    fn micros(nanos: u64) -> String {
+        format!("{}.{:03}", nanos / 1_000, nanos % 1_000)
+    }
+    let mut out = String::with_capacity(64 + traces.len() * 512);
+    out.push_str("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [");
+    let mut first = true;
+    for t in traces {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"name\": \"{}\", \"cat\": \"request\", \"ph\": \"X\", \
+             \"ts\": {}, \"dur\": {}, \"pid\": {}, \"tid\": {}, \
+             \"args\": {{\"trace_id\": {}, \"stage_nanos\": {}}}}}",
+            t.op.as_str(),
+            micros(t.start_nanos),
+            micros(t.total_nanos),
+            t.partition,
+            t.trace_id,
+            t.trace_id,
+            t.stage_nanos()
+        );
+        for s in &t.stages {
+            let _ = write!(
+                out,
+                ",\n{{\"name\": \"{}\", \"cat\": \"stage\", \"ph\": \"X\", \
+                 \"ts\": {}, \"dur\": {}, \"pid\": {}, \"tid\": {}, \
+                 \"args\": {{\"input_records\": {}, \"output_records\": {}}}}}",
+                s.kind.as_str(),
+                micros(s.start_nanos),
+                micros(s.end_nanos.saturating_sub(s.start_nanos)),
+                s.partition,
+                t.trace_id,
+                s.input_records,
+                s.output_records
+            );
+        }
+    }
+    out.push_str("]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter() -> Arc<Counter> {
+        Arc::new(Counter::new())
+    }
+
+    #[test]
+    fn sampling_rate_picks_every_nth() {
+        let t = Tracer::new(4, 0, 8, counter(), counter());
+        let picks: Vec<bool> = (0..8).map(|_| t.sample().is_some()).collect();
+        assert_eq!(
+            picks,
+            vec![true, false, false, false, true, false, false, false]
+        );
+        assert_eq!(t.sampled_total.get(), 2);
+    }
+
+    #[test]
+    fn sampling_off_records_nothing() {
+        let t = Tracer::new(0, 0, 8, counter(), counter());
+        for _ in 0..100 {
+            assert!(t.sample().is_none());
+        }
+        assert_eq!(t.sampled_total.get(), 0);
+    }
+
+    #[test]
+    fn adopt_honors_the_wire_decision() {
+        let t = Tracer::new(0, 0, 8, counter(), counter());
+        assert!(t.adopt(TraceContext::sampled(9)).is_some());
+        let unsampled = TraceContext {
+            trace_id: 9,
+            sampled: false,
+            deadline_nanos: None,
+        };
+        assert!(t.adopt(unsampled).is_none());
+        assert_eq!(t.sampled_total.get(), 1);
+    }
+
+    #[test]
+    fn slow_threshold_filters_the_recorder() {
+        let t = Tracer::new(1, 100, 8, counter(), counter());
+        let fast = StageTrace::new(TraceContext::sampled(1), TraceOp::Get, 0, 0).finish(99);
+        let slow = StageTrace::new(TraceContext::sampled(2), TraceOp::Get, 0, 0).finish(100);
+        t.finish(fast);
+        t.finish(slow);
+        let kept = t.recorder().snapshot();
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].trace_id, 2);
+        assert_eq!(t.recorded_total.get(), 1);
+    }
+
+    #[test]
+    fn recorder_ring_evicts_oldest() {
+        let r = FlightRecorder::new(2);
+        for id in 1..=4 {
+            r.push(StageTrace::new(TraceContext::sampled(id), TraceOp::Write, 0, 0).finish(1));
+        }
+        let ids: Vec<u64> = r.snapshot().iter().map(|t| t.trace_id).collect();
+        assert_eq!(ids, vec![3, 4]);
+        assert_eq!(r.dropped(), 2);
+        assert!(r.to_json().starts_with("{\"dropped\": 2"));
+    }
+
+    #[test]
+    fn stage_sums_stay_within_total() {
+        let mut st = StageTrace::new(TraceContext::sampled(5), TraceOp::Get, 3, 1_000);
+        st.stage(SpanKind::MemtableProbe, 0, 40);
+        st.stage_counts(SpanKind::FilterConsult, 40, 70, 2, 1);
+        st.stage(SpanKind::SsdRead, 70, 200);
+        let trace = st.finish(250);
+        assert_eq!(trace.stage_nanos(), 200);
+        assert!(trace.stage_nanos() <= trace.total_nanos);
+        assert_eq!(trace.stages[0].start_nanos, 1_000);
+        assert_eq!(trace.stages[2].end_nanos, 1_200);
+    }
+
+    #[test]
+    fn chrome_export_is_balanced_json() {
+        let mut st = StageTrace::new(TraceContext::sampled(7), TraceOp::Get, 1, 2_500);
+        st.stage(SpanKind::MemtableProbe, 0, 1_499);
+        let json = chrome_trace_json(&[st.finish(1_500)]);
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"name\": \"get\""));
+        assert!(json.contains("\"name\": \"memtable_probe\""));
+        assert!(json.contains("\"ts\": 2.500"));
+        assert!(json.contains("\"dur\": 1.499"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn request_trace_json_lists_stages() {
+        let mut st = StageTrace::new(TraceContext::sampled(11), TraceOp::Write, 2, 10);
+        st.stage(SpanKind::WalAppend, 0, 5);
+        let json = st.finish(20).to_json();
+        assert!(json.contains("\"trace_id\": 11"));
+        assert!(json.contains("\"op\": \"write\""));
+        assert!(json.contains("\"stage\": \"wal_append\""));
+        assert!(json.contains("\"deadline_nanos\": null"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

@@ -6,8 +6,9 @@ use pm_blade::{Db, Mode, Options};
 /// quickly: tiny memtables, tight PM budget, shallow level targets.
 ///
 /// The CI feature matrix re-runs the whole suite under degenerate
-/// read-path settings (filters off, near-zero group cache) by setting
-/// `PMBLADE_TEST_FILTER_BITS` / `PMBLADE_TEST_GROUP_CACHE_BYTES`;
+/// read-path settings (filters off, near-zero group cache, every
+/// request traced) by setting `PMBLADE_TEST_FILTER_BITS` /
+/// `PMBLADE_TEST_GROUP_CACHE_BYTES` / `PMBLADE_TEST_TRACE_SAMPLE`;
 /// tests that pin these knobs themselves override after calling this.
 pub fn tiny_options(mode: Mode) -> Options {
     let mut opts = Options {
@@ -28,6 +29,9 @@ pub fn tiny_options(mode: Mode) -> Options {
     }
     if let Some(bytes) = env_knob("PMBLADE_TEST_GROUP_CACHE_BYTES") {
         opts.pm_group_cache_bytes = bytes;
+    }
+    if let Some(every) = env_knob("PMBLADE_TEST_TRACE_SAMPLE") {
+        opts.trace_sample_every = every as u64;
     }
     opts
 }

@@ -152,6 +152,9 @@ fn check_pairing(events: &[Event]) {
             SpanKind::Internal => 1,
             SpanKind::Major => 2,
             SpanKind::GroupCommit => 3,
+            // Request-stage kinds never reach the listener event
+            // stream; any one showing up here is a pairing bug.
+            other => panic!("unexpected stage span kind {other:?} in listener events"),
         };
         (k, pid)
     };

@@ -3,12 +3,13 @@
 //! shutdown draining pipelined requests, and rate limiting that slows
 //! a hot client without erroring it.
 
+use std::collections::BTreeSet;
 use std::io::{Read, Write};
 use std::sync::Arc;
 use std::time::Duration;
 
 use pm_blade::protocol::{read_frame, write_frame, Request, Response, WireError};
-use pm_blade::{BatchOp, CompactionRequest, Mode, ScanRequest};
+use pm_blade::{BatchOp, CompactionRequest, Mode, ScanRequest, TraceContext, TraceOp};
 use pm_blade_client::{Client, ClientOptions};
 use pm_blade_server::{Server, ServerOptions};
 use pmblade_integration_tests::{key_for, tiny_options, value_for};
@@ -158,9 +159,31 @@ proptest! {
 // --- loopback integration --------------------------------------------
 
 fn start_server(opts: ServerOptions) -> (Server, Arc<pm_blade::Db>) {
-    let db = Arc::new(pm_blade::Db::open(tiny_options(Mode::PmBlade)).expect("engine opens"));
+    start_server_custom(tiny_options(Mode::PmBlade), opts)
+}
+
+fn start_server_custom(
+    engine: pm_blade::Options,
+    opts: ServerOptions,
+) -> (Server, Arc<pm_blade::Db>) {
+    let db = Arc::new(pm_blade::Db::open(engine).expect("engine opens"));
     let server = Server::start(Arc::clone(&db), opts).expect("server binds");
     (server, db)
+}
+
+/// One raw HTTP exchange against the metrics/debug listener; returns
+/// the full response (headers + body) as a string.
+fn http_request(addr: std::net::SocketAddr, method: &str, path: &str) -> String {
+    let mut http = std::net::TcpStream::connect(addr).unwrap();
+    http.write_all(
+        format!("{method} {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n").as_bytes(),
+    )
+    .unwrap();
+    http.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut response = String::new();
+    http.read_to_string(&mut response).unwrap();
+    response
 }
 
 fn quick_poll() -> ServerOptions {
@@ -340,6 +363,9 @@ fn rate_limit_throttles_hot_client_without_errors() {
     assert_eq!(snap.counter("server_errors_total"), 0);
     assert_eq!(snap.counter("server_put_total"), 50);
     assert_eq!(snap.counter("server_get_total"), 50);
+    // The per-connection labeled copies agree (one connection here).
+    assert_eq!(snap.counter("server_conn_put_total"), 50);
+    assert_eq!(snap.counter("server_conn_get_total"), 50);
 }
 
 #[test]
@@ -418,6 +444,191 @@ fn remote_errors_carry_stable_codes() {
         other => panic!("expected a remote error, got {other:?}"),
     }
     client.ping().expect("connection survives an engine error");
+
+    server.shutdown();
+}
+
+// --- end-to-end tracing over the wire --------------------------------
+
+/// The acceptance path for wire tracing: a client-chosen trace id
+/// rides the `Request::Traced` envelope through the server into the
+/// engine, and at least one traced remote get records four distinct
+/// engine stages (memtable probe, filter consult, PM decode, SSD
+/// search), exportable as balanced Chrome trace-event JSON.
+#[test]
+fn traced_remote_get_spans_client_server_engine() {
+    const LIVE_ID: u64 = 0xDEAD_BEEF;
+    const PROBE_BASE: u64 = 0xBEEF_0000;
+    let mut engine = tiny_options(Mode::PmBlade);
+    // Deliberately weak filters: the absent-key probes below need
+    // bloom false positives to walk the PM-decode leg before falling
+    // through to the SSD.
+    engine.pm_filter_bits_per_key = 1;
+    engine.pm_group_cache_bytes = 256 << 10;
+    engine.trace_sample_every = 0; // only wire-adopted contexts record
+    engine.trace_slow_query_nanos = 0;
+    engine.trace_recorder_capacity = 512;
+    let (server, db) = start_server_custom(engine, quick_poll());
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).expect("connect");
+
+    // Old versions to the SSD, new versions into PM level-0.
+    for i in 0..20u64 {
+        client.put(&key_for(i), &value_for(i, 64)).unwrap();
+    }
+    client.compact(CompactionRequest::FlushAll).unwrap();
+    client
+        .compact(CompactionRequest::Major { partition: 0 })
+        .unwrap();
+    for i in 0..20u64 {
+        client.put(&key_for(i), &value_for(i + 100, 64)).unwrap();
+    }
+    client.compact(CompactionRequest::FlushAll).unwrap();
+
+    // A traced get of a live key: the client-chosen id must appear in
+    // the server-side flight recorder with a stage breakdown.
+    let ctx = TraceContext::sampled(LIVE_ID);
+    let (value, latency) = client.get_traced(&key_for(7), ctx).unwrap();
+    assert_eq!(value, Some(value_for(107, 64)));
+    assert!(latency > 0);
+    let recorded = db.flight_recorder();
+    let ours = recorded
+        .iter()
+        .find(|t| t.trace_id == LIVE_ID)
+        .expect("client-originated trace id reaches the server-side flight recorder");
+    assert_eq!(ours.op, TraceOp::Get);
+    assert!(!ours.stages.is_empty());
+    assert!(ours.stage_nanos() <= ours.total_nanos);
+    assert!(ours.stages.iter().all(|s| s.trace_id == LIVE_ID));
+
+    // Absent keys that sit between the PM table's fences: with 1-bit
+    // filters, a false positive (~63% per key) sends the probe through
+    // the PM decode before the SSD search. 64 candidates make a miss
+    // on all of them vanishingly unlikely (~1e-28).
+    for i in 0..64u64 {
+        let key = format!("key{:08}x{i:02}", i % 19).into_bytes();
+        let (miss, _) = client
+            .get_traced(&key, TraceContext::sampled(PROBE_BASE + i))
+            .unwrap();
+        assert_eq!(miss, None, "probe keys must not exist");
+    }
+    let traces = db.flight_recorder();
+    let deep = traces
+        .iter()
+        .filter(|t| t.trace_id >= PROBE_BASE)
+        .find(|t| {
+            t.stages.iter().map(|s| s.kind).collect::<Vec<_>>().len() >= 4
+                && t.stages
+                    .iter()
+                    .map(|s| s.kind.as_str())
+                    .collect::<BTreeSet<_>>()
+                    .len()
+                    >= 4
+        })
+        .expect("at least one remote get records four distinct engine stages");
+    let kinds: BTreeSet<&str> = deep.stages.iter().map(|s| s.kind.as_str()).collect();
+    for want in ["memtable_probe", "filter_consult", "ssd_read"] {
+        assert!(kinds.contains(want), "missing stage {want}, got {kinds:?}");
+    }
+    assert!(
+        kinds.contains("pm_decode_miss") || kinds.contains("pm_decode_hit"),
+        "a false-positive probe decodes from PM or the group cache, got {kinds:?}"
+    );
+
+    // The whole ring exports as balanced Chrome trace-event JSON.
+    let json = db.chrome_trace();
+    assert!(json.contains("\"traceEvents\""));
+    assert!(json.contains(&format!("\"tid\": {LIVE_ID}")));
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    assert_eq!(json.matches('[').count(), json.matches(']').count());
+
+    server.shutdown();
+}
+
+// --- /metrics + /debug HTTP behavior ---------------------------------
+
+#[test]
+fn metrics_http_sets_content_type_and_supports_head() {
+    let opts = ServerOptions::builder()
+        .poll_interval(Duration::from_millis(5))
+        .metrics_addr("127.0.0.1:0")
+        .build()
+        .unwrap();
+    let (server, _db) = start_server(opts);
+    let metrics_addr = server.metrics_local_addr().expect("metrics listener");
+
+    let get = http_request(metrics_addr, "GET", "/metrics");
+    assert!(get.starts_with("HTTP/1.1 200 OK"), "got {get:.80?}");
+    assert!(
+        get.contains("Content-Type: text/plain; version=0.0.4; charset=utf-8"),
+        "explicit prometheus content type"
+    );
+    assert!(
+        get.contains("pmblade_server_inflight_requests"),
+        "inflight gauge exported"
+    );
+
+    let head = http_request(metrics_addr, "HEAD", "/metrics");
+    assert!(head.starts_with("HTTP/1.1 200 OK"), "got {head:.80?}");
+    assert!(head.contains("Content-Type: text/plain; version=0.0.4; charset=utf-8"));
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .expect("HEAD carries Content-Length")
+        .trim()
+        .parse()
+        .unwrap();
+    assert!(content_length > 0, "HEAD advertises the GET body size");
+    assert!(
+        head.ends_with("\r\n\r\n"),
+        "HEAD response must not carry a body"
+    );
+
+    let post = http_request(metrics_addr, "POST", "/metrics");
+    assert!(post.starts_with("HTTP/1.1 405"), "got {post:.80?}");
+    let missing = http_request(metrics_addr, "GET", "/nope");
+    assert!(missing.starts_with("HTTP/1.1 404"), "got {missing:.80?}");
+
+    server.shutdown();
+}
+
+#[test]
+fn debug_endpoint_serves_flight_recorder_and_queue_state() {
+    const WIRE_ID: u64 = 3_735_928_559; // 0xDEADBEEF
+    let mut engine = tiny_options(Mode::PmBlade);
+    engine.trace_sample_every = 0;
+    engine.trace_slow_query_nanos = 0;
+    let opts = ServerOptions::builder()
+        .poll_interval(Duration::from_millis(5))
+        .metrics_addr("127.0.0.1:0")
+        .build()
+        .unwrap();
+    let (server, _db) = start_server_custom(engine, opts);
+    let addr = server.local_addr();
+    let metrics_addr = server.metrics_local_addr().expect("metrics listener");
+
+    let mut client = Client::connect(addr).unwrap();
+    client.put(b"slow", b"query").unwrap();
+    client
+        .get_traced(b"slow", TraceContext::sampled(WIRE_ID))
+        .unwrap();
+
+    let response = http_request(metrics_addr, "GET", "/debug");
+    assert!(
+        response.starts_with("HTTP/1.1 200 OK"),
+        "got {response:.80?}"
+    );
+    assert!(response.contains("Content-Type: application/json"));
+    assert!(response.contains("\"flight_recorder\""));
+    assert!(
+        response.contains(&format!("\"trace_id\": {WIRE_ID}")),
+        "the traced request shows up in the debug dump"
+    );
+    assert!(response.contains("\"maintenance\""));
+    assert!(response.contains("\"queue_depth\""));
+    assert!(response.contains("\"jobs_inflight\""));
+    assert!(response.contains("\"inflight_requests\""));
+    assert!(response.contains("\"metrics\""));
 
     server.shutdown();
 }

@@ -1,0 +1,384 @@
+//! End-to-end request-tracing tests: deterministic stage attribution
+//! on the read path, maintenance cross-linking to the originating
+//! trace, a golden Chrome trace-event export, slow-query flight
+//! recorder semantics, and the stage-sum invariant under random
+//! workloads.
+
+use std::collections::BTreeSet;
+use std::sync::{Arc, Mutex};
+
+use pm_blade::{
+    chrome_trace_json, CompactionRequest, Db, EventListener, Mode, ReadSource, RequestTrace,
+    ScanRequest, SpanKind, TraceContext, TraceOp, TraceSpan,
+};
+use pmblade_integration_tests::{key_for, tiny_options, value_for};
+use proptest::prelude::*;
+
+/// Engine options with every read-path knob this file depends on
+/// pinned (the CI matrix may globally disable filters or the group
+/// cache; these tests need them on) and every request sampled.
+fn traced_opts() -> pm_blade::Options {
+    let mut opts = tiny_options(Mode::PmBlade);
+    opts.pm_filter_bits_per_key = 10;
+    opts.pm_group_cache_bytes = 256 << 10;
+    opts.trace_sample_every = 1;
+    opts.trace_slow_query_nanos = 0;
+    opts
+}
+
+// -------------------------------------------------------------------
+// Read-path stage attribution
+// -------------------------------------------------------------------
+
+/// A snapshot read that finds only an invisible newer version in PM
+/// walks every leg of the read path: memtable probe (miss), filter
+/// consult (pass — the key *is* in the PM table), PM group decode
+/// (entry too new for the snapshot), SSD search (hit). Four distinct
+/// stages, deterministically.
+#[test]
+fn sampled_get_attributes_four_distinct_stages() {
+    let db = Db::open(traced_opts()).unwrap();
+    for i in 0..16u64 {
+        db.put(&key_for(i), &value_for(i, 64)).unwrap();
+    }
+    db.compact(CompactionRequest::FlushAll).unwrap();
+    db.compact(CompactionRequest::Major { partition: 0 })
+        .unwrap();
+    // Old versions now live on the SSD; remember a sequence that sees
+    // them, then overwrite so PM level-0 holds newer versions.
+    let snap = db.snapshot();
+    for i in 0..16u64 {
+        db.put(&key_for(i), &value_for(i + 100, 64)).unwrap();
+    }
+    db.compact(CompactionRequest::FlushAll).unwrap();
+
+    let got = db.get_at(&key_for(3), snap).unwrap();
+    assert_eq!(
+        got.value,
+        Some(value_for(3, 64)),
+        "snapshot sees the old version"
+    );
+    assert_eq!(got.source, ReadSource::Ssd);
+
+    let traces = db.flight_recorder();
+    let trace = traces
+        .iter()
+        .rev()
+        .find(|t| t.op == TraceOp::Get && t.stages.iter().any(|s| s.kind == SpanKind::SsdRead))
+        .expect("the snapshot get must be in the flight recorder");
+    let kinds: BTreeSet<&str> = trace.stages.iter().map(|s| s.kind.as_str()).collect();
+    for want in [
+        "memtable_probe",
+        "filter_consult",
+        "pm_decode_miss",
+        "ssd_read",
+    ] {
+        assert!(kinds.contains(want), "missing stage {want}, got {kinds:?}");
+    }
+    assert!(kinds.len() >= 4);
+    assert!(trace.stage_nanos() <= trace.total_nanos);
+    // Stages are measured sub-intervals of the request window, all
+    // carrying the request's trace id.
+    for s in &trace.stages {
+        assert_eq!(s.trace_id, trace.trace_id);
+        assert!(s.start_nanos >= trace.start_nanos);
+        assert!(s.end_nanos <= trace.start_nanos + trace.total_nanos);
+    }
+
+    // The same recorder exports as structurally valid Chrome JSON.
+    let json = db.chrome_trace();
+    assert!(json.contains("\"displayTimeUnit\": \"ms\""));
+    assert!(json.contains("\"name\": \"ssd_read\""));
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    assert_eq!(json.matches('[').count(), json.matches(']').count());
+}
+
+/// A read served straight from the group-decode cache records a
+/// `pm_decode_hit` stage instead of a miss.
+#[test]
+fn cached_pm_read_records_a_decode_hit_stage() {
+    let db = Db::open(traced_opts()).unwrap();
+    for i in 0..16u64 {
+        db.put(&key_for(i), &value_for(i, 64)).unwrap();
+    }
+    db.compact(CompactionRequest::FlushAll).unwrap();
+    db.get(&key_for(5)).unwrap(); // warm the group cache
+    let got = db.get(&key_for(5)).unwrap();
+    assert_eq!(got.source, ReadSource::Pm);
+
+    let traces = db.flight_recorder();
+    let trace = traces.last().expect("second get recorded");
+    assert_eq!(trace.op, TraceOp::Get);
+    let kinds: BTreeSet<&str> = trace.stages.iter().map(|s| s.kind.as_str()).collect();
+    assert!(
+        kinds.contains("pm_decode_hit"),
+        "warm get must be cache-served, stages {kinds:?}"
+    );
+}
+
+// -------------------------------------------------------------------
+// Write path + maintenance cross-linking
+// -------------------------------------------------------------------
+
+#[derive(Default)]
+struct FlushOrigins {
+    origins: Mutex<Vec<u64>>,
+}
+
+impl EventListener for FlushOrigins {
+    fn on_flush_complete(&self, span: &TraceSpan) {
+        self.origins.lock().unwrap().push(span.trace_id);
+    }
+}
+
+/// A memtable flush tripped by a traced write carries that write's
+/// trace id on its span, so slow writes can be attributed to the
+/// maintenance they caused.
+#[test]
+fn flush_triggered_by_traced_write_carries_the_origin_trace_id() {
+    const WIRE_ID: u64 = 0xFACE;
+    let recorder = Arc::new(FlushOrigins::default());
+    let wal_dir =
+        std::env::temp_dir().join(format!("pmblade-it-{}-trace-origin", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    let mut opts = tiny_options(Mode::PmBlade);
+    opts.trace_sample_every = 0; // only the explicit contexts below record
+    opts.wal_dir = Some(wal_dir.clone()); // so writes record a WAL-append stage
+    opts.listeners
+        .add(Arc::clone(&recorder) as Arc<dyn EventListener>);
+    let db = Db::open(opts).unwrap();
+
+    let ctx = TraceContext::sampled(WIRE_ID);
+    let mut i = 0u64;
+    while recorder.origins.lock().unwrap().is_empty() {
+        db.put_traced(&key_for(i), &value_for(i, 256), ctx).unwrap();
+        i += 1;
+        assert!(i < 10_000, "no automatic flush after 10k writes");
+    }
+    let origins = recorder.origins.lock().unwrap().clone();
+    assert!(
+        origins.contains(&WIRE_ID),
+        "flush span must carry the originating trace id, got {origins:?}"
+    );
+
+    // The traced writes themselves recorded commit-stage breakdowns.
+    let traces = db.flight_recorder();
+    let write = traces
+        .iter()
+        .find(|t| t.op == TraceOp::Write)
+        .expect("traced writes recorded");
+    assert_eq!(write.trace_id, WIRE_ID);
+    let kinds: BTreeSet<&str> = write.stages.iter().map(|s| s.kind.as_str()).collect();
+    assert!(kinds.contains("wal_append"), "stages {kinds:?}");
+    assert!(kinds.contains("memtable_apply"), "stages {kinds:?}");
+    drop(db);
+    let _ = std::fs::remove_dir_all(&wal_dir);
+}
+
+/// Untraced compactions (and everything on a fresh engine) keep
+/// trace id 0 on their spans.
+#[test]
+fn untraced_maintenance_spans_carry_trace_id_zero() {
+    let mut opts = tiny_options(Mode::PmBlade);
+    opts.trace_sample_every = 0;
+    let db = Db::open(opts).unwrap();
+    for i in 0..32u64 {
+        db.put(&key_for(i), &value_for(i, 64)).unwrap();
+    }
+    db.compact(CompactionRequest::FlushAll).unwrap();
+    db.compact(CompactionRequest::Major { partition: 0 })
+        .unwrap();
+    let snap = db.metrics_snapshot();
+    assert!(!snap.spans.is_empty(), "compactions produce spans");
+    assert!(snap.spans.iter().all(|s| s.trace_id == 0));
+    assert!(db.flight_recorder().is_empty());
+}
+
+// -------------------------------------------------------------------
+// Chrome trace-event export
+// -------------------------------------------------------------------
+
+/// Byte-exact golden for the exporter: one request event plus one
+/// event per stage, microsecond timestamps with the nanosecond
+/// remainder in the fraction.
+#[test]
+fn chrome_trace_export_matches_golden() {
+    let stage = |kind, start_nanos, end_nanos, input_records, output_records| TraceSpan {
+        id: 0,
+        trace_id: 42,
+        kind,
+        partition: 1,
+        start_nanos,
+        end_nanos,
+        input_records,
+        output_records,
+        input_bytes: 0,
+        output_bytes: 0,
+        value_size: 0,
+        cost: None,
+    };
+    let trace = RequestTrace {
+        trace_id: 42,
+        op: TraceOp::Get,
+        partition: 1,
+        start_nanos: 2_000,
+        total_nanos: 1_500,
+        deadline_nanos: None,
+        stages: vec![
+            stage(SpanKind::MemtableProbe, 2_000, 2_250, 0, 0),
+            stage(SpanKind::FilterConsult, 2_250, 2_500, 2, 1),
+            stage(SpanKind::SsdRead, 2_500, 3_400, 1, 2),
+        ],
+    };
+    let expected = concat!(
+        "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [",
+        "{\"name\": \"get\", \"cat\": \"request\", \"ph\": \"X\", ",
+        "\"ts\": 2.000, \"dur\": 1.500, \"pid\": 1, \"tid\": 42, ",
+        "\"args\": {\"trace_id\": 42, \"stage_nanos\": 1400}},\n",
+        "{\"name\": \"memtable_probe\", \"cat\": \"stage\", \"ph\": \"X\", ",
+        "\"ts\": 2.000, \"dur\": 0.250, \"pid\": 1, \"tid\": 42, ",
+        "\"args\": {\"input_records\": 0, \"output_records\": 0}},\n",
+        "{\"name\": \"filter_consult\", \"cat\": \"stage\", \"ph\": \"X\", ",
+        "\"ts\": 2.250, \"dur\": 0.250, \"pid\": 1, \"tid\": 42, ",
+        "\"args\": {\"input_records\": 2, \"output_records\": 1}},\n",
+        "{\"name\": \"ssd_read\", \"cat\": \"stage\", \"ph\": \"X\", ",
+        "\"ts\": 2.500, \"dur\": 0.900, \"pid\": 1, \"tid\": 42, ",
+        "\"args\": {\"input_records\": 1, \"output_records\": 2}}",
+        "]}\n",
+    );
+    assert_eq!(chrome_trace_json(&[trace]), expected);
+    assert_eq!(
+        chrome_trace_json(&[]),
+        "{\"displayTimeUnit\": \"ms\", \"traceEvents\": []}\n"
+    );
+}
+
+// -------------------------------------------------------------------
+// Flight-recorder semantics
+// -------------------------------------------------------------------
+
+/// `trace_slow_query_nanos` gates what reaches the recorder; sampling
+/// still counts.
+#[test]
+fn slow_query_threshold_gates_the_flight_recorder() {
+    let mut opts = tiny_options(Mode::PmBlade);
+    opts.trace_sample_every = 1;
+    opts.trace_slow_query_nanos = u64::MAX;
+    let db = Db::open(opts).unwrap();
+    db.put(b"k", b"v").unwrap();
+    db.get(b"k").unwrap();
+    assert!(db.flight_recorder().is_empty(), "nothing is that slow");
+    assert!(db.tracer().sampled_total.get() >= 2);
+    assert_eq!(db.tracer().recorded_total.get(), 0);
+}
+
+/// The recorder is a capped ring: overflow evicts the oldest traces
+/// and counts the drops. Exercised through the builder knobs.
+#[test]
+fn recorder_ring_caps_and_counts_drops() {
+    let opts_base = tiny_options(Mode::PmBlade);
+    let opts = pm_blade::Options::builder()
+        .mode(opts_base.mode)
+        .trace_sample_every(1)
+        .trace_slow_query_nanos(0)
+        .trace_recorder_capacity(4)
+        .build()
+        .unwrap();
+    let db = Db::open(opts).unwrap();
+    db.put(b"k", b"v").unwrap();
+    for _ in 0..20 {
+        db.get(b"k").unwrap();
+    }
+    let traces = db.flight_recorder();
+    assert_eq!(traces.len(), 4, "ring keeps exactly its capacity");
+    assert!(db.tracer().recorder().dropped() > 0);
+    // Oldest-to-newest ordering: engine-originated ids count up.
+    let ids: Vec<u64> = traces.iter().map(|t| t.trace_id).collect();
+    let mut sorted = ids.clone();
+    sorted.sort_unstable();
+    assert_eq!(ids, sorted);
+}
+
+// -------------------------------------------------------------------
+// The stage-sum invariant under random workloads
+// -------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For every recorded trace, the summed stage durations never
+    /// exceed the request latency reported to the caller — stages are
+    /// measured sub-intervals of the request, not estimates.
+    #[test]
+    fn stage_sums_never_exceed_request_latency(
+        ops in proptest::collection::vec((0u8..4, 0u64..64), 1..120),
+    ) {
+        let mut opts = tiny_options(Mode::PmBlade);
+        opts.trace_sample_every = 1;
+        opts.trace_slow_query_nanos = 0;
+        opts.trace_recorder_capacity = 4096;
+        let db = Db::open(opts).unwrap();
+        for (kind, k) in ops {
+            match kind {
+                0 => { db.put(&key_for(k), &value_for(k, 48)).unwrap(); }
+                1 => { db.get(&key_for(k)).unwrap(); }
+                2 => { db.delete(&key_for(k)).unwrap(); }
+                _ => { db.scan(ScanRequest::new().start(key_for(0)).limit(16)).unwrap(); }
+            }
+        }
+        db.compact(CompactionRequest::FlushAll).unwrap();
+        for k in 0..8u64 {
+            db.get(&key_for(k)).unwrap();
+        }
+        let traces = db.flight_recorder();
+        prop_assert!(!traces.is_empty());
+        for t in traces {
+            prop_assert!(t.trace_id != 0);
+            prop_assert!(
+                t.stage_nanos() <= t.total_nanos,
+                "stages {} exceed total {} for trace {} ({:?})",
+                t.stage_nanos(), t.total_nanos, t.trace_id, t.op
+            );
+            for s in &t.stages {
+                prop_assert_eq!(s.trace_id, t.trace_id);
+            }
+        }
+    }
+}
+
+// -------------------------------------------------------------------
+// Zero-overhead invariant
+// -------------------------------------------------------------------
+
+/// Tracing only observes the virtual timeline. With sampling off the
+/// engine records nothing; and the virtual latencies of an identical
+/// workload are bit-identical whether sampling is off or total.
+#[test]
+fn sampling_choice_never_moves_virtual_latencies() {
+    let run = |sample_every: u64| -> (Vec<u64>, u64) {
+        let mut opts = tiny_options(Mode::PmBlade);
+        opts.trace_sample_every = sample_every;
+        opts.trace_slow_query_nanos = 0;
+        let db = Db::open(opts).unwrap();
+        let mut latencies = Vec::new();
+        for i in 0..200u64 {
+            latencies.push(db.put(&key_for(i), &value_for(i, 96)).unwrap().as_nanos());
+        }
+        db.compact(CompactionRequest::FlushAll).unwrap();
+        for i in 0..200u64 {
+            latencies.push(db.get(&key_for(i)).unwrap().latency.as_nanos());
+        }
+        (latencies, db.tracer().sampled_total.get())
+    };
+    let (off, off_sampled) = run(0);
+    let (on, on_sampled) = run(1);
+    assert_eq!(off_sampled, 0, "sampling off records nothing");
+    assert!(
+        on_sampled >= 400,
+        "sampling every request records everything"
+    );
+    assert_eq!(
+        off, on,
+        "virtual latencies must be identical regardless of sampling"
+    );
+}
