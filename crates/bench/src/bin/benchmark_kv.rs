@@ -14,7 +14,7 @@
 //!              [--maintenance inline|background] [--metrics-out PATH]
 //!              [--pm-filter-bits B] [--pm-cache-bytes N]
 //!              [--server [HOST:PORT]] [--connections N]
-//!              [--trace-out PATH]
+//!              [--trace-out PATH] [--reopen]
 //!
 //! `--server` switches to the network-service benchmark: `--num` puts
 //! then `--reads` gets issued over `--connections` TCP clients through
@@ -31,6 +31,12 @@
 //! run's tracer counters must stay at zero. The traced run's flight
 //! recorder is exported to PATH as Chrome trace-event JSON and the
 //! comparison is written to `BENCH_tracing.json`.
+//!
+//! `--reopen` switches to the recovery benchmark: rounds of fill +
+//! flush in a durable scratch directory, closing and reopening the
+//! engine after each round to measure wall-clock recovery (manifest
+//! replay, table reopen, WAL segment replay) as level-0 tables
+//! accumulate. Results are written to `BENCH_recovery.json`.
 //!
 //! `readhot` is the zipfian hot-set read workload: after a random fill,
 //! reads hammer a small hot subset of the keyspace (1% of `--num`,
@@ -61,7 +67,8 @@
 //!           --benchmark readrandom --num 50000 --skew 0.9`
 
 use pm_blade::{
-    Db, MaintenanceMode, Mode, Options, Partitioner, Relational, ScanRequest, TableDef,
+    CompactionRequest, Db, MaintenanceMode, Mode, Options, Partitioner, Relational, ScanRequest,
+    TableDef,
 };
 use sim::{Histogram, KeyDistribution, Pcg64, SimDuration};
 use workloads::{run_kv, KvWorkload, KvWorkloadSpec};
@@ -89,6 +96,10 @@ struct Args {
     /// flight recorder is exported to this path as Chrome trace-event
     /// JSON and the off/on comparison goes to `BENCH_tracing.json`.
     trace_out: Option<std::path::PathBuf>,
+    /// Switches to the recovery benchmark: fill a durable engine,
+    /// flush, close, and measure wall-clock reopen latency as level-0
+    /// tables accumulate. Results go to `BENCH_recovery.json`.
+    reopen: bool,
 }
 
 impl Default for Args {
@@ -110,6 +121,7 @@ impl Default for Args {
             server: None,
             connections: 8,
             trace_out: None,
+            reopen: false,
         }
     }
 }
@@ -182,6 +194,7 @@ fn parse_args() -> Args {
             "--trace-out" => {
                 args.trace_out = Some(value().into());
             }
+            "--reopen" => args.reopen = true,
             "--connections" => {
                 args.connections = value().parse().expect("--connections");
                 if args.connections == 0 {
@@ -834,8 +847,96 @@ fn trace_bench(args: &Args) {
     println!("{:<18} results -> {}", "", out.display());
 }
 
+/// The recovery benchmark (`--reopen`): run rounds of fill + flush in a
+/// durable scratch directory, closing and reopening the engine after
+/// each round, and measure the wall-clock reopen (manifest replay +
+/// table reopen + WAL segment replay) as level-0 tables accumulate.
+/// Each row records the reopen latency against the table count the
+/// recovery path rebuilt; results go to `BENCH_recovery.json`.
+fn reopen_bench(args: &Args) {
+    let dir = std::env::temp_dir().join(format!("pmblade-reopen-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut opts = bench_options(args);
+    opts.wal_dir = Some(dir.clone());
+    let rounds = 4u64;
+    let per_round = (args.num / rounds).max(1);
+    let value = vec![b'r'; args.value_size];
+    let mut written = 0u64;
+    let mut rows = Vec::new();
+    println!(
+        "{:<10} {:>10} {:>10} {:>12} {:>14}",
+        "round", "keys", "tables", "wal-replayed", "reopen-wall"
+    );
+    for round in 0..rounds {
+        {
+            let db = Db::open(opts.clone()).expect("engine opens");
+            for i in 0..per_round {
+                let k = format!("user{:010}", written + i);
+                db.put(k.as_bytes(), &value).expect("put");
+            }
+            written += per_round;
+            db.compact(CompactionRequest::FlushAll).expect("flush");
+            // Half the keys of the final round stay WAL-only so the
+            // reopen also exercises segment replay.
+            for i in 0..per_round / 2 {
+                let k = format!("user{:010}", written - per_round / 2 + i);
+                db.put(k.as_bytes(), &value).expect("put");
+            }
+            db.close();
+        }
+        let wall_start = std::time::Instant::now();
+        let db = Db::open(opts.clone()).expect("reopen");
+        let wall = wall_start.elapsed();
+        let snap = db.metrics_snapshot();
+        let tables = snap.counter("recovery_tables_reopened");
+        let replayed = snap.counter("recovery_wal_records_replayed");
+        println!(
+            "{:<10} {:>10} {:>10} {:>12} {:>14.2?}",
+            round + 1,
+            written,
+            tables,
+            replayed,
+            wall
+        );
+        rows.push(format!(
+            "{{\"round\": {}, \"keys\": {}, \"tables_reopened\": {tables}, \
+             \"wal_records_replayed\": {replayed}, \
+             \"reopen_wall_seconds\": {:.6}}}",
+            round + 1,
+            written,
+            wall.as_secs_f64()
+        ));
+        db.close();
+    }
+    let json = format!(
+        "{{\n  \"benchmark\": \"reopen\",\n  \"mode\": \"{:?}\",\n  \
+         \"num\": {},\n  \"value_size\": {},\n  \"partitions\": {},\n  \
+         \"rounds\": [\n    {}\n  ]\n}}\n",
+        args.mode,
+        args.num,
+        args.value_size,
+        args.partitions,
+        rows.join(",\n    ")
+    );
+    let out = std::path::Path::new("BENCH_recovery.json");
+    std::fs::write(out, json).unwrap_or_else(|e| {
+        eprintln!("BENCH_recovery.json: {e}");
+        std::process::exit(1);
+    });
+    println!("{:<18} results -> {}", "", out.display());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 fn main() {
     let args = parse_args();
+    if args.reopen {
+        println!(
+            "benchmark_kv: reopen/recovery, mode={:?} num={} value={}B",
+            args.mode, args.num, args.value_size
+        );
+        reopen_bench(&args);
+        return;
+    }
     if args.server.is_some() {
         server_bench(&args);
         return;

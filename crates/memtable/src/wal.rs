@@ -18,6 +18,7 @@ use std::path::{Path, PathBuf};
 
 use encoding::key::{self, KeyKind, SequenceNumber};
 use encoding::{crc, varint};
+use sim::fault::{self, FaultDecision, FaultPlan};
 use sim::{CostModel, Timeline};
 
 /// One logical log record.
@@ -57,6 +58,7 @@ pub struct Wal {
     path: PathBuf,
     written: u64,
     cost: CostModel,
+    fault: Option<std::sync::Arc<FaultPlan>>,
 }
 
 impl Wal {
@@ -76,6 +78,7 @@ impl Wal {
             path,
             written: 0,
             cost,
+            fault: None,
         })
     }
 
@@ -93,7 +96,13 @@ impl Wal {
             path,
             written,
             cost,
+            fault: None,
         })
+    }
+
+    /// Route this log's durable writes through a crash-injection plan.
+    pub fn set_fault(&mut self, fault: Option<std::sync::Arc<FaultPlan>>) {
+        self.fault = fault;
     }
 
     pub fn path(&self) -> &Path {
@@ -114,6 +123,20 @@ impl Wal {
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc::mask(crc::crc32c(&payload)).to_le_bytes());
         frame.extend_from_slice(&payload);
+        match fault::check_write(&self.fault, frame.len()) {
+            FaultDecision::Allow => {}
+            FaultDecision::Deny { keep_prefix } => {
+                // Torn write: a prefix of the frame reaches the medium
+                // before the crash. Replay detects it via length/CRC.
+                if keep_prefix > 0 {
+                    let _ = self.file.write_all(&frame[..keep_prefix.min(frame.len())]);
+                    let _ = self.file.sync_data();
+                }
+                return Err(WalError::Io(std::io::Error::other(
+                    "crash injected: wal append",
+                )));
+            }
+        }
         self.file.write_all(&frame)?;
         self.written += frame.len() as u64;
         tl.charge(self.cost.ssd.write(frame.len()));
@@ -122,6 +145,11 @@ impl Wal {
 
     /// Durability barrier (group commit point).
     pub fn sync(&mut self, tl: &mut Timeline) -> Result<(), WalError> {
+        if !fault::check_sync(&self.fault).allowed() {
+            return Err(WalError::Io(std::io::Error::other(
+                "crash injected: wal sync",
+            )));
+        }
         self.file.sync_data()?;
         tl.charge(self.cost.ssd.persist);
         Ok(())
@@ -307,6 +335,27 @@ mod tests {
         assert!(path.exists());
         wal.remove().unwrap();
         assert!(!path.exists());
+    }
+
+    #[test]
+    fn crash_injected_append_tears_the_tail() {
+        let path = tmp("fault");
+        let mut tl = Timeline::new();
+        let plan = FaultPlan::armed(1, true, 3);
+        {
+            let mut wal = Wal::create(&path, CostModel::default()).unwrap();
+            wal.set_fault(Some(std::sync::Arc::clone(&plan)));
+            wal.append(&rec(1, "a", "1"), &mut tl).unwrap();
+            assert!(wal.append(&rec(2, "b", "2"), &mut tl).is_err());
+            assert!(plan.tripped());
+            // The process is dead: later barriers fail too.
+            assert!(wal.sync(&mut tl).is_err());
+        }
+        // Replay recovers the acknowledged record and drops the torn one.
+        let replayed = Wal::replay(&path).unwrap();
+        assert_eq!(replayed.len(), 1);
+        assert_eq!(replayed[0].user_key, b"a");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -31,7 +31,14 @@
 //! Maintenance workers enter at the WAL mutex (flush sync) or the
 //! partition lock — never the commit mutex — so they order the same
 //! way as a foreground thread that has already committed.
+//!
+//! The manifest mutex sits outside this chain: it is only ever taken
+//! with no WAL-ring or partition lock held (version snapshots are
+//! captured under the partition lock, the lock dropped, then the edit
+//! appended), so it cannot participate in a cycle.
 
+use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -40,9 +47,10 @@ use memtable::{Wal, WalRecord};
 use parking_lot::{Mutex, RwLock};
 use pm_device::{PmError, PmPool};
 use pmtable::OwnedEntry;
-use sim::{SimDuration, SimInstant, Timeline};
+use sim::fault::FaultPlan;
+use sim::{CostModel, SimDuration, SimInstant, Timeline};
 use ssd_device::{SsdDevice, SsdError};
-use sstable::BlockCache;
+use sstable::{BlockCache, SsTable};
 
 use sim::Counter;
 
@@ -52,9 +60,11 @@ use crate::costmodel::{
     explain_read_benefit_filtered, explain_write_benefit, select_retained, RetentionCandidate,
 };
 use crate::groupcache::PmGroupCache;
+use crate::handle::{reopen_pm_table, CacheIds, PmTableHandle, SsTableHandle};
 use crate::level0::ProbeStats;
 use crate::levels::SsdReadStats;
 use crate::maintenance::{self, Job, JobKind, MaintenanceShared, QueueMetrics};
+use crate::manifest::{Manifest, ManifestError, PartitionVersion, SsdMeta, VersionEdit};
 use crate::options::{MaintenanceMode, Mode, Options};
 use crate::partition::{Level0, Partition};
 use crate::stats::{EngineStats, LatencyStats, ReadSource};
@@ -87,6 +97,11 @@ pub enum DbError {
     /// The operation is valid but this build does not implement it
     /// (e.g. a protocol feature ahead of the engine).
     Unsupported(String),
+    /// A plain filesystem/device I/O failure (directory creation, thread
+    /// spawn, manifest write, ...). Distinct from [`DbError::Corrupt`],
+    /// which means durable data failed validation — an I/O error is
+    /// usually transient and retryable, corruption never is.
+    Io(String),
 }
 
 impl DbError {
@@ -104,6 +119,7 @@ impl DbError {
     /// | 6    | `Config`      |
     /// | 7    | `Commit`      |
     /// | 8    | `Unsupported` |
+    /// | 9    | `Io`          |
     ///
     /// Code 0 is reserved for "unknown" (an error shipped by a newer
     /// engine that this build cannot classify).
@@ -117,6 +133,7 @@ impl DbError {
             DbError::Config(_) => 6,
             DbError::Commit(_) => 7,
             DbError::Unsupported(_) => 8,
+            DbError::Io(_) => 9,
         }
     }
 }
@@ -132,6 +149,7 @@ impl std::fmt::Display for DbError {
             DbError::Config(msg) => write!(f, "config: {msg}"),
             DbError::Commit(msg) => write!(f, "commit: {msg}"),
             DbError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+            DbError::Io(msg) => write!(f, "io: {msg}"),
         }
     }
 }
@@ -159,6 +177,15 @@ impl From<sstable::table::TableError> for DbError {
 impl From<memtable::WalError> for DbError {
     fn from(e: memtable::WalError) -> Self {
         DbError::Wal(e)
+    }
+}
+
+impl From<ManifestError> for DbError {
+    fn from(e: ManifestError) -> Self {
+        match e {
+            ManifestError::Io(msg) => DbError::Io(format!("manifest: {msg}")),
+            ManifestError::Corrupt(msg) => DbError::Corrupt(format!("manifest: {msg}")),
+        }
     }
 }
 
@@ -318,6 +345,203 @@ pub enum CompactionRequest {
     MajorWithRetention,
 }
 
+/// File name of WAL segment `n` inside `wal_dir`.
+fn wal_segment_file(n: u64) -> String {
+    format!("wal-{n:06}.log")
+}
+
+/// One rotated-out WAL segment still on disk.
+struct SealedSegment {
+    path: PathBuf,
+    /// Per-partition highest sequence the segment holds. The segment is
+    /// deletable once every partition's flush checkpoint covers its
+    /// records; partitions absent from the map hold nothing here.
+    max_seq: BTreeMap<u64, u64>,
+}
+
+/// The WAL as a ring of numbered segment files (`wal-NNNNNN.log`).
+///
+/// Commits append to the active segment; when it crosses
+/// [`Options::wal_segment_bytes`] it is sealed and a fresh segment
+/// becomes active. Sealed segments are deleted once the per-partition
+/// flush checkpoints in the manifest cover every record they hold, so
+/// recovery replays a bounded suffix instead of the whole write history.
+struct WalRing {
+    dir: PathBuf,
+    cost: CostModel,
+    fault: Option<Arc<FaultPlan>>,
+    active: Wal,
+    active_segment: u64,
+    /// Per-partition highest sequence appended to the active segment.
+    active_max: BTreeMap<u64, u64>,
+    /// Sealed segments, oldest first.
+    sealed: Vec<SealedSegment>,
+}
+
+impl WalRing {
+    fn note_append(&mut self, pid: usize, seq: u64) {
+        let wm = self.active_max.entry(pid as u64).or_insert(0);
+        *wm = (*wm).max(seq);
+    }
+
+    /// Seal the active segment (already synced by the caller) and start
+    /// the next one. Returns the new segment number.
+    fn rotate(&mut self) -> Result<u64, DbError> {
+        let next = self.active_segment + 1;
+        let mut wal = Wal::create(self.dir.join(wal_segment_file(next)), self.cost)?;
+        wal.set_fault(self.fault.clone());
+        let old = std::mem::replace(&mut self.active, wal);
+        self.sealed.push(SealedSegment {
+            path: old.path().to_path_buf(),
+            max_seq: std::mem::take(&mut self.active_max),
+        });
+        self.active_segment = next;
+        Ok(next)
+    }
+
+    /// Delete every sealed segment whose records are all at or below
+    /// their partition's flush checkpoint. Returns how many went.
+    fn prune(&mut self, checkpoints: &BTreeMap<u64, u64>) -> u64 {
+        let mut deleted = 0u64;
+        self.sealed.retain(|seg| {
+            let covered = seg
+                .max_seq
+                .iter()
+                .all(|(pid, seq)| checkpoints.get(pid).is_some_and(|c| c >= seq));
+            if covered {
+                let _ = std::fs::remove_file(&seg.path);
+                deleted += 1;
+            }
+            !covered
+        });
+        deleted
+    }
+}
+
+/// Reopen one PM region as a level-0 table handle (recovery path).
+fn recover_pm_handle(pool: &PmPool, id: u64, ids: &CacheIds) -> Result<PmTableHandle, DbError> {
+    let region = pool.get(id).ok_or_else(|| {
+        DbError::Corrupt(format!(
+            "manifest names PM region {id} but the pool does not hold it"
+        ))
+    })?;
+    reopen_pm_table(region, ids).map_err(DbError::Corrupt)
+}
+
+/// Reopen one SSTable from its manifest metadata (recovery path).
+fn recover_ss_handle(
+    device: &Arc<SsdDevice>,
+    cache: &Arc<BlockCache>,
+    meta: &SsdMeta,
+    tl: &mut Timeline,
+) -> Result<SsTableHandle, DbError> {
+    let table = SsTable::open(device, &meta.name, Arc::clone(cache), tl)?;
+    Ok(SsTableHandle {
+        table: Arc::new(table),
+        name: meta.name.clone(),
+        first: meta.first.clone(),
+        last: meta.last.clone(),
+        bytes: meta.bytes,
+        max_seq: meta.max_seq,
+    })
+}
+
+/// Rebuild one partition's table set from its last manifest version.
+/// Returns `(tables_reopened, max_seq_recovered)`.
+fn rebuild_partition(
+    p: &mut Partition,
+    version: &PartitionVersion,
+    pool: &PmPool,
+    device: &Arc<SsdDevice>,
+    cache: &Arc<BlockCache>,
+    cache_ids: &CacheIds,
+    tl: &mut Timeline,
+) -> Result<(u64, u64), DbError> {
+    let mismatch = |what: &str| {
+        DbError::Corrupt(format!(
+            "manifest version for partition {} holds {what} tables the \
+             configured mode has no container for",
+            p.id
+        ))
+    };
+    let mut count = 0u64;
+    let mut max_seq = 0u64;
+    match &mut p.level0 {
+        Level0::Pm(l0) => {
+            if !version.matrix.is_empty() || !version.l0_tables.is_empty() {
+                return Err(mismatch("matrix/SSD level-0"));
+            }
+            for &id in &version.unsorted {
+                let h = recover_pm_handle(pool, id, cache_ids)?;
+                max_seq = max_seq.max(h.max_seq);
+                l0.push_unsorted(h);
+                count += 1;
+            }
+            let mut run = Vec::with_capacity(version.sorted.len());
+            for &id in &version.sorted {
+                let h = recover_pm_handle(pool, id, cache_ids)?;
+                max_seq = max_seq.max(h.max_seq);
+                run.push(h);
+                count += 1;
+            }
+            if !run.is_empty() {
+                l0.set_sorted_run(run);
+            }
+        }
+        Level0::Matrix(m) => {
+            if !version.unsorted.is_empty()
+                || !version.sorted.is_empty()
+                || !version.l0_tables.is_empty()
+            {
+                return Err(mismatch("PM/SSD level-0"));
+            }
+            for &id in &version.matrix {
+                let region = pool.get(id).ok_or_else(|| {
+                    DbError::Corrupt(format!(
+                        "manifest names matrix region {id} but the pool does not hold it"
+                    ))
+                })?;
+                m.push_recovered_row(region)?;
+                count += 1;
+            }
+        }
+        Level0::Ssd(tables) => {
+            if !version.unsorted.is_empty()
+                || !version.sorted.is_empty()
+                || !version.matrix.is_empty()
+            {
+                return Err(mismatch("PM level-0"));
+            }
+            for meta in &version.l0_tables {
+                let h = recover_ss_handle(device, cache, meta, tl)?;
+                max_seq = max_seq.max(h.max_seq);
+                tables.push(h);
+                count += 1;
+            }
+        }
+    }
+    for (i, level) in version.levels.iter().enumerate() {
+        let mut handles = Vec::with_capacity(level.len());
+        for meta in level {
+            let h = recover_ss_handle(device, cache, meta, tl)?;
+            max_seq = max_seq.max(h.max_seq);
+            handles.push(h);
+            count += 1;
+        }
+        p.levels.replace_level(i + 1, handles);
+    }
+    Ok((count, max_seq))
+}
+
+/// The numeric suffix of an SSTable name (`p000-L1-00000042.sst` → 42),
+/// used to re-seed the name counter on recovery.
+fn table_name_counter(name: &str) -> u64 {
+    name.strip_suffix(".sst")
+        .and_then(|s| s.rsplit('-').next())
+        .and_then(|n| n.parse().ok())
+        .unwrap_or(0)
+}
+
 /// The PM-Blade storage engine.
 ///
 /// `Db` is `Send + Sync`; share it as `Arc<Db>` across threads. Reads
@@ -379,7 +603,7 @@ impl Db {
                         for h in workers {
                             let _ = h.join();
                         }
-                        return Err(DbError::Corrupt(format!("spawn maintenance worker: {e}")));
+                        return Err(DbError::Io(format!("spawn maintenance worker: {e}")));
                     }
                 }
             }
@@ -444,8 +668,19 @@ pub struct DbCore {
     /// Virtual clock as nanoseconds since `SimInstant::ORIGIN`.
     clock: AtomicU64,
     table_counter: AtomicU64,
+    /// Per-engine [`PmTableHandle::cache_id`] allocator (see
+    /// [`CacheIds`] for why it must not be process-global).
+    cache_ids: CacheIds,
     stats: EngineStats,
-    wal: Option<Mutex<Wal>>,
+    wal: Option<Mutex<WalRing>>,
+    /// The durable table-lifecycle log; `Some` iff `opts.wal_dir` is
+    /// set. Locked only while no partition or WAL-ring lock is held.
+    manifest: Option<Mutex<Manifest>>,
+    /// Edits applied to the manifest (replayed at open + appended).
+    manifest_edits: Arc<Counter>,
+    /// Sealed WAL segments deleted because a flush checkpoint covered
+    /// every record they held.
+    wal_segments_deleted: Arc<Counter>,
     /// Mean value size observed (drives compaction trace balance).
     value_bytes_sum: AtomicU64,
     value_count: AtomicU64,
@@ -503,31 +738,138 @@ struct ReadMetrics {
 impl DbCore {
     /// Build the engine core. Callers almost always want [`Db::open`],
     /// which also spawns the background workers.
+    ///
+    /// With [`Options::wal_dir`] set this is a full recovery path:
+    /// load the `CURRENT` manifest, rebuild every partition's table set
+    /// from its last logged version (reopening PM regions and SSTables
+    /// from the backing directories), garbage-collect media objects the
+    /// manifest does not reference, then replay only the WAL records
+    /// newer than each partition's flush checkpoint.
     fn open(mut opts: Options) -> Result<DbCore, DbError> {
+        let recovery_start = std::time::Instant::now();
         // The PM-table filter knob lives on the engine options; project
         // it onto the per-table build options so every flush and
         // compaction builds (or skips) filters consistently.
         opts.pm_table.filter_bits_per_key = opts.pm_filter_bits_per_key;
-        let pool = PmPool::new(opts.pm_capacity, opts.cost);
-        let device = SsdDevice::new(opts.cost);
+        let fault = opts.fault_plan.clone();
         let cache = Arc::new(BlockCache::new(opts.block_cache_bytes));
         let now = SimInstant::ORIGIN;
         let mut partitions: Vec<Partition> = (0..opts.partitioner.count())
             .map(|id| Partition::new(id, &opts, now))
             .collect();
         let mut seq: SequenceNumber = 0;
-        // WAL replay happens before the partitions go behind locks.
-        let wal = match opts.wal_dir.clone() {
-            None => None,
+        let mut table_counter_start = 0u64;
+        let cache_ids = CacheIds::new();
+        let mut recovered_tables = 0u64;
+        let mut replayed_records = 0u64;
+        let mut edits_at_open = 0u64;
+        let (pool, device, manifest, wal) = match opts.wal_dir.clone() {
+            None => (
+                PmPool::new(opts.pm_capacity, opts.cost),
+                SsdDevice::new(opts.cost),
+                None,
+                None,
+            ),
             Some(dir) => {
-                std::fs::create_dir_all(&dir)
-                    .map_err(|e| DbError::Corrupt(format!("wal dir: {e}")))?;
-                let path = dir.join("engine.wal");
-                if path.exists() {
-                    let mut tl = Timeline::new();
-                    for rec in Wal::replay(&path)? {
+                std::fs::create_dir_all(&dir).map_err(|e| DbError::Io(format!("wal dir: {e}")))?;
+                let pool = PmPool::with_backing_faults(
+                    opts.pm_capacity,
+                    opts.cost,
+                    dir.join("pm"),
+                    fault.clone(),
+                )?;
+                let device = SsdDevice::with_backing(opts.cost, dir.join("ssd"), fault.clone())?;
+                let mut manifest =
+                    Manifest::open(&dir, opts.manifest_snapshot_every, opts.cost, fault.clone())?;
+                let mut tl = Timeline::new();
+                let state = manifest.state().clone();
+                // Rebuild each partition's table set from its last
+                // logged version, and remember every media object the
+                // manifest still references.
+                let mut live_regions: std::collections::HashSet<u64> =
+                    std::collections::HashSet::new();
+                let mut live_tables: std::collections::HashSet<String> =
+                    std::collections::HashSet::new();
+                for (&pid_u, version) in &state.partitions {
+                    let pid = pid_u as usize;
+                    if pid >= partitions.len() {
+                        return Err(DbError::Corrupt(format!(
+                            "manifest names partition {pid} but the engine has {}",
+                            partitions.len()
+                        )));
+                    }
+                    let (count, max_seq) = rebuild_partition(
+                        &mut partitions[pid],
+                        version,
+                        &pool,
+                        &device,
+                        &cache,
+                        &cache_ids,
+                        &mut tl,
+                    )?;
+                    recovered_tables += count;
+                    seq = seq.max(max_seq);
+                    live_regions.extend(&version.unsorted);
+                    live_regions.extend(&version.sorted);
+                    live_regions.extend(&version.matrix);
+                    for meta in version
+                        .l0_tables
+                        .iter()
+                        .chain(version.levels.iter().flatten())
+                    {
+                        table_counter_start =
+                            table_counter_start.max(table_name_counter(&meta.name));
+                        live_tables.insert(meta.name.clone());
+                    }
+                }
+                table_counter_start = table_counter_start.max(state.table_counter);
+                seq = seq.max(state.checkpoints.values().copied().max().unwrap_or(0));
+                // GC orphans: media published by a crashed process whose
+                // manifest edit never landed. Nothing references them.
+                for id in pool.region_ids() {
+                    if !live_regions.contains(&id) {
+                        pool.free(id);
+                    }
+                }
+                for name in device.list() {
+                    if !live_tables.contains(&name) {
+                        let _ = device.delete(&name);
+                    }
+                }
+                // WAL segments replay ascending; records at or below the
+                // partition's flush checkpoint are already durable in
+                // level-0 and are skipped (the double-replay guard).
+                let mut segments: Vec<(u64, PathBuf)> = Vec::new();
+                for entry in
+                    std::fs::read_dir(&dir).map_err(|e| DbError::Io(format!("wal dir: {e}")))?
+                {
+                    let entry = entry.map_err(|e| DbError::Io(format!("wal dir: {e}")))?;
+                    let name = entry.file_name();
+                    let name = name.to_string_lossy();
+                    if let Some(num) = name
+                        .strip_prefix("wal-")
+                        .and_then(|s| s.strip_suffix(".log"))
+                        .and_then(|s| s.parse::<u64>().ok())
+                    {
+                        segments.push((num, entry.path()));
+                    }
+                }
+                segments.sort();
+                let mut sealed = Vec::new();
+                for (_, path) in &segments {
+                    let mut seg_max: BTreeMap<u64, u64> = BTreeMap::new();
+                    for rec in Wal::replay(path)? {
                         seq = seq.max(rec.seq);
                         let pid = opts.partitioner.locate(&rec.user_key);
+                        let wm = seg_max.entry(pid as u64).or_insert(0);
+                        *wm = (*wm).max(rec.seq);
+                        if state
+                            .checkpoints
+                            .get(&(pid as u64))
+                            .is_some_and(|c| *c >= rec.seq)
+                        {
+                            continue;
+                        }
                         partitions[pid].mem.insert(
                             &rec.user_key,
                             rec.seq,
@@ -535,13 +877,44 @@ impl DbCore {
                             &rec.value,
                             &mut tl,
                         );
+                        replayed_records += 1;
                     }
+                    sealed.push(SealedSegment {
+                        path: path.clone(),
+                        max_seq: seg_max,
+                    });
                 }
-                // Keep appending to the surviving log: truncating here
-                // would lose the replayed records if the process crashed
-                // again before the next flush. Real deployments rotate
-                // at checkpoints.
-                Some(Mutex::new(Wal::open_append(path, opts.cost)?))
+                // Existing segments stay sealed (deletable once a flush
+                // checkpoint covers them); appends go to a fresh one.
+                let next_segment = segments
+                    .last()
+                    .map(|(n, _)| n + 1)
+                    .unwrap_or(1)
+                    .max(state.wal_segment + 1);
+                let mut active = Wal::create(dir.join(wal_segment_file(next_segment)), opts.cost)?;
+                active.set_fault(fault.clone());
+                manifest.append(
+                    &VersionEdit::WalRotate {
+                        segment: next_segment,
+                    },
+                    &mut tl,
+                )?;
+                edits_at_open = manifest.state().edits_applied;
+                let ring = WalRing {
+                    dir,
+                    cost: opts.cost,
+                    fault: fault.clone(),
+                    active,
+                    active_segment: next_segment,
+                    active_max: BTreeMap::new(),
+                    sealed,
+                };
+                (
+                    pool,
+                    device,
+                    Some(Mutex::new(manifest)),
+                    Some(Mutex::new(ring)),
+                )
             }
         };
         let registry = MetricsRegistry::new();
@@ -597,6 +970,22 @@ impl DbCore {
         let wal_sync_latency = registry.histogram(MetricKey::global("wal_sync_latency"));
         let wal_appends = registry.counter(MetricKey::global("wal_appends"));
         let wal_syncs = registry.counter(MetricKey::global("wal_syncs"));
+        // Durability / recovery observability. Registered in every mode
+        // (zero without a wal_dir) so dashboards render identically; the
+        // recovery counters are set once, here, from the open pass.
+        let manifest_edits = registry.counter(MetricKey::global("manifest_edits_total"));
+        manifest_edits.add(edits_at_open);
+        let wal_segments_deleted =
+            registry.counter(MetricKey::global("wal_segments_deleted_total"));
+        registry
+            .counter(MetricKey::global("recovery_wal_records_replayed"))
+            .add(replayed_records);
+        registry
+            .counter(MetricKey::global("recovery_tables_reopened"))
+            .add(recovered_tables);
+        registry
+            .histogram(MetricKey::global("recovery_wall_nanos"))
+            .record_nanos(recovery_start.elapsed().as_nanos() as u64);
         // Maintenance metrics are pre-registered in BOTH modes so a
         // Prometheus scrape of an Inline engine still lists them (at
         // zero) and dashboards render identically across modes.
@@ -630,9 +1019,13 @@ impl DbCore {
             seq: AtomicU64::new(seq),
             visible_seq: AtomicU64::new(seq),
             clock: AtomicU64::new(0),
-            table_counter: AtomicU64::new(0),
+            table_counter: AtomicU64::new(table_counter_start),
+            cache_ids,
             stats,
             wal,
+            manifest,
+            manifest_edits,
+            wal_segments_deleted,
             value_bytes_sum: AtomicU64::new(0),
             value_count: AtomicU64::new(0),
             registry,
@@ -925,13 +1318,105 @@ impl DbCore {
     pub fn sync_wal(&self) -> Result<SimDuration, DbError> {
         let mut tl = Timeline::new();
         if let Some(wal) = &self.wal {
-            wal.lock().sync(&mut tl)?;
+            wal.lock().active.sync(&mut tl)?;
             self.wal_syncs.incr();
             self.wal_sync_latency.record(tl.elapsed());
         }
         let d = tl.elapsed();
         self.advance(d);
         Ok(d)
+    }
+
+    /// Append edits to the manifest, each durably (fsynced) before the
+    /// next. No-op without a manifest. Must not be called while holding
+    /// a partition lock or the WAL-ring lock.
+    fn append_manifest_edits(&self, edits: &[VersionEdit]) -> Result<(), DbError> {
+        let Some(manifest) = &self.manifest else {
+            return Ok(());
+        };
+        let mut tl = Timeline::new();
+        let mut m = manifest.lock();
+        for edit in edits {
+            m.append(edit, &mut tl)?;
+            self.manifest_edits.incr();
+        }
+        drop(m);
+        self.advance(tl.elapsed());
+        Ok(())
+    }
+
+    /// Snapshot a partition's complete table set for a manifest edit.
+    /// The caller holds the partition lock, so the snapshot is the
+    /// exact set a crash-reopen must rebuild.
+    fn partition_version(&self, p: &Partition) -> PartitionVersion {
+        let meta = |h: &SsTableHandle| SsdMeta {
+            name: h.name.clone(),
+            first: h.first.clone(),
+            last: h.last.clone(),
+            bytes: h.bytes,
+            max_seq: h.max_seq,
+        };
+        let mut v = PartitionVersion {
+            partition: p.id as u64,
+            ..PartitionVersion::default()
+        };
+        match &p.level0 {
+            Level0::Pm(l0) => {
+                v.unsorted = l0.unsorted.iter().map(|h| h.region).collect();
+                v.sorted = l0.sorted_run().iter().map(|h| h.region).collect();
+            }
+            Level0::Matrix(m) => v.matrix = m.region_ids(),
+            Level0::Ssd(tables) => v.l0_tables = tables.iter().map(meta).collect(),
+        }
+        v.levels = p
+            .levels
+            .levels
+            .iter()
+            .map(|lvl| lvl.iter().map(meta).collect())
+            .collect();
+        v
+    }
+
+    /// Durably record a partition's new table set — and, for a flush,
+    /// its checkpoint — then prune WAL segments the checkpoint covered.
+    /// Publication order is the crash-safety invariant: the in-memory
+    /// install already happened, so a crash before this append leaves
+    /// only orphaned media (GC'd on reopen) plus a WAL that still
+    /// replays the records; a crash after it loses nothing.
+    fn log_version(
+        &self,
+        version: PartitionVersion,
+        checkpoint: Option<(usize, u64)>,
+    ) -> Result<(), DbError> {
+        if self.manifest.is_none() {
+            return Ok(());
+        }
+        let mut edits = vec![
+            VersionEdit::PartitionVersion(version),
+            VersionEdit::TableCounter {
+                value: self.table_counter.load(Ordering::Relaxed),
+            },
+        ];
+        if let Some((pid, durable_seq)) = checkpoint {
+            edits.push(VersionEdit::FlushCheckpoint {
+                partition: pid as u64,
+                durable_seq,
+            });
+        }
+        self.append_manifest_edits(&edits)?;
+        if checkpoint.is_some() {
+            // The checkpoint may have made sealed segments obsolete.
+            // Lock order: manifest released above, ring taken alone.
+            let checkpoints = {
+                let m = self.manifest.as_ref().expect("checked above").lock();
+                m.state().checkpoints.clone()
+            };
+            if let Some(ring) = &self.wal {
+                let deleted = ring.lock().prune(&checkpoints);
+                self.wal_segments_deleted.add(deleted);
+            }
+        }
+        Ok(())
     }
 
     // ---------------------------------------------------------------
@@ -1224,9 +1709,19 @@ impl DbCore {
             .iter()
             .find_map(|t| t.trace.map(|c| c.trace_id))
             .unwrap_or(0);
-        // One WAL pass for the whole group.
-        if let Some(wal) = &self.wal {
-            let mut wal = wal.lock();
+        // One WAL pass for the whole group: append every record, then
+        // one group sync — an acked commit is durable (the crash-proof
+        // tests depend on exactly this), at one fsync per group rather
+        // than per record. Any failure fails the whole group before the
+        // memtable sees it.
+        let mut rotated = None;
+        if let Some(ring) = &self.wal {
+            let fail_group = |e: String| {
+                for t in group {
+                    t.complete(Err(DbError::Commit(e.clone())));
+                }
+            };
+            let mut ring = ring.lock();
             let mut seq = base;
             for ticket in group {
                 for op in &ticket.ops {
@@ -1245,16 +1740,35 @@ impl DbCore {
                             value: Vec::new(),
                         },
                     };
-                    if let Err(e) = wal.append(&rec, &mut tl) {
+                    if let Err(e) = ring.active.append(&rec, &mut tl) {
                         // The group never reached the memtable; fail every
                         // ticket with the same diagnostic.
-                        let msg = format!("wal append: {e}");
-                        for t in group {
-                            t.complete(Err(DbError::Commit(msg.clone())));
-                        }
+                        fail_group(format!("wal append: {e}"));
                         return Ok(());
                     }
+                    ring.note_append(pid, seq);
                     self.wal_appends.incr();
+                }
+            }
+            let sync_from = tl.elapsed();
+            if let Err(e) = ring.active.sync(&mut tl) {
+                fail_group(format!("wal sync: {e}"));
+                return Ok(());
+            }
+            self.wal_syncs.incr();
+            self.wal_sync_latency.record(tl.elapsed() - sync_from);
+            if ring.active.bytes_written() >= self.opts.wal_segment_bytes as u64 {
+                match ring.rotate() {
+                    Ok(segment) => rotated = Some(segment),
+                    Err(e) => {
+                        // The records are durable, but with no segment to
+                        // append to the engine cannot proceed; report the
+                        // group failed (recovery may still surface it —
+                        // the usual ambiguity of a commit that died
+                        // between durability and the ack).
+                        fail_group(format!("wal rotate: {e}"));
+                        return Ok(());
+                    }
                 }
             }
         }
@@ -1397,6 +1911,12 @@ impl DbCore {
                 *ticket.stages.lock() = stages;
             }
             ticket.complete(Ok(share));
+        }
+        // Record the rotation once the tickets are done (recovery lists
+        // segment files directly, so the edit is advisory ordering-wise,
+        // but it keeps the manifest's segment watermark moving).
+        if let Some(segment) = rotated {
+            self.append_manifest_edits(&[VersionEdit::WalRotate { segment }])?;
         }
         match flush_err {
             Some(e) => Err(e),
@@ -1787,21 +2307,34 @@ impl DbCore {
         let ssd_written_before = self.device.stats().bytes_written.get();
         if let Some(wal) = &self.wal {
             let mut sync_tl = Timeline::new();
-            wal.lock().sync(&mut sync_tl)?;
+            wal.lock().active.sync(&mut sync_tl)?;
             self.wal_syncs.incr();
             self.wal_sync_latency.record(sync_tl.elapsed());
             tl.charge(sync_tl.elapsed());
         }
-        let report = self.partitions[pid].write().minor_compaction(
-            &self.opts,
-            &self.pool,
-            &self.device,
-            &self.cache,
-            &self.table_counter,
-            &mut tl,
-        )?;
+        let (report, version) = {
+            let mut p = self.partitions[pid].write();
+            let report = p.minor_compaction(
+                &self.opts,
+                &self.pool,
+                &self.device,
+                &self.cache,
+                &self.table_counter,
+                &self.cache_ids,
+                &mut tl,
+            )?;
+            let version = report.map(|_| self.partition_version(&p));
+            (report, version)
+        };
         let flushed = match report {
             Some(report) => {
+                // The flushed tables are already visible to readers;
+                // make them durable in the manifest and move the WAL
+                // checkpoint past the flushed records.
+                self.log_version(
+                    version.expect("set with report"),
+                    Some((pid, report.durable_seq)),
+                )?;
                 self.stats.minor_compactions.incr();
                 let d = tl.elapsed();
                 self.advance(d);
@@ -1967,7 +2500,7 @@ impl DbCore {
         let pm_read_before = self.pool.stats().bytes_read.get();
         let pm_written_before = self.pool.stats().bytes_written.get();
         let mut p = self.partitions[pid].write();
-        let result = match p.internal_compaction(&self.opts, &self.pool, &mut tl) {
+        let result = match p.internal_compaction(&self.opts, &self.pool, &self.cache_ids, &mut tl) {
             Ok(r) => r,
             Err(DbError::Pm(PmError::OutOfSpace { .. })) => {
                 drop(p);
@@ -1983,7 +2516,16 @@ impl DbCore {
         let span = if let Some(report) = result {
             let now = self.now();
             p.counters.reset(now);
+            let version = self.partition_version(&p);
             drop(p);
+            // Manifest first, then free: a crash between the in-memory
+            // install and the append leaves the old regions as orphans
+            // for recovery GC, never a version that references freed
+            // media.
+            self.log_version(version, None)?;
+            for region in &report.retired_regions {
+                self.pool.free(*region);
+            }
             // The merged-away tables can never serve a read again (their
             // ids are never reused); purging just reclaims cache space.
             for id in &report.retired_cache_ids {
@@ -2100,20 +2642,26 @@ impl DbCore {
         // For a limited pass, only the moved slice counts as this
         // span's input.
         let records = records_before.saturating_sub(entries_in(&p) as u64);
-        // Delete replaced SSTables while still holding the write lock:
-        // concurrent readers search the SSD levels only under the read
-        // lock, so no reader can be mid-probe in a deleted table.
+        let now = self.now();
+        p.counters.reset(now);
+        let version = self.partition_version(&p);
+        drop(p);
+        // Manifest first, then delete/free. Deleting after the lock is
+        // dropped is safe: the install above removed every handle to
+        // the replaced tables, so no reader can reach them, and a crash
+        // before the deletes only leaves orphans for recovery GC.
+        self.log_version(version, None)?;
         for name in &report.deleted_tables {
             let _ = self.device.delete(name);
             self.cache.purge_table(sstable::cache::table_id(name));
+        }
+        for region in &report.released_regions {
+            self.pool.free(*region);
         }
         // Retired PM tables left level-0; reclaim their cached groups.
         for id in &report.retired_cache_ids {
             self.group_cache.purge_table(*id);
         }
-        let now = self.now();
-        p.counters.reset(now);
-        drop(p);
         self.stats.major_compactions.incr();
         let d = tl.elapsed();
         self.advance(d);

@@ -9,10 +9,32 @@ use pmtable::{L0Table, OwnedEntry, PmTable, PmTableBuilder, PmTableOptions};
 use sim::Timeline;
 use sstable::SsTable;
 
-/// Process-global allocator for [`PmTableHandle::cache_id`]. Ids are
-/// monotonic and never reused, so a retired table's cached groups can
-/// never alias a newer table's.
-static NEXT_CACHE_ID: AtomicU64 = AtomicU64::new(1);
+/// Per-engine allocator for [`PmTableHandle::cache_id`]. Ids are
+/// monotonic and never reused within an engine, so a retired table's
+/// cached groups can never alias a newer table's (the group-decode
+/// cache the ids key is itself per-engine and starts empty on open).
+/// Deliberately *not* process-global: the cache shards by id hash, so
+/// two engines running the same workload must mint the same ids to
+/// place and evict groups identically — the determinism every
+/// virtual-time benchmark and parity test relies on.
+pub struct CacheIds(AtomicU64);
+
+impl CacheIds {
+    pub fn new() -> Self {
+        Self(AtomicU64::new(1))
+    }
+
+    /// Mint the next table cache id.
+    pub fn next(&self) -> u64 {
+        self.0.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+impl Default for CacheIds {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 /// A PM table resident in level-0.
 #[derive(Clone)]
@@ -128,13 +150,50 @@ pub fn merge_dedup(
     out
 }
 
+/// Rebuild a PM-table handle from a recovered region (manifest replay).
+/// The region payload is self-describing; `first`/`last`/`max_seq` are
+/// re-derived from it. A fresh `cache_id` is minted — the group-decode
+/// cache starts empty after a restart, so no aliasing is possible.
+pub fn reopen_pm_table(region: PmRegion, ids: &CacheIds) -> Result<PmTableHandle, String> {
+    let region_id = region.id();
+    let bytes = region.len();
+    let table = PmTable::open(region).map_err(|e| format!("region {region_id}: {e}"))?;
+    let first = table
+        .first_user_key()
+        .ok_or_else(|| format!("region {region_id}: empty table"))?
+        .to_vec();
+    let last = table
+        .last_user_key()
+        .ok_or_else(|| format!("region {region_id}: empty table"))?
+        .to_vec();
+    let entries = table.entry_count();
+    let max_seq = table
+        .scan_all(&mut Timeline::new())
+        .iter()
+        .map(|e| e.seq)
+        .max()
+        .unwrap_or(0);
+    Ok(PmTableHandle {
+        table: Arc::new(table),
+        region: region_id,
+        first,
+        last,
+        entries,
+        bytes,
+        max_seq,
+        cache_id: ids.next(),
+    })
+}
+
 /// Build PM tables (splitting at `max_bytes`) from sorted entries and
 /// publish them to the pool. Returns the new handles.
+#[allow(clippy::too_many_arguments)]
 pub fn build_pm_tables(
     entries: &[OwnedEntry],
     opts: PmTableOptions,
     max_bytes: usize,
     pool: &PmPool,
+    ids: &CacheIds,
     cost: &sim::CostModel,
     tl: &mut Timeline,
 ) -> Result<Vec<PmTableHandle>, pm_device::PmError> {
@@ -170,7 +229,7 @@ pub fn build_pm_tables(
             entries,
             bytes: len,
             max_seq,
-            cache_id: NEXT_CACHE_ID.fetch_add(1, Ordering::Relaxed),
+            cache_id: ids.next(),
         }))
     };
     let mut last_key: Vec<u8> = Vec::new();
@@ -265,6 +324,7 @@ mod tests {
             PmTableOptions::default(),
             8 << 10,
             &pool,
+            &CacheIds::new(),
             &cost,
             &mut tl,
         )
@@ -294,6 +354,7 @@ mod tests {
             PmTableOptions::default(),
             1 << 10,
             &pool,
+            &CacheIds::new(),
             &cost,
             &mut tl,
         )
@@ -313,6 +374,7 @@ mod tests {
             PmTableOptions::default(),
             1 << 20,
             &pool,
+            &CacheIds::new(),
             &cost,
             &mut tl,
         )

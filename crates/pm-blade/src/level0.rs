@@ -295,6 +295,28 @@ impl PmLevel0 {
         (released, cache_ids)
     }
 
+    /// Replace the whole level-0 with a new sorted run WITHOUT freeing
+    /// the old tables: returns their bytes, regions, and group-cache
+    /// ids so the caller can retire them *after* the manifest edit
+    /// recording the new version is durable. Freeing before the edit
+    /// commits would let a crash destroy the only copy of the data.
+    pub fn replace_with_sorted_deferred(
+        &mut self,
+        run: Vec<PmTableHandle>,
+    ) -> (usize, Vec<pm_device::RegionId>, Vec<u64>) {
+        debug_assert!(run.windows(2).all(|w| w[0].last < w[1].first));
+        let released = self.bytes();
+        let mut regions = Vec::with_capacity(self.unsorted.len() + self.sorted.len());
+        let mut cache_ids = Vec::with_capacity(regions.capacity());
+        for handle in self.unsorted.drain(..).chain(self.sorted.drain(..)) {
+            regions.push(handle.region);
+            cache_ids.push(handle.cache_id);
+        }
+        self.fence = Arc::new(FenceIndex::build(&run));
+        self.sorted = run;
+        (released, regions, cache_ids)
+    }
+
     /// Replace the whole level-0 with a new sorted run (after internal
     /// compaction). Returns bytes released by the old tables and their
     /// group-cache ids.
@@ -487,7 +509,7 @@ fn get_in(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::handle::build_pm_tables;
+    use crate::handle::{build_pm_tables, CacheIds};
     use pmtable::PmTableOptions;
     use sim::CostModel;
 
@@ -515,10 +537,18 @@ mod tests {
         let mut sorted = entries;
         sorted.sort_by(|a, b| a.internal_cmp(b));
         let mut tl = Timeline::new();
-        build_pm_tables(&sorted, opts, usize::MAX, pool, &cost, &mut tl)
-            .unwrap()
-            .pop()
-            .unwrap()
+        build_pm_tables(
+            &sorted,
+            opts,
+            usize::MAX,
+            pool,
+            &CacheIds::new(),
+            &cost,
+            &mut tl,
+        )
+        .unwrap()
+        .pop()
+        .unwrap()
     }
 
     fn pool() -> std::sync::Arc<PmPool> {

@@ -30,6 +30,7 @@ pub mod handle;
 pub mod level0;
 pub mod levels;
 pub mod maintenance;
+pub mod manifest;
 pub mod matrix;
 pub mod options;
 pub mod partition;

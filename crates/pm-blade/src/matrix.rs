@@ -111,6 +111,37 @@ impl MatrixL0 {
         Ok(())
     }
 
+    /// Region ids of the rows, oldest first — what the manifest logs.
+    pub fn region_ids(&self) -> Vec<RegionId> {
+        self.rows.iter().map(|r| r.region).collect()
+    }
+
+    /// Rebuild one row from a recovered region (manifest replay). Rows
+    /// must be pushed oldest-first, matching [`MatrixL0::region_ids`].
+    pub fn push_recovered_row(&mut self, region: PmRegion) -> Result<(), crate::engine::DbError> {
+        let region_id = region.id();
+        let len = region.len();
+        let table =
+            ArrayTable::open(region).map_err(|e| crate::engine::DbError::Corrupt(e.to_string()))?;
+        let first = table
+            .first_user_key()
+            .ok_or_else(|| {
+                crate::engine::DbError::Corrupt(format!("matrix region {region_id} is empty"))
+            })?
+            .to_vec();
+        let last = table.last_user_key().expect("nonempty row").to_vec();
+        let entries = table.entry_count();
+        self.rows.push(Row {
+            table,
+            region: region_id,
+            first,
+            last,
+            bytes: len,
+            entries,
+        });
+        Ok(())
+    }
+
     /// Cross-hint point lookup: full search cost on the first (newest)
     /// row, discounted hinted probes on the rest.
     pub fn get(

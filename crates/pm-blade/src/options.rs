@@ -166,6 +166,19 @@ pub struct Options {
     pub matrix_columns: usize,
     /// Directory for the write-ahead log; `None` disables the WAL.
     pub wal_dir: Option<std::path::PathBuf>,
+    /// WAL segment size: the active segment rotates once it exceeds
+    /// this many bytes, and segments whose records are all below the
+    /// flush checkpoints are deleted. Only meaningful with
+    /// [`Options::wal_dir`] set.
+    pub wal_segment_bytes: usize,
+    /// Rewrite the manifest as a full snapshot (and swap `CURRENT`)
+    /// every this many edits, bounding recovery replay length.
+    pub manifest_snapshot_every: u64,
+    /// Crash-injection plan threaded into every durable device (WAL,
+    /// manifest, PM backing, SSD backing). `None` in production;
+    /// recovery tests install a plan to kill the virtual process at a
+    /// chosen write/sync boundary.
+    pub fault_plan: Option<std::sync::Arc<sim::FaultPlan>>,
     /// Capacity of the compaction-span ring buffer behind
     /// `Db::compaction_log()` and `MetricsSnapshot::spans`. When full,
     /// the *oldest* spans are evicted (and counted as dropped in
@@ -245,6 +258,9 @@ impl Default for Options {
             matrix_flush_overhead: 0.6,
             matrix_columns: 8,
             wal_dir: None,
+            wal_segment_bytes: 4 << 20,
+            manifest_snapshot_every: 64,
+            fault_plan: None,
             event_log_capacity: 1024,
             listeners: ListenerSet::new(),
             maintenance: MaintenanceMode::Inline,
@@ -410,6 +426,22 @@ impl OptionsBuilder {
         self
     }
 
+    pub fn wal_segment_bytes(mut self, bytes: usize) -> Self {
+        self.opts.wal_segment_bytes = bytes;
+        self
+    }
+
+    pub fn manifest_snapshot_every(mut self, edits: u64) -> Self {
+        self.opts.manifest_snapshot_every = edits;
+        self
+    }
+
+    /// Install a crash-injection plan (recovery tests only).
+    pub fn fault_plan(mut self, plan: std::sync::Arc<sim::FaultPlan>) -> Self {
+        self.opts.fault_plan = Some(plan);
+        self
+    }
+
     pub fn event_log_capacity(mut self, capacity: usize) -> Self {
         self.opts.event_log_capacity = capacity;
         self
@@ -559,6 +591,16 @@ impl OptionsBuilder {
         if o.event_log_capacity == 0 {
             return fail("event_log_capacity must be at least 1".into());
         }
+        if o.wal_segment_bytes == 0 {
+            return fail("wal_segment_bytes must be positive".into());
+        }
+        if o.manifest_snapshot_every == 0 {
+            return fail(
+                "manifest_snapshot_every must be at least 1 \
+                 (the manifest log must eventually compact)"
+                    .into(),
+            );
+        }
         if o.maintenance_workers == 0 {
             return fail(
                 "maintenance_workers must be at least 1 \
@@ -691,6 +733,9 @@ mod tests {
         assert!(
             msg(Options::builder().event_log_capacity(0).build()).contains("event_log_capacity")
         );
+        assert!(msg(Options::builder().wal_segment_bytes(0).build()).contains("wal_segment_bytes"));
+        assert!(msg(Options::builder().manifest_snapshot_every(0).build())
+            .contains("manifest_snapshot_every"));
         assert!(msg(Options::builder().trace_recorder_capacity(0).build())
             .contains("trace_recorder_capacity"));
         // Sampling off is a legal steady state.

@@ -16,7 +16,7 @@ use ssd_device::SsdDevice;
 use sstable::{BlockCache, SsTableOptions};
 
 use crate::costmodel::PartitionCounters;
-use crate::handle::{build_pm_tables, merge_dedup, SsTableHandle};
+use crate::handle::{build_pm_tables, merge_dedup, CacheIds, SsTableHandle};
 use crate::level0::PmLevel0;
 use crate::levels::{build_ss_tables, SsdLevels};
 use crate::matrix::MatrixL0;
@@ -35,6 +35,10 @@ pub enum Level0 {
 pub struct FlushReport {
     pub entries: usize,
     pub bytes: usize,
+    /// Highest sequence number in the flushed batch; everything at or
+    /// below it (for this partition) is now durable in level-0, so WAL
+    /// records up to here need not be replayed on recovery.
+    pub durable_seq: u64,
 }
 
 /// What an internal compaction produced.
@@ -45,6 +49,9 @@ pub struct InternalCompactionReport {
     pub bytes_released: usize,
     /// Cache ids of retired PM tables, for group-cache invalidation.
     pub retired_cache_ids: Vec<u64>,
+    /// PM regions of the retired tables. The engine frees them only
+    /// after the manifest edit recording the new version is durable.
+    pub retired_regions: Vec<pm_device::RegionId>,
 }
 
 /// What a major compaction removed: SSTable files to delete plus
@@ -53,6 +60,9 @@ pub struct InternalCompactionReport {
 pub struct MajorCompactionReport {
     pub deleted_tables: Vec<String>,
     pub retired_cache_ids: Vec<u64>,
+    /// PM regions drained from level-0, freed by the engine only after
+    /// the manifest edit is durable.
+    pub released_regions: Vec<pm_device::RegionId>,
 }
 
 /// One partition's state.
@@ -233,6 +243,7 @@ impl Partition {
         device: &Arc<SsdDevice>,
         cache: &Arc<BlockCache>,
         table_counter: &AtomicU64,
+        cache_ids: &CacheIds,
         tl: &mut Timeline,
     ) -> Result<Option<FlushReport>, crate::engine::DbError> {
         if self.mem.is_empty() {
@@ -243,6 +254,7 @@ impl Partition {
         let report = FlushReport {
             entries: entries.len(),
             bytes: entries.iter().map(|e| e.raw_len()).sum(),
+            durable_seq: entries.iter().map(|e| e.seq).max().unwrap_or(0),
         };
         let built: Result<(), crate::engine::DbError> = match &mut self.level0 {
             Level0::Pm(l0) => build_pm_tables(
@@ -250,6 +262,7 @@ impl Partition {
                 opts.pm_table,
                 usize::MAX, // one flush = one unsorted table
                 pool,
+                cache_ids,
                 &opts.cost,
                 tl,
             )
@@ -295,6 +308,7 @@ impl Partition {
         &mut self,
         opts: &Options,
         pool: &PmPool,
+        cache_ids: &CacheIds,
         tl: &mut Timeline,
     ) -> Result<Option<InternalCompactionReport>, crate::engine::DbError> {
         let Level0::Pm(l0) = &mut self.level0 else {
@@ -313,18 +327,20 @@ impl Partition {
             opts.pm_table,
             opts.max_table_bytes,
             pool,
+            cache_ids,
             &opts.cost,
             tl,
         )?;
         let new_bytes: usize = run.iter().map(|h| h.bytes).sum();
         let old_bytes = l0.bytes();
-        let (_freed, retired_cache_ids) = l0.replace_with_sorted(run, pool);
+        let (_freed, retired_regions, retired_cache_ids) = l0.replace_with_sorted_deferred(run);
         let released = old_bytes.saturating_sub(new_bytes);
         Ok(Some(InternalCompactionReport {
             records_before: before,
             records_after: after,
             bytes_released: released,
             retired_cache_ids,
+            retired_regions,
         }))
     }
 
@@ -342,7 +358,7 @@ impl Partition {
     pub fn major_compaction(
         &mut self,
         opts: &Options,
-        pool: &PmPool,
+        _pool: &PmPool,
         device: &Arc<SsdDevice>,
         cache: &Arc<BlockCache>,
         table_counter: &AtomicU64,
@@ -382,16 +398,16 @@ impl Partition {
             }
         }
         if sources.iter().all(|s| s.is_empty()) {
-            // Nothing to move; restore nothing and report no deletions.
-            for region in released_regions {
-                pool.free(region);
-            }
+            // Nothing to move; report no deletions. The (empty) drained
+            // regions still go back through the report so the engine
+            // frees them after the manifest edit lands.
             if let Level0::Ssd(tables) = &mut self.level0 {
                 tables.clear();
             }
             return Ok(MajorCompactionReport {
                 deleted_tables: Vec::new(),
                 retired_cache_ids,
+                released_regions,
             });
         }
         // Merge with overlapping level-1 tables.
@@ -452,10 +468,8 @@ impl Partition {
         next_l1.extend(new_tables);
         next_l1.sort_by(|a, b| a.first.cmp(&b.first));
         self.levels.replace_level(1, next_l1);
-        // Free PM space and drop SSD L0 tables.
-        for region in released_regions {
-            pool.free(region);
-        }
+        // Drop SSD L0 tables; PM regions are freed by the engine once
+        // the manifest edit recording this version is durable.
         if let Level0::Ssd(tables) = &mut self.level0 {
             for handle in tables.drain(..) {
                 deleted.push(handle.name.clone());
@@ -466,6 +480,7 @@ impl Partition {
         Ok(MajorCompactionReport {
             deleted_tables: deleted,
             retired_cache_ids,
+            released_regions,
         })
     }
 

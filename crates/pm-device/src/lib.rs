@@ -21,6 +21,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+use sim::fault::{self, FaultDecision, FaultPlan};
 use sim::{CostModel, Counter, SimDuration, Timeline};
 
 /// Shared PM device statistics.
@@ -158,6 +159,7 @@ pub struct PmPool {
     stats: Arc<PmStats>,
     state: Mutex<PoolState>,
     backing: Option<PathBuf>,
+    fault: Option<Arc<FaultPlan>>,
 }
 
 impl PmPool {
@@ -173,6 +175,7 @@ impl PmPool {
                 next_id: 1,
             }),
             backing: None,
+            fault: None,
         })
     }
 
@@ -182,6 +185,16 @@ impl PmPool {
         capacity: usize,
         cost: CostModel,
         dir: impl Into<PathBuf>,
+    ) -> Result<Arc<Self>, PmError> {
+        PmPool::with_backing_faults(capacity, cost, dir, None)
+    }
+
+    /// Backed pool whose durable writes consult a crash-injection plan.
+    pub fn with_backing_faults(
+        capacity: usize,
+        cost: CostModel,
+        dir: impl Into<PathBuf>,
+        fault: Option<Arc<FaultPlan>>,
     ) -> Result<Arc<Self>, PmError> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
@@ -195,6 +208,7 @@ impl PmPool {
                 next_id: 1,
             }),
             backing: Some(dir),
+            fault,
         };
         pool.recover()?;
         Ok(Arc::new(pool))
@@ -207,6 +221,13 @@ impl PmPool {
             let entry = entry?;
             let name = entry.file_name();
             let name = name.to_string_lossy();
+            if name.ends_with(".tmp") {
+                // Half-written publish from a crashed process: the
+                // rename never happened, so the region was never
+                // acknowledged. Discard it.
+                let _ = fs::remove_file(entry.path());
+                continue;
+            }
             let Some(idpart) = name
                 .strip_prefix("region-")
                 .and_then(|s| s.strip_suffix(".pm"))
@@ -254,19 +275,40 @@ impl PmPool {
             });
         }
         let id = state.next_id;
+        if let Some(dir) = &self.backing {
+            // Publish via tmp + atomic rename: a crash mid-write leaves
+            // only an ignorable `.tmp` file, never a region file with a
+            // bad checksum (which recovery treats as real corruption).
+            let tmp = dir.join(format!("region-{id}.pm.tmp"));
+            match fault::check_write(&self.fault, len + 4) {
+                FaultDecision::Allow => {
+                    let mut f = fs::File::create(&tmp)?;
+                    f.write_all(&data)?;
+                    f.write_all(&encoding::crc::crc32c(&data).to_le_bytes())?;
+                    f.sync_data()?;
+                    drop(f);
+                    fs::rename(&tmp, dir.join(format!("region-{id}.pm")))?;
+                }
+                FaultDecision::Deny { keep_prefix } => {
+                    if keep_prefix > 0 {
+                        let mut frame = data;
+                        let crc = encoding::crc::crc32c(&frame);
+                        frame.extend_from_slice(&crc.to_le_bytes());
+                        frame.truncate(keep_prefix);
+                        let _ = fs::write(&tmp, &frame);
+                    }
+                    return Err(PmError::Io(io::Error::other(
+                        "crash injected: pm region publish",
+                    )));
+                }
+            }
+        }
         state.next_id += 1;
         state.used += len;
         self.stats.bytes_written.add(len as u64);
         self.stats.persists.incr();
         tl.charge(self.cost.pm.write(len));
         tl.charge(self.cost.pm.persist(len));
-        if let Some(dir) = &self.backing {
-            let path = dir.join(format!("region-{id}.pm"));
-            let mut f = fs::File::create(path)?;
-            f.write_all(&data)?;
-            f.write_all(&encoding::crc::crc32c(&data).to_le_bytes())?;
-            f.sync_data()?;
-        }
         let region = PmRegion {
             inner: Arc::new(RegionInner {
                 id,
@@ -468,6 +510,38 @@ mod tests {
         fs::write(&file, raw).unwrap();
         let err = PmPool::with_backing(4096, cost, &dir).unwrap_err();
         assert!(matches!(err, PmError::Corrupt(_)), "got {err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_injected_publish_leaves_only_tmp_debris() {
+        let dir = std::env::temp_dir().join(format!("pmblade-pm-fault-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let cost = CostModel::default();
+        let plan = FaultPlan::armed(1, true, 42);
+        {
+            let p = PmPool::with_backing_faults(4096, cost, &dir, Some(Arc::clone(&plan))).unwrap();
+            let mut tl = Timeline::new();
+            p.publish(b"survivor".to_vec(), &mut tl).unwrap();
+            let err = p
+                .publish(b"this publish dies mid-frame".to_vec(), &mut tl)
+                .unwrap_err();
+            assert!(matches!(err, PmError::Io(_)), "got {err}");
+            assert!(plan.tripped());
+            assert_eq!(p.region_ids().len(), 1, "dead publish must not register");
+        }
+        plan.disarm();
+        let p2 = PmPool::with_backing(4096, cost, &dir).unwrap();
+        assert_eq!(p2.region_ids().len(), 1);
+        assert_eq!(p2.get(p2.region_ids()[0]).unwrap().bytes(), b"survivor");
+        // Recovery swept the torn tmp file.
+        for entry in fs::read_dir(&dir).unwrap() {
+            let name = entry.unwrap().file_name();
+            assert!(
+                !name.to_string_lossy().ends_with(".tmp"),
+                "tmp debris survived recovery: {name:?}"
+            );
+        }
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,215 @@
+//! Crash-injection plans for durability testing.
+//!
+//! A [`FaultPlan`] models a process that dies at a chosen durable-write
+//! boundary. Devices that persist bytes (the WAL, the PM pool backing
+//! store, the SSD object store, the manifest) consult the shared plan
+//! immediately before each write or sync. While the countdown runs the
+//! plan answers [`FaultDecision::Allow`]; on the trip event — and on
+//! every durable operation after it, because a dead process issues no
+//! more I/O — it answers [`FaultDecision::Deny`]. The tripping write may
+//! optionally be *torn*: a random prefix of the frame reaches the medium
+//! before the crash, exercising the torn-tail handling of every log
+//! reader in the workspace.
+//!
+//! Recovery tests keep the `Arc` handle across the simulated crash,
+//! [`FaultPlan::disarm`] it, and reopen the database against the same
+//! directories — exactly what a restarted process would see.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::rng::Pcg64;
+
+/// Verdict for one durable write or sync boundary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultDecision {
+    /// The operation completes normally.
+    Allow,
+    /// The process dies at this boundary. `keep_prefix` bytes of the
+    /// frame being written survive on the medium (0 for a clean kill or
+    /// for syncs, which carry no data).
+    Deny { keep_prefix: usize },
+}
+
+impl FaultDecision {
+    /// True when the operation is allowed to proceed.
+    pub fn allowed(&self) -> bool {
+        matches!(self, FaultDecision::Allow)
+    }
+}
+
+#[derive(Debug)]
+struct PlanState {
+    /// Durable operations remaining before the trip; `None` = disarmed.
+    remaining: Option<u64>,
+    /// Emulate a torn write on the tripping frame.
+    torn: bool,
+    rng: Pcg64,
+}
+
+/// A shared crash schedule, threaded into every durable device.
+#[derive(Debug)]
+pub struct FaultPlan {
+    state: Mutex<PlanState>,
+    tripped: AtomicBool,
+}
+
+impl FaultPlan {
+    /// A plan that trips after `countdown` more durable operations
+    /// (0 trips on the very next one). With `torn`, the tripping write
+    /// persists a random strict prefix of its frame; `seed` makes the
+    /// prefix choice reproducible.
+    pub fn armed(countdown: u64, torn: bool, seed: u64) -> Arc<Self> {
+        Arc::new(FaultPlan {
+            state: Mutex::new(PlanState {
+                remaining: Some(countdown),
+                torn,
+                rng: Pcg64::seeded(seed),
+            }),
+            tripped: AtomicBool::new(false),
+        })
+    }
+
+    /// A plan that never fires — handy as a default wiring target.
+    pub fn disarmed() -> Arc<Self> {
+        Arc::new(FaultPlan {
+            state: Mutex::new(PlanState {
+                remaining: None,
+                torn: false,
+                rng: Pcg64::seeded(0),
+            }),
+            tripped: AtomicBool::new(false),
+        })
+    }
+
+    /// Consult the plan before persisting a `frame_len`-byte frame.
+    /// Counts one durable operation when armed.
+    pub fn before_write(&self, frame_len: usize) -> FaultDecision {
+        let mut s = self.state.lock().unwrap();
+        if self.tripped.load(Ordering::Relaxed) {
+            // The process is dead: nothing further reaches the medium.
+            return FaultDecision::Deny { keep_prefix: 0 };
+        }
+        match s.remaining {
+            None => FaultDecision::Allow,
+            Some(0) => {
+                self.tripped.store(true, Ordering::Relaxed);
+                s.remaining = None;
+                let keep_prefix = if s.torn && frame_len > 1 {
+                    s.rng.range(1, frame_len as u64) as usize
+                } else {
+                    0
+                };
+                FaultDecision::Deny { keep_prefix }
+            }
+            Some(n) => {
+                s.remaining = Some(n - 1);
+                FaultDecision::Allow
+            }
+        }
+    }
+
+    /// Consult the plan before a sync/flush boundary (no payload, so a
+    /// denial never tears anything).
+    pub fn before_sync(&self) -> FaultDecision {
+        match self.before_write(0) {
+            FaultDecision::Allow => FaultDecision::Allow,
+            FaultDecision::Deny { .. } => FaultDecision::Deny { keep_prefix: 0 },
+        }
+    }
+
+    /// (Re-)arm a live plan: trip after `countdown` more durable
+    /// operations. Lets tests open a database cleanly first, then
+    /// schedule the crash for the workload phase.
+    pub fn arm(&self, countdown: u64, torn: bool) {
+        let mut s = self.state.lock().unwrap();
+        s.remaining = Some(countdown);
+        s.torn = torn;
+        self.tripped.store(false, Ordering::Relaxed);
+    }
+
+    /// Has the plan fired? Check before [`FaultPlan::disarm`] — disarm
+    /// clears the flag so the "restarted process" starts clean.
+    pub fn tripped(&self) -> bool {
+        self.tripped.load(Ordering::Relaxed)
+    }
+
+    /// Stop injecting: the "restarted process" performs I/O normally.
+    pub fn disarm(&self) {
+        self.state.lock().unwrap().remaining = None;
+        // A disarmed plan allows everything even if it tripped earlier.
+        self.tripped.store(false, Ordering::Relaxed);
+    }
+}
+
+/// Consult an optional plan before a write; `None` always allows.
+pub fn check_write(plan: &Option<Arc<FaultPlan>>, frame_len: usize) -> FaultDecision {
+    match plan {
+        Some(p) => p.before_write(frame_len),
+        None => FaultDecision::Allow,
+    }
+}
+
+/// Consult an optional plan before a sync; `None` always allows.
+pub fn check_sync(plan: &Option<Arc<FaultPlan>>) -> FaultDecision {
+    match plan {
+        Some(p) => p.before_sync(),
+        None => FaultDecision::Allow,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_always_allows() {
+        let p = FaultPlan::disarmed();
+        for _ in 0..100 {
+            assert_eq!(p.before_write(64), FaultDecision::Allow);
+        }
+        assert!(!p.tripped());
+    }
+
+    #[test]
+    fn countdown_trips_then_stays_dead() {
+        let p = FaultPlan::armed(3, false, 1);
+        assert_eq!(p.before_write(10), FaultDecision::Allow);
+        assert_eq!(p.before_write(10), FaultDecision::Allow);
+        assert_eq!(p.before_write(10), FaultDecision::Allow);
+        assert_eq!(p.before_write(10), FaultDecision::Deny { keep_prefix: 0 });
+        assert!(p.tripped());
+        // Every later operation is denied: the process is gone.
+        assert_eq!(p.before_write(10), FaultDecision::Deny { keep_prefix: 0 });
+        assert_eq!(p.before_sync(), FaultDecision::Deny { keep_prefix: 0 });
+    }
+
+    #[test]
+    fn torn_write_keeps_strict_prefix() {
+        for seed in 0..32 {
+            let p = FaultPlan::armed(0, true, seed);
+            match p.before_write(100) {
+                FaultDecision::Deny { keep_prefix } => {
+                    assert!((1..100).contains(&keep_prefix));
+                }
+                other => panic!("expected Deny, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn torn_sync_never_tears() {
+        let p = FaultPlan::armed(0, true, 7);
+        assert_eq!(p.before_sync(), FaultDecision::Deny { keep_prefix: 0 });
+    }
+
+    #[test]
+    fn disarm_revives_io() {
+        let p = FaultPlan::armed(0, false, 0);
+        assert!(!p.before_write(8).allowed());
+        assert!(p.tripped());
+        p.disarm();
+        assert!(p.before_write(8).allowed());
+        assert!(p.before_sync().allowed());
+    }
+}

@@ -14,10 +14,14 @@
 //! scheduling policy gates on (`q_flush = max(q - q_comp - q_cli, 0)`).
 
 use std::collections::BTreeMap;
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+use sim::fault::{self, FaultDecision, FaultPlan};
 use sim::{CostModel, Counter, SimDuration, Timeline};
 
 /// Shared SSD statistics.
@@ -49,6 +53,9 @@ pub enum SsdError {
     },
     /// An object with that name already exists.
     AlreadyExists(String),
+    /// Backing-file I/O failed (carries the rendered error so the enum
+    /// stays `Eq`-comparable).
+    Io(String),
 }
 
 impl std::fmt::Display for SsdError {
@@ -67,6 +74,7 @@ impl std::fmt::Display for SsdError {
             SsdError::AlreadyExists(n) => {
                 write!(f, "ssd object already exists: {n}")
             }
+            SsdError::Io(msg) => write!(f, "ssd backing io: {msg}"),
         }
     }
 }
@@ -146,6 +154,8 @@ pub struct SsdDevice {
     stats: Arc<SsdStats>,
     pressure: Arc<IoPressure>,
     objects: Mutex<BTreeMap<String, Arc<Vec<u8>>>>,
+    backing: Option<PathBuf>,
+    fault: Option<Arc<FaultPlan>>,
 }
 
 impl SsdDevice {
@@ -155,7 +165,44 @@ impl SsdDevice {
             stats: Arc::new(SsdStats::default()),
             pressure: Arc::new(IoPressure::default()),
             objects: Mutex::new(BTreeMap::new()),
+            backing: None,
+            fault: None,
         })
+    }
+
+    /// Device persisted under `dir`: `finish()` writes each object to a
+    /// file via tmp + atomic rename, `delete()` unlinks it, and opening
+    /// the device recovers every completed object. Durable writes
+    /// consult an optional crash-injection plan.
+    pub fn with_backing(
+        cost: CostModel,
+        dir: impl Into<PathBuf>,
+        fault: Option<Arc<FaultPlan>>,
+    ) -> Result<Arc<Self>, SsdError> {
+        let dir = dir.into();
+        let io_err = |e: std::io::Error| SsdError::Io(e.to_string());
+        fs::create_dir_all(&dir).map_err(io_err)?;
+        let mut objects = BTreeMap::new();
+        for entry in fs::read_dir(&dir).map_err(io_err)? {
+            let entry = entry.map_err(io_err)?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.ends_with(".tmp") {
+                // Un-renamed debris from a crashed finish(): the object
+                // was never acknowledged, so discard it.
+                let _ = fs::remove_file(entry.path());
+                continue;
+            }
+            let data = fs::read(entry.path()).map_err(io_err)?;
+            objects.insert(name, Arc::new(data));
+        }
+        Ok(Arc::new(SsdDevice {
+            cost,
+            stats: Arc::new(SsdStats::default()),
+            pressure: Arc::new(IoPressure::default()),
+            objects: Mutex::new(objects),
+            backing: Some(dir),
+            fault,
+        }))
     }
 
     pub fn stats(&self) -> &SsdStats {
@@ -208,7 +255,11 @@ impl SsdDevice {
             .lock()
             .remove(name)
             .map(|_| ())
-            .ok_or_else(|| SsdError::NotFound(name.to_string()))
+            .ok_or_else(|| SsdError::NotFound(name.to_string()))?;
+        if let Some(dir) = &self.backing {
+            let _ = fs::remove_file(dir.join(name));
+        }
+        Ok(())
     }
 
     /// List object names, ascending.
@@ -280,6 +331,31 @@ impl SsdWriter {
         self.device.stats.syncs.incr();
         tl.charge(self.device.cost.ssd.persist);
         let size = self.data.len() as u64;
+        if let Some(dir) = &self.device.backing {
+            // tmp + atomic rename: a crash mid-write leaves ignorable
+            // `.tmp` debris; an object file that exists is complete.
+            let io_err = |e: std::io::Error| SsdError::Io(e.to_string());
+            let tmp = dir.join(format!("{}.tmp", self.name));
+            match fault::check_write(&self.device.fault, self.data.len()) {
+                FaultDecision::Allow => {
+                    let mut f = fs::File::create(&tmp).map_err(io_err)?;
+                    f.write_all(&self.data).map_err(io_err)?;
+                    f.sync_data().map_err(io_err)?;
+                    drop(f);
+                    fs::rename(&tmp, dir.join(&self.name)).map_err(io_err)?;
+                }
+                FaultDecision::Deny { keep_prefix } => {
+                    if keep_prefix > 0 {
+                        let torn = &self.data[..keep_prefix.min(self.data.len())];
+                        let _ = fs::write(&tmp, torn);
+                    }
+                    return Err(SsdError::Io(format!(
+                        "crash injected: finish of {}",
+                        self.name
+                    )));
+                }
+            }
+        }
         let mut objects = self.device.objects.lock();
         if objects.contains_key(&self.name) {
             return Err(SsdError::AlreadyExists(self.name));
@@ -483,6 +559,59 @@ mod tests {
         assert_eq!(p.client_reads(), 0);
         assert_eq!(p.compaction_ios(), 0);
         assert_eq!(p.flush_budget(8), 8);
+    }
+
+    #[test]
+    fn backed_device_recovers_objects_and_forgets_deleted() {
+        let dir = std::env::temp_dir().join(format!("pmblade-ssd-back-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let cost = CostModel::default();
+        {
+            let d = SsdDevice::with_backing(cost, &dir, None).unwrap();
+            let mut tl = Timeline::new();
+            let mut w = d.create("keep.sst").unwrap();
+            w.append(b"payload");
+            w.finish(&mut tl).unwrap();
+            let mut w = d.create("drop.sst").unwrap();
+            w.append(b"x");
+            w.finish(&mut tl).unwrap();
+            d.delete("drop.sst").unwrap();
+        }
+        let d2 = SsdDevice::with_backing(cost, &dir, None).unwrap();
+        assert_eq!(d2.list(), vec!["keep.sst"]);
+        let mut tl = Timeline::new();
+        let f = d2.open("keep.sst").unwrap();
+        assert_eq!(f.read(0, 7, &mut tl).unwrap(), b"payload");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_injected_finish_leaves_no_object() {
+        let dir = std::env::temp_dir().join(format!("pmblade-ssd-fault-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let cost = CostModel::default();
+        let plan = FaultPlan::armed(0, true, 9);
+        {
+            let d = SsdDevice::with_backing(cost, &dir, Some(Arc::clone(&plan))).unwrap();
+            let mut tl = Timeline::new();
+            let mut w = d.create("dead.sst").unwrap();
+            w.append(b"this object never completes");
+            let err = w.finish(&mut tl).unwrap_err();
+            assert!(matches!(err, SsdError::Io(_)), "got {err}");
+            assert!(plan.tripped());
+            assert!(!d.exists("dead.sst"));
+        }
+        plan.disarm();
+        let d2 = SsdDevice::with_backing(cost, &dir, None).unwrap();
+        assert!(d2.list().is_empty(), "torn tmp must not recover");
+        for entry in fs::read_dir(&dir).unwrap() {
+            let name = entry.unwrap().file_name();
+            assert!(
+                !name.to_string_lossy().ends_with(".tmp"),
+                "tmp debris survived recovery: {name:?}"
+            );
+        }
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

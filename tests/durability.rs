@@ -1,0 +1,397 @@
+//! Durable table lifecycle: plain reopen round-trips, WAL checkpoint
+//! rotation with segment deletion, the double-replay guard, and
+//! crash-injection recovery proofs against a `BTreeMap` oracle.
+//!
+//! The crash proptest is the acceptance bar for the manifest refactor:
+//! random workloads with a fault plan that kills the virtual process at
+//! a randomized durable-write boundary (optionally tearing the final
+//! frame), followed by a reopen that must restore exactly the acked
+//! state — every acknowledged commit survives, no deleted key
+//! resurrects, and the recovered map equals the never-crashed
+//! reference (modulo the one in-flight op whose group died mid-sync).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use pm_blade::{CompactionRequest, Db, MaintenanceMode, Mode, ScanRequest};
+use pmblade_integration_tests::{key_for, tiny_options, value_for};
+use proptest::prelude::*;
+use sim::FaultPlan;
+
+static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+/// A fresh scratch directory per test case (unique across the process
+/// so proptest cases never collide).
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("pmblade-dur-{}-{tag}-{n}", std::process::id()))
+}
+
+/// Full forward scan of the live keyspace as a map.
+fn scan_all(db: &Db) -> BTreeMap<Vec<u8>, Vec<u8>> {
+    let (rows, _) = db.scan(ScanRequest::new()).unwrap();
+    rows.into_iter().collect()
+}
+
+/// Count `wal-*.log` segments on disk.
+fn wal_segments_on_disk(dir: &std::path::Path) -> Vec<String> {
+    let mut out: Vec<String> = std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| {
+            let name = e.unwrap().file_name().to_string_lossy().into_owned();
+            (name.starts_with("wal-") && name.ends_with(".log")).then_some(name)
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+// ---------------------------------------------------------------------
+// Plain reopen round-trips (no faults): write → flush → compact →
+// close → open → full scan parity, in both maintenance modes.
+// ---------------------------------------------------------------------
+
+fn reopen_round_trip(maintenance: MaintenanceMode, tag: &str) {
+    let dir = scratch_dir(tag);
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut opts = tiny_options(Mode::PmBlade);
+    opts.wal_dir = Some(dir.clone());
+    opts.maintenance = maintenance;
+    let expected;
+    {
+        let db = Db::open(opts.clone()).unwrap();
+        for i in 0..400u64 {
+            db.put(&key_for(i), &value_for(i, 48)).unwrap();
+        }
+        for i in (0..400u64).step_by(7) {
+            db.delete(&key_for(i)).unwrap();
+        }
+        db.compact(CompactionRequest::FlushAll).unwrap();
+        db.compact(CompactionRequest::Major { partition: 0 })
+            .unwrap();
+        // Overwrites and a tail that lives only in the WAL.
+        for i in 100..140u64 {
+            db.put(&key_for(i), b"rewritten").unwrap();
+        }
+        db.close();
+        expected = scan_all(&db);
+        assert!(!expected.is_empty());
+    }
+    let db = Db::open(opts).unwrap();
+    assert_eq!(scan_all(&db), expected, "reopen must restore the full map");
+    // Point reads agree with the scan on both hits and tombstones.
+    assert_eq!(
+        db.get(&key_for(105)).unwrap().value.as_deref(),
+        Some(&b"rewritten"[..])
+    );
+    assert!(db.get(&key_for(7)).unwrap().value.is_none());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn reopen_round_trip_inline() {
+    reopen_round_trip(MaintenanceMode::Inline, "rt-inline");
+}
+
+#[test]
+fn reopen_round_trip_background() {
+    reopen_round_trip(MaintenanceMode::Background, "rt-bg");
+}
+
+// ---------------------------------------------------------------------
+// Double-replay guard: an immediate second reopen replays the same
+// records once, not cumulatively.
+// ---------------------------------------------------------------------
+
+#[test]
+fn second_reopen_replays_once_not_cumulatively() {
+    let dir = scratch_dir("double-replay");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut opts = tiny_options(Mode::PmBlade);
+    opts.wal_dir = Some(dir.clone());
+    // Big memtable: nothing flushes, all 64 records stay WAL-only.
+    opts.memtable_bytes = 1 << 20;
+    {
+        let db = Db::open(opts.clone()).unwrap();
+        assert_eq!(
+            db.metrics_snapshot()
+                .counter("recovery_wal_records_replayed"),
+            0,
+            "fresh directory has nothing to replay"
+        );
+        for i in 0..64u64 {
+            db.put(&key_for(i), &value_for(i, 32)).unwrap();
+        }
+    }
+    let first;
+    {
+        let db = Db::open(opts.clone()).unwrap();
+        first = db
+            .metrics_snapshot()
+            .counter("recovery_wal_records_replayed");
+        assert_eq!(first, 64, "every unflushed record replays exactly once");
+        // Drop immediately: recovered records must NOT be re-logged
+        // into the new active segment.
+    }
+    let db = Db::open(opts).unwrap();
+    let second = db
+        .metrics_snapshot()
+        .counter("recovery_wal_records_replayed");
+    assert_eq!(
+        second, first,
+        "second reopen must replay the same records once, not cumulatively"
+    );
+    assert_eq!(scan_all(&db).len(), 64);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint rotation: segments older than the last flush checkpoint
+// are provably deleted from disk.
+// ---------------------------------------------------------------------
+
+#[test]
+fn flush_checkpoints_delete_covered_wal_segments() {
+    let dir = scratch_dir("wal-prune");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut opts = tiny_options(Mode::PmBlade);
+    opts.wal_dir = Some(dir.clone());
+    // Tiny segments so the ring rotates many times.
+    opts.wal_segment_bytes = 4 << 10;
+    let db = Db::open(opts).unwrap();
+    for round in 0..6u64 {
+        for i in 0..80u64 {
+            db.put(&key_for(round * 80 + i), &value_for(i, 96)).unwrap();
+        }
+        db.compact(CompactionRequest::FlushAll).unwrap();
+    }
+    let snap = db.metrics_snapshot();
+    let deleted = snap.counter("wal_segments_deleted_total");
+    assert!(
+        deleted > 0,
+        "rotated segments must be pruned, saw {deleted}"
+    );
+    // After the final FlushAll every sealed segment is covered by a
+    // checkpoint; only the active segment (plus at most one segment
+    // rotated-into mid-flush) may remain.
+    let on_disk = wal_segments_on_disk(&dir);
+    assert!(
+        on_disk.len() <= 2,
+        "covered segments must be deleted, found {on_disk:?}"
+    );
+    assert!(snap.counter("manifest_edits_total") > 0);
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Recovery observability: the durability counters and the recovery
+// wall-clock histogram flow through the Prometheus exposition.
+// ---------------------------------------------------------------------
+
+#[test]
+fn recovery_metrics_export_through_prometheus() {
+    let dir = scratch_dir("recovery-metrics");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut opts = tiny_options(Mode::PmBlade);
+    opts.wal_dir = Some(dir.clone());
+    {
+        let db = Db::open(opts.clone()).unwrap();
+        for i in 0..200u64 {
+            db.put(&key_for(i), &value_for(i, 64)).unwrap();
+        }
+        db.compact(CompactionRequest::FlushAll).unwrap();
+        for i in 0..20u64 {
+            db.put(&key_for(1000 + i), b"tail").unwrap();
+        }
+    }
+    let db = Db::open(opts).unwrap();
+    let snap = db.metrics_snapshot();
+    assert!(snap.counter("manifest_edits_total") > 0);
+    assert_eq!(snap.counter("recovery_wal_records_replayed"), 20);
+    assert!(snap.counter("recovery_tables_reopened") > 0);
+    let text = snap.to_prometheus();
+    for series in [
+        "pmblade_manifest_edits_total",
+        "pmblade_wal_segments_deleted_total",
+        "pmblade_recovery_wal_records_replayed",
+        "pmblade_recovery_tables_reopened",
+        "pmblade_recovery_wall_nanos",
+    ] {
+        assert!(
+            text.contains(series),
+            "{series} missing from the exposition"
+        );
+    }
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Crash-injection recovery proofs.
+// ---------------------------------------------------------------------
+
+/// One workload step. Compactions are in the op stream so the fault
+/// countdown can land mid-flush or mid-major.
+#[derive(Clone, Debug)]
+enum Op {
+    Put(u16, u8),
+    Del(u16),
+    Flush,
+    Internal,
+    Major,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        8 => (0u16..160, 0u8..=255).prop_map(|(k, v)| Op::Put(k, v)),
+        3 => (0u16..160).prop_map(Op::Del),
+        1 => Just(Op::Flush),
+        1 => Just(Op::Internal),
+        1 => Just(Op::Major),
+    ]
+}
+
+fn prop_value(k: u16, v: u8) -> Vec<u8> {
+    let mut out = format!("pv-{k}-{v}-").into_bytes();
+    out.resize(40, b'x');
+    out
+}
+
+/// Apply a workload op to the oracle (only data ops mutate it).
+fn oracle_apply(oracle: &mut BTreeMap<Vec<u8>, Vec<u8>>, op: &Op) {
+    match op {
+        Op::Put(k, v) => {
+            oracle.insert(key_for(*k as u64), prop_value(*k, *v));
+        }
+        Op::Del(k) => {
+            oracle.remove(&key_for(*k as u64));
+        }
+        Op::Flush | Op::Internal | Op::Major => {}
+    }
+}
+
+/// Run one crash case: apply ops until the armed fault plan kills the
+/// "process" (first `Err`), reopen with faults disarmed, and prove the
+/// recovered state equals the acked oracle — or the acked oracle plus
+/// exactly the one op whose commit died mid-sync (its group may have
+/// reached the log before the crash; durability of *unacked* writes is
+/// permitted, loss of *acked* ones is not).
+fn run_crash_case(ops: &[Op], countdown: u64, torn: bool, maintenance: MaintenanceMode) {
+    let dir = scratch_dir("crash");
+    let _ = std::fs::remove_dir_all(&dir);
+    let plan = FaultPlan::disarmed();
+    let mut opts = tiny_options(Mode::PmBlade);
+    opts.wal_dir = Some(dir.clone());
+    opts.fault_plan = Some(plan.clone());
+    opts.wal_segment_bytes = 2 << 10;
+    opts.maintenance = maintenance;
+    let mut oracle: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+    let mut failed_op: Option<Op> = None;
+    {
+        // Open consumes durable events itself (manifest edits, the new
+        // WAL segment), so the plan arms only once the engine is up.
+        let db = Db::open(opts.clone()).unwrap();
+        plan.arm(countdown, torn);
+        for op in ops {
+            let res = match op {
+                Op::Put(k, v) => db.put(&key_for(*k as u64), &prop_value(*k, *v)).map(|_| ()),
+                Op::Del(k) => db.delete(&key_for(*k as u64)).map(|_| ()),
+                Op::Flush => db.compact(CompactionRequest::FlushAll),
+                Op::Internal => db.compact(CompactionRequest::Internal { partition: 0 }),
+                Op::Major => db.compact(CompactionRequest::Major { partition: 0 }),
+            };
+            match res {
+                Ok(()) => oracle_apply(&mut oracle, op),
+                Err(_) => {
+                    failed_op = Some(op.clone());
+                    break;
+                }
+            }
+        }
+        // Drop with the plan still tripped: the crash freezes the disk
+        // state, nothing may sneak out during close().
+    }
+    plan.disarm();
+    let db = Db::open(opts).unwrap_or_else(|e| panic!("recovery failed: {e}"));
+    let got = scan_all(&db);
+    if got != oracle {
+        let mut tolerant = oracle.clone();
+        match &failed_op {
+            Some(op) => oracle_apply(&mut tolerant, op),
+            None => panic!(
+                "no op failed but state diverged: got {} keys, expected {}",
+                got.len(),
+                oracle.len()
+            ),
+        }
+        assert_eq!(
+            got, tolerant,
+            "recovered state must be the acked oracle or acked + the one in-flight op"
+        );
+    }
+    // Point-read agreement on a sample: acked commits survive, deleted
+    // keys stay dead.
+    for k in (0u16..160).step_by(13) {
+        let key = key_for(k as u64);
+        assert_eq!(
+            db.get(&key).unwrap().value,
+            got.get(&key).cloned(),
+            "get/scan parity after recovery for {k}"
+        );
+    }
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    /// Inline maintenance: compactions run on the writer thread, so
+    /// the countdown lands mid-flush / mid-major deterministically.
+    #[test]
+    fn crash_recovery_matches_oracle_inline(
+        ops in proptest::collection::vec(op_strategy(), 20..120),
+        countdown in 1u64..300,
+        torn in proptest::bool::ANY,
+    ) {
+        run_crash_case(&ops, countdown, torn, MaintenanceMode::Inline);
+    }
+
+    /// Background maintenance: flushes and majors race the writer, so
+    /// the crash can hit a maintenance thread mid-install.
+    #[test]
+    fn crash_recovery_matches_oracle_background(
+        ops in proptest::collection::vec(op_strategy(), 20..120),
+        countdown in 1u64..300,
+        torn in proptest::bool::ANY,
+    ) {
+        run_crash_case(&ops, countdown, torn, MaintenanceMode::Background);
+    }
+}
+
+/// A pinned deterministic crash case aimed at the flush window: the
+/// countdown is swept across the whole range of a fixed workload, so
+/// every durable-write boundary (WAL append, PM publish, manifest
+/// append, CURRENT swap) gets a crash exactly on it at least once.
+#[test]
+fn crash_boundary_sweep_mid_flush_and_major() {
+    let mut ops = Vec::new();
+    for i in 0..60u16 {
+        ops.push(Op::Put(i, (i % 250) as u8));
+        if i % 20 == 19 {
+            ops.push(Op::Flush);
+        }
+    }
+    ops.push(Op::Major);
+    for i in 0..10u16 {
+        ops.push(Op::Del(i));
+    }
+    ops.push(Op::Flush);
+    for countdown in 1..120u64 {
+        run_crash_case(&ops, countdown, countdown % 2 == 0, MaintenanceMode::Inline);
+    }
+}

@@ -629,6 +629,12 @@ fn debug_endpoint_serves_flight_recorder_and_queue_state() {
     assert!(response.contains("\"jobs_inflight\""));
     assert!(response.contains("\"inflight_requests\""));
     assert!(response.contains("\"metrics\""));
+    // Recovery observability rides the registry: the durability
+    // counters are pre-registered in every mode, so the live debug
+    // dump always lists them (zero without a wal_dir).
+    assert!(response.contains("manifest_edits_total"));
+    assert!(response.contains("recovery_wal_records_replayed"));
+    assert!(response.contains("recovery_tables_reopened"));
 
     server.shutdown();
 }
