@@ -35,6 +35,7 @@ fn build_pm_table(data: &[OwnedEntry]) -> PmTable<DramBuf> {
         group_size: 16,
         extractor: MetaExtractor::Delimiter(b':'),
         filter_bits_per_key: 0,
+        codec: pmtable::CodecMode::Prefix,
     });
     for e in data {
         b.add(e.clone());

@@ -22,6 +22,7 @@ fn group_size_ablation() {
             group_size,
             extractor: MetaExtractor::Delimiter(b':'),
             filter_bits_per_key: 0,
+            codec: pmtable::CodecMode::Prefix,
         });
         for e in &entries {
             b.add(e.clone());

@@ -8,13 +8,14 @@
 //! benchmark_kv [--mode pmblade|pmblade-pm|rocksdb|matrixkv]
 //!              [--benchmark fillseq|fillrandom|readrandom|readhot|
 //!                           updaterandom|readwhilewriting|seekrandom|
-//!                           indextable]
-//!              [--num N] [--value-size B] [--skew Z] [--reads N]
-//!              [--partitions P] [--pm-mib M] [--threads T]
+//!                           timeseries|indextable]
+//!              [--num N] [--value-size B] [--key-size B] [--skew Z]
+//!              [--reads N] [--partitions P] [--pm-mib M] [--threads T]
 //!              [--maintenance inline|background] [--metrics-out PATH]
 //!              [--pm-filter-bits B] [--pm-cache-bytes N]
+//!              [--pm-codec prefix|delta|fixed|auto]
 //!              [--server [HOST:PORT]] [--connections N]
-//!              [--trace-out PATH] [--reopen]
+//!              [--trace-out PATH] [--reopen] [--encoding-report]
 //!
 //! `--server` switches to the network-service benchmark: `--num` puts
 //! then `--reads` gets issued over `--connections` TCP clients through
@@ -43,6 +44,20 @@
 //! zipf-skewed within it). Repeat reads of the same PM prefix groups are
 //! exactly what the shared group-decode cache accelerates.
 //!
+//! `--key-size B` pads every generated key (sequential fills included)
+//! out to exactly B bytes; 0 keeps the legacy `user{:010}` format.
+//!
+//! `timeseries` is the numeric-codec showcase: a monotonic u64 key
+//! stream (8-byte big-endian keys, so byte order matches numeric order)
+//! with fixed 8-byte values, filled sequentially, flushed, then read
+//! back at random. `--pm-codec` forces the PM table codec for any
+//! benchmark (`auto` lets the flush-time cost model choose per batch).
+//!
+//! `--encoding-report` sweeps the codec modes over both the timeseries
+//! and readrandom workloads, prints the calibrated per-codec decode
+//! costs, and writes the comparison (PM bytes/entry, decode nanos, read
+//! p99s per codec) to `BENCH_encoding.json`.
+//!
 //! `--pm-filter-bits` sets the per-key bloom-filter budget for PM-L0
 //! tables (0 disables filters); `--pm-cache-bytes` sizes the shared
 //! decoded-group cache (0 disables it). Both default to the engine
@@ -66,10 +81,12 @@
 //! Example: `cargo run --release -p bench --bin benchmark_kv -- \
 //!           --benchmark readrandom --num 50000 --skew 0.9`
 
+use pm_blade::costmodel::CodecCostTable;
 use pm_blade::{
     CompactionRequest, Db, MaintenanceMode, Mode, Options, Partitioner, Relational, ScanRequest,
     TableDef,
 };
+use pmtable::{CodecMode, CODEC_COUNT, CODEC_NAMES};
 use sim::{Histogram, KeyDistribution, Pcg64, SimDuration};
 use workloads::{run_kv, KvWorkload, KvWorkloadSpec};
 
@@ -79,6 +96,9 @@ struct Args {
     benchmark: String,
     num: u64,
     value_size: usize,
+    /// Total key length in bytes; 0 keeps the legacy `user{:010}`
+    /// format. Applies to every workload, sequential fills included.
+    key_size: usize,
     skew: f64,
     reads: u64,
     partitions: usize,
@@ -100,6 +120,12 @@ struct Args {
     /// flush, close, and measure wall-clock reopen latency as level-0
     /// tables accumulate. Results go to `BENCH_recovery.json`.
     reopen: bool,
+    /// Forced PM table codec mode; `None` keeps the engine default
+    /// (cost-model-driven auto selection per flush).
+    pm_codec: Option<CodecMode>,
+    /// Switches to the codec-mode sweep; results go to
+    /// `BENCH_encoding.json`.
+    encoding_report: bool,
 }
 
 impl Default for Args {
@@ -109,6 +135,7 @@ impl Default for Args {
             benchmark: "fillrandom".into(),
             num: 20_000,
             value_size: 100,
+            key_size: 0,
             skew: 0.0,
             reads: 20_000,
             partitions: 8,
@@ -122,6 +149,8 @@ impl Default for Args {
             connections: 8,
             trace_out: None,
             reopen: false,
+            pm_codec: None,
+            encoding_report: false,
         }
     }
 }
@@ -161,6 +190,7 @@ fn parse_args() -> Args {
             "--benchmark" => args.benchmark = value(),
             "--num" => args.num = value().parse().expect("--num"),
             "--value-size" => args.value_size = value().parse().expect("--value-size"),
+            "--key-size" => args.key_size = value().parse().expect("--key-size"),
             "--skew" => args.skew = value().parse().expect("--skew"),
             "--reads" => args.reads = value().parse().expect("--reads"),
             "--partitions" => args.partitions = value().parse().expect("--partitions"),
@@ -195,6 +225,19 @@ fn parse_args() -> Args {
                 args.trace_out = Some(value().into());
             }
             "--reopen" => args.reopen = true,
+            "--pm-codec" => {
+                args.pm_codec = Some(match value().as_str() {
+                    "prefix" => CodecMode::Prefix,
+                    "delta" => CodecMode::Delta,
+                    "fixed" => CodecMode::Fixed,
+                    "auto" => CodecMode::Auto,
+                    other => {
+                        eprintln!("unknown codec mode {other}");
+                        std::process::exit(2);
+                    }
+                })
+            }
+            "--encoding-report" => args.encoding_report = true,
             "--connections" => {
                 args.connections = value().parse().expect("--connections");
                 if args.connections == 0 {
@@ -236,7 +279,21 @@ fn bench_options(args: &Args) -> Options {
     if let Some(bytes) = args.pm_cache_bytes {
         opts.pm_group_cache_bytes = bytes;
     }
+    if let Some(codec) = args.pm_codec {
+        opts.pm_codec_mode = codec;
+    }
     opts
+}
+
+/// Format key `i` the way the fill phases do, honouring `--key-size`.
+/// Mirrors `KvWorkloadSpec::key` so read phases always agree with the
+/// keys the workload generator wrote.
+fn user_key(key_size: usize, i: u64) -> Vec<u8> {
+    if key_size == 0 {
+        return format!("user{i:010}").into_bytes();
+    }
+    let digits = key_size.saturating_sub(4).max(1);
+    format!("user{i:0digits$}").into_bytes()
 }
 
 fn open_db(args: &Args) -> Db {
@@ -319,8 +376,8 @@ fn threaded_writes(
                             // Disjoint stripes keep fills collision-free.
                             (t * per_thread + i).wrapping_mul(0x9e3779b97f4a7c15) % args.num.max(1)
                         };
-                        let k = format!("user{key_id:010}");
-                        let d = db.put(k.as_bytes(), &value).expect("put");
+                        let k = user_key(args.key_size, key_id);
+                        let d = db.put(&k, &value).expect("put");
                         hist.record_duration(d);
                         virt += d;
                     }
@@ -354,6 +411,7 @@ fn threaded_writes(
 fn fill(db: &mut Db, args: &Args, sequential: bool) -> SimDuration {
     let mut w = KvWorkload::new(KvWorkloadSpec {
         keys: args.num,
+        key_size: args.key_size,
         value_size: args.value_size,
         ..KvWorkloadSpec::default()
     });
@@ -372,15 +430,15 @@ fn fill(db: &mut Db, args: &Args, sequential: bool) -> SimDuration {
     m.elapsed
 }
 
-fn read_random(db: &mut Db, args: &Args) {
+fn read_random(db: &mut Db, args: &Args) -> Histogram {
     let dist = KeyDistribution::zipfian(args.num, args.skew);
     let mut rng = Pcg64::seeded(0xbe9c);
     let mut hist = Histogram::new();
     let mut total = SimDuration::ZERO;
     let mut hits = 0u64;
     for _ in 0..args.reads {
-        let k = format!("user{:010}", dist.sample(&mut rng, args.num));
-        let out = db.get(k.as_bytes()).expect("get");
+        let k = user_key(args.key_size, dist.sample(&mut rng, args.num));
+        let out = db.get(&k).expect("get");
         if out.value.is_some() {
             hits += 1;
         }
@@ -395,6 +453,7 @@ fn read_random(db: &mut Db, args: &Args) {
         100.0 * db.stats().pm_hit_ratio()
     );
     report_read_path(db);
+    hist
 }
 
 /// Print the PM-L0 read-acceleration counters (bloom filters + shared
@@ -428,8 +487,8 @@ fn read_hot(db: &mut Db, args: &Args) {
     for _ in 0..args.reads {
         // Spread the hot ids across the keyspace so they span tables.
         let id = dist.sample(&mut rng, hot).wrapping_mul(0x9e3779b97f4a7c15) % args.num.max(1);
-        let k = format!("user{id:010}");
-        let out = db.get(k.as_bytes()).expect("get");
+        let k = user_key(args.key_size, id);
+        let out = db.get(&k).expect("get");
         if out.value.is_some() {
             hits += 1;
         }
@@ -453,8 +512,8 @@ fn update_random(db: &mut Db, args: &Args) {
     let mut total = SimDuration::ZERO;
     let value = vec![b'u'; args.value_size];
     for _ in 0..args.reads {
-        let k = format!("user{:010}", dist.sample(&mut rng, args.num));
-        let d = db.put(k.as_bytes(), &value).expect("put");
+        let k = user_key(args.key_size, dist.sample(&mut rng, args.num));
+        let d = db.put(&k, &value).expect("put");
         hist.record_duration(d);
         total += d;
     }
@@ -469,13 +528,13 @@ fn read_while_writing(db: &mut Db, args: &Args) {
     let mut total = SimDuration::ZERO;
     let value = vec![b'w'; args.value_size];
     for i in 0..args.reads {
-        let k = format!("user{:010}", dist.sample(&mut rng, args.num));
+        let k = user_key(args.key_size, dist.sample(&mut rng, args.num));
         if i % 2 == 0 {
-            let out = db.get(k.as_bytes()).expect("get");
+            let out = db.get(&k).expect("get");
             reads.record_duration(out.latency);
             total += out.latency;
         } else {
-            let d = db.put(k.as_bytes(), &value).expect("put");
+            let d = db.put(&k, &value).expect("put");
             writes.record_duration(d);
             total += d;
         }
@@ -490,14 +549,73 @@ fn seek_random(db: &mut Db, args: &Args) {
     let mut hist = Histogram::new();
     let mut total = SimDuration::ZERO;
     for _ in 0..args.reads.min(5_000) {
-        let k = format!("user{:010}", dist.sample(&mut rng, args.num));
+        let k = user_key(args.key_size, dist.sample(&mut rng, args.num));
         let (_, d) = db
-            .scan(ScanRequest::new().start(k.into_bytes()).limit(50))
+            .scan(ScanRequest::new().start(k).limit(50))
             .expect("scan");
         hist.record_duration(d);
         total += d;
     }
     report("seekrandom(50)", &hist, total, args.reads.min(5_000));
+}
+
+/// What one `timeseries` run measured, for `--encoding-report`.
+struct TimeseriesStats {
+    pm_bytes_per_entry: f64,
+    codec_histogram: [u64; CODEC_COUNT],
+    read_p99_nanos: u64,
+}
+
+/// The numeric-codec showcase: monotonic u64 keys stored as 8-byte
+/// big-endian (so lexicographic order equals numeric order) with fixed
+/// 8-byte values — the shape the delta-key and fixed-width-value codecs
+/// were built for. Sequential fill, flush to PM, then a seeded random
+/// readback over the whole range. Prints PM bytes/entry and the level-0
+/// codec histogram so flush-time codec selection is visible.
+fn timeseries(db: &mut Db, args: &Args) -> TimeseriesStats {
+    const BASE: u64 = 1_700_000_000;
+    let mut fill_hist = Histogram::new();
+    let mut fill_total = SimDuration::ZERO;
+    for i in 0..args.num {
+        let key = (BASE + i).to_be_bytes();
+        let value = (40_000 + i).to_le_bytes();
+        let d = db.put(&key, &value).expect("put");
+        fill_hist.record_duration(d);
+        fill_total += d;
+    }
+    report("timeseries/fill", &fill_hist, fill_total, args.num);
+    db.compact(CompactionRequest::FlushAll).expect("flush");
+    let pm_bytes_per_entry = db.pm_used() as f64 / args.num.max(1) as f64;
+    let codec_histogram = db.l0_codec_histogram();
+
+    let mut rng = Pcg64::seeded(0x7153);
+    let mut hist = Histogram::new();
+    let mut total = SimDuration::ZERO;
+    let mut hits = 0u64;
+    for _ in 0..args.reads {
+        let key = (BASE + rng.next_below(args.num.max(1))).to_be_bytes();
+        let out = db.get(&key).expect("get");
+        if out.value.is_some() {
+            hits += 1;
+        }
+        hist.record_duration(out.latency);
+        total += out.latency;
+    }
+    report("timeseries/reads", &hist, total, args.reads);
+    println!(
+        "{:<18} pm {pm_bytes_per_entry:.1} B/entry  l0 codecs \
+         prefix={} delta={} fixed={}  hit ratio {:.1}%",
+        "",
+        codec_histogram[0],
+        codec_histogram[1],
+        codec_histogram[2],
+        100.0 * hits as f64 / args.reads.max(1) as f64,
+    );
+    TimeseriesStats {
+        pm_bytes_per_entry,
+        codec_histogram,
+        read_p99_nanos: hist.quantile(0.99),
+    }
 }
 
 /// The paper's record/index-table extension: insert rows with secondary
@@ -603,15 +721,15 @@ fn server_bench(args: &Args) {
                         // Disjoint stripes keep the fill collision-free.
                         let key_id = (c * per_conn_writes + i).wrapping_mul(0x9e3779b97f4a7c15)
                             % args.num.max(1);
-                        let k = format!("user{key_id:010}");
+                        let k = user_key(args.key_size, key_id);
                         let t = std::time::Instant::now();
-                        client.put(k.as_bytes(), &value).expect("remote put");
+                        client.put(&k, &value).expect("remote put");
                         writes.record(t.elapsed().as_nanos() as u64);
                     }
                     for _ in 0..per_conn_reads {
-                        let k = format!("user{:010}", dist.sample(&mut rng, args.num));
+                        let k = user_key(args.key_size, dist.sample(&mut rng, args.num));
                         let t = std::time::Instant::now();
-                        client.get(k.as_bytes()).expect("remote get");
+                        client.get(&k).expect("remote get");
                         reads.record(t.elapsed().as_nanos() as u64);
                     }
                     (writes, reads)
@@ -722,6 +840,7 @@ fn trace_bench(args: &Args) {
         let db = Db::open(opts).expect("engine opens");
         let mut w = KvWorkload::new(KvWorkloadSpec {
             keys: args.num,
+            key_size: args.key_size,
             value_size: args.value_size,
             ..KvWorkloadSpec::default()
         });
@@ -733,8 +852,8 @@ fn trace_bench(args: &Args) {
         let mut total = SimDuration::ZERO;
         let wall_start = std::time::Instant::now();
         for _ in 0..args.reads {
-            let k = format!("user{:010}", dist.sample(&mut rng, args.num));
-            let out = db.get(k.as_bytes()).expect("get");
+            let k = user_key(args.key_size, dist.sample(&mut rng, args.num));
+            let out = db.get(&k).expect("get");
             hist.record_duration(out.latency);
             total += out.latency;
         }
@@ -871,16 +990,16 @@ fn reopen_bench(args: &Args) {
         {
             let db = Db::open(opts.clone()).expect("engine opens");
             for i in 0..per_round {
-                let k = format!("user{:010}", written + i);
-                db.put(k.as_bytes(), &value).expect("put");
+                let k = user_key(args.key_size, written + i);
+                db.put(&k, &value).expect("put");
             }
             written += per_round;
             db.compact(CompactionRequest::FlushAll).expect("flush");
             // Half the keys of the final round stay WAL-only so the
             // reopen also exercises segment replay.
             for i in 0..per_round / 2 {
-                let k = format!("user{:010}", written - per_round / 2 + i);
-                db.put(k.as_bytes(), &value).expect("put");
+                let k = user_key(args.key_size, written - per_round / 2 + i);
+                db.put(&k, &value).expect("put");
             }
             db.close();
         }
@@ -927,6 +1046,101 @@ fn reopen_bench(args: &Args) {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The codec-mode sweep (`--encoding-report`): for each of the four
+/// codec modes, run the `timeseries` workload (PM bytes/entry, codec
+/// histogram, read p99) and the text-keyed `readrandom` workload (where
+/// auto selection must fall back to prefix groups without hurting the
+/// tail). Prepends the calibrated per-codec decode costs and writes the
+/// whole comparison to `BENCH_encoding.json`. The headline numbers are
+/// `auto` vs forced `prefix`: auto must shrink timeseries PM
+/// bytes/entry substantially while leaving readrandom p99 untouched.
+fn encoding_report(args: &Args) {
+    let costs = CodecCostTable::calibrate(&bench_options(args).cost);
+    println!("calibration (1024-entry synthetic timeseries per codec):");
+    for (c, name) in CODEC_NAMES.iter().enumerate() {
+        println!(
+            "  {name:<8} {:>6.1} B/entry  decode {:>4} ns/group  {:>3} ns/entry",
+            costs.bytes_per_entry[c], costs.decode_group_nanos[c], costs.decode_entry_nanos[c],
+        );
+    }
+    let modes = [
+        ("prefix", CodecMode::Prefix),
+        ("delta", CodecMode::Delta),
+        ("fixed", CodecMode::Fixed),
+        ("auto", CodecMode::Auto),
+    ];
+    let mut rows = Vec::new();
+    let mut ts_bpe = [0.0f64; 4];
+    let mut rr_p99 = [0u64; 4];
+    for (i, (name, mode)) in modes.into_iter().enumerate() {
+        println!("--- codec mode: {name} ---");
+        let mut opts = bench_options(args);
+        opts.pm_codec_mode = mode;
+        let mut db = Db::open(opts.clone()).expect("engine opens");
+        let ts = timeseries(&mut db, args);
+        db.close();
+        // A fresh engine for the text-keyed shape, so the two workloads
+        // never share level-0 state.
+        let mut db = Db::open(opts).expect("engine opens");
+        fill(&mut db, args, false);
+        let rr = read_random(&mut db, args);
+        db.close();
+        ts_bpe[i] = ts.pm_bytes_per_entry;
+        rr_p99[i] = rr.quantile(0.99);
+        rows.push(format!(
+            "{{\"codec_mode\": \"{name}\", \"timeseries\": \
+             {{\"pm_bytes_per_entry\": {:.2}, \"read_p99_nanos\": {}, \
+             \"l0_codecs\": {{\"prefix\": {}, \"delta\": {}, \"fixed\": {}}}}}, \
+             \"readrandom\": {{\"p99_nanos\": {}}}}}",
+            ts.pm_bytes_per_entry,
+            ts.read_p99_nanos,
+            ts.codec_histogram[0],
+            ts.codec_histogram[1],
+            ts.codec_histogram[2],
+            rr_p99[i],
+        ));
+    }
+    let savings_pct = 100.0 * (1.0 - ts_bpe[3] / ts_bpe[0].max(1e-12));
+    println!(
+        "encoding: auto stores timeseries at {:.1} B/entry vs {:.1} for \
+         prefix-only ({savings_pct:.1}% smaller); readrandom p99 {} ns \
+         (auto) vs {} ns (prefix)",
+        ts_bpe[3], ts_bpe[0], rr_p99[3], rr_p99[0],
+    );
+    let calib_json = |c: usize| {
+        format!(
+            "{{\"bytes_per_entry\": {:.2}, \"decode_group_nanos\": {}, \
+             \"decode_entry_nanos\": {}}}",
+            costs.bytes_per_entry[c], costs.decode_group_nanos[c], costs.decode_entry_nanos[c],
+        )
+    };
+    let json = format!(
+        "{{\n  \"benchmark\": \"encoding_report\",\n  \"mode\": \"{:?}\",\n  \
+         \"num\": {},\n  \"reads\": {},\n  \"value_size\": {},\n  \
+         \"calibration\": {{\"prefix\": {}, \"delta\": {}, \"fixed\": {}}},\n  \
+         \"modes\": [\n    {}\n  ],\n  \
+         \"auto_vs_prefix\": {{\"timeseries_pm_savings_pct\": {savings_pct:.1}, \
+         \"readrandom_p99_prefix_nanos\": {}, \
+         \"readrandom_p99_auto_nanos\": {}}}\n}}\n",
+        args.mode,
+        args.num,
+        args.reads,
+        args.value_size,
+        calib_json(0),
+        calib_json(1),
+        calib_json(2),
+        rows.join(",\n    "),
+        rr_p99[0],
+        rr_p99[3],
+    );
+    let out = std::path::Path::new("BENCH_encoding.json");
+    std::fs::write(out, json).unwrap_or_else(|e| {
+        eprintln!("BENCH_encoding.json: {e}");
+        std::process::exit(1);
+    });
+    println!("{:<18} results -> {}", "", out.display());
+}
+
 fn main() {
     let args = parse_args();
     if args.reopen {
@@ -939,6 +1153,15 @@ fn main() {
     }
     if args.server.is_some() {
         server_bench(&args);
+        return;
+    }
+    if args.encoding_report {
+        println!(
+            "benchmark_kv: encoding report, mode={:?} num={} reads={} \
+             value={}B",
+            args.mode, args.num, args.reads, args.value_size
+        );
+        encoding_report(&args);
         return;
     }
     if args.trace_out.is_some() {
@@ -1023,6 +1246,11 @@ fn main() {
             let mut db = open_db(&args);
             fill(&mut db, &args, false);
             seek_random(&mut db, &args);
+            finish(&db, &args);
+        }
+        "timeseries" => {
+            let mut db = open_db(&args);
+            timeseries(&mut db, &args);
             finish(&db, &args);
         }
         "indextable" => index_table(&args),

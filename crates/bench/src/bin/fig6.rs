@@ -69,6 +69,7 @@ fn main() {
                 group_size: 16,
                 extractor: MetaExtractor::Delimiter(b':'),
                 filter_bits_per_key: 0,
+                codec: pmtable::CodecMode::Prefix,
             });
             for e in entries.iter() {
                 b.add(e.clone());

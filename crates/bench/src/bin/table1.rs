@@ -41,6 +41,7 @@ fn main() {
                 group_size: 16,
                 extractor: pmtable::MetaExtractor::Delimiter(b':'),
                 filter_bits_per_key: 0,
+                codec: pmtable::CodecMode::Prefix,
             });
             for e in &entries {
                 b.add(e.clone());

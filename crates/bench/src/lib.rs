@@ -47,6 +47,7 @@ fn scaled(mode: Mode, pm: usize) -> Options {
             group_size: 16,
             extractor: MetaExtractor::None,
             filter_bits_per_key: 0, // overridden by pm_filter_bits_per_key at open
+            codec: pmtable::CodecMode::Prefix, // overridden by pm_codec_mode at open
         },
         ..Options::default()
     }

@@ -1,0 +1,277 @@
+//! Delta + zigzag transforms and the flush-batch codec analyzer.
+//!
+//! The PM table's numeric codecs store a group's fixed-width key
+//! remainders as one base value plus zigzag-encoded wrapping deltas
+//! ([`deltas`]/[`undelta`]), bit-packed at the width of the largest delta
+//! (see [`crate::bitpack`]). Wrapping arithmetic makes the transform total:
+//! any `u64` sequence round-trips, including strides that cross the
+//! `u64` overflow boundary in either direction.
+//!
+//! [`CodecStats`] is the build-side analyzer: it inspects a flush batch's
+//! key shape (common stride, remainder-width histogram, prefix entropy)
+//! so the engine can rule codecs in or out before trial-encoding anything.
+
+use std::collections::HashMap;
+
+/// Map a signed value to an unsigned one with small magnitudes staying
+/// small: 0, -1, 1, -2, … → 0, 1, 2, 3, …
+#[inline]
+pub fn zigzag_encode(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag_encode`].
+#[inline]
+pub fn zigzag_decode(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Zigzag-encoded wrapping forward differences: element `i` encodes
+/// `values[i + 1] - values[i]` (mod 2^64). Empty or single-element input
+/// yields an empty vector.
+pub fn deltas(values: &[u64]) -> Vec<u64> {
+    values
+        .windows(2)
+        .map(|w| zigzag_encode(w[1].wrapping_sub(w[0]) as i64))
+        .collect()
+}
+
+/// Rebuild the original sequence from its first value and [`deltas`].
+pub fn undelta(first: u64, deltas: &[u64]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(deltas.len() + 1);
+    let mut cur = first;
+    out.push(cur);
+    for &d in deltas {
+        cur = cur.wrapping_add(zigzag_decode(d) as u64);
+        out.push(cur);
+    }
+    out
+}
+
+/// Interpret up to the last 8 bytes of `bytes` as a big-endian integer.
+/// Big-endian keeps numeric order aligned with lexicographic order for
+/// fixed-width byte strings, which is what makes delta-coding sorted key
+/// remainders meaningful.
+#[inline]
+pub fn be_suffix_u64(bytes: &[u8]) -> u64 {
+    bytes
+        .iter()
+        .rev()
+        .take(8)
+        .rev()
+        .fold(0u64, |acc, &b| (acc << 8) | b as u64)
+}
+
+/// Shape statistics over one sorted flush batch, used to pre-select
+/// codec candidates before any trial encoding.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CodecStats {
+    /// Number of entries inspected.
+    pub entries: usize,
+    /// `Some(w)` when every key is exactly `w` bytes long.
+    pub fixed_key_width: Option<usize>,
+    /// `Some(w)` when every value is exactly `w` bytes long.
+    pub fixed_value_width: Option<usize>,
+    /// Length of the prefix shared by every key in the batch.
+    pub batch_lcp: usize,
+    /// Most common wrapping stride between consecutive numeric key
+    /// suffixes (last ≤8 bytes, big-endian); 0 if fewer than two keys.
+    pub common_stride: i64,
+    /// Fraction of consecutive gaps matching `common_stride` (0.0–1.0).
+    pub stride_fraction: f64,
+    /// Histogram of zigzag stride widths, bucketed by the bytes needed to
+    /// store each gap (`[0]` = zero-byte/equal, `[8]` = full width).
+    pub stride_width_histogram: [usize; 9],
+    /// Shannon entropy, in bits, of the first byte past the batch LCP
+    /// (0.0 for a batch whose keys diverge in one way only). High entropy
+    /// means group LCPs will be short and prefix stripping alone is weak.
+    pub prefix_entropy_bits: f64,
+}
+
+impl CodecStats {
+    /// Analyze a batch of (already sorted) keys plus their value lengths.
+    pub fn analyze(keys: &[&[u8]], value_lens: &[usize]) -> CodecStats {
+        let mut stats = CodecStats {
+            entries: keys.len(),
+            ..CodecStats::default()
+        };
+        let Some(first) = keys.first() else {
+            return stats;
+        };
+        stats.fixed_key_width =
+            (keys.iter().all(|k| k.len() == first.len())).then_some(first.len());
+        stats.fixed_value_width = value_lens
+            .first()
+            .copied()
+            .filter(|&w| value_lens.iter().all(|&l| l == w));
+        // Common prefix of all keys: for sorted input this is the LCP of
+        // the first and last key, but a running fold needs no sortedness.
+        let mut lcp = first.len();
+        for k in &keys[1..] {
+            lcp = lcp.min(crate::prefix::common_prefix_len(first, k));
+        }
+        stats.batch_lcp = lcp;
+        // Stride statistics over the numeric suffix.
+        if keys.len() >= 2 {
+            let mut counts: HashMap<i64, usize> = HashMap::new();
+            for w in keys.windows(2) {
+                let gap = be_suffix_u64(w[1]).wrapping_sub(be_suffix_u64(w[0])) as i64;
+                *counts.entry(gap).or_insert(0) += 1;
+                let bytes = bitwidth_bytes(crate::bitpack::width_for(zigzag_encode(gap)));
+                stats.stride_width_histogram[bytes] += 1;
+            }
+            let gaps = (keys.len() - 1) as f64;
+            let (&stride, &n) = counts
+                .iter()
+                .max_by_key(|&(&gap, &n)| (n, std::cmp::Reverse(gap.unsigned_abs())))
+                .unwrap();
+            stats.common_stride = stride;
+            stats.stride_fraction = n as f64 / gaps;
+        }
+        // Entropy of the first divergent byte. Keys that end exactly at
+        // the LCP contribute a separate "exhausted" symbol.
+        let mut hist: HashMap<Option<u8>, usize> = HashMap::new();
+        for k in keys {
+            *hist.entry(k.get(lcp).copied()).or_insert(0) += 1;
+        }
+        let total = keys.len() as f64;
+        stats.prefix_entropy_bits = -hist
+            .values()
+            .map(|&n| {
+                let p = n as f64 / total;
+                p * p.log2()
+            })
+            .sum::<f64>();
+        stats
+    }
+}
+
+/// Bytes needed for a value of `bits` bits (0 stays 0, capped at 8).
+#[inline]
+fn bitwidth_bytes(bits: u32) -> usize {
+    (bits as usize).div_ceil(8).min(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_maps_small_magnitudes_low() {
+        assert_eq!(zigzag_encode(0), 0);
+        assert_eq!(zigzag_encode(-1), 1);
+        assert_eq!(zigzag_encode(1), 2);
+        assert_eq!(zigzag_encode(i64::MIN), u64::MAX);
+        for v in [-3i64, 0, 5, i64::MAX, i64::MIN, -1_000_000] {
+            assert_eq!(zigzag_decode(zigzag_encode(v)), v);
+        }
+    }
+
+    #[test]
+    fn delta_roundtrip_monotonic() {
+        let values: Vec<u64> = (0..50).map(|i| 1_000 + i * 17).collect();
+        let d = deltas(&values);
+        assert!(d.iter().all(|&x| x == zigzag_encode(17)));
+        assert_eq!(undelta(values[0], &d), values);
+    }
+
+    #[test]
+    fn delta_roundtrip_across_overflow_boundary() {
+        // Strides that wrap past u64::MAX and back must round-trip.
+        let values = [u64::MAX - 1, u64::MAX, 0, 1, u64::MAX, 5];
+        let d = deltas(&values);
+        assert_eq!(undelta(values[0], &d), values);
+    }
+
+    #[test]
+    fn be_suffix_takes_trailing_bytes() {
+        assert_eq!(be_suffix_u64(b""), 0);
+        assert_eq!(be_suffix_u64(&[0x12]), 0x12);
+        assert_eq!(be_suffix_u64(&[1, 2, 3]), 0x010203);
+        assert_eq!(
+            be_suffix_u64(&[0xff, 1, 2, 3, 4, 5, 6, 7, 8]),
+            0x0102030405060708
+        );
+    }
+
+    #[test]
+    fn stats_on_monotonic_fixed_width_batch() {
+        let owned: Vec<Vec<u8>> = (0u64..100)
+            .map(|i| (i * 3).to_be_bytes().to_vec())
+            .collect();
+        let keys: Vec<&[u8]> = owned.iter().map(|k| k.as_slice()).collect();
+        let lens = vec![8usize; keys.len()];
+        let s = CodecStats::analyze(&keys, &lens);
+        assert_eq!(s.entries, 100);
+        assert_eq!(s.fixed_key_width, Some(8));
+        assert_eq!(s.fixed_value_width, Some(8));
+        assert_eq!(s.common_stride, 3);
+        assert!((s.stride_fraction - 1.0).abs() < 1e-9);
+        // Every gap fits in one byte once zigzagged.
+        assert_eq!(s.stride_width_histogram[1], 99);
+    }
+
+    #[test]
+    fn stats_on_ragged_batch() {
+        let keys: Vec<&[u8]> = vec![b"a", b"ab", b"b", b"cdefghijk"];
+        let lens = vec![1usize, 2, 3, 4];
+        let s = CodecStats::analyze(&keys, &lens);
+        assert_eq!(s.fixed_key_width, None);
+        assert_eq!(s.fixed_value_width, None);
+        assert_eq!(s.batch_lcp, 0);
+        assert!(s.prefix_entropy_bits > 1.0, "divergent first bytes");
+    }
+
+    #[test]
+    fn stats_empty_batch() {
+        let s = CodecStats::analyze(&[], &[]);
+        assert_eq!(s.entries, 0);
+        assert_eq!(s.fixed_key_width, None);
+        assert_eq!(s.common_stride, 0);
+    }
+
+    #[test]
+    fn entropy_zero_when_single_divergence() {
+        let keys: Vec<&[u8]> = vec![b"pref0", b"pref0a", b"pref0b"];
+        let lens = vec![0usize; 3];
+        let s = CodecStats::analyze(&keys, &lens);
+        // All keys share "pref0"; divergent symbols are {None, 'a', 'b'}.
+        assert_eq!(s.batch_lcp, 5);
+        assert!(s.prefix_entropy_bits > 0.0);
+        let uniform: Vec<&[u8]> = vec![b"k1", b"k2", b"k3"];
+        let s2 = CodecStats::analyze(&uniform, &[0, 0, 0]);
+        assert!(s2.prefix_entropy_bits > s.prefix_entropy_bits * 0.5);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(128))]
+        #[test]
+        fn prop_delta_roundtrip(values in proptest::collection::vec(0u64..=u64::MAX, 1..120)) {
+            let d = deltas(&values);
+            proptest::prop_assert_eq!(undelta(values[0], &d), values);
+        }
+
+        #[test]
+        fn prop_zigzag_roundtrip(v in i64::MIN..i64::MAX) {
+            proptest::prop_assert_eq!(zigzag_decode(zigzag_encode(v)), v);
+        }
+
+        #[test]
+        fn prop_overflow_boundary_strides(
+            start in 0u64..=u64::MAX,
+            stride in 0u64..=u64::MAX,
+            n in 2usize..64,
+        ) {
+            // Arithmetic sequences with arbitrary wrapping stride, which
+            // deliberately cross the u64 boundary for large strides.
+            let mut values = Vec::with_capacity(n);
+            let mut cur = start;
+            for _ in 0..n {
+                values.push(cur);
+                cur = cur.wrapping_add(stride);
+            }
+            let d = deltas(&values);
+            proptest::prop_assert_eq!(undelta(values[0], &d), values);
+        }
+    }
+}

@@ -9,12 +9,17 @@
 //! - [`crc`]: CRC32C (Castagnoli) block checksums.
 //! - [`prefix`]: the shared-prefix group codec backing the PM table's
 //!   prefix layer (§IV-A of the paper).
+//! - [`delta`] / [`bitpack`]: zigzag + delta transforms and fixed-width
+//!   bit packing behind the PM table's numeric codecs (encoding v2), plus
+//!   the [`delta::CodecStats`] flush-batch shape analyzer.
 //! - [`szip`]: a small LZ77-class byte compressor standing in for snappy in
 //!   the Array-snappy baselines (Fig 6) — same architecture (literal /
 //!   copy tags, greedy hash-chain matcher), no external dependency.
 
+pub mod bitpack;
 pub mod bloom;
 pub mod crc;
+pub mod delta;
 pub mod key;
 pub mod prefix;
 pub mod szip;

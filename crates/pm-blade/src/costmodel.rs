@@ -14,7 +14,13 @@
 //!    hottest partitions in PM: maximize `Σ nʳᵢ` subject to
 //!    `Σ sᵢ ≤ τ_t`, solved greedily by read density `nʳᵢ / sᵢ`.
 
-use sim::{Counter, SimDuration, SimInstant};
+use encoding::delta::CodecStats;
+use pm_device::PmPool;
+use pmtable::{
+    CodecMode, L0Table, MetaExtractor, OwnedEntry, PmTable, PmTableBuilder, PmTableOptions,
+    CODEC_COUNT,
+};
+use sim::{CostModel, Counter, SimDuration, SimInstant, Timeline};
 
 use crate::options::CostScalars;
 use crate::telemetry::CostDecision;
@@ -93,6 +99,30 @@ pub fn read_benefit_positive_filtered(
     scalars: &CostScalars,
     prune_ratio: f64,
 ) -> bool {
+    read_benefit_positive_coded(
+        counters,
+        unsorted,
+        now,
+        scalars,
+        prune_ratio,
+        SimDuration::ZERO,
+    )
+}
+
+/// Eq 1 with the level-0 tables' decode cost folded into the probe term:
+/// each probe of a coded table binary-searches it *and* decodes one
+/// group, so the effective `I_b` is `binary_search + probe_decode`.
+/// `probe_decode` is the entries-weighted mean group-decode cost over
+/// the partition's level-0 codecs (zero for all-prefix level-0s, which
+/// makes this exactly [`read_benefit_positive_filtered`]).
+pub fn read_benefit_positive_coded(
+    counters: &PartitionCounters,
+    unsorted: usize,
+    now: SimInstant,
+    scalars: &CostScalars,
+    prune_ratio: f64,
+    probe_decode: SimDuration,
+) -> bool {
     if unsorted < 2 {
         return false; // nothing to merge
     }
@@ -101,7 +131,8 @@ pub fn read_benefit_positive_filtered(
         return false;
     }
     let effective = unsorted as f64 * (1.0 - prune_ratio.clamp(0.0, 1.0));
-    let benefit_per_sec = rate * (effective / 2.0) * scalars.binary_search.as_secs_f64();
+    let probe = (scalars.binary_search + probe_decode).as_secs_f64();
+    let benefit_per_sec = rate * (effective / 2.0) * probe;
     let work_rate = scalars.internal_per_record.as_secs_f64()
         / scalars.internal_time_per_record.as_secs_f64().max(1e-12);
     benefit_per_sec > work_rate
@@ -120,13 +151,30 @@ pub fn write_benefit_positive(
     l0_records: usize,
     scalars: &CostScalars,
 ) -> bool {
+    write_benefit_positive_coded(counters, l0_records, scalars, SimDuration::ZERO)
+}
+
+/// Eq 2 with the level-0 decode cost folded into the internal pass:
+/// rewriting a record from a coded table first decodes it, so the
+/// per-record cost the compaction pays is
+/// `internal_per_record + decode_per_record`. `decode_per_record` is the
+/// entries-weighted mean per-entry decode cost over the partition's
+/// level-0 codecs (zero for all-prefix level-0s, which makes this
+/// exactly [`write_benefit_positive`]). Pricier decoding raises the
+/// spend side, so Eq 2 triggers later on heavily-coded partitions.
+pub fn write_benefit_positive_coded(
+    counters: &PartitionCounters,
+    l0_records: usize,
+    scalars: &CostScalars,
+    decode_per_record: SimDuration,
+) -> bool {
     let (writes, updates) = (counters.writes.get(), counters.updates.get());
     if writes == 0 || l0_records == 0 {
         return false;
     }
     let removable = updates.min(writes) as f64;
     let saved = removable * scalars.major_per_record.as_secs_f64();
-    let spent = l0_records as f64 * scalars.internal_per_record.as_secs_f64();
+    let spent = l0_records as f64 * (scalars.internal_per_record + decode_per_record).as_secs_f64();
     saved > spent
 }
 
@@ -192,11 +240,41 @@ pub fn explain_read_benefit_filtered(
     scalars: &CostScalars,
     prune_ratio: f64,
 ) -> CostDecision {
+    explain_read_benefit_coded(
+        partition,
+        counters,
+        unsorted,
+        now,
+        scalars,
+        prune_ratio,
+        SimDuration::ZERO,
+    )
+}
+
+/// [`explain_read_benefit_filtered`] with the level-0 probe-decode cost
+/// folded in (see [`read_benefit_positive_coded`]).
+#[allow(clippy::too_many_arguments)]
+pub fn explain_read_benefit_coded(
+    partition: usize,
+    counters: &PartitionCounters,
+    unsorted: usize,
+    now: SimInstant,
+    scalars: &CostScalars,
+    prune_ratio: f64,
+    probe_decode: SimDuration,
+) -> CostDecision {
     CostDecision::ReadBenefit {
         partition,
         read_rate: counters.read_rate(now),
         unsorted,
-        triggered: read_benefit_positive_filtered(counters, unsorted, now, scalars, prune_ratio),
+        triggered: read_benefit_positive_coded(
+            counters,
+            unsorted,
+            now,
+            scalars,
+            prune_ratio,
+            probe_decode,
+        ),
     }
 }
 
@@ -210,12 +288,33 @@ pub fn explain_write_benefit(
     gated: bool,
     scalars: &CostScalars,
 ) -> CostDecision {
+    explain_write_benefit_coded(
+        partition,
+        counters,
+        l0_records,
+        gated,
+        scalars,
+        SimDuration::ZERO,
+    )
+}
+
+/// [`explain_write_benefit`] with the level-0 per-record decode cost
+/// folded in (see [`write_benefit_positive_coded`]).
+pub fn explain_write_benefit_coded(
+    partition: usize,
+    counters: &PartitionCounters,
+    l0_records: usize,
+    gated: bool,
+    scalars: &CostScalars,
+    decode_per_record: SimDuration,
+) -> CostDecision {
     CostDecision::WriteBenefit {
         partition,
         window_writes: counters.writes.get(),
         window_updates: counters.updates.get(),
         l0_records,
-        triggered: gated && write_benefit_positive(counters, l0_records, scalars),
+        triggered: gated
+            && write_benefit_positive_coded(counters, l0_records, scalars, decode_per_record),
     }
 }
 
@@ -233,6 +332,161 @@ pub fn read_benefit_rate(
     SimDuration::from_nanos(
         (rate * (unsorted as f64 / 2.0) * scalars.binary_search.as_nanos() as f64) as u64,
     )
+}
+
+/// Measured per-codec decode cost and density, calibrated once at
+/// engine open ([`CodecCostTable::calibrate`]) and consulted on every
+/// flush by [`select_codec`] and on every Eq 1/Eq 2 evaluation (the
+/// `_coded` variants above). Indexed by codec id
+/// (`pmtable::CODEC_PREFIX`/`CODEC_DELTA`/`CODEC_FIXED`).
+///
+/// The zero default is deliberate: with an all-zero table every codec
+/// scores identically, ties resolve to the lowest id, and the engine
+/// behaves exactly like the pre-codec build — tests that construct
+/// `Options` directly keep their byte-for-byte behavior.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CodecCostTable {
+    /// Virtual nanos to decode one group, per codec.
+    pub decode_group_nanos: [u64; CODEC_COUNT],
+    /// Virtual nanos of decode work per entry, per codec.
+    pub decode_entry_nanos: [u64; CODEC_COUNT],
+    /// Encoded PM bytes per entry on the calibration workload, per
+    /// codec. Zero for codecs the calibration could not build.
+    pub bytes_per_entry: [f64; CODEC_COUNT],
+}
+
+impl CodecCostTable {
+    /// Entries on the synthetic calibration table. Large enough that
+    /// per-table overheads (header, meta layer) amortize out of the
+    /// per-entry figures, small enough to keep `Db::open` cheap.
+    const CALIBRATION_ENTRIES: usize = 1024;
+
+    /// Measure each codec once on a synthetic timeseries table
+    /// (monotonic 8-byte big-endian keys, fixed 8-byte values — the
+    /// shape where all three codecs are eligible) against `cost`.
+    /// Everything runs on scratch [`Timeline`]s driven purely by the
+    /// virtual clock, so the result is deterministic: two engines with
+    /// the same [`CostModel`] calibrate to identical tables, which the
+    /// parity and trace-overhead tests rely on.
+    pub fn calibrate(cost: &CostModel) -> CodecCostTable {
+        let mut table = CodecCostTable::default();
+        let n = Self::CALIBRATION_ENTRIES;
+        let entries: Vec<OwnedEntry> = (0..n)
+            .map(|i| {
+                let key = (1_700_000_000u64 + 3 * i as u64).to_be_bytes().to_vec();
+                let value = (40_000u64 + 3 * i as u64).to_be_bytes().to_vec();
+                OwnedEntry::value(key, i as u64 + 1, value)
+            })
+            .collect();
+        // Generous scratch pool: each trial table is ≤ ~64 KiB.
+        let pool = PmPool::new(4 << 20, *cost);
+        for (id, mode) in [
+            (pmtable::CODEC_PREFIX, CodecMode::Prefix),
+            (pmtable::CODEC_DELTA, CodecMode::Delta),
+            (pmtable::CODEC_FIXED, CodecMode::Fixed),
+        ] {
+            let mut builder = PmTableBuilder::new(PmTableOptions {
+                group_size: 16,
+                extractor: MetaExtractor::None,
+                filter_bits_per_key: 0,
+                codec: mode,
+            });
+            for e in &entries {
+                builder.add(e.clone());
+            }
+            let mut build_tl = Timeline::new();
+            let (bytes, _stats) = builder.finish(cost, &mut build_tl);
+            let encoded = bytes.len();
+            let Ok(region) = pool.publish(bytes, &mut build_tl) else {
+                continue; // leave this codec's row zeroed
+            };
+            let Ok(pm_table) = PmTable::open(region) else {
+                continue;
+            };
+            let groups = pm_table.group_count().max(1) as u64;
+            let mut scan_tl = Timeline::new();
+            let decoded = pm_table.scan_all(&mut scan_tl);
+            debug_assert_eq!(decoded.len(), n);
+            // Round up: a codec whose whole-table decode metered under
+            // one nano per entry still records 1, so "was calibrated"
+            // stays distinguishable from the all-zero default table.
+            let nanos = scan_tl.elapsed().as_nanos();
+            table.decode_group_nanos[id as usize] = nanos.div_ceil(groups);
+            table.decode_entry_nanos[id as usize] = nanos.div_ceil(n as u64);
+            table.bytes_per_entry[id as usize] = encoded as f64 / n as f64;
+        }
+        table
+    }
+
+    /// Entries-weighted mean group-decode cost over level-0 tables,
+    /// given `(codec, entries)` pairs — the `probe_decode` input of
+    /// [`read_benefit_positive_coded`].
+    pub fn probe_decode(&self, tables: impl Iterator<Item = (u8, usize)>) -> SimDuration {
+        self.weighted(tables, &self.decode_group_nanos)
+    }
+
+    /// Entries-weighted mean per-entry decode cost over level-0 tables —
+    /// the `decode_per_record` input of [`write_benefit_positive_coded`].
+    pub fn decode_per_record(&self, tables: impl Iterator<Item = (u8, usize)>) -> SimDuration {
+        self.weighted(tables, &self.decode_entry_nanos)
+    }
+
+    fn weighted(
+        &self,
+        tables: impl Iterator<Item = (u8, usize)>,
+        nanos: &[u64; CODEC_COUNT],
+    ) -> SimDuration {
+        let (mut weighted, mut total) = (0u128, 0u128);
+        for (codec, entries) in tables {
+            let per = nanos[(codec as usize).min(CODEC_COUNT - 1)] as u128;
+            weighted += per * entries as u128;
+            total += entries as u128;
+        }
+        if total == 0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_nanos((weighted / total) as u64)
+    }
+}
+
+/// Pick the flush codec for a batch shaped like `stats`: among the
+/// codecs the batch is *eligible* for, minimize
+/// `bytes_per_entry × PM-per-byte cost + per-entry decode cost` — PM
+/// bandwidth spent writing then reading each entry plus the CPU to
+/// decode it back. Ties (including the all-zero default cost table)
+/// resolve to the lowest codec id, i.e. the prefix baseline.
+pub fn select_codec(stats: &CodecStats, table: &CodecCostTable, cost: &CostModel) -> CodecMode {
+    if stats.entries == 0 {
+        return CodecMode::Prefix;
+    }
+    // Eligibility mirrors the per-group encoder gates in `pmtable`: the
+    // delta codec needs fixed-width keys whose post-LCP remainder fits a
+    // u64 and at least one delta; the fixed codec needs fixed-width
+    // values that fit a u64. (Group-level fallback still guards the
+    // encoder — this gate just avoids forcing a codec that cannot win.)
+    let delta_ok = stats.entries >= 2
+        && stats
+            .fixed_key_width
+            .is_some_and(|w| (1..=8).contains(&w.saturating_sub(stats.batch_lcp)));
+    let fixed_ok = stats
+        .fixed_value_width
+        .is_some_and(|v| (1..=8).contains(&v));
+    // Each entry is written to PM once and read back on probes; charge
+    // both bandwidth terms so denser codecs win on either side.
+    let pm_per_byte =
+        (cost.pm.write_per_byte.as_nanos() + cost.pm.read_per_byte.as_nanos()) as f64 / 1024.0;
+    let score = |id: u8| {
+        table.bytes_per_entry[id as usize] * pm_per_byte
+            + table.decode_entry_nanos[id as usize] as f64
+    };
+    let mut best = (CodecMode::Prefix, score(pmtable::CODEC_PREFIX));
+    if delta_ok && score(pmtable::CODEC_DELTA) < best.1 {
+        best = (CodecMode::Delta, score(pmtable::CODEC_DELTA));
+    }
+    if fixed_ok && score(pmtable::CODEC_FIXED) < best.1 {
+        best = (CodecMode::Fixed, score(pmtable::CODEC_FIXED));
+    }
+    best.0
 }
 
 #[cfg(test)]
@@ -441,5 +695,114 @@ mod tests {
         assert_eq!(c.writes.get(), 0);
         assert_eq!(c.updates.get(), 0);
         assert_eq!(c.window_start, at(3));
+    }
+
+    #[test]
+    fn calibration_is_deterministic_and_ranks_numeric_codecs_denser() {
+        let cost = CostModel::default();
+        let a = CodecCostTable::calibrate(&cost);
+        let b = CodecCostTable::calibrate(&cost);
+        assert_eq!(a, b, "calibration must be virtual-clock deterministic");
+        // On the timeseries shape both numeric codecs beat prefix groups.
+        let bpe = a.bytes_per_entry;
+        assert!(bpe[pmtable::CODEC_PREFIX as usize] > 0.0);
+        assert!(bpe[pmtable::CODEC_DELTA as usize] < bpe[pmtable::CODEC_PREFIX as usize]);
+        assert!(bpe[pmtable::CODEC_FIXED as usize] < bpe[pmtable::CODEC_PREFIX as usize]);
+        // Every codec's decode was actually metered.
+        for id in 0..pmtable::CODEC_COUNT {
+            assert!(a.decode_group_nanos[id] > 0, "codec {id} group nanos");
+            assert!(a.decode_entry_nanos[id] > 0, "codec {id} entry nanos");
+        }
+    }
+
+    #[test]
+    fn select_codec_is_prefix_on_zero_table_and_numeric_on_calibrated() {
+        use encoding::delta::CodecStats;
+        let cost = CostModel::default();
+        let owned: Vec<Vec<u8>> = (0u64..256)
+            .map(|i| (1_000_000 + 3 * i).to_be_bytes().to_vec())
+            .collect();
+        let keys: Vec<&[u8]> = owned.iter().map(|k| k.as_slice()).collect();
+        let lens = vec![8usize; keys.len()];
+        let stats = CodecStats::analyze(&keys, &lens);
+        // Zero cost table: all scores tie, lowest id (prefix) wins —
+        // the pre-calibration/pre-codec behavior.
+        assert_eq!(
+            select_codec(&stats, &CodecCostTable::default(), &cost),
+            CodecMode::Prefix
+        );
+        // Calibrated: a numeric codec must win on the timeseries shape.
+        let table = CodecCostTable::calibrate(&cost);
+        let chosen = select_codec(&stats, &table, &cost);
+        assert!(
+            matches!(chosen, CodecMode::Delta | CodecMode::Fixed),
+            "timeseries batch must pick a numeric codec, got {chosen:?}"
+        );
+        // Ineligible shapes fall back to prefix even when calibrated.
+        let ragged: Vec<&[u8]> = vec![b"a", b"long-key", b"mid"];
+        let ragged_stats = CodecStats::analyze(&ragged, &[3, 9, 100]);
+        assert_eq!(
+            select_codec(&ragged_stats, &table, &cost),
+            CodecMode::Prefix
+        );
+        let empty = CodecStats::analyze(&[], &[]);
+        assert_eq!(select_codec(&empty, &table, &cost), CodecMode::Prefix);
+    }
+
+    #[test]
+    fn eq1_coded_probe_decode_raises_the_benefit_side() {
+        let s = scalars();
+        let c = PartitionCounters::new(SimInstant::ORIGIN);
+        c.reads.add(10_000); // 10k/s: below the 12.5k/s unfiltered bar at n=4
+        assert!(!read_benefit_positive_filtered(&c, 4, at(1), &s, 0.0));
+        // Pricier probes (binary search + group decode) make the same
+        // merge worth more: decode cost pushes it over the line.
+        let decode = SimDuration::from_micros(2);
+        assert!(read_benefit_positive_coded(&c, 4, at(1), &s, 0.0, decode));
+        // Zero decode is exactly the filtered form.
+        assert_eq!(
+            read_benefit_positive_coded(&c, 4, at(1), &s, 0.0, SimDuration::ZERO),
+            read_benefit_positive_filtered(&c, 4, at(1), &s, 0.0)
+        );
+    }
+
+    #[test]
+    fn eq2_coded_decode_cost_delays_the_trigger() {
+        let s = scalars();
+        let c = PartitionCounters::new(SimInstant::ORIGIN);
+        c.writes.add(1000);
+        c.updates.add(500); // removable 500 * 5us = 2.5ms saved
+        assert!(write_benefit_positive(&c, 1000, &s)); // spent 2ms
+                                                       // Decoding each record adds 1us: spent 3ms > saved, not worth it.
+        let decode = SimDuration::from_micros(1);
+        assert!(!write_benefit_positive_coded(&c, 1000, &s, decode));
+        assert_eq!(
+            write_benefit_positive_coded(&c, 1000, &s, SimDuration::ZERO),
+            write_benefit_positive(&c, 1000, &s)
+        );
+    }
+
+    #[test]
+    fn decode_weighting_is_entries_weighted() {
+        let table = CodecCostTable {
+            decode_group_nanos: [100, 300, 500],
+            decode_entry_nanos: [10, 30, 50],
+            bytes_per_entry: [0.0; 3],
+        };
+        assert_eq!(
+            table.probe_decode(std::iter::empty()),
+            SimDuration::ZERO,
+            "empty level-0 decodes nothing"
+        );
+        // 3:1 entry split between codecs 0 and 1: (3*100 + 1*300) / 4.
+        let mix = [(0u8, 300usize), (1u8, 100usize)];
+        assert_eq!(
+            table.probe_decode(mix.iter().copied()),
+            SimDuration::from_nanos(150)
+        );
+        assert_eq!(
+            table.decode_per_record(mix.iter().copied()),
+            SimDuration::from_nanos(15)
+        );
     }
 }

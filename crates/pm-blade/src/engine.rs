@@ -57,7 +57,7 @@ use sim::Counter;
 use crate::commit::{BatchOp, CommitMetrics, Committer, Ticket, WriteBatch};
 use crate::compaction::CompactionWork;
 use crate::costmodel::{
-    explain_read_benefit_filtered, explain_write_benefit, select_retained, RetentionCandidate,
+    explain_read_benefit_coded, explain_write_benefit_coded, select_retained, RetentionCandidate,
 };
 use crate::groupcache::PmGroupCache;
 use crate::handle::{reopen_pm_table, CacheIds, PmTableHandle, SsTableHandle};
@@ -471,15 +471,30 @@ fn rebuild_partition(
             if !version.matrix.is_empty() || !version.l0_tables.is_empty() {
                 return Err(mismatch("matrix/SSD level-0"));
             }
-            for &id in &version.unsorted {
+            // Codec ids were logged in unsorted-then-sorted order; a
+            // pre-encoding-v2 manifest logged none (empty = unchecked).
+            // When present, each reopened table's self-described
+            // dominant codec must match what the manifest recorded —
+            // a mismatch means the region was swapped or corrupted.
+            let check_codec = |idx: usize, h: &PmTableHandle| match version.codecs.get(idx) {
+                Some(&logged) if logged != h.codec as u64 => Err(DbError::Corrupt(format!(
+                    "partition {}: manifest logged codec {logged} for PM region {} \
+                         but the reopened table decodes as codec {}",
+                    p.id, h.region, h.codec
+                ))),
+                _ => Ok(()),
+            };
+            for (idx, &id) in version.unsorted.iter().enumerate() {
                 let h = recover_pm_handle(pool, id, cache_ids)?;
+                check_codec(idx, &h)?;
                 max_seq = max_seq.max(h.max_seq);
                 l0.push_unsorted(h);
                 count += 1;
             }
             let mut run = Vec::with_capacity(version.sorted.len());
-            for &id in &version.sorted {
+            for (idx, &id) in version.sorted.iter().enumerate() {
                 let h = recover_pm_handle(pool, id, cache_ids)?;
+                check_codec(version.unsorted.len() + idx, &h)?;
                 max_seq = max_seq.max(h.max_seq);
                 run.push(h);
                 count += 1;
@@ -751,6 +766,15 @@ impl DbCore {
         // it onto the per-table build options so every flush and
         // compaction builds (or skips) filters consistently.
         opts.pm_table.filter_bits_per_key = opts.pm_filter_bits_per_key;
+        // Same for the codec knob (encoding v2). For anything beyond
+        // plain prefix groups, calibrate the per-codec decode-cost table
+        // once, on the virtual clock, so Auto selection and the Eq 1/2
+        // decode terms see measured numbers instead of zeros. SSD
+        // level-0 mode never builds PM tables, so it skips the work.
+        opts.pm_table.codec = opts.pm_codec_mode;
+        if opts.mode != Mode::SsdLevel0 && opts.pm_codec_mode != pmtable::CodecMode::Prefix {
+            opts.codec_costs = crate::costmodel::CodecCostTable::calibrate(&opts.cost);
+        }
         let fault = opts.fault_plan.clone();
         let cache = Arc::new(BlockCache::new(opts.block_cache_bytes));
         let now = SimInstant::ORIGIN;
@@ -1247,6 +1271,22 @@ impl DbCore {
         self.pool.used()
     }
 
+    /// Per-codec count of live PM level-0 tables across every partition
+    /// (encoding v2 observability; indexes follow
+    /// [`pmtable::CODEC_NAMES`]).
+    pub fn l0_codec_histogram(&self) -> [u64; pmtable::CODEC_COUNT] {
+        let mut hist = [0u64; pmtable::CODEC_COUNT];
+        for partition in &self.partitions {
+            let p = partition.read();
+            if let Level0::Pm(l0) = &p.level0 {
+                for h in l0.unsorted.iter().chain(l0.sorted_run()) {
+                    hist[(h.codec as usize).min(pmtable::CODEC_COUNT - 1)] += 1;
+                }
+            }
+        }
+        hist
+    }
+
     /// Write amplification to date.
     pub fn write_amp(&self) -> WriteAmp {
         WriteAmp {
@@ -1308,6 +1348,7 @@ impl DbCore {
                 CostDecision::WriteBenefit { .. } => "cost_eq2_triggers",
                 CostDecision::HardCap { .. } => "cost_hard_cap_triggers",
                 CostDecision::Retention { .. } => "cost_retention_passes",
+                CostDecision::CodecChoice { .. } => "cost_codec_choices",
             };
             self.registry.counter(MetricKey::global(name)).incr();
         }
@@ -1364,6 +1405,12 @@ impl DbCore {
             Level0::Pm(l0) => {
                 v.unsorted = l0.unsorted.iter().map(|h| h.region).collect();
                 v.sorted = l0.sorted_run().iter().map(|h| h.region).collect();
+                v.codecs = l0
+                    .unsorted
+                    .iter()
+                    .chain(l0.sorted_run())
+                    .map(|h| h.codec as u64)
+                    .collect();
             }
             Level0::Matrix(m) => v.matrix = m.region_ids(),
             Level0::Ssd(tables) => v.l0_tables = tables.iter().map(meta).collect(),
@@ -2338,6 +2385,27 @@ impl DbCore {
                 self.stats.minor_compactions.incr();
                 let d = tl.elapsed();
                 self.advance(d);
+                // Record which codec this flush encoded with (encoding
+                // v2) — as a per-codec counter, a cost-decision event,
+                // and the flush span's `flush_codec_decision` stage.
+                // Only PM-table flushes pick a codec; the matrix and
+                // SSD level-0 containers have no codec to choose.
+                let pm_bytes = self.pool.stats().bytes_written.get() - pm_written_before;
+                let codec_choice =
+                    matches!(self.opts.mode, Mode::PmBlade | Mode::PmBladePm).then(|| {
+                        let codec = pmtable::CODEC_NAMES[report.codec as usize];
+                        let decision = CostDecision::CodecChoice {
+                            partition: pid,
+                            codec,
+                            entries: report.entries,
+                            pm_bytes: pm_bytes as usize,
+                        };
+                        self.registry
+                            .counter(MetricKey::codec("pm_codec_chosen_total", codec))
+                            .incr();
+                        self.note_cost_decision(&decision);
+                        decision
+                    });
                 let span = TraceSpan {
                     id: self.next_span_id(),
                     trace_id: origin,
@@ -2348,10 +2416,10 @@ impl DbCore {
                     input_records: report.entries as u64,
                     output_records: report.entries as u64,
                     input_bytes: report.bytes as u64,
-                    output_bytes: (self.pool.stats().bytes_written.get() - pm_written_before)
+                    output_bytes: pm_bytes
                         + (self.device.stats().bytes_written.get() - ssd_written_before),
                     value_size: self.mean_value_size(),
-                    cost: None,
+                    cost: codec_choice,
                 };
                 self.ring.push(span.clone());
                 self.opts.listeners.flush_complete(&span);
@@ -2382,16 +2450,37 @@ impl DbCore {
                 let (d_eq1, d_eq2, d_hard, unsorted) = {
                     let partition = self.partitions[pid].read();
                     let unsorted = partition.unsorted_count();
+                    // Per-codec decode CPU (encoding v2): a probe of a
+                    // delta/fixed table pays that codec's measured group
+                    // decode on top of the PM read, and an internal pass
+                    // re-decodes every record it rewrites. Entries-
+                    // weighted over the live level-0 so Eq 1/2 price the
+                    // actual mix (zero with an uncalibrated cost table).
+                    let (probe_decode, decode_per_record) = match &partition.level0 {
+                        Level0::Pm(l0) => (
+                            self.opts
+                                .codec_costs
+                                .probe_decode(l0.unsorted.iter().map(|h| (h.codec, h.entries))),
+                            self.opts.codec_costs.decode_per_record(
+                                l0.unsorted
+                                    .iter()
+                                    .chain(l0.sorted_run())
+                                    .map(|h| (h.codec, h.entries)),
+                            ),
+                        ),
+                        _ => (SimDuration::ZERO, SimDuration::ZERO),
+                    };
                     // Line 1-3: Eq 1 — read-amplification relief.
                     // Bloom-pruned probes cost ~nothing, so the benefit
                     // is discounted by the observed prune ratio.
-                    let d_eq1 = explain_read_benefit_filtered(
+                    let d_eq1 = explain_read_benefit_coded(
                         pid,
                         &partition.counters,
                         unsorted,
                         now,
                         &self.opts.scalars,
                         self.filter_prune_ratio(),
+                        probe_decode,
                     );
                     // Line 4-6: Eq 2 — write-amplification relief, gated
                     // on the partition exceeding τ_w.
@@ -2399,12 +2488,13 @@ impl DbCore {
                         Level0::Pm(l0) => l0.entries(),
                         _ => 0,
                     };
-                    let d_eq2 = explain_write_benefit(
+                    let d_eq2 = explain_write_benefit_coded(
                         pid,
                         &partition.counters,
                         l0_records,
                         partition.pm_bytes() >= self.opts.tau_w,
                         &self.opts.scalars,
+                        decode_per_record,
                     );
                     let d_hard = CostDecision::HardCap {
                         partition: pid,

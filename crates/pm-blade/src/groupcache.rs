@@ -214,10 +214,19 @@ impl PmGroupCache {
     }
 }
 
-/// DRAM charge for one cached group: entry payloads plus per-entry
-/// bookkeeping overhead (Vec headers, seq/kind words).
+/// DRAM charge for one cached group: what the *decoded* entries occupy
+/// in memory — each [`OwnedEntry`]'s struct (two Vec headers plus the
+/// seq/kind words) and its heap-allocated key and value bytes, plus the
+/// group's own `Arc<Vec>` bookkeeping. Deliberately not the encoded PM
+/// payload size (`raw_len`): a delta/fixed-coded group can be several
+/// times smaller on PM than its decoded form, and charging the encoded
+/// size would let the cache silently overshoot its DRAM budget by that
+/// ratio.
 fn entry_bytes(entries: &[OwnedEntry]) -> usize {
-    64 + entries.iter().map(|e| e.raw_len() + 48).sum::<usize>()
+    64 + entries
+        .iter()
+        .map(|e| e.user_key.len() + e.value.len() + std::mem::size_of::<OwnedEntry>())
+        .sum::<usize>()
 }
 
 /// The per-table [`GroupAccess`] adapter returned by
@@ -354,6 +363,22 @@ mod tests {
         assert!(c.for_table(1).lookup(1).is_none());
         assert!(c.for_table(2).lookup(0).is_some());
         assert_eq!(c.invalidations.get(), 2);
+    }
+
+    #[test]
+    fn charge_is_decoded_dram_size_not_encoded_payload() {
+        let g = group(0, 4, 64);
+        // The in-DRAM struct overhead per entry (two Vec headers +
+        // seq/kind) dwarfs the 8-byte encoded trailer, so the decoded
+        // charge must strictly exceed the raw PM payload size — the
+        // old accounting, which a dense codec could undershoot by 3x+.
+        let raw: usize = g.iter().map(|e| e.raw_len()).sum();
+        assert!(
+            entry_bytes(&g) > raw,
+            "decoded charge {} must exceed encoded payload {raw}",
+            entry_bytes(&g)
+        );
+        assert!(entry_bytes(&g) >= 64 + g.len() * std::mem::size_of::<OwnedEntry>());
     }
 
     #[test]

@@ -3,11 +3,14 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use encoding::delta::CodecStats;
 use encoding::key::SequenceNumber;
 use pm_device::{PmPool, PmRegion, RegionId};
-use pmtable::{L0Table, OwnedEntry, PmTable, PmTableBuilder, PmTableOptions};
+use pmtable::{CodecMode, L0Table, OwnedEntry, PmTable, PmTableBuilder, PmTableOptions};
 use sim::Timeline;
 use sstable::SsTable;
+
+use crate::costmodel::{select_codec, CodecCostTable};
 
 /// Per-engine allocator for [`PmTableHandle::cache_id`]. Ids are
 /// monotonic and never reused within an engine, so a retired table's
@@ -50,6 +53,10 @@ pub struct PmTableHandle {
     /// Unique key for the shared group-decode cache
     /// ([`crate::groupcache::PmGroupCache`]).
     pub cache_id: u64,
+    /// Dominant group codec id (`pmtable::CODEC_*`): the codec most of
+    /// this table's groups encode with. Feeds the Eq 1/Eq 2 decode
+    /// terms and the manifest's per-table codec record.
+    pub codec: u8,
 }
 
 impl PmTableHandle {
@@ -173,6 +180,7 @@ pub fn reopen_pm_table(region: PmRegion, ids: &CacheIds) -> Result<PmTableHandle
         .map(|e| e.seq)
         .max()
         .unwrap_or(0);
+    let codec = table.dominant_codec();
     Ok(PmTableHandle {
         table: Arc::new(table),
         region: region_id,
@@ -182,21 +190,37 @@ pub fn reopen_pm_table(region: PmRegion, ids: &CacheIds) -> Result<PmTableHandle
         bytes,
         max_seq,
         cache_id: ids.next(),
+        codec,
     })
 }
 
 /// Build PM tables (splitting at `max_bytes`) from sorted entries and
 /// publish them to the pool. Returns the new handles.
+///
+/// [`CodecMode::Auto`] in `opts.codec` is resolved *here*, once for the
+/// whole flush batch: [`CodecStats::analyze`] inspects the batch's key
+/// shape and [`select_codec`] charges each eligible codec's measured
+/// density and decode cost from `codec_costs`. The winning mode is then
+/// forced for every output table (individual groups still fall back to
+/// prefix encoding inside the builder when the codec cannot represent
+/// them or would grow them).
 #[allow(clippy::too_many_arguments)]
 pub fn build_pm_tables(
     entries: &[OwnedEntry],
-    opts: PmTableOptions,
+    mut opts: PmTableOptions,
+    codec_costs: &CodecCostTable,
     max_bytes: usize,
     pool: &PmPool,
     ids: &CacheIds,
     cost: &sim::CostModel,
     tl: &mut Timeline,
 ) -> Result<Vec<PmTableHandle>, pm_device::PmError> {
+    if opts.codec == CodecMode::Auto {
+        let keys: Vec<&[u8]> = entries.iter().map(|e| e.user_key.as_slice()).collect();
+        let value_lens: Vec<usize> = entries.iter().map(|e| e.value.len()).collect();
+        let stats = CodecStats::analyze(&keys, &value_lens);
+        opts.codec = select_codec(&stats, codec_costs, cost);
+    }
     let mut out = Vec::new();
     let mut builder = PmTableBuilder::new(opts);
     let mut first: Option<Vec<u8>> = None;
@@ -221,6 +245,7 @@ pub fn build_pm_tables(
             .map(|e| e.seq)
             .max()
             .unwrap_or(0);
+        let codec = table.dominant_codec();
         Ok(Some(PmTableHandle {
             first: first.take().expect("non-empty builder has first"),
             last: last.to_vec(),
@@ -230,6 +255,7 @@ pub fn build_pm_tables(
             bytes: len,
             max_seq,
             cache_id: ids.next(),
+            codec,
         }))
     };
     let mut last_key: Vec<u8> = Vec::new();
@@ -322,6 +348,7 @@ mod tests {
         let handles = build_pm_tables(
             &entries,
             PmTableOptions::default(),
+            &CodecCostTable::default(),
             8 << 10,
             &pool,
             &CacheIds::new(),
@@ -352,6 +379,7 @@ mod tests {
         let handles = build_pm_tables(
             &[],
             PmTableOptions::default(),
+            &CodecCostTable::default(),
             1 << 10,
             &pool,
             &CacheIds::new(),
@@ -364,6 +392,87 @@ mod tests {
     }
 
     #[test]
+    fn auto_codec_resolves_per_flush_batch() {
+        let cost = CostModel::default();
+        let pool = PmPool::new(16 << 20, cost);
+        let costs = crate::costmodel::CodecCostTable::calibrate(&cost);
+        let ids = CacheIds::new();
+        let auto_opts = PmTableOptions {
+            codec: CodecMode::Auto,
+            ..PmTableOptions::default()
+        };
+        // Timeseries batch: fixed 8B keys + values, must pick a numeric
+        // codec and come out smaller than the forced-prefix build.
+        let ts: Vec<OwnedEntry> = (0..512u64)
+            .map(|i| {
+                OwnedEntry::value(
+                    (1_700_000_000 + 3 * i).to_be_bytes().to_vec(),
+                    i + 1,
+                    (40_000 + 3 * i).to_be_bytes().to_vec(),
+                )
+            })
+            .collect();
+        let mut tl = Timeline::new();
+        let coded = build_pm_tables(
+            &ts,
+            auto_opts,
+            &costs,
+            usize::MAX,
+            &pool,
+            &ids,
+            &cost,
+            &mut tl,
+        )
+        .unwrap();
+        assert_eq!(coded.len(), 1);
+        assert_ne!(coded[0].codec, pmtable::CODEC_PREFIX);
+        let prefix_opts = PmTableOptions::default();
+        let plain = build_pm_tables(
+            &ts,
+            prefix_opts,
+            &costs,
+            usize::MAX,
+            &pool,
+            &ids,
+            &cost,
+            &mut tl,
+        )
+        .unwrap();
+        assert_eq!(plain[0].codec, pmtable::CODEC_PREFIX);
+        assert!(coded[0].bytes < plain[0].bytes);
+        // Ragged text batch (variable key and value widths): neither
+        // numeric codec is eligible, Auto falls back to the prefix
+        // baseline.
+        let text: Vec<OwnedEntry> = (0..64)
+            .map(|i| {
+                e(
+                    &format!("k{i:03}x{}", "p".repeat(i % 7)),
+                    i as u64 + 1,
+                    &"v".repeat(1 + i % 5),
+                )
+            })
+            .collect();
+        let mut sorted = text.clone();
+        sorted.sort_by(|a, b| a.internal_cmp(b));
+        let t = build_pm_tables(
+            &sorted,
+            auto_opts,
+            &costs,
+            usize::MAX,
+            &pool,
+            &ids,
+            &cost,
+            &mut tl,
+        )
+        .unwrap();
+        assert_eq!(t[0].codec, pmtable::CODEC_PREFIX);
+        // Reopen preserves the dominant codec (regions self-describe).
+        let region = pool.get(coded[0].region).unwrap();
+        let reopened = reopen_pm_table(region, &ids).unwrap();
+        assert_eq!(reopened.codec, coded[0].codec);
+    }
+
+    #[test]
     fn overlap_predicates() {
         let cost = CostModel::default();
         let pool = PmPool::new(1 << 20, cost);
@@ -372,6 +481,7 @@ mod tests {
         let handles = build_pm_tables(
             &entries,
             PmTableOptions::default(),
+            &CodecCostTable::default(),
             1 << 20,
             &pool,
             &CacheIds::new(),

@@ -509,6 +509,7 @@ fn get_in(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::costmodel::CodecCostTable;
     use crate::handle::{build_pm_tables, CacheIds};
     use pmtable::PmTableOptions;
     use sim::CostModel;
@@ -540,6 +541,7 @@ mod tests {
         build_pm_tables(
             &sorted,
             opts,
+            &CodecCostTable::default(),
             usize::MAX,
             pool,
             &CacheIds::new(),

@@ -63,6 +63,11 @@ pub struct PartitionVersion {
     pub l0_tables: Vec<SsdMeta>,
     /// SSD levels: `levels[0]` is level-1.
     pub levels: Vec<Vec<SsdMeta>>,
+    /// Dominant codec id of each PM table, in `unsorted` order followed
+    /// by `sorted` order (encoding v2). Encoded *after* every other
+    /// field so pre-codec manifests decode to an empty vec: recovery
+    /// treats empty as "unknown, trust the self-describing regions".
+    pub codecs: Vec<u64>,
 }
 
 /// One atomic manifest record.
@@ -155,6 +160,10 @@ impl VersionEdit {
                 for level in &pv.levels {
                     put_ssd_list(&mut out, level);
                 }
+                // Appended last so payloads written before encoding v2
+                // (which simply end here) still decode: the reader
+                // takes an empty trailer as "no codec ids logged".
+                put_region_list(&mut out, &pv.codecs);
             }
             VersionEdit::FlushCheckpoint {
                 partition,
@@ -192,6 +201,11 @@ impl VersionEdit {
                 for _ in 0..depth {
                     levels.push(read_ssd_list(&mut r)?);
                 }
+                let codecs = if r.is_empty() {
+                    Vec::new() // pre-codec payload
+                } else {
+                    read_region_list(&mut r)?
+                };
                 VersionEdit::PartitionVersion(PartitionVersion {
                     partition,
                     unsorted,
@@ -199,6 +213,7 @@ impl VersionEdit {
                     matrix,
                     l0_tables,
                     levels,
+                    codecs,
                 })
             }
             TAG_FLUSH_CHECKPOINT => VersionEdit::FlushCheckpoint {
@@ -548,6 +563,7 @@ mod tests {
                 bytes: 4096,
                 max_seq: 99,
             }]],
+            codecs: vec![1, 0, 2],
         }
     }
 
@@ -566,6 +582,30 @@ mod tests {
             let decoded = VersionEdit::decode(&edit.encode()).unwrap();
             assert_eq!(decoded, edit);
         }
+    }
+
+    #[test]
+    fn pre_codec_partition_version_decodes_with_empty_codecs() {
+        // A payload written before encoding v2 ends right after the
+        // levels list. Synthesize one by re-encoding without the codec
+        // trailer and check it decodes to `codecs: vec![]`.
+        let mut pv = sample_pv(3);
+        pv.codecs.clear();
+        let full = VersionEdit::PartitionVersion(pv.clone()).encode();
+        // An empty codec list encodes as a single 0x00 varint; strip it
+        // to get the exact pre-codec byte layout.
+        assert_eq!(full.last(), Some(&0u8));
+        let legacy = &full[..full.len() - 1];
+        let decoded = VersionEdit::decode(legacy).unwrap();
+        assert_eq!(decoded, VersionEdit::PartitionVersion(pv));
+    }
+
+    #[test]
+    fn codec_ids_roundtrip_through_encode() {
+        let pv = sample_pv(5);
+        assert_eq!(pv.codecs, vec![1, 0, 2]);
+        let decoded = VersionEdit::decode(&VersionEdit::PartitionVersion(pv.clone()).encode());
+        assert_eq!(decoded, Some(VersionEdit::PartitionVersion(pv)));
     }
 
     #[test]

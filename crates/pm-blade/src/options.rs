@@ -1,8 +1,9 @@
 //! Engine configuration.
 
-use pmtable::{MetaExtractor, PmTableOptions};
+use pmtable::{CodecMode, MetaExtractor, PmTableOptions};
 use sim::{CostModel, SimDuration};
 
+use crate::costmodel::CodecCostTable;
 use crate::telemetry::{EventListener, ListenerSet};
 
 /// Which system the engine behaves as — the paper's comparison matrix.
@@ -138,8 +139,23 @@ pub struct Options {
     pub scalars: CostScalars,
     /// PM table encoding options. `Db::open` copies
     /// [`Options::pm_filter_bits_per_key`] into
-    /// `pm_table.filter_bits_per_key`, so the engine-level knob wins.
+    /// `pm_table.filter_bits_per_key` and [`Options::pm_codec_mode`]
+    /// into `pm_table.codec`, so the engine-level knobs win.
     pub pm_table: PmTableOptions,
+    /// Per-flush codec policy for PM level-0 tables:
+    /// [`CodecMode::Auto`] (the default) analyzes each flush batch's key
+    /// shape and picks the codec minimizing PM bytes plus decode cost
+    /// against the calibrated [`Options::codec_costs`]; the other
+    /// variants force one codec for every flush (each group still falls
+    /// back to prefix encoding when the forced codec cannot represent
+    /// it or would grow the group).
+    pub pm_codec_mode: CodecMode,
+    /// Measured per-codec decode cost and density feeding codec
+    /// selection and the Eq 1/Eq 2 decode terms. The zero default makes
+    /// codec selection resolve to the prefix baseline; `Db::open`
+    /// replaces it with [`CodecCostTable::calibrate`] of
+    /// [`Options::cost`].
+    pub codec_costs: CodecCostTable,
     /// Bloom-filter budget for PM level-0 tables, in bits per distinct
     /// user key (RocksDB-style; 10 ≈ 1% false positives). 0 disables
     /// the filters entirely — every `get` walks the group search of
@@ -247,7 +263,10 @@ impl Default for Options {
                 group_size: 16,
                 extractor: MetaExtractor::None,
                 filter_bits_per_key: 0,
+                codec: CodecMode::Prefix,
             },
+            pm_codec_mode: CodecMode::Auto,
+            codec_costs: CodecCostTable::default(),
             pm_filter_bits_per_key: 10,
             pm_group_cache_bytes: 4 << 20,
             l1_target: 8 << 20,
@@ -413,6 +432,13 @@ impl OptionsBuilder {
 
     pub fn pm_group_cache_bytes(mut self, bytes: usize) -> Self {
         self.opts.pm_group_cache_bytes = bytes;
+        self
+    }
+
+    /// Per-flush codec policy for PM level-0 tables (`Auto` analyzes
+    /// each flush batch; the other variants force one codec).
+    pub fn pm_codec_mode(mut self, mode: CodecMode) -> Self {
+        self.opts.pm_codec_mode = mode;
         self
     }
 
@@ -801,6 +827,22 @@ mod tests {
             .unwrap();
         assert_eq!(opts.maintenance, MaintenanceMode::Background);
         assert_eq!(opts.maintenance_workers, 3);
+    }
+
+    #[test]
+    fn codec_mode_knob_defaults_to_auto_with_zero_cost_table() {
+        let opts = Options::default();
+        assert_eq!(opts.pm_codec_mode, CodecMode::Auto);
+        // The raw table options stay prefix so directly-constructed
+        // builders keep byte-stable output; `Db::open` projects the
+        // engine knob (and a calibrated cost table) on top.
+        assert_eq!(opts.pm_table.codec, CodecMode::Prefix);
+        assert_eq!(opts.codec_costs, CodecCostTable::default());
+        let built = Options::builder()
+            .pm_codec_mode(CodecMode::Delta)
+            .build()
+            .unwrap();
+        assert_eq!(built.pm_codec_mode, CodecMode::Delta);
     }
 
     #[test]

@@ -39,6 +39,10 @@ pub struct FlushReport {
     /// below it (for this partition) is now durable in level-0, so WAL
     /// records up to here need not be replayed on recovery.
     pub durable_seq: u64,
+    /// Dominant codec id (`pmtable::CODEC_*`) across the tables this
+    /// flush produced — what Auto mode actually chose. `CODEC_PREFIX`
+    /// for non-PM level-0s.
+    pub codec: u8,
 }
 
 /// What an internal compaction produced.
@@ -251,15 +255,17 @@ impl Partition {
         }
         let frozen = std::mem::replace(&mut self.mem, MemTable::new(self.cost));
         let entries = frozen.entries_in_order();
-        let report = FlushReport {
+        let mut report = FlushReport {
             entries: entries.len(),
             bytes: entries.iter().map(|e| e.raw_len()).sum(),
             durable_seq: entries.iter().map(|e| e.seq).max().unwrap_or(0),
+            codec: pmtable::CODEC_PREFIX,
         };
         let built: Result<(), crate::engine::DbError> = match &mut self.level0 {
             Level0::Pm(l0) => build_pm_tables(
                 &entries,
                 opts.pm_table,
+                &opts.codec_costs,
                 usize::MAX, // one flush = one unsorted table
                 pool,
                 cache_ids,
@@ -267,8 +273,19 @@ impl Partition {
                 tl,
             )
             .map(|handles| {
+                // Dominant codec over every group this flush wrote, for
+                // the flush span and `pm_codec_chosen_total`.
+                let mut hist = [0u64; pmtable::CODEC_COUNT];
                 for h in handles {
+                    for (id, &n) in h.table.codec_histogram().iter().enumerate() {
+                        hist[id] += n as u64;
+                    }
                     l0.push_unsorted(h);
+                }
+                for id in 1..pmtable::CODEC_COUNT {
+                    if hist[id] > hist[report.codec as usize] {
+                        report.codec = id as u8;
+                    }
                 }
             })
             .map_err(Into::into),
@@ -325,6 +342,7 @@ impl Partition {
         let run = build_pm_tables(
             &merged,
             opts.pm_table,
+            &opts.codec_costs,
             opts.max_table_bytes,
             pool,
             cache_ids,

@@ -15,9 +15,9 @@ use parking_lot::{Mutex, RwLock};
 use sim::{Counter, Histogram, SimDuration};
 
 /// Identity of one metric: a static name plus optional partition,
-/// level, and connection labels. Ordering is lexicographic (name,
-/// partition, level, connection), which gives snapshots and renderers
-/// a stable order for free.
+/// level, connection, and codec labels. Ordering is lexicographic
+/// (name, partition, level, connection, codec), which gives snapshots
+/// and renderers a stable order for free.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct MetricKey {
     pub name: &'static str,
@@ -26,6 +26,9 @@ pub struct MetricKey {
     /// Server-side connection id (the service layer labels its per-op
     /// counters with the connection that issued them).
     pub connection: Option<u64>,
+    /// PM table codec name (`pmtable::CODEC_NAMES`); the flush path
+    /// labels `pm_codec_chosen_total` with the codec it picked.
+    pub codec: Option<&'static str>,
 }
 
 impl MetricKey {
@@ -36,6 +39,7 @@ impl MetricKey {
             partition: None,
             level: None,
             connection: None,
+            codec: None,
         }
     }
 
@@ -46,6 +50,7 @@ impl MetricKey {
             partition: Some(partition),
             level: None,
             connection: None,
+            codec: None,
         }
     }
 
@@ -57,6 +62,7 @@ impl MetricKey {
             partition: Some(partition),
             level: Some(level),
             connection: None,
+            codec: None,
         }
     }
 
@@ -67,6 +73,18 @@ impl MetricKey {
             partition: None,
             level: None,
             connection: Some(connection),
+            codec: None,
+        }
+    }
+
+    /// A per-codec metric (flush codec decisions).
+    pub const fn codec(name: &'static str, codec: &'static str) -> Self {
+        MetricKey {
+            name,
+            partition: None,
+            level: None,
+            connection: None,
+            codec: Some(codec),
         }
     }
 
@@ -82,6 +100,9 @@ impl MetricKey {
         }
         if let Some(c) = self.connection {
             parts.push(format!("connection=\"{c}\""));
+        }
+        if let Some(codec) = self.codec {
+            parts.push(format!("codec=\"{codec}\""));
         }
         if parts.is_empty() {
             String::new()
@@ -289,5 +310,9 @@ mod tests {
         let d = MetricKey::connection("alpha", 3);
         assert!(a < d, "connection-labeled keys sort after global");
         assert_eq!(d.label_string(), "{connection=\"3\"}");
+        let e = MetricKey::codec("alpha", "delta");
+        assert!(a < e, "codec-labeled keys sort after global");
+        assert_eq!(e.label_string(), "{codec=\"delta\"}");
+        assert_eq!(e.to_string(), "alpha{codec=\"delta\"}");
     }
 }

@@ -449,6 +449,22 @@ fn cost_json(cost: Option<&CostDecision>) -> String {
                 json_usize_list(victims)
             )
         }
+        CostDecision::CodecChoice {
+            partition,
+            codec,
+            entries,
+            pm_bytes,
+        } => {
+            format!(
+                "{{\"rule\": \"{}\", \"partition\": {}, \"codec\": \"{}\", \
+                 \"entries\": {}, \"pm_bytes\": {}}}",
+                cost.rule(),
+                partition,
+                codec,
+                entries,
+                pm_bytes
+            )
+        }
     }
 }
 

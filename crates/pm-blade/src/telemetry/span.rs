@@ -142,6 +142,17 @@ pub enum CostDecision {
         /// Partitions major-compacted to the SSD.
         victims: Vec<usize>,
     },
+    /// The flush path's per-batch codec pick (encoding v2): which PM
+    /// table codec this flush encoded with and what it wrote.
+    CodecChoice {
+        partition: usize,
+        /// Codec name (`pmtable::CODEC_NAMES`): "prefix"/"delta"/"fixed".
+        codec: &'static str,
+        /// Entries flushed under the chosen codec.
+        entries: usize,
+        /// Encoded PM bytes the flush produced.
+        pm_bytes: usize,
+    },
 }
 
 impl CostDecision {
@@ -152,16 +163,18 @@ impl CostDecision {
             CostDecision::WriteBenefit { .. } => "eq2_write_benefit",
             CostDecision::HardCap { .. } => "hard_cap",
             CostDecision::Retention { .. } => "eq3_retention",
+            CostDecision::CodecChoice { .. } => "flush_codec_decision",
         }
     }
 
-    /// Did the rule fire? (Retention passes always count as fired.)
+    /// Did the rule fire? (Retention passes and codec choices always
+    /// count as fired — every flush picks *some* codec.)
     pub fn triggered(&self) -> bool {
         match self {
             CostDecision::ReadBenefit { triggered, .. }
             | CostDecision::WriteBenefit { triggered, .. }
             | CostDecision::HardCap { triggered, .. } => *triggered,
-            CostDecision::Retention { .. } => true,
+            CostDecision::Retention { .. } | CostDecision::CodecChoice { .. } => true,
         }
     }
 }
@@ -208,5 +221,13 @@ mod tests {
         };
         assert_eq!(r.rule(), "eq3_retention");
         assert!(r.triggered());
+        let c = CostDecision::CodecChoice {
+            partition: 1,
+            codec: "delta",
+            entries: 128,
+            pm_bytes: 2048,
+        };
+        assert_eq!(c.rule(), "flush_codec_decision");
+        assert!(c.triggered());
     }
 }

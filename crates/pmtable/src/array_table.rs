@@ -257,7 +257,7 @@ impl<S: Storage> L0Table for ArrayTable<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pm_table::{MetaExtractor, PmTable, PmTableBuilder, PmTableOptions};
+    use crate::pm_table::{CodecMode, MetaExtractor, PmTable, PmTableBuilder, PmTableOptions};
     use crate::storage::DramBuf;
     use crate::testutil::index_entries;
     use sim::CostModel;
@@ -332,6 +332,7 @@ mod tests {
             group_size: 16,
             extractor: MetaExtractor::Delimiter(b':'),
             filter_bits_per_key: 0,
+            codec: CodecMode::Prefix,
         });
         for e in &entries {
             b.add(e.clone());
@@ -385,6 +386,7 @@ mod tests {
             group_size: 16,
             extractor: MetaExtractor::Delimiter(b':'),
             filter_bits_per_key: 0,
+            codec: CodecMode::Prefix,
         });
         for e in &entries {
             ab.add(e.clone());

@@ -26,7 +26,8 @@ pub use compressed_array::{
     SnappyGroupTable, SnappyGroupTableBuilder, SnappyTable, SnappyTableBuilder,
 };
 pub use pm_table::{
-    GroupAccess, MetaExtractor, NoGroupCache, PmTable, PmTableBuilder, PmTableOptions,
+    CodecMode, GroupAccess, MetaExtractor, NoGroupCache, PmTable, PmTableBuilder, PmTableOptions,
+    CODEC_COUNT, CODEC_DELTA, CODEC_FIXED, CODEC_NAMES, CODEC_PREFIX,
 };
 pub use storage::{DramBuf, Storage};
 

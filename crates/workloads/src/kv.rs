@@ -23,6 +23,12 @@ pub struct KvWorkloadSpec {
     pub prefix: String,
     /// Key domain size.
     pub keys: u64,
+    /// Total key length in bytes; 0 keeps the legacy db_bench format
+    /// (`prefix` + 10-digit index, whatever that comes to). A non-zero
+    /// size widens or narrows the zero-padded index so *every* workload
+    /// — sequential fills included — emits keys of exactly this length
+    /// (never truncated below what uniqueness needs).
+    pub key_size: usize,
     /// Value payload size in bytes.
     pub value_size: usize,
     /// Fraction of operations that are reads (`0.0..=1.0`).
@@ -44,6 +50,7 @@ impl Default for KvWorkloadSpec {
         KvWorkloadSpec {
             prefix: "user".to_string(),
             keys: 100_000,
+            key_size: 0,
             value_size: 100,
             read_fraction: 0.5,
             scan_fraction: 0.0,
@@ -81,9 +88,21 @@ impl KvWorkload {
         &self.spec
     }
 
-    /// Format key `i` in the db_bench style.
+    /// Format key `i` in the db_bench style. With `key_size` set, the
+    /// index is zero-padded so the whole key is exactly `key_size`
+    /// bytes, uniformly across sequential, random, and mixed phases.
+    /// Keys are never truncated: a `key_size` too small for the prefix
+    /// plus the index's digits yields a longer (still unique) key.
     pub fn key(&self, i: u64) -> Vec<u8> {
-        format!("{}{:010}", self.spec.prefix, i).into_bytes()
+        if self.spec.key_size == 0 {
+            return format!("{}{:010}", self.spec.prefix, i).into_bytes();
+        }
+        let digits = self
+            .spec
+            .key_size
+            .saturating_sub(self.spec.prefix.len())
+            .max(1);
+        format!("{}{:0digits$}", self.spec.prefix, i).into_bytes()
     }
 
     /// A fresh random value payload.
@@ -189,6 +208,31 @@ mod tests {
             }
             _ => panic!("fill must be puts"),
         }
+    }
+
+    #[test]
+    fn key_size_applies_to_sequential_fills() {
+        let mut w = KvWorkload::new(KvWorkloadSpec {
+            keys: 50,
+            key_size: 16,
+            value_size: 8,
+            ..KvWorkloadSpec::default()
+        });
+        for op in w.fill_sequential() {
+            match op {
+                KvOp::Put { key, .. } => assert_eq!(key.len(), 16, "{key:?}"),
+                _ => panic!("fill must be puts"),
+            }
+        }
+        // A key_size narrower than the prefix + needed digits widens
+        // instead of colliding.
+        let narrow = KvWorkload::new(KvWorkloadSpec {
+            keys: 200,
+            key_size: 5,
+            ..KvWorkloadSpec::default()
+        });
+        assert_eq!(narrow.key(7), b"user7");
+        assert_eq!(narrow.key(123), b"user123");
     }
 
     #[test]

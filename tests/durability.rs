@@ -15,6 +15,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use pm_blade::{CompactionRequest, Db, MaintenanceMode, Mode, ScanRequest};
 use pmblade_integration_tests::{key_for, tiny_options, value_for};
+use pmtable::CodecMode;
 use proptest::prelude::*;
 use sim::FaultPlan;
 
@@ -371,6 +372,91 @@ proptest! {
     ) {
         run_crash_case(&ops, countdown, torn, MaintenanceMode::Background);
     }
+}
+
+// ---------------------------------------------------------------------
+// Encoding v2: a mixed-codec level-0 survives crash and reopen. The
+// manifest logs each table's codec id; recovery must cross-check those
+// against the self-describing regions, restore the exact per-table
+// codec histogram, and return the acked data byte-for-byte.
+// ---------------------------------------------------------------------
+
+#[test]
+fn mixed_codec_tables_survive_crash_and_reopen() {
+    let dir = scratch_dir("mixed-codec");
+    let _ = std::fs::remove_dir_all(&dir);
+    let plan = FaultPlan::disarmed();
+    let mut opts = tiny_options(Mode::PmBlade);
+    opts.wal_dir = Some(dir.clone());
+    opts.fault_plan = Some(plan.clone());
+    // Keep all the tables: the tiny hard cap would otherwise merge the
+    // mixed-codec level-0 into one re-encoded sorted run mid-test.
+    opts.l0_unsorted_hard_cap = 64;
+    // Auto selection is the subject here — override any forced
+    // PMBLADE_TEST_CODEC the matrix run injected via tiny_options.
+    opts.pm_codec_mode = CodecMode::Auto;
+    let mut oracle: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+    let mut failed: Option<(Vec<u8>, Vec<u8>)> = None;
+    let histogram;
+    {
+        let db = Db::open(opts.clone()).unwrap();
+        // Two differently-shaped batches, flushed separately, so auto
+        // selection encodes them with different codecs: a timeseries
+        // shape (8-byte big-endian keys, fixed 8-byte values) and a
+        // ragged text shape that only prefix groups can hold.
+        for i in 0..256u64 {
+            let key = (3_000_000_000u64 + i).to_be_bytes().to_vec();
+            let value = (7_000u64 + i).to_le_bytes().to_vec();
+            db.put(&key, &value).unwrap();
+            oracle.insert(key, value);
+        }
+        db.compact(CompactionRequest::FlushAll).unwrap();
+        for i in 0..120u64 {
+            let key = format!("text{i:03}{}", "k".repeat((i % 7) as usize)).into_bytes();
+            let value = format!("value-{}", "v".repeat((i % 9) as usize)).into_bytes();
+            db.put(&key, &value).unwrap();
+            oracle.insert(key, value);
+        }
+        db.compact(CompactionRequest::FlushAll).unwrap();
+        histogram = db.l0_codec_histogram();
+        assert!(
+            histogram.iter().filter(|&&n| n > 0).count() >= 2,
+            "auto selection must leave a mixed-codec level-0, got {histogram:?}"
+        );
+        // Crash mid-tail: these writes stay WAL-only (no flush after
+        // arming), so no new tables form and the histogram is frozen.
+        plan.arm(40, true);
+        for i in 0..100u64 {
+            let key = format!("tail{i:04}").into_bytes();
+            if db.put(&key, b"tail-value").is_err() {
+                failed = Some((key, b"tail-value".to_vec()));
+                break;
+            }
+            oracle.insert(key, b"tail-value".to_vec());
+        }
+        assert!(failed.is_some(), "the armed fault plan must trip mid-tail");
+    }
+    plan.disarm();
+    let db = Db::open(opts).unwrap_or_else(|e| panic!("mixed-codec recovery failed: {e}"));
+    assert_eq!(
+        db.l0_codec_histogram(),
+        histogram,
+        "reopened level-0 must decode to the same per-table codecs"
+    );
+    let got = scan_all(&db);
+    if got != oracle {
+        // As in `run_crash_case`: the one in-flight op's group may have
+        // reached the log before the crash.
+        let mut tolerant = oracle.clone();
+        let (key, value) = failed.expect("divergence without a failed op");
+        tolerant.insert(key, value);
+        assert_eq!(
+            got, tolerant,
+            "mixed-codec recovery must restore the acked map (± the in-flight op)"
+        );
+    }
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// A pinned deterministic crash case aimed at the flush window: the

@@ -1,6 +1,7 @@
 //! Shared helpers for the cross-crate integration tests.
 
 use pm_blade::{Db, Mode, Options};
+use pmtable::CodecMode;
 
 /// A small engine configuration that exercises every compaction path
 /// quickly: tiny memtables, tight PM budget, shallow level targets.
@@ -9,7 +10,9 @@ use pm_blade::{Db, Mode, Options};
 /// read-path settings (filters off, near-zero group cache, every
 /// request traced) by setting `PMBLADE_TEST_FILTER_BITS` /
 /// `PMBLADE_TEST_GROUP_CACHE_BYTES` / `PMBLADE_TEST_TRACE_SAMPLE`;
-/// tests that pin these knobs themselves override after calling this.
+/// `PMBLADE_TEST_CODEC` (`prefix`/`delta`/`fixed`/`auto`) forces the
+/// PM table codec the same way. Tests that pin these knobs themselves
+/// override after calling this.
 pub fn tiny_options(mode: Mode) -> Options {
     let mut opts = Options {
         mode,
@@ -32,6 +35,15 @@ pub fn tiny_options(mode: Mode) -> Options {
     }
     if let Some(every) = env_knob("PMBLADE_TEST_TRACE_SAMPLE") {
         opts.trace_sample_every = every as u64;
+    }
+    if let Ok(raw) = std::env::var("PMBLADE_TEST_CODEC") {
+        opts.pm_codec_mode = match raw.trim() {
+            "prefix" => CodecMode::Prefix,
+            "delta" => CodecMode::Delta,
+            "fixed" => CodecMode::Fixed,
+            "auto" => CodecMode::Auto,
+            other => panic!("PMBLADE_TEST_CODEC must be prefix/delta/fixed/auto, got {other:?}"),
+        };
     }
     opts
 }

@@ -14,7 +14,7 @@ use std::sync::Arc;
 
 use pm_blade::{CompactionRequest, Db, Mode, Options, ScanRequest};
 use pmblade_integration_tests::{tiny_options, value_for};
-use pmtable::{MetaExtractor, PmTableOptions};
+use pmtable::{CodecMode, MetaExtractor, PmTableOptions};
 use proptest::prelude::*;
 
 /// The accelerated engine: default filter budget, a deliberately tiny
@@ -184,7 +184,8 @@ fn group_straddle_regression_parity() {
     let pm_table = PmTableOptions {
         group_size: 8,
         extractor: MetaExtractor::Delimiter(b':'),
-        filter_bits_per_key: 0, // overridden from pm_filter_bits_per_key
+        filter_bits_per_key: 0,   // overridden from pm_filter_bits_per_key
+        codec: CodecMode::Prefix, // overridden from pm_codec_mode
     };
     let fast = {
         let mut opts = accelerated_options();
@@ -239,6 +240,123 @@ fn group_straddle_regression_parity() {
             .unwrap();
     }
     audit("after major compaction");
+}
+
+/// Cross-codec byte parity: four engines — forced prefix, forced
+/// delta, forced fixed, and cost-model auto selection — run the same
+/// schedule as a `BTreeMap` oracle, and every get/scan must return
+/// byte-identical results no matter how the PM groups were encoded.
+/// Delta unpacking must reconstruct exact key bytes, the fixed-width
+/// value column must round-trip, and a forced codec that cannot
+/// represent a group must fall back to prefix groups without data
+/// loss. Values are 8 bytes so the fixed-width-value codec genuinely
+/// engages; keys are fixed-width text so delta does too.
+fn check_codec_oracle_parity(ops: &[Op]) {
+    let engines: Vec<(&str, Db)> = [
+        ("prefix", CodecMode::Prefix),
+        ("delta", CodecMode::Delta),
+        ("fixed", CodecMode::Fixed),
+        ("auto", CodecMode::Auto),
+    ]
+    .into_iter()
+    .map(|(name, mode)| {
+        let mut opts = accelerated_options();
+        opts.pm_codec_mode = mode;
+        (name, Db::open(opts).unwrap())
+    })
+    .collect();
+    let mut oracle: std::collections::BTreeMap<Vec<u8>, Vec<u8>> = Default::default();
+    for (step, op) in ops.iter().enumerate() {
+        match op {
+            Op::Put(k, v) => {
+                let value = value_for(*k as u64 * 1000 + *v as u64, 8);
+                oracle.insert(key(*k), value.clone());
+                for (_, db) in &engines {
+                    db.put(&key(*k), &value).unwrap();
+                }
+            }
+            Op::Delete(k) => {
+                oracle.remove(&key(*k));
+                for (_, db) in &engines {
+                    db.delete(&key(*k)).unwrap();
+                }
+            }
+            Op::Get(k) => {
+                let expected = oracle.get(&key(*k)).cloned();
+                for (name, db) in &engines {
+                    assert_eq!(
+                        db.get(&key(*k)).unwrap().value,
+                        expected,
+                        "step {step}: codec {name}: get({k}) diverged from the oracle"
+                    );
+                }
+            }
+            Op::Scan(k, n) => {
+                let start = key(*k);
+                let expected: Vec<(Vec<u8>, Vec<u8>)> = oracle
+                    .range(start.clone()..)
+                    .take(*n as usize)
+                    .map(|(key, value)| (key.clone(), value.clone()))
+                    .collect();
+                for (name, db) in &engines {
+                    let (rows, _) = db
+                        .scan(ScanRequest::new().start(start.clone()).limit(*n as usize))
+                        .unwrap();
+                    assert_eq!(
+                        rows, expected,
+                        "step {step}: codec {name}: scan({k},{n}) diverged from the oracle"
+                    );
+                }
+            }
+            Op::Flush => {
+                for (_, db) in &engines {
+                    db.compact(CompactionRequest::FlushAll).unwrap();
+                }
+            }
+            Op::Internal => {
+                for (_, db) in &engines {
+                    db.compact(CompactionRequest::Internal { partition: 0 })
+                        .unwrap();
+                }
+            }
+            Op::Major => {
+                for (_, db) in &engines {
+                    db.compact(CompactionRequest::Major { partition: 0 })
+                        .unwrap();
+                }
+            }
+        }
+    }
+    for k in 0u16..300 {
+        let expected = oracle.get(&key(k)).cloned();
+        for (name, db) in &engines {
+            assert_eq!(
+                db.get(&key(k)).unwrap().value,
+                expected,
+                "final audit: codec {name}: get({k}) diverged from the oracle"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12, ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn codec_modes_preserve_read_results(
+        ops in proptest::collection::vec(op_strategy(), 1..120)
+    ) {
+        check_codec_oracle_parity(&ops);
+    }
+}
+
+/// The PR-3 group-straddle seed through the codec oracle driver: the
+/// 30-version pileup must decode identically under every codec mode.
+#[test]
+fn codec_modes_survive_group_straddle_schedule() {
+    check_codec_oracle_parity(&straddle_ops());
 }
 
 /// The straddle shape also runs through the generic parity driver (so
